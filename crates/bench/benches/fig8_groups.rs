@@ -1,0 +1,48 @@
+//! FIG-8 bench: one full simulation run per protocol in the **overlapping
+//! group communication environment** (Figure 8 of the evaluation).
+//!
+//! Regenerate the figure's data with
+//! `cargo run -p rdt-bench --release --bin experiments -- fig8`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rdt_bench::MEAN_SEND_INTERVAL;
+use rdt_core::ProtocolKind;
+use rdt_sim::{run_protocol_kind, BasicCheckpointModel, SimConfig, StopCondition};
+use rdt_workloads::EnvironmentKind;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_groups");
+    for &protocol in
+        &[ProtocolKind::Bhmr, ProtocolKind::BhmrNoSimple, ProtocolKind::Fdas, ProtocolKind::Cbr]
+    {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(protocol.name()),
+            &protocol,
+            |b, &protocol| {
+                let config = SimConfig::new(12)
+                    .with_seed(1)
+                    .with_basic_checkpoints(BasicCheckpointModel::Exponential {
+                        mean: 4 * MEAN_SEND_INTERVAL,
+                    })
+                    .with_stop(StopCondition::MessagesSent(1_000));
+                b.iter(|| {
+                    let mut app = EnvironmentKind::Groups.build(12, MEAN_SEND_INTERVAL);
+                    black_box(run_protocol_kind(protocol, &config, app.as_mut()))
+                        .stats
+                        .total
+                        .forced_checkpoints
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Theory-layer bench: the cost of the offline machinery — RDT
+//! verification, R-graph closure, and min/max consistent global
+//! checkpoints — as a function of run size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rdt_causality::{CheckpointId, ProcessId};
+use rdt_core::ProtocolKind;
+use rdt_rgraph::{min_max, Pattern, RGraph, RdtChecker};
+use rdt_sim::{run_protocol_kind, BasicCheckpointModel, SimConfig, StopCondition};
+use rdt_workloads::EnvironmentKind;
+
+fn generated_pattern(messages: u64) -> Pattern {
+    let config = SimConfig::new(6)
+        .with_seed(7)
+        .with_basic_checkpoints(BasicCheckpointModel::Exponential { mean: 60 })
+        .with_stop(StopCondition::MessagesSent(messages));
+    let mut app = EnvironmentKind::Random.build(6, 20);
+    run_protocol_kind(ProtocolKind::Bhmr, &config, app.as_mut()).trace.to_pattern().to_closed()
+}
+
+fn bench_checker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rdt_checker");
+    for &messages in &[100u64, 400, 1_600] {
+        let pattern = generated_pattern(messages);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(messages),
+            &pattern,
+            |b, pattern| {
+                b.iter(|| black_box(RdtChecker::new(pattern).check().holds()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rgraph_closure");
+    for &messages in &[400u64, 1_600] {
+        let pattern = generated_pattern(messages);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(messages),
+            &pattern,
+            |b, pattern| {
+                b.iter(|| {
+                    let graph = RGraph::new(pattern);
+                    black_box(graph.reachability().reachable_count(CheckpointId::new(
+                        ProcessId::new(0),
+                        0,
+                    )))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_min_gc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("min_consistent_gc");
+    for &messages in &[400u64, 1_600] {
+        let pattern = generated_pattern(messages);
+        let member = CheckpointId::new(
+            ProcessId::new(0),
+            pattern.last_checkpoint_index(ProcessId::new(0)) / 2,
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(messages),
+            &(pattern, member),
+            |b, (pattern, member)| {
+                b.iter(|| black_box(min_max::min_consistent_containing(pattern, &[*member])));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_checker, bench_closure, bench_min_gc
+}
+criterion_main!(benches);

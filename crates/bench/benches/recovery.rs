@@ -1,0 +1,66 @@
+//! REC-1 bench: recovery-line computation cost, on protocol-generated
+//! patterns and on the worst-case domino pattern.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rdt_causality::ProcessId;
+use rdt_core::ProtocolKind;
+use rdt_recovery::{domino_pattern, recovery_line, Failure};
+use rdt_sim::{run_protocol_kind, BasicCheckpointModel, SimConfig, StopCondition};
+use rdt_workloads::EnvironmentKind;
+
+fn bench_generated(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery_line_generated");
+    for &messages in &[500u64, 2_000] {
+        let config = SimConfig::new(8)
+            .with_seed(3)
+            .with_basic_checkpoints(BasicCheckpointModel::Exponential { mean: 60 })
+            .with_stop(StopCondition::MessagesSent(messages));
+        let mut app = EnvironmentKind::Random.build(8, 20);
+        let pattern = run_protocol_kind(ProtocolKind::Bhmr, &config, app.as_mut())
+            .trace
+            .to_pattern()
+            .to_closed();
+        let process = ProcessId::new(0);
+        let cap = pattern.last_checkpoint_index(process).saturating_sub(1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(messages),
+            &pattern,
+            |b, pattern| {
+                b.iter(|| {
+                    black_box(recovery_line(pattern, &[Failure { process, resume_cap: cap }]))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_domino(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery_line_domino");
+    for &rounds in &[50usize, 500] {
+        let pattern = domino_pattern(rounds);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(rounds),
+            &pattern,
+            |b, pattern| {
+                b.iter(|| {
+                    // Worst case: the fixpoint unzips every round.
+                    black_box(recovery_line(
+                        pattern,
+                        &[Failure { process: ProcessId::new(0), resume_cap: 0 }],
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_generated, bench_domino
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! TAB-1 bench: the per-event cost of each protocol — what a message pays
+//! at send time (piggyback construction) and at arrival (predicate
+//! evaluation + control-variable update) — across system sizes.
+//!
+//! This quantifies the other axis of the paper's §5.2 trade-off: the BHMR
+//! family buys fewer forced checkpoints with `O(n²)`-bit piggybacks and
+//! matrix updates, FDAS with `O(n)` vectors, the classical protocols with
+//! nothing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rdt_causality::ProcessId;
+use rdt_core::{Bhmr, Cbr, CicProtocol, Fdas};
+
+fn bench_send(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_before_send");
+    for &n in &[8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("bhmr", n), &n, |b, &n| {
+            let mut p = Bhmr::new(n, ProcessId::new(0));
+            b.iter(|| black_box(p.before_send(ProcessId::new(1))));
+        });
+        group.bench_with_input(BenchmarkId::new("fdas", n), &n, |b, &n| {
+            let mut p = Fdas::new(n, ProcessId::new(0));
+            b.iter(|| black_box(p.before_send(ProcessId::new(1))));
+        });
+        group.bench_with_input(BenchmarkId::new("cbr", n), &n, |b, &n| {
+            let mut p = Cbr::new(n, ProcessId::new(0));
+            b.iter(|| black_box(p.before_send(ProcessId::new(1))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_arrival(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_on_arrival");
+    for &n in &[8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("bhmr", n), &n, |b, &n| {
+            let mut receiver = Bhmr::new(n, ProcessId::new(0));
+            let mut sender = Bhmr::new(n, ProcessId::new(1));
+            sender.take_basic_checkpoint();
+            let piggyback = sender.before_send(ProcessId::new(0)).piggyback;
+            b.iter(|| black_box(receiver.on_message_arrival(ProcessId::new(1), &piggyback)));
+        });
+        group.bench_with_input(BenchmarkId::new("fdas", n), &n, |b, &n| {
+            let mut receiver = Fdas::new(n, ProcessId::new(0));
+            let mut sender = Fdas::new(n, ProcessId::new(1));
+            sender.take_basic_checkpoint();
+            let piggyback = sender.before_send(ProcessId::new(0)).piggyback;
+            b.iter(|| black_box(receiver.on_message_arrival(ProcessId::new(1), &piggyback)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_send, bench_arrival
+}
+criterion_main!(benches);

@@ -1,0 +1,216 @@
+//! Experiment driver: regenerates every table and figure of the paper's
+//! evaluation.
+//!
+//! ```text
+//! experiments [all|fig7|fig8|fig9|table1|cor45|rdtcheck|ablation|recovery] [--quick]
+//! ```
+//!
+//! `--quick` shrinks message counts and seed sets for smoke runs.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rdt_bench::{
+    ablation, coordinated, corollary45, figure, necessity, rdt_check, recovery_experiment,
+    render_figure, render_table1, scaling, sensitivity, table1, write_json,
+};
+use rdt_workloads::EnvironmentKind;
+
+struct Scale {
+    seeds: Vec<u64>,
+    messages: u64,
+    check_seeds: Vec<u64>,
+    check_messages: u64,
+}
+
+impl Scale {
+    fn full() -> Self {
+        Scale {
+            seeds: (1..=10).collect(),
+            messages: 4_000,
+            check_seeds: (1..=5).collect(),
+            check_messages: 300,
+        }
+    }
+
+    fn quick() -> Self {
+        Scale { seeds: vec![1, 2], messages: 400, check_seeds: vec![1], check_messages: 80 }
+    }
+}
+
+fn results_dir() -> PathBuf {
+    PathBuf::from(std::env::var("RDT_RESULTS_DIR").unwrap_or_else(|_| "results".to_string()))
+}
+
+fn run_figures(which: &str, scale: &Scale, dir: &std::path::Path) {
+    let multipliers = [1u64, 2, 4, 8, 16];
+    let specs: &[(&str, EnvironmentKind, usize)] = &[
+        ("fig7", EnvironmentKind::Random, 8),
+        ("fig8", EnvironmentKind::Groups, 12),
+        ("fig9", EnvironmentKind::ClientServer, 8),
+    ];
+    for &(name, env, n) in specs {
+        if which != "all" && which != name {
+            continue;
+        }
+        let result = figure(name, env, n, &multipliers, &scale.seeds, scale.messages);
+        print!("{}", render_figure(&result));
+        match write_json(dir, name, &result) {
+            Ok(path) => println!("  -> {}\n", path.display()),
+            Err(err) => eprintln!("  !! could not write {name}.json: {err}\n"),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".into());
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let dir = results_dir();
+
+    let known = [
+        "all", "fig7", "fig8", "fig9", "table1", "cor45", "rdtcheck", "ablation", "sensitivity",
+        "coordinated", "scaling", "necessity", "recovery",
+    ];
+    if !known.contains(&which.as_str()) {
+        eprintln!("unknown experiment {which:?}; expected one of {known:?}");
+        return ExitCode::FAILURE;
+    }
+
+    run_figures(&which, &scale, &dir);
+
+    if which == "all" || which == "table1" {
+        let result = table1(8, &scale.seeds, scale.messages);
+        print!("{}", render_table1(&result));
+        match write_json(&dir, "table1", &result) {
+            Ok(path) => println!("  -> {}\n", path.display()),
+            Err(err) => eprintln!("  !! could not write table1.json: {err}\n"),
+        }
+    }
+
+    if which == "all" || which == "cor45" {
+        println!("== COR-4.5 — on-the-fly min consistent GC vs offline R-graph fixpoint ==");
+        for &env in &[EnvironmentKind::Random, EnvironmentKind::ClientServer] {
+            let result = corollary45(env, 4, &scale.check_seeds, scale.check_messages);
+            println!(
+                "  {:>14}: {} checkpoints checked, {} mismatches ({})",
+                env.name(),
+                result.checked,
+                result.mismatches,
+                if result.mismatches == 0 { "OK" } else { "FAIL" }
+            );
+            if write_json(&dir, &format!("cor45-{}", env.name()), &result).is_err() {
+                eprintln!("  !! could not write cor45 results");
+            }
+            if result.mismatches > 0 {
+                return ExitCode::FAILURE;
+            }
+        }
+        println!();
+    }
+
+    if which == "all" || which == "rdtcheck" {
+        println!("== RDT-CHECK — offline verification of every protocol in every environment ==");
+        let result = rdt_check(4, &scale.check_seeds, scale.check_messages);
+        let total = result.runs.len();
+        println!(
+            "  {total} runs; unexpected RDT failures: {} ({}); uncoordinated runs that happened to satisfy RDT: {}",
+            result.unexpected_failures,
+            if result.unexpected_failures == 0 { "OK" } else { "FAIL" },
+            result.uncoordinated_passes,
+        );
+        let _ = write_json(&dir, "rdtcheck", &result);
+        if result.unexpected_failures > 0 {
+            return ExitCode::FAILURE;
+        }
+        println!();
+    }
+
+    if which == "all" || which == "ablation" {
+        println!("== ABL-1 — piggyback size vs forced checkpoints (random environment) ==");
+        let result = ablation(8, &scale.seeds, scale.messages);
+        println!("  {:>16} {:>16} {:>10}", "protocol", "piggyback B/msg", "R");
+        for (name, bytes, r) in &result.lattice {
+            println!("  {name:>16} {bytes:>16.1} {r:>10.4}");
+        }
+        let _ = write_json(&dir, "ablation", &result);
+        println!();
+    }
+
+    if which == "all" || which == "sensitivity" {
+        println!("== ABL-2 — BHMR-vs-FDAS reduction vs reply density (groups, n=12) ==");
+        let result = sensitivity(12, &scale.seeds, scale.messages);
+        println!("  {:>12} {:>10} {:>10} {:>11}", "reply prob", "R bhmr", "R fdas", "reduction");
+        for (prob, bhmr, fdas, reduction) in &result.rows {
+            println!("  {prob:>12.2} {bhmr:>10.4} {fdas:>10.4} {:>10.1}%", reduction * 100.0);
+        }
+        let _ = write_json(&dir, "sensitivity", &result);
+        println!();
+    }
+
+    if which == "all" || which == "scaling" {
+        println!("== SCALE-1 — R and piggyback cost vs number of processes (random env) ==");
+        let result = scaling(&[4, 8, 16, 32], &scale.check_seeds, scale.messages);
+        println!("  {:>6} {:>10} {:>10} {:>16}", "n", "protocol", "R", "piggyback B/msg");
+        for (n, protocol, r, bytes) in &result.rows {
+            println!("  {n:>6} {protocol:>10} {r:>10.4} {bytes:>16.1}");
+        }
+        let _ = write_json(&dir, "scaling", &result);
+        println!();
+    }
+
+    if which == "all" || which == "coordinated" {
+        println!("== COORD-1 — Chandy–Lamport snapshots vs CIC at matched checkpoint rates ==");
+        let result = coordinated(8, &scale.check_seeds, 60 * 800);
+        println!(
+            "  {:>16} {:>12} {:>14} {:>16} {:>18}",
+            "scheme", "checkpoints", "control msgs", "piggyback bytes", "rollback distance"
+        );
+        for (scheme, checkpoints, control, piggyback, distance) in &result.rows {
+            println!(
+                "  {scheme:>16} {checkpoints:>12} {control:>14} {piggyback:>16} {distance:>18.2}"
+            );
+        }
+        let _ = write_json(&dir, "coordinated", &result);
+        println!();
+    }
+
+    if which == "all" || which == "necessity" {
+        println!("== NEC-1 — hindsight necessity of forced checkpoints (random env, n=4) ==");
+        let result = necessity(4, &scale.check_seeds, scale.check_messages);
+        println!(
+            "  {:>10} {:>10} {:>11} {:>10} {:>22}",
+            "protocol", "forced", "necessary", "ratio", "load-bearing basics"
+        );
+        for (protocol, examined, necessary, ratio, load_bearing, basics) in &result.rows {
+            println!(
+                "  {protocol:>10} {examined:>10} {necessary:>11} {:>9.1}% {:>15} / {:>4}",
+                ratio * 100.0,
+                load_bearing,
+                basics
+            );
+        }
+        let _ = write_json(&dir, "necessity", &result);
+        println!();
+    }
+
+    if which == "all" || which == "recovery" {
+        println!("== REC-1 — rollback damage after losing the latest checkpoint ==");
+        let result = recovery_experiment(6, &scale.check_seeds, scale.check_messages);
+        println!(
+            "  {:>16} {:>22} {:>18} {:>14} {:>12}",
+            "protocol", "mean ckpts discarded", "rolled-to-initial", "messages lost", "gc reclaim"
+        );
+        for (name, discarded, initial, lost, reclaim) in &result.rows {
+            println!(
+                "  {name:>16} {discarded:>22.2} {initial:>18.2} {lost:>14.2} {:>11.1}%",
+                reclaim * 100.0
+            );
+        }
+        let _ = write_json(&dir, "recovery", &result);
+        println!();
+    }
+
+    ExitCode::SUCCESS
+}

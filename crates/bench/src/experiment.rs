@@ -1,0 +1,670 @@
+//! The experiments themselves.
+
+use serde::Serialize;
+
+use rdt_causality::ProcessId;
+use rdt_core::ProtocolKind;
+use rdt_recovery::{analyze, Failure};
+use rdt_rgraph::{min_max, RdtChecker};
+use rdt_sim::{run_protocol_kind, BasicCheckpointModel, DelayModel, SimConfig, StopCondition};
+use rdt_workloads::EnvironmentKind;
+
+/// Mean interval between two sends of one process, in ticks (fixes the
+/// time scale of every experiment).
+pub const MEAN_SEND_INTERVAL: u64 = 20;
+
+/// Mean channel delay, in ticks.
+pub const MEAN_DELAY: u64 = 50;
+
+/// The protocol series plotted in the figures, most to least
+/// sophisticated.
+pub fn protocol_set() -> Vec<ProtocolKind> {
+    vec![
+        ProtocolKind::Bhmr,
+        ProtocolKind::BhmrNoSimple,
+        ProtocolKind::BhmrCausalOnly,
+        ProtocolKind::Fdas,
+        ProtocolKind::Fdi,
+        ProtocolKind::Nras,
+        ProtocolKind::Cas,
+        ProtocolKind::Cbr,
+    ]
+}
+
+fn config(n: usize, seed: u64, ckpt_mean: u64, messages: u64) -> SimConfig {
+    SimConfig::new(n)
+        .with_seed(seed)
+        .with_delay(DelayModel::Exponential { mean: MEAN_DELAY })
+        .with_basic_checkpoints(BasicCheckpointModel::Exponential { mean: ckpt_mean })
+        .with_stop(StopCondition::MessagesSent(messages))
+}
+
+/// One protocol's aggregate over the seeds of one sweep point.
+#[derive(Debug, Clone, Serialize)]
+pub struct ProtocolPoint {
+    /// Protocol name.
+    pub protocol: String,
+    /// Mean of `R = forced / basic` over the seeds.
+    pub mean_r: f64,
+    /// Sample standard deviation of `R`.
+    pub std_r: f64,
+    /// Mean forced checkpoints per run.
+    pub mean_forced: f64,
+    /// Mean basic checkpoints per run.
+    pub mean_basic: f64,
+    /// Mean piggyback size per message, bytes.
+    pub piggyback_bytes_per_msg: f64,
+}
+
+/// One x-axis point of a figure: the basic-checkpoint interval as a
+/// multiple of the mean send interval, with every protocol's numbers.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepRow {
+    /// Basic-checkpoint mean interval = `multiplier × MEAN_SEND_INTERVAL`.
+    pub multiplier: u64,
+    /// Per-protocol aggregates.
+    pub points: Vec<ProtocolPoint>,
+}
+
+impl SweepRow {
+    /// `R` of one protocol at this row, if present.
+    pub fn r_of(&self, protocol: ProtocolKind) -> Option<f64> {
+        self.points.iter().find(|p| p.protocol == protocol.name()).map(|p| p.mean_r)
+    }
+
+    /// Relative reduction of forced checkpoints of `protocol` vs FDAS at
+    /// this row: `(R_fdas - R_p) / R_fdas`.
+    pub fn reduction_vs_fdas(&self, protocol: ProtocolKind) -> Option<f64> {
+        let fdas = self.r_of(ProtocolKind::Fdas)?;
+        let p = self.r_of(protocol)?;
+        (fdas > 0.0).then(|| (fdas - p) / fdas)
+    }
+}
+
+/// A complete figure: `R` per protocol over the checkpoint-interval sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct FigureResult {
+    /// Experiment id (`fig7`, `fig8`, `fig9`).
+    pub name: String,
+    /// Environment swept.
+    pub environment: String,
+    /// Number of processes.
+    pub n: usize,
+    /// Messages injected per run.
+    pub messages: u64,
+    /// Seeds averaged over.
+    pub seeds: Vec<u64>,
+    /// One row per checkpoint-interval multiplier.
+    pub rows: Vec<SweepRow>,
+}
+
+fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    if values.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
+    (mean, var.sqrt())
+}
+
+fn run_point(
+    env: EnvironmentKind,
+    n: usize,
+    protocol: ProtocolKind,
+    ckpt_mean: u64,
+    seeds: &[u64],
+    messages: u64,
+) -> ProtocolPoint {
+    let mut rs = Vec::new();
+    let mut forced = Vec::new();
+    let mut basics = Vec::new();
+    let mut piggyback = Vec::new();
+    for &seed in seeds {
+        let mut app = env.build(n, MEAN_SEND_INTERVAL);
+        let outcome =
+            run_protocol_kind(protocol, &config(n, seed, ckpt_mean, messages), app.as_mut());
+        rs.push(outcome.stats.total.forced_ratio());
+        forced.push(outcome.stats.total.forced_checkpoints as f64);
+        basics.push(outcome.stats.total.basic_checkpoints as f64);
+        piggyback.push(outcome.stats.total.mean_piggyback_bytes());
+    }
+    let (mean_r, std_r) = mean_std(&rs);
+    ProtocolPoint {
+        protocol: protocol.name().to_string(),
+        mean_r,
+        std_r,
+        mean_forced: mean_std(&forced).0,
+        mean_basic: mean_std(&basics).0,
+        piggyback_bytes_per_msg: mean_std(&piggyback).0,
+    }
+}
+
+/// Runs one of the evaluation's figures: `R` per protocol while the basic
+/// checkpoint interval sweeps over `multipliers × MEAN_SEND_INTERVAL`.
+///
+/// * `fig7` — [`EnvironmentKind::Random`]
+/// * `fig8` — [`EnvironmentKind::Groups`]
+/// * `fig9` — [`EnvironmentKind::ClientServer`]
+pub fn figure(
+    name: &str,
+    env: EnvironmentKind,
+    n: usize,
+    multipliers: &[u64],
+    seeds: &[u64],
+    messages: u64,
+) -> FigureResult {
+    let rows = multipliers
+        .iter()
+        .map(|&multiplier| SweepRow {
+            multiplier,
+            points: protocol_set()
+                .into_iter()
+                .map(|p| {
+                    run_point(env, n, p, multiplier * MEAN_SEND_INTERVAL, seeds, messages)
+                })
+                .collect(),
+        })
+        .collect();
+    FigureResult {
+        name: name.to_string(),
+        environment: env.name().to_string(),
+        n,
+        messages,
+        seeds: seeds.to_vec(),
+        rows,
+    }
+}
+
+/// TAB-1: the cross-environment protocol comparison at a fixed mid-range
+/// checkpoint interval.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Result {
+    /// One figure-style row per environment (single multiplier).
+    pub environments: Vec<FigureResult>,
+    /// Multiplier used.
+    pub multiplier: u64,
+}
+
+/// Runs TAB-1.
+pub fn table1(n: usize, seeds: &[u64], messages: u64) -> Table1Result {
+    let multiplier = 4;
+    let environments = [
+        EnvironmentKind::Random,
+        EnvironmentKind::Groups,
+        EnvironmentKind::ClientServer,
+        EnvironmentKind::Ring,
+        EnvironmentKind::Pipeline,
+    ]
+    .iter()
+    .map(|&env| figure(&format!("table1-{}", env.name()), env, n, &[multiplier], seeds, messages))
+    .collect();
+    Table1Result { environments, multiplier }
+}
+
+/// COR-4.5: cross-validation of the on-the-fly minimum consistent global
+/// checkpoints against the offline R-graph fixpoint.
+#[derive(Debug, Clone, Serialize)]
+pub struct Cor45Result {
+    /// Checkpoints whose reported minimum was compared.
+    pub checked: usize,
+    /// Disagreements (must be 0 for RDT-ensuring protocols).
+    pub mismatches: usize,
+    /// Protocols included.
+    pub protocols: Vec<String>,
+}
+
+/// Runs COR-4.5 over the dependency-tracking protocols.
+pub fn corollary45(env: EnvironmentKind, n: usize, seeds: &[u64], messages: u64) -> Cor45Result {
+    let protocols: Vec<ProtocolKind> =
+        ProtocolKind::all().iter().copied().filter(|k| k.tracks_dependencies()).collect();
+    let mut checked = 0;
+    let mut mismatches = 0;
+    for &protocol in &protocols {
+        for &seed in seeds {
+            let mut app = env.build(n, MEAN_SEND_INTERVAL);
+            let outcome = run_protocol_kind(
+                protocol,
+                &config(n, seed, 4 * MEAN_SEND_INTERVAL, messages),
+                app.as_mut(),
+            );
+            let pattern = outcome.trace.to_pattern().to_closed();
+            for records in &outcome.records {
+                for record in records {
+                    let Some(reported) = &record.min_consistent_gc else { continue };
+                    let offline = min_max::min_consistent_containing(&pattern, &[record.id]);
+                    checked += 1;
+                    match offline {
+                        Some(gc) if gc.as_slice() == reported.as_slice() => {}
+                        _ => mismatches += 1,
+                    }
+                }
+            }
+        }
+    }
+    Cor45Result {
+        checked,
+        mismatches,
+        protocols: protocols.iter().map(|p| p.name().to_string()).collect(),
+    }
+}
+
+/// RDT-CHECK: run every protocol in every environment and verify the
+/// resulting pattern against the offline RDT checker.
+#[derive(Debug, Clone, Serialize)]
+pub struct RdtCheckResult {
+    /// `(protocol, environment, seed, holds)` for every run.
+    pub runs: Vec<(String, String, u64, bool)>,
+    /// Runs of RDT-ensuring protocols that failed the check (must be 0).
+    pub unexpected_failures: usize,
+    /// Runs of the uncoordinated control that *passed* (hidden
+    /// dependencies simply did not arise on that seed).
+    pub uncoordinated_passes: usize,
+}
+
+/// Runs RDT-CHECK.
+pub fn rdt_check(n: usize, seeds: &[u64], messages: u64) -> RdtCheckResult {
+    let mut runs = Vec::new();
+    let mut unexpected_failures = 0;
+    let mut uncoordinated_passes = 0;
+    for &env in EnvironmentKind::all() {
+        for &protocol in ProtocolKind::all() {
+            for &seed in seeds {
+                let mut app = env.build(n, MEAN_SEND_INTERVAL);
+                let outcome = run_protocol_kind(
+                    protocol,
+                    &config(n, seed, 2 * MEAN_SEND_INTERVAL, messages),
+                    app.as_mut(),
+                );
+                let holds = RdtChecker::new(&outcome.trace.to_pattern()).check().holds();
+                if protocol.ensures_rdt() && !holds {
+                    unexpected_failures += 1;
+                }
+                if protocol == ProtocolKind::Uncoordinated && holds {
+                    uncoordinated_passes += 1;
+                }
+                runs.push((protocol.name().to_string(), env.name().to_string(), seed, holds));
+            }
+        }
+    }
+    RdtCheckResult { runs, unexpected_failures, uncoordinated_passes }
+}
+
+/// ABL-1: piggyback size versus forced-checkpoint count across the
+/// protocol lattice.
+#[derive(Debug, Clone, Serialize)]
+pub struct AblationResult {
+    /// `(protocol, piggyback bytes/msg, mean R)` at the reference point.
+    pub lattice: Vec<(String, f64, f64)>,
+    /// Environment used.
+    pub environment: String,
+}
+
+/// Runs ABL-1 in the random environment at the mid-range checkpoint
+/// interval.
+pub fn ablation(n: usize, seeds: &[u64], messages: u64) -> AblationResult {
+    let env = EnvironmentKind::Random;
+    let lattice = protocol_set()
+        .into_iter()
+        .map(|p| {
+            let point = run_point(env, n, p, 4 * MEAN_SEND_INTERVAL, seeds, messages);
+            (point.protocol.clone(), point.piggyback_bytes_per_msg, point.mean_r)
+        })
+        .collect();
+    AblationResult { lattice, environment: env.name().to_string() }
+}
+
+/// ABL-2: sensitivity of the BHMR-vs-FDAS reduction to the request/reply
+/// structure of the workload (group environment, acknowledgement
+/// probability swept).
+#[derive(Debug, Clone, Serialize)]
+pub struct SensitivityResult {
+    /// `(reply probability, R_bhmr, R_fdas, reduction)` per sweep point.
+    pub rows: Vec<(f64, f64, f64, f64)>,
+    /// Processes and layout description.
+    pub n: usize,
+}
+
+/// Runs ABL-2: the denser the request/reply echoes, the more causal
+/// knowledge the piggybacked matrices certify, and the larger the BHMR
+/// reduction over FDAS grows.
+pub fn sensitivity(n: usize, seeds: &[u64], messages: u64) -> SensitivityResult {
+    use rdt_workloads::{GroupEnvironment, GroupLayout};
+    let mut rows = Vec::new();
+    for &prob in &[0.0f64, 0.25, 0.5, 0.75, 1.0] {
+        let r = |protocol: ProtocolKind| -> f64 {
+            let mut values = Vec::new();
+            for &seed in seeds {
+                let mut app = GroupEnvironment::new(
+                    GroupLayout::overlapping(n, 4, 1),
+                    MEAN_SEND_INTERVAL,
+                )
+                .with_reply_probability(prob);
+                let outcome = run_protocol_kind(
+                    protocol,
+                    &config(n, seed, 4 * MEAN_SEND_INTERVAL, messages),
+                    &mut app,
+                );
+                values.push(outcome.stats.total.forced_ratio());
+            }
+            mean_std(&values).0
+        };
+        let bhmr = r(ProtocolKind::Bhmr);
+        let fdas = r(ProtocolKind::Fdas);
+        let reduction = if fdas > 0.0 { (fdas - bhmr) / fdas } else { 0.0 };
+        rows.push((prob, bhmr, fdas, reduction));
+    }
+    SensitivityResult { rows, n }
+}
+
+/// NEC-1: *hindsight necessity* of forced checkpoints.
+#[derive(Debug, Clone, Serialize)]
+pub struct NecessityResult {
+    /// `(protocol, forced checkpoints examined, necessary in hindsight,
+    /// necessity ratio, load-bearing basic checkpoints, basic checkpoints
+    /// examined)`.
+    ///
+    /// A *basic* checkpoint is load-bearing when its removal breaks RDT —
+    /// the protocol silently relied on it to break a chain it would
+    /// otherwise have had to force on.
+    pub rows: Vec<(String, u64, u64, f64, u64, u64)>,
+    /// Environment used.
+    pub environment: String,
+}
+
+/// Runs NEC-1: for every forced checkpoint of a run, remove it from the
+/// pattern and re-check RDT. A forced checkpoint is *necessary in
+/// hindsight* iff its removal breaks RDT; the ratio measures how much
+/// conservativeness remains in each on-line predicate (the theme of the
+/// "visible characterizations" line: with full hindsight, fewer breaks
+/// suffice — an on-line protocol can only approximate).
+///
+/// Expectation: the BHMR predicate is sharper than FDAS, so a larger
+/// fraction of its forced checkpoints is genuinely needed.
+pub fn necessity(n: usize, seeds: &[u64], messages: u64) -> NecessityResult {
+    let env = EnvironmentKind::Random;
+    let mut rows = Vec::new();
+    for protocol in [ProtocolKind::Bhmr, ProtocolKind::Fdas, ProtocolKind::Fdi, ProtocolKind::Cbr]
+    {
+        let mut examined = 0u64;
+        let mut necessary = 0u64;
+        let mut basic_examined = 0u64;
+        let mut basic_load_bearing = 0u64;
+        for &seed in seeds {
+            let mut app = env.build(n, MEAN_SEND_INTERVAL);
+            let outcome = run_protocol_kind(
+                protocol,
+                &config(n, seed, 4 * MEAN_SEND_INTERVAL, messages),
+                app.as_mut(),
+            );
+            let pattern = outcome.trace.to_pattern();
+            debug_assert!(RdtChecker::new(&pattern).check().holds());
+            for records in &outcome.records {
+                for record in records {
+                    let surgered = pattern.without_checkpoint(record.id);
+                    let still_rdt = RdtChecker::new(&surgered).check().holds();
+                    match record.kind {
+                        rdt_core::CheckpointKind::Forced => {
+                            examined += 1;
+                            if !still_rdt {
+                                necessary += 1;
+                            }
+                        }
+                        rdt_core::CheckpointKind::Basic => {
+                            basic_examined += 1;
+                            if !still_rdt {
+                                basic_load_bearing += 1;
+                            }
+                        }
+                        rdt_core::CheckpointKind::Initial => {}
+                    }
+                }
+            }
+        }
+        let ratio = if examined == 0 { 0.0 } else { necessary as f64 / examined as f64 };
+        rows.push((
+            protocol.name().to_string(),
+            examined,
+            necessary,
+            ratio,
+            basic_load_bearing,
+            basic_examined,
+        ));
+    }
+    NecessityResult { rows, environment: env.name().to_string() }
+}
+
+/// SCALE-1: how the protocols scale with the number of processes.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalingResult {
+    /// `(n, protocol, mean R, piggyback bytes/msg)` per sweep point.
+    pub rows: Vec<(usize, String, f64, f64)>,
+    /// Environment used.
+    pub environment: String,
+}
+
+/// Runs SCALE-1 in the random environment: `R` and the per-message
+/// piggyback cost as `n` grows, for the three piggyback classes (O(n²)
+/// BHMR, O(n) FDAS, O(1) BCS).
+pub fn scaling(sizes: &[usize], seeds: &[u64], messages: u64) -> ScalingResult {
+    let env = EnvironmentKind::Random;
+    let mut rows = Vec::new();
+    for &n in sizes {
+        for protocol in [ProtocolKind::Bhmr, ProtocolKind::Fdas, ProtocolKind::Bcs] {
+            let point = run_point(env, n, protocol, 4 * MEAN_SEND_INTERVAL, seeds, messages);
+            rows.push((n, protocol.name().to_string(), point.mean_r, point.piggyback_bytes_per_msg));
+        }
+    }
+    ScalingResult { rows, environment: env.name().to_string() }
+}
+
+/// COORD-1: coordinated (Chandy–Lamport) snapshots versus
+/// communication-induced checkpointing, at matched checkpoint rates.
+#[derive(Debug, Clone, Serialize)]
+pub struct CoordinatedResult {
+    /// `(scheme, checkpoints, control messages, piggyback bytes,
+    /// mean rollback distance after losing the newest checkpoint)`.
+    pub rows: Vec<(String, u64, u64, u64, f64)>,
+    /// Processes.
+    pub n: usize,
+}
+
+/// Runs COORD-1: the same random workload either checkpoints through
+/// Chandy–Lamport marker waves (control messages, zero piggyback) or
+/// through CIC protocols (zero control messages, piggybacked vectors).
+pub fn coordinated(n: usize, seeds: &[u64], sim_ticks: u64) -> CoordinatedResult {
+    use rdt_sim::SimTime;
+    use rdt_workloads::{ChandyLamport, RandomEnvironment};
+
+    let snapshot_interval = 40 * MEAN_SEND_INTERVAL;
+    let mut rows = Vec::new();
+
+    let rollback = |pattern: &rdt_rgraph::Pattern| -> f64 {
+        let mut total = 0.0;
+        for i in 0..n {
+            let process = ProcessId::new(i);
+            let cap = pattern.last_checkpoint_index(process).saturating_sub(1);
+            total += analyze(pattern, &[Failure { process, resume_cap: cap }]).mean_discarded();
+        }
+        total / n as f64
+    };
+
+    // Chandy–Lamport over an otherwise uncoordinated run.
+    {
+        let mut checkpoints = 0;
+        let mut control = 0;
+        let mut piggyback = 0;
+        let mut distance = Vec::new();
+        for &seed in seeds {
+            let config = SimConfig::new(n)
+                .with_seed(seed)
+                .with_fifo(true)
+                .with_delay(DelayModel::Exponential { mean: MEAN_DELAY })
+                .with_basic_checkpoints(BasicCheckpointModel::Disabled)
+                .with_stop(StopCondition::Time(SimTime::from_ticks(sim_ticks)));
+            let mut app =
+                ChandyLamport::new(RandomEnvironment::new(MEAN_SEND_INTERVAL), snapshot_interval);
+            let outcome = run_protocol_kind(ProtocolKind::Uncoordinated, &config, &mut app);
+            checkpoints += outcome.stats.total.total_checkpoints();
+            control += app.markers_sent();
+            piggyback += outcome.stats.total.piggyback_bytes_sent;
+            distance.push(rollback(&outcome.trace.to_pattern().to_closed()));
+        }
+        rows.push((
+            "chandy-lamport".to_string(),
+            checkpoints,
+            control,
+            piggyback,
+            mean_std(&distance).0,
+        ));
+    }
+
+    // CIC protocols with basic-checkpoint timers at the matched rate.
+    for protocol in [ProtocolKind::Bhmr, ProtocolKind::Fdas, ProtocolKind::Bcs] {
+        let mut checkpoints = 0;
+        let mut piggyback = 0;
+        let mut distance = Vec::new();
+        for &seed in seeds {
+            let config = SimConfig::new(n)
+                .with_seed(seed)
+                .with_fifo(true)
+                .with_delay(DelayModel::Exponential { mean: MEAN_DELAY })
+                .with_basic_checkpoints(BasicCheckpointModel::Exponential {
+                    mean: snapshot_interval,
+                })
+                .with_stop(StopCondition::Time(SimTime::from_ticks(sim_ticks)));
+            let mut app = RandomEnvironment::new(MEAN_SEND_INTERVAL);
+            let outcome = run_protocol_kind(protocol, &config, &mut app);
+            checkpoints += outcome.stats.total.total_checkpoints();
+            piggyback += outcome.stats.total.piggyback_bytes_sent;
+            distance.push(rollback(&outcome.trace.to_pattern().to_closed()));
+        }
+        rows.push((
+            protocol.name().to_string(),
+            checkpoints,
+            0,
+            piggyback,
+            mean_std(&distance).0,
+        ));
+    }
+
+    CoordinatedResult { rows, n }
+}
+
+/// REC-1: rollback damage after a failure, per protocol, plus the
+/// checkpoint-storage picture (GC reclaim ratio).
+#[derive(Debug, Clone, Serialize)]
+pub struct RecoveryResult {
+    /// `(protocol, mean checkpoints discarded per process, mean processes
+    /// rolled to initial, mean messages lost, mean GC reclaim ratio)`.
+    pub rows: Vec<(String, f64, f64, f64, f64)>,
+    /// Environment used.
+    pub environment: String,
+}
+
+/// Runs REC-1: every process in turn loses its most recent checkpoint
+/// (resume cap = last − 1); the rollback damage is averaged over failures
+/// and seeds.
+pub fn recovery_experiment(n: usize, seeds: &[u64], messages: u64) -> RecoveryResult {
+    let env = EnvironmentKind::Random;
+    let protocols = [
+        ProtocolKind::Bhmr,
+        ProtocolKind::Fdas,
+        ProtocolKind::Cbr,
+        ProtocolKind::Uncoordinated,
+    ];
+    let mut rows = Vec::new();
+    for &protocol in &protocols {
+        let mut discarded = Vec::new();
+        let mut to_initial = Vec::new();
+        let mut lost = Vec::new();
+        let mut reclaim = Vec::new();
+        for &seed in seeds {
+            let mut app = env.build(n, MEAN_SEND_INTERVAL);
+            let outcome = run_protocol_kind(
+                protocol,
+                &config(n, seed, 2 * MEAN_SEND_INTERVAL, messages),
+                app.as_mut(),
+            );
+            let pattern = outcome.trace.to_pattern().to_closed();
+            reclaim.push(rdt_recovery::gc::storage_report(&pattern).reclaim_ratio());
+            for i in 0..n {
+                let process = ProcessId::new(i);
+                let cap = pattern.last_checkpoint_index(process).saturating_sub(1);
+                let report = analyze(&pattern, &[Failure { process, resume_cap: cap }]);
+                discarded.push(report.mean_discarded());
+                to_initial.push(report.rolled_to_initial as f64);
+                lost.push(report.lost_messages as f64);
+            }
+        }
+        rows.push((
+            protocol.name().to_string(),
+            mean_std(&discarded).0,
+            mean_std(&to_initial).0,
+            mean_std(&lost).0,
+            mean_std(&reclaim).0,
+        ));
+    }
+    RecoveryResult { rows, environment: env.name().to_string() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_machinery_produces_full_grid() {
+        let result =
+            figure("fig7", EnvironmentKind::Random, 4, &[2, 8], &[1, 2], 150);
+        assert_eq!(result.rows.len(), 2);
+        for row in &result.rows {
+            assert_eq!(row.points.len(), protocol_set().len());
+            assert!(row.r_of(ProtocolKind::Bhmr).is_some());
+            assert!(row.reduction_vs_fdas(ProtocolKind::Bhmr).is_some());
+        }
+    }
+
+    #[test]
+    fn corollary45_has_no_mismatches_on_small_runs() {
+        let result = corollary45(EnvironmentKind::Random, 3, &[5], 60);
+        assert!(result.checked > 0);
+        assert_eq!(result.mismatches, 0);
+    }
+
+    #[test]
+    fn rdt_check_small_grid() {
+        let result = rdt_check(3, &[9], 40);
+        assert_eq!(result.unexpected_failures, 0);
+    }
+
+    #[test]
+    fn necessity_counts_are_sane() {
+        let result = necessity(3, &[5], 60);
+        for (protocol, examined, necessary, ratio, load_bearing, basics) in &result.rows {
+            assert!(necessary <= examined, "{protocol}");
+            assert!((0.0..=1.0).contains(ratio), "{protocol}");
+            assert!(load_bearing <= basics, "{protocol}");
+        }
+    }
+
+    #[test]
+    fn recovery_rows_cover_protocols() {
+        let result = recovery_experiment(3, &[3], 80);
+        assert_eq!(result.rows.len(), 4);
+        for (_, discarded, _, _, reclaim) in &result.rows {
+            assert!(*discarded >= 0.0);
+            assert!((0.0..=1.0).contains(reclaim));
+        }
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[1.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((s - std::f64::consts::SQRT_2).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        assert_eq!(mean_std(&[5.0]), (5.0, 0.0));
+    }
+}

@@ -1,0 +1,27 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§5.3), plus the extra validation experiments of DESIGN.md.
+//!
+//! The binary `experiments` drives everything:
+//!
+//! ```text
+//! cargo run -p rdt-bench --release --bin experiments -- all
+//! cargo run -p rdt-bench --release --bin experiments -- fig7
+//! ```
+//!
+//! Each experiment prints the table the paper's figure plots and writes a
+//! machine-readable JSON document under `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod report;
+
+pub use experiment::{
+    ablation, coordinated, corollary45, figure, necessity, protocol_set, rdt_check,
+    recovery_experiment, scaling, sensitivity, table1, AblationResult, Cor45Result,
+    CoordinatedResult, FigureResult, NecessityResult, ProtocolPoint, RdtCheckResult,
+    RecoveryResult, ScalingResult, SensitivityResult, SweepRow, Table1Result, MEAN_DELAY,
+    MEAN_SEND_INTERVAL,
+};
+pub use report::{render_figure, render_table1, write_json};

@@ -1,0 +1,141 @@
+//! Text and JSON rendering of experiment results.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use serde::Serialize;
+
+use rdt_core::ProtocolKind;
+
+use crate::experiment::{FigureResult, Table1Result};
+use crate::protocol_set;
+
+/// Renders a figure as a fixed-width text table: one row per
+/// checkpoint-interval multiplier, one `R` column per protocol, plus the
+/// reduction of the BHMR protocol versus FDAS.
+pub fn render_figure(result: &FigureResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== {} — R (forced/basic) in the {} environment, n={}, {} msgs, {} seeds ==",
+        result.name,
+        result.environment,
+        result.n,
+        result.messages,
+        result.seeds.len()
+    );
+    let _ = write!(out, "{:>10} ", "ckpt-ivl");
+    for p in protocol_set() {
+        let _ = write!(out, "{:>15} ", p.name());
+    }
+    let _ = writeln!(out, "{:>12}", "bhmr-vs-fdas");
+    for row in &result.rows {
+        let _ = write!(out, "{:>9}x ", row.multiplier);
+        for p in protocol_set() {
+            match row.r_of(p) {
+                Some(r) => {
+                    let _ = write!(out, "{r:>15.4} ");
+                }
+                None => {
+                    let _ = write!(out, "{:>15} ", "-");
+                }
+            }
+        }
+        match row.reduction_vs_fdas(ProtocolKind::Bhmr) {
+            Some(red) => {
+                let _ = writeln!(out, "{:>11.1}%", red * 100.0);
+            }
+            None => {
+                let _ = writeln!(out, "{:>12}", "-");
+            }
+        }
+    }
+    out
+}
+
+/// Renders TAB-1: for every environment the full protocol comparison at
+/// the fixed checkpoint interval.
+pub fn render_table1(result: &Table1Result) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== TAB-1 — protocol comparison at checkpoint interval {}x mean send interval ==",
+        result.multiplier
+    );
+    let _ = writeln!(
+        out,
+        "{:>14} {:>16} {:>10} {:>12} {:>12} {:>14} {:>12}",
+        "environment", "protocol", "R", "forced", "basic", "piggyback B/m", "vs fdas"
+    );
+    for env in &result.environments {
+        for row in &env.rows {
+            for point in &row.points {
+                let vs = row
+                    .reduction_vs_fdas(
+                        point.protocol.parse().expect("points carry valid protocol names"),
+                    )
+                    .map(|r| format!("{:.1}%", r * 100.0))
+                    .unwrap_or_else(|| "-".to_string());
+                let _ = writeln!(
+                    out,
+                    "{:>14} {:>16} {:>10.4} {:>12.1} {:>12.1} {:>14.1} {:>12}",
+                    env.environment,
+                    point.protocol,
+                    point.mean_r,
+                    point.mean_forced,
+                    point.mean_basic,
+                    point.piggyback_bytes_per_msg,
+                    vs
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Serializes any experiment result as pretty JSON under
+/// `results/<name>.json` (creating the directory), and returns the path.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the directory or writing the file.
+pub fn write_json<T: Serialize>(
+    results_dir: &Path,
+    name: &str,
+    value: &T,
+) -> std::io::Result<std::path::PathBuf> {
+    fs::create_dir_all(results_dir)?;
+    let path = results_dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value)
+        .map_err(std::io::Error::other)?;
+    fs::write(&path, json)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::figure;
+    use rdt_workloads::EnvironmentKind;
+
+    #[test]
+    fn figure_rendering_contains_all_protocols() {
+        let result = figure("figX", EnvironmentKind::Random, 3, &[2], &[1], 60);
+        let text = render_figure(&result);
+        for p in protocol_set() {
+            assert!(text.contains(p.name()), "missing {p}");
+        }
+        assert!(text.contains("figX"));
+    }
+
+    #[test]
+    fn json_roundtrip_to_disk() {
+        let result = figure("figY", EnvironmentKind::Ring, 3, &[2], &[1], 40);
+        let dir = std::env::temp_dir().join("rdt-bench-test-results");
+        let path = write_json(&dir, "figY", &result).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"name\": \"figY\""));
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,326 @@
+//! Bit-packed square boolean matrix indexed by pairs of [`ProcessId`]s.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{BoolVector, ProcessId};
+
+/// An `n × n` boolean matrix, packed 64 entries per word, with the row and
+/// column bulk operations the BHMR protocol needs for its `causal_i` matrix.
+///
+/// Entry `(k, l)` of `causal_i` means: *to the knowledge of `P_i`, there is
+/// an on-line trackable R-path from `C_{k,TDV_i[k]}` to `C_{l,TDV_i[l]}`*
+/// (paper §4.1). The delivery rules of the protocol translate to:
+///
+/// * `row k := m.causal row k` when the message brings a new dependency on
+///   `P_k` — [`BoolMatrix::copy_row_from`];
+/// * `row k := row k ∨ m.causal row k` when the dependency is already known —
+///   [`BoolMatrix::or_row_from`];
+/// * transitive closure through the sender `s`:
+///   `∀l: causal[l][i] := causal[l][i] ∨ causal[l][s]` —
+///   [`BoolMatrix::or_column_into`].
+///
+/// # Example
+///
+/// ```rust
+/// use rdt_causality::{BoolMatrix, ProcessId};
+///
+/// let k = ProcessId::new(0);
+/// let j = ProcessId::new(1);
+/// let mut causal = BoolMatrix::identity(2);
+/// assert!(causal.get(k, k));
+/// assert!(!causal.get(k, j));
+/// causal.set(k, j, true);
+/// assert!(causal.get(k, j));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BoolMatrix {
+    n: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl BoolMatrix {
+    /// Creates an all-`false` `n × n` matrix.
+    pub fn new(n: usize) -> Self {
+        let words_per_row = n.div_ceil(64);
+        BoolMatrix { n, words_per_row, words: vec![0; n * words_per_row] }
+    }
+
+    /// Creates the `n × n` matrix with `true` on the diagonal and `false`
+    /// elsewhere (the protocol's initial `causal_i`).
+    pub fn identity(n: usize) -> Self {
+        let mut m = BoolMatrix::new(n);
+        for i in 0..n {
+            m.set(ProcessId::new(i), ProcessId::new(i), true);
+        }
+        m
+    }
+
+    /// Builds a matrix from rows of booleans (row-major), mainly for tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not form a square matrix.
+    pub fn from_rows<const N: usize>(rows: [[bool; N]; N]) -> Self {
+        let mut m = BoolMatrix::new(N);
+        for (k, row) in rows.iter().enumerate() {
+            for (l, &b) in row.iter().enumerate() {
+                m.set(ProcessId::new(k), ProcessId::new(l), b);
+            }
+        }
+        m
+    }
+
+    /// Side length of the matrix.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the matrix is `0 × 0`.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Returns entry `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn get(&self, row: ProcessId, col: ProcessId) -> bool {
+        let (r, c) = self.check(row, col);
+        (self.words[r * self.words_per_row + c / 64] >> (c % 64)) & 1 == 1
+    }
+
+    /// Sets entry `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn set(&mut self, row: ProcessId, col: ProcessId, value: bool) {
+        let (r, c) = self.check(row, col);
+        let word = &mut self.words[r * self.words_per_row + c / 64];
+        let mask = 1u64 << (c % 64);
+        if value {
+            *word |= mask;
+        } else {
+            *word &= !mask;
+        }
+    }
+
+    /// Clears every entry of `row` to `false`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn clear_row(&mut self, row: ProcessId) {
+        let r = row.index();
+        assert!(r < self.n, "row out of range");
+        let base = r * self.words_per_row;
+        for w in &mut self.words[base..base + self.words_per_row] {
+            *w = 0;
+        }
+    }
+
+    /// `row := other's row` (word-parallel), used when a message brings a
+    /// *new* dependency on `row`'s process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ or `row` is out of range.
+    pub fn copy_row_from(&mut self, row: ProcessId, other: &BoolMatrix) {
+        assert_eq!(self.n, other.n, "matrices must have the same dimension");
+        let r = row.index();
+        assert!(r < self.n, "row out of range");
+        let base = r * self.words_per_row;
+        self.words[base..base + self.words_per_row]
+            .copy_from_slice(&other.words[base..base + self.words_per_row]);
+    }
+
+    /// `row := row ∨ other's row` (word-parallel), used when the dependency
+    /// is already known and knowledge is accumulated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ or `row` is out of range.
+    pub fn or_row_from(&mut self, row: ProcessId, other: &BoolMatrix) {
+        assert_eq!(self.n, other.n, "matrices must have the same dimension");
+        let r = row.index();
+        assert!(r < self.n, "row out of range");
+        let base = r * self.words_per_row;
+        for (mine, theirs) in self.words[base..base + self.words_per_row]
+            .iter_mut()
+            .zip(&other.words[base..base + self.words_per_row])
+        {
+            *mine |= *theirs;
+        }
+    }
+
+    /// `∀l: self[l][dst] := self[l][dst] ∨ self[l][src]` — the transitive
+    /// closure step executed when `P_dst` delivers a message sent by
+    /// `P_src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either column is out of range.
+    pub fn or_column_into(&mut self, src: ProcessId, dst: ProcessId) {
+        let (s, d) = (src.index(), dst.index());
+        assert!(s < self.n && d < self.n, "column out of range");
+        for l in 0..self.n {
+            let base = l * self.words_per_row;
+            let src_bit = (self.words[base + s / 64] >> (s % 64)) & 1 == 1;
+            if src_bit {
+                self.words[base + d / 64] |= 1u64 << (d % 64);
+            }
+        }
+    }
+
+    /// Extracts `row` as a [`BoolVector`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row(&self, row: ProcessId) -> BoolVector {
+        let r = row.index();
+        assert!(r < self.n, "row out of range");
+        BoolVector::from_bools((0..self.n).map(|c| self.get(row, ProcessId::new(c))))
+    }
+
+    /// Number of `true` entries in the whole matrix.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Size in bytes when piggybacked on a message (`⌈n²/8⌉`).
+    pub fn piggyback_bytes(&self) -> usize {
+        (self.n * self.n).div_ceil(8)
+    }
+
+    fn check(&self, row: ProcessId, col: ProcessId) -> (usize, usize) {
+        let (r, c) = (row.index(), col.index());
+        assert!(r < self.n, "row {r} out of range for dimension {}", self.n);
+        assert!(c < self.n, "column {c} out of range for dimension {}", self.n);
+        (r, c)
+    }
+}
+
+impl fmt::Debug for BoolMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "BoolMatrix {}x{} [", self.n, self.n)?;
+        for r in 0..self.n {
+            write!(f, "  ")?;
+            for c in 0..self.n {
+                write!(
+                    f,
+                    "{}",
+                    if self.get(ProcessId::new(r), ProcessId::new(c)) { 'T' } else { '.' }
+                )?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn new_is_all_false() {
+        let m = BoolMatrix::new(5);
+        assert_eq!(m.count_ones(), 0);
+        assert!(!m.get(p(4), p(4)));
+    }
+
+    #[test]
+    fn identity_has_diagonal_only() {
+        let m = BoolMatrix::identity(4);
+        assert_eq!(m.count_ones(), 4);
+        for r in 0..4 {
+            for c in 0..4 {
+                assert_eq!(m.get(p(r), p(c)), r == c);
+            }
+        }
+    }
+
+    #[test]
+    fn set_get_large_dimension() {
+        let mut m = BoolMatrix::new(130);
+        m.set(p(129), p(129), true);
+        m.set(p(0), p(64), true);
+        assert!(m.get(p(129), p(129)));
+        assert!(m.get(p(0), p(64)));
+        assert!(!m.get(p(64), p(0)));
+        assert_eq!(m.count_ones(), 2);
+    }
+
+    #[test]
+    fn clear_row_only_touches_that_row() {
+        let mut m = BoolMatrix::identity(3);
+        m.set(p(1), p(2), true);
+        m.clear_row(p(1));
+        assert!(!m.get(p(1), p(1)));
+        assert!(!m.get(p(1), p(2)));
+        assert!(m.get(p(0), p(0)));
+        assert!(m.get(p(2), p(2)));
+    }
+
+    #[test]
+    fn copy_row_replaces_row() {
+        let mut a = BoolMatrix::from_rows([[true, true], [false, false]]);
+        let b = BoolMatrix::from_rows([[false, true], [true, true]]);
+        a.copy_row_from(p(0), &b);
+        assert!(!a.get(p(0), p(0)));
+        assert!(a.get(p(0), p(1)));
+        // row 1 untouched
+        assert!(!a.get(p(1), p(0)));
+    }
+
+    #[test]
+    fn or_row_accumulates() {
+        let mut a = BoolMatrix::from_rows([[true, false], [false, false]]);
+        let b = BoolMatrix::from_rows([[false, true], [true, true]]);
+        a.or_row_from(p(0), &b);
+        assert!(a.get(p(0), p(0)));
+        assert!(a.get(p(0), p(1)));
+        assert!(!a.get(p(1), p(0)));
+    }
+
+    #[test]
+    fn or_column_into_propagates_transitively() {
+        // causal[l][s] true implies causal[l][d] becomes true.
+        let mut m = BoolMatrix::new(3);
+        m.set(p(2), p(1), true); // l=2 reaches s=1
+        m.or_column_into(p(1), p(0)); // delivery at P0 of a message from P1
+        assert!(m.get(p(2), p(0)));
+        assert!(m.get(p(2), p(1)));
+        assert!(!m.get(p(1), p(0)));
+    }
+
+    #[test]
+    fn piggyback_bytes_is_quadratic_bits() {
+        assert_eq!(BoolMatrix::new(4).piggyback_bytes(), 2); // 16 bits
+        assert_eq!(BoolMatrix::new(9).piggyback_bytes(), 11); // 81 bits
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let m = BoolMatrix::new(2);
+        let _ = m.get(p(2), p(0));
+    }
+
+    #[test]
+    fn debug_is_grid() {
+        let m = BoolMatrix::identity(2);
+        let s = format!("{m:?}");
+        assert!(s.contains("T."));
+        assert!(s.contains(".T"));
+    }
+}

@@ -1,0 +1,290 @@
+//! Bit-packed boolean vector indexed by [`ProcessId`].
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ProcessId;
+
+/// A fixed-length boolean vector indexed by process, packed 64 entries per
+/// word.
+///
+/// Used for the protocol's `sent_to_i` and `simple_i` arrays. Bit-packing
+/// matters twice: it is the honest unit for piggyback-size accounting
+/// (`n` bits, not `n` bytes), and it makes the merge rules `∧`/`∨` over all
+/// processes word-parallel.
+///
+/// # Example
+///
+/// ```rust
+/// use rdt_causality::{BoolVector, ProcessId};
+///
+/// let mut sent_to = BoolVector::new(128);
+/// sent_to.set(ProcessId::new(100), true);
+/// assert!(sent_to.get(ProcessId::new(100)));
+/// assert_eq!(sent_to.count_ones(), 1);
+/// sent_to.fill(false);
+/// assert!(sent_to.is_all_false());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BoolVector {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BoolVector {
+    /// Creates an all-`false` vector of length `n`.
+    pub fn new(n: usize) -> Self {
+        BoolVector { len: n, words: vec![0; n.div_ceil(64)] }
+    }
+
+    /// Creates an all-`true` vector of length `n`.
+    pub fn all_true(n: usize) -> Self {
+        let mut v = BoolVector::new(n);
+        v.fill(true);
+        v
+    }
+
+    /// Builds a vector from an iterator of booleans.
+    pub fn from_bools<I: IntoIterator<Item = bool>>(bools: I) -> Self {
+        let bools: Vec<bool> = bools.into_iter().collect();
+        let mut v = BoolVector::new(bools.len());
+        for (i, b) in bools.iter().enumerate() {
+            v.set(ProcessId::new(i), *b);
+        }
+        v
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the vector has zero entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns the entry of `process`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `process` is out of range.
+    pub fn get(&self, process: ProcessId) -> bool {
+        let i = process.index();
+        assert!(i < self.len, "index {i} out of range for length {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets the entry of `process`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `process` is out of range.
+    pub fn set(&mut self, process: ProcessId, value: bool) {
+        let i = process.index();
+        assert!(i < self.len, "index {i} out of range for length {}", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Sets every entry to `value`.
+    pub fn fill(&mut self, value: bool) {
+        let word = if value { u64::MAX } else { 0 };
+        for w in &mut self.words {
+            *w = word;
+        }
+        self.clear_tail();
+    }
+
+    /// Word-parallel `self[k] := self[k] ∧ other[k]` for all `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn and_assign(&mut self, other: &BoolVector) {
+        assert_eq!(self.len, other.len, "boolean vectors must have the same length");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// Word-parallel `self[k] := self[k] ∨ other[k]` for all `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn or_assign(&mut self, other: &BoolVector) {
+        assert_eq!(self.len, other.len, "boolean vectors must have the same length");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// Number of `true` entries.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if every entry is `false`.
+    pub fn is_all_false(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Returns `true` if at least one entry is `true`.
+    pub fn any(&self) -> bool {
+        !self.is_all_false()
+    }
+
+    /// Iterates over the processes whose entry is `true`.
+    pub fn ones(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &word)| {
+            let len = self.len;
+            let mut w = word;
+            std::iter::from_fn(move || {
+                while w != 0 {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    let idx = wi * 64 + bit;
+                    if idx < len {
+                        return Some(ProcessId::new(idx));
+                    }
+                }
+                None
+            })
+        })
+    }
+
+    /// Iterates over all entries as booleans, in process order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(ProcessId::new(i)))
+    }
+
+    /// Size in bytes when piggybacked on a message (`⌈n/8⌉`).
+    pub fn piggyback_bytes(&self) -> usize {
+        self.len.div_ceil(8)
+    }
+
+    /// Clears padding bits above `len` so that `fill(true)` and word-wise
+    /// operations keep `count_ones` exact.
+    fn clear_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for BoolVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BoolVector[")?;
+        for (i, b) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", if b { 'T' } else { 'F' })?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn new_is_all_false() {
+        let v = BoolVector::new(70);
+        assert_eq!(v.len(), 70);
+        assert!(v.is_all_false());
+        assert_eq!(v.count_ones(), 0);
+    }
+
+    #[test]
+    fn set_get_across_word_boundary() {
+        let mut v = BoolVector::new(130);
+        v.set(p(0), true);
+        v.set(p(63), true);
+        v.set(p(64), true);
+        v.set(p(129), true);
+        assert!(v.get(p(0)) && v.get(p(63)) && v.get(p(64)) && v.get(p(129)));
+        assert!(!v.get(p(1)));
+        assert_eq!(v.count_ones(), 4);
+        v.set(p(64), false);
+        assert!(!v.get(p(64)));
+        assert_eq!(v.count_ones(), 3);
+    }
+
+    #[test]
+    fn fill_true_respects_length() {
+        let mut v = BoolVector::new(70);
+        v.fill(true);
+        assert_eq!(v.count_ones(), 70);
+        assert!(v.iter().all(|b| b));
+    }
+
+    #[test]
+    fn all_true_constructor() {
+        let v = BoolVector::all_true(3);
+        assert_eq!(v.count_ones(), 3);
+    }
+
+    #[test]
+    fn and_or_assign_are_pointwise() {
+        let a0 = BoolVector::from_bools([true, true, false, false]);
+        let b = BoolVector::from_bools([true, false, true, false]);
+        let mut anded = a0.clone();
+        anded.and_assign(&b);
+        assert_eq!(anded, BoolVector::from_bools([true, false, false, false]));
+        let mut ored = a0.clone();
+        ored.or_assign(&b);
+        assert_eq!(ored, BoolVector::from_bools([true, true, true, false]));
+    }
+
+    #[test]
+    fn ones_iterates_set_indices() {
+        let mut v = BoolVector::new(200);
+        for i in [0usize, 5, 63, 64, 127, 128, 199] {
+            v.set(p(i), true);
+        }
+        let got: Vec<usize> = v.ones().map(|q| q.index()).collect();
+        assert_eq!(got, vec![0, 5, 63, 64, 127, 128, 199]);
+    }
+
+    #[test]
+    fn any_reflects_content() {
+        let mut v = BoolVector::new(10);
+        assert!(!v.any());
+        v.set(p(9), true);
+        assert!(v.any());
+    }
+
+    #[test]
+    fn piggyback_bytes_rounds_up() {
+        assert_eq!(BoolVector::new(8).piggyback_bytes(), 1);
+        assert_eq!(BoolVector::new(9).piggyback_bytes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        let v = BoolVector::new(4);
+        let _ = v.get(p(4));
+    }
+
+    #[test]
+    fn debug_format_is_nonempty() {
+        let v = BoolVector::from_bools([true, false]);
+        assert_eq!(format!("{v:?}"), "BoolVector[T,F]");
+    }
+}

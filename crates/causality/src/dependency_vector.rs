@@ -1,0 +1,274 @@
+//! Wang's transitive dependency vector (`TDV`).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ProcessId;
+
+/// The *transitive dependency vector* `TDV_i` of the RDT literature
+/// (Wang; paper §3.3).
+///
+/// For the owning process `P_i`:
+///
+/// * `TDV_i[i]` is initialized to `1` and incremented each time a checkpoint
+///   is taken, so it always equals the index of the current checkpoint
+///   interval — which is also the index of the *next* local checkpoint.
+/// * `TDV_i[j]` (`j ≠ i`) records the highest checkpoint index `y` of `P_j`
+///   such that the R-path `C_{j,y} → C_{i,TDV_i[i]}` is on-line trackable.
+///
+/// With this mechanism, the R-path `C_{i,x} → C_{j,y}` is on-line trackable
+/// iff `TDV_j^y[i] ≥ x`, where `TDV_j^y` is the value of `TDV_j` when
+/// `C_{j,y}` was taken.
+///
+/// # Example
+///
+/// ```rust
+/// use rdt_causality::{DependencyVector, ProcessId};
+///
+/// let p0 = ProcessId::new(0);
+/// let p1 = ProcessId::new(1);
+/// let mut tdv = DependencyVector::initial(2, p0);
+/// assert_eq!(tdv.get(p0), 1); // current interval index
+/// tdv.increment_owner();       // P0 takes C_{0,1}
+/// assert_eq!(tdv.get(p0), 2);
+///
+/// // P0 delivers a message from P1 carrying P1's TDV:
+/// let remote = DependencyVector::initial(2, p1);
+/// tdv.merge_max(&remote);
+/// assert_eq!(tdv.get(p1), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DependencyVector {
+    owner: ProcessId,
+    entries: Vec<u32>,
+}
+
+impl DependencyVector {
+    /// Creates `P_owner`'s initial `TDV` in an `n`-process system:
+    /// `TDV[owner] = 1` and every other entry `0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owner` is out of range for `n` processes.
+    pub fn initial(n: usize, owner: ProcessId) -> Self {
+        assert!(owner.index() < n, "owner {owner} out of range for {n} processes");
+        let mut entries = vec![0; n];
+        entries[owner.index()] = 1;
+        DependencyVector { owner, entries }
+    }
+
+    /// Builds a dependency vector from explicit entries (used by tests and
+    /// the offline replayer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owner` is out of range for `entries.len()` processes.
+    pub fn from_entries(owner: ProcessId, entries: Vec<u32>) -> Self {
+        assert!(owner.index() < entries.len(), "owner out of range");
+        DependencyVector { owner, entries }
+    }
+
+    /// The process owning this vector.
+    pub fn owner(&self) -> ProcessId {
+        self.owner
+    }
+
+    /// Number of processes covered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the vector covers zero processes (never the case
+    /// for vectors built through the public constructors).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns the entry of `process`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `process` is out of range.
+    pub fn get(&self, process: ProcessId) -> u32 {
+        self.entries[process.index()]
+    }
+
+    /// Sets the entry of `process` (used by the per-component delivery rules
+    /// of the BHMR protocol, which update entries one case at a time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `process` is out of range.
+    pub fn set(&mut self, process: ProcessId, value: u32) {
+        self.entries[process.index()] = value;
+    }
+
+    /// Index of the owner's current checkpoint interval (== index of the
+    /// next local checkpoint). Shorthand for `self.get(self.owner())`.
+    pub fn current_interval(&self) -> u32 {
+        self.entries[self.owner.index()]
+    }
+
+    /// Increments the owner's entry; to be called exactly when the owner
+    /// takes a local checkpoint (basic or forced).
+    pub fn increment_owner(&mut self) {
+        self.entries[self.owner.index()] += 1;
+    }
+
+    /// Component-wise maximum with a piggybacked vector (delivery rule
+    /// `∀k: TDV_j[k] := max(TDV_j[k], m.TDV[k])`).
+    ///
+    /// The piggybacked vector's owner entry counts like any other component:
+    /// the sender's entry is its current interval index, which is exactly
+    /// the dependency the receiver must record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn merge_max(&mut self, piggybacked: &DependencyVector) {
+        assert_eq!(self.len(), piggybacked.len(), "dependency vectors must have the same dimension");
+        for (mine, theirs) in self.entries.iter_mut().zip(&piggybacked.entries) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Returns the processes `k` for which the piggybacked vector brings a
+    /// *new* dependency, i.e. `m.TDV[k] > TDV[k]` (point (1.a) of §4.1).
+    pub fn new_dependencies<'a>(
+        &'a self,
+        piggybacked: &'a DependencyVector,
+    ) -> impl Iterator<Item = ProcessId> + 'a {
+        self.entries
+            .iter()
+            .zip(&piggybacked.entries)
+            .enumerate()
+            .filter(|(_, (mine, theirs))| theirs > mine)
+            .map(|(k, _)| ProcessId::new(k))
+    }
+
+    /// Returns `true` if the piggybacked vector brings at least one new
+    /// dependency (`∃k: m.TDV[k] > TDV[k]`).
+    pub fn has_new_dependency(&self, piggybacked: &DependencyVector) -> bool {
+        self.new_dependencies(piggybacked).next().is_some()
+    }
+
+    /// Iterates over `(process, entry)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, u32)> + '_ {
+        self.entries.iter().enumerate().map(|(i, &v)| (ProcessId::new(i), v))
+    }
+
+    /// Returns the entries as a slice.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.entries
+    }
+
+    /// Size in bytes of this vector when piggybacked on a message
+    /// (`4 * n`), used for control-information accounting.
+    pub fn piggyback_bytes(&self) -> usize {
+        4 * self.entries.len()
+    }
+}
+
+impl fmt::Display for DependencyVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TDV{}[", self.owner.index())?;
+        for (i, v) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn initial_vector_matches_paper_initialization() {
+        // S0 of Figure 6: TDV_i[i] := 1 (after take_checkpoint sets 0 then
+        // increments), every other entry 0.
+        let tdv = DependencyVector::initial(4, p(2));
+        assert_eq!(tdv.as_slice(), &[0, 0, 1, 0]);
+        assert_eq!(tdv.current_interval(), 1);
+        assert_eq!(tdv.owner(), p(2));
+    }
+
+    #[test]
+    fn increment_owner_tracks_checkpoint_count() {
+        let mut tdv = DependencyVector::initial(2, p(0));
+        tdv.increment_owner();
+        tdv.increment_owner();
+        assert_eq!(tdv.current_interval(), 3);
+        assert_eq!(tdv.get(p(1)), 0);
+    }
+
+    #[test]
+    fn merge_max_records_transitive_dependencies() {
+        let mut a = DependencyVector::from_entries(p(0), vec![2, 0, 3]);
+        let b = DependencyVector::from_entries(p(1), vec![1, 5, 1]);
+        a.merge_max(&b);
+        assert_eq!(a.as_slice(), &[2, 5, 3]);
+        assert_eq!(a.owner(), p(0)); // owner unchanged by merge
+    }
+
+    #[test]
+    fn new_dependencies_identifies_strictly_larger_entries() {
+        let a = DependencyVector::from_entries(p(0), vec![2, 0, 3]);
+        let m = DependencyVector::from_entries(p(1), vec![2, 4, 5]);
+        let fresh: Vec<_> = a.new_dependencies(&m).collect();
+        assert_eq!(fresh, vec![p(1), p(2)]);
+        assert!(a.has_new_dependency(&m));
+    }
+
+    #[test]
+    fn no_new_dependency_when_componentwise_smaller_or_equal() {
+        let a = DependencyVector::from_entries(p(0), vec![2, 4, 3]);
+        let m = DependencyVector::from_entries(p(1), vec![2, 4, 1]);
+        assert!(!a.has_new_dependency(&m));
+        assert_eq!(a.new_dependencies(&m).count(), 0);
+    }
+
+    #[test]
+    fn trackability_test_matches_paper_definition() {
+        // C_{i,x} -> C_{j,y} is on-line trackable iff TDV_j^y[i] >= x.
+        // Simulate: P0 takes C_{0,1}; sends to P1; P1 takes C_{1,1}.
+        let mut tdv0 = DependencyVector::initial(2, p(0));
+        tdv0.increment_owner(); // C_{0,1} taken; current interval I_{0,2}
+        let piggyback = tdv0.clone();
+
+        let mut tdv1 = DependencyVector::initial(2, p(1));
+        tdv1.merge_max(&piggyback);
+        // TDV_1 now records dependency on interval 2 of P0, i.e. on C_{0,1}
+        // ... C_{0,2}? No: entry = highest *interval* index = 2 means the
+        // current state depends on events of I_{0,2}, i.e. on C_{0,1}.
+        let tdv_at_c11 = tdv1.clone(); // value saved when C_{1,1} is taken
+        // C_{0,1} -> C_{1,1} trackable: TDV_1^1[0] = 2 >= 1.
+        assert!(tdv_at_c11.get(p(0)) >= 1);
+    }
+
+    #[test]
+    fn piggyback_bytes_scales_with_n() {
+        let tdv = DependencyVector::initial(8, p(0));
+        assert_eq!(tdv.piggyback_bytes(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn owner_out_of_range_panics() {
+        let _ = DependencyVector::initial(2, p(5));
+    }
+
+    #[test]
+    fn display_shows_owner_and_entries() {
+        let tdv = DependencyVector::from_entries(p(1), vec![0, 3]);
+        assert_eq!(tdv.to_string(), "TDV1[0,3]");
+    }
+}

@@ -1,0 +1,199 @@
+//! Algebraic laws of the causality primitives, property-tested.
+
+use proptest::prelude::*;
+
+use rdt_causality::{BoolMatrix, BoolVector, ClockOrdering, DependencyVector, ProcessId, VectorClock};
+
+fn clock_strategy(n: usize) -> impl Strategy<Value = VectorClock> {
+    proptest::collection::vec(0u64..50, n).prop_map(VectorClock::from_entries)
+}
+
+fn dv_strategy(n: usize) -> impl Strategy<Value = DependencyVector> {
+    (0..n, proptest::collection::vec(0u32..50, n))
+        .prop_map(|(owner, entries)| DependencyVector::from_entries(ProcessId::new(owner), entries))
+}
+
+fn bools(n: usize) -> impl Strategy<Value = BoolVector> {
+    proptest::collection::vec(any::<bool>(), n).prop_map(BoolVector::from_bools)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // ---- vector clocks ----------------------------------------------
+
+    #[test]
+    fn merge_max_is_commutative(a in clock_strategy(5), b in clock_strategy(5)) {
+        let mut ab = a.clone();
+        ab.merge_max(&b);
+        let mut ba = b.clone();
+        ba.merge_max(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_max_is_associative(
+        a in clock_strategy(4), b in clock_strategy(4), c in clock_strategy(4),
+    ) {
+        let mut left = a.clone();
+        left.merge_max(&b);
+        left.merge_max(&c);
+        let mut bc = b.clone();
+        bc.merge_max(&c);
+        let mut right = a.clone();
+        right.merge_max(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_max_is_idempotent_and_dominating(a in clock_strategy(5), b in clock_strategy(5)) {
+        let mut aa = a.clone();
+        aa.merge_max(&a);
+        prop_assert_eq!(&aa, &a);
+        let mut ab = a.clone();
+        ab.merge_max(&b);
+        // The merge dominates both inputs.
+        prop_assert!(matches!(a.compare(&ab), ClockOrdering::Before | ClockOrdering::Equal));
+        prop_assert!(matches!(b.compare(&ab), ClockOrdering::Before | ClockOrdering::Equal));
+    }
+
+    #[test]
+    fn compare_is_antisymmetric(a in clock_strategy(5), b in clock_strategy(5)) {
+        match a.compare(&b) {
+            ClockOrdering::Before => prop_assert_eq!(b.compare(&a), ClockOrdering::After),
+            ClockOrdering::After => prop_assert_eq!(b.compare(&a), ClockOrdering::Before),
+            ClockOrdering::Equal => prop_assert_eq!(b.compare(&a), ClockOrdering::Equal),
+            ClockOrdering::Concurrent => {
+                prop_assert_eq!(b.compare(&a), ClockOrdering::Concurrent)
+            }
+        }
+    }
+
+    #[test]
+    fn happened_before_is_transitive(
+        a in clock_strategy(4), b in clock_strategy(4), c in clock_strategy(4),
+    ) {
+        if a.happened_before(&b) && b.happened_before(&c) {
+            prop_assert!(a.happened_before(&c));
+        }
+    }
+
+    // ---- dependency vectors -----------------------------------------
+
+    #[test]
+    fn dv_merge_never_decreases(a in dv_strategy(5), b in dv_strategy(5)) {
+        let mut merged = a.clone();
+        merged.merge_max(&b);
+        for (p, v) in a.iter() {
+            prop_assert!(merged.get(p) >= v);
+        }
+        for (p, v) in b.iter() {
+            prop_assert!(merged.get(p) >= v);
+        }
+        // Owner survives the merge.
+        prop_assert_eq!(merged.owner(), a.owner());
+    }
+
+    #[test]
+    fn dv_new_dependencies_disappear_after_merge(a in dv_strategy(5), b in dv_strategy(5)) {
+        let mut merged = a.clone();
+        merged.merge_max(&b);
+        prop_assert!(!merged.has_new_dependency(&b));
+        prop_assert!(!merged.has_new_dependency(&a));
+    }
+
+    #[test]
+    fn dv_new_dependencies_are_exactly_strict_gains(a in dv_strategy(5), b in dv_strategy(5)) {
+        let fresh: Vec<ProcessId> = a.new_dependencies(&b).collect();
+        for p in ProcessId::all(5) {
+            prop_assert_eq!(fresh.contains(&p), b.get(p) > a.get(p));
+        }
+    }
+
+    // ---- boolean vectors and matrices --------------------------------
+
+    #[test]
+    fn boolvector_ops_are_pointwise(a in bools(70), b in bools(70)) {
+        let mut anded = a.clone();
+        anded.and_assign(&b);
+        let mut ored = a.clone();
+        ored.or_assign(&b);
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            let p = ProcessId::new(i);
+            prop_assert_eq!(anded.get(p), x && y);
+            prop_assert_eq!(ored.get(p), x || y);
+        }
+        prop_assert_eq!(ored.count_ones(), (0..70).filter(|&i| {
+            let p = ProcessId::new(i);
+            a.get(p) || b.get(p)
+        }).count());
+    }
+
+    #[test]
+    fn boolvector_ones_roundtrip(a in bools(100)) {
+        let mut rebuilt = BoolVector::new(100);
+        for p in a.ones() {
+            rebuilt.set(p, true);
+        }
+        prop_assert_eq!(rebuilt, a);
+    }
+
+    #[test]
+    fn matrix_row_ops_match_vector_ops(
+        rows_a in proptest::collection::vec(any::<bool>(), 16),
+        rows_b in proptest::collection::vec(any::<bool>(), 16),
+        row in 0usize..4,
+    ) {
+        let build = |bits: &[bool]| {
+            let mut m = BoolMatrix::new(4);
+            for (idx, &bit) in bits.iter().enumerate() {
+                m.set(ProcessId::new(idx / 4), ProcessId::new(idx % 4), bit);
+            }
+            m
+        };
+        let a = build(&rows_a);
+        let b = build(&rows_b);
+        let target = ProcessId::new(row);
+
+        let mut ored = a.clone();
+        ored.or_row_from(target, &b);
+        let mut copied = a.clone();
+        copied.copy_row_from(target, &b);
+        for col in ProcessId::all(4) {
+            prop_assert_eq!(ored.get(target, col), a.get(target, col) || b.get(target, col));
+            prop_assert_eq!(copied.get(target, col), b.get(target, col));
+        }
+        // Other rows untouched.
+        for r in ProcessId::all(4) {
+            if r == target { continue; }
+            for col in ProcessId::all(4) {
+                prop_assert_eq!(ored.get(r, col), a.get(r, col));
+                prop_assert_eq!(copied.get(r, col), a.get(r, col));
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_column_or_is_pointwise(
+        bits in proptest::collection::vec(any::<bool>(), 25),
+        src in 0usize..5,
+        dst in 0usize..5,
+    ) {
+        let mut m = BoolMatrix::new(5);
+        for (idx, &bit) in bits.iter().enumerate() {
+            m.set(ProcessId::new(idx / 5), ProcessId::new(idx % 5), bit);
+        }
+        let before = m.clone();
+        m.or_column_into(ProcessId::new(src), ProcessId::new(dst));
+        for l in ProcessId::all(5) {
+            let expected = before.get(l, ProcessId::new(dst)) || before.get(l, ProcessId::new(src));
+            prop_assert_eq!(m.get(l, ProcessId::new(dst)), expected);
+            // Every other column untouched.
+            for col in ProcessId::all(5) {
+                if col.index() != dst {
+                    prop_assert_eq!(m.get(l, col), before.get(l, col));
+                }
+            }
+        }
+    }
+}

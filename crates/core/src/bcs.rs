@@ -1,0 +1,241 @@
+//! The BCS index-based protocol (Briatico, Ciuffoletti, Simoncini).
+//!
+//! The oldest communication-induced checkpointing discipline, and the
+//! canonical representative of the *weaker* property class the RDT
+//! literature contrasts itself against: **Z-cycle freedom** (ZCF, studied
+//! as *VP-accordance* in the follow-up work of Baldoni, Quaglia and
+//! Ciciani). BCS guarantees that no checkpoint is *useless* — every local
+//! checkpoint belongs to some consistent global checkpoint — but **not**
+//! RDT: hidden (untrackable) dependencies between checkpoints can remain.
+
+use serde::{Deserialize, Serialize};
+
+use rdt_causality::{CheckpointId, ProcessId};
+
+use crate::{
+    ArrivalOutcome, CheckpointKind, CheckpointRecord, CicProtocol, PiggybackSize, ProtocolStats,
+    SendOutcome,
+};
+
+/// Piggyback of the BCS protocol: the sender's *epoch* (a scalar
+/// Lamport-style clock that ticks on checkpoints).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexPiggyback {
+    /// The sender's current epoch.
+    pub epoch: u32,
+}
+
+impl PiggybackSize for IndexPiggyback {
+    fn piggyback_bytes(&self) -> usize {
+        4
+    }
+}
+
+/// **BCS**: every process maintains a scalar *epoch*, incremented at each
+/// local checkpoint and piggybacked on every message; a process delivering
+/// a message from a **later** epoch first takes a forced checkpoint and
+/// jumps to that epoch.
+///
+/// For every epoch `s`, no message sent at epoch `≥ s` is ever delivered
+/// before the receiver's first checkpoint of epoch `≥ s`; the per-epoch
+/// cuts are therefore consistent, every checkpoint belongs to one, and the
+/// resulting patterns are **Z-cycle-free**.
+///
+/// BCS does **not** ensure RDT: `ensures_rdt()` is false for
+/// [`ProtocolKind::Bcs`](crate::ProtocolKind::Bcs), and the integration
+/// tests exhibit BCS runs with untrackable R-paths. This makes it the
+/// measuring stick for what RDT costs *beyond* usefulness of checkpoints —
+/// with a piggyback of just 4 bytes.
+///
+/// Note the protocol's *epoch* is distinct from the checkpoint *index*:
+/// indices stay dense per process (`C_{i,0}, C_{i,1}, …`) while epochs can
+/// jump forward when lagging processes catch up.
+///
+/// # Example
+///
+/// ```rust
+/// use rdt_causality::ProcessId;
+/// use rdt_core::{Bcs, CicProtocol};
+///
+/// let mut a = Bcs::new(2, ProcessId::new(0));
+/// let mut b = Bcs::new(2, ProcessId::new(1));
+/// b.take_basic_checkpoint(); // P1's epoch jumps ahead
+/// let m = b.before_send(ProcessId::new(0));
+/// // P0 lags behind: the arrival forces a checkpoint first.
+/// assert!(a.on_message_arrival(ProcessId::new(1), &m.piggyback).was_forced());
+/// assert_eq!(a.epoch(), b.epoch());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bcs {
+    me: ProcessId,
+    n: usize,
+    /// Dense ordinal of the next local checkpoint.
+    next_index: u32,
+    /// Current epoch (1 = the interval opened by the initial checkpoint).
+    epoch: u32,
+    stats: ProtocolStats,
+}
+
+impl Bcs {
+    /// Creates `P_me`'s BCS state for an `n`-process computation and takes
+    /// the initial checkpoint `C_{me,0}` (epoch 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is out of range for `n` processes.
+    pub fn new(n: usize, me: ProcessId) -> Self {
+        assert!(me.index() < n, "process {me} out of range for {n} processes");
+        Bcs { me, n, next_index: 1, epoch: 1, stats: ProtocolStats::default() }
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    fn take_checkpoint(&mut self, kind: CheckpointKind) -> CheckpointRecord {
+        let record = CheckpointRecord {
+            id: CheckpointId::new(self.me, self.next_index),
+            kind,
+            min_consistent_gc: None,
+        };
+        self.next_index += 1;
+        record
+    }
+}
+
+impl CicProtocol for Bcs {
+    type Piggyback = IndexPiggyback;
+
+    fn name(&self) -> &'static str {
+        "bcs"
+    }
+
+    fn process(&self) -> ProcessId {
+        self.me
+    }
+
+    fn num_processes(&self) -> usize {
+        self.n
+    }
+
+    fn next_checkpoint_index(&self) -> u32 {
+        self.next_index
+    }
+
+    fn take_basic_checkpoint(&mut self) -> CheckpointRecord {
+        self.stats.basic_checkpoints += 1;
+        self.epoch += 1;
+        self.take_checkpoint(CheckpointKind::Basic)
+    }
+
+    fn before_send(&mut self, _dest: ProcessId) -> SendOutcome<IndexPiggyback> {
+        let piggyback = IndexPiggyback { epoch: self.epoch };
+        self.stats.messages_sent += 1;
+        self.stats.piggyback_bytes_sent += piggyback.piggyback_bytes() as u64;
+        SendOutcome { piggyback, forced_after: None }
+    }
+
+    fn on_message_arrival(
+        &mut self,
+        _sender: ProcessId,
+        piggyback: &IndexPiggyback,
+    ) -> ArrivalOutcome {
+        let forced = if piggyback.epoch > self.epoch {
+            // Jump to the sender's epoch; the forced checkpoint opens it,
+            // so the delivery lands at an epoch >= the send's.
+            self.epoch = piggyback.epoch;
+            self.stats.forced_checkpoints += 1;
+            Some(self.take_checkpoint(CheckpointKind::Forced))
+        } else {
+            None
+        };
+        self.stats.messages_delivered += 1;
+        ArrivalOutcome { forced }
+    }
+
+    fn stats(&self) -> &ProtocolStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn initial_state() {
+        let bcs = Bcs::new(3, p(1));
+        assert_eq!(bcs.next_checkpoint_index(), 1);
+        assert_eq!(bcs.epoch(), 1);
+        assert_eq!(bcs.name(), "bcs");
+        assert_eq!(bcs.num_processes(), 3);
+    }
+
+    #[test]
+    fn same_epoch_messages_never_force() {
+        let mut a = Bcs::new(2, p(0));
+        let mut b = Bcs::new(2, p(1));
+        let m = b.before_send(p(0));
+        assert!(!a.on_message_arrival(p(1), &m.piggyback).was_forced());
+        assert_eq!(a.epoch(), 1);
+    }
+
+    #[test]
+    fn higher_epoch_forces_and_aligns() {
+        let mut a = Bcs::new(2, p(0));
+        let mut b = Bcs::new(2, p(1));
+        b.take_basic_checkpoint();
+        b.take_basic_checkpoint(); // b's epoch is now 3
+        let m = b.before_send(p(0));
+        let outcome = a.on_message_arrival(p(1), &m.piggyback);
+        assert!(outcome.was_forced());
+        // Indices stay dense even though the epoch jumped by 2.
+        assert_eq!(outcome.forced.unwrap().id.index, 1);
+        assert_eq!(a.next_checkpoint_index(), 2);
+        assert_eq!(a.epoch(), 3);
+    }
+
+    #[test]
+    fn lower_or_equal_epoch_does_not_force() {
+        let mut a = Bcs::new(2, p(0));
+        a.take_basic_checkpoint();
+        a.take_basic_checkpoint();
+        let mut b = Bcs::new(2, p(1));
+        let m = b.before_send(p(0));
+        assert!(!a.on_message_arrival(p(1), &m.piggyback).was_forced());
+        assert_eq!(a.epoch(), 3);
+    }
+
+    #[test]
+    fn piggyback_is_four_bytes_regardless_of_n() {
+        let mut a = Bcs::new(64, p(0));
+        let m = a.before_send(p(1));
+        assert_eq!(m.piggyback.piggyback_bytes(), 4);
+        assert_eq!(a.stats().piggyback_bytes_sent, 4);
+    }
+
+    #[test]
+    fn stats_counted() {
+        let mut a = Bcs::new(2, p(0));
+        a.take_basic_checkpoint();
+        let mut b = Bcs::new(2, p(1));
+        b.take_basic_checkpoint();
+        b.take_basic_checkpoint();
+        let m = b.before_send(p(0));
+        a.on_message_arrival(p(1), &m.piggyback);
+        assert_eq!(a.stats().basic_checkpoints, 1);
+        assert_eq!(a.stats().forced_checkpoints, 1);
+        assert_eq!(a.stats().messages_delivered, 1);
+    }
+
+    #[test]
+    fn no_min_gc_reported() {
+        let mut a = Bcs::new(2, p(0));
+        assert_eq!(a.take_basic_checkpoint().min_consistent_gc, None);
+    }
+}

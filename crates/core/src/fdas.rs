@@ -1,0 +1,367 @@
+//! Wang's FDAS and FDI baseline protocols (§5.2 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use rdt_causality::{CheckpointId, DependencyVector, ProcessId};
+
+use crate::{
+    ArrivalOutcome, CheckpointKind, CheckpointRecord, CicProtocol, PiggybackSize, ProtocolStats,
+    SendOutcome,
+};
+
+/// Piggyback of the FDAS/FDI protocols: the transitive dependency vector
+/// only.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TdvPiggyback {
+    /// The sender's transitive dependency vector at send time.
+    pub tdv: DependencyVector,
+}
+
+impl PiggybackSize for TdvPiggyback {
+    fn piggyback_bytes(&self) -> usize {
+        self.tdv.piggyback_bytes()
+    }
+}
+
+/// Shared state of the two fixed-dependency protocols.
+#[derive(Debug, Clone)]
+struct TdvState {
+    me: ProcessId,
+    n: usize,
+    tdv: DependencyVector,
+    after_first_send: bool,
+    stats: ProtocolStats,
+}
+
+impl TdvState {
+    fn new(n: usize, me: ProcessId) -> Self {
+        assert!(me.index() < n, "process {me} out of range for {n} processes");
+        TdvState {
+            me,
+            n,
+            tdv: DependencyVector::initial(n, me),
+            after_first_send: false,
+            stats: ProtocolStats::default(),
+        }
+    }
+
+    fn take_checkpoint(&mut self, kind: CheckpointKind) -> CheckpointRecord {
+        let record = CheckpointRecord {
+            id: CheckpointId::new(self.me, self.tdv.current_interval()),
+            kind,
+            min_consistent_gc: Some(self.tdv.as_slice().to_vec()),
+        };
+        self.after_first_send = false;
+        self.tdv.increment_owner();
+        record
+    }
+
+    fn before_send(&mut self, _dest: ProcessId) -> SendOutcome<TdvPiggyback> {
+        self.after_first_send = true;
+        let piggyback = TdvPiggyback { tdv: self.tdv.clone() };
+        self.stats.messages_sent += 1;
+        self.stats.piggyback_bytes_sent += piggyback.piggyback_bytes() as u64;
+        SendOutcome { piggyback, forced_after: None }
+    }
+
+    fn finish_arrival(&mut self, piggyback: &TdvPiggyback, force: bool) -> ArrivalOutcome {
+        let forced = if force {
+            self.stats.forced_checkpoints += 1;
+            Some(self.take_checkpoint(CheckpointKind::Forced))
+        } else {
+            None
+        };
+        self.tdv.merge_max(&piggyback.tdv);
+        self.stats.messages_delivered += 1;
+        ArrivalOutcome { forced }
+    }
+}
+
+/// **FDAS** — *Fixed-Dependency-After-Send* (Wang).
+///
+/// Each process keeps one boolean `after_first_send`, reset at the beginning
+/// of every checkpoint interval and set on the first send of the interval.
+/// Before delivering `m`, the process evaluates
+///
+/// ```text
+/// C_FDAS: after_first_send ∧ ∃k: m.TDV[k] > TDV[k]
+/// ```
+///
+/// and takes a forced checkpoint if it holds: once a message has been sent
+/// in the interval, the process's dependency set is frozen until the next
+/// checkpoint. FDAS ensures RDT and is the reference the paper compares
+/// against; `(C1 ∨ C2) ⇒ C_FDAS` makes the BHMR family strictly less
+/// conservative (§5.2).
+///
+/// # Example
+///
+/// ```rust
+/// use rdt_causality::ProcessId;
+/// use rdt_core::{CicProtocol, Fdas};
+///
+/// let mut a = Fdas::new(2, ProcessId::new(0));
+/// let mut b = Fdas::new(2, ProcessId::new(1));
+/// b.take_basic_checkpoint();
+/// let m = b.before_send(ProcessId::new(0));
+/// // P0 has not sent anything: no forced checkpoint, whatever m carries.
+/// assert!(!a.on_message_arrival(ProcessId::new(1), &m.piggyback).was_forced());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fdas {
+    state: TdvState,
+}
+
+impl Fdas {
+    /// Creates `P_me`'s FDAS state for an `n`-process computation and takes
+    /// the initial checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is out of range for `n` processes.
+    pub fn new(n: usize, me: ProcessId) -> Self {
+        Fdas { state: TdvState::new(n, me) }
+    }
+
+    /// The current transitive dependency vector.
+    pub fn tdv(&self) -> &DependencyVector {
+        &self.state.tdv
+    }
+
+    /// Whether a send has occurred in the current checkpoint interval.
+    pub fn after_first_send(&self) -> bool {
+        self.state.after_first_send
+    }
+}
+
+impl CicProtocol for Fdas {
+    type Piggyback = TdvPiggyback;
+
+    fn name(&self) -> &'static str {
+        "fdas"
+    }
+
+    fn process(&self) -> ProcessId {
+        self.state.me
+    }
+
+    fn num_processes(&self) -> usize {
+        self.state.n
+    }
+
+    fn next_checkpoint_index(&self) -> u32 {
+        self.state.tdv.current_interval()
+    }
+
+    fn take_basic_checkpoint(&mut self) -> CheckpointRecord {
+        self.state.stats.basic_checkpoints += 1;
+        self.state.take_checkpoint(CheckpointKind::Basic)
+    }
+
+    fn before_send(&mut self, dest: ProcessId) -> SendOutcome<TdvPiggyback> {
+        self.state.before_send(dest)
+    }
+
+    fn on_message_arrival(
+        &mut self,
+        _sender: ProcessId,
+        piggyback: &TdvPiggyback,
+    ) -> ArrivalOutcome {
+        let force =
+            self.state.after_first_send && self.state.tdv.has_new_dependency(&piggyback.tdv);
+        self.state.finish_arrival(piggyback, force)
+    }
+
+    fn stats(&self) -> &ProtocolStats {
+        &self.state.stats
+    }
+}
+
+/// **FDI** — *Fixed-Dependency-Interval* (Wang).
+///
+/// The stricter sibling of [`Fdas`]: the dependency vector must stay fixed
+/// over the *whole* interval, so a forced checkpoint is taken before any
+/// delivery that brings a new dependency, whether or not a send occurred:
+///
+/// ```text
+/// C_FDI: ∃k: m.TDV[k] > TDV[k]
+/// ```
+///
+/// `C_FDAS ⇒ C_FDI`, so FDI forces at least as many checkpoints as FDAS. It
+/// is included as the upper anchor of the protocol lattice in the
+/// evaluation.
+#[derive(Debug, Clone)]
+pub struct Fdi {
+    state: TdvState,
+}
+
+impl Fdi {
+    /// Creates `P_me`'s FDI state for an `n`-process computation and takes
+    /// the initial checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is out of range for `n` processes.
+    pub fn new(n: usize, me: ProcessId) -> Self {
+        Fdi { state: TdvState::new(n, me) }
+    }
+
+    /// The current transitive dependency vector.
+    pub fn tdv(&self) -> &DependencyVector {
+        &self.state.tdv
+    }
+}
+
+impl CicProtocol for Fdi {
+    type Piggyback = TdvPiggyback;
+
+    fn name(&self) -> &'static str {
+        "fdi"
+    }
+
+    fn process(&self) -> ProcessId {
+        self.state.me
+    }
+
+    fn num_processes(&self) -> usize {
+        self.state.n
+    }
+
+    fn next_checkpoint_index(&self) -> u32 {
+        self.state.tdv.current_interval()
+    }
+
+    fn take_basic_checkpoint(&mut self) -> CheckpointRecord {
+        self.state.stats.basic_checkpoints += 1;
+        self.state.take_checkpoint(CheckpointKind::Basic)
+    }
+
+    fn before_send(&mut self, dest: ProcessId) -> SendOutcome<TdvPiggyback> {
+        self.state.before_send(dest)
+    }
+
+    fn on_message_arrival(
+        &mut self,
+        _sender: ProcessId,
+        piggyback: &TdvPiggyback,
+    ) -> ArrivalOutcome {
+        let force = self.state.tdv.has_new_dependency(&piggyback.tdv);
+        self.state.finish_arrival(piggyback, force)
+    }
+
+    fn stats(&self) -> &ProtocolStats {
+        &self.state.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn fdas_initial_state() {
+        let fdas = Fdas::new(3, p(2));
+        assert_eq!(fdas.tdv().as_slice(), &[0, 0, 1]);
+        assert!(!fdas.after_first_send());
+        assert_eq!(fdas.next_checkpoint_index(), 1);
+    }
+
+    #[test]
+    fn fdas_no_force_before_first_send() {
+        let mut a = Fdas::new(2, p(0));
+        let mut b = Fdas::new(2, p(1));
+        b.take_basic_checkpoint();
+        let m = b.before_send(p(0));
+        assert!(!a.on_message_arrival(p(1), &m.piggyback).was_forced());
+        assert_eq!(a.tdv().as_slice(), &[1, 2]);
+    }
+
+    #[test]
+    fn fdas_forces_on_new_dependency_after_send() {
+        let mut a = Fdas::new(2, p(0));
+        let mut b = Fdas::new(2, p(1));
+        a.before_send(p(1)); // after_first_send = true
+        let m = b.before_send(p(0)); // brings new dependency on P1
+        let outcome = a.on_message_arrival(p(1), &m.piggyback);
+        assert!(outcome.was_forced());
+        assert_eq!(outcome.forced.unwrap().id, CheckpointId::new(p(0), 1));
+        assert!(!a.after_first_send(), "interval reset by the forced checkpoint");
+    }
+
+    #[test]
+    fn fdas_does_not_force_on_known_dependency() {
+        let mut a = Fdas::new(2, p(0));
+        let mut b = Fdas::new(2, p(1));
+        let m1 = b.before_send(p(0));
+        a.on_message_arrival(p(1), &m1.piggyback); // learn dependency quietly
+        a.before_send(p(1));
+        let m2 = b.before_send(p(0)); // same interval of P1: nothing new
+        assert!(!a.on_message_arrival(p(1), &m2.piggyback).was_forced());
+    }
+
+    #[test]
+    fn fdi_forces_even_without_send() {
+        let mut a = Fdi::new(2, p(0));
+        let mut b = Fdi::new(2, p(1));
+        let m = b.before_send(p(0));
+        let outcome = a.on_message_arrival(p(1), &m.piggyback);
+        assert!(outcome.was_forced(), "FDI freezes dependencies for the whole interval");
+    }
+
+    #[test]
+    fn fdi_at_least_as_conservative_as_fdas() {
+        // Drive both protocols through the same schedule and compare.
+        let schedule = |mut a: Box<dyn FnMut(&TdvPiggyback) -> bool>,
+                        make_pb: &mut dyn FnMut() -> TdvPiggyback| {
+            let mut count = 0;
+            for _ in 0..3 {
+                let pb = make_pb();
+                if a(&pb) {
+                    count += 1;
+                }
+            }
+            count
+        };
+        let mut fdas = Fdas::new(2, p(0));
+        let mut fdi = Fdi::new(2, p(0));
+        fdas.before_send(p(1));
+        fdi.before_send(p(1));
+        let mut b1 = Fdas::new(2, p(1));
+        let mut b2 = Fdas::new(2, p(1));
+        let fdas_count = schedule(
+            Box::new(|pb| fdas.on_message_arrival(p(1), pb).was_forced()),
+            &mut || {
+                b1.take_basic_checkpoint();
+                b1.before_send(p(0)).piggyback
+            },
+        );
+        let fdi_count = schedule(
+            Box::new(|pb| fdi.on_message_arrival(p(1), pb).was_forced()),
+            &mut || {
+                b2.take_basic_checkpoint();
+                b2.before_send(p(0)).piggyback
+            },
+        );
+        assert!(fdi_count >= fdas_count);
+    }
+
+    #[test]
+    fn tdv_piggyback_size() {
+        let mut a = Fdas::new(8, p(0));
+        let m = a.before_send(p(1));
+        assert_eq!(m.piggyback.piggyback_bytes(), 32);
+    }
+
+    #[test]
+    fn fdas_min_gc_snapshot() {
+        let mut a = Fdas::new(2, p(0));
+        let mut b = Fdas::new(2, p(1));
+        let m = b.before_send(p(0));
+        a.on_message_arrival(p(1), &m.piggyback);
+        let record = a.take_basic_checkpoint();
+        assert_eq!(record.min_consistent_gc, Some(vec![1, 1]));
+    }
+}

@@ -1,0 +1,73 @@
+//! Communication-induced checkpointing (CIC) protocols that ensure the
+//! **Rollback-Dependency Trackability** (RDT) property.
+//!
+//! This crate is the primary contribution of the reproduced paper
+//! (Baldoni, Hélary, Mostefaoui, Raynal — *"A Communication-Induced
+//! Checkpointing Protocol that Ensures Rollback-Dependency Trackability"*;
+//! the theory is further developed in *"Rollback-Dependency Trackability:
+//! Visible Characterizations"*, PODC 1999). It provides:
+//!
+//! * [`CicProtocol`] — protocols as pure, deterministic state machines
+//!   driven by three events: *take a basic checkpoint*, *send a message*,
+//!   *message arrival*. No I/O, no clocks, no threads: the same
+//!   implementation runs inside the discrete-event simulator
+//!   (`rdt-sim`) and inside offline replayers and tests.
+//! * [`Bhmr`] — the paper's protocol (§4), piggybacking a transitive
+//!   dependency vector `TDV`, a boolean vector `simple` and a boolean
+//!   matrix `causal`, and forcing a checkpoint exactly when the predicate
+//!   `C1 ∨ C2` holds.
+//! * [`BhmrNoSimple`] and [`BhmrCausalOnly`] — the two weaker variants of
+//!   §5.1 (predicate `C1 ∨ C2'`, and `C1` alone with a permanently-false
+//!   `causal` diagonal).
+//! * [`Fdas`] and [`Fdi`] — Wang's *Fixed-Dependency-After-Send* and
+//!   *Fixed-Dependency-Interval* baselines (§5.2).
+//! * [`Cbr`], [`Cas`], [`Nras`] — the classical checkpoint-before-receive,
+//!   checkpoint-after-send and no-receive-after-send protocols, and
+//!   [`Uncoordinated`] — no forced checkpoints at all (violates RDT; used
+//!   as a negative control).
+//! * [`Bcs`] — the index-based Briatico–Ciuffoletti–Simoncini protocol:
+//!   guarantees only the weaker *Z-cycle-freedom* property (no useless
+//!   checkpoints), anchoring the property lattice below RDT.
+//!
+//! Every RDT-ensuring protocol in this crate satisfies the *protocol
+//! lattice* of §5.2: on the same schedule, `Bhmr` forces no more
+//! checkpoints than its variants, which force no more than `Fdas`.
+//!
+//! # Quick example
+//!
+//! ```rust
+//! use rdt_causality::ProcessId;
+//! use rdt_core::{Bhmr, CicProtocol};
+//!
+//! // Two processes; drive P0 and P1 by hand.
+//! let mut p0 = Bhmr::new(2, ProcessId::new(0));
+//! let mut p1 = Bhmr::new(2, ProcessId::new(1));
+//!
+//! // P1 sends m to P0.
+//! let send = p1.before_send(ProcessId::new(0));
+//! // P0 delivers m; the protocol decides whether a forced checkpoint is due.
+//! let arrival = p0.on_message_arrival(ProcessId::new(1), &send.piggyback);
+//! assert!(arrival.forced.is_none()); // first message can never create a hidden dependency
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bcs;
+mod bhmr;
+mod fdas;
+mod kind;
+mod protocol;
+mod simple_protocols;
+mod variants;
+
+pub use bcs::{Bcs, IndexPiggyback};
+pub use bhmr::{Bhmr, BhmrPiggyback};
+pub use fdas::{Fdas, Fdi, TdvPiggyback};
+pub use kind::ProtocolKind;
+pub use protocol::{
+    ArrivalOutcome, CheckpointKind, CheckpointRecord, CicProtocol, PiggybackSize, ProtocolStats,
+    SendOutcome,
+};
+pub use simple_protocols::{Cas, Cbr, EmptyPiggyback, Nras, Uncoordinated};
+pub use variants::{BhmrCausalOnly, BhmrNoSimple, CausalOnlyPiggyback, NoSimplePiggyback};

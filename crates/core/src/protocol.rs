@@ -1,0 +1,277 @@
+//! The [`CicProtocol`] trait and the records it produces.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use rdt_causality::{CheckpointId, ProcessId};
+
+/// Why a local checkpoint was taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CheckpointKind {
+    /// The initial checkpoint `C_{i,0}` every process takes at its initial
+    /// state.
+    Initial,
+    /// A checkpoint the application decided to take independently.
+    Basic,
+    /// A checkpoint the protocol forced in order to break a (potentially)
+    /// hidden dependency.
+    Forced,
+}
+
+impl fmt::Display for CheckpointKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CheckpointKind::Initial => "initial",
+            CheckpointKind::Basic => "basic",
+            CheckpointKind::Forced => "forced",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Record of one local checkpoint, as reported by a protocol.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointRecord {
+    /// Which checkpoint was taken.
+    pub id: CheckpointId,
+    /// Whether it was basic or forced.
+    pub kind: CheckpointKind,
+    /// For protocols that maintain a transitive dependency vector, the value
+    /// `TDV_i^x` saved with checkpoint `C_{i,x}`.
+    ///
+    /// By Corollary 4.5 of the paper, for the RDT-ensuring protocols this is
+    /// exactly the **minimum consistent global checkpoint containing the
+    /// checkpoint**: entry `k` is the index of `P_k`'s checkpoint in that
+    /// global checkpoint.
+    pub min_consistent_gc: Option<Vec<u32>>,
+}
+
+/// Outcome of [`CicProtocol::before_send`].
+#[derive(Debug, Clone)]
+pub struct SendOutcome<P> {
+    /// Control information to piggyback on the application message.
+    pub piggyback: P,
+    /// A checkpoint the protocol takes immediately *after* the send event
+    /// (only the checkpoint-after-send protocol uses this).
+    pub forced_after: Option<CheckpointRecord>,
+}
+
+/// Outcome of [`CicProtocol::on_message_arrival`].
+#[derive(Debug, Clone)]
+pub struct ArrivalOutcome {
+    /// A checkpoint the protocol forced *before* delivering the message, or
+    /// `None` if the message is delivered directly.
+    pub forced: Option<CheckpointRecord>,
+}
+
+impl ArrivalOutcome {
+    /// An outcome with no forced checkpoint.
+    pub fn delivered() -> Self {
+        ArrivalOutcome { forced: None }
+    }
+
+    /// An outcome with a forced checkpoint taken before delivery.
+    pub fn forced(record: CheckpointRecord) -> Self {
+        ArrivalOutcome { forced: Some(record) }
+    }
+
+    /// Returns `true` if a checkpoint was forced.
+    pub fn was_forced(&self) -> bool {
+        self.forced.is_some()
+    }
+}
+
+/// Types that can report how many bytes they occupy when piggybacked on an
+/// application message.
+///
+/// The byte counts follow the abstract encoding used throughout the paper's
+/// cost discussion (§5.2): 4 bytes per dependency-vector entry, 1 bit per
+/// boolean; serialization framing is deliberately ignored so that the
+/// protocol lattice's *intrinsic* control-information sizes can be compared.
+pub trait PiggybackSize {
+    /// Size in bytes of this piggyback.
+    fn piggyback_bytes(&self) -> usize;
+}
+
+impl PiggybackSize for () {
+    fn piggyback_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// Aggregate counters every protocol maintains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ProtocolStats {
+    /// Basic (application-decided) checkpoints taken.
+    pub basic_checkpoints: u64,
+    /// Forced (protocol-decided) checkpoints taken.
+    pub forced_checkpoints: u64,
+    /// Application messages sent.
+    pub messages_sent: u64,
+    /// Application messages delivered.
+    pub messages_delivered: u64,
+    /// Total bytes of control information piggybacked on sent messages.
+    pub piggyback_bytes_sent: u64,
+}
+
+impl ProtocolStats {
+    /// Total checkpoints excluding the initial one.
+    pub fn total_checkpoints(&self) -> u64 {
+        self.basic_checkpoints + self.forced_checkpoints
+    }
+
+    /// The paper's headline metric: ratio of forced to basic checkpoints.
+    ///
+    /// Returns `0.0` when no basic checkpoint was taken.
+    pub fn forced_ratio(&self) -> f64 {
+        if self.basic_checkpoints == 0 {
+            0.0
+        } else {
+            self.forced_checkpoints as f64 / self.basic_checkpoints as f64
+        }
+    }
+
+    /// Mean piggyback size per sent message, in bytes.
+    pub fn mean_piggyback_bytes(&self) -> f64 {
+        if self.messages_sent == 0 {
+            0.0
+        } else {
+            self.piggyback_bytes_sent as f64 / self.messages_sent as f64
+        }
+    }
+
+    /// Component-wise sum, for aggregating per-process stats into a run
+    /// total.
+    pub fn merge(&mut self, other: &ProtocolStats) {
+        self.basic_checkpoints += other.basic_checkpoints;
+        self.forced_checkpoints += other.forced_checkpoints;
+        self.messages_sent += other.messages_sent;
+        self.messages_delivered += other.messages_delivered;
+        self.piggyback_bytes_sent += other.piggyback_bytes_sent;
+    }
+}
+
+/// A communication-induced checkpointing protocol as a pure state machine.
+///
+/// One value of an implementing type holds the *local* control state of one
+/// process `P_i`. The embedding runtime (simulator, replayer, or a real
+/// transport) must call:
+///
+/// * [`take_basic_checkpoint`](CicProtocol::take_basic_checkpoint) whenever
+///   the application spontaneously checkpoints;
+/// * [`before_send`](CicProtocol::before_send) at every send event, and
+///   attach the returned piggyback to the message;
+/// * [`on_message_arrival`](CicProtocol::on_message_arrival) when a message
+///   *arrives* and before it is *delivered*; if the outcome carries a forced
+///   checkpoint, the runtime must record it as occurring **before** the
+///   delivery event.
+///
+/// Implementations take the initial checkpoint `C_{i,0}` at construction;
+/// the first record returned by `take_basic_checkpoint` is therefore
+/// `C_{i,1}`.
+///
+/// Determinism: implementations must be pure functions of their call
+/// history, which is what makes simulation runs reproducible and lets the
+/// test-suite compare protocols event-by-event on identical schedules.
+pub trait CicProtocol {
+    /// Control information attached to every application message.
+    type Piggyback: Clone + fmt::Debug + PiggybackSize;
+
+    /// Short stable name used in reports (e.g. `"bhmr"`, `"fdas"`).
+    fn name(&self) -> &'static str;
+
+    /// The process this state machine belongs to.
+    fn process(&self) -> ProcessId;
+
+    /// Number of processes in the computation.
+    fn num_processes(&self) -> usize;
+
+    /// Index the *next* local checkpoint will get.
+    fn next_checkpoint_index(&self) -> u32;
+
+    /// The application takes a basic checkpoint.
+    fn take_basic_checkpoint(&mut self) -> CheckpointRecord;
+
+    /// A message is about to be sent to `dest`; returns the piggyback (and,
+    /// for checkpoint-after-send, a checkpoint following the send event).
+    fn before_send(&mut self, dest: ProcessId) -> SendOutcome<Self::Piggyback>;
+
+    /// A message from `sender` carrying `piggyback` has arrived and is about
+    /// to be delivered.
+    fn on_message_arrival(
+        &mut self,
+        sender: ProcessId,
+        piggyback: &Self::Piggyback,
+    ) -> ArrivalOutcome;
+
+    /// Aggregate counters.
+    fn stats(&self) -> &ProtocolStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_ratios() {
+        let stats = ProtocolStats {
+            basic_checkpoints: 10,
+            forced_checkpoints: 5,
+            messages_sent: 4,
+            messages_delivered: 4,
+            piggyback_bytes_sent: 100,
+        };
+        assert_eq!(stats.total_checkpoints(), 15);
+        assert!((stats.forced_ratio() - 0.5).abs() < 1e-12);
+        assert!((stats.mean_piggyback_bytes() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_ratios_handle_zero_denominators() {
+        let stats = ProtocolStats::default();
+        assert_eq!(stats.forced_ratio(), 0.0);
+        assert_eq!(stats.mean_piggyback_bytes(), 0.0);
+    }
+
+    #[test]
+    fn stats_merge_adds_componentwise() {
+        let mut a = ProtocolStats {
+            basic_checkpoints: 1,
+            forced_checkpoints: 2,
+            messages_sent: 3,
+            messages_delivered: 4,
+            piggyback_bytes_sent: 5,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.basic_checkpoints, 2);
+        assert_eq!(a.forced_checkpoints, 4);
+        assert_eq!(a.messages_sent, 6);
+        assert_eq!(a.messages_delivered, 8);
+        assert_eq!(a.piggyback_bytes_sent, 10);
+    }
+
+    #[test]
+    fn arrival_outcome_constructors() {
+        assert!(!ArrivalOutcome::delivered().was_forced());
+        let record = CheckpointRecord {
+            id: CheckpointId::new(ProcessId::new(0), 1),
+            kind: CheckpointKind::Forced,
+            min_consistent_gc: None,
+        };
+        assert!(ArrivalOutcome::forced(record).was_forced());
+    }
+
+    #[test]
+    fn unit_piggyback_is_free() {
+        assert_eq!(().piggyback_bytes(), 0);
+    }
+
+    #[test]
+    fn checkpoint_kind_display() {
+        assert_eq!(CheckpointKind::Initial.to_string(), "initial");
+        assert_eq!(CheckpointKind::Basic.to_string(), "basic");
+        assert_eq!(CheckpointKind::Forced.to_string(), "forced");
+    }
+}

@@ -1,0 +1,383 @@
+//! The classical piggyback-free checkpointing disciplines, plus the
+//! uncoordinated negative control.
+//!
+//! These protocols predate dependency-vector tracking: they enforce RDT by
+//! *shape* alone — constraining where sends and deliveries may appear inside
+//! a checkpoint interval — and therefore need no control information on
+//! messages at all. They anchor the conservative end of the evaluation's
+//! protocol lattice:
+//!
+//! * [`Cbr`] — *Checkpoint-Before-Receive* (Russell): every delivery opens
+//!   a fresh interval.
+//! * [`Cas`] — *Checkpoint-After-Send* (Wu & Fuchs): every send closes its
+//!   interval.
+//! * [`Nras`] — *No-Receive-After-Send* (Russell): within an interval all
+//!   deliveries precede all sends.
+//!
+//! In every case a delivery can never follow a send inside one interval, so
+//! **every message chain is causal** and RDT holds trivially.
+//!
+//! [`Uncoordinated`] takes no forced checkpoints at all; it exists to
+//! demonstrate hidden dependencies, domino effects, and RDT violations in
+//! tests and experiments.
+
+use serde::{Deserialize, Serialize};
+
+use rdt_causality::{CheckpointId, ProcessId};
+
+use crate::{
+    ArrivalOutcome, CheckpointKind, CheckpointRecord, CicProtocol, PiggybackSize, ProtocolStats,
+    SendOutcome,
+};
+
+/// The empty piggyback of the piggyback-free protocols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EmptyPiggyback;
+
+impl PiggybackSize for EmptyPiggyback {
+    fn piggyback_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// Shared bookkeeping of the piggyback-free protocols.
+#[derive(Debug, Clone)]
+struct PlainState {
+    me: ProcessId,
+    n: usize,
+    next_index: u32,
+    sent_in_interval: bool,
+    delivered_in_interval: bool,
+    stats: ProtocolStats,
+}
+
+impl PlainState {
+    fn new(n: usize, me: ProcessId) -> Self {
+        assert!(me.index() < n, "process {me} out of range for {n} processes");
+        PlainState {
+            me,
+            n,
+            next_index: 1, // C_{i,0} taken at construction
+            sent_in_interval: false,
+            delivered_in_interval: false,
+            stats: ProtocolStats::default(),
+        }
+    }
+
+    fn take_checkpoint(&mut self, kind: CheckpointKind) -> CheckpointRecord {
+        let record = CheckpointRecord {
+            id: CheckpointId::new(self.me, self.next_index),
+            kind,
+            min_consistent_gc: None,
+        };
+        self.next_index += 1;
+        self.sent_in_interval = false;
+        self.delivered_in_interval = false;
+        record
+    }
+
+    fn basic(&mut self) -> CheckpointRecord {
+        self.stats.basic_checkpoints += 1;
+        self.take_checkpoint(CheckpointKind::Basic)
+    }
+
+    fn forced(&mut self) -> CheckpointRecord {
+        self.stats.forced_checkpoints += 1;
+        self.take_checkpoint(CheckpointKind::Forced)
+    }
+
+    fn note_send(&mut self) {
+        self.sent_in_interval = true;
+        self.stats.messages_sent += 1;
+    }
+
+    fn note_delivery(&mut self) {
+        self.delivered_in_interval = true;
+        self.stats.messages_delivered += 1;
+    }
+}
+
+macro_rules! plain_protocol_boilerplate {
+    () => {
+        type Piggyback = EmptyPiggyback;
+
+        fn process(&self) -> ProcessId {
+            self.state.me
+        }
+
+        fn num_processes(&self) -> usize {
+            self.state.n
+        }
+
+        fn next_checkpoint_index(&self) -> u32 {
+            self.state.next_index
+        }
+
+        fn take_basic_checkpoint(&mut self) -> CheckpointRecord {
+            self.state.basic()
+        }
+
+        fn stats(&self) -> &ProtocolStats {
+            &self.state.stats
+        }
+    };
+}
+
+/// *Checkpoint-Before-Receive*: a forced checkpoint precedes every delivery
+/// that would otherwise share its interval with an earlier event.
+///
+/// The textbook formulation checkpoints before *every* receive; this
+/// implementation skips the checkpoint when the current interval is still
+/// empty (the delivery is then the interval's first event and the extra
+/// checkpoint would be indistinguishable from the previous one in the
+/// R-graph). The count of *meaningful* forced checkpoints is unchanged.
+#[derive(Debug, Clone)]
+pub struct Cbr {
+    state: PlainState,
+}
+
+impl Cbr {
+    /// Creates `P_me`'s CBR state for an `n`-process computation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is out of range for `n` processes.
+    pub fn new(n: usize, me: ProcessId) -> Self {
+        Cbr { state: PlainState::new(n, me) }
+    }
+}
+
+impl CicProtocol for Cbr {
+    plain_protocol_boilerplate!();
+
+    fn name(&self) -> &'static str {
+        "cbr"
+    }
+
+    fn before_send(&mut self, _dest: ProcessId) -> SendOutcome<EmptyPiggyback> {
+        self.state.note_send();
+        SendOutcome { piggyback: EmptyPiggyback, forced_after: None }
+    }
+
+    fn on_message_arrival(
+        &mut self,
+        _sender: ProcessId,
+        _piggyback: &EmptyPiggyback,
+    ) -> ArrivalOutcome {
+        let interval_dirty = self.state.sent_in_interval || self.state.delivered_in_interval;
+        let forced = interval_dirty.then(|| self.state.forced());
+        self.state.note_delivery();
+        ArrivalOutcome { forced }
+    }
+}
+
+/// *Checkpoint-After-Send*: a forced checkpoint immediately follows every
+/// send event (Wu & Fuchs, recoverable distributed shared virtual memory).
+///
+/// Each interval thus contains at most one send, as its last event, so no
+/// delivery can follow a send inside an interval and every message chain is
+/// causal.
+#[derive(Debug, Clone)]
+pub struct Cas {
+    state: PlainState,
+}
+
+impl Cas {
+    /// Creates `P_me`'s CAS state for an `n`-process computation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is out of range for `n` processes.
+    pub fn new(n: usize, me: ProcessId) -> Self {
+        Cas { state: PlainState::new(n, me) }
+    }
+}
+
+impl CicProtocol for Cas {
+    plain_protocol_boilerplate!();
+
+    fn name(&self) -> &'static str {
+        "cas"
+    }
+
+    fn before_send(&mut self, _dest: ProcessId) -> SendOutcome<EmptyPiggyback> {
+        self.state.note_send();
+        let forced_after = Some(self.state.forced());
+        SendOutcome { piggyback: EmptyPiggyback, forced_after }
+    }
+
+    fn on_message_arrival(
+        &mut self,
+        _sender: ProcessId,
+        _piggyback: &EmptyPiggyback,
+    ) -> ArrivalOutcome {
+        self.state.note_delivery();
+        ArrivalOutcome::delivered()
+    }
+}
+
+/// *No-Receive-After-Send*: a forced checkpoint precedes a delivery iff a
+/// send has already occurred in the current interval (Russell's state
+/// restoration discipline).
+///
+/// Strictly lazier than [`Cas`] and [`Cbr`], strictly more conservative
+/// than [`Fdas`](crate::Fdas) (which additionally requires the message to
+/// bring a new dependency).
+#[derive(Debug, Clone)]
+pub struct Nras {
+    state: PlainState,
+}
+
+impl Nras {
+    /// Creates `P_me`'s NRAS state for an `n`-process computation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is out of range for `n` processes.
+    pub fn new(n: usize, me: ProcessId) -> Self {
+        Nras { state: PlainState::new(n, me) }
+    }
+}
+
+impl CicProtocol for Nras {
+    plain_protocol_boilerplate!();
+
+    fn name(&self) -> &'static str {
+        "nras"
+    }
+
+    fn before_send(&mut self, _dest: ProcessId) -> SendOutcome<EmptyPiggyback> {
+        self.state.note_send();
+        SendOutcome { piggyback: EmptyPiggyback, forced_after: None }
+    }
+
+    fn on_message_arrival(
+        &mut self,
+        _sender: ProcessId,
+        _piggyback: &EmptyPiggyback,
+    ) -> ArrivalOutcome {
+        let forced = self.state.sent_in_interval.then(|| self.state.forced());
+        self.state.note_delivery();
+        ArrivalOutcome { forced }
+    }
+}
+
+/// No coordination at all: processes only take their basic checkpoints.
+///
+/// The resulting patterns generally violate RDT and may exhibit the domino
+/// effect; this protocol is the negative control of the test-suite and the
+/// recovery experiments.
+#[derive(Debug, Clone)]
+pub struct Uncoordinated {
+    state: PlainState,
+}
+
+impl Uncoordinated {
+    /// Creates `P_me`'s (trivial) state for an `n`-process computation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is out of range for `n` processes.
+    pub fn new(n: usize, me: ProcessId) -> Self {
+        Uncoordinated { state: PlainState::new(n, me) }
+    }
+}
+
+impl CicProtocol for Uncoordinated {
+    plain_protocol_boilerplate!();
+
+    fn name(&self) -> &'static str {
+        "uncoordinated"
+    }
+
+    fn before_send(&mut self, _dest: ProcessId) -> SendOutcome<EmptyPiggyback> {
+        self.state.note_send();
+        SendOutcome { piggyback: EmptyPiggyback, forced_after: None }
+    }
+
+    fn on_message_arrival(
+        &mut self,
+        _sender: ProcessId,
+        _piggyback: &EmptyPiggyback,
+    ) -> ArrivalOutcome {
+        self.state.note_delivery();
+        ArrivalOutcome::delivered()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn cbr_forces_before_delivery_in_dirty_interval() {
+        let mut c = Cbr::new(2, p(0));
+        // Fresh interval: first delivery does not force.
+        assert!(!c.on_message_arrival(p(1), &EmptyPiggyback).was_forced());
+        // Second delivery in the same interval forces.
+        assert!(c.on_message_arrival(p(1), &EmptyPiggyback).was_forced());
+        // A send also dirties the interval.
+        c.take_basic_checkpoint();
+        c.before_send(p(1));
+        assert!(c.on_message_arrival(p(1), &EmptyPiggyback).was_forced());
+    }
+
+    #[test]
+    fn cas_checkpoints_after_every_send() {
+        let mut c = Cas::new(2, p(0));
+        let s1 = c.before_send(p(1));
+        assert!(s1.forced_after.is_some());
+        assert_eq!(s1.forced_after.unwrap().id.index, 1);
+        let s2 = c.before_send(p(1));
+        assert_eq!(s2.forced_after.unwrap().id.index, 2);
+        assert_eq!(c.stats().forced_checkpoints, 2);
+        // Deliveries never force.
+        assert!(!c.on_message_arrival(p(1), &EmptyPiggyback).was_forced());
+    }
+
+    #[test]
+    fn nras_forces_only_after_send() {
+        let mut c = Nras::new(2, p(0));
+        assert!(!c.on_message_arrival(p(1), &EmptyPiggyback).was_forced());
+        c.before_send(p(1));
+        assert!(c.on_message_arrival(p(1), &EmptyPiggyback).was_forced());
+        // The forced checkpoint reset the flag; next delivery is free.
+        assert!(!c.on_message_arrival(p(1), &EmptyPiggyback).was_forced());
+    }
+
+    #[test]
+    fn uncoordinated_never_forces() {
+        let mut c = Uncoordinated::new(2, p(0));
+        c.before_send(p(1));
+        for _ in 0..10 {
+            assert!(!c.on_message_arrival(p(1), &EmptyPiggyback).was_forced());
+        }
+        assert_eq!(c.stats().forced_checkpoints, 0);
+        assert_eq!(c.stats().messages_delivered, 10);
+    }
+
+    #[test]
+    fn basic_checkpoints_advance_indices() {
+        let mut c = Uncoordinated::new(2, p(0));
+        assert_eq!(c.next_checkpoint_index(), 1);
+        let r = c.take_basic_checkpoint();
+        assert_eq!(r.id, CheckpointId::new(p(0), 1));
+        assert_eq!(r.kind, CheckpointKind::Basic);
+        assert_eq!(c.next_checkpoint_index(), 2);
+    }
+
+    #[test]
+    fn empty_piggyback_is_free() {
+        assert_eq!(EmptyPiggyback.piggyback_bytes(), 0);
+    }
+
+    #[test]
+    fn no_min_gc_for_plain_protocols() {
+        let mut c = Nras::new(2, p(0));
+        assert_eq!(c.take_basic_checkpoint().min_consistent_gc, None);
+    }
+}

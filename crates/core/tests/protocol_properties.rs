@@ -1,0 +1,218 @@
+//! Property-based tests on the protocol state machines: drive a whole
+//! system of protocol instances through random (but causally valid) event
+//! sequences and check the invariants the paper's correctness argument
+//! relies on.
+//!
+//! The §5.2 generality claim is tested in its *sound* form — predicate
+//! implication evaluated on the same state (`(C1 ∨ C2) ⇒ C_FDAS`), not as
+//! a run-level count comparison (once a forced checkpoint diverges, two
+//! protocols no longer share states; the count comparison is a statistical
+//! claim and lives in the simulation-based integration tests).
+
+use proptest::prelude::*;
+
+use rdt_causality::ProcessId;
+use rdt_core::{Bcs, Bhmr, CheckpointKind, CicProtocol, Fdas, Fdi};
+
+/// One abstract system event.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Basic(u8),
+    Send(u8, u8),
+    DeliverOldest(u8),
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (0u8..8).prop_map(Event::Basic),
+        (0u8..8, 0u8..8).prop_map(|(a, b)| Event::Send(a, b)),
+        (0u8..8).prop_map(Event::DeliverOldest),
+    ]
+}
+
+/// Drives one protocol type over the event sequence. `observe` is called
+/// at every arrival with the receiver's state *before* the arrival, the
+/// piggyback, and whether the protocol forced a checkpoint.
+fn drive<P, F>(
+    n: usize,
+    events: &[Event],
+    factory: impl Fn(usize, ProcessId) -> P,
+    mut observe: F,
+) -> Vec<P>
+where
+    P: CicProtocol + Clone,
+    F: FnMut(&P, ProcessId, &P::Piggyback, bool),
+{
+    let mut system: Vec<P> = ProcessId::all(n).map(|p| factory(n, p)).collect();
+    let mut in_flight: Vec<std::collections::VecDeque<(ProcessId, P::Piggyback)>> =
+        (0..n).map(|_| Default::default()).collect();
+    for &event in events {
+        match event {
+            Event::Basic(p) => {
+                let p = p as usize % n;
+                system[p].take_basic_checkpoint();
+            }
+            Event::Send(from, to) => {
+                let from = from as usize % n;
+                let mut to = to as usize % n;
+                if to == from {
+                    to = (to + 1) % n;
+                }
+                let outcome = system[from].before_send(ProcessId::new(to));
+                in_flight[to].push_back((ProcessId::new(from), outcome.piggyback));
+            }
+            Event::DeliverOldest(p) => {
+                let p = p as usize % n;
+                if let Some((sender, piggyback)) = in_flight[p].pop_front() {
+                    let before = system[p].clone();
+                    let outcome = system[p].on_message_arrival(sender, &piggyback);
+                    observe(&before, sender, &piggyback, outcome.was_forced());
+                }
+            }
+        }
+    }
+    system
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The BHMR `simple_i[i]` entry must stay permanently true — the
+    /// paper asserts the delivery rules preserve it (§4.1); this is the
+    /// black-box check.
+    #[test]
+    fn bhmr_own_simple_entry_stays_true(
+        n in 2usize..6,
+        events in proptest::collection::vec(event_strategy(), 0..120),
+    ) {
+        let system = drive(n, &events, Bhmr::new, |_, _, _, _| {});
+        for p in &system {
+            prop_assert!(p.simple().get(p.process()));
+        }
+    }
+
+    /// BHMR's `causal` diagonal entry about its own current interval stays
+    /// true, and the `TDV` owner entry equals 1 + checkpoints taken.
+    #[test]
+    fn bhmr_structural_invariants(
+        n in 2usize..6,
+        events in proptest::collection::vec(event_strategy(), 0..120),
+    ) {
+        let system = drive(n, &events, Bhmr::new, |_, _, _, _| {});
+        for p in &system {
+            let me = p.process();
+            prop_assert!(p.causal().get(me, me), "diagonal entry about self");
+            let expected = 1 + p.stats().basic_checkpoints + p.stats().forced_checkpoints;
+            prop_assert_eq!(u64::from(p.tdv().current_interval()), expected);
+        }
+    }
+
+    /// §5.2, sound form: whenever `C1 ∨ C2` fires, `C_FDAS` evaluated on
+    /// the *same* state fires too — i.e. BHMR only forces where FDAS
+    /// (given identical knowledge) would also force.
+    #[test]
+    fn bhmr_predicate_implies_fdas_predicate(
+        n in 2usize..6,
+        events in proptest::collection::vec(event_strategy(), 0..150),
+    ) {
+        drive(n, &events, Bhmr::new, |before, _, piggyback, forced| {
+            if forced {
+                // C_FDAS = after_first_send ∧ ∃k: m.TDV[k] > TDV[k];
+                // sent_to.any() is exactly after_first_send (§5.2).
+                assert!(before.sent_to().any(), "forced without a prior send in the interval");
+                assert!(
+                    before.tdv().has_new_dependency(&piggyback.tdv),
+                    "forced without a new dependency"
+                );
+            }
+        });
+    }
+
+    /// The TDV never decreases in any component across a delivery, and the
+    /// new value is exactly the component-wise max with the piggyback
+    /// (modulo the own entry, which a forced checkpoint may bump).
+    #[test]
+    fn bhmr_tdv_merge_semantics(
+        n in 2usize..6,
+        events in proptest::collection::vec(event_strategy(), 0..120),
+    ) {
+        let mut shadow: Vec<Option<Vec<u32>>> = vec![None; n];
+        let system = drive(n, &events, Bhmr::new, |before, _, piggyback, forced| {
+            let me = before.process();
+            let mut expected: Vec<u32> = before
+                .tdv()
+                .iter()
+                .zip(piggyback.tdv.iter())
+                .map(|((_, a), (_, b))| a.max(b))
+                .collect();
+            if forced {
+                expected[me.index()] += 1;
+            }
+            shadow[me.index()] = Some(expected);
+        });
+        for p in &system {
+            if let Some(expected) = &shadow[p.process().index()] {
+                // The shadow only reflects the last delivery; further
+                // checkpoints may have bumped the own entry.
+                for (k, (_, v)) in p.tdv().iter().enumerate() {
+                    if k == p.process().index() {
+                        prop_assert!(v >= expected[k]);
+                    } else {
+                        prop_assert!(v >= expected[k], "entry {} regressed", k);
+                    }
+                }
+            }
+        }
+    }
+
+    /// FDAS: a forced checkpoint resets the send flag, and FDI forces on
+    /// every delivery carrying a new dependency (checked on pre-state).
+    #[test]
+    fn fixed_dependency_predicates(
+        n in 2usize..6,
+        events in proptest::collection::vec(event_strategy(), 0..150),
+    ) {
+        drive(n, &events, Fdas::new, |before, _, piggyback, forced| {
+            if forced {
+                assert!(before.after_first_send());
+                assert!(before.tdv().has_new_dependency(&piggyback.tdv));
+            }
+        });
+        drive(n, &events, Fdi::new, |before, _, piggyback, forced| {
+            assert_eq!(forced, before.tdv().has_new_dependency(&piggyback.tdv));
+        });
+    }
+
+    /// BCS invariant: epochs never decrease, a delivery's epoch never
+    /// exceeds the receiver's afterwards, and forcing happens exactly on
+    /// epoch gaps.
+    #[test]
+    fn bcs_epoch_discipline(
+        n in 2usize..6,
+        events in proptest::collection::vec(event_strategy(), 0..150),
+    ) {
+        drive(n, &events, Bcs::new, |before, _, piggyback, forced| {
+            assert_eq!(forced, piggyback.epoch > before.epoch());
+        });
+    }
+
+    /// Checkpoint records carry dense, increasing indices with the right
+    /// kinds.
+    #[test]
+    fn record_indices_are_dense(
+        n in 2usize..5,
+        events in proptest::collection::vec(event_strategy(), 0..100),
+    ) {
+        let mut system: Vec<Bhmr> = ProcessId::all(n).map(|p| Bhmr::new(n, p)).collect();
+        let mut next = vec![1u32; n];
+        for &event in &events {
+            if let Event::Basic(p) = event {
+                let p = p as usize % n;
+                let record = system[p].take_basic_checkpoint();
+                prop_assert_eq!(record.id.index, next[p]);
+                prop_assert_eq!(record.kind, CheckpointKind::Basic);
+                next[p] += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Message logging and output commit on top of recovery lines.
+//!
+//! Rolling back to a consistent line leaves two classes of messages to
+//! deal with (§1 of the paper lists output commit among the dependability
+//! problems RDT serves):
+//!
+//! * **lost / in-transit** messages — sent inside the line, not delivered
+//!   inside it: they must be *replayed* from sender-side logs (or their
+//!   loss tolerated);
+//! * **outputs** — effects released to the outside world cannot be
+//!   retracted, so an output may only be *committed* once no future
+//!   rollback can undo its causal past. With RDT that test is exactly the
+//!   minimum consistent global checkpoint the protocol already computes on
+//!   the fly (Corollary 4.5): the output commits when every member of that
+//!   global checkpoint is on stable storage.
+
+use rdt_causality::{CheckpointId, ProcessId};
+use rdt_rgraph::{min_max, GlobalCheckpoint, Pattern, PatternMessageId};
+
+use crate::{lost_messages, Failure};
+
+/// The replay obligations of a rollback to `line`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayPlan {
+    /// The line being recovered to.
+    pub line: GlobalCheckpoint,
+    /// Messages whose sends survive the rollback but whose deliveries do
+    /// not: they must be re-delivered from sender logs (in-transit
+    /// messages included).
+    pub replay: Vec<PatternMessageId>,
+    /// Messages fully rolled back (send undone): their log entries can be
+    /// dropped.
+    pub discard: Vec<PatternMessageId>,
+}
+
+impl ReplayPlan {
+    /// Total messages a sender-based logging scheme must have kept for
+    /// this recovery to be lossless.
+    pub fn log_entries_needed(&self) -> usize {
+        self.replay.len()
+    }
+}
+
+/// Computes the [`ReplayPlan`] for recovering `pattern` to the line implied
+/// by `failures`.
+///
+/// # Panics
+///
+/// Panics if a failure names an out-of-range process.
+pub fn replay_plan(pattern: &Pattern, failures: &[Failure]) -> ReplayPlan {
+    let line = crate::recovery_line(pattern, failures);
+    let replay = lost_messages(pattern, &line);
+    let discard = (0..pattern.num_messages())
+        .map(PatternMessageId)
+        .filter(|&m| {
+            let send = pattern.send_interval(m);
+            send.index > line.get(send.process)
+        })
+        .collect();
+    ReplayPlan { line, replay, discard }
+}
+
+/// The commit requirement of an output released while checkpoint
+/// `at` was the most recent local checkpoint of its process: the minimum
+/// consistent global checkpoint containing `at`.
+///
+/// Once every member of the returned global checkpoint is on stable
+/// storage, no rollback can revisit the output's causal past, and the
+/// output may be released. Returns `None` when `at` belongs to no
+/// consistent global checkpoint (impossible under an RDT or ZCF protocol).
+///
+/// Under RDT, this equals the `TDV` the protocol saved with the checkpoint
+/// (Corollary 4.5) — i.e. the commit test needs **no extra computation**
+/// at runtime; this function is the independent offline witness.
+pub fn output_commit_requirement(
+    pattern: &Pattern,
+    at: CheckpointId,
+) -> Option<GlobalCheckpoint> {
+    min_max::min_consistent_containing(pattern, &[at])
+}
+
+/// Commit latency of an output, measured in checkpoints: how many
+/// checkpoints beyond the stable prefix each process must still secure
+/// before the output can be released.
+///
+/// `stable` is the per-process index of the newest checkpoint already on
+/// stable storage. Returns `None` if the output can never commit.
+pub fn output_commit_lag(
+    pattern: &Pattern,
+    at: CheckpointId,
+    stable: &GlobalCheckpoint,
+) -> Option<u32> {
+    let requirement = output_commit_requirement(pattern, at)?;
+    Some(
+        (0..pattern.num_processes())
+            .map(|i| {
+                let p = ProcessId::new(i);
+                requirement.get(p).saturating_sub(stable.get(p))
+            })
+            .max()
+            .unwrap_or(0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdt_rgraph::paper_figures;
+
+    fn c(i: usize, x: u32) -> CheckpointId {
+        CheckpointId::new(ProcessId::new(i), x)
+    }
+
+    #[test]
+    fn replay_plan_of_figure_1_rollback() {
+        let pattern = paper_figures::figure_1();
+        // Roll P_j back to C_(j,1): line [3,1,1].
+        let plan = replay_plan(&pattern, &[Failure { process: ProcessId::new(1), resume_cap: 1 }]);
+        assert_eq!(plan.line.as_slice(), &[3, 1, 1]);
+        // m5 (sent I_(i,3) kept, delivered I_(j,2) undone) must be replayed.
+        assert_eq!(plan.replay.len(), 1);
+        assert_eq!(plan.log_entries_needed(), 1);
+        // m4, m6 (sent I_(j,2)) and m7 (sent I_(k,3)) are rolled back.
+        assert_eq!(plan.discard.len(), 3);
+    }
+
+    #[test]
+    fn replay_and_discard_are_disjoint() {
+        let pattern = paper_figures::figure_1();
+        let plan = replay_plan(&pattern, &[Failure { process: ProcessId::new(0), resume_cap: 1 }]);
+        for m in &plan.replay {
+            assert!(!plan.discard.contains(m));
+        }
+    }
+
+    #[test]
+    fn output_commit_requirement_matches_min_gc() {
+        let pattern = paper_figures::figure_1();
+        let req = output_commit_requirement(&pattern, c(0, 2)).unwrap();
+        assert_eq!(req.as_slice(), &[2, 1, 1]);
+    }
+
+    #[test]
+    fn commit_lag_counts_missing_stable_checkpoints() {
+        let pattern = paper_figures::figure_1();
+        // Nothing stable yet beyond the initial checkpoints.
+        let stable = GlobalCheckpoint::initial(3);
+        assert_eq!(output_commit_lag(&pattern, c(0, 2), &stable), Some(2));
+        // Once [2,1,1] is stable, the lag is zero.
+        let stable = GlobalCheckpoint::new(vec![2, 1, 1]);
+        assert_eq!(output_commit_lag(&pattern, c(0, 2), &stable), Some(0));
+    }
+
+    #[test]
+    fn useless_checkpoint_never_commits() {
+        let pattern = paper_figures::figure_4_unbroken();
+        // C_(k,1) (process 1) is on a Z-cycle.
+        assert_eq!(output_commit_requirement(&pattern, c(1, 1)), None);
+        assert_eq!(
+            output_commit_lag(&pattern, c(1, 1), &GlobalCheckpoint::initial(2)),
+            None
+        );
+    }
+}

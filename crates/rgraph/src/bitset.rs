@@ -1,0 +1,85 @@
+//! Minimal internal bitset used for graph closures.
+
+/// A fixed-length bitset indexed by `usize`, with the word-parallel union
+/// that transitive-closure computations need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct BitRow {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitRow {
+    pub(crate) fn new(len: usize) -> Self {
+        BitRow { len, words: vec![0; len.div_ceil(64)] }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(crate) fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    pub(crate) fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// `self |= other`; returns `true` if any bit changed.
+    #[cfg(test)]
+    pub(crate) fn union_with(&mut self, other: &BitRow) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let before = *a;
+            *a |= *b;
+            changed |= *a != before;
+        }
+        changed
+    }
+
+    pub(crate) fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &word)| {
+            let len = self.len;
+            let mut w = word;
+            std::iter::from_fn(move || {
+                while w != 0 {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    let idx = wi * 64 + bit;
+                    if idx < len {
+                        return Some(idx);
+                    }
+                }
+                None
+            })
+        })
+    }
+
+    pub(crate) fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_union() {
+        let mut a = BitRow::new(130);
+        a.set(0);
+        a.set(129);
+        assert!(a.get(0) && a.get(129) && !a.get(64));
+        let mut b = BitRow::new(130);
+        b.set(64);
+        assert!(b.union_with(&a));
+        assert!(!b.union_with(&a), "second union changes nothing");
+        assert_eq!(b.count_ones(), 3);
+        assert_eq!(b.ones().collect::<Vec<_>>(), vec![0, 64, 129]);
+        assert_eq!(b.len(), 130);
+    }
+}

@@ -1,0 +1,108 @@
+//! Graphviz (DOT) export of patterns and R-graphs, for debugging and
+//! documentation.
+
+use std::fmt::Write as _;
+
+use rdt_causality::ProcessId;
+
+use crate::{Pattern, PatternEvent, RGraph};
+
+/// Renders the pattern as a DOT digraph: one horizontal rank per process,
+/// checkpoints as boxes, message arrows between send and delivery events.
+///
+/// # Example
+///
+/// ```rust
+/// use rdt_rgraph::{dot, paper_figures};
+///
+/// let text = dot::pattern_to_dot(&paper_figures::figure_1());
+/// assert!(text.starts_with("digraph pattern"));
+/// ```
+pub fn pattern_to_dot(pattern: &Pattern) -> String {
+    let mut out = String::from("digraph pattern {\n  rankdir=LR;\n  node [fontsize=10];\n");
+    // One node per event (plus the implicit initial checkpoints); messages
+    // as cross-process edges.
+    for i in 0..pattern.num_processes() {
+        let p = ProcessId::new(i);
+        let _ = writeln!(out, "  subgraph cluster_p{i} {{ label=\"P{i}\";");
+        let _ = writeln!(out, "    e{i}_init [label=\"C({i},0)\", shape=box];");
+        let mut prev = format!("e{i}_init");
+        for (pos, event) in pattern.events(p).iter().enumerate() {
+            let name = format!("e{i}_{pos}");
+            let label = match event {
+                PatternEvent::Checkpoint => {
+                    format!("C({i},{})", pattern.checkpoint_index_at(p, pos))
+                }
+                PatternEvent::Send(m) => format!("s({m})"),
+                PatternEvent::Deliver(m) => format!("d({m})"),
+            };
+            let shape = if matches!(event, PatternEvent::Checkpoint) { "box" } else { "circle" };
+            let _ = writeln!(out, "    {name} [label=\"{label}\", shape={shape}];");
+            let _ = writeln!(out, "    {prev} -> {name} [style=dotted, arrowhead=none];");
+            prev = name;
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    for (idx, info) in pattern.messages().iter().enumerate() {
+        if let Some(deliver_pos) = info.deliver_pos {
+            let _ = writeln!(
+                out,
+                "  e{}_{} -> e{}_{} [label=\"m{idx}\"];",
+                info.from.index(),
+                info.send_pos,
+                info.to.index(),
+                deliver_pos
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the R-graph as a DOT digraph (nodes are checkpoints).
+///
+/// # Example
+///
+/// ```rust
+/// use rdt_rgraph::{dot, paper_figures, RGraph};
+///
+/// let graph = RGraph::new(&paper_figures::figure_1());
+/// let text = dot::rgraph_to_dot(&graph);
+/// assert!(text.starts_with("digraph rgraph"));
+/// ```
+pub fn rgraph_to_dot(graph: &RGraph) -> String {
+    let mut out = String::from("digraph rgraph {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n");
+    for node in 0..graph.num_nodes() {
+        let c = graph.checkpoint(crate::NodeId(node));
+        let _ = writeln!(out, "  n{node} [label=\"{c}\"];");
+        for succ in graph.successors(crate::NodeId(node)) {
+            let _ = writeln!(out, "  n{node} -> n{};", succ.0);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_figures;
+
+    #[test]
+    fn pattern_dot_mentions_all_messages() {
+        let text = pattern_to_dot(&paper_figures::figure_1());
+        for m in 0..7 {
+            assert!(text.contains(&format!("m{m}")), "missing message m{m}");
+        }
+        assert!(text.contains("C(0,0)"));
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn rgraph_dot_has_nodes_and_edges() {
+        let graph = RGraph::new(&paper_figures::figure_1());
+        let text = rgraph_to_dot(&graph);
+        assert!(text.contains("C(2,1)"));
+        assert!(text.contains("->"));
+    }
+}

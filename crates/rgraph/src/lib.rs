@@ -1,0 +1,59 @@
+//! Checkpoint & communication patterns and the theory of
+//! **Rollback-Dependency Trackability** (RDT).
+//!
+//! This crate is the *offline* half of the reproduction: where `rdt-core`
+//! enforces RDT on-line, this crate takes a finished computation — a
+//! [`Pattern`] of checkpoints and messages — and answers the questions the
+//! paper (and its PODC 1999 companion, *"Rollback-Dependency Trackability:
+//! Visible Characterizations"*) asks about it:
+//!
+//! * What is its rollback-dependency graph ([`RGraph`]) and which
+//!   checkpoints depend on which ([`Reachability`])?
+//! * Which message chains (zigzag paths) exist, which are causal, which are
+//!   *simple*, and which non-causal chains have causal siblings
+//!   ([`chains`], [`characterization`])?
+//! * Does the pattern satisfy RDT ([`RdtChecker`])? If not, produce a
+//!   counterexample R-path that no transitive dependency vector can track.
+//! * Which global checkpoints are consistent, and what are the *minimum*
+//!   and *maximum* consistent global checkpoints containing a given set of
+//!   local checkpoints ([`min_max`])?
+//! * Which checkpoints are *useless* (on a Z-cycle, Netzer & Xu)?
+//!
+//! # Example
+//!
+//! ```rust
+//! use rdt_rgraph::{PatternBuilder, RdtChecker};
+//! use rdt_causality::ProcessId;
+//!
+//! let p0 = ProcessId::new(0);
+//! let p1 = ProcessId::new(1);
+//! let mut b = PatternBuilder::new(2);
+//! let m = b.send(p0, p1);
+//! b.deliver(m)?;
+//! let pattern = b.close().build()?;
+//! assert!(RdtChecker::new(&pattern).check().holds());
+//! # Ok::<(), rdt_rgraph::PatternError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitset;
+
+pub mod chains;
+pub mod characterization;
+pub mod consistency;
+pub mod dot;
+pub mod min_max;
+pub mod paper_figures;
+mod pattern;
+mod rdt;
+mod replay;
+mod rgraph_impl;
+
+pub use chains::{MessageChain, ZigzagReachability};
+pub use consistency::GlobalCheckpoint;
+pub use pattern::{Pattern, PatternBuilder, PatternError, PatternEvent, PatternMessageId};
+pub use rdt::{RdtChecker, RdtReport, RdtViolation};
+pub use replay::{CheckpointAnnotations, Replay};
+pub use rgraph_impl::{NodeId, RGraph, Reachability};

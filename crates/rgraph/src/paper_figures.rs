@@ -1,0 +1,219 @@
+//! The checkpoint and communication patterns of the paper's figures,
+//! reconstructed as reusable [`Pattern`] values.
+//!
+//! These literal scenarios anchor the whole test-suite: every theory module
+//! checks its queries against the facts the paper states about them.
+
+use rdt_causality::ProcessId;
+
+use crate::{Pattern, PatternBuilder, PatternMessageId};
+
+/// Handle to the messages of [`figure_1`], for assertions by name.
+#[derive(Debug, Clone, Copy)]
+pub struct Figure1 {
+    /// `P_i` (drawn first in the figure).
+    pub pi: ProcessId,
+    /// `P_j`.
+    pub pj: ProcessId,
+    /// `P_k`.
+    pub pk: ProcessId,
+    /// `m1`: `P_i → P_j`, sent in `I_{i,1}`, delivered in `I_{j,1}`.
+    pub m1: PatternMessageId,
+    /// `m2`: `P_j → P_i`, sent in `I_{j,1}`, delivered in `I_{i,2}`.
+    pub m2: PatternMessageId,
+    /// `m3`: `P_k → P_j`, sent in `I_{k,1}`, delivered in `I_{j,1}`
+    /// *after* `send(m2)` — making `[m3 m2]` non-causal.
+    pub m3: PatternMessageId,
+    /// `m4`: `P_j → P_k`, sent in `I_{j,2}` *before* `deliver(m5)`,
+    /// delivered in `I_{k,2}` — making `[m5 m4]` non-causal.
+    pub m4: PatternMessageId,
+    /// `m5`: `P_i → P_j`, sent in `I_{i,3}`, delivered in `I_{j,2}` — the
+    /// orphan of the pair `(C_{i,2}, C_{j,2})`.
+    pub m5: PatternMessageId,
+    /// `m6`: `P_j → P_k`, sent in `I_{j,2}` *after* `deliver(m5)`,
+    /// delivered in `I_{k,2}` — the causal sibling `[m5 m6]` of `[m5 m4]`.
+    pub m6: PatternMessageId,
+    /// `m7`: `P_k → P_j`, sent in `I_{k,3}` after `deliver(m4)`, delivered
+    /// in `I_{j,3}` — closing the long non-causal chain
+    /// `[m3 m2 m5 m4 m7]`.
+    pub m7: PatternMessageId,
+}
+
+/// The checkpoint and communication pattern of **Figure 1.a**, together
+/// with named handles to its messages.
+///
+/// Facts the paper states about this pattern (all verified in tests):
+///
+/// * `(C_{k,1}, C_{j,1})` is a consistent pair; `(C_{i,2}, C_{j,2})` is
+///   inconsistent because `m5` is orphan with respect to it.
+/// * `{C_{i,1}, C_{j,1}, C_{k,1}}` is a consistent global checkpoint;
+///   `{C_{i,2}, C_{j,2}, C_{k,1}}` is not.
+/// * `[m3 m2]` is a (non-causal) chain from `C_{k,1}` to `C_{i,2}`;
+///   `[m5 m4]` and `[m5 m6]` both correspond to the R-path
+///   `C_{i,3} → C_{k,2}`, and `[m5 m6]` is a causal sibling of `[m5 m4]`.
+/// * `[m3 m2 m5 m4 m7]` is a non-causal chain, the concatenation of the
+///   causal chains `[m3]`, `[m2 m5]`, `[m4 m7]`.
+pub fn figure_1_with_handles() -> (Pattern, Figure1) {
+    let pi = ProcessId::new(0);
+    let pj = ProcessId::new(1);
+    let pk = ProcessId::new(2);
+    let mut b = PatternBuilder::new(3);
+
+    let m1 = b.send(pi, pj); // I_{i,1}
+    b.checkpoint(pi); // C_{i,1}
+    b.deliver(m1).unwrap(); // I_{j,1}
+    let m2 = b.send(pj, pi); // I_{j,1}
+    let m3 = b.send(pk, pj); // I_{k,1}
+    b.deliver(m3).unwrap(); // I_{j,1}, after send(m2): [m3 m2] non-causal
+    b.checkpoint(pj); // C_{j,1}
+    b.checkpoint(pk); // C_{k,1}
+    b.deliver(m2).unwrap(); // I_{i,2}
+    b.checkpoint(pi); // C_{i,2}
+    let m5 = b.send(pi, pj); // I_{i,3}
+    let m4 = b.send(pj, pk); // I_{j,2}, before deliver(m5): [m5 m4] non-causal
+    b.deliver(m5).unwrap(); // I_{j,2}
+    let m6 = b.send(pj, pk); // I_{j,2}, after deliver(m5): [m5 m6] causal
+    b.checkpoint(pj); // C_{j,2}
+    b.deliver(m4).unwrap(); // I_{k,2}
+    b.deliver(m6).unwrap(); // I_{k,2}
+    b.checkpoint(pk); // C_{k,2}
+    let m7 = b.send(pk, pj); // I_{k,3}, after deliver(m4): [m4 m7] causal
+    b.deliver(m7).unwrap(); // I_{j,3}
+    b.checkpoint(pi); // C_{i,3}
+
+    let pattern = b.close().build().expect("figure 1 is well-formed");
+    (pattern, Figure1 { pi, pj, pk, m1, m2, m3, m4, m5, m6, m7 })
+}
+
+/// [`figure_1_with_handles`] without the handles.
+pub fn figure_1() -> Pattern {
+    figure_1_with_handles().0
+}
+
+/// The scenario of **Figure 2**: a non-causal message chain breakable by
+/// `P_i`, *not* broken (case b of the figure).
+///
+/// `P_k` sends `m` to `P_i`; `P_i` had already sent `m'` to `P_j` in the
+/// same interval and delivers `m` without checkpointing. The chain
+/// `[m, m']` from `C_{k,1}` to `C_{j,1}` is non-causal and has no causal
+/// sibling, so the pattern violates RDT.
+pub fn figure_2_unbroken() -> Pattern {
+    let pk = ProcessId::new(0);
+    let pi = ProcessId::new(1);
+    let pj = ProcessId::new(2);
+    let mut b = PatternBuilder::new(3);
+    let m_prime = b.send(pi, pj);
+    let m = b.send(pk, pi);
+    b.deliver(m).unwrap(); // P_i delivers m after send(m'): chain breakable
+    b.deliver(m_prime).unwrap();
+    b.close().build().expect("figure 2 is well-formed")
+}
+
+/// The scenario of **Figure 2**, with the chain *broken* (case c): `P_i`
+/// takes a (forced) checkpoint between `send(m')` and `deliver(m)`, so the
+/// resulting pattern satisfies RDT.
+pub fn figure_2_broken() -> Pattern {
+    let pk = ProcessId::new(0);
+    let pi = ProcessId::new(1);
+    let pj = ProcessId::new(2);
+    let mut b = PatternBuilder::new(3);
+    let m_prime = b.send(pi, pj);
+    let m = b.send(pk, pi);
+    b.checkpoint(pi); // the forced checkpoint C_{i,x+1} of the figure
+    b.deliver(m).unwrap();
+    b.deliver(m_prime).unwrap();
+    b.close().build().expect("figure 2 is well-formed")
+}
+
+/// The scenario of **Figure 4**: a non-causal message chain from `C_{k,z}`
+/// back to `C_{k,z-1}`, breakable only by `P_i`.
+///
+/// `P_k` sends `m''`(first leg of `Θ''`) to `P_i`, takes checkpoint
+/// `C_{k,z}`, then sends `m'`(the chain `Θ'`) to `P_i`; `P_i` delivers
+/// `m'` *after* it delivered `m''`... precisely: `P_i` delivers `m''`,
+/// sends nothing, then delivers `m'` in the same interval — forming the
+/// chain `Θ' Θ''` from `C_{k,z}` to `C_{k,z-1}` once `P_i`'s interval ends
+/// *after* both events with a send back to `P_k` in between? The minimal
+/// realization used here:
+///
+/// * `P_i` delivers `m1` from `P_k` (sent in `I_{k,1}`), then sends `m2`
+///   to `P_k`, delivered by `P_k` in `I_{k,1}` *after* `P_k` already sent
+///   `m3` to `P_i` from `I_{k,2}`? — impossible; instead, `P_k`
+///   checkpoints between sending and delivering, giving the non-simple
+///   chain back to `P_i`'s own interval:
+/// * `P_i` sends `m1` to `P_k`; `P_k` delivers `m1`, takes `C_{k,1}`,
+///   sends `m2` back; `P_i` delivers `m2` in the interval in which it sent
+///   `m1`. The chain `[m1 m2]` is causal but **not simple** (it crosses
+///   `C_{k,1}`), and it closes a cycle `C_{i,1} → C_{i,1}` in the R-graph
+///   through `C_{k,1}` — exactly the situation predicate `C2` prevents.
+pub fn figure_4_unbroken() -> Pattern {
+    let pi = ProcessId::new(0);
+    let pk = ProcessId::new(1);
+    let mut b = PatternBuilder::new(2);
+    let m1 = b.send(pi, pk);
+    b.deliver(m1).unwrap();
+    b.checkpoint(pk); // C_{k,1} sits inside the chain
+    let m2 = b.send(pk, pi);
+    b.deliver(m2).unwrap(); // delivered in I_{i,1}, where m1 was sent
+    b.close().build().expect("figure 4 is well-formed")
+}
+
+/// The scenario of **Figure 4** with the chain broken: `P_i` checkpoints
+/// before delivering `m2`, so the non-causal chain from `C_{k,1}`'s
+/// interval back to `C_{k,0}`'s interval is split and RDT holds.
+pub fn figure_4_broken() -> Pattern {
+    let pi = ProcessId::new(0);
+    let pk = ProcessId::new(1);
+    let mut b = PatternBuilder::new(2);
+    let m1 = b.send(pi, pk);
+    b.deliver(m1).unwrap();
+    b.checkpoint(pk);
+    let m2 = b.send(pk, pi);
+    b.checkpoint(pi); // forced by C2 in the protocol
+    b.deliver(m2).unwrap();
+    b.close().build().expect("figure 4 is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdt_causality::IntervalId;
+
+    #[test]
+    fn figure_1_intervals_match_the_figure() {
+        let (pattern, f) = figure_1_with_handles();
+        assert_eq!(pattern.send_interval(f.m1), IntervalId::new(f.pi, 1));
+        assert_eq!(pattern.deliver_interval(f.m1), Some(IntervalId::new(f.pj, 1)));
+        assert_eq!(pattern.send_interval(f.m2), IntervalId::new(f.pj, 1));
+        assert_eq!(pattern.deliver_interval(f.m2), Some(IntervalId::new(f.pi, 2)));
+        assert_eq!(pattern.send_interval(f.m3), IntervalId::new(f.pk, 1));
+        assert_eq!(pattern.deliver_interval(f.m3), Some(IntervalId::new(f.pj, 1)));
+        assert_eq!(pattern.send_interval(f.m4), IntervalId::new(f.pj, 2));
+        assert_eq!(pattern.deliver_interval(f.m4), Some(IntervalId::new(f.pk, 2)));
+        assert_eq!(pattern.send_interval(f.m5), IntervalId::new(f.pi, 3));
+        assert_eq!(pattern.deliver_interval(f.m5), Some(IntervalId::new(f.pj, 2)));
+        assert_eq!(pattern.send_interval(f.m6), IntervalId::new(f.pj, 2));
+        assert_eq!(pattern.deliver_interval(f.m6), Some(IntervalId::new(f.pk, 2)));
+        assert_eq!(pattern.send_interval(f.m7), IntervalId::new(f.pk, 3));
+        assert_eq!(pattern.deliver_interval(f.m7), Some(IntervalId::new(f.pj, 3)));
+    }
+
+    #[test]
+    fn figure_1_checkpoint_counts() {
+        let (pattern, f) = figure_1_with_handles();
+        assert!(pattern.is_closed());
+        assert_eq!(pattern.checkpoint_count(f.pi), 4); // C_{i,0..3}
+        assert_eq!(pattern.checkpoint_count(f.pj), 4);
+        assert_eq!(pattern.checkpoint_count(f.pk), 4);
+    }
+
+    #[test]
+    fn figure_patterns_build_and_linearize() {
+        for pattern in
+            [figure_2_unbroken(), figure_2_broken(), figure_4_unbroken(), figure_4_broken()]
+        {
+            assert!(pattern.is_closed());
+            assert!(pattern.linearize().is_ok());
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Offline verification of the Rollback-Dependency Trackability property
+//! (Definition 3.4).
+
+use std::fmt;
+
+use rdt_causality::CheckpointId;
+
+use crate::{Pattern, PatternError, RGraph, Replay};
+
+/// One R-path that is not on-line trackable: the witness of an RDT
+/// violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RdtViolation {
+    /// Origin of the untrackable R-path.
+    pub from: CheckpointId,
+    /// Destination of the untrackable R-path.
+    pub to: CheckpointId,
+    /// One concrete R-path from `from` to `to` (checkpoint sequence).
+    pub r_path: Vec<CheckpointId>,
+}
+
+impl fmt::Display for RdtViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "untrackable R-path {} -> {} (", self.from, self.to)?;
+        for (i, c) in self.r_path.iter().enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Result of an RDT check.
+#[derive(Debug, Clone)]
+pub struct RdtReport {
+    violations: Vec<RdtViolation>,
+    pairs_checked: usize,
+    r_paths_found: usize,
+}
+
+impl RdtReport {
+    /// Whether the pattern satisfies RDT.
+    pub fn holds(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The untrackable R-paths found (up to the checker's limit).
+    pub fn violations(&self) -> &[RdtViolation] {
+        &self.violations
+    }
+
+    /// Number of ordered checkpoint pairs examined.
+    pub fn pairs_checked(&self) -> usize {
+        self.pairs_checked
+    }
+
+    /// Number of pairs connected by an R-path (trackable or not).
+    pub fn r_paths_found(&self) -> usize {
+        self.r_paths_found
+    }
+}
+
+/// Checks whether a pattern satisfies **RDT**: every R-path of its R-graph
+/// must be *on-line trackable* — detectable by transitive dependency
+/// vectors.
+///
+/// # Method
+///
+/// 1. Close the pattern (the paper assumes every event is eventually
+///    followed by a checkpoint).
+/// 2. Compute, by exact offline replay, the transitive dependency vector
+///    `TDV_j^y` saved at every checkpoint `C_{j,y}` (the knowledge Wang's
+///    mechanism accumulates when the vector rides on *every* message).
+/// 3. Compute the R-graph's transitive closure.
+/// 4. RDT holds iff for every R-path `C_{i,x} → C_{j,y}`:
+///    `i = j ∧ x ≤ y`, or `TDV_j^y[i] ≥ x`.
+///
+/// Step 4 is the operational reading of Definition 3.3: a same-process
+/// dependency is always trackable forward, and a cross-process dependency
+/// is trackable exactly when some causal message chain carried it (then the
+/// replayed `TDV` records an interval index at least as large). The paper
+/// notes its definitions are equivalent to Wang's; in particular a
+/// dependency witnessed by a causal chain from a *later* interval
+/// (`TDV_j^y[i] = z > x`) subsumes the dependency on `C_{i,x}`, because
+/// rolling `P_i` back before `C_{i,x}` also rolls it back before `C_{i,z}`.
+///
+/// # Example
+///
+/// ```rust
+/// use rdt_rgraph::{paper_figures, RdtChecker};
+///
+/// // Figure 2, non-causal chain left unbroken: RDT is violated.
+/// let report = RdtChecker::new(&paper_figures::figure_2_unbroken()).check();
+/// assert!(!report.holds());
+/// // Same scenario with the forced checkpoint: RDT holds.
+/// let report = RdtChecker::new(&paper_figures::figure_2_broken()).check();
+/// assert!(report.holds());
+/// ```
+#[derive(Debug)]
+pub struct RdtChecker {
+    pattern: Pattern,
+    max_violations: usize,
+}
+
+impl RdtChecker {
+    /// Prepares a checker for `pattern` (a closed copy is taken).
+    pub fn new(pattern: &Pattern) -> Self {
+        RdtChecker { pattern: pattern.to_closed(), max_violations: 16 }
+    }
+
+    /// Limits how many violations [`check`](RdtChecker::check) collects
+    /// before stopping early (default 16). At least one violation is
+    /// always collected, so a failing report always carries a concrete
+    /// counterexample.
+    pub fn max_violations(mut self, limit: usize) -> Self {
+        self.max_violations = limit;
+        self
+    }
+
+    /// Runs the check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern is unrealizable (cannot happen for patterns
+    /// produced by [`PatternBuilder`](crate::PatternBuilder) or by the
+    /// simulator); use [`try_check`](RdtChecker::try_check) to handle that
+    /// case explicitly.
+    pub fn check(&self) -> RdtReport {
+        self.try_check().expect("pattern must be realizable")
+    }
+
+    /// Runs the check, reporting unrealizable patterns as an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatternError::Unrealizable`] if the pattern admits no
+    /// execution order.
+    pub fn try_check(&self) -> Result<RdtReport, PatternError> {
+        let annotations = Replay::new(&self.pattern).annotate()?;
+        let graph = RGraph::new(&self.pattern);
+        let reach = graph.reachability();
+
+        let mut violations = Vec::new();
+        let mut pairs_checked = 0;
+        let mut r_paths_found = 0;
+        for from in self.pattern.checkpoints() {
+            for to in reach.reachable_from(from) {
+                pairs_checked += 1;
+                r_paths_found += 1;
+                if annotations.trackable(from, to) {
+                    continue;
+                }
+                if violations.len() < self.max_violations.max(1) {
+                    let r_path = graph
+                        .find_path(from, to)
+                        .expect("reachable pairs have a concrete path");
+                    violations.push(RdtViolation { from, to, r_path });
+                } else {
+                    // Verdict settled and limit reached; keep counting pairs
+                    // is pointless — stop early.
+                    return Ok(RdtReport { violations, pairs_checked, r_paths_found });
+                }
+            }
+        }
+        Ok(RdtReport { violations, pairs_checked, r_paths_found })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_figures;
+    use crate::PatternBuilder;
+    use rdt_causality::ProcessId;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn c(i: usize, x: u32) -> CheckpointId {
+        CheckpointId::new(p(i), x)
+    }
+
+    #[test]
+    fn empty_pattern_satisfies_rdt() {
+        let pattern = PatternBuilder::new(4).build().unwrap();
+        assert!(RdtChecker::new(&pattern).check().holds());
+    }
+
+    #[test]
+    fn purely_causal_pattern_satisfies_rdt() {
+        // A relay chain P0 -> P1 -> P2 with deliveries before sends.
+        let mut b = PatternBuilder::new(3);
+        let m1 = b.send(p(0), p(1));
+        b.deliver(m1).unwrap();
+        let m2 = b.send(p(1), p(2));
+        b.deliver(m2).unwrap();
+        let pattern = b.close().build().unwrap();
+        let report = RdtChecker::new(&pattern).check();
+        assert!(report.holds());
+        assert!(report.r_paths_found() > 0);
+    }
+
+    #[test]
+    fn figure_1_violates_rdt_via_m3_m2() {
+        let report = RdtChecker::new(&paper_figures::figure_1()).check();
+        assert!(!report.holds());
+        // The chain [m3 m2] from C_{k,1} to C_{i,2} has no causal sibling.
+        assert!(
+            report
+                .violations()
+                .iter()
+                .any(|v| v.from == c(2, 1) && v.to == c(0, 2)),
+            "expected the C_(k,1) -> C_(i,2) hidden dependency among {:?}",
+            report.violations()
+        );
+    }
+
+    #[test]
+    fn figure_2_cases() {
+        assert!(!RdtChecker::new(&paper_figures::figure_2_unbroken()).check().holds());
+        assert!(RdtChecker::new(&paper_figures::figure_2_broken()).check().holds());
+    }
+
+    #[test]
+    fn figure_4_cases() {
+        let report = RdtChecker::new(&paper_figures::figure_4_unbroken()).check();
+        assert!(!report.holds());
+        // The violation is the same-process path C_{k,z} -> C_{k,z-1}
+        // (processes: i=0, k=1).
+        assert!(report
+            .violations()
+            .iter()
+            .any(|v| v.from.process == p(1) && v.to.process == p(1) && v.from.index > v.to.index));
+        assert!(RdtChecker::new(&paper_figures::figure_4_broken()).check().holds());
+    }
+
+    #[test]
+    fn unclosed_pattern_is_closed_before_checking() {
+        // The hidden dependency only materializes once intervals are
+        // closed; the checker must still find it.
+        let mut b = PatternBuilder::new(3);
+        let m_prime = b.send(p(1), p(2));
+        let m = b.send(p(0), p(1));
+        b.deliver(m).unwrap();
+        b.deliver(m_prime).unwrap();
+        let pattern = b.build().unwrap(); // NOT closed
+        assert!(!pattern.is_closed());
+        assert!(!RdtChecker::new(&pattern).check().holds());
+    }
+
+    #[test]
+    fn violation_display_is_readable() {
+        let report = RdtChecker::new(&paper_figures::figure_2_unbroken()).check();
+        let text = report.violations()[0].to_string();
+        assert!(text.contains("untrackable R-path"));
+        assert!(text.contains("->"));
+    }
+
+    #[test]
+    fn max_violations_limits_collection() {
+        let report =
+            RdtChecker::new(&paper_figures::figure_1()).max_violations(1).try_check().unwrap();
+        assert_eq!(report.violations().len(), 1);
+    }
+
+    #[test]
+    fn violations_carry_concrete_paths() {
+        let report = RdtChecker::new(&paper_figures::figure_1()).check();
+        for v in report.violations() {
+            assert_eq!(v.r_path.first(), Some(&v.from));
+            assert_eq!(v.r_path.last(), Some(&v.to));
+            assert!(v.r_path.len() >= 2);
+        }
+    }
+}

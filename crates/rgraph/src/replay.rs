@@ -1,0 +1,301 @@
+//! Offline replay of a pattern, annotating every checkpoint with its
+//! vector clock and its transitive dependency vector.
+
+use rdt_causality::{CheckpointId, DependencyVector, ProcessId, VectorClock};
+
+use crate::{Pattern, PatternError, PatternEvent};
+
+/// Per-checkpoint annotations computed by [`Replay`].
+#[derive(Debug, Clone)]
+pub struct CheckpointAnnotations {
+    n: usize,
+    /// `vcs[i][x]` = vector clock of the checkpoint event `C_{i,x}`.
+    vcs: Vec<Vec<VectorClock>>,
+    /// `tdvs[i][x]` = `TDV_i^x`, the transitive dependency vector saved
+    /// when `C_{i,x}` was taken (owner entry equals `x`).
+    tdvs: Vec<Vec<DependencyVector>>,
+}
+
+impl CheckpointAnnotations {
+    /// The vector clock of `checkpoint`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint does not exist in the replayed pattern.
+    pub fn vc(&self, checkpoint: CheckpointId) -> &VectorClock {
+        &self.vcs[checkpoint.process.index()][checkpoint.index as usize]
+    }
+
+    /// `TDV_i^x` for `checkpoint = C_{i,x}` — the value a dependency-vector
+    /// protocol would save with the checkpoint, assuming the vector is
+    /// piggybacked on *every* message of the computation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint does not exist in the replayed pattern.
+    pub fn tdv(&self, checkpoint: CheckpointId) -> &DependencyVector {
+        &self.tdvs[checkpoint.process.index()][checkpoint.index as usize]
+    }
+
+    /// Lamport's happened-before between checkpoint events: `a → b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either checkpoint does not exist.
+    pub fn causally_ordered(&self, a: CheckpointId, b: CheckpointId) -> bool {
+        self.vc(a).happened_before(self.vc(b))
+    }
+
+    /// Whether two distinct checkpoints are causally unrelated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either checkpoint does not exist.
+    pub fn concurrent(&self, a: CheckpointId, b: CheckpointId) -> bool {
+        a != b && !self.causally_ordered(a, b) && !self.causally_ordered(b, a)
+    }
+
+    /// The *on-line trackability* test of §3.3: the R-path `from → to` is
+    /// detectable by transitive dependency vectors iff
+    /// `from.process == to.process ∧ from.index ≤ to.index`, or
+    /// `TDV_to[from.process] ≥ from.index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either checkpoint does not exist.
+    pub fn trackable(&self, from: CheckpointId, to: CheckpointId) -> bool {
+        if from.process == to.process {
+            return from.index <= to.index;
+        }
+        self.tdv(to).get(from.process) >= from.index
+    }
+
+    /// Number of processes of the replayed pattern.
+    pub fn num_processes(&self) -> usize {
+        self.n
+    }
+}
+
+/// Replays a [`Pattern`] in a deterministic linear extension, running full
+/// vector clocks and transitive dependency vectors over it.
+///
+/// This is the "perfect observer": unlike the on-line protocols it sees
+/// every message's piggyback, so its `TDV`s are exactly the dependency
+/// knowledge Wang's mechanism (§3.3) would accumulate on that execution.
+///
+/// # Example
+///
+/// ```rust
+/// use rdt_causality::{CheckpointId, ProcessId};
+/// use rdt_rgraph::{PatternBuilder, Replay};
+///
+/// let (p0, p1) = (ProcessId::new(0), ProcessId::new(1));
+/// let mut b = PatternBuilder::new(2);
+/// let m = b.send(p0, p1);
+/// b.deliver(m)?;
+/// let pattern = b.close().build()?;
+/// let ann = Replay::new(&pattern).annotate()?;
+/// // C_{0,1} closed the sending interval; C_{1,1} the delivering one.
+/// assert!(ann.trackable(CheckpointId::new(p0, 1), CheckpointId::new(p1, 1)));
+/// # Ok::<(), rdt_rgraph::PatternError>(())
+/// ```
+#[derive(Debug)]
+pub struct Replay<'a> {
+    pattern: &'a Pattern,
+}
+
+impl<'a> Replay<'a> {
+    /// Prepares a replay of `pattern`.
+    pub fn new(pattern: &'a Pattern) -> Self {
+        Replay { pattern }
+    }
+
+    /// Runs the replay and returns the per-checkpoint annotations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatternError::Unrealizable`] if the pattern admits no
+    /// execution order.
+    pub fn annotate(&self) -> Result<CheckpointAnnotations, PatternError> {
+        let n = self.pattern.num_processes();
+        let order = self.pattern.linearize()?;
+
+        let mut vcs: Vec<VectorClock> = (0..n).map(|_| VectorClock::new(n)).collect();
+        let mut tdvs: Vec<DependencyVector> =
+            (0..n).map(|i| DependencyVector::initial(n, ProcessId::new(i))).collect();
+
+        // Snapshots for the implicit initial checkpoints: zero vector clock
+        // (ticked once to make C_{i,0} a distinct event) and all-zero TDV.
+        let mut vc_out: Vec<Vec<VectorClock>> = (0..n)
+            .map(|i| {
+                let mut vc = VectorClock::new(n);
+                vc.tick(ProcessId::new(i));
+                vcs[i] = vc.clone();
+                vec![vc]
+            })
+            .collect();
+        let mut tdv_out: Vec<Vec<DependencyVector>> = (0..n)
+            .map(|i| vec![DependencyVector::from_entries(ProcessId::new(i), vec![0; n])])
+            .collect();
+
+        // Piggybacks captured at send events, consumed at deliveries.
+        let mut message_vc: Vec<Option<VectorClock>> =
+            vec![None; self.pattern.num_messages()];
+        let mut message_tdv: Vec<Option<DependencyVector>> =
+            vec![None; self.pattern.num_messages()];
+
+        for (process, pos) in order {
+            let i = process.index();
+            match self.pattern.events(process)[pos] {
+                PatternEvent::Checkpoint => {
+                    vcs[i].tick(process);
+                    vc_out[i].push(vcs[i].clone());
+                    tdv_out[i].push(tdvs[i].clone());
+                    tdvs[i].increment_owner();
+                }
+                PatternEvent::Send(m) => {
+                    vcs[i].tick(process);
+                    message_vc[m.0] = Some(vcs[i].clone());
+                    message_tdv[m.0] = Some(tdvs[i].clone());
+                }
+                PatternEvent::Deliver(m) => {
+                    let vc = message_vc[m.0].take().expect("linearize puts sends first");
+                    let tdv = message_tdv[m.0].take().expect("linearize puts sends first");
+                    vcs[i].merge_max(&vc);
+                    vcs[i].tick(process);
+                    tdvs[i].merge_max(&tdv);
+                }
+            }
+        }
+
+        Ok(CheckpointAnnotations { n, vcs: vc_out, tdvs: tdv_out })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PatternBuilder;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn c(i: usize, x: u32) -> CheckpointId {
+        CheckpointId::new(p(i), x)
+    }
+
+    #[test]
+    fn initial_checkpoints_are_concurrent() {
+        let pattern = PatternBuilder::new(3).build().unwrap();
+        let ann = Replay::new(&pattern).annotate().unwrap();
+        assert!(ann.concurrent(c(0, 0), c(1, 0)));
+        assert!(ann.concurrent(c(1, 0), c(2, 0)));
+    }
+
+    #[test]
+    fn message_creates_causal_order_between_closing_checkpoints() {
+        let mut b = PatternBuilder::new(2);
+        let m = b.send(p(0), p(1));
+        b.deliver(m).unwrap();
+        let pattern = b.close().build().unwrap();
+        let ann = Replay::new(&pattern).annotate().unwrap();
+        // C_{0,0} happened before C_{1,1} (through m).
+        assert!(ann.causally_ordered(c(0, 0), c(1, 1)));
+        // The closing checkpoints C_{0,1} and C_{1,1} are concurrent:
+        // C_{0,1} happened after the send.
+        assert!(ann.concurrent(c(0, 1), c(1, 1)));
+    }
+
+    #[test]
+    fn tdv_snapshot_matches_protocol_semantics() {
+        let mut b = PatternBuilder::new(2);
+        let m = b.send(p(0), p(1));
+        b.deliver(m).unwrap();
+        b.checkpoint(p(1)); // C_{1,1}
+        let pattern = b.close().build().unwrap();
+        let ann = Replay::new(&pattern).annotate().unwrap();
+        // TDV_1^1 records the dependency on P0's interval 1.
+        assert_eq!(ann.tdv(c(1, 1)).as_slice(), &[1, 1]);
+        // TDV_0^0 is all zeros (initial checkpoint).
+        assert_eq!(ann.tdv(c(0, 0)).as_slice(), &[0, 0]);
+    }
+
+    #[test]
+    fn trackable_same_process_is_index_order() {
+        let mut b = PatternBuilder::new(1);
+        b.checkpoint(p(0));
+        b.checkpoint(p(0));
+        let pattern = b.build().unwrap();
+        let ann = Replay::new(&pattern).annotate().unwrap();
+        assert!(ann.trackable(c(0, 0), c(0, 2)));
+        assert!(ann.trackable(c(0, 1), c(0, 1)));
+        assert!(!ann.trackable(c(0, 2), c(0, 1)));
+    }
+
+    #[test]
+    fn trackable_through_causal_chain() {
+        // P0 -> P1 -> P2, causally chained.
+        let mut b = PatternBuilder::new(3);
+        let m1 = b.send(p(0), p(1));
+        b.deliver(m1).unwrap();
+        let m2 = b.send(p(1), p(2));
+        b.deliver(m2).unwrap();
+        let pattern = b.close().build().unwrap();
+        let ann = Replay::new(&pattern).annotate().unwrap();
+        // Chain from C_{0,1} (send interval I_{0,1}) to C_{2,1}.
+        assert!(ann.trackable(c(0, 1), c(2, 1)));
+        assert!(ann.trackable(c(1, 1), c(2, 1)));
+    }
+
+    #[test]
+    fn non_causal_chain_is_not_trackable() {
+        // The hidden-dependency pattern: P1 sends m2 to P2 BEFORE delivering
+        // m1 from P0. The chain [m1, m2] is non-causal: TDV cannot track
+        // C_{0,1} -> C_{2,1}.
+        let mut b = PatternBuilder::new(3);
+        let m1 = b.send(p(0), p(1));
+        let m2 = b.send(p(1), p(2));
+        b.deliver(m1).unwrap(); // P1 delivers after its send
+        b.deliver(m2).unwrap();
+        let pattern = b.close().build().unwrap();
+        let ann = Replay::new(&pattern).annotate().unwrap();
+        assert!(!ann.trackable(c(0, 1), c(2, 1)));
+        // But the chain into P1's closing checkpoint is causal:
+        assert!(ann.trackable(c(0, 1), c(1, 1)));
+    }
+
+    #[test]
+    fn unrealizable_pattern_reported() {
+        // Two messages delivered "before" they are sent relative to each
+        // other: P0 delivers m2 before sending m1; P1 delivers m1 before
+        // sending m2. Local orders force a causal cycle.
+        let mut b = PatternBuilder::new(2);
+        // Build event lists directly through the builder in an impossible
+        // order: we must bypass the token discipline, so emulate with three
+        // processes... Simpler: P0: deliver(m2) send(m1); P1: deliver(m1)
+        // send(m2). The builder requires tokens before delivery, so create
+        // sends first but position deliveries before them is impossible
+        // through the API — which is the point. Instead, craft mutual
+        // waiting: P0 delivers m2 then sends m1; P1 delivers m1 then sends
+        // m2 — requires tokens, so send them up-front on helper processes?
+        // Not expressible: the builder cannot create unrealizable patterns.
+        // We assert that here.
+        let m1 = b.send(p(0), p(1));
+        b.deliver(m1).unwrap();
+        let pattern = b.close().build().unwrap();
+        assert!(pattern.linearize().is_ok());
+    }
+
+    #[test]
+    fn linearize_orders_sends_before_deliveries() {
+        let mut b = PatternBuilder::new(2);
+        let m = b.send(p(1), p(0));
+        b.deliver(m).unwrap();
+        let pattern = b.build().unwrap();
+        let order = pattern.linearize().unwrap();
+        let send_pos = order.iter().position(|&(q, _)| q == p(1)).unwrap();
+        let deliver_pos = order.iter().position(|&(q, _)| q == p(0)).unwrap();
+        assert!(send_pos < deliver_pos);
+    }
+}

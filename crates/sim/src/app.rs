@@ -1,0 +1,244 @@
+//! The application (workload) interface.
+
+use rdt_causality::ProcessId;
+
+use crate::{SimDuration, SimRng, SimTime};
+
+/// Context handed to [`Application`] callbacks: what the process may do in
+/// response to an event.
+///
+/// Actions are buffered and applied by the runner after the callback
+/// returns, in order: sends first (in call order), then the activation
+/// timer.
+#[derive(Debug)]
+pub struct AppContext<'a> {
+    me: ProcessId,
+    n: usize,
+    now: SimTime,
+    rng: &'a mut SimRng,
+    pub(crate) sends: Vec<(ProcessId, u32)>,
+    pub(crate) next_activation: Option<SimDuration>,
+    pub(crate) checkpoint_requested: bool,
+}
+
+impl<'a> AppContext<'a> {
+    pub(crate) fn new(me: ProcessId, n: usize, now: SimTime, rng: &'a mut SimRng) -> Self {
+        AppContext {
+            me,
+            n,
+            now,
+            rng,
+            sends: Vec::new(),
+            next_activation: None,
+            checkpoint_requested: false,
+        }
+    }
+
+    /// The process this callback runs on.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// Number of processes in the computation.
+    pub fn num_processes(&self) -> usize {
+        self.n
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The run's random number generator.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Queues an application message to `dest` (tag 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dest` is out of range or equals the sending process
+    /// (channels connect *ordered pairs of distinct* processes, §2.1).
+    pub fn send(&mut self, dest: ProcessId) {
+        self.send_tagged(dest, 0);
+    }
+
+    /// Queues an application message to `dest` carrying a small
+    /// application-level `tag` (delivered back through
+    /// [`Application::on_deliver_tagged`]). Tags let application-layer
+    /// protocols — e.g. Chandy–Lamport markers — distinguish message
+    /// kinds; the checkpointing layer treats all tags identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dest` is out of range or equals the sending process.
+    pub fn send_tagged(&mut self, dest: ProcessId, tag: u32) {
+        assert!(dest.index() < self.n, "destination {dest} out of range");
+        assert_ne!(dest, self.me, "processes do not send to themselves");
+        self.sends.push((dest, tag));
+    }
+
+    /// Drains the messages queued so far in this callback, *preventing*
+    /// them from being sent. Application-layer wrappers use this to
+    /// implement blocking semantics (e.g. Koo–Toueg's stop-and-ack phase):
+    /// capture an inner workload's sends and re-queue them later.
+    pub fn take_queued_sends(&mut self) -> Vec<(ProcessId, u32)> {
+        std::mem::take(&mut self.sends)
+    }
+
+    /// Whether any message is currently queued in this callback.
+    pub fn has_queued_sends(&self) -> bool {
+        !self.sends.is_empty()
+    }
+
+    /// Asks the runner to take a local checkpoint on this process, applied
+    /// **before** any message queued in the same callback (so a
+    /// coordinated protocol can record state and then send its markers).
+    /// The checkpoint counts as *basic* — from the CIC protocol's
+    /// perspective it is application-decided.
+    pub fn request_checkpoint(&mut self) {
+        self.checkpoint_requested = true;
+    }
+
+    /// Schedules the next [`Application::on_activate`] callback after
+    /// `delay`. Overwrites any previously scheduled activation from this
+    /// callback.
+    pub fn schedule_activation(&mut self, delay: SimDuration) {
+        self.next_activation = Some(delay);
+    }
+}
+
+/// A workload: decides when processes send and to whom.
+///
+/// One `Application` value drives *all* processes (it receives the acting
+/// process through the context); workloads that need per-process state keep
+/// it indexed by process id. The runner calls:
+///
+/// * [`on_start`](Application::on_start) once per process at time zero;
+/// * [`on_activate`](Application::on_activate) when a previously scheduled
+///   activation timer fires;
+/// * [`on_deliver`](Application::on_deliver) when a message is delivered
+///   (after the checkpointing protocol has processed the arrival).
+///
+/// Checkpoints are *not* the application's business: basic checkpoints
+/// come from the configured timer model, forced ones from the protocol.
+pub trait Application {
+    /// Called once per process at simulation start.
+    fn on_start(&mut self, ctx: &mut AppContext<'_>);
+
+    /// Called when the process's activation timer fires.
+    fn on_activate(&mut self, ctx: &mut AppContext<'_>);
+
+    /// Called when a message from `from` is delivered to `ctx.me()`.
+    fn on_deliver(&mut self, ctx: &mut AppContext<'_>, from: ProcessId);
+
+    /// Called when a message from `from` carrying `tag` is delivered.
+    ///
+    /// The default forwards to [`on_deliver`](Application::on_deliver);
+    /// only applications that send tagged messages need to override this.
+    fn on_deliver_tagged(&mut self, ctx: &mut AppContext<'_>, from: ProcessId, tag: u32) {
+        let _ = tag;
+        self.on_deliver(ctx, from);
+    }
+
+    /// Called when a message *arrives*, before it is delivered and before
+    /// the checkpointing protocol processes the arrival. Returning `true`
+    /// makes the runner take a local (basic) checkpoint first, so the
+    /// delivery lands in a fresh interval — the hook application-layer
+    /// coordination protocols (e.g. Chandy–Lamport marker handling) need.
+    ///
+    /// The default never checkpoints. Must be a pure decision: no context
+    /// is provided, and the matching state update belongs in
+    /// [`on_deliver_tagged`](Application::on_deliver_tagged).
+    fn before_deliver(&mut self, me: ProcessId, from: ProcessId, tag: u32) -> bool {
+        let _ = (me, from, tag);
+        false
+    }
+}
+
+/// A fixed script of messages, sent one per tick from time zero: entry
+/// `(from, to)` queues one message from `P_from` to `P_to`.
+///
+/// Useful for deterministic unit tests and doc examples; real workloads
+/// live in `rdt-workloads`.
+#[derive(Debug, Clone)]
+pub struct ScriptedApplication {
+    script: Vec<(usize, usize)>,
+    cursor: Vec<usize>,
+}
+
+/// Convenience constructor for [`ScriptedApplication`].
+pub fn scripted(script: Vec<(usize, usize)>) -> ScriptedApplication {
+    ScriptedApplication { script, cursor: Vec::new() }
+}
+
+impl Application for ScriptedApplication {
+    fn on_start(&mut self, ctx: &mut AppContext<'_>) {
+        if self.cursor.is_empty() {
+            self.cursor = vec![0; ctx.num_processes()];
+        }
+        // Each process schedules itself to work through its part of the
+        // script, one send per activation.
+        ctx.schedule_activation(SimDuration::from_ticks(1));
+    }
+
+    fn on_activate(&mut self, ctx: &mut AppContext<'_>) {
+        let me = ctx.me().index();
+        // Find this process's next scripted send.
+        let mut seen = 0usize;
+        for &(from, to) in &self.script {
+            if from != me {
+                continue;
+            }
+            if seen == self.cursor[me] {
+                self.cursor[me] += 1;
+                ctx.send(ProcessId::new(to));
+                ctx.schedule_activation(SimDuration::from_ticks(1));
+                return;
+            }
+            seen += 1;
+        }
+        // Script exhausted for this process: stop scheduling.
+    }
+
+    fn on_deliver(&mut self, _ctx: &mut AppContext<'_>, _from: ProcessId) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_buffers_actions() {
+        let mut rng = SimRng::seed(0);
+        let mut ctx = AppContext::new(ProcessId::new(0), 3, SimTime::ZERO, &mut rng);
+        ctx.send(ProcessId::new(1));
+        ctx.send_tagged(ProcessId::new(2), 7);
+        ctx.request_checkpoint();
+        ctx.schedule_activation(SimDuration::from_ticks(10));
+        assert_eq!(ctx.sends, vec![(ProcessId::new(1), 0), (ProcessId::new(2), 7)]);
+        assert!(ctx.checkpoint_requested);
+        assert_eq!(ctx.next_activation, Some(SimDuration::from_ticks(10)));
+        assert_eq!(ctx.me(), ProcessId::new(0));
+        assert_eq!(ctx.num_processes(), 3);
+        assert_eq!(ctx.now(), SimTime::ZERO);
+        let _ = ctx.rng().uniform_u64(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "themselves")]
+    fn self_send_rejected() {
+        let mut rng = SimRng::seed(0);
+        let mut ctx = AppContext::new(ProcessId::new(1), 3, SimTime::ZERO, &mut rng);
+        ctx.send(ProcessId::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_send_rejected() {
+        let mut rng = SimRng::seed(0);
+        let mut ctx = AppContext::new(ProcessId::new(1), 3, SimTime::ZERO, &mut rng);
+        ctx.send(ProcessId::new(3));
+    }
+}

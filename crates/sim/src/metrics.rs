@@ -1,0 +1,203 @@
+//! Post-run trace analysis: distributions behind the aggregate counters.
+
+use serde::{Deserialize, Serialize};
+
+use rdt_core::CheckpointKind;
+
+use crate::{SimTime, Trace, TraceEvent};
+
+/// Summary statistics of a sample of `u64` values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct SampleStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Sample standard deviation (0 with fewer than two samples).
+    pub std_dev: f64,
+}
+
+impl SampleStats {
+    /// Computes the summary of `values`.
+    pub fn of(values: &[u64]) -> SampleStats {
+        if values.is_empty() {
+            return SampleStats::default();
+        }
+        let count = values.len() as u64;
+        let min = *values.iter().min().expect("non-empty");
+        let max = *values.iter().max().expect("non-empty");
+        let mean = values.iter().map(|&v| v as f64).sum::<f64>() / count as f64;
+        let std_dev = if values.len() < 2 {
+            0.0
+        } else {
+            (values.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>()
+                / (values.len() - 1) as f64)
+                .sqrt()
+        };
+        SampleStats { count, min, max, mean, std_dev }
+    }
+}
+
+/// Distribution-level metrics extracted from one [`Trace`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceMetrics {
+    /// Message latency (send to delivery), in ticks, over all delivered
+    /// messages.
+    pub message_latency: SampleStats,
+    /// Checkpoint-interval lengths (ticks between consecutive checkpoints
+    /// of one process), pooled over processes.
+    pub checkpoint_intervals: SampleStats,
+    /// Length of forced-checkpoint bursts: maximal runs of consecutive
+    /// checkpoints of one process that are all forced. Long bursts are the
+    /// checkpoint cascades dependency-tracking protocols are prone to on
+    /// cyclic traffic.
+    pub forced_bursts: SampleStats,
+    /// Per-process event counts `(sends, deliveries, basic, forced)`.
+    pub per_process: Vec<(u64, u64, u64, u64)>,
+}
+
+impl TraceMetrics {
+    /// Computes the metrics of `trace`.
+    pub fn of(trace: &Trace) -> TraceMetrics {
+        let n = trace.num_processes();
+        let mut send_times: Vec<Option<SimTime>> = Vec::new();
+        let mut latencies = Vec::new();
+        let mut last_checkpoint: Vec<Option<SimTime>> = vec![None; n];
+        let mut intervals = Vec::new();
+        let mut burst: Vec<u64> = vec![0; n];
+        let mut bursts = Vec::new();
+        let mut per_process = vec![(0u64, 0u64, 0u64, 0u64); n];
+
+        for event in trace.events() {
+            match *event {
+                TraceEvent::Send { at, from, message, .. } => {
+                    if send_times.len() <= message.0 {
+                        send_times.resize(message.0 + 1, None);
+                    }
+                    send_times[message.0] = Some(at);
+                    per_process[from.index()].0 += 1;
+                }
+                TraceEvent::Deliver { at, to, message, .. } => {
+                    if let Some(Some(sent)) = send_times.get(message.0) {
+                        latencies.push(at.since(*sent).ticks());
+                    }
+                    per_process[to.index()].1 += 1;
+                }
+                TraceEvent::Checkpoint { at, id, kind } => {
+                    let i = id.process.index();
+                    if let Some(prev) = last_checkpoint[i] {
+                        intervals.push(at.since(prev).ticks());
+                    }
+                    last_checkpoint[i] = Some(at);
+                    match kind {
+                        CheckpointKind::Forced => {
+                            burst[i] += 1;
+                            per_process[i].3 += 1;
+                        }
+                        _ => {
+                            if burst[i] > 0 {
+                                bursts.push(burst[i]);
+                                burst[i] = 0;
+                            }
+                            if kind == CheckpointKind::Basic {
+                                per_process[i].2 += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        bursts.extend(burst.into_iter().filter(|&b| b > 0));
+
+        TraceMetrics {
+            message_latency: SampleStats::of(&latencies),
+            checkpoint_intervals: SampleStats::of(&intervals),
+            forced_bursts: SampleStats::of(&bursts),
+            per_process,
+        }
+    }
+
+    /// Renders a compact human-readable report.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let line = |s: &SampleStats| {
+            format!(
+                "n={} min={} max={} mean={:.1} sd={:.1}",
+                s.count, s.min, s.max, s.mean, s.std_dev
+            )
+        };
+        let _ = writeln!(out, "message latency (ticks)   : {}", line(&self.message_latency));
+        let _ = writeln!(out, "checkpoint interval (ticks): {}", line(&self.checkpoint_intervals));
+        let _ = writeln!(out, "forced-checkpoint bursts  : {}", line(&self.forced_bursts));
+        for (i, (s, d, b, f)) in self.per_process.iter().enumerate() {
+            let _ = writeln!(out, "P{i}: {s} sends, {d} deliveries, {b} basic + {f} forced");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{scripted, BasicCheckpointModel, Runner, SimConfig, StopCondition};
+    use rdt_core::{Fdas, Uncoordinated};
+
+    #[test]
+    fn sample_stats_basics() {
+        let s = SampleStats::of(&[2, 4, 6]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 6);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+        assert_eq!(SampleStats::of(&[]), SampleStats::default());
+        assert_eq!(SampleStats::of(&[7]).std_dev, 0.0);
+    }
+
+    #[test]
+    fn latency_matches_constant_delay() {
+        let config = SimConfig::new(2)
+            .with_seed(1)
+            .with_basic_checkpoints(BasicCheckpointModel::Disabled)
+            .with_delay(crate::DelayModel::Constant { ticks: 25 })
+            .with_stop(StopCondition::MessagesSent(10));
+        let outcome = Runner::new(&config, Uncoordinated::new)
+            .run(&mut scripted((0..10).map(|_| (0, 1)).collect()));
+        let metrics = TraceMetrics::of(&outcome.trace);
+        assert_eq!(metrics.message_latency.count, 10);
+        assert_eq!(metrics.message_latency.min, 25);
+        assert_eq!(metrics.message_latency.max, 25);
+    }
+
+    #[test]
+    fn per_process_counts_match_stats() {
+        let config = SimConfig::new(2)
+            .with_seed(3)
+            .with_basic_checkpoints(BasicCheckpointModel::Exponential { mean: 20 })
+            .with_stop(StopCondition::MessagesSent(20));
+        let outcome = Runner::new(&config, Fdas::new)
+            .run(&mut scripted((0..20).map(|k| (k % 2, (k + 1) % 2)).collect()));
+        let metrics = TraceMetrics::of(&outcome.trace);
+        for (i, stats) in outcome.stats.per_process.iter().enumerate() {
+            let (s, d, b, f) = metrics.per_process[i];
+            assert_eq!(s, stats.messages_sent);
+            assert_eq!(d, stats.messages_delivered);
+            assert_eq!(b, stats.basic_checkpoints);
+            assert_eq!(f, stats.forced_checkpoints);
+        }
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let trace = Trace::new(2);
+        let metrics = TraceMetrics::of(&trace);
+        let text = metrics.render();
+        assert!(text.contains("message latency"));
+        assert!(text.contains("P0:"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Deterministic randomness for simulations.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::SimDuration;
+
+/// Seeded random number generator with the distributions the workloads and
+/// delay models need.
+///
+/// Wraps `rand`'s `SmallRng` so every run is a pure function of its seed;
+/// one `SimRng` per run, threaded through the event loop and the
+/// application callbacks.
+///
+/// # Example
+///
+/// ```rust
+/// use rdt_sim::SimRng;
+///
+/// let mut a = SimRng::seed(42);
+/// let mut b = SimRng::seed(42);
+/// assert_eq!(a.uniform_u64(0, 100), b.uniform_u64(0, 100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a seed.
+    pub fn seed(seed: u64) -> Self {
+        SimRng { inner: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Derives an independent child generator (used to give each process
+    /// its own stream without correlation).
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        // Mix a fresh draw with the salt through splitmix64 finalization.
+        let mut z = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        SimRng::seed(z ^ (z >> 31))
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range");
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Uniform index in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Exponentially distributed duration with the given mean, rounded to
+    /// ticks (minimum 1 tick so time always advances).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_ticks == 0`.
+    pub fn exponential(&mut self, mean_ticks: u64) -> SimDuration {
+        assert!(mean_ticks > 0, "mean must be positive");
+        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        let ticks = (-u.ln() * mean_ticks as f64).round() as u64;
+        SimDuration::from_ticks(ticks.max(1))
+    }
+
+    /// Uniformly distributed duration in `[lo, hi]` ticks (minimum 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform_duration(&mut self, lo: u64, hi: u64) -> SimDuration {
+        SimDuration::from_ticks(self.uniform_u64(lo, hi).max(1))
+    }
+
+    /// Picks a uniformly random element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = SimRng::seed(1);
+        let mut b = SimRng::seed(1);
+        for _ in 0..100 {
+            assert_eq!(a.uniform_u64(0, 1000), b.uniform_u64(0, 1000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed(1);
+        let mut b = SimRng::seed(2);
+        let same = (0..32).filter(|_| a.uniform_u64(0, u64::MAX) == b.uniform_u64(0, u64::MAX)).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn fork_streams_are_deterministic_and_distinct() {
+        let mut root1 = SimRng::seed(9);
+        let mut root2 = SimRng::seed(9);
+        let mut a1 = root1.fork(0);
+        let mut a2 = root2.fork(0);
+        assert_eq!(a1.uniform_u64(0, u64::MAX), a2.uniform_u64(0, u64::MAX));
+        let mut b1 = root1.fork(1);
+        assert_ne!(a1.uniform_u64(0, u64::MAX), b1.uniform_u64(0, u64::MAX));
+    }
+
+    #[test]
+    fn exponential_mean_is_roughly_right() {
+        let mut rng = SimRng::seed(5);
+        let mean = 1000u64;
+        let total: u64 = (0..20_000).map(|_| rng.exponential(mean).ticks()).sum();
+        let empirical = total as f64 / 20_000.0;
+        assert!((empirical - mean as f64).abs() < mean as f64 * 0.05, "mean {empirical}");
+    }
+
+    #[test]
+    fn durations_are_never_zero() {
+        let mut rng = SimRng::seed(6);
+        for _ in 0..1000 {
+            assert!(rng.exponential(1).ticks() >= 1);
+            assert!(rng.uniform_duration(0, 1).ticks() >= 1);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed(7);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn choose_picks_members() {
+        let mut rng = SimRng::seed(8);
+        let items = [10, 20, 30];
+        for _ in 0..20 {
+            assert!(items.contains(rng.choose(&items)));
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Simulated time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time, in abstract ticks.
+///
+/// Ticks have no physical unit; workloads fix the scale by choosing mean
+/// message and checkpoint intervals. `u64` ticks keep the event queue
+/// totally ordered and the simulation exactly reproducible (no floating
+/// point drift).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in abstract ticks.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from raw ticks.
+    pub fn from_ticks(ticks: u64) -> Self {
+        SimTime(ticks)
+    }
+
+    /// Raw tick count.
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Span from an earlier time to this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is later than `self`.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(earlier.0 <= self.0, "since() requires an earlier time");
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from raw ticks.
+    pub fn from_ticks(ticks: u64) -> Self {
+        SimDuration(ticks)
+    }
+
+    /// Raw tick count.
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ticks", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_ticks(10) + SimDuration::from_ticks(5);
+        assert_eq!(t.ticks(), 15);
+        assert_eq!(t.since(SimTime::from_ticks(10)).ticks(), 5);
+        assert_eq!((t - SimTime::from_ticks(1)).ticks(), 14);
+        let mut u = SimTime::ZERO;
+        u += SimDuration::from_ticks(3);
+        assert_eq!(u.ticks(), 3);
+        assert_eq!((SimDuration::from_ticks(1) + SimDuration::from_ticks(2)).ticks(), 3);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        assert!(SimTime::ZERO < SimTime::from_ticks(1));
+        assert_eq!(SimTime::from_ticks(4), SimTime::from_ticks(4));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::from_ticks(42).to_string(), "t42");
+        assert_eq!(SimDuration::from_ticks(7).to_string(), "7 ticks");
+    }
+}

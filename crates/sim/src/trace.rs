@@ -1,0 +1,280 @@
+//! Recorded traces and their conversion to checkpoint & communication
+//! patterns.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use rdt_causality::{CheckpointId, ProcessId};
+use rdt_core::CheckpointKind;
+use rdt_rgraph::{Pattern, PatternBuilder, PatternMessageId};
+
+use crate::SimTime;
+
+/// Identifier of a message within one simulation run (dense, send order).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SimMessageId(pub usize);
+
+impl fmt::Display for SimMessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// One event of a recorded trace, with its simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A message was sent.
+    Send {
+        /// Time of the send event.
+        at: SimTime,
+        /// Sending process.
+        from: ProcessId,
+        /// Destination process.
+        to: ProcessId,
+        /// Run-wide message id.
+        message: SimMessageId,
+    },
+    /// A message was delivered.
+    Deliver {
+        /// Time of the delivery event.
+        at: SimTime,
+        /// Delivering (destination) process.
+        to: ProcessId,
+        /// The sender.
+        from: ProcessId,
+        /// Run-wide message id.
+        message: SimMessageId,
+    },
+    /// A local checkpoint was taken.
+    Checkpoint {
+        /// Time of the checkpoint.
+        at: SimTime,
+        /// The checkpoint (process + index).
+        id: CheckpointId,
+        /// Basic or forced (initial checkpoints are implicit and not
+        /// recorded).
+        kind: CheckpointKind,
+    },
+}
+
+impl TraceEvent {
+    /// The simulated time of the event.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            TraceEvent::Send { at, .. }
+            | TraceEvent::Deliver { at, .. }
+            | TraceEvent::Checkpoint { at, .. } => at,
+        }
+    }
+
+    /// The process on which the event occurred.
+    pub fn process(&self) -> ProcessId {
+        match *self {
+            TraceEvent::Send { from, .. } => from,
+            TraceEvent::Deliver { to, .. } => to,
+            TraceEvent::Checkpoint { id, .. } => id.process,
+        }
+    }
+}
+
+/// The full record of one simulation run: every send, delivery and
+/// checkpoint, in global chronological order.
+///
+/// The chronological order is by construction a linear extension of the
+/// run's causality, so [`Trace::to_pattern`] can rebuild the checkpoint and
+/// communication pattern event by event.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    n: usize,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace over `n` processes.
+    pub fn new(n: usize) -> Self {
+        Trace { n, events: Vec::new() }
+    }
+
+    /// Number of processes.
+    pub fn num_processes(&self) -> usize {
+        self.n
+    }
+
+    /// Appends an event (runner-internal; events must arrive in
+    /// chronological order).
+    pub(crate) fn push(&mut self, event: TraceEvent) {
+        debug_assert!(
+            self.events.last().is_none_or(|last| last.at() <= event.at()),
+            "trace events must be chronological"
+        );
+        self.events.push(event);
+    }
+
+    /// All events, chronological.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// The state of the run at time `at`: a copy of the trace with every
+    /// event after `at` dropped. Messages whose delivery falls beyond the
+    /// cut become in-transit.
+    ///
+    /// This is the *failure-time view* for recovery analysis: truncate at
+    /// the crash instant, convert to a pattern, and compute the recovery
+    /// line from the checkpoints that existed then.
+    pub fn truncate_at(&self, at: SimTime) -> Trace {
+        Trace {
+            n: self.n,
+            events: self
+                .events
+                .iter()
+                .take_while(|event| event.at() <= at)
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// Time of the last event (`SimTime::ZERO` for an empty trace).
+    pub fn end_time(&self) -> SimTime {
+        self.events.last().map_or(SimTime::ZERO, TraceEvent::at)
+    }
+
+    /// Number of checkpoints recorded (excluding the implicit initial
+    /// ones).
+    pub fn checkpoint_count(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e, TraceEvent::Checkpoint { .. })).count()
+    }
+
+    /// Number of forced checkpoints recorded.
+    pub fn forced_checkpoint_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(
+                |e| matches!(e, TraceEvent::Checkpoint { kind: CheckpointKind::Forced, .. }),
+            )
+            .count()
+    }
+
+    /// Converts the trace into a checkpoint and communication pattern for
+    /// the `rdt-rgraph` theory queries.
+    ///
+    /// The pattern is *not* closed; call
+    /// [`Pattern::to_closed`] (or rely on
+    /// [`RdtChecker`](rdt_rgraph::RdtChecker), which closes internally)
+    /// when the analysis requires closed intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is internally inconsistent (a delivery without
+    /// its send) — cannot happen for runner-produced traces.
+    pub fn to_pattern(&self) -> Pattern {
+        let mut builder = PatternBuilder::new(self.n);
+        let mut message_map: Vec<Option<PatternMessageId>> = Vec::new();
+        for event in &self.events {
+            match *event {
+                TraceEvent::Send { from, to, message, .. } => {
+                    if message_map.len() <= message.0 {
+                        message_map.resize(message.0 + 1, None);
+                    }
+                    message_map[message.0] = Some(builder.send(from, to));
+                }
+                TraceEvent::Deliver { message, .. } => {
+                    let id = message_map
+                        .get(message.0)
+                        .copied()
+                        .flatten()
+                        .expect("delivery of an unsent message");
+                    builder.deliver(id).expect("double delivery in trace");
+                }
+                TraceEvent::Checkpoint { id, .. } => {
+                    let built = builder.checkpoint(id.process);
+                    debug_assert_eq!(built, id, "trace checkpoint indices must be dense");
+                }
+            }
+        }
+        builder.build().expect("runner traces are well-formed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn to_pattern_roundtrips_structure() {
+        let mut trace = Trace::new(2);
+        let t = SimTime::from_ticks;
+        trace.push(TraceEvent::Send { at: t(1), from: p(0), to: p(1), message: SimMessageId(0) });
+        trace.push(TraceEvent::Checkpoint {
+            at: t(2),
+            id: CheckpointId::new(p(0), 1),
+            kind: CheckpointKind::Basic,
+        });
+        trace.push(TraceEvent::Deliver {
+            at: t(3),
+            to: p(1),
+            from: p(0),
+            message: SimMessageId(0),
+        });
+        let pattern = trace.to_pattern();
+        assert_eq!(pattern.num_processes(), 2);
+        assert_eq!(pattern.num_messages(), 1);
+        assert_eq!(pattern.checkpoint_count(p(0)), 2);
+        assert_eq!(trace.checkpoint_count(), 1);
+        assert_eq!(trace.forced_checkpoint_count(), 0);
+        assert!(pattern.linearize().is_ok());
+    }
+
+    #[test]
+    fn truncate_keeps_prefix_and_strands_messages() {
+        let mut trace = Trace::new(2);
+        let t = SimTime::from_ticks;
+        trace.push(TraceEvent::Send { at: t(1), from: p(0), to: p(1), message: SimMessageId(0) });
+        trace.push(TraceEvent::Send { at: t(2), from: p(0), to: p(1), message: SimMessageId(1) });
+        trace.push(TraceEvent::Deliver {
+            at: t(5),
+            to: p(1),
+            from: p(0),
+            message: SimMessageId(0),
+        });
+        trace.push(TraceEvent::Deliver {
+            at: t(9),
+            to: p(1),
+            from: p(0),
+            message: SimMessageId(1),
+        });
+        let cut = trace.truncate_at(t(5));
+        assert_eq!(cut.events().len(), 3);
+        assert_eq!(cut.end_time(), t(5));
+        let pattern = cut.to_pattern();
+        assert_eq!(pattern.num_messages(), 2);
+        assert_eq!(pattern.delivered_messages().count(), 1, "m1 is now in transit");
+        // Truncating at the end is the identity.
+        assert_eq!(trace.truncate_at(trace.end_time()).events(), trace.events());
+    }
+
+    #[test]
+    fn event_accessors() {
+        let e = TraceEvent::Send {
+            at: SimTime::from_ticks(5),
+            from: p(1),
+            to: p(0),
+            message: SimMessageId(3),
+        };
+        assert_eq!(e.at().ticks(), 5);
+        assert_eq!(e.process(), p(1));
+        let c = TraceEvent::Checkpoint {
+            at: SimTime::from_ticks(6),
+            id: CheckpointId::new(p(0), 2),
+            kind: CheckpointKind::Forced,
+        };
+        assert_eq!(c.process(), p(0));
+    }
+}

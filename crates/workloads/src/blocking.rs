@@ -1,0 +1,286 @@
+//! Koo–Toueg two-phase coordinated checkpointing (blocking).
+//!
+//! The second classical coordination reference of the paper's introduction
+//! ([6]): an initiator asks everybody to take a *tentative* checkpoint;
+//! participants checkpoint, **stop sending application messages**, and
+//! acknowledge; once all acknowledgements are in, the initiator commits
+//! and everybody resumes. Consistency comes from the blocking — no message
+//! can cross the wave from after-checkpoint to before-checkpoint — at the
+//! price of stalled senders, which [`KooToueg::blocked_ticks`] quantifies.
+//!
+//! Unlike Chandy–Lamport, no FIFO assumption is needed.
+
+use rdt_causality::ProcessId;
+use rdt_sim::{AppContext, Application, SimDuration, SimTime};
+
+/// Tag of the "take a tentative checkpoint" request.
+pub const KT_REQUEST: u32 = u32::MAX - 1;
+/// Tag of the participant acknowledgement.
+pub const KT_ACK: u32 = u32::MAX - 2;
+/// Tag of the commit message.
+pub const KT_COMMIT: u32 = u32::MAX - 3;
+
+/// Koo–Toueg checkpointing layered over an inner workload.
+///
+/// Process 0 initiates a wave every `wave_interval` ticks. While a process
+/// is between its tentative checkpoint and the commit, application sends
+/// produced by the inner workload are *deferred* and flushed at commit
+/// time (modelling the blocking without losing traffic).
+///
+/// # Example
+///
+/// ```rust
+/// use rdt_core::ProtocolKind;
+/// use rdt_sim::{run_protocol_kind, BasicCheckpointModel, SimConfig, SimTime, StopCondition};
+/// use rdt_workloads::{KooToueg, RandomEnvironment};
+///
+/// let config = SimConfig::new(4)
+///     .with_seed(5)
+///     .with_basic_checkpoints(BasicCheckpointModel::Disabled)
+///     .with_stop(StopCondition::Time(SimTime::from_ticks(5_000)));
+/// let mut app = KooToueg::new(RandomEnvironment::new(25), 1_200);
+/// let outcome = run_protocol_kind(ProtocolKind::Uncoordinated, &config, &mut app);
+/// assert!(outcome.stats.total.basic_checkpoints > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KooToueg<A> {
+    inner: A,
+    wave_interval: u64,
+    state: Vec<Member>,
+    acks_outstanding: usize,
+    waves: u64,
+    control_messages: u64,
+    blocked_ticks: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Member {
+    blocked: bool,
+    blocked_since: Option<SimTime>,
+    deferred: Vec<(ProcessId, u32)>,
+}
+
+impl<A: Application> KooToueg<A> {
+    /// Wraps `inner`, initiating a checkpoint wave from process 0 every
+    /// `wave_interval` ticks. The interval must comfortably exceed a
+    /// round-trip so waves do not overlap.
+    pub fn new(inner: A, wave_interval: u64) -> Self {
+        KooToueg {
+            inner,
+            wave_interval: wave_interval.max(1),
+            state: Vec::new(),
+            acks_outstanding: 0,
+            waves: 0,
+            control_messages: 0,
+            blocked_ticks: 0,
+        }
+    }
+
+    /// Checkpoint waves completed or in progress.
+    pub fn waves(&self) -> u64 {
+        self.waves
+    }
+
+    /// Control messages (requests, acks, commits) sent.
+    pub fn control_messages(&self) -> u64 {
+        self.control_messages
+    }
+
+    /// Total simulated ticks processes spent blocked (summed over
+    /// processes) — the coordination cost Koo–Toueg pays that CIC avoids.
+    pub fn blocked_ticks(&self) -> u64 {
+        self.blocked_ticks
+    }
+
+    /// Access to the wrapped workload.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+
+    fn ensure_state(&mut self, n: usize) {
+        if self.state.len() != n {
+            self.state = vec![Member::default(); n];
+        }
+    }
+
+    fn block(&mut self, me: usize, now: SimTime) {
+        let member = &mut self.state[me];
+        if !member.blocked {
+            member.blocked = true;
+            member.blocked_since = Some(now);
+        }
+    }
+
+    fn unblock(&mut self, me: usize, now: SimTime, ctx: &mut AppContext<'_>) {
+        let member = &mut self.state[me];
+        if member.blocked {
+            member.blocked = false;
+            if let Some(since) = member.blocked_since.take() {
+                self.blocked_ticks += now.since(since).ticks();
+            }
+            let deferred = std::mem::take(&mut member.deferred);
+            for (dest, tag) in deferred {
+                ctx.send_tagged(dest, tag);
+            }
+        }
+    }
+
+    /// After an inner callback, capture its sends if we are blocked.
+    fn capture_if_blocked(&mut self, ctx: &mut AppContext<'_>) {
+        let me = ctx.me().index();
+        if self.state[me].blocked && ctx.has_queued_sends() {
+            let sends = ctx.take_queued_sends();
+            self.state[me].deferred.extend(sends);
+        }
+    }
+}
+
+impl<A: Application> Application for KooToueg<A> {
+    fn on_start(&mut self, ctx: &mut AppContext<'_>) {
+        self.ensure_state(ctx.num_processes());
+        self.inner.on_start(ctx);
+        self.capture_if_blocked(ctx);
+        if ctx.me().index() == 0 && ctx.num_processes() >= 2 {
+            ctx.schedule_activation(SimDuration::from_ticks(self.wave_interval));
+        }
+    }
+
+    fn on_activate(&mut self, ctx: &mut AppContext<'_>) {
+        self.ensure_state(ctx.num_processes());
+        let me = ctx.me().index();
+        if me == 0 {
+            let n = ctx.num_processes();
+            if self.acks_outstanding == 0 {
+                // Phase 1: tentative checkpoint, block, request the rest.
+                self.waves += 1;
+                ctx.request_checkpoint();
+                self.block(0, ctx.now());
+                self.acks_outstanding = n - 1;
+                for other in ProcessId::all(n).skip(1) {
+                    ctx.send_tagged(other, KT_REQUEST);
+                    self.control_messages += 1;
+                }
+            }
+            // Re-arm regardless (a late wave just waits for the next slot).
+            ctx.schedule_activation(SimDuration::from_ticks(self.wave_interval));
+        } else {
+            self.inner.on_activate(ctx);
+            self.capture_if_blocked(ctx);
+        }
+    }
+
+    fn on_deliver(&mut self, ctx: &mut AppContext<'_>, from: ProcessId) {
+        self.inner.on_deliver(ctx, from);
+        self.capture_if_blocked(ctx);
+    }
+
+    fn before_deliver(&mut self, me: ProcessId, _from: ProcessId, tag: u32) -> bool {
+        // Participants take their tentative checkpoint before the request
+        // is delivered, so the request itself is no orphan of the wave.
+        tag == KT_REQUEST
+            && self.state.get(me.index()).is_none_or(|member| !member.blocked)
+    }
+
+    fn on_deliver_tagged(&mut self, ctx: &mut AppContext<'_>, from: ProcessId, tag: u32) {
+        self.ensure_state(ctx.num_processes());
+        let me = ctx.me().index();
+        let now = ctx.now();
+        match tag {
+            KT_REQUEST => {
+                // Checkpoint already taken by the runner (before_deliver);
+                // block and acknowledge.
+                self.block(me, now);
+                ctx.send_tagged(from, KT_ACK);
+                self.control_messages += 1;
+            }
+            KT_ACK => {
+                debug_assert_eq!(me, 0, "only the initiator collects acks");
+                self.acks_outstanding = self.acks_outstanding.saturating_sub(1);
+                if self.acks_outstanding == 0 {
+                    // Phase 2: commit everywhere, unblock self.
+                    let n = ctx.num_processes();
+                    for other in ProcessId::all(n).skip(1) {
+                        ctx.send_tagged(other, KT_COMMIT);
+                        self.control_messages += 1;
+                    }
+                    self.unblock(0, now, ctx);
+                }
+            }
+            KT_COMMIT => {
+                self.unblock(me, now, ctx);
+            }
+            _ => {
+                self.inner.on_deliver_tagged(ctx, from, tag);
+                self.capture_if_blocked(ctx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RandomEnvironment;
+    use rdt_core::ProtocolKind;
+    use rdt_sim::{run_protocol_kind, BasicCheckpointModel, SimConfig, StopCondition};
+
+    fn config(n: usize, ticks: u64) -> SimConfig {
+        SimConfig::new(n)
+            .with_seed(23)
+            .with_basic_checkpoints(BasicCheckpointModel::Disabled)
+            .with_stop(StopCondition::Time(SimTime::from_ticks(ticks)))
+    }
+
+    #[test]
+    fn waves_checkpoint_every_process() {
+        let n = 5;
+        let mut app = KooToueg::new(RandomEnvironment::new(30), 1_500);
+        let outcome = run_protocol_kind(ProtocolKind::Uncoordinated, &config(n, 7_000), &mut app);
+        let waves = app.waves();
+        assert!(waves >= 3, "only {waves} waves");
+        let pattern = outcome.trace.to_pattern();
+        for i in 0..n {
+            let count = pattern.checkpoint_count(rdt_causality::ProcessId::new(i)) - 1;
+            assert!(count as u64 >= waves - 1, "P{i}: {count} checkpoints, {waves} waves");
+        }
+        // 3(n-1) control messages per completed wave.
+        assert!(app.control_messages() >= (waves - 1) * 3 * (n as u64 - 1));
+    }
+
+    #[test]
+    fn wave_cuts_are_consistent_without_fifo() {
+        use rdt_rgraph::{consistency, GlobalCheckpoint};
+        let n = 4;
+        let mut app = KooToueg::new(RandomEnvironment::new(25), 1_500);
+        let outcome = run_protocol_kind(ProtocolKind::Uncoordinated, &config(n, 8_000), &mut app);
+        let pattern = outcome.trace.to_pattern().to_closed();
+        let complete = (0..n)
+            .map(|i| pattern.last_checkpoint_index(rdt_causality::ProcessId::new(i)))
+            .min()
+            .unwrap();
+        assert!(complete >= 2);
+        for k in 0..=complete {
+            let gc = GlobalCheckpoint::new(vec![k; n]);
+            assert!(
+                consistency::is_consistent(&pattern, &gc),
+                "wave {k} is not a consistent cut"
+            );
+        }
+    }
+
+    #[test]
+    fn blocking_time_is_measured() {
+        let mut app = KooToueg::new(RandomEnvironment::new(25), 1_000);
+        let _ = run_protocol_kind(ProtocolKind::Uncoordinated, &config(4, 6_000), &mut app);
+        assert!(app.blocked_ticks() > 0, "waves must block for at least the round-trips");
+    }
+
+    #[test]
+    fn deferred_traffic_is_flushed() {
+        // Traffic keeps flowing despite the blocking: the run delivers far
+        // more app messages than control messages.
+        let mut app = KooToueg::new(RandomEnvironment::new(10), 2_000);
+        let outcome = run_protocol_kind(ProtocolKind::Uncoordinated, &config(4, 8_000), &mut app);
+        assert!(outcome.stats.total.messages_sent > 2 * app.control_messages());
+    }
+}

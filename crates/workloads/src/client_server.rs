@@ -1,0 +1,148 @@
+//! The client/server environment (Figure 9 of the evaluation).
+
+use rdt_causality::ProcessId;
+use rdt_sim::{AppContext, Application};
+
+/// Servers `S_1 … S_n` arranged in a chain (§5.3):
+///
+/// * process 0 plays the external client: it periodically sends a request
+///   to `S_1` (process 1) and waits for the reply before issuing the next
+///   request;
+/// * when `S_k` is delivered a request, it either replies to its requester
+///   or forwards a sub-request to `S_{k+1}` with probability ½ and waits
+///   for the sub-reply (which it then propagates back);
+/// * the last server always replies.
+///
+/// The paper singles this environment out because *the causal past of any
+/// message contains all the messages of the computation*: every dependency
+/// is eventually visible to everyone, which maximizes what dependency
+/// tracking can exploit and separates the BHMR family from FDAS most
+/// clearly.
+///
+/// # Example
+///
+/// ```rust
+/// use rdt_core::ProtocolKind;
+/// use rdt_sim::{run_protocol_kind, SimConfig, StopCondition};
+/// use rdt_workloads::ClientServerEnvironment;
+///
+/// let config = SimConfig::new(5).with_seed(8).with_stop(StopCondition::MessagesSent(300));
+/// let mut app = ClientServerEnvironment::new(30);
+/// let outcome = run_protocol_kind(ProtocolKind::Fdas, &config, &mut app);
+/// assert!(outcome.stats.total.messages_delivered > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClientServerEnvironment {
+    mean_request_interval: u64,
+    /// Per-server: who is waiting on us (the requester to answer when our
+    /// sub-request resolves). `None` = idle.
+    pending_requester: Vec<Option<ProcessId>>,
+    /// Per-server: are we waiting for a sub-reply from the next server?
+    awaiting_subreply: Vec<bool>,
+}
+
+impl ClientServerEnvironment {
+    /// Creates the environment; the client thinks for an exponentially
+    /// distributed time with the given mean between request cycles.
+    pub fn new(mean_request_interval: u64) -> Self {
+        ClientServerEnvironment {
+            mean_request_interval,
+            pending_requester: Vec::new(),
+            awaiting_subreply: Vec::new(),
+        }
+    }
+
+    fn ensure_state(&mut self, n: usize) {
+        if self.pending_requester.len() != n {
+            self.pending_requester = vec![None; n];
+            self.awaiting_subreply = vec![false; n];
+        }
+    }
+}
+
+impl Application for ClientServerEnvironment {
+    fn on_start(&mut self, ctx: &mut AppContext<'_>) {
+        self.ensure_state(ctx.num_processes());
+        // Only the client self-activates; servers are purely reactive.
+        if ctx.me().index() == 0 && ctx.num_processes() >= 2 {
+            let delay = ctx.rng().exponential(self.mean_request_interval.max(1));
+            ctx.schedule_activation(delay);
+        }
+    }
+
+    fn on_activate(&mut self, ctx: &mut AppContext<'_>) {
+        // Client issues a request to S_1 and waits (no rescheduling until
+        // the reply arrives).
+        ctx.send(ProcessId::new(1));
+    }
+
+    fn on_deliver(&mut self, ctx: &mut AppContext<'_>, from: ProcessId) {
+        self.ensure_state(ctx.num_processes());
+        let me = ctx.me().index();
+        let n = ctx.num_processes();
+        if me == 0 {
+            // The client got its reply: think, then issue the next request.
+            let delay = ctx.rng().exponential(self.mean_request_interval.max(1));
+            ctx.schedule_activation(delay);
+            return;
+        }
+        if self.awaiting_subreply[me] && from.index() == me + 1 {
+            // Sub-reply from downstream: propagate the reply upstream.
+            self.awaiting_subreply[me] = false;
+            if let Some(requester) = self.pending_requester[me].take() {
+                ctx.send(requester);
+            }
+            return;
+        }
+        // A fresh (sub-)request from upstream.
+        let is_last = me + 1 >= n;
+        if is_last || ctx.rng().chance(0.5) {
+            // Serve locally: reply immediately.
+            ctx.send(from);
+        } else {
+            // Forward to the next server and wait.
+            self.pending_requester[me] = Some(from);
+            self.awaiting_subreply[me] = true;
+            ctx.send(ProcessId::new(me + 1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdt_core::ProtocolKind;
+    use rdt_sim::{run_protocol_kind, SimConfig, StopCondition};
+
+    #[test]
+    fn requests_flow_and_replies_return() {
+        let config = SimConfig::new(6).with_seed(17).with_stop(StopCondition::MessagesSent(500));
+        let mut app = ClientServerEnvironment::new(10);
+        let outcome = run_protocol_kind(ProtocolKind::Uncoordinated, &config, &mut app);
+        // The client participates in every exchange: it must both send and
+        // receive a substantial share.
+        let client = &outcome.stats.per_process[0];
+        assert!(client.messages_sent >= 50, "client sent {}", client.messages_sent);
+        assert!(client.messages_delivered >= 50);
+        // S_1 handles every request.
+        assert!(outcome.stats.per_process[1].messages_delivered >= client.messages_sent - 1);
+    }
+
+    #[test]
+    fn deep_chain_reaches_last_server_sometimes() {
+        let config = SimConfig::new(4).with_seed(23).with_stop(StopCondition::MessagesSent(2000));
+        let mut app = ClientServerEnvironment::new(5);
+        let outcome = run_protocol_kind(ProtocolKind::Uncoordinated, &config, &mut app);
+        let last = &outcome.stats.per_process[3];
+        assert!(last.messages_delivered > 0, "chain never reached S_3");
+    }
+
+    #[test]
+    fn two_process_degenerate_case_works() {
+        // Client + single server which always serves locally.
+        let config = SimConfig::new(2).with_seed(29).with_stop(StopCondition::MessagesSent(50));
+        let mut app = ClientServerEnvironment::new(5);
+        let outcome = run_protocol_kind(ProtocolKind::Uncoordinated, &config, &mut app);
+        assert_eq!(outcome.stats.total.messages_sent, 50);
+    }
+}

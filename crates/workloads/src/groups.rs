@@ -1,0 +1,198 @@
+//! The overlapping group communication environment (Figure 8 of the
+//! evaluation).
+
+use rdt_causality::ProcessId;
+use rdt_sim::{AppContext, Application};
+
+/// Static assignment of processes to (possibly overlapping) groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupLayout {
+    groups: Vec<Vec<ProcessId>>,
+}
+
+impl GroupLayout {
+    /// Builds a layout from explicit member lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any group is empty.
+    pub fn new(groups: Vec<Vec<ProcessId>>) -> Self {
+        assert!(groups.iter().all(|g| !g.is_empty()), "groups must be non-empty");
+        GroupLayout { groups }
+    }
+
+    /// The classical overlapping layout: consecutive windows of
+    /// `group_size` processes, each overlapping the next by `overlap`
+    /// members, wrapping around the ring of `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_size == 0`, `group_size > n`, or
+    /// `overlap >= group_size`.
+    pub fn overlapping(n: usize, group_size: usize, overlap: usize) -> Self {
+        assert!(group_size > 0 && group_size <= n, "group size out of range");
+        assert!(overlap < group_size, "overlap must be smaller than the group size");
+        let stride = group_size - overlap;
+        let mut groups = Vec::new();
+        let mut start = 0usize;
+        loop {
+            let members = (0..group_size).map(|k| ProcessId::new((start + k) % n)).collect();
+            groups.push(members);
+            start += stride;
+            if start >= n {
+                break;
+            }
+        }
+        GroupLayout { groups }
+    }
+
+    /// The groups `process` belongs to (indices into the layout).
+    pub fn groups_of(&self, process: ProcessId) -> Vec<usize> {
+        self.groups
+            .iter()
+            .enumerate()
+            .filter(|(_, members)| members.contains(&process))
+            .map(|(g, _)| g)
+            .collect()
+    }
+
+    /// Members of group `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn members(&self, g: usize) -> &[ProcessId] {
+        &self.groups[g]
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+/// Overlapping group communication: on each activation a process picks one
+/// of its groups uniformly and multicasts to every other member (as
+/// unicasts — the model has no multicast primitive, §2.1); receivers
+/// acknowledge the multicast back to its sender with a configurable
+/// probability.
+///
+/// Processes in the overlap relay causal knowledge between groups, and the
+/// acknowledgements close request/reply loops inside each group — exactly
+/// the structure that gives the `causal` matrix of the BHMR protocol
+/// something to certify (Figure 3's causal-sibling situation arises
+/// naturally here).
+#[derive(Debug, Clone)]
+pub struct GroupEnvironment {
+    layout: GroupLayout,
+    mean_send_interval: u64,
+    reply_probability: f64,
+}
+
+impl GroupEnvironment {
+    /// Creates the environment over `layout`, with exponential think times
+    /// of the given mean between multicasts and the default
+    /// acknowledgement probability of `0.5`.
+    pub fn new(layout: GroupLayout, mean_send_interval: u64) -> Self {
+        GroupEnvironment { layout, mean_send_interval, reply_probability: 0.5 }
+    }
+
+    /// Sets the probability that a member acknowledges a received
+    /// multicast to its sender.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn with_reply_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.reply_probability = p;
+        self
+    }
+
+    /// The layout in use.
+    pub fn layout(&self) -> &GroupLayout {
+        &self.layout
+    }
+
+    fn reschedule(&self, ctx: &mut AppContext<'_>) {
+        let delay = ctx.rng().exponential(self.mean_send_interval.max(1));
+        ctx.schedule_activation(delay);
+    }
+}
+
+impl Application for GroupEnvironment {
+    fn on_start(&mut self, ctx: &mut AppContext<'_>) {
+        if !self.layout.groups_of(ctx.me()).is_empty() {
+            self.reschedule(ctx);
+        }
+    }
+
+    fn on_activate(&mut self, ctx: &mut AppContext<'_>) {
+        let my_groups = self.layout.groups_of(ctx.me());
+        if let Some(&g) = (!my_groups.is_empty()).then(|| ctx.rng().choose(&my_groups)) {
+            let members: Vec<ProcessId> =
+                self.layout.members(g).iter().copied().filter(|&m| m != ctx.me()).collect();
+            for member in members {
+                ctx.send(member);
+            }
+        }
+        self.reschedule(ctx);
+    }
+
+    fn on_deliver(&mut self, ctx: &mut AppContext<'_>, from: ProcessId) {
+        if self.reply_probability > 0.0 && ctx.rng().chance(self.reply_probability) {
+            ctx.send(from);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdt_core::ProtocolKind;
+    use rdt_sim::{run_protocol_kind, SimConfig, StopCondition};
+
+    #[test]
+    fn overlapping_layout_shapes() {
+        let layout = GroupLayout::overlapping(8, 4, 1);
+        // stride 3: groups start at 0, 3, 6 -> 3 groups.
+        assert_eq!(layout.num_groups(), 3);
+        assert_eq!(
+            layout.members(0),
+            &[ProcessId::new(0), ProcessId::new(1), ProcessId::new(2), ProcessId::new(3)]
+        );
+        // Group at 6 wraps: {6, 7, 0, 1}.
+        assert!(layout.members(2).contains(&ProcessId::new(0)));
+        // P3 sits in the overlap of groups 0 and 1.
+        assert_eq!(layout.groups_of(ProcessId::new(3)), vec![0, 1]);
+    }
+
+    #[test]
+    fn multicasts_hit_whole_groups() {
+        let layout = GroupLayout::overlapping(6, 3, 1);
+        let config = SimConfig::new(6).with_seed(31).with_stop(StopCondition::MessagesSent(400));
+        let mut app = GroupEnvironment::new(layout, 15);
+        let outcome = run_protocol_kind(ProtocolKind::Uncoordinated, &config, &mut app);
+        // Every process is in some group, so everyone sends and receives.
+        for (i, stats) in outcome.stats.per_process.iter().enumerate() {
+            assert!(stats.messages_sent > 0, "P{i} never sent");
+            assert!(stats.messages_delivered > 0, "P{i} never received");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlap_must_be_smaller_than_group() {
+        let _ = GroupLayout::overlapping(8, 3, 3);
+    }
+
+    #[test]
+    fn explicit_layout() {
+        let layout = GroupLayout::new(vec![
+            vec![ProcessId::new(0), ProcessId::new(1)],
+            vec![ProcessId::new(1), ProcessId::new(2)],
+        ]);
+        assert_eq!(layout.groups_of(ProcessId::new(1)), vec![0, 1]);
+        assert_eq!(layout.groups_of(ProcessId::new(2)), vec![1]);
+    }
+}

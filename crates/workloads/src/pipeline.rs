@@ -1,0 +1,81 @@
+//! Producer/consumer pipeline environment (extra workload).
+
+use rdt_causality::ProcessId;
+use rdt_sim::{AppContext, Application};
+
+/// A streaming pipeline `P_0 → P_1 → … → P_{n-1}`: `P_0` produces items at
+/// an exponential rate; every middle stage forwards each item downstream
+/// after processing; the last stage consumes.
+///
+/// Unlike the ring, many items are in flight simultaneously, so deliveries
+/// and sends interleave within intervals and non-causal chains *can* form
+/// once basic checkpoints cut the stages at different points — a good
+/// middle ground between the random and ring workloads.
+#[derive(Debug, Clone)]
+pub struct PipelineEnvironment {
+    mean_produce_interval: u64,
+}
+
+impl PipelineEnvironment {
+    /// Creates the environment; the producer emits items with the given
+    /// mean interval (ticks).
+    pub fn new(mean_produce_interval: u64) -> Self {
+        PipelineEnvironment { mean_produce_interval }
+    }
+
+    fn produce_later(&self, ctx: &mut AppContext<'_>) {
+        let delay = ctx.rng().exponential(self.mean_produce_interval.max(1));
+        ctx.schedule_activation(delay);
+    }
+}
+
+impl Application for PipelineEnvironment {
+    fn on_start(&mut self, ctx: &mut AppContext<'_>) {
+        if ctx.me().index() == 0 && ctx.num_processes() >= 2 {
+            self.produce_later(ctx);
+        }
+    }
+
+    fn on_activate(&mut self, ctx: &mut AppContext<'_>) {
+        // The producer emits one item and keeps producing.
+        ctx.send(ProcessId::new(1));
+        self.produce_later(ctx);
+    }
+
+    fn on_deliver(&mut self, ctx: &mut AppContext<'_>, _from: ProcessId) {
+        let me = ctx.me().index();
+        let next = me + 1;
+        if me > 0 && next < ctx.num_processes() {
+            ctx.send(ProcessId::new(next));
+        }
+        // The last stage consumes silently.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdt_core::ProtocolKind;
+    use rdt_sim::{run_protocol_kind, SimConfig, StopCondition};
+
+    #[test]
+    fn items_flow_to_the_sink() {
+        let config = SimConfig::new(4).with_seed(51).with_stop(StopCondition::MessagesSent(300));
+        let mut app = PipelineEnvironment::new(5);
+        let outcome = run_protocol_kind(ProtocolKind::Uncoordinated, &config, &mut app);
+        let sink = outcome.stats.per_process.last().unwrap();
+        assert!(sink.messages_delivered > 50, "sink got {}", sink.messages_delivered);
+        assert_eq!(sink.messages_sent, 0, "the sink never sends");
+    }
+
+    #[test]
+    fn stages_overlap_in_flight() {
+        // With production faster than the channel delay, multiple items are
+        // in flight: middle stages both send and receive plenty.
+        let config = SimConfig::new(3).with_seed(53).with_stop(StopCondition::MessagesSent(200));
+        let mut app = PipelineEnvironment::new(2);
+        let outcome = run_protocol_kind(ProtocolKind::Fdas, &config, &mut app);
+        let mid = &outcome.stats.per_process[1];
+        assert!(mid.messages_sent > 0 && mid.messages_delivered > 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! The general random environment (Figure 7 of the evaluation).
+
+use rdt_causality::ProcessId;
+use rdt_sim::{AppContext, Application};
+
+/// Every process alternates local computation and communication: after an
+/// exponentially distributed think time it sends one message to a
+/// uniformly random other process, then repeats.
+///
+/// This is the "general distributed computation" of the paper's simulation
+/// study: no structure, uniform load, all-to-all traffic.
+///
+/// # Example
+///
+/// ```rust
+/// use rdt_core::ProtocolKind;
+/// use rdt_sim::{run_protocol_kind, SimConfig, StopCondition};
+/// use rdt_workloads::RandomEnvironment;
+///
+/// let config = SimConfig::new(4).with_seed(2).with_stop(StopCondition::MessagesSent(100));
+/// let mut app = RandomEnvironment::new(25);
+/// let outcome = run_protocol_kind(ProtocolKind::Bhmr, &config, &mut app);
+/// assert_eq!(outcome.stats.total.messages_sent, 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomEnvironment {
+    mean_send_interval: u64,
+}
+
+impl RandomEnvironment {
+    /// Creates the environment; each process draws send intervals
+    /// exponentially with the given mean (ticks).
+    pub fn new(mean_send_interval: u64) -> Self {
+        RandomEnvironment { mean_send_interval }
+    }
+
+    fn reschedule(&self, ctx: &mut AppContext<'_>) {
+        // A lone process can never send: rescheduling would spin the event
+        // loop forever without advancing the message count.
+        if ctx.num_processes() < 2 {
+            return;
+        }
+        let delay = ctx.rng().exponential(self.mean_send_interval.max(1));
+        ctx.schedule_activation(delay);
+    }
+}
+
+impl Application for RandomEnvironment {
+    fn on_start(&mut self, ctx: &mut AppContext<'_>) {
+        self.reschedule(ctx);
+    }
+
+    fn on_activate(&mut self, ctx: &mut AppContext<'_>) {
+        let n = ctx.num_processes();
+        if n > 1 {
+            let me = ctx.me().index();
+            let pick = ctx.rng().index(n - 1);
+            let dest = if pick >= me { pick + 1 } else { pick };
+            ctx.send(ProcessId::new(dest));
+        }
+        self.reschedule(ctx);
+    }
+
+    fn on_deliver(&mut self, _ctx: &mut AppContext<'_>, _from: ProcessId) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdt_core::ProtocolKind;
+    use rdt_sim::{run_protocol_kind, SimConfig, StopCondition};
+
+    #[test]
+    fn traffic_is_spread_over_all_processes() {
+        let config = SimConfig::new(8).with_seed(3).with_stop(StopCondition::MessagesSent(800));
+        let mut app = RandomEnvironment::new(10);
+        let outcome = run_protocol_kind(ProtocolKind::Uncoordinated, &config, &mut app);
+        for (i, stats) in outcome.stats.per_process.iter().enumerate() {
+            assert!(stats.messages_sent > 30, "process {i} sent {}", stats.messages_sent);
+        }
+    }
+
+    #[test]
+    fn never_sends_to_self() {
+        // The destination skip logic must exclude the sender; a self-send
+        // would panic inside AppContext::send.
+        let config = SimConfig::new(2).with_seed(4).with_stop(StopCondition::MessagesSent(200));
+        let mut app = RandomEnvironment::new(5);
+        let outcome = run_protocol_kind(ProtocolKind::Uncoordinated, &config, &mut app);
+        assert_eq!(outcome.stats.total.messages_sent, 200);
+    }
+
+    #[test]
+    fn single_process_sends_nothing() {
+        let config = SimConfig::new(1).with_seed(4).with_stop(StopCondition::MessagesSent(10));
+        let mut app = RandomEnvironment::new(5);
+        let outcome = run_protocol_kind(ProtocolKind::Uncoordinated, &config, &mut app);
+        assert_eq!(outcome.stats.total.messages_sent, 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Token-ring environment (regular communication; extra workload).
+
+use rdt_causality::ProcessId;
+use rdt_sim::{AppContext, Application};
+
+/// A token circulates on the unidirectional ring `P_0 → P_1 → … → P_0`:
+/// each process holds the token for an exponentially distributed service
+/// time, then passes it on.
+///
+/// The most regular communication pattern possible: one message in flight
+/// at a time, every chain causal by construction. RDT-ensuring protocols
+/// should force (almost) nothing here — a useful lower-bound workload for
+/// the evaluation and a sanity check for the protocol implementations.
+#[derive(Debug, Clone)]
+pub struct RingEnvironment {
+    mean_hold_time: u64,
+}
+
+impl RingEnvironment {
+    /// Creates the environment with the given mean token-hold time
+    /// (ticks).
+    pub fn new(mean_hold_time: u64) -> Self {
+        RingEnvironment { mean_hold_time }
+    }
+
+    fn pass_later(&self, ctx: &mut AppContext<'_>) {
+        let delay = ctx.rng().exponential(self.mean_hold_time.max(1));
+        ctx.schedule_activation(delay);
+    }
+}
+
+impl Application for RingEnvironment {
+    fn on_start(&mut self, ctx: &mut AppContext<'_>) {
+        // P0 starts with the token.
+        if ctx.me().index() == 0 && ctx.num_processes() >= 2 {
+            self.pass_later(ctx);
+        }
+    }
+
+    fn on_activate(&mut self, ctx: &mut AppContext<'_>) {
+        let next = (ctx.me().index() + 1) % ctx.num_processes();
+        ctx.send(ProcessId::new(next));
+    }
+
+    fn on_deliver(&mut self, ctx: &mut AppContext<'_>, _from: ProcessId) {
+        // Received the token: hold it, then pass it on.
+        self.pass_later(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdt_core::ProtocolKind;
+    use rdt_sim::{run_protocol_kind, BasicCheckpointModel, SimConfig, StopCondition};
+
+    #[test]
+    fn token_visits_everyone_in_order() {
+        let config = SimConfig::new(5).with_seed(41).with_stop(StopCondition::MessagesSent(50));
+        let mut app = RingEnvironment::new(7);
+        let outcome = run_protocol_kind(ProtocolKind::Uncoordinated, &config, &mut app);
+        assert_eq!(outcome.stats.total.messages_sent, 50);
+        for stats in &outcome.stats.per_process {
+            assert!(stats.messages_sent >= 9, "token skipped someone");
+        }
+    }
+
+    #[test]
+    fn first_lap_forces_nothing() {
+        // Until the token returns to a process that has already sent, every
+        // chain is causal and fresh: the first n-1 hops can never force.
+        let config = SimConfig::new(8)
+            .with_seed(43)
+            .with_basic_checkpoints(BasicCheckpointModel::Disabled)
+            .with_stop(StopCondition::MessagesSent(7));
+        let mut app = RingEnvironment::new(5);
+        let outcome = run_protocol_kind(ProtocolKind::Bhmr, &config, &mut app);
+        assert_eq!(outcome.stats.total.forced_checkpoints, 0);
+    }
+
+    #[test]
+    fn protocol_lattice_holds_on_the_ring() {
+        // Multi-lap rings cascade forced checkpoints (each process has
+        // always sent in its current interval when the token returns); the
+        // lattice C1∨C2 => C_FDAS => C_NRAS must still order the counts.
+        let config = SimConfig::new(4)
+            .with_seed(43)
+            .with_basic_checkpoints(BasicCheckpointModel::Disabled)
+            .with_stop(StopCondition::MessagesSent(100));
+        let forced = |kind| {
+            let mut app = RingEnvironment::new(5);
+            run_protocol_kind(kind, &config, &mut app).stats.total.forced_checkpoints
+        };
+        let bhmr = forced(ProtocolKind::Bhmr);
+        let fdas = forced(ProtocolKind::Fdas);
+        let nras = forced(ProtocolKind::Nras);
+        assert!(bhmr <= fdas, "bhmr {bhmr} > fdas {fdas}");
+        assert!(fdas <= nras, "fdas {fdas} > nras {nras}");
+        assert_eq!(forced(ProtocolKind::Uncoordinated), 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Output commit with RDT: when may a process release an effect to the
+//! outside world?
+//!
+//! An output's causal past must never be rolled back, so it can commit
+//! only once a *consistent global checkpoint covering that past* is on
+//! stable storage. Under RDT the protocol already knows that global
+//! checkpoint — it is the `TDV` saved with the current checkpoint
+//! (Corollary 4.5) — so the commit test costs nothing at runtime. This
+//! example cross-checks the protocol's answer against the offline theory
+//! and measures commit lag.
+//!
+//! ```text
+//! cargo run --example output_commit
+//! ```
+
+use rdt::recovery::logging::{output_commit_lag, output_commit_requirement};
+use rdt::workloads::ClientServerEnvironment;
+use rdt::{run_protocol_kind, GlobalCheckpoint, ProtocolKind, SimConfig, StopCondition};
+
+fn main() {
+    let n = 6;
+    let config = SimConfig::new(n)
+        .with_seed(11)
+        .with_basic_checkpoints(rdt::sim::BasicCheckpointModel::Exponential { mean: 60 })
+        .with_stop(StopCondition::MessagesSent(800));
+    let outcome =
+        run_protocol_kind(ProtocolKind::Bhmr, &config, &mut ClientServerEnvironment::new(20));
+    let pattern = outcome.trace.to_pattern().to_closed();
+
+    println!("client/server run, n={n}: {} checkpoints taken\n", pattern.total_checkpoints());
+
+    // Pretend the system has persisted everything up to the midpoint.
+    let stable = GlobalCheckpoint::new(
+        (0..n)
+            .map(|i| pattern.last_checkpoint_index(rdt::ProcessId::new(i)) / 2)
+            .collect(),
+    );
+    println!("stable storage frontier: {stable}\n");
+
+    // For a handful of checkpoints, ask: if the process wanted to release
+    // an output now, what must be stable first, and how far away is that?
+    let mut shown = 0;
+    for records in &outcome.records {
+        for record in records.iter().rev().take(1) {
+            let on_the_fly = record.min_consistent_gc.as_ref().expect("BHMR tracks");
+            let offline = output_commit_requirement(&pattern, record.id)
+                .expect("RDT checkpoints are never useless");
+            assert_eq!(
+                on_the_fly.as_slice(),
+                offline.as_slice(),
+                "Corollary 4.5: the protocol's zero-cost answer matches the theory"
+            );
+            let lag = output_commit_lag(&pattern, record.id, &stable).unwrap();
+            println!(
+                "output at {}: must stabilize {offline}; lag = {lag} checkpoint(s)",
+                record.id
+            );
+            shown += 1;
+        }
+    }
+    assert!(shown > 0);
+    println!(
+        "\nEvery requirement above came from the protocol's piggybacked TDV —\n\
+         no extra messages, no global coordination (paper §1, Corollary 4.5)."
+    );
+}

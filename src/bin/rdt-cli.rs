@@ -1,0 +1,321 @@
+//! `rdt-cli` — run checkpointing simulations and theory audits from the
+//! command line.
+//!
+//! ```text
+//! rdt-cli list
+//! rdt-cli run --protocol bhmr --env client-server --n 8 --seed 3 \
+//!             --messages 2000 --ckpt-mean 80 [--fifo] [--verify] [--detail] [--dot pattern.dot]
+//! rdt-cli compare --env random --n 8 --seed 3 --messages 2000
+//! rdt-cli audit --figure 1
+//! rdt-cli domino --rounds 10
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use rdt::theory::{dot, min_max, paper_figures};
+use rdt::workloads::EnvironmentKind;
+use rdt::{
+    analyze, domino_pattern, run_protocol_kind, Failure, ProcessId, ProtocolKind, RdtChecker,
+    SimConfig, StopCondition,
+};
+
+fn parse_flags(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
+    let mut flags = HashMap::new();
+    let mut positional = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            let value = match iter.peek() {
+                Some(next) if !next.starts_with("--") => iter.next().unwrap().clone(),
+                _ => "true".to_string(),
+            };
+            flags.insert(name.to_string(), value);
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    (flags, positional)
+}
+
+fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    flags.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn build_config(flags: &HashMap<String, String>, n: usize) -> SimConfig {
+    SimConfig::new(n)
+        .with_seed(get(flags, "seed", 1u64))
+        .with_basic_checkpoints(rdt::sim::BasicCheckpointModel::Exponential {
+            mean: get(flags, "ckpt-mean", 80u64),
+        })
+        .with_stop(StopCondition::MessagesSent(get(flags, "messages", 1_000u64)))
+        .with_fifo(flags.contains_key("fifo"))
+}
+
+fn cmd_list() -> ExitCode {
+    println!("protocols:");
+    for &kind in ProtocolKind::all() {
+        println!(
+            "  {:<16} rdt={:<5} zcf={:<5} piggyback(n=8)={}B",
+            kind.name(),
+            kind.ensures_rdt(),
+            kind.ensures_z_cycle_freedom(),
+            kind.piggyback_bytes(8)
+        );
+    }
+    println!("environments:");
+    for &env in EnvironmentKind::all() {
+        println!("  {}", env.name());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(flags: &HashMap<String, String>) -> ExitCode {
+    let protocol: ProtocolKind = match get::<String>(flags, "protocol", "bhmr".into()).parse() {
+        Ok(p) => p,
+        Err(err) => {
+            eprintln!("{err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let env: EnvironmentKind = match get::<String>(flags, "env", "random".into()).parse() {
+        Ok(e) => e,
+        Err(err) => {
+            eprintln!("{err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let n = get(flags, "n", 8usize);
+    let config = build_config(flags, n);
+    let mut app = env.build(n, get(flags, "send-mean", 20u64));
+    let outcome = run_protocol_kind(protocol, &config, app.as_mut());
+
+    let stats = &outcome.stats.total;
+    println!("protocol {} in {} (n={n}, seed {}):", protocol.name(), env.name(), config.seed);
+    println!("  messages     : {} sent, {} delivered", stats.messages_sent, stats.messages_delivered);
+    println!("  checkpoints  : {} basic + {} forced (R = {:.4})",
+        stats.basic_checkpoints, stats.forced_checkpoints, stats.forced_ratio());
+    println!("  piggyback    : {:.1} bytes/message", stats.mean_piggyback_bytes());
+    println!("  sim end time : {}", outcome.stats.end_time);
+
+    if flags.contains_key("detail") {
+        let metrics = rdt::sim::TraceMetrics::of(&outcome.trace);
+        print!("{}", metrics.render());
+    }
+    if flags.contains_key("verify") {
+        let report = RdtChecker::new(&outcome.trace.to_pattern()).check();
+        println!(
+            "  RDT          : {} ({} R-paths checked)",
+            if report.holds() { "holds" } else { "VIOLATED" },
+            report.r_paths_found()
+        );
+        for violation in report.violations().iter().take(3) {
+            println!("    {violation}");
+        }
+    }
+    if let Some(path) = flags.get("dot") {
+        let text = dot::pattern_to_dot(&outcome.trace.to_pattern());
+        if let Err(err) = std::fs::write(path, text) {
+            eprintln!("could not write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("  pattern DOT  : {path}");
+    }
+    if let Some(path) = flags.get("save-trace") {
+        match serde_json::to_string(&outcome.trace) {
+            Ok(json) => {
+                if let Err(err) = std::fs::write(path, json) {
+                    eprintln!("could not write {path}: {err}");
+                    return ExitCode::FAILURE;
+                }
+                println!("  trace JSON   : {path}");
+            }
+            Err(err) => {
+                eprintln!("could not serialize trace: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_replay(flags: &HashMap<String, String>) -> ExitCode {
+    let Some(path) = flags.get("trace") else {
+        eprintln!("usage: rdt-cli replay --trace <file.json> [--dot out.dot]");
+        return ExitCode::FAILURE;
+    };
+    let json = match std::fs::read_to_string(path) {
+        Ok(json) => json,
+        Err(err) => {
+            eprintln!("could not read {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace: rdt::Trace = match serde_json::from_str(&json) {
+        Ok(trace) => trace,
+        Err(err) => {
+            eprintln!("could not parse {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "replaying trace: {} processes, {} events, {} checkpoints",
+        trace.num_processes(),
+        trace.events().len(),
+        trace.checkpoint_count()
+    );
+    let metrics = rdt::sim::TraceMetrics::of(&trace);
+    print!("{}", metrics.render());
+    let pattern = trace.to_pattern();
+    let report = RdtChecker::new(&pattern).check();
+    println!("RDT: {}", if report.holds() { "holds" } else { "violated" });
+    for violation in report.violations().iter().take(5) {
+        println!("  {violation}");
+    }
+    if let Some(out) = flags.get("dot") {
+        if std::fs::write(out, dot::pattern_to_dot(&pattern)).is_ok() {
+            println!("pattern DOT: {out}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_compare(flags: &HashMap<String, String>) -> ExitCode {
+    let env: EnvironmentKind = match get::<String>(flags, "env", "random".into()).parse() {
+        Ok(e) => e,
+        Err(err) => {
+            eprintln!("{err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let n = get(flags, "n", 8usize);
+    let config = build_config(flags, n);
+    println!("{:>16} {:>10} {:>10} {:>8} {:>14}", "protocol", "forced", "basic", "R", "piggyback B/m");
+    for &protocol in ProtocolKind::all() {
+        let mut app = env.build(n, get(flags, "send-mean", 20u64));
+        let outcome = run_protocol_kind(protocol, &config, app.as_mut());
+        let stats = &outcome.stats.total;
+        println!(
+            "{:>16} {:>10} {:>10} {:>8.4} {:>14.1}",
+            protocol.name(),
+            stats.forced_checkpoints,
+            stats.basic_checkpoints,
+            stats.forced_ratio(),
+            stats.mean_piggyback_bytes()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_audit(flags: &HashMap<String, String>) -> ExitCode {
+    let figure = get::<String>(flags, "figure", "1".into());
+    let pattern = match figure.as_str() {
+        "1" => paper_figures::figure_1(),
+        "2" => paper_figures::figure_2_unbroken(),
+        "2b" => paper_figures::figure_2_broken(),
+        "4" => paper_figures::figure_4_unbroken(),
+        "4b" => paper_figures::figure_4_broken(),
+        other => {
+            eprintln!("unknown figure {other:?}; expected 1, 2, 2b, 4 or 4b");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "figure {figure}: {} processes, {} messages, {} checkpoints",
+        pattern.num_processes(),
+        pattern.num_messages(),
+        pattern.total_checkpoints()
+    );
+    let report = RdtChecker::new(&pattern).check();
+    println!("RDT: {}", if report.holds() { "holds" } else { "violated" });
+    for violation in report.violations() {
+        println!("  {violation}");
+    }
+    for c in pattern.checkpoints() {
+        if let Some(gc) = min_max::min_consistent_containing(&pattern, &[c]) {
+            println!("  min GC containing {c}: {gc}");
+        } else {
+            println!("  {c} is USELESS (belongs to no consistent GC)");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_domino(flags: &HashMap<String, String>) -> ExitCode {
+    let rounds = get(flags, "rounds", 10usize);
+    let pattern = domino_pattern(rounds);
+    println!("domino pattern, {rounds} rounds:");
+    for cap in (0..rounds as u32).rev().take(3) {
+        let report = analyze(&pattern, &[Failure { process: ProcessId::new(0), resume_cap: cap }]);
+        println!(
+            "  P0 resumes from index {cap}: line {}, {} checkpoints discarded",
+            report.line, report.total_discarded
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_and_positionals_are_separated() {
+        let (flags, positional) =
+            parse_flags(&strings(&["run", "--protocol", "bhmr", "--verify", "--n", "8"]));
+        assert_eq!(positional, vec!["run"]);
+        assert_eq!(flags.get("protocol").map(String::as_str), Some("bhmr"));
+        assert_eq!(flags.get("verify").map(String::as_str), Some("true"));
+        assert_eq!(flags.get("n").map(String::as_str), Some("8"));
+    }
+
+    #[test]
+    fn trailing_boolean_flag() {
+        let (flags, _) = parse_flags(&strings(&["run", "--fifo"]));
+        assert_eq!(flags.get("fifo").map(String::as_str), Some("true"));
+    }
+
+    #[test]
+    fn get_falls_back_to_default() {
+        let (flags, _) = parse_flags(&strings(&["run", "--seed", "junk"]));
+        assert_eq!(get(&flags, "seed", 7u64), 7, "unparsable values fall back");
+        assert_eq!(get(&flags, "missing", 9u64), 9);
+        let (flags, _) = parse_flags(&strings(&["run", "--seed", "12"]));
+        assert_eq!(get(&flags, "seed", 7u64), 12);
+    }
+
+    #[test]
+    fn config_builder_uses_flags() {
+        let (flags, _) = parse_flags(&strings(&[
+            "run", "--seed", "5", "--messages", "42", "--ckpt-mean", "99", "--fifo",
+        ]));
+        let config = build_config(&flags, 3);
+        assert_eq!(config.seed, 5);
+        assert_eq!(config.stop, rdt::StopCondition::MessagesSent(42));
+        assert!(config.fifo);
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (flags, positional) = parse_flags(&args);
+    match positional.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(&flags),
+        Some("compare") => cmd_compare(&flags),
+        Some("audit") => cmd_audit(&flags),
+        Some("domino") => cmd_domino(&flags),
+        Some("replay") => cmd_replay(&flags),
+        _ => {
+            eprintln!(
+                "usage: rdt-cli <list|run|compare|audit|domino|replay> [--flags]\n\
+                 see the module docs (`cargo doc`) for the full flag list"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Black-box tests of the `rdt-cli` binary.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rdt-cli"))
+}
+
+#[test]
+fn list_shows_all_protocols_and_environments() {
+    let output = cli().arg("list").output().expect("binary runs");
+    assert!(output.status.success());
+    let text = String::from_utf8(output.stdout).unwrap();
+    for name in
+        ["bhmr", "bhmr-nosimple", "fdas", "fdi", "nras", "cas", "cbr", "bcs", "uncoordinated"]
+    {
+        assert!(text.contains(name), "missing protocol {name}");
+    }
+    for env in ["random", "groups", "client-server", "ring", "pipeline"] {
+        assert!(text.contains(env), "missing environment {env}");
+    }
+}
+
+#[test]
+fn run_with_verify_reports_rdt() {
+    let output = cli()
+        .args(["run", "--protocol", "bhmr", "--env", "random", "--messages", "120", "--verify"])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let text = String::from_utf8(output.stdout).unwrap();
+    assert!(text.contains("R = "), "missing stats: {text}");
+    assert!(text.contains("RDT          : holds"), "verification missing: {text}");
+}
+
+#[test]
+fn audit_figure_1_flags_the_violation() {
+    let output = cli().args(["audit", "--figure", "1"]).output().expect("binary runs");
+    assert!(output.status.success());
+    let text = String::from_utf8(output.stdout).unwrap();
+    assert!(text.contains("RDT: violated"));
+    assert!(text.contains("min GC containing"));
+}
+
+#[test]
+fn save_and_replay_trace_roundtrip() {
+    let path = std::env::temp_dir().join("rdt-cli-test-trace.json");
+    let path_str = path.to_str().unwrap();
+    let output = cli()
+        .args([
+            "run", "--protocol", "fdas", "--env", "ring", "--messages", "40", "--save-trace",
+            path_str,
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+
+    let output = cli().args(["replay", "--trace", path_str]).output().expect("binary runs");
+    assert!(output.status.success());
+    let text = String::from_utf8(output.stdout).unwrap();
+    assert!(text.contains("replaying trace"));
+    assert!(text.contains("RDT: holds"));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let output = cli().arg("bogus").output().expect("binary runs");
+    assert!(!output.status.success());
+    let text = String::from_utf8(output.stderr).unwrap();
+    assert!(text.contains("usage:"));
+}
+
+#[test]
+fn unknown_protocol_fails_helpfully() {
+    let output =
+        cli().args(["run", "--protocol", "nonsense"]).output().expect("binary runs");
+    assert!(!output.status.success());
+    let text = String::from_utf8(output.stderr).unwrap();
+    assert!(text.contains("unknown protocol"));
+}

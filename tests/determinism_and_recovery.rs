@@ -1,0 +1,115 @@
+//! Integration: run reproducibility and rollback damage bounds.
+
+use rdt::workloads::EnvironmentKind;
+use rdt::{
+    analyze, run_protocol_kind, Failure, ProcessId, ProtocolKind, SimConfig, StopCondition,
+};
+
+fn config(seed: u64) -> SimConfig {
+    SimConfig::new(5)
+        .with_seed(seed)
+        .with_basic_checkpoints(rdt::sim::BasicCheckpointModel::Exponential { mean: 45 })
+        .with_stop(StopCondition::MessagesSent(250))
+}
+
+#[test]
+fn identical_configs_reproduce_identical_runs() {
+    for &env in EnvironmentKind::all() {
+        let run = |()| {
+            let mut app = env.build(5, 15);
+            run_protocol_kind(ProtocolKind::Bhmr, &config(41), app.as_mut())
+        };
+        let a = run(());
+        let b = run(());
+        assert_eq!(a.trace.events(), b.trace.events(), "{env} not reproducible");
+        assert_eq!(a.stats.total, b.stats.total);
+        assert_eq!(a.records, b.records);
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_runs() {
+    let mut app1 = EnvironmentKind::Random.build(5, 15);
+    let mut app2 = EnvironmentKind::Random.build(5, 15);
+    let a = run_protocol_kind(ProtocolKind::Bhmr, &config(1), app1.as_mut());
+    let b = run_protocol_kind(ProtocolKind::Bhmr, &config(2), app2.as_mut());
+    assert_ne!(a.trace.events(), b.trace.events());
+}
+
+#[test]
+fn rdt_protocols_bound_rollback_better_than_uncoordinated() {
+    // Every process in turn loses its newest checkpoint; total discarded
+    // checkpoints, aggregated over seeds, must be no worse under BHMR than
+    // under no coordination. (RDT guarantees each checkpoint sits in a
+    // consistent GC, so rollback never cascades past the dependencies the
+    // TDV names; uncoordinated patterns have no such bound.)
+    let damage = |protocol: ProtocolKind| -> u64 {
+        let mut total = 0;
+        for seed in 1u64..=5 {
+            let mut app = EnvironmentKind::Random.build(5, 15);
+            let outcome = run_protocol_kind(protocol, &config(seed), app.as_mut());
+            let pattern = outcome.trace.to_pattern().to_closed();
+            for i in 0..5 {
+                let process = ProcessId::new(i);
+                let cap = pattern.last_checkpoint_index(process).saturating_sub(1);
+                let report = analyze(&pattern, &[Failure { process, resume_cap: cap }]);
+                total += report.total_discarded;
+            }
+        }
+        total
+    };
+    let bhmr = damage(ProtocolKind::Bhmr);
+    let uncoordinated = damage(ProtocolKind::Uncoordinated);
+    assert!(
+        bhmr <= uncoordinated,
+        "bhmr rollback damage {bhmr} exceeds uncoordinated {uncoordinated}"
+    );
+}
+
+#[test]
+fn mid_run_failure_analysis_through_truncation() {
+    // Crash the system at several instants of one run: the failure-time
+    // view must always yield a consistent recovery line at or below the
+    // crash, and later crashes never have earlier lines.
+    use rdt::theory::consistency;
+    let mut app = EnvironmentKind::Random.build(4, 15);
+    let outcome = run_protocol_kind(ProtocolKind::Bhmr, &config(7), app.as_mut());
+    let end = outcome.trace.end_time().ticks();
+    let mut previous_line_total = 0u64;
+    for fraction in [4u64, 2, 1] {
+        let cut = outcome.trace.truncate_at(rdt::SimTime::from_ticks(end / fraction));
+        let pattern = cut.to_pattern().to_closed();
+        let line = rdt::recovery_line(&pattern, &[]);
+        assert!(consistency::is_consistent(&pattern, &line));
+        let total: u64 = line.as_slice().iter().map(|&x| x as u64).sum();
+        assert!(
+            total >= previous_line_total,
+            "recovery line regressed as the run progressed"
+        );
+        previous_line_total = total;
+    }
+}
+
+#[test]
+fn rdt_recovery_lines_stay_close_to_the_failure() {
+    // Under RDT, rolling one process back one checkpoint should cost every
+    // other process at most a bounded rollback — in particular nobody
+    // should return to the initial state in a long run.
+    for seed in 1u64..=3 {
+        let mut app = EnvironmentKind::Random.build(5, 15);
+        let outcome = run_protocol_kind(ProtocolKind::Bhmr, &config(seed), app.as_mut());
+        let pattern = outcome.trace.to_pattern().to_closed();
+        for i in 0..5 {
+            let process = ProcessId::new(i);
+            let last = pattern.last_checkpoint_index(process);
+            if last < 2 {
+                continue;
+            }
+            let report = analyze(&pattern, &[Failure { process, resume_cap: last - 1 }]);
+            assert_eq!(
+                report.rolled_to_initial, 0,
+                "seed {seed}: failing {process} cascaded someone to the initial state"
+            );
+        }
+    }
+}
