@@ -14,9 +14,12 @@ use rdt_workloads::EnvironmentKind;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_groups");
-    for &protocol in
-        &[ProtocolKind::Bhmr, ProtocolKind::BhmrNoSimple, ProtocolKind::Fdas, ProtocolKind::Cbr]
-    {
+    for &protocol in &[
+        ProtocolKind::Bhmr,
+        ProtocolKind::BhmrNoSimple,
+        ProtocolKind::Fdas,
+        ProtocolKind::Cbr,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(protocol.name()),
             &protocol,

@@ -14,9 +14,12 @@ use rdt_workloads::EnvironmentKind;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9_client_server");
-    for &protocol in
-        &[ProtocolKind::Bhmr, ProtocolKind::BhmrCausalOnly, ProtocolKind::Fdas, ProtocolKind::Fdi]
-    {
+    for &protocol in &[
+        ProtocolKind::Bhmr,
+        ProtocolKind::BhmrCausalOnly,
+        ProtocolKind::Fdas,
+        ProtocolKind::Fdi,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(protocol.name()),
             &protocol,

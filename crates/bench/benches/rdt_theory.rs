@@ -17,7 +17,10 @@ fn generated_pattern(messages: u64) -> Pattern {
         .with_basic_checkpoints(BasicCheckpointModel::Exponential { mean: 60 })
         .with_stop(StopCondition::MessagesSent(messages));
     let mut app = EnvironmentKind::Random.build(6, 20);
-    run_protocol_kind(ProtocolKind::Bhmr, &config, app.as_mut()).trace.to_pattern().to_closed()
+    run_protocol_kind(ProtocolKind::Bhmr, &config, app.as_mut())
+        .trace
+        .to_pattern()
+        .to_closed()
 }
 
 fn bench_checker(c: &mut Criterion) {
@@ -45,10 +48,11 @@ fn bench_closure(c: &mut Criterion) {
             |b, pattern| {
                 b.iter(|| {
                     let graph = RGraph::new(pattern);
-                    black_box(graph.reachability().reachable_count(CheckpointId::new(
-                        ProcessId::new(0),
-                        0,
-                    )))
+                    black_box(
+                        graph
+                            .reachability()
+                            .reachable_count(CheckpointId::new(ProcessId::new(0), 0)),
+                    )
                 });
             },
         );

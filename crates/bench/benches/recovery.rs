@@ -29,7 +29,13 @@ fn bench_generated(c: &mut Criterion) {
             &pattern,
             |b, pattern| {
                 b.iter(|| {
-                    black_box(recovery_line(pattern, &[Failure { process, resume_cap: cap }]))
+                    black_box(recovery_line(
+                        pattern,
+                        &[Failure {
+                            process,
+                            resume_cap: cap,
+                        }],
+                    ))
                 });
             },
         );
@@ -49,7 +55,10 @@ fn bench_domino(c: &mut Criterion) {
                     // Worst case: the fixpoint unzips every round.
                     black_box(recovery_line(
                         pattern,
-                        &[Failure { process: ProcessId::new(0), resume_cap: 0 }],
+                        &[Failure {
+                            process: ProcessId::new(0),
+                            resume_cap: 0,
+                        }],
                     ))
                 });
             },

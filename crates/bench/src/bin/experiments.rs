@@ -2,17 +2,22 @@
 //! evaluation.
 //!
 //! ```text
-//! experiments [all|fig7|fig8|fig9|table1|cor45|rdtcheck|ablation|recovery] [--quick]
+//! experiments [all|fig7|fig8|fig9|table1|cor45|rdtcheck|ablation|recovery] \
+//!     [--quick] [--threads N]
 //! ```
 //!
 //! `--quick` shrinks message counts and seed sets for smoke runs.
+//! `--threads N` sets the worker count of the parallel sweep engine used
+//! for the figure sweeps (default: one per CPU); results are bit-identical
+//! for every `N`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use rdt_bench::{
-    ablation, coordinated, corollary45, figure, necessity, rdt_check, recovery_experiment,
-    render_figure, render_table1, scaling, sensitivity, table1, write_json,
+    ablation, coordinated, corollary45, necessity, rdt_check, recovery_experiment, render_figure,
+    render_table1, run_sweep_with_metrics, scaling, sensitivity, table1, write_json, Sweep,
+    SweepOptions,
 };
 use rdt_workloads::EnvironmentKind;
 
@@ -34,7 +39,12 @@ impl Scale {
     }
 
     fn quick() -> Self {
-        Scale { seeds: vec![1, 2], messages: 400, check_seeds: vec![1], check_messages: 80 }
+        Scale {
+            seeds: vec![1, 2],
+            messages: 400,
+            check_seeds: vec![1],
+            check_messages: 80,
+        }
     }
 }
 
@@ -42,7 +52,7 @@ fn results_dir() -> PathBuf {
     PathBuf::from(std::env::var("RDT_RESULTS_DIR").unwrap_or_else(|_| "results".to_string()))
 }
 
-fn run_figures(which: &str, scale: &Scale, dir: &std::path::Path) {
+fn run_figures(which: &str, scale: &Scale, dir: &std::path::Path, options: &SweepOptions) {
     let multipliers = [1u64, 2, 4, 8, 16];
     let specs: &[(&str, EnvironmentKind, usize)] = &[
         ("fig7", EnvironmentKind::Random, 8),
@@ -53,8 +63,10 @@ fn run_figures(which: &str, scale: &Scale, dir: &std::path::Path) {
         if which != "all" && which != name {
             continue;
         }
-        let result = figure(name, env, n, &multipliers, &scale.seeds, scale.messages);
+        let sweep = Sweep::figure(name, env, n, &multipliers, &scale.seeds, scale.messages);
+        let (result, metrics) = run_sweep_with_metrics(&sweep, options);
         print!("{}", render_figure(&result));
+        println!("  [{name}] {}", metrics.render());
         match write_json(dir, name, &result) {
             Ok(path) => println!("  -> {}\n", path.display()),
             Err(err) => eprintln!("  !! could not write {name}.json: {err}\n"),
@@ -62,23 +74,90 @@ fn run_figures(which: &str, scale: &Scale, dir: &std::path::Path) {
     }
 }
 
+struct Cli {
+    quick: bool,
+    threads: Option<usize>,
+    which: String,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        quick: false,
+        threads: None,
+        which: "all".to_string(),
+    };
+    let mut positional = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--quick" {
+            cli.quick = true;
+        } else if let Some(value) = arg.strip_prefix("--threads=") {
+            cli.threads = Some(
+                value
+                    .parse()
+                    .map_err(|_| format!("invalid thread count: {value:?}"))?,
+            );
+        } else if arg == "--threads" {
+            let value = iter.next().ok_or("--threads needs a value")?;
+            cli.threads = Some(
+                value
+                    .parse()
+                    .map_err(|_| format!("invalid thread count: {value:?}"))?,
+            );
+        } else if arg.starts_with("--") {
+            return Err(format!("unknown flag {arg:?}"));
+        } else if positional.replace(arg.clone()).is_some() {
+            return Err(format!("unexpected extra argument {arg:?}"));
+        }
+    }
+    if cli.threads == Some(0) {
+        return Err("--threads must be at least 1".to_string());
+    }
+    if let Some(which) = positional {
+        cli.which = which;
+    }
+    Ok(cli)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let which = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".into());
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let options = match cli.threads {
+        Some(threads) => SweepOptions::with_threads(threads),
+        None => SweepOptions::auto(),
+    };
+    let quick = cli.quick;
+    let which = cli.which;
     let scale = if quick { Scale::quick() } else { Scale::full() };
     let dir = results_dir();
 
     let known = [
-        "all", "fig7", "fig8", "fig9", "table1", "cor45", "rdtcheck", "ablation", "sensitivity",
-        "coordinated", "scaling", "necessity", "recovery",
+        "all",
+        "fig7",
+        "fig8",
+        "fig9",
+        "table1",
+        "cor45",
+        "rdtcheck",
+        "ablation",
+        "sensitivity",
+        "coordinated",
+        "scaling",
+        "necessity",
+        "recovery",
     ];
     if !known.contains(&which.as_str()) {
         eprintln!("unknown experiment {which:?}; expected one of {known:?}");
         return ExitCode::FAILURE;
     }
 
-    run_figures(&which, &scale, &dir);
+    run_figures(&which, &scale, &dir, &options);
 
     if which == "all" || which == "table1" {
         let result = table1(8, &scale.seeds, scale.messages);
@@ -141,9 +220,15 @@ fn main() -> ExitCode {
     if which == "all" || which == "sensitivity" {
         println!("== ABL-2 — BHMR-vs-FDAS reduction vs reply density (groups, n=12) ==");
         let result = sensitivity(12, &scale.seeds, scale.messages);
-        println!("  {:>12} {:>10} {:>10} {:>11}", "reply prob", "R bhmr", "R fdas", "reduction");
+        println!(
+            "  {:>12} {:>10} {:>10} {:>11}",
+            "reply prob", "R bhmr", "R fdas", "reduction"
+        );
         for (prob, bhmr, fdas, reduction) in &result.rows {
-            println!("  {prob:>12.2} {bhmr:>10.4} {fdas:>10.4} {:>10.1}%", reduction * 100.0);
+            println!(
+                "  {prob:>12.2} {bhmr:>10.4} {fdas:>10.4} {:>10.1}%",
+                reduction * 100.0
+            );
         }
         let _ = write_json(&dir, "sensitivity", &result);
         println!();
@@ -152,7 +237,10 @@ fn main() -> ExitCode {
     if which == "all" || which == "scaling" {
         println!("== SCALE-1 — R and piggyback cost vs number of processes (random env) ==");
         let result = scaling(&[4, 8, 16, 32], &scale.check_seeds, scale.messages);
-        println!("  {:>6} {:>10} {:>10} {:>16}", "n", "protocol", "R", "piggyback B/msg");
+        println!(
+            "  {:>6} {:>10} {:>10} {:>16}",
+            "n", "protocol", "R", "piggyback B/msg"
+        );
         for (n, protocol, r, bytes) in &result.rows {
             println!("  {n:>6} {protocol:>10} {r:>10.4} {bytes:>16.1}");
         }

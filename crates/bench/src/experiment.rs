@@ -1,12 +1,14 @@
 //! The experiments themselves.
 
-use serde::Serialize;
-
 use rdt_causality::ProcessId;
 use rdt_core::ProtocolKind;
+use rdt_json::{Json, ToJson};
 use rdt_recovery::{analyze, Failure};
 use rdt_rgraph::{min_max, RdtChecker};
-use rdt_sim::{run_protocol_kind, BasicCheckpointModel, DelayModel, SimConfig, StopCondition};
+use rdt_sim::{
+    run_protocol_kind, run_protocol_kind_with_scratch, BasicCheckpointModel, DelayModel, RunStats,
+    SimConfig, SimRng, SimScratch, StopCondition,
+};
 use rdt_workloads::EnvironmentKind;
 
 /// Mean interval between two sends of one process, in ticks (fixes the
@@ -40,7 +42,7 @@ fn config(n: usize, seed: u64, ckpt_mean: u64, messages: u64) -> SimConfig {
 }
 
 /// One protocol's aggregate over the seeds of one sweep point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ProtocolPoint {
     /// Protocol name.
     pub protocol: String,
@@ -58,7 +60,7 @@ pub struct ProtocolPoint {
 
 /// One x-axis point of a figure: the basic-checkpoint interval as a
 /// multiple of the mean send interval, with every protocol's numbers.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SweepRow {
     /// Basic-checkpoint mean interval = `multiplier × MEAN_SEND_INTERVAL`.
     pub multiplier: u64,
@@ -69,7 +71,10 @@ pub struct SweepRow {
 impl SweepRow {
     /// `R` of one protocol at this row, if present.
     pub fn r_of(&self, protocol: ProtocolKind) -> Option<f64> {
-        self.points.iter().find(|p| p.protocol == protocol.name()).map(|p| p.mean_r)
+        self.points
+            .iter()
+            .find(|p| p.protocol == protocol.name())
+            .map(|p| p.mean_r)
     }
 
     /// Relative reduction of forced checkpoints of `protocol` vs FDAS at
@@ -82,7 +87,7 @@ impl SweepRow {
 }
 
 /// A complete figure: `R` per protocol over the checkpoint-interval sweep.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FigureResult {
     /// Experiment id (`fig7`, `fig8`, `fig9`).
     pub name: String,
@@ -124,8 +129,11 @@ fn run_point(
     let mut piggyback = Vec::new();
     for &seed in seeds {
         let mut app = env.build(n, MEAN_SEND_INTERVAL);
-        let outcome =
-            run_protocol_kind(protocol, &config(n, seed, ckpt_mean, messages), app.as_mut());
+        let outcome = run_protocol_kind(
+            protocol,
+            &config(n, seed, ckpt_mean, messages),
+            app.as_mut(),
+        );
         rs.push(outcome.stats.total.forced_ratio());
         forced.push(outcome.stats.total.forced_checkpoints as f64);
         basics.push(outcome.stats.total.basic_checkpoints as f64);
@@ -148,6 +156,10 @@ fn run_point(
 /// * `fig7` — [`EnvironmentKind::Random`]
 /// * `fig8` — [`EnvironmentKind::Groups`]
 /// * `fig9` — [`EnvironmentKind::ClientServer`]
+///
+/// This is the sequential execution of the corresponding [`Sweep`]; the
+/// parallel engine ([`crate::parallel::run_sweep`]) produces bit-identical
+/// results for the same grid.
 pub fn figure(
     name: &str,
     env: EnvironmentKind,
@@ -156,31 +168,213 @@ pub fn figure(
     seeds: &[u64],
     messages: u64,
 ) -> FigureResult {
-    let rows = multipliers
-        .iter()
-        .map(|&multiplier| SweepRow {
-            multiplier,
-            points: protocol_set()
-                .into_iter()
-                .map(|p| {
-                    run_point(env, n, p, multiplier * MEAN_SEND_INTERVAL, seeds, messages)
-                })
-                .collect(),
+    Sweep::figure(name, env, n, multipliers, seeds, messages).run_sequential()
+}
+
+/// A declarative (checkpoint-interval × protocol × seed) experiment grid.
+///
+/// The grid is enumerated up front into [`SweepPoint`]s: each point is one
+/// independent simulator run whose RNG seed is derived *purely* from its
+/// seed-list entry and its grid index ([`SimRng::derive_seed`]), never
+/// from execution order. Any scheduler — the sequential loop in
+/// [`Sweep::run_sequential`] or the work-stealing engine in
+/// [`crate::parallel`] — therefore computes the same per-point outcomes,
+/// and [`Sweep::merge`] folds them back in grid order so even the floating
+/// point aggregation is bit-identical.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Experiment id (`fig7`, `fig8`, `fig9`, ...).
+    pub name: String,
+    /// Environment every point runs in.
+    pub environment: EnvironmentKind,
+    /// Number of processes.
+    pub n: usize,
+    /// Checkpoint-interval multipliers (the figure's x-axis).
+    pub multipliers: Vec<u64>,
+    /// Protocols compared (one figure series each).
+    pub protocols: Vec<ProtocolKind>,
+    /// Seed-list entries averaged over per cell.
+    pub seeds: Vec<u64>,
+    /// Messages injected per run.
+    pub messages: u64,
+}
+
+/// One cell of a [`Sweep`] grid: a single simulator run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepPoint {
+    /// Position in the enumerated grid (multiplier-major, then protocol,
+    /// then seed).
+    pub index: usize,
+    /// Checkpoint-interval multiplier of this cell.
+    pub multiplier: u64,
+    /// Protocol of this cell.
+    pub protocol: ProtocolKind,
+    /// Seed-list entry this run is averaged under.
+    pub seed: u64,
+    /// The run's actual simulator seed:
+    /// `SimRng::derive_seed(seed, index)`.
+    pub sim_seed: u64,
+}
+
+/// What one [`SweepPoint`]'s run produces — everything [`Sweep::merge`]
+/// and the determinism tests need, without retaining the trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointOutcome {
+    /// Grid index of the point this outcome belongs to.
+    pub index: usize,
+    /// The run's aggregate statistics.
+    pub stats: RunStats,
+    /// Structural digest of the run's checkpoint-and-communication
+    /// pattern ([`rdt_rgraph::Pattern::digest`]): two runs produced the
+    /// same execution iff their digests (and stats) agree.
+    pub pattern_digest: u64,
+}
+
+impl Sweep {
+    /// The sweep behind [`figure`]: the standard protocol set over
+    /// `multipliers × MEAN_SEND_INTERVAL` checkpoint intervals.
+    pub fn figure(
+        name: &str,
+        env: EnvironmentKind,
+        n: usize,
+        multipliers: &[u64],
+        seeds: &[u64],
+        messages: u64,
+    ) -> Sweep {
+        Sweep {
+            name: name.to_string(),
+            environment: env,
+            n,
+            multipliers: multipliers.to_vec(),
+            protocols: protocol_set(),
+            seeds: seeds.to_vec(),
+            messages,
+        }
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.multipliers.len() * self.protocols.len() * self.seeds.len()
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enumerates the full grid, multiplier-major, then protocol, then
+    /// seed. Point `index` is the position in this enumeration, and fixes
+    /// the point's derived simulator seed.
+    pub fn grid(&self) -> Vec<SweepPoint> {
+        let mut points = Vec::with_capacity(self.len());
+        for &multiplier in &self.multipliers {
+            for &protocol in &self.protocols {
+                for &seed in &self.seeds {
+                    let index = points.len();
+                    points.push(SweepPoint {
+                        index,
+                        multiplier,
+                        protocol,
+                        seed,
+                        sim_seed: SimRng::derive_seed(seed, index as u64),
+                    });
+                }
+            }
+        }
+        points
+    }
+
+    /// Runs one grid point. A pure function of the sweep and the point —
+    /// workers may run points in any order on any thread.
+    pub fn run_point(&self, point: &SweepPoint, scratch: &mut SimScratch) -> PointOutcome {
+        let mut app = self.environment.build(self.n, MEAN_SEND_INTERVAL);
+        let config = config(
+            self.n,
+            point.sim_seed,
+            point.multiplier * MEAN_SEND_INTERVAL,
+            self.messages,
+        );
+        run_protocol_kind_with_scratch(point.protocol, &config, app.as_mut(), scratch, |outcome| {
+            PointOutcome {
+                index: point.index,
+                stats: outcome.stats.clone(),
+                pattern_digest: outcome.trace.to_pattern().digest(),
+            }
         })
-        .collect();
-    FigureResult {
-        name: name.to_string(),
-        environment: env.name().to_string(),
-        n,
-        messages,
-        seeds: seeds.to_vec(),
-        rows,
+    }
+
+    /// Folds per-point outcomes (sorted by grid index, one per point) back
+    /// into the figure report.
+    ///
+    /// The fold visits outcomes strictly in grid order, so the floating
+    /// point accumulation is independent of the execution schedule that
+    /// produced them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outcomes` is not exactly the grid, in index order.
+    pub fn merge(&self, outcomes: &[PointOutcome]) -> FigureResult {
+        assert_eq!(outcomes.len(), self.len(), "merge needs every grid point");
+        for (i, outcome) in outcomes.iter().enumerate() {
+            assert_eq!(outcome.index, i, "merge needs outcomes in grid order");
+        }
+        let per_cell = self.seeds.len();
+        let mut cells = outcomes.chunks_exact(per_cell);
+        let mut rows = Vec::with_capacity(self.multipliers.len());
+        for &multiplier in &self.multipliers {
+            let mut points = Vec::with_capacity(self.protocols.len());
+            for &protocol in &self.protocols {
+                let cell = cells.next().expect("length checked above");
+                let rs: Vec<f64> = cell.iter().map(|o| o.stats.total.forced_ratio()).collect();
+                let forced: Vec<f64> = cell
+                    .iter()
+                    .map(|o| o.stats.total.forced_checkpoints as f64)
+                    .collect();
+                let basics: Vec<f64> = cell
+                    .iter()
+                    .map(|o| o.stats.total.basic_checkpoints as f64)
+                    .collect();
+                let piggyback: Vec<f64> = cell
+                    .iter()
+                    .map(|o| o.stats.total.mean_piggyback_bytes())
+                    .collect();
+                let (mean_r, std_r) = mean_std(&rs);
+                points.push(ProtocolPoint {
+                    protocol: protocol.name().to_string(),
+                    mean_r,
+                    std_r,
+                    mean_forced: mean_std(&forced).0,
+                    mean_basic: mean_std(&basics).0,
+                    piggyback_bytes_per_msg: mean_std(&piggyback).0,
+                });
+            }
+            rows.push(SweepRow { multiplier, points });
+        }
+        FigureResult {
+            name: self.name.clone(),
+            environment: self.environment.name().to_string(),
+            n: self.n,
+            messages: self.messages,
+            seeds: self.seeds.clone(),
+            rows,
+        }
+    }
+
+    /// Runs the whole grid on the calling thread, in grid order.
+    pub fn run_sequential(&self) -> FigureResult {
+        let mut scratch = SimScratch::new();
+        let outcomes: Vec<PointOutcome> = self
+            .grid()
+            .iter()
+            .map(|point| self.run_point(point, &mut scratch))
+            .collect();
+        self.merge(&outcomes)
     }
 }
 
 /// TAB-1: the cross-environment protocol comparison at a fixed mid-range
 /// checkpoint interval.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Result {
     /// One figure-style row per environment (single multiplier).
     pub environments: Vec<FigureResult>,
@@ -199,14 +393,26 @@ pub fn table1(n: usize, seeds: &[u64], messages: u64) -> Table1Result {
         EnvironmentKind::Pipeline,
     ]
     .iter()
-    .map(|&env| figure(&format!("table1-{}", env.name()), env, n, &[multiplier], seeds, messages))
+    .map(|&env| {
+        figure(
+            &format!("table1-{}", env.name()),
+            env,
+            n,
+            &[multiplier],
+            seeds,
+            messages,
+        )
+    })
     .collect();
-    Table1Result { environments, multiplier }
+    Table1Result {
+        environments,
+        multiplier,
+    }
 }
 
 /// COR-4.5: cross-validation of the on-the-fly minimum consistent global
 /// checkpoints against the offline R-graph fixpoint.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Cor45Result {
     /// Checkpoints whose reported minimum was compared.
     pub checked: usize,
@@ -218,8 +424,11 @@ pub struct Cor45Result {
 
 /// Runs COR-4.5 over the dependency-tracking protocols.
 pub fn corollary45(env: EnvironmentKind, n: usize, seeds: &[u64], messages: u64) -> Cor45Result {
-    let protocols: Vec<ProtocolKind> =
-        ProtocolKind::all().iter().copied().filter(|k| k.tracks_dependencies()).collect();
+    let protocols: Vec<ProtocolKind> = ProtocolKind::all()
+        .iter()
+        .copied()
+        .filter(|k| k.tracks_dependencies())
+        .collect();
     let mut checked = 0;
     let mut mismatches = 0;
     for &protocol in &protocols {
@@ -233,7 +442,9 @@ pub fn corollary45(env: EnvironmentKind, n: usize, seeds: &[u64], messages: u64)
             let pattern = outcome.trace.to_pattern().to_closed();
             for records in &outcome.records {
                 for record in records {
-                    let Some(reported) = &record.min_consistent_gc else { continue };
+                    let Some(reported) = &record.min_consistent_gc else {
+                        continue;
+                    };
                     let offline = min_max::min_consistent_containing(&pattern, &[record.id]);
                     checked += 1;
                     match offline {
@@ -253,7 +464,7 @@ pub fn corollary45(env: EnvironmentKind, n: usize, seeds: &[u64], messages: u64)
 
 /// RDT-CHECK: run every protocol in every environment and verify the
 /// resulting pattern against the offline RDT checker.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RdtCheckResult {
     /// `(protocol, environment, seed, holds)` for every run.
     pub runs: Vec<(String, String, u64, bool)>,
@@ -285,16 +496,25 @@ pub fn rdt_check(n: usize, seeds: &[u64], messages: u64) -> RdtCheckResult {
                 if protocol == ProtocolKind::Uncoordinated && holds {
                     uncoordinated_passes += 1;
                 }
-                runs.push((protocol.name().to_string(), env.name().to_string(), seed, holds));
+                runs.push((
+                    protocol.name().to_string(),
+                    env.name().to_string(),
+                    seed,
+                    holds,
+                ));
             }
         }
     }
-    RdtCheckResult { runs, unexpected_failures, uncoordinated_passes }
+    RdtCheckResult {
+        runs,
+        unexpected_failures,
+        uncoordinated_passes,
+    }
 }
 
 /// ABL-1: piggyback size versus forced-checkpoint count across the
 /// protocol lattice.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AblationResult {
     /// `(protocol, piggyback bytes/msg, mean R)` at the reference point.
     pub lattice: Vec<(String, f64, f64)>,
@@ -310,16 +530,23 @@ pub fn ablation(n: usize, seeds: &[u64], messages: u64) -> AblationResult {
         .into_iter()
         .map(|p| {
             let point = run_point(env, n, p, 4 * MEAN_SEND_INTERVAL, seeds, messages);
-            (point.protocol.clone(), point.piggyback_bytes_per_msg, point.mean_r)
+            (
+                point.protocol.clone(),
+                point.piggyback_bytes_per_msg,
+                point.mean_r,
+            )
         })
         .collect();
-    AblationResult { lattice, environment: env.name().to_string() }
+    AblationResult {
+        lattice,
+        environment: env.name().to_string(),
+    }
 }
 
 /// ABL-2: sensitivity of the BHMR-vs-FDAS reduction to the request/reply
 /// structure of the workload (group environment, acknowledgement
 /// probability swept).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SensitivityResult {
     /// `(reply probability, R_bhmr, R_fdas, reduction)` per sweep point.
     pub rows: Vec<(f64, f64, f64, f64)>,
@@ -337,11 +564,9 @@ pub fn sensitivity(n: usize, seeds: &[u64], messages: u64) -> SensitivityResult 
         let r = |protocol: ProtocolKind| -> f64 {
             let mut values = Vec::new();
             for &seed in seeds {
-                let mut app = GroupEnvironment::new(
-                    GroupLayout::overlapping(n, 4, 1),
-                    MEAN_SEND_INTERVAL,
-                )
-                .with_reply_probability(prob);
+                let mut app =
+                    GroupEnvironment::new(GroupLayout::overlapping(n, 4, 1), MEAN_SEND_INTERVAL)
+                        .with_reply_probability(prob);
                 let outcome = run_protocol_kind(
                     protocol,
                     &config(n, seed, 4 * MEAN_SEND_INTERVAL, messages),
@@ -353,14 +578,18 @@ pub fn sensitivity(n: usize, seeds: &[u64], messages: u64) -> SensitivityResult 
         };
         let bhmr = r(ProtocolKind::Bhmr);
         let fdas = r(ProtocolKind::Fdas);
-        let reduction = if fdas > 0.0 { (fdas - bhmr) / fdas } else { 0.0 };
+        let reduction = if fdas > 0.0 {
+            (fdas - bhmr) / fdas
+        } else {
+            0.0
+        };
         rows.push((prob, bhmr, fdas, reduction));
     }
     SensitivityResult { rows, n }
 }
 
 /// NEC-1: *hindsight necessity* of forced checkpoints.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct NecessityResult {
     /// `(protocol, forced checkpoints examined, necessary in hindsight,
     /// necessity ratio, load-bearing basic checkpoints, basic checkpoints
@@ -386,8 +615,12 @@ pub struct NecessityResult {
 pub fn necessity(n: usize, seeds: &[u64], messages: u64) -> NecessityResult {
     let env = EnvironmentKind::Random;
     let mut rows = Vec::new();
-    for protocol in [ProtocolKind::Bhmr, ProtocolKind::Fdas, ProtocolKind::Fdi, ProtocolKind::Cbr]
-    {
+    for protocol in [
+        ProtocolKind::Bhmr,
+        ProtocolKind::Fdas,
+        ProtocolKind::Fdi,
+        ProtocolKind::Cbr,
+    ] {
         let mut examined = 0u64;
         let mut necessary = 0u64;
         let mut basic_examined = 0u64;
@@ -423,7 +656,11 @@ pub fn necessity(n: usize, seeds: &[u64], messages: u64) -> NecessityResult {
                 }
             }
         }
-        let ratio = if examined == 0 { 0.0 } else { necessary as f64 / examined as f64 };
+        let ratio = if examined == 0 {
+            0.0
+        } else {
+            necessary as f64 / examined as f64
+        };
         rows.push((
             protocol.name().to_string(),
             examined,
@@ -433,11 +670,14 @@ pub fn necessity(n: usize, seeds: &[u64], messages: u64) -> NecessityResult {
             basic_examined,
         ));
     }
-    NecessityResult { rows, environment: env.name().to_string() }
+    NecessityResult {
+        rows,
+        environment: env.name().to_string(),
+    }
 }
 
 /// SCALE-1: how the protocols scale with the number of processes.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ScalingResult {
     /// `(n, protocol, mean R, piggyback bytes/msg)` per sweep point.
     pub rows: Vec<(usize, String, f64, f64)>,
@@ -454,15 +694,23 @@ pub fn scaling(sizes: &[usize], seeds: &[u64], messages: u64) -> ScalingResult {
     for &n in sizes {
         for protocol in [ProtocolKind::Bhmr, ProtocolKind::Fdas, ProtocolKind::Bcs] {
             let point = run_point(env, n, protocol, 4 * MEAN_SEND_INTERVAL, seeds, messages);
-            rows.push((n, protocol.name().to_string(), point.mean_r, point.piggyback_bytes_per_msg));
+            rows.push((
+                n,
+                protocol.name().to_string(),
+                point.mean_r,
+                point.piggyback_bytes_per_msg,
+            ));
         }
     }
-    ScalingResult { rows, environment: env.name().to_string() }
+    ScalingResult {
+        rows,
+        environment: env.name().to_string(),
+    }
 }
 
 /// COORD-1: coordinated (Chandy–Lamport) snapshots versus
 /// communication-induced checkpointing, at matched checkpoint rates.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CoordinatedResult {
     /// `(scheme, checkpoints, control messages, piggyback bytes,
     /// mean rollback distance after losing the newest checkpoint)`.
@@ -486,7 +734,14 @@ pub fn coordinated(n: usize, seeds: &[u64], sim_ticks: u64) -> CoordinatedResult
         for i in 0..n {
             let process = ProcessId::new(i);
             let cap = pattern.last_checkpoint_index(process).saturating_sub(1);
-            total += analyze(pattern, &[Failure { process, resume_cap: cap }]).mean_discarded();
+            total += analyze(
+                pattern,
+                &[Failure {
+                    process,
+                    resume_cap: cap,
+                }],
+            )
+            .mean_discarded();
         }
         total / n as f64
     };
@@ -504,8 +759,10 @@ pub fn coordinated(n: usize, seeds: &[u64], sim_ticks: u64) -> CoordinatedResult
                 .with_delay(DelayModel::Exponential { mean: MEAN_DELAY })
                 .with_basic_checkpoints(BasicCheckpointModel::Disabled)
                 .with_stop(StopCondition::Time(SimTime::from_ticks(sim_ticks)));
-            let mut app =
-                ChandyLamport::new(RandomEnvironment::new(MEAN_SEND_INTERVAL), snapshot_interval);
+            let mut app = ChandyLamport::new(
+                RandomEnvironment::new(MEAN_SEND_INTERVAL),
+                snapshot_interval,
+            );
             let outcome = run_protocol_kind(ProtocolKind::Uncoordinated, &config, &mut app);
             checkpoints += outcome.stats.total.total_checkpoints();
             control += app.markers_sent();
@@ -555,7 +812,7 @@ pub fn coordinated(n: usize, seeds: &[u64], sim_ticks: u64) -> CoordinatedResult
 
 /// REC-1: rollback damage after a failure, per protocol, plus the
 /// checkpoint-storage picture (GC reclaim ratio).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RecoveryResult {
     /// `(protocol, mean checkpoints discarded per process, mean processes
     /// rolled to initial, mean messages lost, mean GC reclaim ratio)`.
@@ -593,7 +850,13 @@ pub fn recovery_experiment(n: usize, seeds: &[u64], messages: u64) -> RecoveryRe
             for i in 0..n {
                 let process = ProcessId::new(i);
                 let cap = pattern.last_checkpoint_index(process).saturating_sub(1);
-                let report = analyze(&pattern, &[Failure { process, resume_cap: cap }]);
+                let report = analyze(
+                    &pattern,
+                    &[Failure {
+                        process,
+                        resume_cap: cap,
+                    }],
+                );
                 discarded.push(report.mean_discarded());
                 to_initial.push(report.rolled_to_initial as f64);
                 lost.push(report.lost_messages as f64);
@@ -607,7 +870,125 @@ pub fn recovery_experiment(n: usize, seeds: &[u64], messages: u64) -> RecoveryRe
             mean_std(&reclaim).0,
         ));
     }
-    RecoveryResult { rows, environment: env.name().to_string() }
+    RecoveryResult {
+        rows,
+        environment: env.name().to_string(),
+    }
+}
+
+impl ToJson for ProtocolPoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("protocol", self.protocol.to_json()),
+            ("mean_r", self.mean_r.to_json()),
+            ("std_r", self.std_r.to_json()),
+            ("mean_forced", self.mean_forced.to_json()),
+            ("mean_basic", self.mean_basic.to_json()),
+            (
+                "piggyback_bytes_per_msg",
+                self.piggyback_bytes_per_msg.to_json(),
+            ),
+        ])
+    }
+}
+
+impl ToJson for SweepRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("multiplier", self.multiplier.to_json()),
+            ("points", self.points.to_json()),
+        ])
+    }
+}
+
+impl ToJson for FigureResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json()),
+            ("environment", self.environment.to_json()),
+            ("n", self.n.to_json()),
+            ("messages", self.messages.to_json()),
+            ("seeds", self.seeds.to_json()),
+            ("rows", self.rows.to_json()),
+        ])
+    }
+}
+
+impl ToJson for Table1Result {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("environments", self.environments.to_json()),
+            ("multiplier", self.multiplier.to_json()),
+        ])
+    }
+}
+
+impl ToJson for Cor45Result {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("checked", self.checked.to_json()),
+            ("mismatches", self.mismatches.to_json()),
+            ("protocols", self.protocols.to_json()),
+        ])
+    }
+}
+
+impl ToJson for RdtCheckResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("runs", self.runs.to_json()),
+            ("unexpected_failures", self.unexpected_failures.to_json()),
+            ("uncoordinated_passes", self.uncoordinated_passes.to_json()),
+        ])
+    }
+}
+
+impl ToJson for AblationResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("lattice", self.lattice.to_json()),
+            ("environment", self.environment.to_json()),
+        ])
+    }
+}
+
+impl ToJson for SensitivityResult {
+    fn to_json(&self) -> Json {
+        Json::obj([("rows", self.rows.to_json()), ("n", self.n.to_json())])
+    }
+}
+
+impl ToJson for NecessityResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("rows", self.rows.to_json()),
+            ("environment", self.environment.to_json()),
+        ])
+    }
+}
+
+impl ToJson for ScalingResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("rows", self.rows.to_json()),
+            ("environment", self.environment.to_json()),
+        ])
+    }
+}
+
+impl ToJson for CoordinatedResult {
+    fn to_json(&self) -> Json {
+        Json::obj([("rows", self.rows.to_json()), ("n", self.n.to_json())])
+    }
+}
+
+impl ToJson for RecoveryResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("rows", self.rows.to_json()),
+            ("environment", self.environment.to_json()),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -616,8 +997,7 @@ mod tests {
 
     #[test]
     fn figure_machinery_produces_full_grid() {
-        let result =
-            figure("fig7", EnvironmentKind::Random, 4, &[2, 8], &[1, 2], 150);
+        let result = figure("fig7", EnvironmentKind::Random, 4, &[2, 8], &[1, 2], 150);
         assert_eq!(result.rows.len(), 2);
         for row in &result.rows {
             assert_eq!(row.points.len(), protocol_set().len());

@@ -1,0 +1,286 @@
+//! Work-stealing parallel execution of [`Sweep`] grids.
+//!
+//! The engine enumerates the grid up front, then fans the points out over
+//! scoped worker threads that pull from a shared atomic cursor: an idle
+//! worker "steals" the next undone point, so long-running points never
+//! leave siblings idle the way static partitioning would. Each worker owns
+//! one [`SimScratch`], reusing the event-heap and trace allocations across
+//! every point it runs.
+//!
+//! Determinism: a point's simulator seed is a pure function of the sweep
+//! ([`SimRng::derive_seed`] over its grid index), so outcomes do not
+//! depend on which worker ran a point or when; [`Sweep::merge`] then folds
+//! the outcomes back in grid order. `run_sweep` with any thread count —
+//! including 1 — is therefore bit-identical to [`Sweep::run_sequential`].
+//!
+//! [`SimRng::derive_seed`]: rdt_sim::SimRng::derive_seed
+
+use std::io::{IsTerminal, Write as _};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use rdt_sim::SimScratch;
+
+use crate::experiment::{FigureResult, PointOutcome, Sweep};
+
+/// How a sweep is executed.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Worker threads. `1` runs the grid on the calling thread.
+    pub threads: usize,
+    /// Print a live progress line (points done, points/sec, elapsed) to
+    /// stderr while the sweep runs.
+    pub progress: bool,
+}
+
+impl SweepOptions {
+    /// `threads` workers, progress only when stderr is a terminal.
+    pub fn with_threads(threads: usize) -> Self {
+        SweepOptions {
+            threads: threads.max(1),
+            progress: std::io::stderr().is_terminal(),
+        }
+    }
+
+    /// One worker per available CPU.
+    pub fn auto() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self::with_threads(threads)
+    }
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+/// Wall-clock metrics of one sweep execution.
+#[derive(Debug, Clone)]
+pub struct SweepMetrics {
+    /// Grid points run.
+    pub points: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Total wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl SweepMetrics {
+    /// Throughput in points per second.
+    pub fn points_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.points as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// One-line rendering: `80 points in 3.2s (25.0 points/s, 4 threads)`.
+    pub fn render(&self) -> String {
+        format!(
+            "{} points in {:.1}s ({:.1} points/s, {} thread{})",
+            self.points,
+            self.elapsed.as_secs_f64(),
+            self.points_per_sec(),
+            self.threads,
+            if self.threads == 1 { "" } else { "s" },
+        )
+    }
+}
+
+struct Progress {
+    enabled: bool,
+    name: String,
+    total: usize,
+    done: usize,
+    started: Instant,
+    last_draw: Option<Instant>,
+}
+
+impl Progress {
+    fn new(sweep: &Sweep, enabled: bool) -> Self {
+        Progress {
+            enabled,
+            name: sweep.name.clone(),
+            total: sweep.len(),
+            done: 0,
+            started: Instant::now(),
+            last_draw: None,
+        }
+    }
+
+    fn tick(&mut self) {
+        self.done += 1;
+        if !self.enabled {
+            return;
+        }
+        let throttled = self
+            .last_draw
+            .is_some_and(|at| at.elapsed() < Duration::from_millis(100));
+        if throttled && self.done < self.total {
+            return;
+        }
+        self.last_draw = Some(Instant::now());
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let rate = if elapsed > 0.0 {
+            self.done as f64 / elapsed
+        } else {
+            0.0
+        };
+        eprint!(
+            "\r  [{}] {}/{} points, {:.1} points/s, {:.1}s elapsed",
+            self.name, self.done, self.total, rate, elapsed
+        );
+        let _ = std::io::stderr().flush();
+    }
+
+    fn finish(&mut self) {
+        if self.enabled && self.last_draw.is_some() {
+            eprintln!();
+        }
+    }
+}
+
+/// Runs every point of the sweep and returns the per-point outcomes in
+/// grid order. This is the engine under [`run_sweep`]; determinism tests
+/// use it directly to compare outcomes (stats and pattern digests) across
+/// thread counts.
+pub fn run_sweep_points(sweep: &Sweep, options: &SweepOptions) -> Vec<PointOutcome> {
+    let points = sweep.grid();
+    let threads = options.threads.max(1).min(points.len().max(1));
+    let mut progress = Progress::new(sweep, options.progress);
+
+    let mut outcomes: Vec<PointOutcome> = if threads <= 1 {
+        let mut scratch = SimScratch::new();
+        points
+            .iter()
+            .map(|point| {
+                let outcome = sweep.run_point(point, &mut scratch);
+                progress.tick();
+                outcome
+            })
+            .collect()
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<PointOutcome>();
+        let mut collected = Vec::with_capacity(points.len());
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let points = &points[..];
+                scope.spawn(move || {
+                    let mut scratch = SimScratch::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(point) = points.get(i) else { break };
+                        if tx.send(sweep.run_point(point, &mut scratch)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            for outcome in rx {
+                collected.push(outcome);
+                progress.tick();
+            }
+        });
+        collected
+    };
+    progress.finish();
+
+    outcomes.sort_by_key(|outcome| outcome.index);
+    outcomes
+}
+
+/// Runs the sweep with the given options and merges the outcomes into the
+/// figure report. Bit-identical to [`Sweep::run_sequential`] for every
+/// thread count.
+pub fn run_sweep(sweep: &Sweep, options: &SweepOptions) -> FigureResult {
+    run_sweep_with_metrics(sweep, options).0
+}
+
+/// Like [`run_sweep`], also reporting wall-clock metrics.
+pub fn run_sweep_with_metrics(
+    sweep: &Sweep,
+    options: &SweepOptions,
+) -> (FigureResult, SweepMetrics) {
+    let started = Instant::now();
+    let outcomes = run_sweep_points(sweep, options);
+    let metrics = SweepMetrics {
+        points: outcomes.len(),
+        threads: options.threads.max(1).min(outcomes.len().max(1)),
+        elapsed: started.elapsed(),
+    };
+    (sweep.merge(&outcomes), metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdt_workloads::EnvironmentKind;
+
+    fn tiny_sweep() -> Sweep {
+        Sweep::figure("tiny", EnvironmentKind::Random, 3, &[2, 4], &[1, 2], 80)
+    }
+
+    fn quiet(threads: usize) -> SweepOptions {
+        SweepOptions {
+            threads,
+            progress: false,
+        }
+    }
+
+    #[test]
+    fn parallel_outcomes_match_sequential_exactly() {
+        let sweep = tiny_sweep();
+        let sequential = run_sweep_points(&sweep, &quiet(1));
+        for threads in [2, 4] {
+            let parallel = run_sweep_points(&sweep, &quiet(threads));
+            assert_eq!(parallel, sequential, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn merged_reports_are_identical_across_thread_counts() {
+        use rdt_json::ToJson;
+        let sweep = tiny_sweep();
+        let baseline = sweep.run_sequential().to_json().pretty();
+        for threads in [1, 3] {
+            let report = run_sweep(&sweep, &quiet(threads)).to_json().pretty();
+            assert_eq!(report, baseline, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn outcomes_arrive_sorted_and_complete() {
+        let sweep = tiny_sweep();
+        let outcomes = run_sweep_points(&sweep, &quiet(4));
+        assert_eq!(outcomes.len(), sweep.len());
+        for (i, outcome) in outcomes.iter().enumerate() {
+            assert_eq!(outcome.index, i);
+        }
+    }
+
+    #[test]
+    fn more_threads_than_points_is_fine() {
+        let sweep = Sweep::figure("micro", EnvironmentKind::Ring, 2, &[2], &[1], 20);
+        let a = run_sweep_points(&sweep, &quiet(64));
+        let b = run_sweep_points(&sweep, &quiet(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn metrics_count_the_grid() {
+        let sweep = tiny_sweep();
+        let (_, metrics) = run_sweep_with_metrics(&sweep, &quiet(2));
+        assert_eq!(metrics.points, sweep.len());
+        assert_eq!(metrics.threads, 2);
+        assert!(metrics.points_per_sec() > 0.0);
+        assert!(metrics.render().contains("points"));
+    }
+}

@@ -4,9 +4,8 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
 
-use serde::Serialize;
-
 use rdt_core::ProtocolKind;
+use rdt_json::ToJson;
 
 use crate::experiment::{FigureResult, Table1Result};
 use crate::protocol_set;
@@ -73,7 +72,10 @@ pub fn render_table1(result: &Table1Result) -> String {
             for point in &row.points {
                 let vs = row
                     .reduction_vs_fdas(
-                        point.protocol.parse().expect("points carry valid protocol names"),
+                        point
+                            .protocol
+                            .parse()
+                            .expect("points carry valid protocol names"),
                     )
                     .map(|r| format!("{:.1}%", r * 100.0))
                     .unwrap_or_else(|| "-".to_string());
@@ -94,21 +96,20 @@ pub fn render_table1(result: &Table1Result) -> String {
     out
 }
 
-/// Serializes any experiment result as pretty JSON under
+/// Writes any experiment result as pretty JSON under
 /// `results/<name>.json` (creating the directory), and returns the path.
 ///
 /// # Errors
 ///
 /// Returns any I/O error from creating the directory or writing the file.
-pub fn write_json<T: Serialize>(
+pub fn write_json<T: ToJson>(
     results_dir: &Path,
     name: &str,
     value: &T,
 ) -> std::io::Result<std::path::PathBuf> {
     fs::create_dir_all(results_dir)?;
     let path = results_dir.join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value)
-        .map_err(std::io::Error::other)?;
+    let json = value.to_json().pretty();
     fs::write(&path, json)?;
     Ok(path)
 }

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{BoolVector, ProcessId};
 
 /// An `n × n` boolean matrix, packed 64 entries per word, with the row and
@@ -34,7 +32,7 @@ use crate::{BoolVector, ProcessId};
 /// causal.set(k, j, true);
 /// assert!(causal.get(k, j));
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct BoolMatrix {
     n: usize,
     words_per_row: usize,
@@ -45,7 +43,11 @@ impl BoolMatrix {
     /// Creates an all-`false` `n × n` matrix.
     pub fn new(n: usize) -> Self {
         let words_per_row = n.div_ceil(64);
-        BoolMatrix { n, words_per_row, words: vec![0; n * words_per_row] }
+        BoolMatrix {
+            n,
+            words_per_row,
+            words: vec![0; n * words_per_row],
+        }
     }
 
     /// Creates the `n × n` matrix with `true` on the diagonal and `false`
@@ -200,7 +202,11 @@ impl BoolMatrix {
     fn check(&self, row: ProcessId, col: ProcessId) -> (usize, usize) {
         let (r, c) = (row.index(), col.index());
         assert!(r < self.n, "row {r} out of range for dimension {}", self.n);
-        assert!(c < self.n, "column {c} out of range for dimension {}", self.n);
+        assert!(
+            c < self.n,
+            "column {c} out of range for dimension {}",
+            self.n
+        );
         (r, c)
     }
 }
@@ -214,7 +220,11 @@ impl fmt::Debug for BoolMatrix {
                 write!(
                     f,
                     "{}",
-                    if self.get(ProcessId::new(r), ProcessId::new(c)) { 'T' } else { '.' }
+                    if self.get(ProcessId::new(r), ProcessId::new(c)) {
+                        'T'
+                    } else {
+                        '.'
+                    }
                 )?;
             }
             writeln!(f)?;

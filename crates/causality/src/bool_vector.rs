@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ProcessId;
 
 /// A fixed-length boolean vector indexed by process, packed 64 entries per
@@ -26,7 +24,7 @@ use crate::ProcessId;
 /// sent_to.fill(false);
 /// assert!(sent_to.is_all_false());
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct BoolVector {
     len: usize,
     words: Vec<u64>,
@@ -35,7 +33,10 @@ pub struct BoolVector {
 impl BoolVector {
     /// Creates an all-`false` vector of length `n`.
     pub fn new(n: usize) -> Self {
-        BoolVector { len: n, words: vec![0; n.div_ceil(64)] }
+        BoolVector {
+            len: n,
+            words: vec![0; n.div_ceil(64)],
+        }
     }
 
     /// Creates an all-`true` vector of length `n`.
@@ -72,7 +73,11 @@ impl BoolVector {
     /// Panics if `process` is out of range.
     pub fn get(&self, process: ProcessId) -> bool {
         let i = process.index();
-        assert!(i < self.len, "index {i} out of range for length {}", self.len);
+        assert!(
+            i < self.len,
+            "index {i} out of range for length {}",
+            self.len
+        );
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
@@ -83,7 +88,11 @@ impl BoolVector {
     /// Panics if `process` is out of range.
     pub fn set(&mut self, process: ProcessId, value: bool) {
         let i = process.index();
-        assert!(i < self.len, "index {i} out of range for length {}", self.len);
+        assert!(
+            i < self.len,
+            "index {i} out of range for length {}",
+            self.len
+        );
         let mask = 1u64 << (i % 64);
         if value {
             self.words[i / 64] |= mask;
@@ -107,7 +116,10 @@ impl BoolVector {
     ///
     /// Panics if lengths differ.
     pub fn and_assign(&mut self, other: &BoolVector) {
-        assert_eq!(self.len, other.len, "boolean vectors must have the same length");
+        assert_eq!(
+            self.len, other.len,
+            "boolean vectors must have the same length"
+        );
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a &= *b;
         }
@@ -119,7 +131,10 @@ impl BoolVector {
     ///
     /// Panics if lengths differ.
     pub fn or_assign(&mut self, other: &BoolVector) {
-        assert_eq!(self.len, other.len, "boolean vectors must have the same length");
+        assert_eq!(
+            self.len, other.len,
+            "boolean vectors must have the same length"
+        );
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a |= *b;
         }

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ProcessId;
 
 /// The *transitive dependency vector* `TDV_i` of the RDT literature
@@ -38,7 +36,7 @@ use crate::ProcessId;
 /// tdv.merge_max(&remote);
 /// assert_eq!(tdv.get(p1), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct DependencyVector {
     owner: ProcessId,
     entries: Vec<u32>,
@@ -52,7 +50,10 @@ impl DependencyVector {
     ///
     /// Panics if `owner` is out of range for `n` processes.
     pub fn initial(n: usize, owner: ProcessId) -> Self {
-        assert!(owner.index() < n, "owner {owner} out of range for {n} processes");
+        assert!(
+            owner.index() < n,
+            "owner {owner} out of range for {n} processes"
+        );
         let mut entries = vec![0; n];
         entries[owner.index()] = 1;
         DependencyVector { owner, entries }
@@ -127,7 +128,11 @@ impl DependencyVector {
     ///
     /// Panics if dimensions differ.
     pub fn merge_max(&mut self, piggybacked: &DependencyVector) {
-        assert_eq!(self.len(), piggybacked.len(), "dependency vectors must have the same dimension");
+        assert_eq!(
+            self.len(),
+            piggybacked.len(),
+            "dependency vectors must have the same dimension"
+        );
         for (mine, theirs) in self.entries.iter_mut().zip(&piggybacked.entries) {
             *mine = (*mine).max(*theirs);
         }
@@ -155,7 +160,10 @@ impl DependencyVector {
 
     /// Iterates over `(process, entry)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ProcessId, u32)> + '_ {
-        self.entries.iter().enumerate().map(|(i, &v)| (ProcessId::new(i), v))
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (ProcessId::new(i), v))
     }
 
     /// Returns the entries as a slice.
@@ -250,7 +258,7 @@ mod tests {
         // ... C_{0,2}? No: entry = highest *interval* index = 2 means the
         // current state depends on events of I_{0,2}, i.e. on C_{0,1}.
         let tdv_at_c11 = tdv1.clone(); // value saved when C_{1,1} is taken
-        // C_{0,1} -> C_{1,1} trackable: TDV_1^1[0] = 2 >= 1.
+                                       // C_{0,1} -> C_{1,1} trackable: TDV_1^1[0] = 2 >= 1.
         assert!(tdv_at_c11.get(p(0)) >= 1);
     }
 

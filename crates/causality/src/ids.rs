@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a process `P_i` of the distributed computation.
 ///
 /// Processes are numbered `0..n`. The newtype prevents accidentally mixing a
@@ -18,9 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(p.index(), 3);
 /// assert_eq!(p.to_string(), "P3");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ProcessId(usize);
 
 impl ProcessId {
@@ -74,9 +70,7 @@ impl From<usize> for ProcessId {
 /// assert_eq!(c.to_string(), "C(1,2)");
 /// assert_eq!(c.prev(), Some(CheckpointId::new(ProcessId::new(1), 1)));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct CheckpointId {
     /// Process the checkpoint belongs to.
     pub process: ProcessId,
@@ -97,25 +91,37 @@ impl CheckpointId {
 
     /// The next checkpoint of the same process, `C_{i,x+1}`.
     pub fn next(self) -> Self {
-        CheckpointId { process: self.process, index: self.index + 1 }
+        CheckpointId {
+            process: self.process,
+            index: self.index + 1,
+        }
     }
 
     /// The previous checkpoint of the same process, or `None` for the
     /// initial checkpoint.
     pub fn prev(self) -> Option<Self> {
-        self.index.checked_sub(1).map(|index| CheckpointId { process: self.process, index })
+        self.index.checked_sub(1).map(|index| CheckpointId {
+            process: self.process,
+            index,
+        })
     }
 
     /// The checkpoint interval that this checkpoint *closes*: `C_{i,x}` ends
     /// interval `I_{i,x}` (for `x > 0`).
     pub fn closing_interval(self) -> Option<IntervalId> {
-        (self.index > 0).then_some(IntervalId { process: self.process, index: self.index })
+        (self.index > 0).then_some(IntervalId {
+            process: self.process,
+            index: self.index,
+        })
     }
 
     /// The checkpoint interval that this checkpoint *opens*: the events
     /// following `C_{i,x}` belong to `I_{i,x+1}`.
     pub fn opening_interval(self) -> IntervalId {
-        IntervalId { process: self.process, index: self.index + 1 }
+        IntervalId {
+            process: self.process,
+            index: self.index + 1,
+        }
     }
 }
 
@@ -132,9 +138,7 @@ impl fmt::Display for CheckpointId {
 /// initial checkpoint `C_{i,0}`. The index of a process's *current* interval
 /// always equals the index of its *next* checkpoint, which is why the paper
 /// stores it directly in `TDV_i[i]`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct IntervalId {
     /// Process the interval belongs to.
     pub process: ProcessId,
@@ -155,7 +159,10 @@ impl IntervalId {
 
     /// The checkpoint that opens this interval: `C_{i,x-1}` opens `I_{i,x}`.
     pub fn opened_by(self) -> CheckpointId {
-        CheckpointId { process: self.process, index: self.index - 1 }
+        CheckpointId {
+            process: self.process,
+            index: self.index - 1,
+        }
     }
 
     /// The checkpoint that closes this interval: `C_{i,x}` closes `I_{i,x}`.
@@ -163,7 +170,10 @@ impl IntervalId {
     /// The closing checkpoint need not exist yet in a finite prefix of a
     /// computation; callers decide whether it does.
     pub fn closed_by(self) -> CheckpointId {
-        CheckpointId { process: self.process, index: self.index }
+        CheckpointId {
+            process: self.process,
+            index: self.index,
+        }
     }
 }
 
@@ -188,7 +198,15 @@ mod tests {
     #[test]
     fn process_id_all_enumerates_in_order() {
         let ids: Vec<_> = ProcessId::all(4).collect();
-        assert_eq!(ids, vec![ProcessId::new(0), ProcessId::new(1), ProcessId::new(2), ProcessId::new(3)]);
+        assert_eq!(
+            ids,
+            vec![
+                ProcessId::new(0),
+                ProcessId::new(1),
+                ProcessId::new(2),
+                ProcessId::new(3)
+            ]
+        );
     }
 
     #[test]

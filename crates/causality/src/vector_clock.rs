@@ -3,8 +3,6 @@
 use std::cmp::Ordering;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ProcessId;
 
 /// Result of comparing two vector clocks under the happened-before order.
@@ -42,7 +40,7 @@ pub enum ClockOrdering {
 /// b.tick(p1);
 /// assert_eq!(a.compare(&b), ClockOrdering::Before);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct VectorClock {
     entries: Vec<u64>,
 }
@@ -50,7 +48,9 @@ pub struct VectorClock {
 impl VectorClock {
     /// Creates the zero clock for an `n`-process system.
     pub fn new(n: usize) -> Self {
-        VectorClock { entries: vec![0; n] }
+        VectorClock {
+            entries: vec![0; n],
+        }
     }
 
     /// Builds a clock from explicit entries.
@@ -101,7 +101,11 @@ impl VectorClock {
     ///
     /// Panics if the two clocks have different lengths.
     pub fn merge_max(&mut self, other: &VectorClock) {
-        assert_eq!(self.len(), other.len(), "vector clocks must have the same dimension");
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "vector clocks must have the same dimension"
+        );
         for (mine, theirs) in self.entries.iter_mut().zip(&other.entries) {
             *mine = (*mine).max(*theirs);
         }
@@ -113,7 +117,11 @@ impl VectorClock {
     ///
     /// Panics if the two clocks have different lengths.
     pub fn compare(&self, other: &VectorClock) -> ClockOrdering {
-        assert_eq!(self.len(), other.len(), "vector clocks must have the same dimension");
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "vector clocks must have the same dimension"
+        );
         let mut less = false;
         let mut greater = false;
         for (a, b) in self.entries.iter().zip(&other.entries) {
@@ -144,7 +152,10 @@ impl VectorClock {
 
     /// Iterates over `(process, component)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ProcessId, u64)> + '_ {
-        self.entries.iter().enumerate().map(|(i, &v)| (ProcessId::new(i), v))
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (ProcessId::new(i), v))
     }
 
     /// Returns the entries as a slice.

@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 
-use rdt_causality::{BoolMatrix, BoolVector, ClockOrdering, DependencyVector, ProcessId, VectorClock};
+use rdt_causality::{
+    BoolMatrix, BoolVector, ClockOrdering, DependencyVector, ProcessId, VectorClock,
+};
 
 fn clock_strategy(n: usize) -> impl Strategy<Value = VectorClock> {
     proptest::collection::vec(0u64..50, n).prop_map(VectorClock::from_entries)
@@ -22,7 +24,6 @@ proptest! {
 
     // ---- vector clocks ----------------------------------------------
 
-    #[test]
     fn merge_max_is_commutative(a in clock_strategy(5), b in clock_strategy(5)) {
         let mut ab = a.clone();
         ab.merge_max(&b);
@@ -31,7 +32,6 @@ proptest! {
         prop_assert_eq!(ab, ba);
     }
 
-    #[test]
     fn merge_max_is_associative(
         a in clock_strategy(4), b in clock_strategy(4), c in clock_strategy(4),
     ) {
@@ -45,7 +45,6 @@ proptest! {
         prop_assert_eq!(left, right);
     }
 
-    #[test]
     fn merge_max_is_idempotent_and_dominating(a in clock_strategy(5), b in clock_strategy(5)) {
         let mut aa = a.clone();
         aa.merge_max(&a);
@@ -57,7 +56,6 @@ proptest! {
         prop_assert!(matches!(b.compare(&ab), ClockOrdering::Before | ClockOrdering::Equal));
     }
 
-    #[test]
     fn compare_is_antisymmetric(a in clock_strategy(5), b in clock_strategy(5)) {
         match a.compare(&b) {
             ClockOrdering::Before => prop_assert_eq!(b.compare(&a), ClockOrdering::After),
@@ -69,7 +67,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn happened_before_is_transitive(
         a in clock_strategy(4), b in clock_strategy(4), c in clock_strategy(4),
     ) {
@@ -80,7 +77,6 @@ proptest! {
 
     // ---- dependency vectors -----------------------------------------
 
-    #[test]
     fn dv_merge_never_decreases(a in dv_strategy(5), b in dv_strategy(5)) {
         let mut merged = a.clone();
         merged.merge_max(&b);
@@ -94,7 +90,6 @@ proptest! {
         prop_assert_eq!(merged.owner(), a.owner());
     }
 
-    #[test]
     fn dv_new_dependencies_disappear_after_merge(a in dv_strategy(5), b in dv_strategy(5)) {
         let mut merged = a.clone();
         merged.merge_max(&b);
@@ -102,7 +97,6 @@ proptest! {
         prop_assert!(!merged.has_new_dependency(&a));
     }
 
-    #[test]
     fn dv_new_dependencies_are_exactly_strict_gains(a in dv_strategy(5), b in dv_strategy(5)) {
         let fresh: Vec<ProcessId> = a.new_dependencies(&b).collect();
         for p in ProcessId::all(5) {
@@ -112,7 +106,6 @@ proptest! {
 
     // ---- boolean vectors and matrices --------------------------------
 
-    #[test]
     fn boolvector_ops_are_pointwise(a in bools(70), b in bools(70)) {
         let mut anded = a.clone();
         anded.and_assign(&b);
@@ -129,7 +122,6 @@ proptest! {
         }).count());
     }
 
-    #[test]
     fn boolvector_ones_roundtrip(a in bools(100)) {
         let mut rebuilt = BoolVector::new(100);
         for p in a.ones() {
@@ -138,7 +130,6 @@ proptest! {
         prop_assert_eq!(rebuilt, a);
     }
 
-    #[test]
     fn matrix_row_ops_match_vector_ops(
         rows_a in proptest::collection::vec(any::<bool>(), 16),
         rows_b in proptest::collection::vec(any::<bool>(), 16),
@@ -173,7 +164,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn matrix_column_or_is_pointwise(
         bits in proptest::collection::vec(any::<bool>(), 25),
         src in 0usize..5,

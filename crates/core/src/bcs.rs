@@ -8,8 +8,6 @@
 //! checkpoint belongs to some consistent global checkpoint — but **not**
 //! RDT: hidden (untrackable) dependencies between checkpoints can remain.
 
-use serde::{Deserialize, Serialize};
-
 use rdt_causality::{CheckpointId, ProcessId};
 
 use crate::{
@@ -19,7 +17,7 @@ use crate::{
 
 /// Piggyback of the BCS protocol: the sender's *epoch* (a scalar
 /// Lamport-style clock that ticks on checkpoints).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IndexPiggyback {
     /// The sender's current epoch.
     pub epoch: u32,
@@ -84,8 +82,17 @@ impl Bcs {
     ///
     /// Panics if `me` is out of range for `n` processes.
     pub fn new(n: usize, me: ProcessId) -> Self {
-        assert!(me.index() < n, "process {me} out of range for {n} processes");
-        Bcs { me, n, next_index: 1, epoch: 1, stats: ProtocolStats::default() }
+        assert!(
+            me.index() < n,
+            "process {me} out of range for {n} processes"
+        );
+        Bcs {
+            me,
+            n,
+            next_index: 1,
+            epoch: 1,
+            stats: ProtocolStats::default(),
+        }
     }
 
     /// The current epoch.
@@ -133,7 +140,10 @@ impl CicProtocol for Bcs {
         let piggyback = IndexPiggyback { epoch: self.epoch };
         self.stats.messages_sent += 1;
         self.stats.piggyback_bytes_sent += piggyback.piggyback_bytes() as u64;
-        SendOutcome { piggyback, forced_after: None }
+        SendOutcome {
+            piggyback,
+            forced_after: None,
+        }
     }
 
     fn on_message_arrival(

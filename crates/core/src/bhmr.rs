@@ -2,8 +2,6 @@
 
 use std::cmp::Ordering;
 
-use serde::{Deserialize, Serialize};
-
 use rdt_causality::{BoolMatrix, BoolVector, CheckpointId, DependencyVector, ProcessId};
 
 use crate::{
@@ -16,7 +14,7 @@ use crate::{
 ///
 /// Fields are public because the piggyback is plain data: tests and offline
 /// replayers construct instances directly.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BhmrPiggyback {
     /// The sender's transitive dependency vector at send time.
     pub tdv: DependencyVector,
@@ -88,7 +86,10 @@ impl Bhmr {
     ///
     /// Panics if `me` is out of range for `n` processes.
     pub fn new(n: usize, me: ProcessId) -> Self {
-        assert!(me.index() < n, "process {me} out of range for {n} processes");
+        assert!(
+            me.index() < n,
+            "process {me} out of range for {n} processes"
+        );
         let mut simple = BoolVector::new(n);
         simple.set(me, true); // simple_i[i] is permanently true
         Bhmr {
@@ -161,8 +162,7 @@ impl Bhmr {
     /// message chain from some `C_{k,z}` to `C_{k,z-1}`, breakable only by
     /// `P_i`.
     fn c2(&self, piggyback: &BhmrPiggyback) -> bool {
-        piggyback.tdv.get(self.me) == self.tdv.current_interval()
-            && !piggyback.simple.get(self.me)
+        piggyback.tdv.get(self.me) == self.tdv.current_interval() && !piggyback.simple.get(self.me)
     }
 }
 
@@ -200,7 +200,10 @@ impl CicProtocol for Bhmr {
         };
         self.stats.messages_sent += 1;
         self.stats.piggyback_bytes_sent += piggyback.piggyback_bytes() as u64;
-        SendOutcome { piggyback, forced_after: None }
+        SendOutcome {
+            piggyback,
+            forced_after: None,
+        }
     }
 
     fn on_message_arrival(
@@ -226,7 +229,8 @@ impl CicProtocol for Bhmr {
                     self.causal.copy_row_from(k, &piggyback.causal);
                 }
                 Ordering::Equal => {
-                    self.simple.set(k, self.simple.get(k) && piggyback.simple.get(k));
+                    self.simple
+                        .set(k, self.simple.get(k) && piggyback.simple.get(k));
                     self.causal.or_row_from(k, &piggyback.causal);
                 }
             }
@@ -336,7 +340,11 @@ mod tests {
         causal.set(p(2), p(0), true);
         let mut simple = BoolVector::new(3);
         simple.set(p(2), true);
-        let m = BhmrPiggyback { tdv, simple, causal };
+        let m = BhmrPiggyback {
+            tdv,
+            simple,
+            causal,
+        };
 
         let outcome = p0.on_message_arrival(p(2), &m);
         assert!(!outcome.was_forced());
@@ -367,7 +375,10 @@ mod tests {
         let m2 = p1.before_send(p(0));
 
         assert_eq!(m2.piggyback.tdv.get(p(0)), 1);
-        assert!(!m2.piggyback.simple.get(p(0)), "chain includes a checkpoint");
+        assert!(
+            !m2.piggyback.simple.get(p(0)),
+            "chain includes a checkpoint"
+        );
 
         let outcome = p0.on_message_arrival(p(1), &m2.piggyback);
         assert!(outcome.was_forced());

@@ -1,7 +1,5 @@
 //! Wang's FDAS and FDI baseline protocols (§5.2 of the paper).
 
-use serde::{Deserialize, Serialize};
-
 use rdt_causality::{CheckpointId, DependencyVector, ProcessId};
 
 use crate::{
@@ -11,7 +9,7 @@ use crate::{
 
 /// Piggyback of the FDAS/FDI protocols: the transitive dependency vector
 /// only.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TdvPiggyback {
     /// The sender's transitive dependency vector at send time.
     pub tdv: DependencyVector,
@@ -35,7 +33,10 @@ struct TdvState {
 
 impl TdvState {
     fn new(n: usize, me: ProcessId) -> Self {
-        assert!(me.index() < n, "process {me} out of range for {n} processes");
+        assert!(
+            me.index() < n,
+            "process {me} out of range for {n} processes"
+        );
         TdvState {
             me,
             n,
@@ -58,10 +59,15 @@ impl TdvState {
 
     fn before_send(&mut self, _dest: ProcessId) -> SendOutcome<TdvPiggyback> {
         self.after_first_send = true;
-        let piggyback = TdvPiggyback { tdv: self.tdv.clone() };
+        let piggyback = TdvPiggyback {
+            tdv: self.tdv.clone(),
+        };
         self.stats.messages_sent += 1;
         self.stats.piggyback_bytes_sent += piggyback.piggyback_bytes() as u64;
-        SendOutcome { piggyback, forced_after: None }
+        SendOutcome {
+            piggyback,
+            forced_after: None,
+        }
     }
 
     fn finish_arrival(&mut self, piggyback: &TdvPiggyback, force: bool) -> ArrivalOutcome {
@@ -119,7 +125,9 @@ impl Fdas {
     ///
     /// Panics if `me` is out of range for `n` processes.
     pub fn new(n: usize, me: ProcessId) -> Self {
-        Fdas { state: TdvState::new(n, me) }
+        Fdas {
+            state: TdvState::new(n, me),
+        }
     }
 
     /// The current transitive dependency vector.
@@ -202,7 +210,9 @@ impl Fdi {
     ///
     /// Panics if `me` is out of range for `n` processes.
     pub fn new(n: usize, me: ProcessId) -> Self {
-        Fdi { state: TdvState::new(n, me) }
+        Fdi {
+            state: TdvState::new(n, me),
+        }
     }
 
     /// The current transitive dependency vector.
@@ -288,7 +298,10 @@ mod tests {
         let outcome = a.on_message_arrival(p(1), &m.piggyback);
         assert!(outcome.was_forced());
         assert_eq!(outcome.forced.unwrap().id, CheckpointId::new(p(0), 1));
-        assert!(!a.after_first_send(), "interval reset by the forced checkpoint");
+        assert!(
+            !a.after_first_send(),
+            "interval reset by the forced checkpoint"
+        );
     }
 
     #[test]
@@ -308,7 +321,10 @@ mod tests {
         let mut b = Fdi::new(2, p(1));
         let m = b.before_send(p(0));
         let outcome = a.on_message_arrival(p(1), &m.piggyback);
-        assert!(outcome.was_forced(), "FDI freezes dependencies for the whole interval");
+        assert!(
+            outcome.was_forced(),
+            "FDI freezes dependencies for the whole interval"
+        );
     }
 
     #[test]

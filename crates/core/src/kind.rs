@@ -3,8 +3,6 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 /// The protocols this crate implements, as a data value.
 ///
 /// [`ProtocolKind`] lets harnesses, CLIs and configuration files select a
@@ -21,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(ProtocolKind::all().len(), 10);
 /// # Ok::<(), String>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProtocolKind {
     /// The paper's protocol (predicate `C1 ∨ C2`).
     Bhmr,
@@ -66,7 +64,10 @@ impl ProtocolKind {
     /// The RDT-ensuring protocols (everything except the uncoordinated
     /// control).
     pub fn rdt_ensuring() -> impl Iterator<Item = ProtocolKind> {
-        Self::all().iter().copied().filter(|kind| kind.ensures_rdt())
+        Self::all()
+            .iter()
+            .copied()
+            .filter(|kind| kind.ensures_rdt())
     }
 
     /// Short stable name, matching [`CicProtocol::name`](crate::CicProtocol::name).
@@ -148,7 +149,11 @@ impl FromStr for ProtocolKind {
 }
 
 fn names() -> String {
-    ProtocolKind::all().iter().map(|kind| kind.name()).collect::<Vec<_>>().join(", ")
+    ProtocolKind::all()
+        .iter()
+        .map(|kind| kind.name())
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 #[cfg(test)]
@@ -188,9 +193,9 @@ mod tests {
 
     #[test]
     fn piggyback_sizes_match_protocol_implementations() {
+        use crate::PiggybackSize;
         use crate::{Bhmr, BhmrCausalOnly, BhmrNoSimple, CicProtocol, Fdas};
         use rdt_causality::ProcessId;
-        use crate::PiggybackSize;
         let n = 6;
         let p0 = ProcessId::new(0);
         let p1 = ProcessId::new(1);
@@ -200,11 +205,17 @@ mod tests {
         );
         assert_eq!(
             ProtocolKind::BhmrNoSimple.piggyback_bytes(n),
-            BhmrNoSimple::new(n, p0).before_send(p1).piggyback.piggyback_bytes()
+            BhmrNoSimple::new(n, p0)
+                .before_send(p1)
+                .piggyback
+                .piggyback_bytes()
         );
         assert_eq!(
             ProtocolKind::BhmrCausalOnly.piggyback_bytes(n),
-            BhmrCausalOnly::new(n, p0).before_send(p1).piggyback.piggyback_bytes()
+            BhmrCausalOnly::new(n, p0)
+                .before_send(p1)
+                .piggyback
+                .piggyback_bytes()
         );
         assert_eq!(
             ProtocolKind::Fdas.piggyback_bytes(n),

@@ -2,12 +2,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use rdt_causality::{CheckpointId, ProcessId};
 
 /// Why a local checkpoint was taken.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CheckpointKind {
     /// The initial checkpoint `C_{i,0}` every process takes at its initial
     /// state.
@@ -31,7 +29,7 @@ impl fmt::Display for CheckpointKind {
 }
 
 /// Record of one local checkpoint, as reported by a protocol.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CheckpointRecord {
     /// Which checkpoint was taken.
     pub id: CheckpointId,
@@ -73,7 +71,9 @@ impl ArrivalOutcome {
 
     /// An outcome with a forced checkpoint taken before delivery.
     pub fn forced(record: CheckpointRecord) -> Self {
-        ArrivalOutcome { forced: Some(record) }
+        ArrivalOutcome {
+            forced: Some(record),
+        }
     }
 
     /// Returns `true` if a checkpoint was forced.
@@ -101,7 +101,7 @@ impl PiggybackSize for () {
 }
 
 /// Aggregate counters every protocol maintains.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ProtocolStats {
     /// Basic (application-decided) checkpoints taken.
     pub basic_checkpoints: u64,

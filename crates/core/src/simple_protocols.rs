@@ -21,8 +21,6 @@
 //! demonstrate hidden dependencies, domino effects, and RDT violations in
 //! tests and experiments.
 
-use serde::{Deserialize, Serialize};
-
 use rdt_causality::{CheckpointId, ProcessId};
 
 use crate::{
@@ -31,7 +29,7 @@ use crate::{
 };
 
 /// The empty piggyback of the piggyback-free protocols.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EmptyPiggyback;
 
 impl PiggybackSize for EmptyPiggyback {
@@ -53,7 +51,10 @@ struct PlainState {
 
 impl PlainState {
     fn new(n: usize, me: ProcessId) -> Self {
-        assert!(me.index() < n, "process {me} out of range for {n} processes");
+        assert!(
+            me.index() < n,
+            "process {me} out of range for {n} processes"
+        );
         PlainState {
             me,
             n,
@@ -143,7 +144,9 @@ impl Cbr {
     ///
     /// Panics if `me` is out of range for `n` processes.
     pub fn new(n: usize, me: ProcessId) -> Self {
-        Cbr { state: PlainState::new(n, me) }
+        Cbr {
+            state: PlainState::new(n, me),
+        }
     }
 }
 
@@ -156,7 +159,10 @@ impl CicProtocol for Cbr {
 
     fn before_send(&mut self, _dest: ProcessId) -> SendOutcome<EmptyPiggyback> {
         self.state.note_send();
-        SendOutcome { piggyback: EmptyPiggyback, forced_after: None }
+        SendOutcome {
+            piggyback: EmptyPiggyback,
+            forced_after: None,
+        }
     }
 
     fn on_message_arrival(
@@ -189,7 +195,9 @@ impl Cas {
     ///
     /// Panics if `me` is out of range for `n` processes.
     pub fn new(n: usize, me: ProcessId) -> Self {
-        Cas { state: PlainState::new(n, me) }
+        Cas {
+            state: PlainState::new(n, me),
+        }
     }
 }
 
@@ -203,7 +211,10 @@ impl CicProtocol for Cas {
     fn before_send(&mut self, _dest: ProcessId) -> SendOutcome<EmptyPiggyback> {
         self.state.note_send();
         let forced_after = Some(self.state.forced());
-        SendOutcome { piggyback: EmptyPiggyback, forced_after }
+        SendOutcome {
+            piggyback: EmptyPiggyback,
+            forced_after,
+        }
     }
 
     fn on_message_arrival(
@@ -235,7 +246,9 @@ impl Nras {
     ///
     /// Panics if `me` is out of range for `n` processes.
     pub fn new(n: usize, me: ProcessId) -> Self {
-        Nras { state: PlainState::new(n, me) }
+        Nras {
+            state: PlainState::new(n, me),
+        }
     }
 }
 
@@ -248,7 +261,10 @@ impl CicProtocol for Nras {
 
     fn before_send(&mut self, _dest: ProcessId) -> SendOutcome<EmptyPiggyback> {
         self.state.note_send();
-        SendOutcome { piggyback: EmptyPiggyback, forced_after: None }
+        SendOutcome {
+            piggyback: EmptyPiggyback,
+            forced_after: None,
+        }
     }
 
     fn on_message_arrival(
@@ -279,7 +295,9 @@ impl Uncoordinated {
     ///
     /// Panics if `me` is out of range for `n` processes.
     pub fn new(n: usize, me: ProcessId) -> Self {
-        Uncoordinated { state: PlainState::new(n, me) }
+        Uncoordinated {
+            state: PlainState::new(n, me),
+        }
     }
 }
 
@@ -292,7 +310,10 @@ impl CicProtocol for Uncoordinated {
 
     fn before_send(&mut self, _dest: ProcessId) -> SendOutcome<EmptyPiggyback> {
         self.state.note_send();
-        SendOutcome { piggyback: EmptyPiggyback, forced_after: None }
+        SendOutcome {
+            piggyback: EmptyPiggyback,
+            forced_after: None,
+        }
     }
 
     fn on_message_arrival(

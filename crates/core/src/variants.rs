@@ -11,8 +11,6 @@
 
 use std::cmp::Ordering;
 
-use serde::{Deserialize, Serialize};
-
 use rdt_causality::{BoolMatrix, BoolVector, CheckpointId, DependencyVector, ProcessId};
 
 use crate::{
@@ -21,7 +19,7 @@ use crate::{
 };
 
 /// Piggyback of [`BhmrNoSimple`]: `TDV` and the `causal` matrix.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NoSimplePiggyback {
     /// The sender's transitive dependency vector at send time.
     pub tdv: DependencyVector,
@@ -38,7 +36,7 @@ impl PiggybackSize for NoSimplePiggyback {
 /// Piggyback of [`BhmrCausalOnly`]: identical content to
 /// [`NoSimplePiggyback`] but with the *false-diagonal* convention on the
 /// matrix; a distinct type keeps the two protocols from being mixed.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CausalOnlyPiggyback {
     /// The sender's transitive dependency vector at send time.
     pub tdv: DependencyVector,
@@ -81,7 +79,10 @@ impl BhmrNoSimple {
     ///
     /// Panics if `me` is out of range for `n` processes.
     pub fn new(n: usize, me: ProcessId) -> Self {
-        assert!(me.index() < n, "process {me} out of range for {n} processes");
+        assert!(
+            me.index() < n,
+            "process {me} out of range for {n} processes"
+        );
         BhmrNoSimple {
             me,
             n,
@@ -140,11 +141,16 @@ impl CicProtocol for BhmrNoSimple {
 
     fn before_send(&mut self, dest: ProcessId) -> SendOutcome<NoSimplePiggyback> {
         self.sent_to.set(dest, true);
-        let piggyback =
-            NoSimplePiggyback { tdv: self.tdv.clone(), causal: self.causal.clone() };
+        let piggyback = NoSimplePiggyback {
+            tdv: self.tdv.clone(),
+            causal: self.causal.clone(),
+        };
         self.stats.messages_sent += 1;
         self.stats.piggyback_bytes_sent += piggyback.piggyback_bytes() as u64;
-        SendOutcome { piggyback, forced_after: None }
+        SendOutcome {
+            piggyback,
+            forced_after: None,
+        }
     }
 
     fn on_message_arrival(
@@ -154,7 +160,10 @@ impl CicProtocol for BhmrNoSimple {
     ) -> ArrivalOutcome {
         let fresh: Vec<ProcessId> = self.tdv.new_dependencies(&piggyback.tdv).collect();
         let c1 = !fresh.is_empty()
-            && self.sent_to.ones().any(|j| fresh.iter().any(|&k| !piggyback.causal.get(k, j)));
+            && self
+                .sent_to
+                .ones()
+                .any(|j| fresh.iter().any(|&k| !piggyback.causal.get(k, j)));
         let c2_prime =
             piggyback.tdv.get(self.me) == self.tdv.current_interval() && !fresh.is_empty();
 
@@ -215,7 +224,10 @@ impl BhmrCausalOnly {
     ///
     /// Panics if `me` is out of range for `n` processes.
     pub fn new(n: usize, me: ProcessId) -> Self {
-        assert!(me.index() < n, "process {me} out of range for {n} processes");
+        assert!(
+            me.index() < n,
+            "process {me} out of range for {n} processes"
+        );
         BhmrCausalOnly {
             me,
             n,
@@ -276,11 +288,16 @@ impl CicProtocol for BhmrCausalOnly {
 
     fn before_send(&mut self, dest: ProcessId) -> SendOutcome<CausalOnlyPiggyback> {
         self.sent_to.set(dest, true);
-        let piggyback =
-            CausalOnlyPiggyback { tdv: self.tdv.clone(), causal: self.causal.clone() };
+        let piggyback = CausalOnlyPiggyback {
+            tdv: self.tdv.clone(),
+            causal: self.causal.clone(),
+        };
         self.stats.messages_sent += 1;
         self.stats.piggyback_bytes_sent += piggyback.piggyback_bytes() as u64;
-        SendOutcome { piggyback, forced_after: None }
+        SendOutcome {
+            piggyback,
+            forced_after: None,
+        }
     }
 
     fn on_message_arrival(
@@ -290,7 +307,10 @@ impl CicProtocol for BhmrCausalOnly {
     ) -> ArrivalOutcome {
         let fresh: Vec<ProcessId> = self.tdv.new_dependencies(&piggyback.tdv).collect();
         let c1 = !fresh.is_empty()
-            && self.sent_to.ones().any(|j| fresh.iter().any(|&k| !piggyback.causal.get(k, j)));
+            && self
+                .sent_to
+                .ones()
+                .any(|j| fresh.iter().any(|&k| !piggyback.causal.get(k, j)));
 
         let forced = if c1 {
             self.stats.forced_checkpoints += 1;
@@ -408,11 +428,22 @@ mod tests {
     fn piggyback_sizes_form_the_documented_lattice() {
         use crate::{Bhmr, Fdas};
         let n = 8;
-        let full = Bhmr::new(n, p(0)).before_send(p(1)).piggyback.piggyback_bytes();
-        let nosimple = BhmrNoSimple::new(n, p(0)).before_send(p(1)).piggyback.piggyback_bytes();
-        let causalonly =
-            BhmrCausalOnly::new(n, p(0)).before_send(p(1)).piggyback.piggyback_bytes();
-        let fdas = Fdas::new(n, p(0)).before_send(p(1)).piggyback.piggyback_bytes();
+        let full = Bhmr::new(n, p(0))
+            .before_send(p(1))
+            .piggyback
+            .piggyback_bytes();
+        let nosimple = BhmrNoSimple::new(n, p(0))
+            .before_send(p(1))
+            .piggyback
+            .piggyback_bytes();
+        let causalonly = BhmrCausalOnly::new(n, p(0))
+            .before_send(p(1))
+            .piggyback
+            .piggyback_bytes();
+        let fdas = Fdas::new(n, p(0))
+            .before_send(p(1))
+            .piggyback
+            .piggyback_bytes();
         assert!(full > nosimple);
         assert_eq!(nosimple, causalonly);
         assert!(causalonly > fdas);

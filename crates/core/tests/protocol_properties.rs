@@ -80,7 +80,6 @@ proptest! {
     /// The BHMR `simple_i[i]` entry must stay permanently true — the
     /// paper asserts the delivery rules preserve it (§4.1); this is the
     /// black-box check.
-    #[test]
     fn bhmr_own_simple_entry_stays_true(
         n in 2usize..6,
         events in proptest::collection::vec(event_strategy(), 0..120),
@@ -93,7 +92,6 @@ proptest! {
 
     /// BHMR's `causal` diagonal entry about its own current interval stays
     /// true, and the `TDV` owner entry equals 1 + checkpoints taken.
-    #[test]
     fn bhmr_structural_invariants(
         n in 2usize..6,
         events in proptest::collection::vec(event_strategy(), 0..120),
@@ -110,7 +108,6 @@ proptest! {
     /// §5.2, sound form: whenever `C1 ∨ C2` fires, `C_FDAS` evaluated on
     /// the *same* state fires too — i.e. BHMR only forces where FDAS
     /// (given identical knowledge) would also force.
-    #[test]
     fn bhmr_predicate_implies_fdas_predicate(
         n in 2usize..6,
         events in proptest::collection::vec(event_strategy(), 0..150),
@@ -131,7 +128,6 @@ proptest! {
     /// The TDV never decreases in any component across a delivery, and the
     /// new value is exactly the component-wise max with the piggyback
     /// (modulo the own entry, which a forced checkpoint may bump).
-    #[test]
     fn bhmr_tdv_merge_semantics(
         n in 2usize..6,
         events in proptest::collection::vec(event_strategy(), 0..120),
@@ -167,7 +163,6 @@ proptest! {
 
     /// FDAS: a forced checkpoint resets the send flag, and FDI forces on
     /// every delivery carrying a new dependency (checked on pre-state).
-    #[test]
     fn fixed_dependency_predicates(
         n in 2usize..6,
         events in proptest::collection::vec(event_strategy(), 0..150),
@@ -186,7 +181,6 @@ proptest! {
     /// BCS invariant: epochs never decrease, a delivery's epoch never
     /// exceeds the receiver's afterwards, and forcing happens exactly on
     /// epoch gaps.
-    #[test]
     fn bcs_epoch_discipline(
         n in 2usize..6,
         events in proptest::collection::vec(event_strategy(), 0..150),
@@ -198,7 +192,6 @@ proptest! {
 
     /// Checkpoint records carry dense, increasing indices with the right
     /// kinds.
-    #[test]
     fn record_indices_are_dense(
         n in 2usize..5,
         events in proptest::collection::vec(event_strategy(), 0..100),

@@ -81,7 +81,13 @@ mod tests {
         let pattern = domino_pattern(6); // P0 last = 6, P1 last = 7
         for process in [p(0), p(1)] {
             for cap in [0u32, 2, 5] {
-                let line = recovery_line(&pattern, &[Failure { process, resume_cap: cap }]);
+                let line = recovery_line(
+                    &pattern,
+                    &[Failure {
+                        process,
+                        resume_cap: cap,
+                    }],
+                );
                 assert_eq!(line.as_slice(), &[0, 0], "cap {cap} on {process}");
             }
         }
@@ -89,15 +95,27 @@ mod tests {
         let line = recovery_line(&pattern, &[]);
         assert_eq!(line.as_slice(), &[6, 7]);
         // Losing just P1's closing checkpoint already cascades fully.
-        let line = recovery_line(&pattern, &[Failure { process: p(1), resume_cap: 6 }]);
+        let line = recovery_line(
+            &pattern,
+            &[Failure {
+                process: p(1),
+                resume_cap: 6,
+            }],
+        );
         assert_eq!(line.as_slice(), &[0, 0]);
     }
 
     #[test]
     fn only_extreme_global_checkpoints_are_consistent() {
         let pattern = domino_pattern(3); // P0: 0..=3, P1: 0..=4
-        assert!(consistency::is_consistent(&pattern, &GlobalCheckpoint::new(vec![0, 0])));
-        assert!(consistency::is_consistent(&pattern, &GlobalCheckpoint::new(vec![3, 4])));
+        assert!(consistency::is_consistent(
+            &pattern,
+            &GlobalCheckpoint::new(vec![0, 0])
+        ));
+        assert!(consistency::is_consistent(
+            &pattern,
+            &GlobalCheckpoint::new(vec![3, 4])
+        ));
         // Every intermediate line has an orphan.
         for a in 0..=3u32 {
             for b in 0..=4u32 {
@@ -120,7 +138,13 @@ mod tests {
     #[test]
     fn report_quantifies_the_cascade() {
         let pattern = domino_pattern(10);
-        let report = analyze(&pattern, &[Failure { process: p(1), resume_cap: 9 }]);
+        let report = analyze(
+            &pattern,
+            &[Failure {
+                process: p(1),
+                resume_cap: 9,
+            }],
+        );
         assert_eq!(report.rolled_to_initial, 2);
         // P0 discards 10 checkpoints, P1 discards 11 (it has the closing
         // one).

@@ -27,7 +27,10 @@ pub fn collection_frontier(pattern: &Pattern) -> GlobalCheckpoint {
 /// lines.)
 pub fn obsolete_checkpoints(pattern: &Pattern) -> Vec<CheckpointId> {
     let frontier = collection_frontier(pattern);
-    pattern.checkpoints().filter(|c| c.index < frontier.get(c.process)).collect()
+    pattern
+        .checkpoints()
+        .filter(|c| c.index < frontier.get(c.process))
+        .collect()
 }
 
 /// Storage summary: how much of the checkpoint history must be retained.
@@ -78,7 +81,12 @@ pub fn storage_report(pattern: &Pattern) -> StorageReport {
     let obsolete: usize = (0..pattern.num_processes())
         .map(|i| frontier.get(ProcessId::new(i)) as usize)
         .sum();
-    StorageReport { frontier, total, obsolete, live: total - obsolete }
+    StorageReport {
+        frontier,
+        total,
+        obsolete,
+        live: total - obsolete,
+    }
 }
 
 #[cfg(test)]

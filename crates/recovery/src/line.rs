@@ -1,13 +1,11 @@
 //! Recovery lines and rollback analysis.
 
-use serde::{Deserialize, Serialize};
-
 use rdt_causality::ProcessId;
 use rdt_rgraph::{consistency, GlobalCheckpoint, Pattern, PatternMessageId};
 
 /// A failure: the process loses its volatile state and can resume from any
 /// checkpoint with index `≤ resume_cap` (its stable checkpoints).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Failure {
     /// The failed process.
     pub process: ProcessId,
@@ -20,7 +18,10 @@ impl Failure {
     /// the most favourable case (nothing of its checkpointed history is
     /// lost).
     pub fn at_last_checkpoint(pattern: &Pattern, process: ProcessId) -> Self {
-        Failure { process, resume_cap: pattern.last_checkpoint_index(process) }
+        Failure {
+            process,
+            resume_cap: pattern.last_checkpoint_index(process),
+        }
     }
 }
 
@@ -42,7 +43,9 @@ impl Failure {
 pub fn recovery_line(pattern: &Pattern, failures: &[Failure]) -> GlobalCheckpoint {
     let n = pattern.num_processes();
     let mut line = GlobalCheckpoint::new(
-        (0..n).map(|i| pattern.last_checkpoint_index(ProcessId::new(i))).collect(),
+        (0..n)
+            .map(|i| pattern.last_checkpoint_index(ProcessId::new(i)))
+            .collect(),
     );
     for failure in failures {
         let current = line.get(failure.process);
@@ -53,8 +56,7 @@ pub fn recovery_line(pattern: &Pattern, failures: &[Failure]) -> GlobalCheckpoin
     loop {
         let mut changed = false;
         for &(_, send, deliver) in &delivered {
-            if send.index > line.get(send.process) && deliver.index <= line.get(deliver.process)
-            {
+            if send.index > line.get(send.process) && deliver.index <= line.get(deliver.process) {
                 line.set(deliver.process, deliver.index - 1);
                 changed = true;
             }
@@ -88,7 +90,7 @@ pub fn lost_messages(pattern: &Pattern, line: &GlobalCheckpoint) -> Vec<PatternM
 }
 
 /// Everything a rollback analysis reports.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RollbackReport {
     /// The recovery line.
     pub line: GlobalCheckpoint,
@@ -180,7 +182,13 @@ mod tests {
         let pattern = paper_figures::figure_1();
         // P_j fails back to C_(j,1): m4/m6 deliveries at P_k must go, so
         // P_k falls to C_(k,1); P_i keeps everything.
-        let report = analyze(&pattern, &[Failure { process: p(1), resume_cap: 1 }]);
+        let report = analyze(
+            &pattern,
+            &[Failure {
+                process: p(1),
+                resume_cap: 1,
+            }],
+        );
         assert_eq!(report.line.as_slice(), &[3, 1, 1]);
         assert_eq!(report.discarded_per_process, vec![0, 2, 2]);
         assert_eq!(report.total_discarded, 4);
@@ -190,7 +198,13 @@ mod tests {
     #[test]
     fn lost_messages_are_replay_candidates() {
         let pattern = paper_figures::figure_1();
-        let line = recovery_line(&pattern, &[Failure { process: p(1), resume_cap: 1 }]);
+        let line = recovery_line(
+            &pattern,
+            &[Failure {
+                process: p(1),
+                resume_cap: 1,
+            }],
+        );
         // Line [3,1,1]: m5 (sent I_(i,3), delivered I_(j,2) > 1) is lost;
         // m4/m6 were sent in I_(j,2) — rolled back, not lost; m7 sent
         // I_(k,3) — rolled back; m2 delivered I_(i,2) <= 3 kept.
@@ -201,7 +215,13 @@ mod tests {
     #[test]
     fn resume_cap_zero_forces_initial_for_that_process() {
         let pattern = paper_figures::figure_1();
-        let report = analyze(&pattern, &[Failure { process: p(0), resume_cap: 0 }]);
+        let report = analyze(
+            &pattern,
+            &[Failure {
+                process: p(0),
+                resume_cap: 0,
+            }],
+        );
         assert_eq!(report.line.get(p(0)), 0);
         // Everything delivered from P_i's intervals >= 1 must unwind:
         // m1 (I_(i,1) -> I_(j,1)) forces P_j to 0; m3's delivery (I_(j,1))

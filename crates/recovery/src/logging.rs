@@ -57,7 +57,11 @@ pub fn replay_plan(pattern: &Pattern, failures: &[Failure]) -> ReplayPlan {
             send.index > line.get(send.process)
         })
         .collect();
-    ReplayPlan { line, replay, discard }
+    ReplayPlan {
+        line,
+        replay,
+        discard,
+    }
 }
 
 /// The commit requirement of an output released while checkpoint
@@ -72,10 +76,7 @@ pub fn replay_plan(pattern: &Pattern, failures: &[Failure]) -> ReplayPlan {
 /// Under RDT, this equals the `TDV` the protocol saved with the checkpoint
 /// (Corollary 4.5) — i.e. the commit test needs **no extra computation**
 /// at runtime; this function is the independent offline witness.
-pub fn output_commit_requirement(
-    pattern: &Pattern,
-    at: CheckpointId,
-) -> Option<GlobalCheckpoint> {
+pub fn output_commit_requirement(pattern: &Pattern, at: CheckpointId) -> Option<GlobalCheckpoint> {
     min_max::min_consistent_containing(pattern, &[at])
 }
 
@@ -115,7 +116,13 @@ mod tests {
     fn replay_plan_of_figure_1_rollback() {
         let pattern = paper_figures::figure_1();
         // Roll P_j back to C_(j,1): line [3,1,1].
-        let plan = replay_plan(&pattern, &[Failure { process: ProcessId::new(1), resume_cap: 1 }]);
+        let plan = replay_plan(
+            &pattern,
+            &[Failure {
+                process: ProcessId::new(1),
+                resume_cap: 1,
+            }],
+        );
         assert_eq!(plan.line.as_slice(), &[3, 1, 1]);
         // m5 (sent I_(i,3) kept, delivered I_(j,2) undone) must be replayed.
         assert_eq!(plan.replay.len(), 1);
@@ -127,7 +134,13 @@ mod tests {
     #[test]
     fn replay_and_discard_are_disjoint() {
         let pattern = paper_figures::figure_1();
-        let plan = replay_plan(&pattern, &[Failure { process: ProcessId::new(0), resume_cap: 1 }]);
+        let plan = replay_plan(
+            &pattern,
+            &[Failure {
+                process: ProcessId::new(0),
+                resume_cap: 1,
+            }],
+        );
         for m in &plan.replay {
             assert!(!plan.discard.contains(m));
         }

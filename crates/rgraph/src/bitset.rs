@@ -10,7 +10,10 @@ pub(crate) struct BitRow {
 
 impl BitRow {
     pub(crate) fn new(len: usize) -> Self {
-        BitRow { len, words: vec![0; len.div_ceil(64)] }
+        BitRow {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
     }
 
     #[cfg(test)]

@@ -46,7 +46,11 @@ impl MessageChain {
         }
         // Every message must be delivered (all participate in links or in
         // the chain's destination interval).
-        if self.0.iter().any(|&m| pattern.message(m).deliver_pos.is_none()) {
+        if self
+            .0
+            .iter()
+            .any(|&m| pattern.message(m).deliver_pos.is_none())
+        {
             return false;
         }
         self.0.windows(2).all(|w| {
@@ -69,8 +73,7 @@ impl MessageChain {
             && self.0.windows(2).all(|w| {
                 let m = pattern.message(w[0]);
                 let m_next = pattern.message(w[1]);
-                m.to == m_next.from
-                    && m.deliver_pos.expect("checked delivered") < m_next.send_pos
+                m.to == m_next.from && m.deliver_pos.expect("checked delivered") < m_next.send_pos
             })
     }
 
@@ -238,7 +241,15 @@ impl ZigzagReachability {
 
         let zz = closure(&zz_adj);
         let causal = closure(&causal_adj);
-        ZigzagReachability { delivered, dense, zz, causal, causal_adj, send_at, deliver_at }
+        ZigzagReachability {
+            delivered,
+            dense,
+            zz,
+            causal,
+            causal_adj,
+            send_at,
+            deliver_at,
+        }
     }
 
     fn chain_query(&self, rows: &[BitRow], from: CheckpointId, to: CheckpointId) -> bool {
@@ -247,7 +258,9 @@ impl ZigzagReachability {
         // m_a (reflexively).
         (0..self.delivered.len()).any(|a| {
             self.send_at[a] == (from.process, from.index)
-                && rows[a].ones().any(|b| self.deliver_at[b] == (to.process, to.index))
+                && rows[a]
+                    .ones()
+                    .any(|b| self.deliver_at[b] == (to.process, to.index))
         })
     }
 
@@ -465,11 +478,17 @@ mod tests {
         let (pattern, f) = paper_figures::figure_1_with_handles();
         let m3_m2 = MessageChain::new([f.m3, f.m2]);
         assert_eq!(m3_m2.from_checkpoint(&pattern), CheckpointId::new(f.pk, 1));
-        assert_eq!(m3_m2.to_checkpoint(&pattern), Some(CheckpointId::new(f.pi, 2)));
+        assert_eq!(
+            m3_m2.to_checkpoint(&pattern),
+            Some(CheckpointId::new(f.pi, 2))
+        );
 
         let m5_m4 = MessageChain::new([f.m5, f.m4]);
         assert_eq!(m5_m4.from_checkpoint(&pattern), CheckpointId::new(f.pi, 3));
-        assert_eq!(m5_m4.to_checkpoint(&pattern), Some(CheckpointId::new(f.pk, 2)));
+        assert_eq!(
+            m5_m4.to_checkpoint(&pattern),
+            Some(CheckpointId::new(f.pk, 2))
+        );
     }
 
     #[test]
@@ -517,7 +536,7 @@ mod tests {
     }
 
     #[test]
-    fn found_siblings_always_validate(){
+    fn found_siblings_always_validate() {
         // Every sibling the finder returns must be a genuine causal chain
         // with endpoints at least as strong as requested.
         let (pattern, _) = paper_figures::figure_1_with_handles();
@@ -547,11 +566,9 @@ mod tests {
         let (pattern, f) = paper_figures::figure_1_with_handles();
         let zz = ZigzagReachability::new(&pattern);
         // [m5 m4] is doubled by [m5 m6] at exactly the same endpoints.
-        assert!(zz
-            .causal_doubling_exists(CheckpointId::new(f.pi, 3), CheckpointId::new(f.pk, 2)));
+        assert!(zz.causal_doubling_exists(CheckpointId::new(f.pi, 3), CheckpointId::new(f.pk, 2)));
         // The [m3 m2] chain has no doubling at or beyond its endpoints.
-        assert!(!zz
-            .causal_doubling_exists(CheckpointId::new(f.pk, 1), CheckpointId::new(f.pi, 2)));
+        assert!(!zz.causal_doubling_exists(CheckpointId::new(f.pk, 1), CheckpointId::new(f.pi, 2)));
     }
 
     #[test]

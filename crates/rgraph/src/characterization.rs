@@ -121,7 +121,10 @@ pub fn all_cm_paths_doubled(pattern: &Pattern) -> bool {
 pub fn useless_checkpoints(pattern: &Pattern) -> Vec<CheckpointId> {
     let pattern = pattern.to_closed();
     let zz = ZigzagReachability::new(&pattern);
-    pattern.checkpoints().filter(|&c| zz.on_z_cycle(c)).collect()
+    pattern
+        .checkpoints()
+        .filter(|&c| zz.on_z_cycle(c))
+        .collect()
 }
 
 /// Enumerates message chains of `pattern` up to `max_len` messages,
@@ -214,9 +217,17 @@ mod tests {
     fn characterizations_agree_on_paper_figures() {
         for (name, pattern, expected) in [
             ("figure_1", paper_figures::figure_1(), false),
-            ("figure_2_unbroken", paper_figures::figure_2_unbroken(), false),
+            (
+                "figure_2_unbroken",
+                paper_figures::figure_2_unbroken(),
+                false,
+            ),
             ("figure_2_broken", paper_figures::figure_2_broken(), true),
-            ("figure_4_unbroken", paper_figures::figure_4_unbroken(), false),
+            (
+                "figure_4_unbroken",
+                paper_figures::figure_4_unbroken(),
+                false,
+            ),
             ("figure_4_broken", paper_figures::figure_4_broken(), true),
         ] {
             let (r, chains, cm) = rdt_by_all_three(&pattern);
@@ -244,7 +255,10 @@ mod tests {
         assert!(useless_checkpoints(&paper_figures::figure_2_broken()).is_empty());
         assert!(useless_checkpoints(&paper_figures::figure_4_broken()).is_empty());
         let useless = useless_checkpoints(&paper_figures::figure_4_unbroken());
-        assert_eq!(useless, vec![CheckpointId::new(rdt_causality::ProcessId::new(1), 1)]);
+        assert_eq!(
+            useless,
+            vec![CheckpointId::new(rdt_causality::ProcessId::new(1), 1)]
+        );
     }
 
     #[test]

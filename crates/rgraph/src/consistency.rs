@@ -3,8 +3,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use rdt_causality::{CheckpointId, ProcessId};
 
 use crate::{Pattern, PatternMessageId};
@@ -24,7 +22,7 @@ use crate::{Pattern, PatternMessageId};
 /// assert!(gc.contains(CheckpointId::new(ProcessId::new(2), 1)));
 /// assert_eq!(gc.get(ProcessId::new(0)), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct GlobalCheckpoint(Vec<u32>);
 
 impl GlobalCheckpoint {
@@ -73,7 +71,10 @@ impl GlobalCheckpoint {
 
     /// Iterates over the member checkpoints.
     pub fn members(&self) -> impl Iterator<Item = CheckpointId> + '_ {
-        self.0.iter().enumerate().map(|(i, &x)| CheckpointId::new(ProcessId::new(i), x))
+        self.0
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| CheckpointId::new(ProcessId::new(i), x))
     }
 
     /// The per-process indices as a slice.
@@ -97,7 +98,13 @@ impl GlobalCheckpoint {
     /// Panics if the two global checkpoints have different arities.
     pub fn meet(&self, other: &GlobalCheckpoint) -> GlobalCheckpoint {
         assert_eq!(self.0.len(), other.0.len(), "arity mismatch");
-        GlobalCheckpoint(self.0.iter().zip(&other.0).map(|(a, b)| *a.min(b)).collect())
+        GlobalCheckpoint(
+            self.0
+                .iter()
+                .zip(&other.0)
+                .map(|(a, b)| *a.min(b))
+                .collect(),
+        )
     }
 
     /// Component-wise maximum — the *join* of the lattice. Consistent
@@ -110,7 +117,13 @@ impl GlobalCheckpoint {
     /// Panics if the two global checkpoints have different arities.
     pub fn join(&self, other: &GlobalCheckpoint) -> GlobalCheckpoint {
         assert_eq!(self.0.len(), other.0.len(), "arity mismatch");
-        GlobalCheckpoint(self.0.iter().zip(&other.0).map(|(a, b)| *a.max(b)).collect())
+        GlobalCheckpoint(
+            self.0
+                .iter()
+                .zip(&other.0)
+                .map(|(a, b)| *a.max(b))
+                .collect(),
+        )
     }
 }
 
@@ -157,8 +170,7 @@ pub fn is_orphan(
 /// Whether the ordered pair of local checkpoints is consistent: no message
 /// from `a.process` to `b.process` is orphan with respect to `(a, b)`.
 pub fn pair_consistent(pattern: &Pattern, a: CheckpointId, b: CheckpointId) -> bool {
-    (0..pattern.num_messages())
-        .all(|m| !is_orphan(pattern, PatternMessageId(m), a, b))
+    (0..pattern.num_messages()).all(|m| !is_orphan(pattern, PatternMessageId(m), a, b))
 }
 
 /// Whether a global checkpoint is consistent (Definition 2.2): all its
@@ -169,7 +181,11 @@ pub fn pair_consistent(pattern: &Pattern, a: CheckpointId, b: CheckpointId) -> b
 ///
 /// Panics if `gc` does not have one entry per process of `pattern`.
 pub fn is_consistent(pattern: &Pattern, gc: &GlobalCheckpoint) -> bool {
-    assert_eq!(gc.len(), pattern.num_processes(), "global checkpoint has wrong arity");
+    assert_eq!(
+        gc.len(),
+        pattern.num_processes(),
+        "global checkpoint has wrong arity"
+    );
     pattern.messages().iter().enumerate().all(|(idx, info)| {
         let m = PatternMessageId(idx);
         let Some(deliver) = pattern.deliver_interval(m) else {
@@ -205,9 +221,15 @@ mod tests {
     fn figure_1_global_checkpoint_facts() {
         let (pattern, _) = paper_figures::figure_1_with_handles();
         // {C_{i,1}, C_{j,1}, C_{k,1}} is consistent.
-        assert!(is_consistent(&pattern, &GlobalCheckpoint::new(vec![1, 1, 1])));
+        assert!(is_consistent(
+            &pattern,
+            &GlobalCheckpoint::new(vec![1, 1, 1])
+        ));
         // {C_{i,2}, C_{j,2}, C_{k,1}} is not.
-        assert!(!is_consistent(&pattern, &GlobalCheckpoint::new(vec![2, 2, 1])));
+        assert!(!is_consistent(
+            &pattern,
+            &GlobalCheckpoint::new(vec![2, 2, 1])
+        ));
     }
 
     #[test]

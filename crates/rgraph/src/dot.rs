@@ -36,7 +36,11 @@ pub fn pattern_to_dot(pattern: &Pattern) -> String {
                 PatternEvent::Send(m) => format!("s({m})"),
                 PatternEvent::Deliver(m) => format!("d({m})"),
             };
-            let shape = if matches!(event, PatternEvent::Checkpoint) { "box" } else { "circle" };
+            let shape = if matches!(event, PatternEvent::Checkpoint) {
+                "box"
+            } else {
+                "circle"
+            };
             let _ = writeln!(out, "    {name} [label=\"{label}\", shape={shape}];");
             let _ = writeln!(out, "    {prev} -> {name} [style=dotted, arrowhead=none];");
             prev = name;
@@ -71,7 +75,8 @@ pub fn pattern_to_dot(pattern: &Pattern) -> String {
 /// assert!(text.starts_with("digraph rgraph"));
 /// ```
 pub fn rgraph_to_dot(graph: &RGraph) -> String {
-    let mut out = String::from("digraph rgraph {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n");
+    let mut out =
+        String::from("digraph rgraph {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n");
     for node in 0..graph.num_nodes() {
         let c = graph.checkpoint(crate::NodeId(node));
         let _ = writeln!(out, "  n{node} [label=\"{c}\"];");

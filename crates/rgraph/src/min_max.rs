@@ -102,7 +102,9 @@ pub fn max_consistent_containing(
 ) -> Option<GlobalCheckpoint> {
     let n = pattern.num_processes();
     let mut gc = GlobalCheckpoint::new(
-        (0..n).map(|i| pattern.last_checkpoint_index(ProcessId::new(i))).collect(),
+        (0..n)
+            .map(|i| pattern.last_checkpoint_index(ProcessId::new(i)))
+            .collect(),
     );
     for &member in members {
         assert!(
@@ -177,7 +179,10 @@ pub fn min_consistent_via_rgraph(
         }
     }
     // Exists iff no member was pushed past itself.
-    members.iter().all(|&m| gc.get(m.process) == m.index).then_some(gc)
+    members
+        .iter()
+        .all(|&m| gc.get(m.process) == m.index)
+        .then_some(gc)
 }
 
 /// Whether the set of checkpoints can be extended to a consistent global
@@ -223,7 +228,10 @@ mod tests {
         let (pattern, _) = paper_figures::figure_1_with_handles();
         // (C_{i,2}, C_{j,2}) is inconsistent (orphan m5): no consistent GC
         // contains both.
-        assert_eq!(min_consistent_containing(&pattern, &[c(0, 2), c(1, 2)]), None);
+        assert_eq!(
+            min_consistent_containing(&pattern, &[c(0, 2), c(1, 2)]),
+            None
+        );
         assert!(!extendable(&pattern, &[c(0, 2), c(1, 2)]));
     }
 

@@ -82,7 +82,21 @@ pub fn figure_1_with_handles() -> (Pattern, Figure1) {
     b.checkpoint(pi); // C_{i,3}
 
     let pattern = b.close().build().expect("figure 1 is well-formed");
-    (pattern, Figure1 { pi, pj, pk, m1, m2, m3, m4, m5, m6, m7 })
+    (
+        pattern,
+        Figure1 {
+            pi,
+            pj,
+            pk,
+            m1,
+            m2,
+            m3,
+            m4,
+            m5,
+            m6,
+            m7,
+        },
+    )
 }
 
 /// [`figure_1_with_handles`] without the handles.
@@ -183,19 +197,40 @@ mod tests {
     fn figure_1_intervals_match_the_figure() {
         let (pattern, f) = figure_1_with_handles();
         assert_eq!(pattern.send_interval(f.m1), IntervalId::new(f.pi, 1));
-        assert_eq!(pattern.deliver_interval(f.m1), Some(IntervalId::new(f.pj, 1)));
+        assert_eq!(
+            pattern.deliver_interval(f.m1),
+            Some(IntervalId::new(f.pj, 1))
+        );
         assert_eq!(pattern.send_interval(f.m2), IntervalId::new(f.pj, 1));
-        assert_eq!(pattern.deliver_interval(f.m2), Some(IntervalId::new(f.pi, 2)));
+        assert_eq!(
+            pattern.deliver_interval(f.m2),
+            Some(IntervalId::new(f.pi, 2))
+        );
         assert_eq!(pattern.send_interval(f.m3), IntervalId::new(f.pk, 1));
-        assert_eq!(pattern.deliver_interval(f.m3), Some(IntervalId::new(f.pj, 1)));
+        assert_eq!(
+            pattern.deliver_interval(f.m3),
+            Some(IntervalId::new(f.pj, 1))
+        );
         assert_eq!(pattern.send_interval(f.m4), IntervalId::new(f.pj, 2));
-        assert_eq!(pattern.deliver_interval(f.m4), Some(IntervalId::new(f.pk, 2)));
+        assert_eq!(
+            pattern.deliver_interval(f.m4),
+            Some(IntervalId::new(f.pk, 2))
+        );
         assert_eq!(pattern.send_interval(f.m5), IntervalId::new(f.pi, 3));
-        assert_eq!(pattern.deliver_interval(f.m5), Some(IntervalId::new(f.pj, 2)));
+        assert_eq!(
+            pattern.deliver_interval(f.m5),
+            Some(IntervalId::new(f.pj, 2))
+        );
         assert_eq!(pattern.send_interval(f.m6), IntervalId::new(f.pj, 2));
-        assert_eq!(pattern.deliver_interval(f.m6), Some(IntervalId::new(f.pk, 2)));
+        assert_eq!(
+            pattern.deliver_interval(f.m6),
+            Some(IntervalId::new(f.pk, 2))
+        );
         assert_eq!(pattern.send_interval(f.m7), IntervalId::new(f.pk, 3));
-        assert_eq!(pattern.deliver_interval(f.m7), Some(IntervalId::new(f.pj, 3)));
+        assert_eq!(
+            pattern.deliver_interval(f.m7),
+            Some(IntervalId::new(f.pj, 3))
+        );
     }
 
     #[test]
@@ -209,9 +244,12 @@ mod tests {
 
     #[test]
     fn figure_patterns_build_and_linearize() {
-        for pattern in
-            [figure_2_unbroken(), figure_2_broken(), figure_4_unbroken(), figure_4_broken()]
-        {
+        for pattern in [
+            figure_2_unbroken(),
+            figure_2_broken(),
+            figure_4_unbroken(),
+            figure_4_broken(),
+        ] {
             assert!(pattern.is_closed());
             assert!(pattern.linearize().is_ok());
         }

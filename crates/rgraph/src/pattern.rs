@@ -2,17 +2,14 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use rdt_causality::{CheckpointId, IntervalId, ProcessId};
+use rdt_json::{Json, ToJson};
 
 /// Identifier of a message within one [`Pattern`].
 ///
 /// Distinct from any transport-level message id; patterns number their
 /// messages densely from zero in send order.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PatternMessageId(pub usize);
 
 impl fmt::Display for PatternMessageId {
@@ -24,7 +21,7 @@ impl fmt::Display for PatternMessageId {
 /// One event on a process line of a pattern.
 ///
 /// The initial checkpoint `C_{i,0}` is implicit and precedes every event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PatternEvent {
     /// The process takes a local checkpoint.
     Checkpoint,
@@ -72,12 +69,22 @@ impl fmt::Display for PatternError {
             }
             PatternError::DuplicateDelivery(m) => write!(f, "message {m} delivered twice"),
             PatternError::UnknownMessage(m) => write!(f, "message {m} was never sent"),
-            PatternError::WrongDestination { message, expected, actual } => {
-                write!(f, "message {message} addressed to {expected} but delivered at {actual}")
+            PatternError::WrongDestination {
+                message,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "message {message} addressed to {expected} but delivered at {actual}"
+                )
             }
             PatternError::SelfMessage(m) => write!(f, "message {m} sent by a process to itself"),
             PatternError::Unrealizable => {
-                write!(f, "pattern is unrealizable: causality constraints contain a cycle")
+                write!(
+                    f,
+                    "pattern is unrealizable: causality constraints contain a cycle"
+                )
             }
         }
     }
@@ -86,7 +93,7 @@ impl fmt::Display for PatternError {
 impl std::error::Error for PatternError {}
 
 /// Metadata of one message of a pattern.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MessageInfo {
     /// Sending process.
     pub from: ProcessId,
@@ -116,7 +123,7 @@ pub struct MessageInfo {
 /// p)`. A message sent in `I_{i,x}` and delivered in `I_{j,y}` contributes
 /// the R-graph edge `C_{i,x} → C_{j,y}` — which requires those closing
 /// checkpoints to exist; see [`Pattern::is_closed`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Pattern {
     n: usize,
     events: Vec<Vec<PatternEvent>>,
@@ -161,7 +168,9 @@ impl Pattern {
 
     /// Total number of checkpoints across all processes.
     pub fn total_checkpoints(&self) -> usize {
-        (0..self.n).map(|i| self.checkpoint_count(ProcessId::new(i)) as usize).sum()
+        (0..self.n)
+            .map(|i| self.checkpoint_count(ProcessId::new(i)) as usize)
+            .sum()
     }
 
     /// Iterates over every checkpoint of the pattern, process by process.
@@ -197,7 +206,10 @@ impl Pattern {
     ///
     /// Panics if `process` or `pos` is out of range.
     pub fn interval_of(&self, process: ProcessId, pos: usize) -> IntervalId {
-        assert!(pos < self.events[process.index()].len(), "event position out of range");
+        assert!(
+            pos < self.events[process.index()].len(),
+            "event position out of range"
+        );
         let positions = &self.checkpoint_positions[process.index()];
         let before = positions.partition_point(|&cp| cp < pos);
         IntervalId::new(process, before as u32 + 1)
@@ -279,7 +291,10 @@ impl Pattern {
     ///
     /// Panics if the checkpoint does not exist or `checkpoint.index == 0`.
     pub fn without_checkpoint(&self, checkpoint: CheckpointId) -> Pattern {
-        assert!(checkpoint.index > 0, "the initial checkpoint cannot be removed");
+        assert!(
+            checkpoint.index > 0,
+            "the initial checkpoint cannot be removed"
+        );
         let target_pos = self
             .checkpoint_position(checkpoint)
             .expect("non-initial checkpoints have positions");
@@ -373,11 +388,210 @@ impl Pattern {
     pub fn delivered_messages(
         &self,
     ) -> impl Iterator<Item = (PatternMessageId, IntervalId, IntervalId)> + '_ {
-        self.messages.iter().enumerate().filter_map(move |(idx, info)| {
-            let id = PatternMessageId(idx);
-            info.deliver_pos?;
-            Some((id, self.send_interval(id), self.deliver_interval(id).expect("delivered")))
-        })
+        self.messages
+            .iter()
+            .enumerate()
+            .filter_map(move |(idx, info)| {
+                let id = PatternMessageId(idx);
+                info.deliver_pos?;
+                Some((
+                    id,
+                    self.send_interval(id),
+                    self.deliver_interval(id).expect("delivered"),
+                ))
+            })
+    }
+
+    /// A stable 64-bit structural digest (FNV-1a over every process line
+    /// and message endpoint).
+    ///
+    /// Two patterns have equal digests exactly when they are structurally
+    /// identical for all practical purposes; the sweep engine's tests use
+    /// it to assert that sequential and parallel runs produced the *same*
+    /// executions without shipping whole patterns between threads.
+    pub fn digest(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |value: u64| {
+            for byte in value.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        mix(self.n as u64);
+        for events in &self.events {
+            mix(0xE0E0_E0E0);
+            for event in events {
+                match event {
+                    PatternEvent::Checkpoint => mix(1),
+                    PatternEvent::Send(m) => {
+                        mix(2);
+                        mix(m.0 as u64);
+                    }
+                    PatternEvent::Deliver(m) => {
+                        mix(3);
+                        mix(m.0 as u64);
+                    }
+                }
+            }
+        }
+        for info in &self.messages {
+            mix(info.from.index() as u64);
+            mix(info.to.index() as u64);
+        }
+        hash
+    }
+
+    /// Parses a pattern serialized with [`ToJson`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem: invalid
+    /// field shapes, out-of-range processes, or send/delivery mismatches.
+    pub fn from_json(json: &Json) -> Result<Pattern, String> {
+        let n = json
+            .get("n")
+            .and_then(Json::as_u64)
+            .ok_or("pattern: missing numeric field `n`")? as usize;
+        let lines = json
+            .get("events")
+            .and_then(Json::as_array)
+            .ok_or("pattern: missing array field `events`")?;
+        if lines.len() != n {
+            return Err(format!("pattern: {} event lines for n={n}", lines.len()));
+        }
+        let endpoints = json
+            .get("messages")
+            .and_then(Json::as_array)
+            .ok_or("pattern: missing array field `messages`")?;
+        let mut messages: Vec<MessageInfo> = Vec::with_capacity(endpoints.len());
+        for (i, pair) in endpoints.iter().enumerate() {
+            let fields = pair.as_array().unwrap_or(&[]);
+            let (Some(from), Some(to)) = (
+                fields.first().and_then(Json::as_u64),
+                fields.get(1).and_then(Json::as_u64),
+            ) else {
+                return Err(format!("pattern message {i}: malformed endpoints"));
+            };
+            if from as usize >= n || to as usize >= n {
+                return Err(format!("pattern message {i}: process out of range"));
+            }
+            messages.push(MessageInfo {
+                from: ProcessId::new(from as usize),
+                to: ProcessId::new(to as usize),
+                send_pos: usize::MAX,
+                deliver_pos: None,
+            });
+        }
+        let mut events: Vec<Vec<PatternEvent>> = Vec::with_capacity(n);
+        let mut checkpoint_positions: Vec<Vec<usize>> = Vec::with_capacity(n);
+        for (i, line) in lines.iter().enumerate() {
+            let items = line
+                .as_array()
+                .ok_or_else(|| format!("pattern line {i}: not an array"))?;
+            let mut line_events = Vec::with_capacity(items.len());
+            let mut positions = Vec::new();
+            for (pos, item) in items.iter().enumerate() {
+                let fields = item.as_array().unwrap_or(&[]);
+                let tag = fields.first().and_then(Json::as_str);
+                let message = || -> Result<usize, String> {
+                    let id = fields.get(1).and_then(Json::as_u64).ok_or_else(|| {
+                        format!("pattern line {i} event {pos}: missing message id")
+                    })? as usize;
+                    if id >= messages.len() {
+                        return Err(format!(
+                            "pattern line {i} event {pos}: message out of range"
+                        ));
+                    }
+                    Ok(id)
+                };
+                match tag {
+                    Some("c") => {
+                        positions.push(pos);
+                        line_events.push(PatternEvent::Checkpoint);
+                    }
+                    Some("s") => {
+                        let id = message()?;
+                        if messages[id].send_pos != usize::MAX {
+                            return Err(format!("pattern: message m{id} sent twice"));
+                        }
+                        if messages[id].from.index() != i {
+                            return Err(format!("pattern: message m{id} sent by wrong process"));
+                        }
+                        messages[id].send_pos = pos;
+                        line_events.push(PatternEvent::Send(PatternMessageId(id)));
+                    }
+                    Some("d") => {
+                        let id = message()?;
+                        if messages[id].deliver_pos.is_some() {
+                            return Err(format!("pattern: message m{id} delivered twice"));
+                        }
+                        if messages[id].to.index() != i {
+                            return Err(format!(
+                                "pattern: message m{id} delivered at wrong process"
+                            ));
+                        }
+                        messages[id].deliver_pos = Some(pos);
+                        line_events.push(PatternEvent::Deliver(PatternMessageId(id)));
+                    }
+                    _ => return Err(format!("pattern line {i} event {pos}: unknown tag")),
+                }
+            }
+            events.push(line_events);
+            checkpoint_positions.push(positions);
+        }
+        for (id, info) in messages.iter().enumerate() {
+            if info.send_pos == usize::MAX {
+                return Err(format!("pattern: message m{id} never sent"));
+            }
+        }
+        let pattern = Pattern {
+            n,
+            events,
+            messages,
+            checkpoint_positions,
+        };
+        pattern.linearize().map_err(|e| format!("pattern: {e}"))?;
+        Ok(pattern)
+    }
+}
+
+impl ToJson for Pattern {
+    fn to_json(&self) -> Json {
+        let lines: Vec<Json> = self
+            .events
+            .iter()
+            .map(|events| {
+                Json::Arr(
+                    events
+                        .iter()
+                        .map(|event| match event {
+                            PatternEvent::Checkpoint => Json::Arr(vec!["c".to_json()]),
+                            PatternEvent::Send(m) => {
+                                Json::Arr(vec!["s".to_json(), Json::U64(m.0 as u64)])
+                            }
+                            PatternEvent::Deliver(m) => {
+                                Json::Arr(vec!["d".to_json(), Json::U64(m.0 as u64)])
+                            }
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let endpoints: Vec<Json> = self
+            .messages
+            .iter()
+            .map(|info| {
+                Json::Arr(vec![
+                    Json::U64(info.from.index() as u64),
+                    Json::U64(info.to.index() as u64),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("n", Json::U64(self.n as u64)),
+            ("events", Json::Arr(lines)),
+            ("messages", Json::Arr(endpoints)),
+        ])
     }
 }
 
@@ -425,7 +639,8 @@ impl PatternBuilder {
 
     fn check_process(&mut self, process: ProcessId) -> bool {
         if process.index() >= self.n {
-            self.errors.push(PatternError::ProcessOutOfRange { process, n: self.n });
+            self.errors
+                .push(PatternError::ProcessOutOfRange { process, n: self.n });
             false
         } else {
             true
@@ -451,7 +666,12 @@ impl PatternBuilder {
         let id = PatternMessageId(self.messages.len());
         if !self.check_process(from) || !self.check_process(to) {
             // Record a dummy so later indices stay aligned; build() fails.
-            self.messages.push(MessageInfo { from, to, send_pos: 0, deliver_pos: None });
+            self.messages.push(MessageInfo {
+                from,
+                to,
+                send_pos: 0,
+                deliver_pos: None,
+            });
             return id;
         }
         if from == to {
@@ -459,7 +679,12 @@ impl PatternBuilder {
         }
         let send_pos = self.events[from.index()].len();
         self.events[from.index()].push(PatternEvent::Send(id));
-        self.messages.push(MessageInfo { from, to, send_pos, deliver_pos: None });
+        self.messages.push(MessageInfo {
+            from,
+            to,
+            send_pos,
+            deliver_pos: None,
+        });
         id
     }
 
@@ -629,7 +854,10 @@ mod tests {
     fn out_of_range_process_rejected_at_build() {
         let mut b = PatternBuilder::new(2);
         b.checkpoint(p(5));
-        assert!(matches!(b.build(), Err(PatternError::ProcessOutOfRange { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(PatternError::ProcessOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -637,8 +865,14 @@ mod tests {
         let mut b = PatternBuilder::new(1);
         b.checkpoint(p(0));
         let pattern = b.build().unwrap();
-        assert_eq!(pattern.checkpoint_position(CheckpointId::new(p(0), 0)), None);
-        assert_eq!(pattern.checkpoint_position(CheckpointId::new(p(0), 1)), Some(0));
+        assert_eq!(
+            pattern.checkpoint_position(CheckpointId::new(p(0), 0)),
+            None
+        );
+        assert_eq!(
+            pattern.checkpoint_position(CheckpointId::new(p(0), 1)),
+            Some(0)
+        );
     }
 
     #[test]
@@ -669,7 +903,10 @@ mod tests {
         assert_eq!(pattern.send_interval(m2).index, 2);
 
         let surgered = pattern.without_checkpoint(CheckpointId::new(p(0), 1));
-        assert_eq!(surgered.checkpoint_count(p(0)), pattern.checkpoint_count(p(0)) - 1);
+        assert_eq!(
+            surgered.checkpoint_count(p(0)),
+            pattern.checkpoint_count(p(0)) - 1
+        );
         assert_eq!(surgered.send_interval(PatternMessageId(0)).index, 1);
         assert_eq!(surgered.send_interval(PatternMessageId(1)).index, 1);
         assert!(surgered.linearize().is_ok());

@@ -107,7 +107,10 @@ pub struct RdtChecker {
 impl RdtChecker {
     /// Prepares a checker for `pattern` (a closed copy is taken).
     pub fn new(pattern: &Pattern) -> Self {
-        RdtChecker { pattern: pattern.to_closed(), max_violations: 16 }
+        RdtChecker {
+            pattern: pattern.to_closed(),
+            max_violations: 16,
+        }
     }
 
     /// Limits how many violations [`check`](RdtChecker::check) collects
@@ -160,11 +163,19 @@ impl RdtChecker {
                 } else {
                     // Verdict settled and limit reached; keep counting pairs
                     // is pointless — stop early.
-                    return Ok(RdtReport { violations, pairs_checked, r_paths_found });
+                    return Ok(RdtReport {
+                        violations,
+                        pairs_checked,
+                        r_paths_found,
+                    });
                 }
             }
         }
-        Ok(RdtReport { violations, pairs_checked, r_paths_found })
+        Ok(RdtReport {
+            violations,
+            pairs_checked,
+            r_paths_found,
+        })
     }
 }
 
@@ -220,8 +231,12 @@ mod tests {
 
     #[test]
     fn figure_2_cases() {
-        assert!(!RdtChecker::new(&paper_figures::figure_2_unbroken()).check().holds());
-        assert!(RdtChecker::new(&paper_figures::figure_2_broken()).check().holds());
+        assert!(!RdtChecker::new(&paper_figures::figure_2_unbroken())
+            .check()
+            .holds());
+        assert!(RdtChecker::new(&paper_figures::figure_2_broken())
+            .check()
+            .holds());
     }
 
     #[test]
@@ -234,7 +249,9 @@ mod tests {
             .violations()
             .iter()
             .any(|v| v.from.process == p(1) && v.to.process == p(1) && v.from.index > v.to.index));
-        assert!(RdtChecker::new(&paper_figures::figure_4_broken()).check().holds());
+        assert!(RdtChecker::new(&paper_figures::figure_4_broken())
+            .check()
+            .holds());
     }
 
     #[test]
@@ -261,8 +278,10 @@ mod tests {
 
     #[test]
     fn max_violations_limits_collection() {
-        let report =
-            RdtChecker::new(&paper_figures::figure_1()).max_violations(1).try_check().unwrap();
+        let report = RdtChecker::new(&paper_figures::figure_1())
+            .max_violations(1)
+            .try_check()
+            .unwrap();
         assert_eq!(report.violations().len(), 1);
     }
 

@@ -121,8 +121,9 @@ impl<'a> Replay<'a> {
         let order = self.pattern.linearize()?;
 
         let mut vcs: Vec<VectorClock> = (0..n).map(|_| VectorClock::new(n)).collect();
-        let mut tdvs: Vec<DependencyVector> =
-            (0..n).map(|i| DependencyVector::initial(n, ProcessId::new(i))).collect();
+        let mut tdvs: Vec<DependencyVector> = (0..n)
+            .map(|i| DependencyVector::initial(n, ProcessId::new(i)))
+            .collect();
 
         // Snapshots for the implicit initial checkpoints: zero vector clock
         // (ticked once to make C_{i,0} a distinct event) and all-zero TDV.
@@ -135,12 +136,16 @@ impl<'a> Replay<'a> {
             })
             .collect();
         let mut tdv_out: Vec<Vec<DependencyVector>> = (0..n)
-            .map(|i| vec![DependencyVector::from_entries(ProcessId::new(i), vec![0; n])])
+            .map(|i| {
+                vec![DependencyVector::from_entries(
+                    ProcessId::new(i),
+                    vec![0; n],
+                )]
+            })
             .collect();
 
         // Piggybacks captured at send events, consumed at deliveries.
-        let mut message_vc: Vec<Option<VectorClock>> =
-            vec![None; self.pattern.num_messages()];
+        let mut message_vc: Vec<Option<VectorClock>> = vec![None; self.pattern.num_messages()];
         let mut message_tdv: Vec<Option<DependencyVector>> =
             vec![None; self.pattern.num_messages()];
 
@@ -168,7 +173,11 @@ impl<'a> Replay<'a> {
             }
         }
 
-        Ok(CheckpointAnnotations { n, vcs: vc_out, tdvs: tdv_out })
+        Ok(CheckpointAnnotations {
+            n,
+            vcs: vc_out,
+            tdvs: tdv_out,
+        })
     }
 }
 

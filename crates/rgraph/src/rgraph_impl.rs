@@ -102,7 +102,13 @@ impl RGraph {
             list.dedup();
         }
         let num_edges = adjacency.iter().map(Vec::len).sum();
-        RGraph { n, offsets, counts, adjacency, num_edges }
+        RGraph {
+            n,
+            offsets,
+            counts,
+            adjacency,
+            num_edges,
+        }
     }
 
     /// Number of checkpoint nodes.
@@ -180,7 +186,10 @@ impl RGraph {
                 }
             }
         }
-        Reachability { graph: self.clone(), rows }
+        Reachability {
+            graph: self.clone(),
+            rows,
+        }
     }
 
     /// Finds one concrete R-path from `from` to `to`, as a checkpoint
@@ -245,7 +254,9 @@ impl Reachability {
     ///
     /// Panics if the checkpoint does not exist.
     pub fn reachable_from(&self, from: CheckpointId) -> impl Iterator<Item = CheckpointId> + '_ {
-        self.rows[self.graph.node(from).0].ones().map(|idx| self.graph.checkpoint(NodeId(idx)))
+        self.rows[self.graph.node(from).0]
+            .ones()
+            .map(|idx| self.graph.checkpoint(NodeId(idx)))
     }
 
     /// Number of checkpoints reachable from `from`, including itself.

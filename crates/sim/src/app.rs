@@ -170,7 +170,10 @@ pub struct ScriptedApplication {
 
 /// Convenience constructor for [`ScriptedApplication`].
 pub fn scripted(script: Vec<(usize, usize)>) -> ScriptedApplication {
-    ScriptedApplication { script, cursor: Vec::new() }
+    ScriptedApplication {
+        script,
+        cursor: Vec::new(),
+    }
 }
 
 impl Application for ScriptedApplication {
@@ -217,7 +220,10 @@ mod tests {
         ctx.send_tagged(ProcessId::new(2), 7);
         ctx.request_checkpoint();
         ctx.schedule_activation(SimDuration::from_ticks(10));
-        assert_eq!(ctx.sends, vec![(ProcessId::new(1), 0), (ProcessId::new(2), 7)]);
+        assert_eq!(
+            ctx.sends,
+            vec![(ProcessId::new(1), 0), (ProcessId::new(2), 7)]
+        );
         assert!(ctx.checkpoint_requested);
         assert_eq!(ctx.next_activation, Some(SimDuration::from_ticks(10)));
         assert_eq!(ctx.me(), ProcessId::new(0));

@@ -1,12 +1,10 @@
 //! Simulation configuration.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{SimDuration, SimRng, SimTime};
 
 /// Channel delay model: transmission delays are unpredictable but finite
 /// (§2.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DelayModel {
     /// Exponentially distributed delay with the given mean (ticks).
     Exponential {
@@ -45,7 +43,7 @@ impl Default for DelayModel {
 }
 
 /// How processes take their *basic* (application-decided) checkpoints.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BasicCheckpointModel {
     /// No basic checkpoints (the protocol's forced checkpoints, if any,
     /// are still taken).
@@ -83,7 +81,7 @@ impl Default for BasicCheckpointModel {
 }
 
 /// When the run stops injecting new work.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopCondition {
     /// Stop once this much simulated time has passed. Messages already in
     /// flight are still delivered.
@@ -112,7 +110,7 @@ impl Default for StopCondition {
 ///     .with_stop(StopCondition::MessagesSent(5_000));
 /// assert_eq!(config.n, 8);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Number of processes.
     pub n: usize,
@@ -198,13 +196,18 @@ mod tests {
             let d = DelayModel::Uniform { lo: 10, hi: 20 }.sample(&mut rng);
             assert!((10..=20).contains(&d.ticks()));
         }
-        assert_eq!(DelayModel::Constant { ticks: 7 }.sample(&mut rng).ticks(), 7);
+        assert_eq!(
+            DelayModel::Constant { ticks: 7 }.sample(&mut rng).ticks(),
+            7
+        );
     }
 
     #[test]
     fn disabled_checkpoints_sample_none() {
         let mut rng = SimRng::seed(3);
         assert_eq!(BasicCheckpointModel::Disabled.sample(&mut rng), None);
-        assert!(BasicCheckpointModel::Exponential { mean: 10 }.sample(&mut rng).is_some());
+        assert!(BasicCheckpointModel::Exponential { mean: 10 }
+            .sample(&mut rng)
+            .is_some());
     }
 }

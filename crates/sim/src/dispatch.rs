@@ -1,11 +1,10 @@
 //! Dynamic protocol selection.
 
 use rdt_core::{
-    Bcs, Bhmr, BhmrCausalOnly, BhmrNoSimple, Cas, Cbr, Fdas, Fdi, Nras, ProtocolKind,
-    Uncoordinated,
+    Bcs, Bhmr, BhmrCausalOnly, BhmrNoSimple, Cas, Cbr, Fdas, Fdi, Nras, ProtocolKind, Uncoordinated,
 };
 
-use crate::{Application, RunOutcome, Runner, SimConfig};
+use crate::{Application, RunOutcome, Runner, SimConfig, SimScratch};
 
 /// Runs one simulation with the protocol chosen by `kind`.
 ///
@@ -45,6 +44,44 @@ pub fn run_protocol_kind(
     }
 }
 
+/// Like [`run_protocol_kind`], but drawing buffers from `scratch` and
+/// reclaiming them after `consume` has read the outcome.
+///
+/// This is the allocation-free inner loop for sweep harnesses: `consume`
+/// extracts whatever it needs (statistics, a pattern digest) from the
+/// borrowed [`RunOutcome`], then the trace and record buffers flow back
+/// into `scratch` for the next run. Results are identical to
+/// [`run_protocol_kind`] — the scratch only recycles memory.
+pub fn run_protocol_kind_with_scratch<R>(
+    kind: ProtocolKind,
+    config: &SimConfig,
+    app: &mut dyn Application,
+    scratch: &mut SimScratch,
+    consume: impl FnOnce(&RunOutcome) -> R,
+) -> R {
+    let outcome = match kind {
+        ProtocolKind::Bhmr => Runner::new_with_scratch(config, Bhmr::new, scratch).run(app),
+        ProtocolKind::BhmrNoSimple => {
+            Runner::new_with_scratch(config, BhmrNoSimple::new, scratch).run(app)
+        }
+        ProtocolKind::BhmrCausalOnly => {
+            Runner::new_with_scratch(config, BhmrCausalOnly::new, scratch).run(app)
+        }
+        ProtocolKind::Fdas => Runner::new_with_scratch(config, Fdas::new, scratch).run(app),
+        ProtocolKind::Fdi => Runner::new_with_scratch(config, Fdi::new, scratch).run(app),
+        ProtocolKind::Nras => Runner::new_with_scratch(config, Nras::new, scratch).run(app),
+        ProtocolKind::Cas => Runner::new_with_scratch(config, Cas::new, scratch).run(app),
+        ProtocolKind::Cbr => Runner::new_with_scratch(config, Cbr::new, scratch).run(app),
+        ProtocolKind::Bcs => Runner::new_with_scratch(config, Bcs::new, scratch).run(app),
+        ProtocolKind::Uncoordinated => {
+            Runner::new_with_scratch(config, Uncoordinated::new, scratch).run(app)
+        }
+    };
+    let result = consume(&outcome);
+    scratch.reclaim(outcome);
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -57,8 +94,7 @@ mod tests {
             .with_delay(DelayModel::Uniform { lo: 5, hi: 50 })
             .with_basic_checkpoints(BasicCheckpointModel::Exponential { mean: 40 })
             .with_stop(StopCondition::MessagesSent(20));
-        let script: Vec<(usize, usize)> =
-            (0..30).map(|k| (k % 3, (k + 1) % 3)).collect();
+        let script: Vec<(usize, usize)> = (0..30).map(|k| (k % 3, (k + 1) % 3)).collect();
         for &kind in ProtocolKind::all() {
             let outcome = run_protocol_kind(kind, &config, &mut scripted(script.clone()));
             assert_eq!(outcome.stats.total.messages_sent, 20, "{kind}");
@@ -78,8 +114,7 @@ mod tests {
             .with_seed(99)
             .with_basic_checkpoints(BasicCheckpointModel::Exponential { mean: 30 })
             .with_stop(StopCondition::MessagesSent(40));
-        let script: Vec<(usize, usize)> =
-            (0..60).map(|k| (k % 4, (k + 1 + k % 3) % 4)).collect();
+        let script: Vec<(usize, usize)> = (0..60).map(|k| (k % 4, (k + 1 + k % 3) % 4)).collect();
 
         let sent_times = |kind: ProtocolKind| {
             let outcome = run_protocol_kind(kind, &config, &mut scripted(script.clone()));
@@ -93,7 +128,13 @@ mod tests {
                 })
                 .collect::<Vec<_>>()
         };
-        assert_eq!(sent_times(ProtocolKind::Bhmr), sent_times(ProtocolKind::Fdas));
-        assert_eq!(sent_times(ProtocolKind::Bhmr), sent_times(ProtocolKind::Uncoordinated));
+        assert_eq!(
+            sent_times(ProtocolKind::Bhmr),
+            sent_times(ProtocolKind::Fdas)
+        );
+        assert_eq!(
+            sent_times(ProtocolKind::Bhmr),
+            sent_times(ProtocolKind::Uncoordinated)
+        );
     }
 }

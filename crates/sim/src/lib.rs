@@ -55,9 +55,9 @@ mod trace;
 
 pub use app::{scripted, AppContext, Application, ScriptedApplication};
 pub use config::{BasicCheckpointModel, DelayModel, SimConfig, StopCondition};
-pub use dispatch::run_protocol_kind;
+pub use dispatch::{run_protocol_kind, run_protocol_kind_with_scratch};
 pub use metrics::{SampleStats, TraceMetrics};
 pub use rng::SimRng;
-pub use runner::{RunOutcome, RunStats, Runner};
+pub use runner::{RunOutcome, RunStats, Runner, SimScratch};
 pub use time::{SimDuration, SimTime};
 pub use trace::{SimMessageId, Trace, TraceEvent};

@@ -1,13 +1,11 @@
 //! Post-run trace analysis: distributions behind the aggregate counters.
 
-use serde::{Deserialize, Serialize};
-
 use rdt_core::CheckpointKind;
 
 use crate::{SimTime, Trace, TraceEvent};
 
 /// Summary statistics of a sample of `u64` values.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SampleStats {
     /// Number of samples.
     pub count: u64,
@@ -34,16 +32,25 @@ impl SampleStats {
         let std_dev = if values.len() < 2 {
             0.0
         } else {
-            (values.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>()
+            (values
+                .iter()
+                .map(|&v| (v as f64 - mean).powi(2))
+                .sum::<f64>()
                 / (values.len() - 1) as f64)
                 .sqrt()
         };
-        SampleStats { count, min, max, mean, std_dev }
+        SampleStats {
+            count,
+            min,
+            max,
+            mean,
+            std_dev,
+        }
     }
 }
 
 /// Distribution-level metrics extracted from one [`Trace`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceMetrics {
     /// Message latency (send to delivery), in ticks, over all delivered
     /// messages.
@@ -74,14 +81,18 @@ impl TraceMetrics {
 
         for event in trace.events() {
             match *event {
-                TraceEvent::Send { at, from, message, .. } => {
+                TraceEvent::Send {
+                    at, from, message, ..
+                } => {
                     if send_times.len() <= message.0 {
                         send_times.resize(message.0 + 1, None);
                     }
                     send_times[message.0] = Some(at);
                     per_process[from.index()].0 += 1;
                 }
-                TraceEvent::Deliver { at, to, message, .. } => {
+                TraceEvent::Deliver {
+                    at, to, message, ..
+                } => {
                     if let Some(Some(sent)) = send_times.get(message.0) {
                         latencies.push(at.since(*sent).ticks());
                     }
@@ -131,11 +142,26 @@ impl TraceMetrics {
                 s.count, s.min, s.max, s.mean, s.std_dev
             )
         };
-        let _ = writeln!(out, "message latency (ticks)   : {}", line(&self.message_latency));
-        let _ = writeln!(out, "checkpoint interval (ticks): {}", line(&self.checkpoint_intervals));
-        let _ = writeln!(out, "forced-checkpoint bursts  : {}", line(&self.forced_bursts));
+        let _ = writeln!(
+            out,
+            "message latency (ticks)   : {}",
+            line(&self.message_latency)
+        );
+        let _ = writeln!(
+            out,
+            "checkpoint interval (ticks): {}",
+            line(&self.checkpoint_intervals)
+        );
+        let _ = writeln!(
+            out,
+            "forced-checkpoint bursts  : {}",
+            line(&self.forced_bursts)
+        );
         for (i, (s, d, b, f)) in self.per_process.iter().enumerate() {
-            let _ = writeln!(out, "P{i}: {s} sends, {d} deliveries, {b} basic + {f} forced");
+            let _ = writeln!(
+                out,
+                "P{i}: {s} sends, {d} deliveries, {b} basic + {f} forced"
+            );
         }
         out
     }
@@ -180,8 +206,9 @@ mod tests {
             .with_seed(3)
             .with_basic_checkpoints(BasicCheckpointModel::Exponential { mean: 20 })
             .with_stop(StopCondition::MessagesSent(20));
-        let outcome = Runner::new(&config, Fdas::new)
-            .run(&mut scripted((0..20).map(|k| (k % 2, (k + 1) % 2)).collect()));
+        let outcome = Runner::new(&config, Fdas::new).run(&mut scripted(
+            (0..20).map(|k| (k % 2, (k + 1) % 2)).collect(),
+        ));
         let metrics = TraceMetrics::of(&outcome.trace);
         for (i, stats) in outcome.stats.per_process.iter().enumerate() {
             let (s, d, b, f) = metrics.per_process[i];

@@ -1,16 +1,26 @@
 //! Deterministic randomness for simulations.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (public domain, Blackman
+//! & Vigna) seeded through splitmix64, so the crate needs no external RNG
+//! dependency and every stream is a pure, portable function of its seed —
+//! the same seed produces the same draws on every platform and toolchain.
 
 use crate::SimDuration;
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Seeded random number generator with the distributions the workloads and
 /// delay models need.
 ///
-/// Wraps `rand`'s `SmallRng` so every run is a pure function of its seed;
-/// one `SimRng` per run, threaded through the event loop and the
-/// application callbacks.
+/// Every run is a pure function of its seed; one `SimRng` per run,
+/// threaded through the event loop and the application callbacks.
 ///
 /// # Example
 ///
@@ -23,33 +33,88 @@ use crate::SimDuration;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a generator from a seed.
     pub fn seed(seed: u64) -> Self {
-        SimRng { inner: SmallRng::seed_from_u64(seed) }
+        let mut sm = seed;
+        SimRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// The next raw 64-bit draw (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 high bits of one draw).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Derives an independent child generator (used to give each process
     /// its own stream without correlation).
     pub fn fork(&mut self, salt: u64) -> SimRng {
         // Mix a fresh draw with the salt through splitmix64 finalization.
-        let mut z = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         SimRng::seed(z ^ (z >> 31))
     }
 
-    /// Uniform integer in `[lo, hi]` (inclusive).
+    /// Derives the seed of one point of a deterministic sweep: a pure
+    /// mix of `(base_seed, point_index)` that does not depend on any
+    /// generator state, so a sweep's points can be computed in any order
+    /// (or on any thread) and still see identical randomness.
+    pub fn derive_seed(base_seed: u64, point_index: u64) -> u64 {
+        let mut sm = base_seed ^ point_index.wrapping_mul(0xA076_1D64_78BD_642F);
+        // Two rounds so that low-entropy (base, index) pairs still land far
+        // apart in seed space.
+        let first = splitmix64(&mut sm);
+        let mut sm2 = first ^ base_seed.rotate_left(32);
+        splitmix64(&mut sm2)
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive), by rejection sampling so
+    /// the distribution is exactly uniform.
     ///
     /// # Panics
     ///
     /// Panics if `lo > hi`.
     pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "empty range");
-        self.inner.gen_range(lo..=hi)
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        let span = span + 1;
+        // Rejection zone keeps the modulo unbiased.
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let draw = self.next_u64();
+            if draw <= zone {
+                return lo + draw % span;
+            }
+        }
     }
 
     /// Uniform index in `[0, n)`.
@@ -59,7 +124,7 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "empty range");
-        self.inner.gen_range(0..n)
+        self.uniform_u64(0, n as u64 - 1) as usize
     }
 
     /// Bernoulli trial with probability `p`.
@@ -69,7 +134,7 @@ impl SimRng {
     /// Panics if `p` is not within `[0, 1]`.
     pub fn chance(&mut self, p: f64) -> bool {
         assert!((0.0..=1.0).contains(&p), "probability out of range");
-        self.inner.gen::<f64>() < p
+        self.next_f64() < p
     }
 
     /// Exponentially distributed duration with the given mean, rounded to
@@ -80,7 +145,13 @@ impl SimRng {
     /// Panics if `mean_ticks == 0`.
     pub fn exponential(&mut self, mean_ticks: u64) -> SimDuration {
         assert!(mean_ticks > 0, "mean must be positive");
-        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        // Draw in (0, 1) so the logarithm is finite.
+        let u = loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
         let ticks = (-u.ln() * mean_ticks as f64).round() as u64;
         SimDuration::from_ticks(ticks.max(1))
     }
@@ -121,7 +192,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = SimRng::seed(1);
         let mut b = SimRng::seed(2);
-        let same = (0..32).filter(|_| a.uniform_u64(0, u64::MAX) == b.uniform_u64(0, u64::MAX)).count();
+        let same = (0..32)
+            .filter(|_| a.uniform_u64(0, u64::MAX) == b.uniform_u64(0, u64::MAX))
+            .count();
         assert!(same < 4);
     }
 
@@ -137,12 +210,41 @@ mod tests {
     }
 
     #[test]
+    fn derive_seed_is_pure_and_spreads() {
+        assert_eq!(SimRng::derive_seed(1, 0), SimRng::derive_seed(1, 0));
+        assert_ne!(SimRng::derive_seed(1, 0), SimRng::derive_seed(1, 1));
+        assert_ne!(SimRng::derive_seed(1, 0), SimRng::derive_seed(2, 0));
+        // Sequential indices must not collide over a realistic sweep size.
+        let mut seen = std::collections::HashSet::new();
+        for base in [0u64, 1, 42] {
+            for index in 0..10_000u64 {
+                assert!(seen.insert(SimRng::derive_seed(base, index)), "collision");
+            }
+        }
+    }
+
+    #[test]
     fn exponential_mean_is_roughly_right() {
         let mut rng = SimRng::seed(5);
         let mean = 1000u64;
         let total: u64 = (0..20_000).map(|_| rng.exponential(mean).ticks()).sum();
         let empirical = total as f64 / 20_000.0;
-        assert!((empirical - mean as f64).abs() < mean as f64 * 0.05, "mean {empirical}");
+        assert!(
+            (empirical - mean as f64).abs() < mean as f64 * 0.05,
+            "mean {empirical}"
+        );
+    }
+
+    #[test]
+    fn uniform_is_unbiased_at_the_edges() {
+        let mut rng = SimRng::seed(11);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[rng.uniform_u64(0, 2) as usize] += 1;
+        }
+        for count in counts {
+            assert!((9_000..11_000).contains(&count), "skewed counts {counts:?}");
+        }
     }
 
     #[test]

@@ -3,8 +3,6 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use serde::{Deserialize, Serialize};
-
 use rdt_causality::ProcessId;
 use rdt_core::{CheckpointRecord, CicProtocol, ProtocolStats};
 
@@ -14,7 +12,7 @@ use crate::{
 };
 
 /// Aggregate statistics of one run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunStats {
     /// Sum over all processes.
     pub total: ProtocolStats,
@@ -32,6 +30,42 @@ impl RunStats {
     }
 }
 
+/// Reusable per-run simulator allocations: the trace's event buffer, the
+/// per-process checkpoint records, and a sizing hint for the event queue.
+///
+/// Sweep harnesses run thousands of short simulations back to back; giving
+/// each [`Runner`] a scratch to draw from (and reclaiming the buffers with
+/// [`SimScratch::reclaim`] afterwards) removes the dominant allocations
+/// from that loop. A scratch is plain data owned by one worker — using one
+/// never changes simulation results, only where the buffers come from.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    events: Vec<TraceEvent>,
+    records: Vec<Vec<CheckpointRecord>>,
+    queue_hint: usize,
+}
+
+impl SimScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        SimScratch::default()
+    }
+
+    /// Takes a run's buffers back so the next [`Runner`] built from this
+    /// scratch reuses them.
+    pub fn reclaim(&mut self, outcome: RunOutcome) {
+        // The queue never holds more entries than events still to come, so
+        // the trace length is a workable capacity hint for the next run.
+        self.queue_hint = self.queue_hint.max(outcome.trace.events().len() / 2);
+        self.events = outcome.trace.into_events();
+        self.records = outcome.records;
+        self.events.clear();
+        for records in &mut self.records {
+            records.clear();
+        }
+    }
+}
+
 /// Everything a run produces.
 #[derive(Debug, Clone)]
 pub struct RunOutcome {
@@ -46,9 +80,19 @@ pub struct RunOutcome {
 }
 
 enum QueuedEvent<PB> {
-    Arrival { to: ProcessId, from: ProcessId, message: SimMessageId, tag: u32, piggyback: PB },
-    Activation { process: ProcessId },
-    BasicCheckpoint { process: ProcessId },
+    Arrival {
+        to: ProcessId,
+        from: ProcessId,
+        message: SimMessageId,
+        tag: u32,
+        piggyback: PB,
+    },
+    Activation {
+        process: ProcessId,
+    },
+    BasicCheckpoint {
+        process: ProcessId,
+    },
 }
 
 struct Entry<PB> {
@@ -137,20 +181,59 @@ impl<P: CicProtocol> Runner<P> {
     where
         F: Fn(usize, ProcessId) -> P,
     {
+        Self::build(
+            config,
+            factory,
+            Trace::new(config.n),
+            vec![Vec::new(); config.n],
+            0,
+        )
+    }
+
+    /// Like [`Runner::new`], but drawing the trace and record buffers from
+    /// `scratch` instead of allocating fresh ones. Reclaim them afterwards
+    /// with [`SimScratch::reclaim`]. The simulation itself is unaffected.
+    pub fn new_with_scratch<F>(config: &SimConfig, factory: F, scratch: &mut SimScratch) -> Self
+    where
+        F: Fn(usize, ProcessId) -> P,
+    {
+        let trace = Trace::with_buffer(config.n, std::mem::take(&mut scratch.events));
+        let mut records = std::mem::take(&mut scratch.records);
+        for line in &mut records {
+            line.clear();
+        }
+        records.resize_with(config.n, Vec::new);
+        Self::build(config, factory, trace, records, scratch.queue_hint)
+    }
+
+    fn build<F>(
+        config: &SimConfig,
+        factory: F,
+        trace: Trace,
+        records: Vec<Vec<CheckpointRecord>>,
+        queue_hint: usize,
+    ) -> Self
+    where
+        F: Fn(usize, ProcessId) -> P,
+    {
         let n = config.n;
         let protocols = ProcessId::all(n).map(|p| factory(n, p)).collect();
         Runner {
             config: config.clone(),
             protocols,
-            trace: Trace::new(n),
-            records: vec![Vec::new(); n],
-            queue: BinaryHeap::new(),
+            trace,
+            records,
+            queue: BinaryHeap::with_capacity(queue_hint),
             rng: SimRng::seed(config.seed),
             next_seq: 0,
             messages_sent: 0,
             now: SimTime::ZERO,
             live_events: 0,
-            channel_clock: if config.fifo { vec![SimTime::ZERO; n * n] } else { Vec::new() },
+            channel_clock: if config.fifo {
+                vec![SimTime::ZERO; n * n]
+            } else {
+                Vec::new()
+            },
         }
     }
 
@@ -171,7 +254,11 @@ impl<P: CicProtocol> Runner<P> {
     }
 
     fn record_checkpoint(&mut self, process: ProcessId, record: CheckpointRecord) {
-        self.trace.push(TraceEvent::Checkpoint { at: self.now, id: record.id, kind: record.kind });
+        self.trace.push(TraceEvent::Checkpoint {
+            at: self.now,
+            id: record.id,
+            kind: record.kind,
+        });
         self.records[process.index()].push(record);
     }
 
@@ -179,7 +266,12 @@ impl<P: CicProtocol> Runner<P> {
         let message = SimMessageId(self.messages_sent as usize);
         self.messages_sent += 1;
         let outcome = self.protocols[from.index()].before_send(to);
-        self.trace.push(TraceEvent::Send { at: self.now, from, to, message });
+        self.trace.push(TraceEvent::Send {
+            at: self.now,
+            from,
+            to,
+            message,
+        });
         if let Some(record) = outcome.forced_after {
             self.record_checkpoint(from, record);
         }
@@ -191,13 +283,16 @@ impl<P: CicProtocol> Runner<P> {
             arrival = arrival.max(floor);
             self.channel_clock[channel] = arrival;
         }
-        self.push(arrival, QueuedEvent::Arrival {
-            to,
-            from,
-            message,
-            tag,
-            piggyback: outcome.piggyback,
-        });
+        self.push(
+            arrival,
+            QueuedEvent::Arrival {
+                to,
+                from,
+                message,
+                tag,
+                piggyback: outcome.piggyback,
+            },
+        );
     }
 
     fn apply_app_actions(&mut self, process: ProcessId, actions: AppActions) {
@@ -222,7 +317,10 @@ impl<P: CicProtocol> Runner<P> {
 
     fn schedule_basic_checkpoint(&mut self, process: ProcessId) {
         if let Some(interval) = self.config.basic_checkpoints.sample(&mut self.rng) {
-            self.push(self.now + interval, QueuedEvent::BasicCheckpoint { process });
+            self.push(
+                self.now + interval,
+                QueuedEvent::BasicCheckpoint { process },
+            );
         }
     }
 
@@ -250,7 +348,13 @@ impl<P: CicProtocol> Runner<P> {
             }
             self.now = entry.at;
             match entry.event {
-                QueuedEvent::Arrival { to, from, message, tag, piggyback } => {
+                QueuedEvent::Arrival {
+                    to,
+                    from,
+                    message,
+                    tag,
+                    piggyback,
+                } => {
                     if app.before_deliver(to, from, tag) {
                         let record = self.protocols[to.index()].take_basic_checkpoint();
                         self.record_checkpoint(to, record);
@@ -259,7 +363,12 @@ impl<P: CicProtocol> Runner<P> {
                     if let Some(record) = outcome.forced {
                         self.record_checkpoint(to, record);
                     }
-                    self.trace.push(TraceEvent::Deliver { at: self.now, to, from, message });
+                    self.trace.push(TraceEvent::Deliver {
+                        at: self.now,
+                        to,
+                        from,
+                        message,
+                    });
                     let mut ctx = AppContext::new(to, self.config.n, self.now, &mut self.rng);
                     app.on_deliver_tagged(&mut ctx, from, tag);
                     let actions = AppActions::take(&mut ctx);
@@ -269,8 +378,7 @@ impl<P: CicProtocol> Runner<P> {
                     if !self.injection_open() {
                         continue;
                     }
-                    let mut ctx =
-                        AppContext::new(process, self.config.n, self.now, &mut self.rng);
+                    let mut ctx = AppContext::new(process, self.config.n, self.now, &mut self.rng);
                     app.on_activate(&mut ctx);
                     let actions = AppActions::take(&mut ctx);
                     self.apply_app_actions(process, actions);
@@ -286,15 +394,18 @@ impl<P: CicProtocol> Runner<P> {
             }
         }
 
-        let per_process: Vec<ProtocolStats> =
-            self.protocols.iter().map(|p| *p.stats()).collect();
+        let per_process: Vec<ProtocolStats> = self.protocols.iter().map(|p| *p.stats()).collect();
         let mut total = ProtocolStats::default();
         for stats in &per_process {
             total.merge(stats);
         }
         RunOutcome {
             trace: self.trace,
-            stats: RunStats { total, per_process, end_time: self.now },
+            stats: RunStats {
+                total,
+                per_process,
+                end_time: self.now,
+            },
             records: self.records,
         }
     }
@@ -315,8 +426,11 @@ mod tests {
 
     #[test]
     fn scripted_messages_are_delivered() {
-        let outcome = Runner::new(&quiet_config(3), Uncoordinated::new)
-            .run(&mut scripted(vec![(0, 1), (1, 2), (2, 0)]));
+        let outcome = Runner::new(&quiet_config(3), Uncoordinated::new).run(&mut scripted(vec![
+            (0, 1),
+            (1, 2),
+            (2, 0),
+        ]));
         assert_eq!(outcome.stats.total.messages_sent, 3);
         assert_eq!(outcome.stats.total.messages_delivered, 3);
         assert_eq!(outcome.trace.checkpoint_count(), 0);
@@ -329,7 +443,10 @@ mod tests {
             .with_basic_checkpoints(BasicCheckpointModel::Exponential { mean: 10 })
             .with_stop(StopCondition::Time(SimTime::from_ticks(1000)));
         let outcome = Runner::new(&config, Uncoordinated::new).run(&mut scripted(vec![]));
-        assert!(outcome.stats.total.basic_checkpoints > 50, "expected many basic checkpoints");
+        assert!(
+            outcome.stats.total.basic_checkpoints > 50,
+            "expected many basic checkpoints"
+        );
         assert_eq!(outcome.stats.total.forced_checkpoints, 0);
         // Records agree with stats.
         let recorded: usize = outcome.records.iter().map(Vec::len).sum();
@@ -364,11 +481,19 @@ mod tests {
             .with_seed(9)
             .with_basic_checkpoints(BasicCheckpointModel::Exponential { mean: 30 })
             .with_stop(StopCondition::Time(SimTime::from_ticks(300)));
-        let outcome = Runner::new(&config, Bhmr::new)
-            .run(&mut scripted(vec![(0, 1), (1, 2), (2, 0), (0, 2), (2, 1)]));
+        let outcome = Runner::new(&config, Bhmr::new).run(&mut scripted(vec![
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (0, 2),
+            (2, 1),
+        ]));
         let pattern = outcome.trace.to_pattern();
         assert!(pattern.linearize().is_ok());
-        assert_eq!(pattern.num_messages() as u64, outcome.stats.total.messages_sent);
+        assert_eq!(
+            pattern.num_messages() as u64,
+            outcome.stats.total.messages_sent
+        );
     }
 
     #[test]
@@ -381,8 +506,10 @@ mod tests {
         let events = outcome.trace.events();
         let mut pairs = 0;
         for w in events.windows(2) {
-            if let (crate::TraceEvent::Send { at: s, from, .. }, crate::TraceEvent::Checkpoint { at: c, id, .. }) =
-                (&w[0], &w[1])
+            if let (
+                crate::TraceEvent::Send { at: s, from, .. },
+                crate::TraceEvent::Checkpoint { at: c, id, .. },
+            ) = (&w[0], &w[1])
             {
                 assert_eq!(s, c, "checkpoint immediately after the send");
                 assert_eq!(*from, id.process);
@@ -399,6 +526,94 @@ mod tests {
     }
 
     #[test]
+    fn forced_ratio_is_zero_without_basic_checkpoints() {
+        // Basic checkpoints disabled: whatever the protocol forces, the
+        // ratio must degrade to 0.0 rather than divide by zero.
+        let config = quiet_config(2).with_stop(StopCondition::MessagesSent(10));
+        let script: Vec<(usize, usize)> = (0..10).map(|k| (k % 2, (k + 1) % 2)).collect();
+        let outcome = Runner::new(&config, rdt_core::Fdas::new).run(&mut scripted(script));
+        assert_eq!(outcome.stats.total.basic_checkpoints, 0);
+        assert!(
+            outcome.stats.total.forced_checkpoints > 0,
+            "FDAS must force here"
+        );
+        assert_eq!(outcome.stats.forced_ratio(), 0.0);
+        assert_eq!(outcome.stats.total.forced_ratio(), 0.0);
+    }
+
+    #[test]
+    fn forced_ratio_on_an_empty_run_is_zero() {
+        // No messages, no checkpoints: every statistic is zero and the
+        // derived metrics are 0.0, not NaN.
+        let config = quiet_config(3).with_stop(StopCondition::MessagesSent(0));
+        let outcome = Runner::new(&config, Bhmr::new).run(&mut scripted(vec![]));
+        assert_eq!(outcome.trace.events().len(), 0);
+        assert_eq!(outcome.stats.total, ProtocolStats::default());
+        assert_eq!(outcome.stats.forced_ratio(), 0.0);
+        assert_eq!(outcome.stats.total.mean_piggyback_bytes(), 0.0);
+        assert_eq!(outcome.stats.end_time, SimTime::ZERO);
+        for per_process in &outcome.stats.per_process {
+            assert_eq!(per_process.forced_ratio(), 0.0);
+        }
+    }
+
+    #[test]
+    fn forced_ratio_counts_forced_per_basic() {
+        let stats = ProtocolStats {
+            basic_checkpoints: 4,
+            forced_checkpoints: 6,
+            ..ProtocolStats::default()
+        };
+        assert!((stats.forced_ratio() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_change_results() {
+        let config = SimConfig::new(3)
+            .with_seed(41)
+            .with_basic_checkpoints(BasicCheckpointModel::Exponential { mean: 25 })
+            .with_stop(StopCondition::MessagesSent(30));
+        let script: Vec<(usize, usize)> = (0..40).map(|k| (k % 3, (k + 1) % 3)).collect();
+        let fresh = Runner::new(&config, Bhmr::new).run(&mut scripted(script.clone()));
+
+        let mut scratch = SimScratch::new();
+        for _ in 0..3 {
+            let outcome = Runner::new_with_scratch(&config, Bhmr::new, &mut scratch)
+                .run(&mut scripted(script.clone()));
+            assert_eq!(outcome.trace.events(), fresh.trace.events());
+            assert_eq!(outcome.stats, fresh.stats);
+            assert_eq!(outcome.records, fresh.records);
+            scratch.reclaim(outcome);
+        }
+        // After reclaiming, the buffers really are retained.
+        assert!(scratch.events.capacity() >= fresh.trace.events().len());
+        assert!(scratch.events.is_empty());
+        assert!(scratch.records.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn scratch_adapts_to_changing_process_counts() {
+        let mut scratch = SimScratch::new();
+        for n in [4usize, 2, 5] {
+            let config = SimConfig::new(n)
+                .with_seed(7)
+                .with_basic_checkpoints(BasicCheckpointModel::Exponential { mean: 20 })
+                .with_stop(StopCondition::MessagesSent(10));
+            let script: Vec<(usize, usize)> = (0..12).map(|k| (k % n, (k + 1) % n)).collect();
+            let outcome = Runner::new_with_scratch(&config, Bhmr::new, &mut scratch)
+                .run(&mut scripted(script.clone()));
+            assert_eq!(outcome.records.len(), n);
+            assert_eq!(
+                outcome.stats,
+                Runner::new(&config, Bhmr::new)
+                    .run(&mut scripted(script))
+                    .stats
+            );
+            scratch.reclaim(outcome);
+        }
+    }
+
+    #[test]
     fn fifo_channels_deliver_in_send_order() {
         // Exponential delays reorder messages on a channel unless FIFO is
         // requested; with many back-to-back sends, find a seed where the
@@ -411,7 +626,8 @@ mod tests {
                 .with_delay(DelayModel::Exponential { mean: 50 })
                 .with_fifo(fifo)
                 .with_stop(StopCondition::MessagesSent(40));
-            let outcome = Runner::new(&config, Uncoordinated::new).run(&mut scripted(script.clone()));
+            let outcome =
+                Runner::new(&config, Uncoordinated::new).run(&mut scripted(script.clone()));
             outcome
                 .trace
                 .events()
@@ -423,9 +639,16 @@ mod tests {
                 .collect()
         };
         let fifo_order = per_channel_order(true);
-        assert_eq!(fifo_order, (0..40).collect::<Vec<_>>(), "FIFO must preserve send order");
+        assert_eq!(
+            fifo_order,
+            (0..40).collect::<Vec<_>>(),
+            "FIFO must preserve send order"
+        );
         let free_order = per_channel_order(false);
-        assert_ne!(free_order, fifo_order, "expected reordering without FIFO at this seed");
+        assert_ne!(
+            free_order, fifo_order,
+            "expected reordering without FIFO at this seed"
+        );
     }
 
     #[test]

@@ -3,23 +3,17 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// A point in simulated time, in abstract ticks.
 ///
 /// Ticks have no physical unit; workloads fix the scale by choosing mean
 /// message and checkpoint intervals. `u64` ticks keep the event queue
 /// totally ordered and the simulation exactly reproducible (no floating
 /// point drift).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in abstract ticks.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -117,7 +111,10 @@ mod tests {
         let mut u = SimTime::ZERO;
         u += SimDuration::from_ticks(3);
         assert_eq!(u.ticks(), 3);
-        assert_eq!((SimDuration::from_ticks(1) + SimDuration::from_ticks(2)).ticks(), 3);
+        assert_eq!(
+            (SimDuration::from_ticks(1) + SimDuration::from_ticks(2)).ticks(),
+            3
+        );
     }
 
     #[test]

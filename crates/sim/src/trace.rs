@@ -3,18 +3,15 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use rdt_causality::{CheckpointId, ProcessId};
 use rdt_core::CheckpointKind;
+use rdt_json::{Json, ToJson};
 use rdt_rgraph::{Pattern, PatternBuilder, PatternMessageId};
 
 use crate::SimTime;
 
 /// Identifier of a message within one simulation run (dense, send order).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimMessageId(pub usize);
 
 impl fmt::Display for SimMessageId {
@@ -24,7 +21,7 @@ impl fmt::Display for SimMessageId {
 }
 
 /// One event of a recorded trace, with its simulated time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A message was sent.
     Send {
@@ -86,7 +83,7 @@ impl TraceEvent {
 /// The chronological order is by construction a linear extension of the
 /// run's causality, so [`Trace::to_pattern`] can rebuild the checkpoint and
 /// communication pattern event by event.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Trace {
     n: usize,
     events: Vec<TraceEvent>,
@@ -95,7 +92,22 @@ pub struct Trace {
 impl Trace {
     /// Creates an empty trace over `n` processes.
     pub fn new(n: usize) -> Self {
-        Trace { n, events: Vec::new() }
+        Trace {
+            n,
+            events: Vec::new(),
+        }
+    }
+
+    /// Creates an empty trace over `n` processes reusing `buffer`'s
+    /// allocation (the buffer is cleared first).
+    pub fn with_buffer(n: usize, mut buffer: Vec<TraceEvent>) -> Self {
+        buffer.clear();
+        Trace { n, events: buffer }
+    }
+
+    /// Consumes the trace, returning the event buffer for reuse.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
     }
 
     /// Number of processes.
@@ -107,7 +119,9 @@ impl Trace {
     /// chronological order).
     pub(crate) fn push(&mut self, event: TraceEvent) {
         debug_assert!(
-            self.events.last().is_none_or(|last| last.at() <= event.at()),
+            self.events
+                .last()
+                .is_none_or(|last| last.at() <= event.at()),
             "trace events must be chronological"
         );
         self.events.push(event);
@@ -145,16 +159,25 @@ impl Trace {
     /// Number of checkpoints recorded (excluding the implicit initial
     /// ones).
     pub fn checkpoint_count(&self) -> usize {
-        self.events.iter().filter(|e| matches!(e, TraceEvent::Checkpoint { .. })).count()
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Checkpoint { .. }))
+            .count()
     }
 
     /// Number of forced checkpoints recorded.
     pub fn forced_checkpoint_count(&self) -> usize {
         self.events
             .iter()
-            .filter(
-                |e| matches!(e, TraceEvent::Checkpoint { kind: CheckpointKind::Forced, .. }),
-            )
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::Checkpoint {
+                        kind: CheckpointKind::Forced,
+                        ..
+                    }
+                )
+            })
             .count()
     }
 
@@ -175,7 +198,9 @@ impl Trace {
         let mut message_map: Vec<Option<PatternMessageId>> = Vec::new();
         for event in &self.events {
             match *event {
-                TraceEvent::Send { from, to, message, .. } => {
+                TraceEvent::Send {
+                    from, to, message, ..
+                } => {
                     if message_map.len() <= message.0 {
                         message_map.resize(message.0 + 1, None);
                     }
@@ -197,6 +222,133 @@ impl Trace {
         }
         builder.build().expect("runner traces are well-formed")
     }
+
+    /// Parses a trace serialized with [`ToJson`] (the `rdt-cli`
+    /// `--save-trace` format).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem: invalid
+    /// JSON, missing fields, or an unknown event shape.
+    pub fn from_json_str(text: &str) -> Result<Trace, String> {
+        let json = Json::parse(text).map_err(|e| e.to_string())?;
+        Trace::from_json(&json)
+    }
+
+    /// Rebuilds a trace from its [`ToJson`] value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem.
+    pub fn from_json(json: &Json) -> Result<Trace, String> {
+        let n = json
+            .get("n")
+            .and_then(Json::as_u64)
+            .ok_or("trace: missing numeric field `n`")? as usize;
+        let events = json
+            .get("events")
+            .and_then(Json::as_array)
+            .ok_or("trace: missing array field `events`")?;
+        let mut trace = Trace::new(n);
+        for (i, event) in events.iter().enumerate() {
+            let fields = event
+                .as_array()
+                .ok_or_else(|| format!("trace event {i}: not an array"))?;
+            let bad = || format!("trace event {i}: malformed");
+            let tag = fields.first().and_then(Json::as_str).ok_or_else(bad)?;
+            let num = |k: usize| fields.get(k).and_then(Json::as_u64).ok_or_else(bad);
+            let at = SimTime::from_ticks(num(1)?);
+            let parsed = match tag {
+                "send" => TraceEvent::Send {
+                    at,
+                    from: ProcessId::new(num(2)? as usize),
+                    to: ProcessId::new(num(3)? as usize),
+                    message: SimMessageId(num(4)? as usize),
+                },
+                "deliver" => TraceEvent::Deliver {
+                    at,
+                    to: ProcessId::new(num(2)? as usize),
+                    from: ProcessId::new(num(3)? as usize),
+                    message: SimMessageId(num(4)? as usize),
+                },
+                "ckpt" => {
+                    let kind = match fields.get(4).and_then(Json::as_str) {
+                        Some("basic") => CheckpointKind::Basic,
+                        Some("forced") => CheckpointKind::Forced,
+                        Some("initial") => CheckpointKind::Initial,
+                        _ => return Err(bad()),
+                    };
+                    TraceEvent::Checkpoint {
+                        at,
+                        id: CheckpointId::new(ProcessId::new(num(2)? as usize), num(3)? as u32),
+                        kind,
+                    }
+                }
+                other => return Err(format!("trace event {i}: unknown tag `{other}`")),
+            };
+            if trace
+                .events
+                .last()
+                .is_some_and(|last| last.at() > parsed.at())
+            {
+                return Err(format!("trace event {i}: events must be chronological"));
+            }
+            trace.events.push(parsed);
+        }
+        Ok(trace)
+    }
+}
+
+impl ToJson for TraceEvent {
+    fn to_json(&self) -> Json {
+        match *self {
+            TraceEvent::Send {
+                at,
+                from,
+                to,
+                message,
+            } => Json::Arr(vec![
+                "send".to_json(),
+                Json::U64(at.ticks()),
+                Json::U64(from.index() as u64),
+                Json::U64(to.index() as u64),
+                Json::U64(message.0 as u64),
+            ]),
+            TraceEvent::Deliver {
+                at,
+                to,
+                from,
+                message,
+            } => Json::Arr(vec![
+                "deliver".to_json(),
+                Json::U64(at.ticks()),
+                Json::U64(to.index() as u64),
+                Json::U64(from.index() as u64),
+                Json::U64(message.0 as u64),
+            ]),
+            TraceEvent::Checkpoint { at, id, kind } => Json::Arr(vec![
+                "ckpt".to_json(),
+                Json::U64(at.ticks()),
+                Json::U64(id.process.index() as u64),
+                Json::U64(u64::from(id.index)),
+                match kind {
+                    CheckpointKind::Basic => "basic",
+                    CheckpointKind::Forced => "forced",
+                    CheckpointKind::Initial => "initial",
+                }
+                .to_json(),
+            ]),
+        }
+    }
+}
+
+impl ToJson for Trace {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("n", Json::U64(self.n as u64)),
+            ("events", self.events.to_json()),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -211,7 +363,12 @@ mod tests {
     fn to_pattern_roundtrips_structure() {
         let mut trace = Trace::new(2);
         let t = SimTime::from_ticks;
-        trace.push(TraceEvent::Send { at: t(1), from: p(0), to: p(1), message: SimMessageId(0) });
+        trace.push(TraceEvent::Send {
+            at: t(1),
+            from: p(0),
+            to: p(1),
+            message: SimMessageId(0),
+        });
         trace.push(TraceEvent::Checkpoint {
             at: t(2),
             id: CheckpointId::new(p(0), 1),
@@ -236,8 +393,18 @@ mod tests {
     fn truncate_keeps_prefix_and_strands_messages() {
         let mut trace = Trace::new(2);
         let t = SimTime::from_ticks;
-        trace.push(TraceEvent::Send { at: t(1), from: p(0), to: p(1), message: SimMessageId(0) });
-        trace.push(TraceEvent::Send { at: t(2), from: p(0), to: p(1), message: SimMessageId(1) });
+        trace.push(TraceEvent::Send {
+            at: t(1),
+            from: p(0),
+            to: p(1),
+            message: SimMessageId(0),
+        });
+        trace.push(TraceEvent::Send {
+            at: t(2),
+            from: p(0),
+            to: p(1),
+            message: SimMessageId(1),
+        });
         trace.push(TraceEvent::Deliver {
             at: t(5),
             to: p(1),
@@ -255,7 +422,11 @@ mod tests {
         assert_eq!(cut.end_time(), t(5));
         let pattern = cut.to_pattern();
         assert_eq!(pattern.num_messages(), 2);
-        assert_eq!(pattern.delivered_messages().count(), 1, "m1 is now in transit");
+        assert_eq!(
+            pattern.delivered_messages().count(),
+            1,
+            "m1 is now in transit"
+        );
         // Truncating at the end is the identity.
         assert_eq!(trace.truncate_at(trace.end_time()).events(), trace.events());
     }

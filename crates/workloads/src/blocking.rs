@@ -178,7 +178,10 @@ impl<A: Application> Application for KooToueg<A> {
         // Participants take their tentative checkpoint before the request
         // is delivered, so the request itself is no orphan of the wave.
         tag == KT_REQUEST
-            && self.state.get(me.index()).is_none_or(|member| !member.blocked)
+            && self
+                .state
+                .get(me.index())
+                .is_none_or(|member| !member.blocked)
     }
 
     fn on_deliver_tagged(&mut self, ctx: &mut AppContext<'_>, from: ProcessId, tag: u32) {
@@ -241,7 +244,10 @@ mod tests {
         let pattern = outcome.trace.to_pattern();
         for i in 0..n {
             let count = pattern.checkpoint_count(rdt_causality::ProcessId::new(i)) - 1;
-            assert!(count as u64 >= waves - 1, "P{i}: {count} checkpoints, {waves} waves");
+            assert!(
+                count as u64 >= waves - 1,
+                "P{i}: {count} checkpoints, {waves} waves"
+            );
         }
         // 3(n-1) control messages per completed wave.
         assert!(app.control_messages() >= (waves - 1) * 3 * (n as u64 - 1));
@@ -272,7 +278,10 @@ mod tests {
     fn blocking_time_is_measured() {
         let mut app = KooToueg::new(RandomEnvironment::new(25), 1_000);
         let _ = run_protocol_kind(ProtocolKind::Uncoordinated, &config(4, 6_000), &mut app);
-        assert!(app.blocked_ticks() > 0, "waves must block for at least the round-trips");
+        assert!(
+            app.blocked_ticks() > 0,
+            "waves must block for at least the round-trips"
+        );
     }
 
     #[test]

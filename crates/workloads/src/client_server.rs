@@ -116,13 +116,19 @@ mod tests {
 
     #[test]
     fn requests_flow_and_replies_return() {
-        let config = SimConfig::new(6).with_seed(17).with_stop(StopCondition::MessagesSent(500));
+        let config = SimConfig::new(6)
+            .with_seed(17)
+            .with_stop(StopCondition::MessagesSent(500));
         let mut app = ClientServerEnvironment::new(10);
         let outcome = run_protocol_kind(ProtocolKind::Uncoordinated, &config, &mut app);
         // The client participates in every exchange: it must both send and
         // receive a substantial share.
         let client = &outcome.stats.per_process[0];
-        assert!(client.messages_sent >= 50, "client sent {}", client.messages_sent);
+        assert!(
+            client.messages_sent >= 50,
+            "client sent {}",
+            client.messages_sent
+        );
         assert!(client.messages_delivered >= 50);
         // S_1 handles every request.
         assert!(outcome.stats.per_process[1].messages_delivered >= client.messages_sent - 1);
@@ -130,7 +136,9 @@ mod tests {
 
     #[test]
     fn deep_chain_reaches_last_server_sometimes() {
-        let config = SimConfig::new(4).with_seed(23).with_stop(StopCondition::MessagesSent(2000));
+        let config = SimConfig::new(4)
+            .with_seed(23)
+            .with_stop(StopCondition::MessagesSent(2000));
         let mut app = ClientServerEnvironment::new(5);
         let outcome = run_protocol_kind(ProtocolKind::Uncoordinated, &config, &mut app);
         let last = &outcome.stats.per_process[3];
@@ -140,7 +148,9 @@ mod tests {
     #[test]
     fn two_process_degenerate_case_works() {
         // Client + single server which always serves locally.
-        let config = SimConfig::new(2).with_seed(29).with_stop(StopCondition::MessagesSent(50));
+        let config = SimConfig::new(2)
+            .with_seed(29)
+            .with_stop(StopCondition::MessagesSent(50));
         let mut app = ClientServerEnvironment::new(5);
         let outcome = run_protocol_kind(ProtocolKind::Uncoordinated, &config, &mut app);
         assert_eq!(outcome.stats.total.messages_sent, 50);

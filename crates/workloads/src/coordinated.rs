@@ -164,7 +164,10 @@ impl<A: Application> Application for ChandyLamport<A> {
         // First marker of a snapshot: the state recording must precede the
         // marker's delivery so the marker is no orphan of the cut.
         tag == MARKER_TAG
-            && self.state.get(me.index()).is_some_and(|s| s.open_channels == 0)
+            && self
+                .state
+                .get(me.index())
+                .is_some_and(|s| s.open_channels == 0)
     }
 
     fn on_deliver_tagged(&mut self, ctx: &mut AppContext<'_>, from: ProcessId, tag: u32) {
@@ -194,9 +197,7 @@ mod tests {
     use super::*;
     use crate::RandomEnvironment;
     use rdt_core::ProtocolKind;
-    use rdt_sim::{
-        run_protocol_kind, BasicCheckpointModel, SimConfig, SimTime, StopCondition,
-    };
+    use rdt_sim::{run_protocol_kind, BasicCheckpointModel, SimConfig, SimTime, StopCondition};
 
     fn snapshot_config(n: usize) -> SimConfig {
         SimConfig::new(n)

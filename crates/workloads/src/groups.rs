@@ -17,7 +17,10 @@ impl GroupLayout {
     ///
     /// Panics if any group is empty.
     pub fn new(groups: Vec<Vec<ProcessId>>) -> Self {
-        assert!(groups.iter().all(|g| !g.is_empty()), "groups must be non-empty");
+        assert!(
+            groups.iter().all(|g| !g.is_empty()),
+            "groups must be non-empty"
+        );
         GroupLayout { groups }
     }
 
@@ -31,12 +34,17 @@ impl GroupLayout {
     /// `overlap >= group_size`.
     pub fn overlapping(n: usize, group_size: usize, overlap: usize) -> Self {
         assert!(group_size > 0 && group_size <= n, "group size out of range");
-        assert!(overlap < group_size, "overlap must be smaller than the group size");
+        assert!(
+            overlap < group_size,
+            "overlap must be smaller than the group size"
+        );
         let stride = group_size - overlap;
         let mut groups = Vec::new();
         let mut start = 0usize;
         loop {
-            let members = (0..group_size).map(|k| ProcessId::new((start + k) % n)).collect();
+            let members = (0..group_size)
+                .map(|k| ProcessId::new((start + k) % n))
+                .collect();
             groups.push(members);
             start += stride;
             if start >= n {
@@ -94,7 +102,11 @@ impl GroupEnvironment {
     /// of the given mean between multicasts and the default
     /// acknowledgement probability of `0.5`.
     pub fn new(layout: GroupLayout, mean_send_interval: u64) -> Self {
-        GroupEnvironment { layout, mean_send_interval, reply_probability: 0.5 }
+        GroupEnvironment {
+            layout,
+            mean_send_interval,
+            reply_probability: 0.5,
+        }
     }
 
     /// Sets the probability that a member acknowledges a received
@@ -130,8 +142,13 @@ impl Application for GroupEnvironment {
     fn on_activate(&mut self, ctx: &mut AppContext<'_>) {
         let my_groups = self.layout.groups_of(ctx.me());
         if let Some(&g) = (!my_groups.is_empty()).then(|| ctx.rng().choose(&my_groups)) {
-            let members: Vec<ProcessId> =
-                self.layout.members(g).iter().copied().filter(|&m| m != ctx.me()).collect();
+            let members: Vec<ProcessId> = self
+                .layout
+                .members(g)
+                .iter()
+                .copied()
+                .filter(|&m| m != ctx.me())
+                .collect();
             for member in members {
                 ctx.send(member);
             }
@@ -159,7 +176,12 @@ mod tests {
         assert_eq!(layout.num_groups(), 3);
         assert_eq!(
             layout.members(0),
-            &[ProcessId::new(0), ProcessId::new(1), ProcessId::new(2), ProcessId::new(3)]
+            &[
+                ProcessId::new(0),
+                ProcessId::new(1),
+                ProcessId::new(2),
+                ProcessId::new(3)
+            ]
         );
         // Group at 6 wraps: {6, 7, 0, 1}.
         assert!(layout.members(2).contains(&ProcessId::new(0)));
@@ -170,7 +192,9 @@ mod tests {
     #[test]
     fn multicasts_hit_whole_groups() {
         let layout = GroupLayout::overlapping(6, 3, 1);
-        let config = SimConfig::new(6).with_seed(31).with_stop(StopCondition::MessagesSent(400));
+        let config = SimConfig::new(6)
+            .with_seed(31)
+            .with_stop(StopCondition::MessagesSent(400));
         let mut app = GroupEnvironment::new(layout, 15);
         let outcome = run_protocol_kind(ProtocolKind::Uncoordinated, &config, &mut app);
         // Every process is in some group, so everyone sends and receives.

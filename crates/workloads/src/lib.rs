@@ -47,7 +47,7 @@ pub use ring::RingEnvironment;
 use rdt_sim::Application;
 
 /// The workloads of the paper's evaluation, as data (for harness sweeps).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EnvironmentKind {
     /// General random environment (Figure 7).
     Random,

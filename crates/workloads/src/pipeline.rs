@@ -20,7 +20,9 @@ impl PipelineEnvironment {
     /// Creates the environment; the producer emits items with the given
     /// mean interval (ticks).
     pub fn new(mean_produce_interval: u64) -> Self {
-        PipelineEnvironment { mean_produce_interval }
+        PipelineEnvironment {
+            mean_produce_interval,
+        }
     }
 
     fn produce_later(&self, ctx: &mut AppContext<'_>) {
@@ -60,11 +62,17 @@ mod tests {
 
     #[test]
     fn items_flow_to_the_sink() {
-        let config = SimConfig::new(4).with_seed(51).with_stop(StopCondition::MessagesSent(300));
+        let config = SimConfig::new(4)
+            .with_seed(51)
+            .with_stop(StopCondition::MessagesSent(300));
         let mut app = PipelineEnvironment::new(5);
         let outcome = run_protocol_kind(ProtocolKind::Uncoordinated, &config, &mut app);
         let sink = outcome.stats.per_process.last().unwrap();
-        assert!(sink.messages_delivered > 50, "sink got {}", sink.messages_delivered);
+        assert!(
+            sink.messages_delivered > 50,
+            "sink got {}",
+            sink.messages_delivered
+        );
         assert_eq!(sink.messages_sent, 0, "the sink never sends");
     }
 
@@ -72,7 +80,9 @@ mod tests {
     fn stages_overlap_in_flight() {
         // With production faster than the channel delay, multiple items are
         // in flight: middle stages both send and receive plenty.
-        let config = SimConfig::new(3).with_seed(53).with_stop(StopCondition::MessagesSent(200));
+        let config = SimConfig::new(3)
+            .with_seed(53)
+            .with_stop(StopCondition::MessagesSent(200));
         let mut app = PipelineEnvironment::new(2);
         let outcome = run_protocol_kind(ProtocolKind::Fdas, &config, &mut app);
         let mid = &outcome.stats.per_process[1];

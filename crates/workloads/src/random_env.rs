@@ -72,11 +72,17 @@ mod tests {
 
     #[test]
     fn traffic_is_spread_over_all_processes() {
-        let config = SimConfig::new(8).with_seed(3).with_stop(StopCondition::MessagesSent(800));
+        let config = SimConfig::new(8)
+            .with_seed(3)
+            .with_stop(StopCondition::MessagesSent(800));
         let mut app = RandomEnvironment::new(10);
         let outcome = run_protocol_kind(ProtocolKind::Uncoordinated, &config, &mut app);
         for (i, stats) in outcome.stats.per_process.iter().enumerate() {
-            assert!(stats.messages_sent > 30, "process {i} sent {}", stats.messages_sent);
+            assert!(
+                stats.messages_sent > 30,
+                "process {i} sent {}",
+                stats.messages_sent
+            );
         }
     }
 
@@ -84,7 +90,9 @@ mod tests {
     fn never_sends_to_self() {
         // The destination skip logic must exclude the sender; a self-send
         // would panic inside AppContext::send.
-        let config = SimConfig::new(2).with_seed(4).with_stop(StopCondition::MessagesSent(200));
+        let config = SimConfig::new(2)
+            .with_seed(4)
+            .with_stop(StopCondition::MessagesSent(200));
         let mut app = RandomEnvironment::new(5);
         let outcome = run_protocol_kind(ProtocolKind::Uncoordinated, &config, &mut app);
         assert_eq!(outcome.stats.total.messages_sent, 200);
@@ -92,7 +100,9 @@ mod tests {
 
     #[test]
     fn single_process_sends_nothing() {
-        let config = SimConfig::new(1).with_seed(4).with_stop(StopCondition::MessagesSent(10));
+        let config = SimConfig::new(1)
+            .with_seed(4)
+            .with_stop(StopCondition::MessagesSent(10));
         let mut app = RandomEnvironment::new(5);
         let outcome = run_protocol_kind(ProtocolKind::Uncoordinated, &config, &mut app);
         assert_eq!(outcome.stats.total.messages_sent, 0);

@@ -56,7 +56,9 @@ mod tests {
 
     #[test]
     fn token_visits_everyone_in_order() {
-        let config = SimConfig::new(5).with_seed(41).with_stop(StopCondition::MessagesSent(50));
+        let config = SimConfig::new(5)
+            .with_seed(41)
+            .with_stop(StopCondition::MessagesSent(50));
         let mut app = RingEnvironment::new(7);
         let outcome = run_protocol_kind(ProtocolKind::Uncoordinated, &config, &mut app);
         assert_eq!(outcome.stats.total.messages_sent, 50);
@@ -89,7 +91,10 @@ mod tests {
             .with_stop(StopCondition::MessagesSent(100));
         let forced = |kind| {
             let mut app = RingEnvironment::new(5);
-            run_protocol_kind(kind, &config, &mut app).stats.total.forced_checkpoints
+            run_protocol_kind(kind, &config, &mut app)
+                .stats
+                .total
+                .forced_checkpoints
         };
         let bhmr = forced(ProtocolKind::Bhmr);
         let fdas = forced(ProtocolKind::Fdas);

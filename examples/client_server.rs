@@ -13,7 +13,10 @@ fn main() {
     let n = 8; // client + 7 chained servers
     let seeds: Vec<u64> = (1..=5).collect();
 
-    println!("client/server chain, n={n}, {} seeds, 2000 messages each\n", seeds.len());
+    println!(
+        "client/server chain, n={n}, {} seeds, 2000 messages each\n",
+        seeds.len()
+    );
     println!(
         "{:>16} {:>10} {:>10} {:>8} {:>14}",
         "protocol", "forced", "basic", "R", "piggyback B/m"
@@ -43,8 +46,15 @@ fn main() {
     }
 
     for (protocol, forced, basic, piggyback) in results {
-        let r = if basic > 0 { forced as f64 / basic as f64 } else { 0.0 };
-        print!("{:>16} {forced:>10} {basic:>10} {r:>8.4} {piggyback:>14.1}", protocol.name());
+        let r = if basic > 0 {
+            forced as f64 / basic as f64
+        } else {
+            0.0
+        };
+        print!(
+            "{:>16} {forced:>10} {basic:>10} {r:>8.4} {piggyback:>14.1}",
+            protocol.name()
+        );
         if protocol.ensures_rdt() && fdas_forced > 0 && protocol != ProtocolKind::Fdas {
             let reduction = (fdas_forced as i64 - forced as i64) as f64 / fdas_forced as f64;
             print!("   ({:+.1}% vs FDAS)", -reduction * 100.0);

@@ -67,9 +67,8 @@ fn main() {
 
     // CIC protocols with basic timers at the matched per-process rate.
     for protocol in [ProtocolKind::Bhmr, ProtocolKind::Fdas, ProtocolKind::Bcs] {
-        let config = base_config(n).with_basic_checkpoints(
-            rdt::sim::BasicCheckpointModel::Exponential { mean: interval },
-        );
+        let config = base_config(n)
+            .with_basic_checkpoints(rdt::sim::BasicCheckpointModel::Exponential { mean: interval });
         let mut app = RandomEnvironment::new(25);
         let outcome = run_protocol_kind(protocol, &config, &mut app);
         println!(

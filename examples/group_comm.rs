@@ -16,8 +16,12 @@ fn main() {
         layout.num_groups()
     );
 
-    let protocols =
-        [ProtocolKind::Bhmr, ProtocolKind::Fdas, ProtocolKind::Fdi, ProtocolKind::Nras];
+    let protocols = [
+        ProtocolKind::Bhmr,
+        ProtocolKind::Fdas,
+        ProtocolKind::Fdi,
+        ProtocolKind::Nras,
+    ];
     print!("{:>24}", "ckpt interval (ticks)");
     for p in protocols {
         print!("{:>12}", p.name());
@@ -42,7 +46,11 @@ fn main() {
                 forced += outcome.stats.total.forced_checkpoints;
                 basic += outcome.stats.total.basic_checkpoints;
             }
-            let r = if basic > 0 { forced as f64 / basic as f64 } else { 0.0 };
+            let r = if basic > 0 {
+                forced as f64 / basic as f64
+            } else {
+                0.0
+            };
             print!("{r:>12.3}");
         }
         println!();

@@ -23,11 +23,17 @@ fn main() {
         .with_seed(11)
         .with_basic_checkpoints(rdt::sim::BasicCheckpointModel::Exponential { mean: 60 })
         .with_stop(StopCondition::MessagesSent(800));
-    let outcome =
-        run_protocol_kind(ProtocolKind::Bhmr, &config, &mut ClientServerEnvironment::new(20));
+    let outcome = run_protocol_kind(
+        ProtocolKind::Bhmr,
+        &config,
+        &mut ClientServerEnvironment::new(20),
+    );
     let pattern = outcome.trace.to_pattern().to_closed();
 
-    println!("client/server run, n={n}: {} checkpoints taken\n", pattern.total_checkpoints());
+    println!(
+        "client/server run, n={n}: {} checkpoints taken\n",
+        pattern.total_checkpoints()
+    );
 
     // Pretend the system has persisted everything up to the midpoint.
     let stable = GlobalCheckpoint::new(

@@ -16,15 +16,20 @@ fn main() {
         .with_stop(StopCondition::MessagesSent(2_000));
 
     println!("running BHMR over a random 8-process workload...");
-    let outcome =
-        run_protocol_kind(ProtocolKind::Bhmr, &config, &mut RandomEnvironment::new(20));
+    let outcome = run_protocol_kind(ProtocolKind::Bhmr, &config, &mut RandomEnvironment::new(20));
 
     let stats = &outcome.stats.total;
-    println!("  messages sent/delivered : {}/{}", stats.messages_sent, stats.messages_delivered);
+    println!(
+        "  messages sent/delivered : {}/{}",
+        stats.messages_sent, stats.messages_delivered
+    );
     println!("  basic checkpoints       : {}", stats.basic_checkpoints);
     println!("  forced checkpoints      : {}", stats.forced_checkpoints);
     println!("  R = forced/basic        : {:.4}", stats.forced_ratio());
-    println!("  piggyback bytes/message : {:.1}", stats.mean_piggyback_bytes());
+    println!(
+        "  piggyback bytes/message : {:.1}",
+        stats.mean_piggyback_bytes()
+    );
 
     // Every checkpoint record carries, on the fly, the minimum consistent
     // global checkpoint containing it (Corollary 4.5).
@@ -32,7 +37,10 @@ fn main() {
         println!(
             "  last checkpoint {} -> minimum consistent GC {:?}",
             record.id,
-            record.min_consistent_gc.as_ref().expect("BHMR tracks dependencies")
+            record
+                .min_consistent_gc
+                .as_ref()
+                .expect("BHMR tracks dependencies")
         );
     }
 

@@ -13,17 +13,31 @@ use rdt::{CheckpointId, RGraph, RdtChecker, ZigzagReachability};
 
 fn main() {
     let (pattern, f) = paper_figures::figure_1_with_handles();
-    println!("auditing the paper's Figure 1 ({} messages, {} checkpoints)\n",
-        pattern.num_messages(), pattern.total_checkpoints());
+    println!(
+        "auditing the paper's Figure 1 ({} messages, {} checkpoints)\n",
+        pattern.num_messages(),
+        pattern.total_checkpoints()
+    );
 
     // Chain classification, exactly as §3.2 narrates.
     let m3_m2 = MessageChain::new([f.m3, f.m2]);
     let m5_m4 = MessageChain::new([f.m5, f.m4]);
     let m5_m6 = MessageChain::new([f.m5, f.m6]);
-    println!("[m3 m2] is a chain: {}, causal: {}", m3_m2.is_chain(&pattern), m3_m2.is_causal(&pattern));
-    println!("[m5 m4] is a chain: {}, causal: {}", m5_m4.is_chain(&pattern), m5_m4.is_causal(&pattern));
-    println!("[m5 m6] is a chain: {}, causal: {} (the causal sibling of [m5 m4])",
-        m5_m6.is_chain(&pattern), m5_m6.is_causal(&pattern));
+    println!(
+        "[m3 m2] is a chain: {}, causal: {}",
+        m3_m2.is_chain(&pattern),
+        m3_m2.is_causal(&pattern)
+    );
+    println!(
+        "[m5 m4] is a chain: {}, causal: {}",
+        m5_m4.is_chain(&pattern),
+        m5_m4.is_causal(&pattern)
+    );
+    println!(
+        "[m5 m6] is a chain: {}, causal: {} (the causal sibling of [m5 m4])",
+        m5_m6.is_chain(&pattern),
+        m5_m6.is_causal(&pattern)
+    );
 
     // RDT verdict with a concrete counterexample.
     let report = RdtChecker::new(&pattern).check();
@@ -49,5 +63,8 @@ fn main() {
 
     // Graphviz output for the figure and its R-graph.
     println!("\n--- pattern.dot ---\n{}", dot::pattern_to_dot(&pattern));
-    println!("--- rgraph.dot ---\n{}", dot::rgraph_to_dot(&RGraph::new(&pattern)));
+    println!(
+        "--- rgraph.dot ---\n{}",
+        dot::rgraph_to_dot(&RGraph::new(&pattern))
+    );
 }

@@ -22,23 +22,35 @@ fn main() {
     println!("and the final global checkpoints are consistent.\n");
     let report = analyze(
         &pattern,
-        &[Failure { process: ProcessId::new(0), resume_cap: 9 }], // newest checkpoint lost
+        &[Failure {
+            process: ProcessId::new(0),
+            resume_cap: 9,
+        }], // newest checkpoint lost
     );
     println!("P0 loses its newest checkpoint and must resume from index 9:");
     println!("  recovery line        : {}", report.line);
-    println!("  checkpoints discarded: {:?}", report.discarded_per_process);
-    println!("  rolled to initial    : {} of 2 processes", report.rolled_to_initial);
+    println!(
+        "  checkpoints discarded: {:?}",
+        report.discarded_per_process
+    );
+    println!(
+        "  rolled to initial    : {} of 2 processes",
+        report.rolled_to_initial
+    );
     assert_eq!(report.line.as_slice(), &[0, 0], "full collapse");
 
     // Part 2: the same question on protocol-generated patterns.
     println!("\n=== part 2: RDT bounds rollback ===");
-    for protocol in [ProtocolKind::Bhmr, ProtocolKind::Fdas, ProtocolKind::Uncoordinated] {
+    for protocol in [
+        ProtocolKind::Bhmr,
+        ProtocolKind::Fdas,
+        ProtocolKind::Uncoordinated,
+    ] {
         let config = SimConfig::new(6)
             .with_seed(7)
             .with_basic_checkpoints(rdt::sim::BasicCheckpointModel::Exponential { mean: 60 })
             .with_stop(StopCondition::MessagesSent(1_500));
-        let outcome =
-            run_protocol_kind(protocol, &config, &mut RandomEnvironment::new(20));
+        let outcome = run_protocol_kind(protocol, &config, &mut RandomEnvironment::new(20));
         let pattern = outcome.trace.to_pattern().to_closed();
 
         let mut total_discarded = 0;
@@ -46,7 +58,13 @@ fn main() {
         for i in 0..6 {
             let process = ProcessId::new(i);
             let cap = pattern.last_checkpoint_index(process).saturating_sub(1);
-            let report = analyze(&pattern, &[Failure { process, resume_cap: cap }]);
+            let report = analyze(
+                &pattern,
+                &[Failure {
+                    process,
+                    resume_cap: cap,
+                }],
+            );
             total_discarded += report.total_discarded;
             to_initial += report.rolled_to_initial;
         }

@@ -39,7 +39,10 @@ fn parse_flags(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
 }
 
 fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
-    flags.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    flags
+        .get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn build_config(flags: &HashMap<String, String>, n: usize) -> SimConfig {
@@ -48,7 +51,9 @@ fn build_config(flags: &HashMap<String, String>, n: usize) -> SimConfig {
         .with_basic_checkpoints(rdt::sim::BasicCheckpointModel::Exponential {
             mean: get(flags, "ckpt-mean", 80u64),
         })
-        .with_stop(StopCondition::MessagesSent(get(flags, "messages", 1_000u64)))
+        .with_stop(StopCondition::MessagesSent(get(
+            flags, "messages", 1_000u64,
+        )))
         .with_fifo(flags.contains_key("fifo"))
 }
 
@@ -91,11 +96,26 @@ fn cmd_run(flags: &HashMap<String, String>) -> ExitCode {
     let outcome = run_protocol_kind(protocol, &config, app.as_mut());
 
     let stats = &outcome.stats.total;
-    println!("protocol {} in {} (n={n}, seed {}):", protocol.name(), env.name(), config.seed);
-    println!("  messages     : {} sent, {} delivered", stats.messages_sent, stats.messages_delivered);
-    println!("  checkpoints  : {} basic + {} forced (R = {:.4})",
-        stats.basic_checkpoints, stats.forced_checkpoints, stats.forced_ratio());
-    println!("  piggyback    : {:.1} bytes/message", stats.mean_piggyback_bytes());
+    println!(
+        "protocol {} in {} (n={n}, seed {}):",
+        protocol.name(),
+        env.name(),
+        config.seed
+    );
+    println!(
+        "  messages     : {} sent, {} delivered",
+        stats.messages_sent, stats.messages_delivered
+    );
+    println!(
+        "  checkpoints  : {} basic + {} forced (R = {:.4})",
+        stats.basic_checkpoints,
+        stats.forced_checkpoints,
+        stats.forced_ratio()
+    );
+    println!(
+        "  piggyback    : {:.1} bytes/message",
+        stats.mean_piggyback_bytes()
+    );
     println!("  sim end time : {}", outcome.stats.end_time);
 
     if flags.contains_key("detail") {
@@ -122,19 +142,12 @@ fn cmd_run(flags: &HashMap<String, String>) -> ExitCode {
         println!("  pattern DOT  : {path}");
     }
     if let Some(path) = flags.get("save-trace") {
-        match serde_json::to_string(&outcome.trace) {
-            Ok(json) => {
-                if let Err(err) = std::fs::write(path, json) {
-                    eprintln!("could not write {path}: {err}");
-                    return ExitCode::FAILURE;
-                }
-                println!("  trace JSON   : {path}");
-            }
-            Err(err) => {
-                eprintln!("could not serialize trace: {err}");
-                return ExitCode::FAILURE;
-            }
+        let json = rdt::json::ToJson::to_json(&outcome.trace).to_string();
+        if let Err(err) = std::fs::write(path, json) {
+            eprintln!("could not write {path}: {err}");
+            return ExitCode::FAILURE;
         }
+        println!("  trace JSON   : {path}");
     }
     ExitCode::SUCCESS
 }
@@ -151,7 +164,7 @@ fn cmd_replay(flags: &HashMap<String, String>) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let trace: rdt::Trace = match serde_json::from_str(&json) {
+    let trace: rdt::Trace = match rdt::Trace::from_json_str(&json) {
         Ok(trace) => trace,
         Err(err) => {
             eprintln!("could not parse {path}: {err}");
@@ -190,7 +203,10 @@ fn cmd_compare(flags: &HashMap<String, String>) -> ExitCode {
     };
     let n = get(flags, "n", 8usize);
     let config = build_config(flags, n);
-    println!("{:>16} {:>10} {:>10} {:>8} {:>14}", "protocol", "forced", "basic", "R", "piggyback B/m");
+    println!(
+        "{:>16} {:>10} {:>10} {:>8} {:>14}",
+        "protocol", "forced", "basic", "R", "piggyback B/m"
+    );
     for &protocol in ProtocolKind::all() {
         let mut app = env.build(n, get(flags, "send-mean", 20u64));
         let outcome = run_protocol_kind(protocol, &config, app.as_mut());
@@ -246,13 +262,39 @@ fn cmd_domino(flags: &HashMap<String, String>) -> ExitCode {
     let pattern = domino_pattern(rounds);
     println!("domino pattern, {rounds} rounds:");
     for cap in (0..rounds as u32).rev().take(3) {
-        let report = analyze(&pattern, &[Failure { process: ProcessId::new(0), resume_cap: cap }]);
+        let report = analyze(
+            &pattern,
+            &[Failure {
+                process: ProcessId::new(0),
+                resume_cap: cap,
+            }],
+        );
         println!(
             "  P0 resumes from index {cap}: line {}, {} checkpoints discarded",
             report.line, report.total_discarded
         );
     }
     ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (flags, positional) = parse_flags(&args);
+    match positional.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(&flags),
+        Some("compare") => cmd_compare(&flags),
+        Some("audit") => cmd_audit(&flags),
+        Some("domino") => cmd_domino(&flags),
+        Some("replay") => cmd_replay(&flags),
+        _ => {
+            eprintln!(
+                "usage: rdt-cli <list|run|compare|audit|domino|replay> [--flags]\n\
+                 see the module docs (`cargo doc`) for the full flag list"
+            );
+            ExitCode::FAILURE
+        }
+    }
 }
 
 #[cfg(test)]
@@ -265,8 +307,14 @@ mod tests {
 
     #[test]
     fn flags_and_positionals_are_separated() {
-        let (flags, positional) =
-            parse_flags(&strings(&["run", "--protocol", "bhmr", "--verify", "--n", "8"]));
+        let (flags, positional) = parse_flags(&strings(&[
+            "run",
+            "--protocol",
+            "bhmr",
+            "--verify",
+            "--n",
+            "8",
+        ]));
         assert_eq!(positional, vec!["run"]);
         assert_eq!(flags.get("protocol").map(String::as_str), Some("bhmr"));
         assert_eq!(flags.get("verify").map(String::as_str), Some("true"));
@@ -291,31 +339,18 @@ mod tests {
     #[test]
     fn config_builder_uses_flags() {
         let (flags, _) = parse_flags(&strings(&[
-            "run", "--seed", "5", "--messages", "42", "--ckpt-mean", "99", "--fifo",
+            "run",
+            "--seed",
+            "5",
+            "--messages",
+            "42",
+            "--ckpt-mean",
+            "99",
+            "--fifo",
         ]));
         let config = build_config(&flags, 3);
         assert_eq!(config.seed, 5);
         assert_eq!(config.stop, rdt::StopCondition::MessagesSent(42));
         assert!(config.fifo);
-    }
-}
-
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (flags, positional) = parse_flags(&args);
-    match positional.first().map(String::as_str) {
-        Some("list") => cmd_list(),
-        Some("run") => cmd_run(&flags),
-        Some("compare") => cmd_compare(&flags),
-        Some("audit") => cmd_audit(&flags),
-        Some("domino") => cmd_domino(&flags),
-        Some("replay") => cmd_replay(&flags),
-        _ => {
-            eprintln!(
-                "usage: rdt-cli <list|run|compare|audit|domino|replay> [--flags]\n\
-                 see the module docs (`cargo doc`) for the full flag list"
-            );
-            ExitCode::FAILURE
-        }
     }
 }

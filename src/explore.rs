@@ -70,7 +70,10 @@ impl<P: CicProtocol + Clone> Explorer<P> {
     fn leaf(&mut self, state: &State<P>) {
         self.result.schedules += 1;
         self.result.total_forced += state.forced;
-        let pattern = state.builder.build().expect("explorer builds valid patterns");
+        let pattern = state
+            .builder
+            .build()
+            .expect("explorer builds valid patterns");
         let report = RdtChecker::new(&pattern).check();
         if !report.holds() {
             self.result.violations += 1;
@@ -131,7 +134,9 @@ impl<P: CicProtocol + Clone> Explorer<P> {
                 next.builder.checkpoint(to);
                 next.forced += 1;
             }
-            next.builder.deliver(message).expect("in-flight messages are deliverable");
+            next.builder
+                .deliver(message)
+                .expect("in-flight messages are deliverable");
             next.events_used += 1;
             self.visit(next);
         }
@@ -166,7 +171,12 @@ where
     let mut explorer = Explorer::<P> {
         n,
         depth,
-        result: Exploration { schedules: 0, violations: 0, useless: 0, total_forced: 0 },
+        result: Exploration {
+            schedules: 0,
+            violations: 0,
+            useless: 0,
+            total_forced: 0,
+        },
         _marker: std::marker::PhantomData,
     };
     explorer.visit(initial);
@@ -184,7 +194,10 @@ mod tests {
         for (name, result) in [
             ("bhmr", explore_protocol(2, 6, Bhmr::new)),
             ("bhmr-nosimple", explore_protocol(2, 6, BhmrNoSimple::new)),
-            ("bhmr-causalonly", explore_protocol(2, 6, BhmrCausalOnly::new)),
+            (
+                "bhmr-causalonly",
+                explore_protocol(2, 6, BhmrCausalOnly::new),
+            ),
             ("fdas", explore_protocol(2, 6, Fdas::new)),
             ("fdi", explore_protocol(2, 6, Fdi::new)),
             ("nras", explore_protocol(2, 6, Nras::new)),
@@ -223,7 +236,10 @@ mod tests {
         assert_eq!(two.violations, 0, "two-process BCS universe is RDT-clean");
         let three = explore_protocol(3, 4, Bcs::new);
         assert_eq!(three.useless, 0, "BCS produced a useless checkpoint");
-        assert!(three.violations > 0, "the ZCF/RDT separation must appear with n=3");
+        assert!(
+            three.violations > 0,
+            "the ZCF/RDT separation must appear with n=3"
+        );
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod explore;
 
 pub use rdt_causality as causality;
 pub use rdt_core as protocols;
+pub use rdt_json as json;
 pub use rdt_recovery as recovery;
 pub use rdt_rgraph as theory;
 pub use rdt_sim as sim;
@@ -64,8 +65,8 @@ pub use rdt_core::{
 };
 pub use rdt_recovery::{analyze, domino_pattern, recovery_line, Failure, RollbackReport};
 pub use rdt_rgraph::{
-    GlobalCheckpoint, Pattern, PatternBuilder, RGraph, RdtChecker, RdtReport, Reachability,
-    Replay, ZigzagReachability,
+    GlobalCheckpoint, Pattern, PatternBuilder, RGraph, RdtChecker, RdtReport, Reachability, Replay,
+    ZigzagReachability,
 };
 pub use rdt_sim::{
     run_protocol_kind, Application, RunOutcome, RunStats, Runner, SimConfig, SimRng, SimTime,

@@ -18,16 +18,23 @@ fn small_config(seed: u64, messages: u64) -> SimConfig {
 fn characterizations_agree_on_generated_patterns() {
     // Chain closures are O(M^2): keep runs small but numerous, and include
     // both RDT-holding and RDT-violating producers.
-    let protocols =
-        [ProtocolKind::Bhmr, ProtocolKind::Fdas, ProtocolKind::Nras, ProtocolKind::Uncoordinated];
+    let protocols = [
+        ProtocolKind::Bhmr,
+        ProtocolKind::Fdas,
+        ProtocolKind::Nras,
+        ProtocolKind::Uncoordinated,
+    ];
     let mut violating = 0;
     let mut holding = 0;
-    for &env in &[EnvironmentKind::Random, EnvironmentKind::ClientServer, EnvironmentKind::Ring] {
+    for &env in &[
+        EnvironmentKind::Random,
+        EnvironmentKind::ClientServer,
+        EnvironmentKind::Ring,
+    ] {
         for &protocol in &protocols {
             for seed in [1u64, 2, 3, 4] {
                 let mut app = env.build(4, 12);
-                let outcome =
-                    run_protocol_kind(protocol, &small_config(seed, 60), app.as_mut());
+                let outcome = run_protocol_kind(protocol, &small_config(seed, 60), app.as_mut());
                 let pattern = outcome.trace.to_pattern();
                 let by_rpaths = RdtChecker::new(&pattern).check().holds();
                 let by_chains = all_chains_doubled(&pattern);
@@ -49,7 +56,10 @@ fn characterizations_agree_on_generated_patterns() {
         }
     }
     assert!(holding > 0, "no RDT-holding run exercised");
-    assert!(violating > 0, "no RDT-violating run exercised — the equivalence test is vacuous");
+    assert!(
+        violating > 0,
+        "no RDT-violating run exercised — the equivalence test is vacuous"
+    );
 }
 
 #[test]

@@ -11,9 +11,17 @@ fn list_shows_all_protocols_and_environments() {
     let output = cli().arg("list").output().expect("binary runs");
     assert!(output.status.success());
     let text = String::from_utf8(output.stdout).unwrap();
-    for name in
-        ["bhmr", "bhmr-nosimple", "fdas", "fdi", "nras", "cas", "cbr", "bcs", "uncoordinated"]
-    {
+    for name in [
+        "bhmr",
+        "bhmr-nosimple",
+        "fdas",
+        "fdi",
+        "nras",
+        "cas",
+        "cbr",
+        "bcs",
+        "uncoordinated",
+    ] {
         assert!(text.contains(name), "missing protocol {name}");
     }
     for env in ["random", "groups", "client-server", "ring", "pipeline"] {
@@ -24,18 +32,33 @@ fn list_shows_all_protocols_and_environments() {
 #[test]
 fn run_with_verify_reports_rdt() {
     let output = cli()
-        .args(["run", "--protocol", "bhmr", "--env", "random", "--messages", "120", "--verify"])
+        .args([
+            "run",
+            "--protocol",
+            "bhmr",
+            "--env",
+            "random",
+            "--messages",
+            "120",
+            "--verify",
+        ])
         .output()
         .expect("binary runs");
     assert!(output.status.success());
     let text = String::from_utf8(output.stdout).unwrap();
     assert!(text.contains("R = "), "missing stats: {text}");
-    assert!(text.contains("RDT          : holds"), "verification missing: {text}");
+    assert!(
+        text.contains("RDT          : holds"),
+        "verification missing: {text}"
+    );
 }
 
 #[test]
 fn audit_figure_1_flags_the_violation() {
-    let output = cli().args(["audit", "--figure", "1"]).output().expect("binary runs");
+    let output = cli()
+        .args(["audit", "--figure", "1"])
+        .output()
+        .expect("binary runs");
     assert!(output.status.success());
     let text = String::from_utf8(output.stdout).unwrap();
     assert!(text.contains("RDT: violated"));
@@ -48,14 +71,24 @@ fn save_and_replay_trace_roundtrip() {
     let path_str = path.to_str().unwrap();
     let output = cli()
         .args([
-            "run", "--protocol", "fdas", "--env", "ring", "--messages", "40", "--save-trace",
+            "run",
+            "--protocol",
+            "fdas",
+            "--env",
+            "ring",
+            "--messages",
+            "40",
+            "--save-trace",
             path_str,
         ])
         .output()
         .expect("binary runs");
     assert!(output.status.success());
 
-    let output = cli().args(["replay", "--trace", path_str]).output().expect("binary runs");
+    let output = cli()
+        .args(["replay", "--trace", path_str])
+        .output()
+        .expect("binary runs");
     assert!(output.status.success());
     let text = String::from_utf8(output.stdout).unwrap();
     assert!(text.contains("replaying trace"));
@@ -73,8 +106,10 @@ fn unknown_subcommand_fails_with_usage() {
 
 #[test]
 fn unknown_protocol_fails_helpfully() {
-    let output =
-        cli().args(["run", "--protocol", "nonsense"]).output().expect("binary runs");
+    let output = cli()
+        .args(["run", "--protocol", "nonsense"])
+        .output()
+        .expect("binary runs");
     assert!(!output.status.success());
     let text = String::from_utf8(output.stderr).unwrap();
     assert!(text.contains("unknown protocol"));

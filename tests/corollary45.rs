@@ -17,17 +17,26 @@ fn config(seed: u64) -> SimConfig {
 #[test]
 fn on_the_fly_min_gc_matches_offline_fixpoint_for_all_tdv_protocols() {
     let mut total_checked = 0;
-    for &env in &[EnvironmentKind::Random, EnvironmentKind::Groups, EnvironmentKind::ClientServer]
-    {
-        for protocol in ProtocolKind::all().iter().copied().filter(|k| k.tracks_dependencies()) {
+    for &env in &[
+        EnvironmentKind::Random,
+        EnvironmentKind::Groups,
+        EnvironmentKind::ClientServer,
+    ] {
+        for protocol in ProtocolKind::all()
+            .iter()
+            .copied()
+            .filter(|k| k.tracks_dependencies())
+        {
             for seed in [3u64, 4] {
                 let mut app = env.build(4, 15);
                 let outcome = run_protocol_kind(protocol, &config(seed), app.as_mut());
                 let pattern = outcome.trace.to_pattern().to_closed();
                 for records in &outcome.records {
                     for record in records {
-                        let reported =
-                            record.min_consistent_gc.as_ref().expect("TDV protocols report");
+                        let reported = record
+                            .min_consistent_gc
+                            .as_ref()
+                            .expect("TDV protocols report");
                         let offline = min_max::min_consistent_containing(&pattern, &[record.id])
                             .unwrap_or_else(|| {
                                 panic!("{}: {} belongs to no consistent GC", protocol, record.id)
@@ -46,7 +55,10 @@ fn on_the_fly_min_gc_matches_offline_fixpoint_for_all_tdv_protocols() {
             }
         }
     }
-    assert!(total_checked > 500, "only {total_checked} checkpoints exercised");
+    assert!(
+        total_checked > 500,
+        "only {total_checked} checkpoints exercised"
+    );
 }
 
 #[test]
@@ -73,8 +85,7 @@ fn uncoordinated_runs_would_fail_the_corollary() {
     let mut found = false;
     'outer: for seed in 1u64..=8 {
         let mut app = EnvironmentKind::Random.build(4, 15);
-        let outcome =
-            run_protocol_kind(ProtocolKind::Uncoordinated, &config(seed), app.as_mut());
+        let outcome = run_protocol_kind(ProtocolKind::Uncoordinated, &config(seed), app.as_mut());
         let pattern = outcome.trace.to_pattern().to_closed();
         let annotations = Replay::new(&pattern).annotate().unwrap();
         for c in pattern.checkpoints() {
@@ -83,11 +94,17 @@ fn uncoordinated_runs_would_fail_the_corollary() {
                 break 'outer;
             };
             let tdv = annotations.tdv(c);
-            if min.members().any(|m| m.index > tdv.get(m.process) && m.process != c.process) {
+            if min
+                .members()
+                .any(|m| m.index > tdv.get(m.process) && m.process != c.process)
+            {
                 found = true;
                 break 'outer;
             }
         }
     }
-    assert!(found, "expected some uncoordinated checkpoint to expose a hidden dependency");
+    assert!(
+        found,
+        "expected some uncoordinated checkpoint to expose a hidden dependency"
+    );
 }

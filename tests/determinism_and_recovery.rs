@@ -1,9 +1,7 @@
 //! Integration: run reproducibility and rollback damage bounds.
 
 use rdt::workloads::EnvironmentKind;
-use rdt::{
-    analyze, run_protocol_kind, Failure, ProcessId, ProtocolKind, SimConfig, StopCondition,
-};
+use rdt::{analyze, run_protocol_kind, Failure, ProcessId, ProtocolKind, SimConfig, StopCondition};
 
 fn config(seed: u64) -> SimConfig {
     SimConfig::new(5)
@@ -52,7 +50,13 @@ fn rdt_protocols_bound_rollback_better_than_uncoordinated() {
             for i in 0..5 {
                 let process = ProcessId::new(i);
                 let cap = pattern.last_checkpoint_index(process).saturating_sub(1);
-                let report = analyze(&pattern, &[Failure { process, resume_cap: cap }]);
+                let report = analyze(
+                    &pattern,
+                    &[Failure {
+                        process,
+                        resume_cap: cap,
+                    }],
+                );
                 total += report.total_discarded;
             }
         }
@@ -77,7 +81,9 @@ fn mid_run_failure_analysis_through_truncation() {
     let end = outcome.trace.end_time().ticks();
     let mut previous_line_total = 0u64;
     for fraction in [4u64, 2, 1] {
-        let cut = outcome.trace.truncate_at(rdt::SimTime::from_ticks(end / fraction));
+        let cut = outcome
+            .trace
+            .truncate_at(rdt::SimTime::from_ticks(end / fraction));
         let pattern = cut.to_pattern().to_closed();
         let line = rdt::recovery_line(&pattern, &[]);
         assert!(consistency::is_consistent(&pattern, &line));
@@ -105,7 +111,13 @@ fn rdt_recovery_lines_stay_close_to_the_failure() {
             if last < 2 {
                 continue;
             }
-            let report = analyze(&pattern, &[Failure { process, resume_cap: last - 1 }]);
+            let report = analyze(
+                &pattern,
+                &[Failure {
+                    process,
+                    resume_cap: last - 1,
+                }],
+            );
             assert_eq!(
                 report.rolled_to_initial, 0,
                 "seed {seed}: failing {process} cascaded someone to the initial state"

@@ -49,7 +49,10 @@ fn empty_run_produces_empty_but_valid_artifacts() {
     let pattern = outcome.trace.to_pattern();
     assert_eq!(pattern.total_checkpoints(), 3); // the implicit initials
     assert!(RdtChecker::new(&pattern).check().holds());
-    assert!(consistency::is_consistent(&pattern, &GlobalCheckpoint::initial(3)));
+    assert!(consistency::is_consistent(
+        &pattern,
+        &GlobalCheckpoint::initial(3)
+    ));
 }
 
 #[test]
@@ -71,11 +74,9 @@ fn pattern_with_only_checkpoints_has_chain_free_theory() {
         }
     }
     // Min GC containing any checkpoint is itself plus initials.
-    let gc = min_max::min_consistent_containing(
-        &pattern,
-        &[CheckpointId::new(ProcessId::new(1), 4)],
-    )
-    .unwrap();
+    let gc =
+        min_max::min_consistent_containing(&pattern, &[CheckpointId::new(ProcessId::new(1), 4)])
+            .unwrap();
     assert_eq!(gc.as_slice(), &[0, 4]);
 }
 
@@ -116,35 +117,50 @@ fn protocol_names_match_kind_names() {
     use rdt::protocols::CicProtocol;
     let p0 = ProcessId::new(0);
     assert_eq!(rdt::Bhmr::new(2, p0).name(), ProtocolKind::Bhmr.name());
-    assert_eq!(rdt::BhmrNoSimple::new(2, p0).name(), ProtocolKind::BhmrNoSimple.name());
-    assert_eq!(rdt::BhmrCausalOnly::new(2, p0).name(), ProtocolKind::BhmrCausalOnly.name());
+    assert_eq!(
+        rdt::BhmrNoSimple::new(2, p0).name(),
+        ProtocolKind::BhmrNoSimple.name()
+    );
+    assert_eq!(
+        rdt::BhmrCausalOnly::new(2, p0).name(),
+        ProtocolKind::BhmrCausalOnly.name()
+    );
     assert_eq!(rdt::Fdas::new(2, p0).name(), ProtocolKind::Fdas.name());
     assert_eq!(rdt::Fdi::new(2, p0).name(), ProtocolKind::Fdi.name());
     assert_eq!(rdt::Nras::new(2, p0).name(), ProtocolKind::Nras.name());
     assert_eq!(rdt::Cas::new(2, p0).name(), ProtocolKind::Cas.name());
     assert_eq!(rdt::Cbr::new(2, p0).name(), ProtocolKind::Cbr.name());
     assert_eq!(rdt::Bcs::new(2, p0).name(), ProtocolKind::Bcs.name());
-    assert_eq!(rdt::Uncoordinated::new(2, p0).name(), ProtocolKind::Uncoordinated.name());
+    assert_eq!(
+        rdt::Uncoordinated::new(2, p0).name(),
+        ProtocolKind::Uncoordinated.name()
+    );
 }
 
 #[test]
-fn trace_serde_roundtrip() {
+fn trace_json_roundtrip() {
+    use rdt::json::ToJson;
     let config = SimConfig::new(3)
         .with_seed(6)
         .with_stop(StopCondition::MessagesSent(50));
     let mut app = EnvironmentKind::Random.build(3, 10);
     let outcome = run_protocol_kind(ProtocolKind::Fdas, &config, app.as_mut());
-    let json = serde_json::to_string(&outcome.trace).unwrap();
-    let back: rdt::Trace = serde_json::from_str(&json).unwrap();
+    let json = outcome.trace.to_json().to_string();
+    let back = rdt::Trace::from_json_str(&json).unwrap();
     assert_eq!(back.events(), outcome.trace.events());
     assert_eq!(back.to_pattern(), outcome.trace.to_pattern());
 }
 
 #[test]
-fn pattern_serde_roundtrip() {
+fn pattern_json_roundtrip() {
+    use rdt::json::ToJson;
     let pattern = rdt::theory::paper_figures::figure_1();
-    let json = serde_json::to_string(&pattern).unwrap();
-    let back: rdt::Pattern = serde_json::from_str(&json).unwrap();
+    let json = pattern.to_json().to_string();
+    let back = rdt::Pattern::from_json(&rdt::json::Json::parse(&json).unwrap()).unwrap();
     assert_eq!(back, pattern);
-    assert!(!RdtChecker::new(&back).check().holds(), "figure 1 still violates RDT");
+    assert_eq!(back.digest(), pattern.digest());
+    assert!(
+        !RdtChecker::new(&back).check().holds(),
+        "figure 1 still violates RDT"
+    );
 }

@@ -56,7 +56,9 @@ fn build_pattern(n: usize, steps: &[Step]) -> Pattern {
             }
         }
     }
-    b.close().build().expect("generator produces well-formed patterns")
+    b.close()
+        .build()
+        .expect("generator produces well-formed patterns")
 }
 
 fn pattern_strategy() -> impl Strategy<Value = Pattern> {
@@ -67,7 +69,6 @@ fn pattern_strategy() -> impl Strategy<Value = Pattern> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    #[test]
     fn characterizations_are_equivalent(pattern in pattern_strategy()) {
         let by_rpaths = RdtChecker::new(&pattern).check().holds();
         let by_chains = all_chains_doubled(&pattern);
@@ -76,7 +77,6 @@ proptest! {
         prop_assert_eq!(by_chains, by_cm, "chain vs CM-path");
     }
 
-    #[test]
     fn min_max_consistency_and_order(pattern in pattern_strategy()) {
         for c in pattern.checkpoints() {
             let min = min_max::min_consistent_containing(&pattern, &[c]);
@@ -97,7 +97,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn min_gc_formulations_agree(pattern in pattern_strategy()) {
         // Two independent implementations — the orphan fixpoint and the
         // R-graph reverse reachability — must coincide on every checkpoint.
@@ -108,7 +107,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn useless_iff_no_containing_gc(pattern in pattern_strategy()) {
         let zz = ZigzagReachability::new(&pattern);
         for c in pattern.checkpoints() {
@@ -121,7 +119,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn netzer_xu_coexistence_theorem(pattern in pattern_strategy()) {
         // "No zigzag path between them (nor through either)" must coincide
         // exactly with "some consistent global checkpoint contains both".
@@ -140,7 +137,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn tdv_trackability_implies_r_path(pattern in pattern_strategy()) {
         let annotations = Replay::new(&pattern).annotate().expect("realizable");
         let graph = rdt::RGraph::new(&pattern);
@@ -162,7 +158,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn rdt_implies_no_useless_checkpoints(pattern in pattern_strategy()) {
         if RdtChecker::new(&pattern).check().holds() {
             let zz = ZigzagReachability::new(&pattern);
@@ -172,7 +167,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn replay_is_deterministic(pattern in pattern_strategy()) {
         let a = Replay::new(&pattern).annotate().expect("realizable");
         let b = Replay::new(&pattern).annotate().expect("realizable");
@@ -182,7 +176,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn recovery_line_is_consistent_and_respects_caps(pattern in pattern_strategy()) {
         use rdt::{recovery_line, Failure};
         for i in 0..pattern.num_processes() {

@@ -17,7 +17,10 @@ fn forced_total(env: EnvironmentKind, protocol: ProtocolKind, seeds: &[u64]) -> 
                 .with_basic_checkpoints(rdt::sim::BasicCheckpointModel::Exponential { mean: 60 })
                 .with_stop(StopCondition::MessagesSent(400));
             let mut app = env.build(6, 15);
-            run_protocol_kind(protocol, &config, app.as_mut()).stats.total.forced_checkpoints
+            run_protocol_kind(protocol, &config, app.as_mut())
+                .stats
+                .total
+                .forced_checkpoints
         })
         .sum()
 }
@@ -25,8 +28,11 @@ fn forced_total(env: EnvironmentKind, protocol: ProtocolKind, seeds: &[u64]) -> 
 #[test]
 fn bhmr_family_is_no_more_conservative_than_fdas() {
     let seeds: Vec<u64> = (1..=6).collect();
-    for &env in &[EnvironmentKind::Random, EnvironmentKind::Groups, EnvironmentKind::ClientServer]
-    {
+    for &env in &[
+        EnvironmentKind::Random,
+        EnvironmentKind::Groups,
+        EnvironmentKind::ClientServer,
+    ] {
         let bhmr = forced_total(env, ProtocolKind::Bhmr, &seeds);
         let nosimple = forced_total(env, ProtocolKind::BhmrNoSimple, &seeds);
         let causalonly = forced_total(env, ProtocolKind::BhmrCausalOnly, &seeds);
@@ -34,7 +40,10 @@ fn bhmr_family_is_no_more_conservative_than_fdas() {
         let fdi = forced_total(env, ProtocolKind::Fdi, &seeds);
         assert!(bhmr <= fdas, "{env}: bhmr {bhmr} > fdas {fdas}");
         assert!(nosimple <= fdas, "{env}: nosimple {nosimple} > fdas {fdas}");
-        assert!(causalonly <= fdas, "{env}: causalonly {causalonly} > fdas {fdas}");
+        assert!(
+            causalonly <= fdas,
+            "{env}: causalonly {causalonly} > fdas {fdas}"
+        );
         assert!(fdas <= fdi, "{env}: fdas {fdas} > fdi {fdi}");
         assert!(bhmr <= nosimple, "{env}: bhmr {bhmr} > nosimple {nosimple}");
     }
@@ -59,7 +68,10 @@ fn bhmr_strictly_improves_in_the_client_server_environment() {
     let seeds: Vec<u64> = (1..=8).collect();
     let bhmr = forced_total(EnvironmentKind::ClientServer, ProtocolKind::Bhmr, &seeds);
     let fdas = forced_total(EnvironmentKind::ClientServer, ProtocolKind::Fdas, &seeds);
-    assert!(fdas > 0, "FDAS forced nothing; workload too quiet for the claim");
+    assert!(
+        fdas > 0,
+        "FDAS forced nothing; workload too quiet for the claim"
+    );
     let reduction = (fdas - bhmr) as f64 / fdas as f64;
     assert!(
         reduction >= 0.10,

@@ -54,7 +54,10 @@ fn uncoordinated_violates_rdt_under_load() {
             violations += 1;
         }
     }
-    assert!(violations >= 4, "only {violations}/5 uncoordinated runs violated RDT");
+    assert!(
+        violations >= 4,
+        "only {violations}/5 uncoordinated runs violated RDT"
+    );
 }
 
 #[test]
@@ -98,7 +101,10 @@ fn antichains_extend_to_consistent_global_checkpoints_under_rdt() {
             }
         }
     }
-    assert!(antichains_tested > 10, "test pattern too small to be meaningful");
+    assert!(
+        antichains_tested > 10,
+        "test pattern too small to be meaningful"
+    );
 }
 
 #[test]
@@ -125,7 +131,10 @@ fn uncoordinated_antichains_can_fail_to_extend() {
             }
         }
     }
-    assert!(found_unextendable, "no hidden dependency found in 8 uncoordinated runs");
+    assert!(
+        found_unextendable,
+        "no hidden dependency found in 8 uncoordinated runs"
+    );
 }
 
 #[test]

@@ -44,7 +44,10 @@ fn bcs_violates_rdt_somewhere() {
             violations += 1;
         }
     }
-    assert!(violations > 0, "no BCS run violated RDT — the separation is not exhibited");
+    assert!(
+        violations > 0,
+        "no BCS run violated RDT — the separation is not exhibited"
+    );
 }
 
 #[test]
