@@ -1,0 +1,76 @@
+//! Closure-kernel bench: the word-parallel SCC kernels against the naive
+//! per-start DFS reference, on protocol-generated patterns.
+//!
+//! Two kernels are compared on the same inputs:
+//!
+//! * the message-chain closures ([`ZigzagReachability::new`] vs
+//!   [`ZigzagReachability::new_naive`]);
+//! * the R-graph reachability ([`RGraph::reachability`] vs
+//!   [`RGraph::reachability_naive`]).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rdt_core::ProtocolKind;
+use rdt_rgraph::{Pattern, RGraph, ZigzagReachability};
+use rdt_sim::{run_protocol_kind, BasicCheckpointModel, SimConfig, StopCondition};
+use rdt_workloads::EnvironmentKind;
+
+fn generated_pattern(messages: u64) -> Pattern {
+    let config = SimConfig::new(6)
+        .with_seed(7)
+        .with_basic_checkpoints(BasicCheckpointModel::Exponential { mean: 60 })
+        .with_stop(StopCondition::MessagesSent(messages));
+    let mut app = EnvironmentKind::Random.build(6, 20);
+    run_protocol_kind(ProtocolKind::Bhmr, &config, app.as_mut())
+        .trace
+        .to_pattern()
+        .to_closed()
+}
+
+fn bench_zigzag_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zigzag_closure");
+    for &messages in &[200u64, 800] {
+        let pattern = generated_pattern(messages);
+        group.bench_with_input(
+            BenchmarkId::new("optimized", messages),
+            &pattern,
+            |b, pattern| {
+                b.iter(|| black_box(ZigzagReachability::new(pattern)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive", messages),
+            &pattern,
+            |b, pattern| {
+                b.iter(|| black_box(ZigzagReachability::new_naive(pattern)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_rgraph_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rgraph_closure_kernel");
+    for &messages in &[200u64, 800] {
+        let graph = RGraph::new(&generated_pattern(messages));
+        group.bench_with_input(
+            BenchmarkId::new("optimized", messages),
+            &graph,
+            |b, graph| {
+                b.iter(|| black_box(graph.reachability().total_reachable_pairs()));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("naive", messages), &graph, |b, graph| {
+            b.iter(|| black_box(graph.reachability_naive().total_reachable_pairs()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_zigzag_kernels, bench_rgraph_kernels
+}
+criterion_main!(benches);

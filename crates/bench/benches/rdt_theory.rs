@@ -7,7 +7,10 @@ use std::hint::black_box;
 
 use rdt_causality::{CheckpointId, ProcessId};
 use rdt_core::ProtocolKind;
-use rdt_rgraph::{min_max, Pattern, RGraph, RdtChecker};
+use rdt_rgraph::characterization::{
+    all_chains_doubled, all_chains_doubled_with, all_cm_paths_doubled, all_cm_paths_doubled_with,
+};
+use rdt_rgraph::{min_max, Pattern, PatternAnalysis, RGraph, RdtChecker};
 use rdt_sim::{run_protocol_kind, BasicCheckpointModel, SimConfig, StopCondition};
 use rdt_workloads::EnvironmentKind;
 
@@ -79,9 +82,44 @@ fn bench_min_gc(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_characterizations(c: &mut Criterion) {
+    // All three characterizations of one pattern: each checker rebuilding
+    // its own artifacts versus all of them borrowing one `PatternAnalysis`.
+    let mut group = c.benchmark_group("three_characterizations");
+    for &messages in &[100u64, 400] {
+        let pattern = generated_pattern(messages);
+        group.bench_with_input(
+            BenchmarkId::new("rebuilt", messages),
+            &pattern,
+            |b, pattern| {
+                b.iter(|| {
+                    let r = RdtChecker::new(pattern).check().holds();
+                    let chains = all_chains_doubled(pattern);
+                    let cm = all_cm_paths_doubled(pattern);
+                    black_box((r, chains, cm))
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("shared", messages),
+            &pattern,
+            |b, pattern| {
+                b.iter(|| {
+                    let analysis = PatternAnalysis::new(pattern);
+                    let r = analysis.rdt_report().holds();
+                    let chains = all_chains_doubled_with(&analysis);
+                    let cm = all_cm_paths_doubled_with(&analysis);
+                    black_box((r, chains, cm))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_checker, bench_closure, bench_min_gc
+    targets = bench_checker, bench_closure, bench_min_gc, bench_characterizations
 }
 criterion_main!(benches);

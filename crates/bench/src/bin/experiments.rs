@@ -15,9 +15,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use rdt_bench::{
-    ablation, coordinated, corollary45, necessity, rdt_check, recovery_experiment, render_figure,
-    render_table1, run_sweep_with_metrics, scaling, sensitivity, table1, write_json, Sweep,
-    SweepOptions,
+    ablation, closure_bench, coordinated, corollary45, necessity, rdt_check, recovery_experiment,
+    render_figure, render_table1, run_sweep_with_metrics, scaling, sensitivity, table1, write_json,
+    Sweep, SweepOptions,
 };
 use rdt_workloads::EnvironmentKind;
 
@@ -204,6 +204,25 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!();
+
+        println!("== BENCH-RDTCHECK — word-parallel closure kernels vs naive reference ==");
+        let sizes: &[u64] = if quick { &[100, 400] } else { &[400, 1_600] };
+        let bench = closure_bench(sizes, if quick { 3 } else { 5 });
+        println!(
+            "  {:>10} {:>11} {:>14} {:>14} {:>9}",
+            "messages", "delivered", "naive (ns)", "optimized (ns)", "speedup"
+        );
+        for &(messages, delivered, naive_ns, optimized_ns, speedup) in &bench.rows {
+            println!(
+                "  {messages:>10} {delivered:>11} {naive_ns:>14} {optimized_ns:>14} {speedup:>8.1}x"
+            );
+        }
+        // The perf-trajectory record lives next to the sources, not under
+        // the (env-overridable) results dir.
+        match write_json(std::path::Path::new("."), "BENCH_rdtcheck", &bench) {
+            Ok(path) => println!("  -> {}\n", path.display()),
+            Err(err) => eprintln!("  !! could not write BENCH_rdtcheck.json: {err}\n"),
+        }
     }
 
     if which == "all" || which == "ablation" {

@@ -512,6 +512,75 @@ pub fn rdt_check(n: usize, seeds: &[u64], messages: u64) -> RdtCheckResult {
     }
 }
 
+/// BENCH-RDTCHECK: wall-clock comparison of the word-parallel closure
+/// kernels against the naive per-bit reference, on the same
+/// protocol-generated patterns the `rdtcheck` verification runs over.
+#[derive(Debug, Clone)]
+pub struct ClosureBenchResult {
+    /// One row per pattern size: `(messages, delivered messages,
+    /// naive nanoseconds, optimized nanoseconds, speedup)`.
+    ///
+    /// Each timing covers one full closure pass — both message-chain
+    /// closures plus the R-graph reachability — and is the minimum over
+    /// the measurement repetitions (the statistic least disturbed by
+    /// scheduling noise).
+    pub rows: Vec<(u64, u64, u64, u64, f64)>,
+    /// Repetitions each timing is the minimum of.
+    pub repetitions: u32,
+}
+
+impl ClosureBenchResult {
+    /// Smallest speedup across the sizes (the headline regression metric).
+    pub fn min_speedup(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|&(_, _, _, _, s)| s)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Runs BENCH-RDTCHECK: for each size, generate a fig7-style pattern
+/// (random environment, BHMR) and time the full closure pass — naive
+/// per-start DFS kernel versus the word-parallel SCC kernel.
+pub fn closure_bench(sizes: &[u64], repetitions: u32) -> ClosureBenchResult {
+    use rdt_rgraph::{RGraph, ZigzagReachability};
+    use std::time::Instant;
+
+    let mut rows = Vec::with_capacity(sizes.len());
+    for &messages in sizes {
+        let mut app = EnvironmentKind::Random.build(8, MEAN_SEND_INTERVAL);
+        let outcome = run_protocol_kind(
+            ProtocolKind::Bhmr,
+            &config(8, 7, 3 * MEAN_SEND_INTERVAL, messages),
+            app.as_mut(),
+        );
+        let pattern = outcome.trace.to_pattern().to_closed();
+        let graph = RGraph::new(&pattern);
+        let delivered = pattern.delivered_messages().count() as u64;
+
+        let time_min = |f: &dyn Fn() -> usize| -> u64 {
+            let mut best = u64::MAX;
+            for _ in 0..repetitions.max(1) {
+                let start = Instant::now();
+                std::hint::black_box(f());
+                best = best.min(start.elapsed().as_nanos() as u64);
+            }
+            best
+        };
+        let naive_ns = time_min(&|| {
+            let zz = ZigzagReachability::new_naive(&pattern);
+            graph.reachability_naive().total_reachable_pairs() + zz.delivered_messages().len()
+        });
+        let optimized_ns = time_min(&|| {
+            let zz = ZigzagReachability::new(&pattern);
+            graph.reachability().total_reachable_pairs() + zz.delivered_messages().len()
+        });
+        let speedup = naive_ns as f64 / optimized_ns.max(1) as f64;
+        rows.push((messages, delivered, naive_ns, optimized_ns, speedup));
+    }
+    ClosureBenchResult { rows, repetitions }
+}
+
 /// ABL-1: piggyback size versus forced-checkpoint count across the
 /// protocol lattice.
 #[derive(Debug, Clone)]
@@ -939,6 +1008,16 @@ impl ToJson for RdtCheckResult {
             ("runs", self.runs.to_json()),
             ("unexpected_failures", self.unexpected_failures.to_json()),
             ("uncoordinated_passes", self.uncoordinated_passes.to_json()),
+        ])
+    }
+}
+
+impl ToJson for ClosureBenchResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("rows", self.rows.to_json()),
+            ("repetitions", self.repetitions.to_json()),
+            ("min_speedup", self.min_speedup().to_json()),
         ])
     }
 }

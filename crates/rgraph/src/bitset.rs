@@ -1,39 +1,88 @@
-//! Minimal internal bitset used for graph closures.
+//! Word-parallel bitset primitives backing the graph-closure kernels.
+//!
+//! Two shapes are provided: [`BitRow`], a single fixed-length row, and
+//! [`BitMatrix`], a dense row-slab of equally long rows stored in one
+//! contiguous `Vec<u64>` (one allocation, cache-friendly row unions).
+//! The closure kernels in [`crate::closure`] do all their work through
+//! whole-word operations on these types — that is where the `O(V·E/64)`
+//! in their complexity bounds comes from.
 
-/// A fixed-length bitset indexed by `usize`, with the word-parallel union
-/// that transitive-closure computations need.
+/// Yields the indices of the set bits of `words`, skipping any padding
+/// bits at or beyond `len`.
+fn ones_in(words: &[u64], len: usize) -> impl Iterator<Item = usize> + '_ {
+    words.iter().enumerate().flat_map(move |(wi, &word)| {
+        let mut w = word;
+        std::iter::from_fn(move || {
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                let idx = wi * 64 + bit;
+                if idx < len {
+                    return Some(idx);
+                }
+            }
+            None
+        })
+    })
+}
+
+/// A fixed-length bitset indexed by `usize`, with the word-parallel
+/// union/intersection operations that transitive-closure computations and
+/// interval-mask queries need.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) struct BitRow {
+pub struct BitRow {
     len: usize,
     words: Vec<u64>,
 }
 
 impl BitRow {
-    pub(crate) fn new(len: usize) -> Self {
+    /// An all-zero row of `len` bits.
+    pub fn new(len: usize) -> Self {
         BitRow {
             len,
             words: vec![0; len.div_ceil(64)],
         }
     }
 
-    #[cfg(test)]
-    pub(crate) fn len(&self) -> usize {
+    /// Number of bits (set or not).
+    pub fn len(&self) -> usize {
         self.len
     }
 
-    pub(crate) fn get(&self, i: usize) -> bool {
+    /// Whether the row has zero bits of capacity.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    pub fn get(&self, i: usize) -> bool {
         debug_assert!(i < self.len);
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
-    pub(crate) fn set(&mut self, i: usize) {
+    /// Sets bit `i`.
+    pub fn set(&mut self, i: usize) {
         debug_assert!(i < self.len);
         self.words[i / 64] |= 1u64 << (i % 64);
     }
 
+    /// Clears bit `i`.
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Clears every bit, keeping the capacity.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
     /// `self |= other`; returns `true` if any bit changed.
-    #[cfg(test)]
-    pub(crate) fn union_with(&mut self, other: &BitRow) -> bool {
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the lengths differ.
+    pub fn union_with(&mut self, other: &BitRow) -> bool {
         debug_assert_eq!(self.len, other.len);
         let mut changed = false;
         for (a, b) in self.words.iter_mut().zip(&other.words) {
@@ -44,26 +93,159 @@ impl BitRow {
         changed
     }
 
-    pub(crate) fn ones(&self) -> impl Iterator<Item = usize> + '_ {
-        self.words.iter().enumerate().flat_map(move |(wi, &word)| {
-            let len = self.len;
-            let mut w = word;
-            std::iter::from_fn(move || {
-                while w != 0 {
-                    let bit = w.trailing_zeros() as usize;
-                    w &= w - 1;
-                    let idx = wi * 64 + bit;
-                    if idx < len {
-                        return Some(idx);
-                    }
-                }
-                None
-            })
-        })
+    /// Whether `self ∩ other` is non-empty, without materializing it.
+    pub fn intersects(&self, other: &BitRow) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
-    pub(crate) fn count_ones(&self) -> usize {
+    /// Iterates over the indices of the set bits, ascending.
+    pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        ones_in(&self.words, self.len)
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The backing words (used by [`BitMatrix`] row operations).
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+/// A dense boolean matrix stored as a row slab: all rows live in one
+/// contiguous `Vec<u64>`, each padded to a whole number of words.
+///
+/// This is the storage of the closure relations ([`crate::Reachability`],
+/// [`crate::ZigzagReachability`]): row `r` holds the set of columns
+/// reachable from node `r`, and row-level unions/intersections run 64
+/// bits per instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    /// Words per row.
+    width: usize,
+    words: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// An all-zero matrix of `rows × cols` bits.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        let width = cols.div_ceil(64);
+        BitMatrix {
+            rows,
+            cols,
+            width,
+            words: vec![0; rows * width],
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn row_words(&self, r: usize) -> &[u64] {
+        debug_assert!(r < self.rows);
+        &self.words[r * self.width..(r + 1) * self.width]
+    }
+
+    /// Reads bit `(r, c)`.
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        debug_assert!(c < self.cols);
+        (self.row_words(r)[c / 64] >> (c % 64)) & 1 == 1
+    }
+
+    /// Sets bit `(r, c)`.
+    pub fn set(&mut self, r: usize, c: usize) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.words[r * self.width + c / 64] |= 1u64 << (c % 64);
+    }
+
+    /// `row[dst] |= row[src]` in one word-parallel pass; returns `true`
+    /// if any bit changed. A no-op when `dst == src`.
+    pub fn union_rows(&mut self, dst: usize, src: usize) -> bool {
+        debug_assert!(dst < self.rows && src < self.rows);
+        if dst == src {
+            return false;
+        }
+        let w = self.width;
+        let (dst_words, src_words) = if dst < src {
+            let (lo, hi) = self.words.split_at_mut(src * w);
+            (&mut lo[dst * w..dst * w + w], &hi[..w])
+        } else {
+            let (lo, hi) = self.words.split_at_mut(dst * w);
+            (&mut hi[..w], &lo[src * w..src * w + w])
+        };
+        let mut changed = false;
+        for (a, b) in dst_words.iter_mut().zip(src_words) {
+            let before = *a;
+            *a |= *b;
+            changed |= *a != before;
+        }
+        changed
+    }
+
+    /// Copies row `src` of `other` into row `dst` of `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the column counts differ.
+    pub fn copy_row_from(&mut self, dst: usize, other: &BitMatrix, src: usize) {
+        debug_assert_eq!(self.cols, other.cols);
+        debug_assert!(dst < self.rows && src < other.rows);
+        self.words[dst * self.width..(dst + 1) * self.width].copy_from_slice(other.row_words(src));
+    }
+
+    /// Iterates over the set columns of row `r`, ascending.
+    pub fn row_ones(&self, r: usize) -> impl Iterator<Item = usize> + '_ {
+        ones_in(self.row_words(r), self.cols)
+    }
+
+    /// Number of set bits in row `r`.
+    pub fn row_count_ones(&self, r: usize) -> usize {
+        self.row_words(r)
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether row `r` intersects `mask` (word-parallel, no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `mask.len() != self.cols()`.
+    pub fn row_intersects(&self, r: usize, mask: &BitRow) -> bool {
+        debug_assert_eq!(mask.len(), self.cols);
+        self.row_words(r)
+            .iter()
+            .zip(mask.words())
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Number of set bits over the whole matrix.
+    pub fn total_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Drops every row at index `n` and beyond, releasing their storage.
+    ///
+    /// The closure kernels compute rows for auxiliary graph nodes (interval
+    /// slots) that callers do not query; truncating sheds that memory.
+    pub fn truncate_rows(&mut self, n: usize) {
+        if n < self.rows {
+            self.rows = n;
+            self.words.truncate(n * self.width);
+            self.words.shrink_to_fit();
+        }
     }
 }
 
@@ -84,5 +266,123 @@ mod tests {
         assert_eq!(b.count_ones(), 3);
         assert_eq!(b.ones().collect::<Vec<_>>(), vec![0, 64, 129]);
         assert_eq!(b.len(), 130);
+    }
+
+    #[test]
+    fn union_with_change_detection_across_words() {
+        // A change in a later word only must still be reported.
+        let mut a = BitRow::new(200);
+        a.set(3);
+        let mut b = BitRow::new(200);
+        b.set(3);
+        b.set(190);
+        assert!(a.union_with(&b), "bit 190 is new");
+        assert!(!a.union_with(&b));
+        // Union with an all-zero row never changes anything.
+        let zero = BitRow::new(200);
+        assert!(!a.union_with(&zero));
+    }
+
+    #[test]
+    fn clear_and_clear_all() {
+        let mut a = BitRow::new(70);
+        a.set(1);
+        a.set(69);
+        a.clear(69);
+        assert!(a.get(1) && !a.get(69));
+        assert_eq!(a.count_ones(), 1);
+        a.clear_all();
+        assert_eq!(a.count_ones(), 0);
+        assert_eq!(a.len(), 70, "capacity survives clear_all");
+    }
+
+    #[test]
+    fn count_ones_and_ones_on_ragged_final_word() {
+        // 65 bits: the second word is a single ragged bit.
+        let mut a = BitRow::new(65);
+        a.set(63);
+        a.set(64);
+        assert_eq!(a.count_ones(), 2);
+        assert_eq!(a.ones().collect::<Vec<_>>(), vec![63, 64]);
+        // A full final-word boundary row.
+        let mut b = BitRow::new(64);
+        b.set(0);
+        b.set(63);
+        assert_eq!(b.ones().collect::<Vec<_>>(), vec![0, 63]);
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    fn intersects_is_word_parallel_and_exact() {
+        let mut a = BitRow::new(300);
+        let mut b = BitRow::new(300);
+        a.set(299);
+        assert!(!a.intersects(&b));
+        b.set(299);
+        assert!(a.intersects(&b));
+        b.clear(299);
+        b.set(298);
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn empty_row_is_harmless() {
+        let a = BitRow::new(0);
+        assert!(a.is_empty());
+        assert_eq!(a.count_ones(), 0);
+        assert_eq!(a.ones().count(), 0);
+    }
+
+    #[test]
+    fn matrix_set_get_roundtrip() {
+        let mut m = BitMatrix::new(3, 130);
+        m.set(0, 0);
+        m.set(1, 64);
+        m.set(2, 129);
+        assert!(m.get(0, 0) && m.get(1, 64) && m.get(2, 129));
+        assert!(!m.get(0, 129) && !m.get(2, 0));
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 130);
+        assert_eq!(m.total_ones(), 3);
+    }
+
+    #[test]
+    fn matrix_union_rows_both_directions() {
+        let mut m = BitMatrix::new(2, 100);
+        m.set(0, 7);
+        m.set(1, 99);
+        assert!(m.union_rows(0, 1), "dst < src");
+        assert!(m.get(0, 7) && m.get(0, 99));
+        assert!(m.union_rows(1, 0), "dst > src");
+        assert!(m.get(1, 7));
+        assert!(!m.union_rows(1, 0), "now saturated");
+        assert!(!m.union_rows(1, 1), "self-union is a no-op");
+    }
+
+    #[test]
+    fn matrix_row_queries_and_copy() {
+        let mut m = BitMatrix::new(2, 70);
+        m.set(0, 3);
+        m.set(0, 69);
+        assert_eq!(m.row_ones(0).collect::<Vec<_>>(), vec![3, 69]);
+        assert_eq!(m.row_count_ones(0), 2);
+        let mut mask = BitRow::new(70);
+        mask.set(69);
+        assert!(m.row_intersects(0, &mask));
+        assert!(!m.row_intersects(1, &mask));
+        let mut n = BitMatrix::new(4, 70);
+        n.copy_row_from(3, &m, 0);
+        assert_eq!(n.row_ones(3).collect::<Vec<_>>(), vec![3, 69]);
+    }
+
+    #[test]
+    fn matrix_truncate_rows() {
+        let mut m = BitMatrix::new(4, 65);
+        m.set(0, 64);
+        m.set(3, 1);
+        m.truncate_rows(2);
+        assert_eq!(m.rows(), 2);
+        assert!(m.get(0, 64));
+        assert_eq!(m.total_ones(), 1, "truncated rows drop their bits");
     }
 }

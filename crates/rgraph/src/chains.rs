@@ -4,7 +4,8 @@ use std::fmt;
 
 use rdt_causality::{CheckpointId, ProcessId};
 
-use crate::bitset::BitRow;
+use crate::bitset::{BitMatrix, BitRow};
+use crate::closure;
 use crate::{Pattern, PatternMessageId};
 
 /// A sequence of messages `[m_1, …, m_q]` claimed to form a message chain
@@ -140,9 +141,19 @@ impl fmt::Display for MessageChain {
 /// * **causal links**: additionally `deliver(m)` precedes `send(m')` in
 ///   `P_k`'s event order.
 ///
-/// Memory is `O(M²)` bits for `M` delivered messages — intended for
-/// analysis and testing, not for the full-scale simulation sweeps (the
-/// [`RdtChecker`](crate::RdtChecker) avoids it entirely).
+/// Both relations are closed by the word-parallel SCC kernel
+/// ([`crate::closure::transitive_closure`]) over *compressed* link graphs:
+/// instead of materializing the `O(M²)` direct links, each process
+/// contributes a spine of per-interval slot nodes (zigzag) and a suffix
+/// spine over its send events (causal), so construction is
+/// `O(M + C + M·M/64)` for `C` checkpoints. Checkpoint-level queries go
+/// through per-(process, interval) send/deliver indexes and prefix
+/// delivery masks rather than scanning every message.
+///
+/// The closure relations themselves still take `O(M²)` bits for `M`
+/// delivered messages — intended for analysis and testing, not for the
+/// full-scale simulation sweeps (the [`RdtChecker`](crate::RdtChecker)
+/// avoids it entirely).
 ///
 /// # Example
 ///
@@ -165,21 +176,48 @@ pub struct ZigzagReachability {
     /// Map from pattern message id to dense index (usize::MAX = in
     /// transit).
     dense: Vec<usize>,
-    /// Zigzag closure: `zz[a]` = set of messages chain-reachable from `a`
-    /// (including `a` itself).
-    zz: Vec<BitRow>,
+    /// Zigzag closure: bit `(a, b)` set iff message `b` is chain-reachable
+    /// from `a` (including `a` itself).
+    zz: BitMatrix,
     /// Causal closure, same convention.
-    causal: Vec<BitRow>,
-    /// Direct (single-link) causal adjacency, each list ascending.
-    causal_adj: Vec<Vec<usize>>,
+    causal: BitMatrix,
     /// Per message (dense): send/deliver checkpoints-of-interval.
     send_at: Vec<(ProcessId, u32)>,
     deliver_at: Vec<(ProcessId, u32)>,
+    /// Per message (dense): endpoints and event positions, for O(1)
+    /// single-causal-link tests.
+    msg_from: Vec<ProcessId>,
+    msg_to: Vec<ProcessId>,
+    msg_send_pos: Vec<usize>,
+    msg_deliver_pos: Vec<usize>,
+    /// `send_in[p][x]` = dense messages sent by process `p` in interval
+    /// `x` (interval indexes are one-based; slot 0 stays empty).
+    send_in: Vec<Vec<Vec<usize>>>,
+    /// `deliver_in[p][y]` = dense messages delivered at `p` in interval `y`.
+    deliver_in: Vec<Vec<Vec<usize>>>,
+    /// `deliver_upto[p][y]` = mask of dense messages delivered at `p` in
+    /// an interval `≤ y` (prefix masks).
+    deliver_upto: Vec<Vec<BitRow>>,
 }
 
 impl ZigzagReachability {
-    /// Builds both closures for `pattern`.
+    /// Builds both closures for `pattern` with the word-parallel SCC
+    /// kernel over compressed link graphs.
     pub fn new(pattern: &Pattern) -> Self {
+        Self::build(pattern, false)
+    }
+
+    /// Builds the same structure with the naive per-bit reference kernel
+    /// ([`crate::closure::transitive_closure_reference`]).
+    ///
+    /// Public as the baseline for the `closure_kernels` bench and the
+    /// oracle of the differential kernel tests; every query answers
+    /// identically to [`ZigzagReachability::new`].
+    pub fn new_naive(pattern: &Pattern) -> Self {
+        Self::build(pattern, true)
+    }
+
+    fn build(pattern: &Pattern, naive: bool) -> Self {
         let mut delivered = Vec::new();
         let mut dense = vec![usize::MAX; pattern.num_messages()];
         for (idx, info) in pattern.messages().iter().enumerate() {
@@ -189,79 +227,183 @@ impl ZigzagReachability {
             }
         }
         let m = delivered.len();
+        let n = pattern.num_processes();
         let mut send_at = Vec::with_capacity(m);
         let mut deliver_at = Vec::with_capacity(m);
+        let mut msg_from = Vec::with_capacity(m);
+        let mut msg_to = Vec::with_capacity(m);
+        let mut msg_send_pos = Vec::with_capacity(m);
+        let mut msg_deliver_pos = Vec::with_capacity(m);
         for &id in &delivered {
+            let info = pattern.message(id);
             let s = pattern.send_interval(id);
             let d = pattern.deliver_interval(id).expect("delivered");
             send_at.push((s.process, s.index));
             deliver_at.push((d.process, d.index));
+            msg_from.push(info.from);
+            msg_to.push(info.to);
+            msg_send_pos.push(info.send_pos);
+            msg_deliver_pos.push(info.deliver_pos.expect("delivered"));
         }
 
-        // Direct links.
-        let mut zz_adj: Vec<Vec<usize>> = vec![Vec::new(); m];
-        let mut causal_adj: Vec<Vec<usize>> = vec![Vec::new(); m];
+        // Per-(process, interval) indexes. Interval indexes run
+        // `1..=checkpoint_count`; slot 0 is allocated so indexes address
+        // the tables directly.
+        let top: Vec<usize> = (0..n)
+            .map(|p| pattern.checkpoint_count(ProcessId::new(p)) as usize)
+            .collect();
+        let mut send_in: Vec<Vec<Vec<usize>>> =
+            (0..n).map(|p| vec![Vec::new(); top[p] + 1]).collect();
+        let mut deliver_in: Vec<Vec<Vec<usize>>> =
+            (0..n).map(|p| vec![Vec::new(); top[p] + 1]).collect();
         for a in 0..m {
-            let info_a = pattern.message(delivered[a]);
+            let (sp, si) = send_at[a];
+            send_in[sp.index()][si as usize].push(a);
             let (dp, di) = deliver_at[a];
-            for b in 0..m {
-                if a == b {
-                    continue;
-                }
-                let info_b = pattern.message(delivered[b]);
-                let (sp, si) = send_at[b];
-                if dp == sp && di <= si {
-                    zz_adj[a].push(b);
-                    if info_a.to == info_b.from
-                        && info_a.deliver_pos.expect("delivered") < info_b.send_pos
-                    {
-                        causal_adj[a].push(b);
+            deliver_in[dp.index()][di as usize].push(a);
+        }
+        let deliver_upto: Vec<Vec<BitRow>> = (0..n)
+            .map(|p| {
+                let mut acc = BitRow::new(m);
+                let mut rows = Vec::with_capacity(top[p] + 1);
+                rows.push(acc.clone());
+                for in_interval in deliver_in[p].iter().skip(1) {
+                    for &b in in_interval {
+                        acc.set(b);
                     }
+                    rows.push(acc.clone());
                 }
+                rows
+            })
+            .collect();
+
+        // Compressed zigzag graph: message `a` links into the slot of its
+        // delivery interval; slots chain forward (`s ≤ t`) and fan out to
+        // the messages sent in their interval. O(M + C) edges instead of
+        // the O(M²) all-pairs link scan.
+        let mut slot_base = vec![0usize; n];
+        let mut total = m;
+        for p in 0..n {
+            slot_base[p] = total;
+            total += top[p] + 1;
+        }
+        let mut zz_adj: Vec<Vec<usize>> = vec![Vec::new(); total];
+        for a in 0..m {
+            let (dp, di) = deliver_at[a];
+            zz_adj[a].push(slot_base[dp.index()] + di as usize);
+        }
+        for p in 0..n {
+            for (x, in_interval) in send_in[p].iter().enumerate() {
+                let slot = slot_base[p] + x;
+                if x < top[p] {
+                    zz_adj[slot].push(slot + 1);
+                }
+                zz_adj[slot].extend(in_interval.iter().copied());
             }
         }
 
-        let closure = |adj: &[Vec<usize>]| -> Vec<BitRow> {
-            let mut rows: Vec<BitRow> = (0..m).map(|_| BitRow::new(m.max(1))).collect();
-            let mut stack = Vec::new();
-            for (start, row) in rows.iter_mut().enumerate() {
-                row.set(start);
-                stack.push(start);
-                while let Some(u) = stack.pop() {
-                    for &w in &adj[u] {
-                        if !row.get(w) {
-                            row.set(w);
-                            stack.push(w);
-                        }
-                    }
+        // Compressed causal graph: per process, a suffix spine over its
+        // send events; a delivery links to the first send strictly after
+        // it, the spine supplies every later one.
+        let mut sends_of: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for a in 0..m {
+            sends_of[msg_from[a].index()].push(a);
+        }
+        for list in &mut sends_of {
+            list.sort_unstable_by_key(|&a| msg_send_pos[a]);
+        }
+        let mut spine_base = vec![0usize; n];
+        let mut total_c = m;
+        for p in 0..n {
+            spine_base[p] = total_c;
+            total_c += sends_of[p].len();
+        }
+        let mut causal_adj: Vec<Vec<usize>> = vec![Vec::new(); total_c];
+        for p in 0..n {
+            for (i, &a) in sends_of[p].iter().enumerate() {
+                let node = spine_base[p] + i;
+                causal_adj[node].push(a);
+                if i + 1 < sends_of[p].len() {
+                    causal_adj[node].push(node + 1);
                 }
             }
-            rows
-        };
+        }
+        for a in 0..m {
+            let p = msg_to[a].index();
+            let i = sends_of[p].partition_point(|&b| msg_send_pos[b] <= msg_deliver_pos[a]);
+            if i < sends_of[p].len() {
+                causal_adj[a].push(spine_base[p] + i);
+            }
+        }
 
-        let zz = closure(&zz_adj);
-        let causal = closure(&causal_adj);
+        let kernel: fn(&[Vec<usize>], usize) -> BitMatrix = if naive {
+            closure::transitive_closure_reference
+        } else {
+            closure::transitive_closure
+        };
+        let mut zz = kernel(&zz_adj, m);
+        zz.truncate_rows(m);
+        let mut causal = kernel(&causal_adj, m);
+        causal.truncate_rows(m);
+
         ZigzagReachability {
             delivered,
             dense,
             zz,
             causal,
-            causal_adj,
             send_at,
             deliver_at,
+            msg_from,
+            msg_to,
+            msg_send_pos,
+            msg_deliver_pos,
+            send_in,
+            deliver_in,
+            deliver_upto,
         }
     }
 
-    fn chain_query(&self, rows: &[BitRow], from: CheckpointId, to: CheckpointId) -> bool {
+    /// Dense messages sent by `p` in exactly interval `x` (empty for
+    /// out-of-range coordinates).
+    fn interval_sends(&self, p: ProcessId, x: u32) -> &[usize] {
+        self.send_in
+            .get(p.index())
+            .and_then(|v| v.get(x as usize))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Dense messages delivered at `p` in exactly interval `y`.
+    fn interval_delivers(&self, p: ProcessId, y: u32) -> &[usize] {
+        self.deliver_in
+            .get(p.index())
+            .and_then(|v| v.get(y as usize))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Mask of messages delivered at `p` in an interval `≤ y`; `None` for
+    /// an unknown process. Indexes beyond the last interval saturate.
+    fn deliver_mask_upto(&self, p: ProcessId, y: u32) -> Option<&BitRow> {
+        let rows = self.deliver_upto.get(p.index())?;
+        Some(&rows[(y as usize).min(rows.len() - 1)])
+    }
+
+    /// Dense messages sent by `p` in an interval with index `≥ x`.
+    fn sends_at_or_after(&self, p: ProcessId, x: usize) -> impl Iterator<Item = usize> + '_ {
+        self.send_in
+            .get(p.index())
+            .into_iter()
+            .flat_map(move |v| v.iter().skip(x).flatten().copied())
+    }
+
+    fn chain_query(&self, rows: &BitMatrix, from: CheckpointId, to: CheckpointId) -> bool {
         // ∃ delivered m_a with send ∈ I_{from.process, from.index} and
         // m_b with deliver ∈ I_{to.process, to.index}, m_b reachable from
-        // m_a (reflexively).
-        (0..self.delivered.len()).any(|a| {
-            self.send_at[a] == (from.process, from.index)
-                && rows[a]
-                    .ones()
-                    .any(|b| self.deliver_at[b] == (to.process, to.index))
-        })
+        // m_a (reflexively). Both candidate sets come straight from the
+        // interval indexes.
+        let delivers = self.interval_delivers(to.process, to.index);
+        self.interval_sends(from.process, from.index)
+            .iter()
+            .any(|&a| delivers.iter().any(|&b| rows.get(a, b)))
     }
 
     /// Whether some message chain goes from `from` to `to` in the paper's
@@ -282,14 +424,43 @@ impl ZigzagReachability {
     /// `y' ≤ y` (a later origin interval and an earlier destination
     /// interval carry at least as much rollback information).
     pub fn causal_doubling_exists(&self, from: CheckpointId, to: CheckpointId) -> bool {
+        // Interval indexes are one-based, so every delivery interval `di`
+        // already satisfies `di ≥ 1`; the prefix mask is the whole
+        // destination-side condition in one word-parallel intersection.
+        let Some(mask) = self.deliver_mask_upto(to.process, to.index) else {
+            return false;
+        };
+        self.sends_at_or_after(from.process, from.index as usize)
+            .any(|a| self.causal.row_intersects(a, mask))
+    }
+
+    /// Whether some delivered message is **orphan** with respect to the
+    /// ordered pair `(on_sender, on_receiver)`: sent by
+    /// `on_sender.process` in an interval after `on_sender` but delivered
+    /// to `on_receiver.process` at or before `on_receiver` (§2.2).
+    ///
+    /// Consults the per-(process, interval) send index, so only messages
+    /// actually sent after `on_sender` are inspected.
+    pub fn orphan_exists(&self, on_sender: CheckpointId, on_receiver: CheckpointId) -> bool {
+        self.sends_at_or_after(on_sender.process, on_sender.index as usize + 1)
+            .any(|a| {
+                let (dp, di) = self.deliver_at[a];
+                dp == on_receiver.process && di <= on_receiver.index
+            })
+    }
+
+    /// Whether any delivered message is orphan with respect to the global
+    /// checkpoint whose per-process indices are `gc` — i.e. whether the
+    /// global checkpoint is *inconsistent* (Definition 2.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gc` has fewer entries than the pattern has processes.
+    pub fn orphan_in_global(&self, gc: &[u32]) -> bool {
         (0..self.delivered.len()).any(|a| {
+            let (dp, di) = self.deliver_at[a];
             let (sp, si) = self.send_at[a];
-            sp == from.process
-                && si >= from.index
-                && self.causal[a].ones().any(|b| {
-                    let (dp, di) = self.deliver_at[b];
-                    dp == to.process && di <= to.index && di >= 1
-                })
+            di <= gc[dp.index()] && si > gc[sp.index()]
         })
     }
 
@@ -303,15 +474,11 @@ impl ZigzagReachability {
     /// direction; a checkpoint is *useless* iff such a Z-path loops back to
     /// it ([`ZigzagReachability::on_z_cycle`]).
     pub fn z_path_after_to_before(&self, a: CheckpointId, b: CheckpointId) -> bool {
-        (0..self.delivered.len()).any(|ma| {
-            let (sp, si) = self.send_at[ma];
-            sp == a.process
-                && si > a.index
-                && self.zz[ma].ones().any(|mb| {
-                    let (dp, di) = self.deliver_at[mb];
-                    dp == b.process && di <= b.index
-                })
-        })
+        let Some(mask) = self.deliver_mask_upto(b.process, b.index) else {
+            return false;
+        };
+        self.sends_at_or_after(a.process, a.index as usize + 1)
+            .any(|ma| self.zz.row_intersects(ma, mask))
     }
 
     /// Whether `checkpoint` lies on a Z-cycle (Netzer & Xu): a zigzag path
@@ -397,7 +564,7 @@ impl ZigzagReachability {
 
     /// Whether `[delivered[a], delivered[b]]` is a single *causal* link.
     fn causal_single_link(&self, a: usize, b: usize) -> bool {
-        self.causal_adj[a].contains(&b)
+        self.msg_to[a] == self.msg_from[b] && self.msg_deliver_pos[a] < self.msg_send_pos[b]
     }
 
     /// Dense index helper used by the characterization module.
@@ -412,7 +579,7 @@ impl ZigzagReachability {
     /// Returns `false` if either message is undelivered.
     pub fn causal_link_closure(&self, a: PatternMessageId, b: PatternMessageId) -> bool {
         match (self.dense_index(a), self.dense_index(b)) {
-            (Some(da), Some(db)) => self.causal[da].get(db),
+            (Some(da), Some(db)) => self.causal.get(da, db),
             _ => false,
         }
     }
@@ -423,7 +590,7 @@ impl ZigzagReachability {
     /// Returns `false` if either message is undelivered.
     pub fn zigzag_closure(&self, a: PatternMessageId, b: PatternMessageId) -> bool {
         match (self.dense_index(a), self.dense_index(b)) {
-            (Some(da), Some(db)) => self.zz[da].get(db),
+            (Some(da), Some(db)) => self.zz.get(da, db),
             _ => false,
         }
     }

@@ -24,7 +24,7 @@
 use rdt_causality::CheckpointId;
 
 use crate::chains::{MessageChain, ZigzagReachability};
-use crate::{Pattern, PatternMessageId};
+use crate::{Pattern, PatternAnalysis, PatternMessageId};
 
 /// A chain-level RDT counterexample: the endpoints of a message chain with
 /// no causal doubling.
@@ -43,15 +43,21 @@ pub struct UndoubledChain {
 /// The pattern satisfies RDT iff this list is empty (characterization (2));
 /// cross-validated against [`crate::RdtChecker`] in the tests.
 pub fn undoubled_chains(pattern: &Pattern) -> Vec<UndoubledChain> {
-    let pattern = pattern.to_closed();
-    let zz = ZigzagReachability::new(&pattern);
+    undoubled_chains_with(&PatternAnalysis::new(pattern))
+}
+
+/// [`undoubled_chains`] off a shared [`PatternAnalysis`] — pays for the
+/// chain closures only if no other characterization has already.
+pub fn undoubled_chains_with(analysis: &PatternAnalysis) -> Vec<UndoubledChain> {
+    let pattern = analysis.pattern();
+    let zz = analysis.zigzag();
     let mut out = Vec::new();
     let mut seen = std::collections::HashSet::new();
     for &a in zz.delivered_messages() {
         let from_iv = pattern.send_interval(a);
         let from = CheckpointId::new(from_iv.process, from_iv.index);
         for &b in zz.delivered_messages() {
-            if !zz_chain(&zz, a, b) {
+            if !zz_chain(zz, a, b) {
                 continue;
             }
             let to_iv = pattern.deliver_interval(b).expect("delivered");
@@ -75,6 +81,11 @@ pub fn all_chains_doubled(pattern: &Pattern) -> bool {
     undoubled_chains(pattern).is_empty()
 }
 
+/// [`all_chains_doubled`] off a shared [`PatternAnalysis`].
+pub fn all_chains_doubled_with(analysis: &PatternAnalysis) -> bool {
+    undoubled_chains_with(analysis).is_empty()
+}
+
 /// Characterization (3): every **CM-path** is doubled.
 ///
 /// A CM-path is a chain `[μ · m]` where `μ` is a causal chain (possibly a
@@ -83,14 +94,19 @@ pub fn all_chains_doubled(pattern: &Pattern) -> bool {
 /// process delivering `m`. Checking just this family is enough: doublings
 /// compose along the concatenations that build longer chains.
 pub fn all_cm_paths_doubled(pattern: &Pattern) -> bool {
-    let pattern = pattern.to_closed();
-    let zz = ZigzagReachability::new(&pattern);
+    all_cm_paths_doubled_with(&PatternAnalysis::new(pattern))
+}
+
+/// [`all_cm_paths_doubled`] off a shared [`PatternAnalysis`].
+pub fn all_cm_paths_doubled_with(analysis: &PatternAnalysis) -> bool {
+    let pattern = analysis.pattern();
+    let zz = analysis.zigzag();
     let delivered = zz.delivered_messages().to_vec();
     for &mid in &delivered {
         // `mid` is the junction message m' ending the causal prefix μ; `b`
         // is the trailing message m.
         for &b in &delivered {
-            if mid == b || !zigzag_link(&pattern, mid, b) {
+            if mid == b || !zigzag_link(pattern, mid, b) {
                 continue;
             }
             let to_iv = pattern.deliver_interval(b).expect("delivered");
@@ -119,9 +135,14 @@ pub fn all_cm_paths_doubled(pattern: &Pattern) -> bool {
 /// RDT implies there are none: a Z-cycle would demand a causal chain from
 /// a checkpoint back into its own past.
 pub fn useless_checkpoints(pattern: &Pattern) -> Vec<CheckpointId> {
-    let pattern = pattern.to_closed();
-    let zz = ZigzagReachability::new(&pattern);
-    pattern
+    useless_checkpoints_with(&PatternAnalysis::new(pattern))
+}
+
+/// [`useless_checkpoints`] off a shared [`PatternAnalysis`].
+pub fn useless_checkpoints_with(analysis: &PatternAnalysis) -> Vec<CheckpointId> {
+    let zz = analysis.zigzag();
+    analysis
+        .pattern()
         .checkpoints()
         .filter(|&c| zz.on_z_cycle(c))
         .collect()

@@ -38,10 +38,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod bitset;
+mod analysis;
+pub mod bitset;
 
 pub mod chains;
 pub mod characterization;
+pub mod closure;
 pub mod consistency;
 pub mod dot;
 pub mod min_max;
@@ -51,6 +53,8 @@ mod rdt;
 mod replay;
 mod rgraph_impl;
 
+pub use analysis::PatternAnalysis;
+pub use bitset::{BitMatrix, BitRow};
 pub use chains::{MessageChain, ZigzagReachability};
 pub use consistency::GlobalCheckpoint;
 pub use pattern::{Pattern, PatternBuilder, PatternError, PatternEvent, PatternMessageId};

@@ -156,9 +156,31 @@ pub fn min_consistent_via_rgraph(
     pattern: &Pattern,
     members: &[CheckpointId],
 ) -> Option<GlobalCheckpoint> {
+    let reach = crate::RGraph::new(pattern).reachability();
+    min_consistent_via_reach(pattern, &reach, members)
+}
+
+/// [`min_consistent_via_rgraph`] off a shared [`crate::PatternAnalysis`] —
+/// reuses the cached R-graph closure instead of rebuilding it. Operates on
+/// the analysis's **closed** pattern (the two formulations agree on closed
+/// patterns; closing can only append trailing checkpoints).
+///
+/// # Panics
+///
+/// Panics if a member's checkpoint does not exist in the pattern.
+pub fn min_consistent_via_rgraph_with(
+    analysis: &crate::PatternAnalysis,
+    members: &[CheckpointId],
+) -> Option<GlobalCheckpoint> {
+    min_consistent_via_reach(analysis.pattern(), analysis.reachability(), members)
+}
+
+fn min_consistent_via_reach(
+    pattern: &Pattern,
+    reach: &crate::Reachability,
+    members: &[CheckpointId],
+) -> Option<GlobalCheckpoint> {
     let n = pattern.num_processes();
-    let graph = crate::RGraph::new(pattern);
-    let reach = graph.reachability();
     let mut gc = GlobalCheckpoint::initial(n);
     for &member in members {
         assert!(
@@ -310,6 +332,23 @@ mod tests {
     fn rgraph_formulation_detects_useless_checkpoints() {
         let pattern = paper_figures::figure_4_unbroken();
         assert_eq!(min_consistent_via_rgraph(&pattern, &[c(1, 1)]), None);
+    }
+
+    #[test]
+    fn shared_analysis_variant_agrees() {
+        let (pattern, _) = paper_figures::figure_1_with_handles();
+        let analysis = crate::PatternAnalysis::new(&pattern);
+        for i in 0..3 {
+            for x in 0..=3u32 {
+                let member = [c(i, x)];
+                assert_eq!(
+                    min_consistent_via_rgraph(&pattern, &member),
+                    min_consistent_via_rgraph_with(&analysis, &member),
+                    "disagreement for {}",
+                    member[0]
+                );
+            }
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::fmt;
 
 use rdt_causality::CheckpointId;
 
-use crate::{Pattern, PatternError, RGraph, Replay};
+use crate::{Pattern, PatternAnalysis, PatternError};
 
 /// One R-path that is not on-line trackable: the witness of an RDT
 /// violation.
@@ -52,11 +52,17 @@ impl RdtReport {
     }
 
     /// Number of ordered checkpoint pairs examined.
+    ///
+    /// Exact even when violation collection stops at the checker's limit:
+    /// the count comes from the popcount of the reachability closure, not
+    /// from how far the enumeration got.
     pub fn pairs_checked(&self) -> usize {
         self.pairs_checked
     }
 
-    /// Number of pairs connected by an R-path (trackable or not).
+    /// Number of pairs connected by an R-path (trackable or not). Like
+    /// [`RdtReport::pairs_checked`], exact regardless of the violation
+    /// limit.
     pub fn r_paths_found(&self) -> usize {
         self.r_paths_found
     }
@@ -141,42 +147,76 @@ impl RdtChecker {
     /// Returns [`PatternError::Unrealizable`] if the pattern admits no
     /// execution order.
     pub fn try_check(&self) -> Result<RdtReport, PatternError> {
-        let annotations = Replay::new(&self.pattern).annotate()?;
-        let graph = RGraph::new(&self.pattern);
-        let reach = graph.reachability();
+        let analysis = PatternAnalysis::from_closed(self.pattern.clone());
+        check_with_artifacts(&analysis, self.max_violations)
+    }
 
-        let mut violations = Vec::new();
-        let mut pairs_checked = 0;
-        let mut r_paths_found = 0;
-        for from in self.pattern.checkpoints() {
-            for to in reach.reachable_from(from) {
-                pairs_checked += 1;
-                r_paths_found += 1;
-                if annotations.trackable(from, to) {
-                    continue;
-                }
-                if violations.len() < self.max_violations.max(1) {
-                    let r_path = graph
-                        .find_path(from, to)
-                        .expect("reachable pairs have a concrete path");
-                    violations.push(RdtViolation { from, to, r_path });
-                } else {
-                    // Verdict settled and limit reached; keep counting pairs
-                    // is pointless — stop early.
-                    return Ok(RdtReport {
-                        violations,
-                        pairs_checked,
-                        r_paths_found,
-                    });
-                }
+    /// Runs the check off the shared artifacts of `analysis` instead of
+    /// computing fresh ones — the entry point for callers that also run
+    /// the chain-doubling characterizations on the same pattern. The
+    /// checker's own pattern is not consulted; pass the analysis of the
+    /// pattern this checker was built for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the analysis's pattern is unrealizable; use
+    /// [`try_check_with`](RdtChecker::try_check_with) to handle that case.
+    pub fn check_with(&self, analysis: &PatternAnalysis) -> RdtReport {
+        self.try_check_with(analysis)
+            .expect("pattern must be realizable")
+    }
+
+    /// Fallible variant of [`check_with`](RdtChecker::check_with).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatternError::Unrealizable`] if the pattern admits no
+    /// execution order.
+    pub fn try_check_with(&self, analysis: &PatternAnalysis) -> Result<RdtReport, PatternError> {
+        check_with_artifacts(analysis, self.max_violations)
+    }
+}
+
+/// The R-path scan over shared artifacts: every reachable checkpoint pair
+/// must be trackable by the replayed transitive dependency vectors.
+///
+/// Violation collection stops at `max_violations` (at least one is always
+/// collected), but the reported pair counts stay exact: both equal the
+/// popcount of the reachability closure
+/// ([`Reachability::total_reachable_pairs`](crate::Reachability::total_reachable_pairs)),
+/// which is what a full enumeration would have counted.
+pub(crate) fn check_with_artifacts(
+    analysis: &PatternAnalysis,
+    max_violations: usize,
+) -> Result<RdtReport, PatternError> {
+    let annotations = analysis.annotations()?;
+    let graph = analysis.rgraph();
+    let reach = analysis.reachability();
+
+    let total_pairs = reach.total_reachable_pairs();
+    let mut violations = Vec::new();
+    'scan: for from in analysis.pattern().checkpoints() {
+        for to in reach.reachable_from(from) {
+            if annotations.trackable(from, to) {
+                continue;
+            }
+            if violations.len() < max_violations.max(1) {
+                let r_path = graph
+                    .find_path(from, to)
+                    .expect("reachable pairs have a concrete path");
+                violations.push(RdtViolation { from, to, r_path });
+            } else {
+                // Verdict settled and limit reached; the counts are
+                // already known from the closure popcount.
+                break 'scan;
             }
         }
-        Ok(RdtReport {
-            violations,
-            pairs_checked,
-            r_paths_found,
-        })
     }
+    Ok(RdtReport {
+        violations,
+        pairs_checked: total_pairs,
+        r_paths_found: total_pairs,
+    })
 }
 
 #[cfg(test)]
@@ -283,6 +323,51 @@ mod tests {
             .try_check()
             .unwrap();
         assert_eq!(report.violations().len(), 1);
+    }
+
+    #[test]
+    fn counts_stay_exact_when_collection_stops_early() {
+        // Four repetitions of the figure-2 motif (a send racing past a
+        // delivery) produce four independent hidden dependencies.
+        let mut b = PatternBuilder::new(3);
+        for _ in 0..4 {
+            let m_prime = b.send(p(1), p(2));
+            let m = b.send(p(0), p(1));
+            b.deliver(m).unwrap();
+            b.deliver(m_prime).unwrap();
+            for i in 0..3 {
+                b.checkpoint(p(i));
+            }
+        }
+        let pattern = b.build().unwrap();
+        let full = RdtChecker::new(&pattern).check();
+        assert!(full.violations().len() >= 4);
+
+        // With the limit at 1 the scan stops at the second violation, but
+        // pairs_checked / r_paths_found must still equal the full scan's
+        // counts (they come from the closure popcount, not the scan).
+        let truncated = RdtChecker::new(&pattern).max_violations(1).check();
+        assert_eq!(truncated.violations().len(), 1);
+        assert_eq!(truncated.pairs_checked(), full.pairs_checked());
+        assert_eq!(truncated.r_paths_found(), full.r_paths_found());
+        // And both equal the closure popcount.
+        let analysis = crate::PatternAnalysis::new(&pattern);
+        assert_eq!(
+            full.pairs_checked(),
+            analysis.reachability().total_reachable_pairs()
+        );
+    }
+
+    #[test]
+    fn check_with_reuses_shared_artifacts() {
+        let pattern = paper_figures::figure_2_unbroken();
+        let analysis = crate::PatternAnalysis::new(&pattern);
+        let shared = RdtChecker::new(&pattern).check_with(&analysis);
+        let fresh = RdtChecker::new(&pattern).check();
+        assert_eq!(shared.holds(), fresh.holds());
+        assert_eq!(shared.violations(), fresh.violations());
+        assert_eq!(shared.pairs_checked(), fresh.pairs_checked());
+        assert!(!analysis.is_untouched());
     }
 
     #[test]

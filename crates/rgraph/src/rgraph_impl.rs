@@ -5,7 +5,8 @@ use std::fmt;
 
 use rdt_causality::{CheckpointId, ProcessId};
 
-use crate::bitset::BitRow;
+use crate::bitset::{BitMatrix, BitRow};
+use crate::closure;
 use crate::Pattern;
 
 /// Dense index of a checkpoint node inside an [`RGraph`].
@@ -163,29 +164,38 @@ impl RGraph {
         &self.adjacency[node.0]
     }
 
+    /// The adjacency as plain index lists, in the shape the closure
+    /// kernels consume.
+    fn adjacency_indices(&self) -> Vec<Vec<usize>> {
+        self.adjacency
+            .iter()
+            .map(|list| list.iter().map(|&NodeId(w)| w).collect())
+            .collect()
+    }
+
     /// Computes the full transitive reachability relation.
     ///
-    /// Complexity `O(V · E / 64)` time via per-node BFS over bit rows; the
-    /// relation itself takes `V²` bits.
+    /// Runs the word-parallel SCC-condensation kernel
+    /// ([`crate::closure::transitive_closure`]): `O(V + E·V/64)` time, with
+    /// every row of the relation including the node itself (an R-path of
+    /// length 0 is a valid R-path `C → C`). The relation takes `V²` bits.
     pub fn reachability(&self) -> Reachability {
-        let v = self.num_nodes();
-        let mut rows: Vec<BitRow> = (0..v).map(|_| BitRow::new(v)).collect();
-        let mut stack = Vec::new();
-        for (start, row) in rows.iter_mut().enumerate() {
-            // BFS from `start`; the row holds the strictly-reachable set
-            // plus the node itself (an R-path of length 0 is a valid
-            // R-path `C → C`).
-            row.set(start);
-            stack.push(start);
-            while let Some(u) = stack.pop() {
-                for &NodeId(w) in &self.adjacency[u] {
-                    if !row.get(w) {
-                        row.set(w);
-                        stack.push(w);
-                    }
-                }
-            }
+        let rows = closure::transitive_closure(&self.adjacency_indices(), self.num_nodes());
+        Reachability {
+            graph: self.clone(),
+            rows,
         }
+    }
+
+    /// Computes the same relation as [`RGraph::reachability`] with the
+    /// naive per-node per-bit search — `O(V·E)` time.
+    ///
+    /// Kept public as the baseline for the `closure_kernels` bench and the
+    /// oracle of the differential kernel tests; not meant for production
+    /// callers.
+    pub fn reachability_naive(&self) -> Reachability {
+        let rows =
+            closure::transitive_closure_reference(&self.adjacency_indices(), self.num_nodes());
         Reachability {
             graph: self.clone(),
             rows,
@@ -233,7 +243,7 @@ impl RGraph {
 #[derive(Debug, Clone)]
 pub struct Reachability {
     graph: RGraph,
-    rows: Vec<BitRow>,
+    rows: BitMatrix,
 }
 
 impl Reachability {
@@ -244,7 +254,8 @@ impl Reachability {
     ///
     /// Panics if either checkpoint does not exist.
     pub fn reaches(&self, from: CheckpointId, to: CheckpointId) -> bool {
-        self.rows[self.graph.node(from).0].get(self.graph.node(to).0)
+        self.rows
+            .get(self.graph.node(from).0, self.graph.node(to).0)
     }
 
     /// Iterates over every checkpoint reachable from `from` (including
@@ -254,8 +265,8 @@ impl Reachability {
     ///
     /// Panics if the checkpoint does not exist.
     pub fn reachable_from(&self, from: CheckpointId) -> impl Iterator<Item = CheckpointId> + '_ {
-        self.rows[self.graph.node(from).0]
-            .ones()
+        self.rows
+            .row_ones(self.graph.node(from).0)
             .map(|idx| self.graph.checkpoint(NodeId(idx)))
     }
 
@@ -265,7 +276,16 @@ impl Reachability {
     ///
     /// Panics if the checkpoint does not exist.
     pub fn reachable_count(&self, from: CheckpointId) -> usize {
-        self.rows[self.graph.node(from).0].count_ones()
+        self.rows.row_count_ones(self.graph.node(from).0)
+    }
+
+    /// Total number of reachable (ordered) checkpoint pairs, reflexive
+    /// pairs included — the popcount of the whole relation. This is
+    /// exactly the number of pairs a full R-path scan would visit, which
+    /// lets [`crate::RdtChecker`] report exact counts even when it stops
+    /// enumerating violations early.
+    pub fn total_reachable_pairs(&self) -> usize {
+        self.rows.total_ones()
     }
 
     /// The underlying graph.

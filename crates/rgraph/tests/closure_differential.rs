@@ -1,0 +1,173 @@
+//! Differential testing of the word-parallel SCC closure kernels against
+//! the naive per-start DFS reference, on randomly generated patterns.
+//!
+//! The optimized kernels ([`rdt_rgraph::closure::transitive_closure`] and
+//! the compressed link graphs behind [`ZigzagReachability::new`]) must be
+//! observationally identical to the quadratic baselines
+//! ([`transitive_closure_reference`], [`ZigzagReachability::new_naive`],
+//! [`RGraph::reachability_naive`]) on every query the crate exposes.
+
+use proptest::prelude::*;
+use rdt_causality::ProcessId;
+use rdt_rgraph::{Pattern, PatternBuilder, PatternMessageId, RGraph, ZigzagReachability};
+
+/// Deterministic xorshift generator driving the pattern builder.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() as usize) % n
+    }
+}
+
+/// Builds a random checkpoint & communication pattern: a mix of local
+/// checkpoints, sends, and (possibly out-of-order) deliveries, with some
+/// messages left in transit and the pattern only sometimes closed.
+fn random_pattern(seed: u64, n: usize, events: usize) -> Pattern {
+    let mut rng = Rng(seed | 1);
+    let mut b = PatternBuilder::new(n);
+    let mut in_flight: Vec<PatternMessageId> = Vec::new();
+    for _ in 0..events {
+        match rng.below(4) {
+            0 => {
+                b.checkpoint(ProcessId::new(rng.below(n)));
+            }
+            1 | 2 => {
+                let from = rng.below(n);
+                let to = (from + 1 + rng.below(n - 1)) % n;
+                in_flight.push(b.send(ProcessId::new(from), ProcessId::new(to)));
+            }
+            _ => {
+                if !in_flight.is_empty() {
+                    let i = rng.below(in_flight.len());
+                    let m = in_flight.swap_remove(i);
+                    b.deliver(m).expect("in-flight message is deliverable");
+                }
+            }
+        }
+    }
+    if rng.below(2) == 0 {
+        b.close();
+    }
+    b.build().expect("random pattern is well-formed")
+}
+
+/// Every query of the two `ZigzagReachability` builds must agree.
+fn assert_zigzag_equivalent(pattern: &Pattern) {
+    let fast = ZigzagReachability::new(pattern);
+    let naive = ZigzagReachability::new_naive(pattern);
+    assert_eq!(fast.delivered_messages(), naive.delivered_messages());
+
+    for a in 0..pattern.num_messages() {
+        for b in 0..pattern.num_messages() {
+            let (ma, mb) = (PatternMessageId(a), PatternMessageId(b));
+            assert_eq!(
+                fast.zigzag_closure(ma, mb),
+                naive.zigzag_closure(ma, mb),
+                "zigzag closure differs on ({ma}, {mb})"
+            );
+            assert_eq!(
+                fast.causal_link_closure(ma, mb),
+                naive.causal_link_closure(ma, mb),
+                "causal closure differs on ({ma}, {mb})"
+            );
+        }
+    }
+
+    for from in pattern.checkpoints() {
+        assert_eq!(fast.on_z_cycle(from), naive.on_z_cycle(from), "{from}");
+        for to in pattern.checkpoints() {
+            assert_eq!(
+                fast.chain_exists(from, to),
+                naive.chain_exists(from, to),
+                "chain_exists differs on ({from}, {to})"
+            );
+            assert_eq!(
+                fast.causal_chain_exists(from, to),
+                naive.causal_chain_exists(from, to),
+                "causal_chain_exists differs on ({from}, {to})"
+            );
+            assert_eq!(
+                fast.causal_doubling_exists(from, to),
+                naive.causal_doubling_exists(from, to),
+                "causal_doubling_exists differs on ({from}, {to})"
+            );
+            assert_eq!(
+                fast.z_path_after_to_before(from, to),
+                naive.z_path_after_to_before(from, to),
+                "z_path differs on ({from}, {to})"
+            );
+        }
+    }
+}
+
+/// The R-graph reachability must agree between the two kernels too.
+fn assert_rgraph_equivalent(pattern: &Pattern) {
+    let graph = RGraph::new(&pattern.to_closed());
+    let fast = graph.reachability();
+    let naive = graph.reachability_naive();
+    assert_eq!(
+        fast.total_reachable_pairs(),
+        naive.total_reachable_pairs(),
+        "closure popcounts differ"
+    );
+    let closed = pattern.to_closed();
+    for a in closed.checkpoints() {
+        for b in closed.checkpoints() {
+            assert_eq!(
+                fast.reaches(a, b),
+                naive.reaches(a, b),
+                "R-graph reachability differs on ({a}, {b})"
+            );
+        }
+    }
+}
+
+#[test]
+fn kernels_agree_on_paper_figures() {
+    for pattern in [
+        rdt_rgraph::paper_figures::figure_1(),
+        rdt_rgraph::paper_figures::figure_2_unbroken(),
+        rdt_rgraph::paper_figures::figure_2_broken(),
+        rdt_rgraph::paper_figures::figure_4_unbroken(),
+        rdt_rgraph::paper_figures::figure_4_broken(),
+    ] {
+        assert_zigzag_equivalent(&pattern);
+        assert_rgraph_equivalent(&pattern);
+    }
+}
+
+#[test]
+fn kernels_agree_on_fixed_seeds() {
+    // Deterministic smoke corpus, cheap enough for every CI run.
+    for seed in [3u64, 17, 99, 2024] {
+        for n in [2usize, 4, 6] {
+            let pattern = random_pattern(seed, n, 60);
+            assert_zigzag_equivalent(&pattern);
+            assert_rgraph_equivalent(&pattern);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Optimized SCC/word-parallel closures ≡ naive per-bit DFS closures
+    /// on arbitrary random patterns — every public query compared.
+    fn optimized_kernels_match_naive_reference(
+        seed in 1u64..1_000_000,
+        n in 2usize..7,
+        events in 10usize..90,
+    ) {
+        let pattern = random_pattern(seed, n, events);
+        assert_zigzag_equivalent(&pattern);
+        assert_rgraph_equivalent(&pattern);
+    }
+}

@@ -4,7 +4,8 @@
 //! ```text
 //! rdt-cli list
 //! rdt-cli run --protocol bhmr --env client-server --n 8 --seed 3 \
-//!             --messages 2000 --ckpt-mean 80 [--fifo] [--verify] [--detail] [--dot pattern.dot]
+//!             --messages 2000 --ckpt-mean 80 [--fifo] [--verify] [--stats] [--detail] \
+//!             [--dot pattern.dot]
 //! rdt-cli compare --env random --n 8 --seed 3 --messages 2000
 //! rdt-cli audit --figure 1
 //! rdt-cli domino --rounds 10
@@ -131,6 +132,42 @@ fn cmd_run(flags: &HashMap<String, String>) -> ExitCode {
         );
         for violation in report.violations().iter().take(3) {
             println!("    {violation}");
+        }
+    }
+    if flags.contains_key("stats") {
+        // One shared PatternAnalysis; its laziness splits the offline
+        // check into its phases so each can be timed in isolation.
+        use std::time::Instant;
+        let pattern = outcome.trace.to_pattern();
+        let analysis = rdt::PatternAnalysis::new(&pattern);
+
+        let start = Instant::now();
+        let replay_ok = analysis.annotations().is_ok();
+        let replay = start.elapsed();
+
+        let start = Instant::now();
+        analysis.reachability();
+        analysis.zigzag();
+        let closure = start.elapsed();
+
+        println!("  phase timings (one shared analysis):");
+        println!("    replay     : {:>9.3} ms", replay.as_secs_f64() * 1e3);
+        println!(
+            "    closure    : {:>9.3} ms (R-graph + chain closures)",
+            closure.as_secs_f64() * 1e3
+        );
+        if replay_ok {
+            let start = Instant::now();
+            let report = analysis.rdt_report();
+            let scan = start.elapsed();
+            println!(
+                "    pair scan  : {:>9.3} ms ({} reachable pairs, RDT {})",
+                scan.as_secs_f64() * 1e3,
+                report.pairs_checked(),
+                if report.holds() { "holds" } else { "VIOLATED" }
+            );
+        } else {
+            println!("    pair scan  : skipped (pattern unrealizable)");
         }
     }
     if let Some(path) = flags.get("dot") {

@@ -65,8 +65,8 @@ pub use rdt_core::{
 };
 pub use rdt_recovery::{analyze, domino_pattern, recovery_line, Failure, RollbackReport};
 pub use rdt_rgraph::{
-    GlobalCheckpoint, Pattern, PatternBuilder, RGraph, RdtChecker, RdtReport, Reachability, Replay,
-    ZigzagReachability,
+    GlobalCheckpoint, Pattern, PatternAnalysis, PatternBuilder, RGraph, RdtChecker, RdtReport,
+    Reachability, Replay, ZigzagReachability,
 };
 pub use rdt_sim::{
     run_protocol_kind, Application, RunOutcome, RunStats, Runner, SimConfig, SimRng, SimTime,

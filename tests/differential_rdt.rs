@@ -19,10 +19,10 @@
 //! seed-dependent.
 
 use proptest::prelude::*;
-use rdt::theory::characterization::{all_chains_doubled, all_cm_paths_doubled};
+use rdt::theory::characterization::{all_chains_doubled_with, all_cm_paths_doubled_with};
 use rdt::workloads::EnvironmentKind;
 use rdt::{
-    run_protocol_kind, Pattern, ProtocolKind, RdtChecker, SimConfig, SimTime, StopCondition,
+    run_protocol_kind, Pattern, PatternAnalysis, ProtocolKind, SimConfig, SimTime, StopCondition,
 };
 
 fn run_pattern(
@@ -57,17 +57,15 @@ fn online_protocols_satisfy_all_three_characterizations_on_corpus() {
     for protocol in ProtocolKind::rdt_ensuring() {
         for (env, n, seed) in corpus() {
             let pattern = run_pattern(protocol, env, n, seed, 25, 60);
+            let analysis = PatternAnalysis::new(&pattern);
             let label = format!("{protocol} in {env} (n={n}, seed={seed})");
+            assert!(analysis.rdt_report().holds(), "{label}: R-path checker");
             assert!(
-                RdtChecker::new(&pattern).check().holds(),
-                "{label}: R-path checker"
-            );
-            assert!(
-                all_chains_doubled(&pattern),
+                all_chains_doubled_with(&analysis),
                 "{label}: some chain is undoubled"
             );
             assert!(
-                all_cm_paths_doubled(&pattern),
+                all_cm_paths_doubled_with(&analysis),
                 "{label}: some CM-path is undoubled"
             );
         }
@@ -84,9 +82,10 @@ fn characterizations_agree_even_on_non_rdt_controls() {
     for protocol in [ProtocolKind::Bcs, ProtocolKind::Uncoordinated] {
         for (env, n, seed) in corpus() {
             let pattern = run_pattern(protocol, env, n, seed, 25, 60);
-            let r = RdtChecker::new(&pattern).check().holds();
-            let chains = all_chains_doubled(&pattern);
-            let cm = all_cm_paths_doubled(&pattern);
+            let analysis = PatternAnalysis::new(&pattern);
+            let r = analysis.rdt_report().holds();
+            let chains = all_chains_doubled_with(&analysis);
+            let cm = all_cm_paths_doubled_with(&analysis);
             let label = format!("{protocol} in {env} (n={n}, seed={seed})");
             assert_eq!(r, chains, "{label}: checker vs chains");
             assert_eq!(chains, cm, "{label}: chains vs CM-paths");
@@ -119,8 +118,9 @@ fn time_stopped_runs_agree_too() {
         let pattern = run_protocol_kind(protocol, &config, app.as_mut())
             .trace
             .to_pattern();
-        assert!(all_cm_paths_doubled(&pattern), "{protocol}");
-        assert!(RdtChecker::new(&pattern).check().holds(), "{protocol}");
+        let analysis = PatternAnalysis::new(&pattern);
+        assert!(all_cm_paths_doubled_with(&analysis), "{protocol}");
+        assert!(analysis.rdt_report().holds(), "{protocol}");
     }
 }
 
@@ -140,9 +140,10 @@ proptest! {
         let env = EnvironmentKind::all()[env_index];
         for protocol in ProtocolKind::rdt_ensuring() {
             let pattern = run_pattern(protocol, env, n, seed, ckpt_mean, messages);
-            let r = RdtChecker::new(&pattern).check().holds();
-            let chains = all_chains_doubled(&pattern);
-            let cm = all_cm_paths_doubled(&pattern);
+            let analysis = PatternAnalysis::new(&pattern);
+            let r = analysis.rdt_report().holds();
+            let chains = all_chains_doubled_with(&analysis);
+            let cm = all_cm_paths_doubled_with(&analysis);
             prop_assert!(r, "{} {} seed={}: R-path checker", protocol, env, seed);
             prop_assert!(chains, "{} {} seed={}: undoubled chain", protocol, env, seed);
             prop_assert!(cm, "{} {} seed={}: undoubled CM-path", protocol, env, seed);
@@ -160,9 +161,10 @@ proptest! {
         let env = EnvironmentKind::all()[env_index];
         for protocol in [ProtocolKind::Bcs, ProtocolKind::Uncoordinated] {
             let pattern = run_pattern(protocol, env, n, seed, ckpt_mean, messages);
-            let r = RdtChecker::new(&pattern).check().holds();
-            let chains = all_chains_doubled(&pattern);
-            let cm = all_cm_paths_doubled(&pattern);
+            let analysis = PatternAnalysis::new(&pattern);
+            let r = analysis.rdt_report().holds();
+            let chains = all_chains_doubled_with(&analysis);
+            let cm = all_cm_paths_doubled_with(&analysis);
             prop_assert_eq!(r, chains, "{} {} seed={}", protocol, env, seed);
             prop_assert_eq!(chains, cm, "{} {} seed={}", protocol, env, seed);
         }
