@@ -77,6 +77,7 @@ fn run_figures(which: &str, scale: &Scale, dir: &std::path::Path, options: &Swee
 struct Cli {
     quick: bool,
     threads: Option<usize>,
+    scope: Option<String>,
     which: String,
 }
 
@@ -84,6 +85,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
         quick: false,
         threads: None,
+        scope: None,
         which: "all".to_string(),
     };
     let mut positional = None;
@@ -91,6 +93,11 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     while let Some(arg) = iter.next() {
         if arg == "--quick" {
             cli.quick = true;
+        } else if let Some(value) = arg.strip_prefix("--scope=") {
+            cli.scope = Some(value.to_string());
+        } else if arg == "--scope" {
+            let value = iter.next().ok_or("--scope needs a value (n,m or n,m,b)")?;
+            cli.scope = Some(value.clone());
         } else if let Some(value) = arg.strip_prefix("--threads=") {
             cli.threads = Some(
                 value
@@ -145,6 +152,7 @@ fn main() -> ExitCode {
         "table1",
         "cor45",
         "rdtcheck",
+        "certify",
         "ablation",
         "sensitivity",
         "coordinated",
@@ -222,6 +230,44 @@ fn main() -> ExitCode {
         match write_json(std::path::Path::new("."), "BENCH_rdtcheck", &bench) {
             Ok(path) => println!("  -> {}\n", path.display()),
             Err(err) => eprintln!("  !! could not write BENCH_rdtcheck.json: {err}\n"),
+        }
+    }
+
+    if which == "all" || which == "certify" {
+        println!("== CERTIFY — exhaustive small-scope certification of every protocol ==");
+        let scope = match &cli.scope {
+            Some(text) => match text.parse::<rdt_verify::Scope>() {
+                Ok(scope) => scope,
+                Err(err) => {
+                    eprintln!("{err}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None if quick => rdt_verify::Scope::tiny(),
+            // The full default scope: every pattern over 3 processes with
+            // up to 4 messages and 1 basic checkpoint.
+            None => match rdt_verify::Scope::new(3, 4) {
+                Ok(scope) => scope,
+                Err(err) => {
+                    eprintln!("{err}");
+                    return ExitCode::FAILURE;
+                }
+            },
+        };
+        let certify_options = rdt_verify::CertifyOptions {
+            threads: cli.threads.unwrap_or(0),
+            ..rdt_verify::CertifyOptions::default()
+        };
+        let report = rdt_verify::certify(&scope, &certify_options);
+        print!("{}", report.render());
+        // Like BENCH_rdtcheck.json: the certification record lives next to
+        // the sources, not under the (env-overridable) results dir.
+        match write_json(std::path::Path::new("."), "certify_report", &report) {
+            Ok(path) => println!("  -> {}\n", path.display()),
+            Err(err) => eprintln!("  !! could not write certify_report.json: {err}\n"),
+        }
+        if !report.certified_ok() {
+            return ExitCode::FAILURE;
         }
     }
 

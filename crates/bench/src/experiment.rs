@@ -544,7 +544,7 @@ impl ClosureBenchResult {
 /// per-start DFS kernel versus the word-parallel SCC kernel.
 pub fn closure_bench(sizes: &[u64], repetitions: u32) -> ClosureBenchResult {
     use rdt_rgraph::{RGraph, ZigzagReachability};
-    use std::time::Instant;
+    use rdt_sim::Stopwatch;
 
     let mut rows = Vec::with_capacity(sizes.len());
     for &messages in sizes {
@@ -561,9 +561,9 @@ pub fn closure_bench(sizes: &[u64], repetitions: u32) -> ClosureBenchResult {
         let time_min = |f: &dyn Fn() -> usize| -> u64 {
             let mut best = u64::MAX;
             for _ in 0..repetitions.max(1) {
-                let start = Instant::now();
+                let watch = Stopwatch::start();
                 std::hint::black_box(f());
-                best = best.min(start.elapsed().as_nanos() as u64);
+                best = best.min(watch.elapsed().as_nanos() as u64);
             }
             best
         };

@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod experiment;
+pub mod metrics;
 pub mod parallel;
 pub mod report;
 

@@ -1,28 +1,27 @@
 //! Work-stealing parallel execution of [`Sweep`] grids.
 //!
 //! The engine enumerates the grid up front, then fans the points out over
-//! scoped worker threads that pull from a shared atomic cursor: an idle
-//! worker "steals" the next undone point, so long-running points never
-//! leave siblings idle the way static partitioning would. Each worker owns
-//! one [`SimScratch`], reusing the event-heap and trace allocations across
-//! every point it runs.
+//! the generic work-stealing pool of `rdt-sim`
+//! ([`parallel_map_indexed`]): scoped worker threads pull from a shared
+//! atomic cursor, so long-running points never leave siblings idle the way
+//! static partitioning would. Each worker owns one [`SimScratch`], reusing
+//! the event-heap and trace allocations across every point it runs.
 //!
 //! Determinism: a point's simulator seed is a pure function of the sweep
 //! ([`SimRng::derive_seed`] over its grid index), so outcomes do not
-//! depend on which worker ran a point or when; [`Sweep::merge`] then folds
-//! the outcomes back in grid order. `run_sweep` with any thread count —
-//! including 1 — is therefore bit-identical to [`Sweep::run_sequential`].
+//! depend on which worker ran a point or when; the pool returns them in
+//! grid order and [`Sweep::merge`] folds them in that order. `run_sweep`
+//! with any thread count — including 1 — is therefore bit-identical to
+//! [`Sweep::run_sequential`].
 //!
 //! [`SimRng::derive_seed`]: rdt_sim::SimRng::derive_seed
 
-use std::io::{IsTerminal, Write as _};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
-use std::time::{Duration, Instant};
-
-use rdt_sim::SimScratch;
+use rdt_sim::{parallel_map_indexed, SimScratch, Stopwatch};
 
 use crate::experiment::{FigureResult, PointOutcome, Sweep};
+use crate::metrics::{progress_default, Progress};
+
+pub use crate::metrics::SweepMetrics;
 
 /// How a sweep is executed.
 #[derive(Debug, Clone)]
@@ -39,7 +38,7 @@ impl SweepOptions {
     pub fn with_threads(threads: usize) -> Self {
         SweepOptions {
             threads: threads.max(1),
-            progress: std::io::stderr().is_terminal(),
+            progress: progress_default(),
         }
     }
 
@@ -56,144 +55,21 @@ impl Default for SweepOptions {
     }
 }
 
-/// Wall-clock metrics of one sweep execution.
-#[derive(Debug, Clone)]
-pub struct SweepMetrics {
-    /// Grid points run.
-    pub points: usize,
-    /// Worker threads used.
-    pub threads: usize,
-    /// Total wall-clock time.
-    pub elapsed: Duration,
-}
-
-impl SweepMetrics {
-    /// Throughput in points per second.
-    pub fn points_per_sec(&self) -> f64 {
-        let secs = self.elapsed.as_secs_f64();
-        if secs > 0.0 {
-            self.points as f64 / secs
-        } else {
-            0.0
-        }
-    }
-
-    /// One-line rendering: `80 points in 3.2s (25.0 points/s, 4 threads)`.
-    pub fn render(&self) -> String {
-        format!(
-            "{} points in {:.1}s ({:.1} points/s, {} thread{})",
-            self.points,
-            self.elapsed.as_secs_f64(),
-            self.points_per_sec(),
-            self.threads,
-            if self.threads == 1 { "" } else { "s" },
-        )
-    }
-}
-
-struct Progress {
-    enabled: bool,
-    name: String,
-    total: usize,
-    done: usize,
-    started: Instant,
-    last_draw: Option<Instant>,
-}
-
-impl Progress {
-    fn new(sweep: &Sweep, enabled: bool) -> Self {
-        Progress {
-            enabled,
-            name: sweep.name.clone(),
-            total: sweep.len(),
-            done: 0,
-            started: Instant::now(),
-            last_draw: None,
-        }
-    }
-
-    fn tick(&mut self) {
-        self.done += 1;
-        if !self.enabled {
-            return;
-        }
-        let throttled = self
-            .last_draw
-            .is_some_and(|at| at.elapsed() < Duration::from_millis(100));
-        if throttled && self.done < self.total {
-            return;
-        }
-        self.last_draw = Some(Instant::now());
-        let elapsed = self.started.elapsed().as_secs_f64();
-        let rate = if elapsed > 0.0 {
-            self.done as f64 / elapsed
-        } else {
-            0.0
-        };
-        eprint!(
-            "\r  [{}] {}/{} points, {:.1} points/s, {:.1}s elapsed",
-            self.name, self.done, self.total, rate, elapsed
-        );
-        let _ = std::io::stderr().flush();
-    }
-
-    fn finish(&mut self) {
-        if self.enabled && self.last_draw.is_some() {
-            eprintln!();
-        }
-    }
-}
-
 /// Runs every point of the sweep and returns the per-point outcomes in
 /// grid order. This is the engine under [`run_sweep`]; determinism tests
 /// use it directly to compare outcomes (stats and pattern digests) across
 /// thread counts.
 pub fn run_sweep_points(sweep: &Sweep, options: &SweepOptions) -> Vec<PointOutcome> {
     let points = sweep.grid();
-    let threads = options.threads.max(1).min(points.len().max(1));
     let mut progress = Progress::new(sweep, options.progress);
-
-    let mut outcomes: Vec<PointOutcome> = if threads <= 1 {
-        let mut scratch = SimScratch::new();
-        points
-            .iter()
-            .map(|point| {
-                let outcome = sweep.run_point(point, &mut scratch);
-                progress.tick();
-                outcome
-            })
-            .collect()
-    } else {
-        let cursor = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<PointOutcome>();
-        let mut collected = Vec::with_capacity(points.len());
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                let tx = tx.clone();
-                let cursor = &cursor;
-                let points = &points[..];
-                scope.spawn(move || {
-                    let mut scratch = SimScratch::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(point) = points.get(i) else { break };
-                        if tx.send(sweep.run_point(point, &mut scratch)).is_err() {
-                            break;
-                        }
-                    }
-                });
-            }
-            drop(tx);
-            for outcome in rx {
-                collected.push(outcome);
-                progress.tick();
-            }
-        });
-        collected
-    };
+    let outcomes = parallel_map_indexed(
+        &points,
+        options.threads,
+        SimScratch::new,
+        |scratch, _, point| sweep.run_point(point, scratch),
+        |done| progress.tick(done),
+    );
     progress.finish();
-
-    outcomes.sort_by_key(|outcome| outcome.index);
     outcomes
 }
 
@@ -209,12 +85,12 @@ pub fn run_sweep_with_metrics(
     sweep: &Sweep,
     options: &SweepOptions,
 ) -> (FigureResult, SweepMetrics) {
-    let started = Instant::now();
+    let watch = Stopwatch::start();
     let outcomes = run_sweep_points(sweep, options);
     let metrics = SweepMetrics {
         points: outcomes.len(),
         threads: options.threads.max(1).min(outcomes.len().max(1)),
-        elapsed: started.elapsed(),
+        elapsed: watch.elapsed(),
     };
     (sweep.merge(&outcomes), metrics)
 }

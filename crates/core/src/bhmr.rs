@@ -76,6 +76,11 @@ pub struct Bhmr {
     simple: BoolVector,
     causal: BoolMatrix,
     stats: ProtocolStats,
+    /// Whether predicate `C1` participates in the forcing decision. Always
+    /// `true` for the real protocol; [`Bhmr::weakened_c2_only`] clears it
+    /// to give the certifier a deliberately broken protocol whose
+    /// counterexamples it must find.
+    use_c1: bool,
 }
 
 impl Bhmr {
@@ -102,7 +107,29 @@ impl Bhmr {
             simple,
             causal: BoolMatrix::identity(n),
             stats: ProtocolStats::default(),
+            use_c1: true,
         }
+    }
+
+    /// A deliberately *weakened* BHMR that forces on `C2` alone, ignoring
+    /// `C1` entirely.
+    ///
+    /// This drops exactly the guard against breakable non-causal chains
+    /// between different processes, so the protocol no longer ensures RDT
+    /// (the paper's Figure 2 hidden-dependency scenario slips through).
+    /// It exists for negative testing: the exhaustive certifier must
+    /// report counterexamples for it at small scope.
+    pub fn weakened_c2_only(n: usize, me: ProcessId) -> Self {
+        Bhmr {
+            use_c1: false,
+            ..Bhmr::new(n, me)
+        }
+    }
+
+    /// Whether this instance runs the full `C1 ∨ C2` predicate (`true`) or
+    /// the weakened `C2`-only variant (`false`).
+    pub fn uses_c1(&self) -> bool {
+        self.use_c1
     }
 
     /// The current transitive dependency vector `TDV_i`.
@@ -170,7 +197,11 @@ impl CicProtocol for Bhmr {
     type Piggyback = BhmrPiggyback;
 
     fn name(&self) -> &'static str {
-        "bhmr"
+        if self.use_c1 {
+            "bhmr"
+        } else {
+            "bhmr-c2only"
+        }
     }
 
     fn process(&self) -> ProcessId {
@@ -212,7 +243,7 @@ impl CicProtocol for Bhmr {
         piggyback: &BhmrPiggyback,
     ) -> ArrivalOutcome {
         // Statement S2 of Figure 6.
-        let forced = if self.c1(piggyback) || self.c2(piggyback) {
+        let forced = if (self.use_c1 && self.c1(piggyback)) || self.c2(piggyback) {
             self.stats.forced_checkpoints += 1;
             Some(self.take_checkpoint(CheckpointKind::Forced))
         } else {

@@ -98,6 +98,18 @@ impl BhmrNoSimple {
         &self.tdv
     }
 
+    /// The current `sent_to` vector (exposed for the certifier's
+    /// independent predicate-conformance oracle).
+    pub fn sent_to(&self) -> &BoolVector {
+        &self.sent_to
+    }
+
+    /// The current `causal` matrix (exposed for the certifier's
+    /// independent predicate-conformance oracle).
+    pub fn causal(&self) -> &BoolMatrix {
+        &self.causal
+    }
+
     fn take_checkpoint(&mut self, kind: CheckpointKind) -> CheckpointRecord {
         let record = CheckpointRecord {
             id: CheckpointId::new(self.me, self.tdv.current_interval()),
@@ -241,6 +253,18 @@ impl BhmrCausalOnly {
     /// The current transitive dependency vector.
     pub fn tdv(&self) -> &DependencyVector {
         &self.tdv
+    }
+
+    /// The current `sent_to` vector (exposed for the certifier's
+    /// independent predicate-conformance oracle).
+    pub fn sent_to(&self) -> &BoolVector {
+        &self.sent_to
+    }
+
+    /// The current `causal` matrix, diagonal permanently false (exposed
+    /// for the certifier's independent predicate-conformance oracle).
+    pub fn causal(&self) -> &BoolMatrix {
+        &self.causal
     }
 
     fn take_checkpoint(&mut self, kind: CheckpointKind) -> CheckpointRecord {

@@ -1,0 +1,543 @@
+//! Determinism and robustness lint over the workspace's own sources.
+//!
+//! The experiment harness stakes its reproducibility claims on a handful
+//! of source-level invariants that the compiler cannot enforce:
+//!
+//! * result paths never iterate hash-ordered collections,
+//! * nothing outside the metrics layer reads the host clock,
+//! * protocol state machines and the certifier never panic via
+//!   `unwrap`/`expect`,
+//! * sweep code derives every RNG seed from the grid position instead of
+//!   seeding ad hoc.
+//!
+//! `rdt-lint` enforces these as deny-by-default diagnostics. It is a
+//! *lexical* linter — a small lexer strips comments, strings, char
+//! literals and `#[cfg(test)]` regions, then each rule scans the
+//! remaining tokens of the files in its scope — so it has no external
+//! dependencies and runs in milliseconds in CI. Intentional exceptions
+//! go in the workspace-root `lint.allow` file, one justified entry per
+//! line; stale entries fail the run so the allowlist cannot rot.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// How a rule's needles are matched against the blanked source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Needle {
+    /// A standalone identifier (neither preceded nor followed by an
+    /// identifier character).
+    Ident(&'static str),
+    /// A literal fragment, e.g. `".unwrap("`.
+    Fragment(&'static str),
+}
+
+impl Needle {
+    fn text(&self) -> &'static str {
+        match self {
+            Needle::Ident(t) | Needle::Fragment(t) => t,
+        }
+    }
+
+    fn matches_at(&self, hay: &[u8], at: usize) -> bool {
+        let text = self.text().as_bytes();
+        if let Needle::Ident(_) = self {
+            let ident = |b: u8| b == b'_' || b.is_ascii_alphanumeric();
+            if at > 0 && ident(hay[at - 1]) {
+                return false;
+            }
+            let end = at + text.len();
+            if end < hay.len() && ident(hay[end]) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// One lint rule: an id, the sources it applies to, and what it forbids.
+struct Rule {
+    id: &'static str,
+    summary: &'static str,
+    needles: &'static [Needle],
+    applies: fn(&str) -> bool,
+}
+
+/// Whether `path` (workspace-relative, `/`-separated) is a source file in
+/// a deterministic *result path*: protocol state machines, simulator,
+/// theory checkers, certifier, and the experiment harness.
+fn in_result_path(path: &str) -> bool {
+    [
+        "crates/core/src/",
+        "crates/sim/src/",
+        "crates/bench/src/",
+        "crates/rgraph/src/",
+        "crates/verify/src/",
+    ]
+    .iter()
+    .any(|prefix| path.starts_with(prefix))
+}
+
+/// Whether `path` may legally read the host clock: only files named
+/// `metrics.rs` (the designated metrics layers) and the Criterion shim,
+/// whose whole point is timing.
+fn wall_clock_scope(path: &str) -> bool {
+    let in_src =
+        path.starts_with("src/") || (path.starts_with("crates/") && path.contains("/src/"));
+    in_src && !path.ends_with("/metrics.rs") && !path.starts_with("crates/criterion-shim/")
+}
+
+/// Whether `path` holds protocol or certifier state-machine code, where a
+/// panic would take down a whole replay or sweep.
+fn protocol_scope(path: &str) -> bool {
+    path.starts_with("crates/core/src/")
+        || path.starts_with("crates/verify/src/")
+        || path == "crates/rgraph/src/replay.rs"
+}
+
+/// The rule catalog (documented in `docs/VERIFICATION.md`).
+const RULES: &[Rule] = &[
+    Rule {
+        id: "hash-collections",
+        summary: "hash-ordered collection in a deterministic result path; \
+                  use BTreeMap/BTreeSet or a Vec",
+        needles: &[Needle::Ident("HashMap"), Needle::Ident("HashSet")],
+        applies: in_result_path,
+    },
+    Rule {
+        id: "wall-clock",
+        summary: "host clock read outside the metrics layer; route timing \
+                  through rdt_sim::Stopwatch in a metrics.rs",
+        needles: &[Needle::Ident("Instant"), Needle::Ident("SystemTime")],
+        applies: wall_clock_scope,
+    },
+    Rule {
+        id: "protocol-unwrap",
+        summary: "unwrap/expect in protocol or certifier state-machine \
+                  code; propagate an error instead",
+        needles: &[Needle::Fragment(".unwrap("), Needle::Fragment(".expect(")],
+        applies: protocol_scope,
+    },
+    Rule {
+        id: "sweep-seed",
+        summary: "ad-hoc RNG seeding in sweep code; derive per-point seeds \
+                  with SimRng::derive_seed",
+        needles: &[Needle::Fragment("SimRng::seed(")],
+        applies: |path| path.starts_with("crates/bench/"),
+    },
+];
+
+/// Descriptions of every rule, for `rdt-lint --rules` and the docs test.
+pub fn rule_catalog() -> Vec<(&'static str, &'static str)> {
+    RULES.iter().map(|r| (r.id, r.summary)).collect()
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule that fired.
+    pub rule: &'static str,
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.snippet
+        )
+    }
+}
+
+/// Outcome of one lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Findings not covered by the allowlist (must be empty to pass).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Findings suppressed by an allowlist entry.
+    pub allowed: Vec<Diagnostic>,
+    /// Allowlist entries that matched nothing (also fail the run).
+    pub stale_allows: Vec<String>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// `true` iff the run passes: no diagnostics, no stale entries.
+    pub fn clean(&self) -> bool {
+        self.diagnostics.is_empty() && self.stale_allows.is_empty()
+    }
+
+    /// Human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for diag in &self.diagnostics {
+            out.push_str(&format!("{diag}\n"));
+        }
+        for stale in &self.stale_allows {
+            out.push_str(&format!(
+                "lint.allow: stale entry (matched nothing): {stale}\n"
+            ));
+        }
+        out.push_str(&format!(
+            "rdt-lint: {} file(s), {} finding(s), {} allowed, {} stale allow(s): {}\n",
+            self.files_scanned,
+            self.diagnostics.len(),
+            self.allowed.len(),
+            self.stale_allows.len(),
+            if self.clean() { "clean" } else { "FAILED" },
+        ));
+        out
+    }
+}
+
+/// Blanks comments, string/char literals, and `#[cfg(test)]` items so the
+/// rule needles only see production tokens. Newlines are preserved so
+/// line numbers survive.
+fn blank_source(source: &str) -> String {
+    let bytes = source.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut i = 0;
+    let blank = |out: &mut Vec<u8>, from: usize, to: usize| {
+        for b in &mut out[from..to] {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+    };
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                blank(&mut out, start, i);
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                blank(&mut out, start, i);
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    i += if bytes[i] == b'\\' { 2 } else { 1 };
+                }
+                i = (i + 1).min(bytes.len());
+                blank(&mut out, start, i);
+            }
+            b'r' if matches!(bytes.get(i + 1), Some(b'"' | b'#')) => {
+                // Raw string r"..." / r#"..."# (any hash depth).
+                let start = i;
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while bytes.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if bytes.get(j) == Some(&b'"') {
+                    j += 1;
+                    'scan: while j < bytes.len() {
+                        if bytes[j] == b'"' {
+                            let mut k = 0;
+                            while k < hashes && bytes.get(j + 1 + k) == Some(&b'#') {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                j += 1 + hashes;
+                                break 'scan;
+                            }
+                        }
+                        j += 1;
+                    }
+                    blank(&mut out, start, j);
+                    i = j;
+                } else {
+                    i += 1; // plain identifier starting with r
+                }
+            }
+            b'\'' => {
+                // Char literal or lifetime. A lifetime ('a) has no closing
+                // quote within a couple of bytes; a char literal does.
+                let close = if bytes.get(i + 1) == Some(&b'\\') {
+                    bytes[i + 2..]
+                        .iter()
+                        .position(|&b| b == b'\'')
+                        .map(|p| i + 2 + p)
+                } else if bytes.get(i + 2) == Some(&b'\'') {
+                    Some(i + 2)
+                } else {
+                    None
+                };
+                match close {
+                    Some(end) => {
+                        blank(&mut out, i, end + 1);
+                        i = end + 1;
+                    }
+                    None => i += 1, // lifetime
+                }
+            }
+            _ => i += 1,
+        }
+    }
+
+    // Blank `#[cfg(test)]`-gated items (modules or single functions): from
+    // the attribute to the end of the item's brace block.
+    let text = String::from_utf8_lossy(&out).into_owned();
+    let mut out = text.clone().into_bytes();
+    let mut search_from = 0;
+    while let Some(found) = text[search_from..].find("#[cfg(test)]") {
+        let attr_at = search_from + found;
+        let Some(open_rel) = text[attr_at..].find('{') else {
+            break;
+        };
+        let mut depth = 0usize;
+        let mut end = text.len();
+        for (offset, b) in text[attr_at + open_rel..].bytes().enumerate() {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = attr_at + open_rel + offset + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        for b in &mut out[attr_at..end] {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+        search_from = end;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Scans one file's already-blanked source with every applicable rule.
+fn scan_file(path: &str, blanked: &str, diagnostics: &mut Vec<Diagnostic>) {
+    let original_lines: Vec<&str> = blanked.lines().collect();
+    for rule in RULES {
+        if !(rule.applies)(path) {
+            continue;
+        }
+        for needle in rule.needles {
+            let hay = blanked.as_bytes();
+            let mut from = 0;
+            while let Some(found) = blanked[from..].find(needle.text()) {
+                let at = from + found;
+                from = at + 1;
+                if !needle.matches_at(hay, at) {
+                    continue;
+                }
+                let line = blanked[..at].bytes().filter(|&b| b == b'\n').count() + 1;
+                diagnostics.push(Diagnostic {
+                    rule: rule.id,
+                    path: path.to_string(),
+                    line,
+                    snippet: original_lines
+                        .get(line - 1)
+                        .map_or(String::new(), |l| l.trim().to_string()),
+                });
+            }
+        }
+    }
+}
+
+/// Collects every `.rs` file under `root`, skipping `target` and
+/// dot-directories, in sorted (deterministic) order.
+fn collect_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries =
+            fs::read_dir(&dir).map_err(|e| format!("lint: cannot read {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("lint: {e}"))?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name != "target" && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Parses `lint.allow`: one `rule-id path` pair per line, `#` comments.
+fn parse_allowlist(text: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some(rule), Some(path), None) => out.push((rule.to_string(), path.to_string())),
+            _ => {
+                return Err(format!(
+                    "lint.allow:{}: expected \"rule-id path\", got {raw:?}",
+                    lineno + 1
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Runs the lint over the workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Returns a message if sources or the allowlist cannot be read.
+pub fn run_lint(root: &Path) -> Result<LintReport, String> {
+    let mut report = LintReport::default();
+    let mut diagnostics = Vec::new();
+    for path in collect_sources(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .map_err(|_| format!("lint: {} escapes the root", path.display()))?
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source =
+            fs::read_to_string(&path).map_err(|e| format!("lint: {}: {e}", path.display()))?;
+        report.files_scanned += 1;
+        scan_file(&rel, &blank_source(&source), &mut diagnostics);
+    }
+    diagnostics.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+
+    let allow_path = root.join("lint.allow");
+    let allows = if allow_path.exists() {
+        let text = fs::read_to_string(&allow_path).map_err(|e| format!("lint.allow: {e}"))?;
+        parse_allowlist(&text)?
+    } else {
+        Vec::new()
+    };
+    let mut allow_hits: BTreeMap<usize, usize> = BTreeMap::new();
+    for diag in diagnostics {
+        let hit = allows
+            .iter()
+            .position(|(rule, path)| *rule == diag.rule && *path == diag.path);
+        match hit {
+            Some(index) => {
+                *allow_hits.entry(index).or_insert(0) += 1;
+                report.allowed.push(diag);
+            }
+            None => report.diagnostics.push(diag),
+        }
+    }
+    for (index, (rule, path)) in allows.iter().enumerate() {
+        if !allow_hits.contains_key(&index) {
+            report.stale_allows.push(format!("{rule} {path}"));
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanking_strips_comments_strings_and_tests() {
+        let source = r##"
+// HashMap in a comment
+fn f() {
+    let s = "HashMap in a string";
+    let r = r#"HashMap raw"#;
+    let c = '"';
+}
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap; // real, but test-only
+}
+"##;
+        let blanked = blank_source(source);
+        assert!(!blanked.contains("HashMap"), "{blanked}");
+        assert_eq!(blanked.lines().count(), source.lines().count());
+    }
+
+    #[test]
+    fn ident_needles_respect_token_boundaries() {
+        let mut diags = Vec::new();
+        scan_file(
+            "crates/core/src/x.rs",
+            "type MyHashMapLike = (); use std::collections::HashMap;",
+            &mut diags,
+        );
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "hash-collections");
+    }
+
+    #[test]
+    fn rules_scope_by_path() {
+        let mut diags = Vec::new();
+        // workloads is not a result path: HashMap allowed there.
+        scan_file("crates/workloads/src/x.rs", "HashMap", &mut diags);
+        assert!(diags.is_empty());
+        // metrics.rs may read the clock; its siblings may not.
+        scan_file("crates/sim/src/metrics.rs", "Instant::now()", &mut diags);
+        assert!(diags.is_empty());
+        scan_file("crates/sim/src/engine.rs", "Instant::now()", &mut diags);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "wall-clock");
+    }
+
+    #[test]
+    fn unwrap_rule_hits_protocol_code_only() {
+        let mut diags = Vec::new();
+        scan_file("crates/core/src/bhmr.rs", "x.unwrap();", &mut diags);
+        scan_file("crates/bench/src/parallel.rs", "x.unwrap();", &mut diags);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].path, "crates/core/src/bhmr.rs");
+    }
+
+    #[test]
+    fn allowlist_parses_and_rejects_garbage() {
+        let allows = parse_allowlist("# comment\nwall-clock src/x.rs # reason\n\n").unwrap();
+        assert_eq!(allows, vec![("wall-clock".into(), "src/x.rs".into())]);
+        assert!(parse_allowlist("too many fields here").is_err());
+    }
+
+    #[test]
+    fn catalog_is_nonempty_and_unique() {
+        let catalog = rule_catalog();
+        assert_eq!(catalog.len(), 4);
+        let mut ids: Vec<_> = catalog.iter().map(|(id, _)| id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
+    }
+}

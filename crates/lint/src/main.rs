@@ -1,0 +1,60 @@
+//! `rdt-lint`: run the workspace determinism lint from the command line.
+//!
+//! ```text
+//! rdt-lint [--root DIR] [--rules]
+//! ```
+//!
+//! Exits 0 iff the workspace is clean (no findings outside `lint.allow`,
+//! no stale allowlist entries).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // The binary lives in crates/lint; the workspace root is two up.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn main() -> ExitCode {
+    let mut root = workspace_root();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("rdt-lint: --root needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--rules" => {
+                for (id, summary) in rdt_lint::rule_catalog() {
+                    println!("{id}: {summary}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: rdt-lint [--root DIR] [--rules]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("rdt-lint: unknown argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match rdt_lint::run_lint(&root) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

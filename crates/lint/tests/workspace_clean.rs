@@ -1,0 +1,16 @@
+//! The workspace must pass its own lint — this is the same check CI's
+//! `lint` job runs via the `rdt-lint` binary.
+
+use std::path::PathBuf;
+
+#[test]
+fn workspace_passes_rdt_lint() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = rdt_lint::run_lint(&root).expect("lint run");
+    assert!(
+        report.files_scanned > 50,
+        "scanned only {}",
+        report.files_scanned
+    );
+    assert!(report.clean(), "\n{}", report.render());
+}

@@ -52,7 +52,10 @@ pub fn undoubled_chains_with(analysis: &PatternAnalysis) -> Vec<UndoubledChain> 
     let pattern = analysis.pattern();
     let zz = analysis.zigzag();
     let mut out = Vec::new();
-    let mut seen = std::collections::HashSet::new();
+    // BTreeSet, not HashSet: `out` is built in iteration order, and result
+    // paths must not depend on hash-order (the `hash-collections` lint
+    // rule keeps it that way).
+    let mut seen = std::collections::BTreeSet::new();
     for &a in zz.delivered_messages() {
         let from_iv = pattern.send_interval(a);
         let from = CheckpointId::new(from_iv.process, from_iv.index);

@@ -164,8 +164,14 @@ impl<'a> Replay<'a> {
                     message_tdv[m.0] = Some(tdvs[i].clone());
                 }
                 PatternEvent::Deliver(m) => {
-                    let vc = message_vc[m.0].take().expect("linearize puts sends first");
-                    let tdv = message_tdv[m.0].take().expect("linearize puts sends first");
+                    // A linearization always schedules a send before its
+                    // delivery; a missing piggyback means the order was
+                    // not a linearization, i.e. the pattern admits no
+                    // execution — report that instead of panicking.
+                    let (Some(vc), Some(tdv)) = (message_vc[m.0].take(), message_tdv[m.0].take())
+                    else {
+                        return Err(PatternError::Unrealizable);
+                    };
                     vcs[i].merge_max(&vc);
                     vcs[i].tick(process);
                     tdvs[i].merge_max(&tdv);

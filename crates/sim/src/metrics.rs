@@ -1,8 +1,42 @@
-//! Post-run trace analysis: distributions behind the aggregate counters.
+//! Post-run trace analysis: distributions behind the aggregate counters,
+//! plus the workspace's one sanctioned wall-clock reader ([`Stopwatch`]).
+
+use std::time::{Duration, Instant};
 
 use rdt_core::CheckpointKind;
 
 use crate::{SimTime, Trace, TraceEvent};
+
+/// Wall-clock phase timer: the single place simulation and benchmark code
+/// is allowed to read the host clock.
+///
+/// Everything outside the metrics layer must stay a pure function of its
+/// inputs (the `rdt-lint` `wall-clock` rule enforces this), so throughput
+/// reporting and progress lines obtain elapsed time through a `Stopwatch`
+/// instead of calling [`Instant::now`] inline.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Time elapsed since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Elapsed time in (fractional) seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+}
 
 /// Summary statistics of a sample of `u64` values.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]

@@ -1,0 +1,580 @@
+//! The certifier: replays every protocol over every enumerated pattern
+//! and checks the outcomes against the offline theory.
+//!
+//! Per (canonical realizable schedule × protocol) the certifier checks:
+//!
+//! 1. **RDT conformance** — the three offline characterizations (R-path
+//!    trackability, doubled message chains, doubled causal-message
+//!    paths) are evaluated on the replayed pattern; they must agree with
+//!    each other on *every* pattern, and must all hold for protocols
+//!    that claim RDT.
+//! 2. **Predicate conformance** — the protocol's forcing decisions match
+//!    an independent re-evaluation of its predicate
+//!    (see [`crate::replay`]).
+//! 3. **Global-checkpoint oracles** — for every checkpoint the protocol
+//!    took, the orphan-fixpoint minimum consistent global checkpoint
+//!    equals the R-graph-reachability one; minimum and maximum agree on
+//!    existence and are ordered; and for RDT dependency-tracking
+//!    protocols the `TDV` saved with the checkpoint *is* that minimum
+//!    (Corollary 4.5).
+//!
+//! Any failed check is a [`Counterexample`] carrying the schedule that
+//! reproduces it. The deliberately weakened BHMR variant must produce
+//! counterexamples — the report records that expectation separately so a
+//! certifier that has gone blind fails loudly.
+
+use rdt_json::{Json, ToJson};
+use rdt_rgraph::characterization::{all_chains_doubled_with, all_cm_paths_doubled_with};
+use rdt_rgraph::{min_max, PatternAnalysis};
+use rdt_sim::parallel_map_indexed;
+
+use crate::enumerate::{
+    enumerate_layouts, permutations, visit_layout, EnumerationCounts, Schedule,
+};
+use crate::replay::CertProtocol;
+use crate::Scope;
+
+/// One failed check, with everything needed to reproduce it by hand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// Protocol the check failed for.
+    pub protocol: &'static str,
+    /// Failed check, as a stable slug (e.g. `"rdt-violation"`).
+    pub kind: &'static str,
+    /// The schedule, rendered (see [`Schedule::render`]).
+    pub schedule: String,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl ToJson for Counterexample {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("protocol", Json::Str(self.protocol.to_string())),
+            ("kind", Json::Str(self.kind.to_string())),
+            ("schedule", Json::Str(self.schedule.clone())),
+            ("detail", Json::Str(self.detail.clone())),
+        ])
+    }
+}
+
+/// Per-protocol tallies, merged across workers in deterministic order.
+#[derive(Debug, Default, Clone)]
+struct ProtocolTally {
+    patterns: u64,
+    rdt_violations: u64,
+    predicate_mismatches: u64,
+    gc_checks: u64,
+    counterexample_total: u64,
+    counterexamples: Vec<Counterexample>,
+}
+
+impl ProtocolTally {
+    fn note(
+        &mut self,
+        max_kept: usize,
+        protocol: &CertProtocol,
+        kind: &'static str,
+        schedule: &Schedule,
+        detail: String,
+    ) {
+        self.counterexample_total += 1;
+        if self.counterexamples.len() < max_kept {
+            self.counterexamples.push(Counterexample {
+                protocol: protocol.name(),
+                kind,
+                schedule: schedule.render(),
+                detail,
+            });
+        }
+    }
+
+    fn absorb(&mut self, other: ProtocolTally, max_kept: usize) {
+        self.patterns += other.patterns;
+        self.rdt_violations += other.rdt_violations;
+        self.predicate_mismatches += other.predicate_mismatches;
+        self.gc_checks += other.gc_checks;
+        self.counterexample_total += other.counterexample_total;
+        for cex in other.counterexamples {
+            if self.counterexamples.len() < max_kept {
+                self.counterexamples.push(cex);
+            }
+        }
+    }
+}
+
+/// Certification options.
+#[derive(Debug, Clone)]
+pub struct CertifyOptions {
+    /// Worker threads; `0` resolves to the machine's available
+    /// parallelism. The report is byte-identical for every thread count.
+    pub threads: usize,
+    /// Protocols to certify (default: every shipped protocol plus the
+    /// weakened BHMR control).
+    pub protocols: Vec<CertProtocol>,
+    /// Counterexamples *kept* per protocol (all are counted).
+    pub max_counterexamples: usize,
+}
+
+impl Default for CertifyOptions {
+    fn default() -> Self {
+        CertifyOptions {
+            threads: 0,
+            protocols: CertProtocol::default_set(),
+            max_counterexamples: 8,
+        }
+    }
+}
+
+/// Per-protocol section of a [`CertifyReport`].
+#[derive(Debug, Clone)]
+pub struct ProtocolReport {
+    /// Protocol name.
+    pub name: &'static str,
+    /// Whether the protocol claims RDT.
+    pub claims_rdt: bool,
+    /// Whether a clean report is expected (false only for the weakened
+    /// control).
+    pub expected_clean: bool,
+    /// Patterns replayed.
+    pub patterns: u64,
+    /// Replayed patterns violating RDT (counterexamples iff claiming).
+    pub rdt_violations: u64,
+    /// Forcing-predicate disagreements with the independent oracle.
+    pub predicate_mismatches: u64,
+    /// Checkpoints put through the min/max consistent-GC oracles.
+    pub gc_checks: u64,
+    /// Total failed checks (also counts dropped counterexamples).
+    pub counterexample_total: u64,
+    /// Kept counterexamples, at most `max_counterexamples`.
+    pub counterexamples: Vec<Counterexample>,
+}
+
+impl ToJson for ProtocolReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::Str(self.name.to_string())),
+            ("claims_rdt", Json::Bool(self.claims_rdt)),
+            ("expected_clean", Json::Bool(self.expected_clean)),
+            ("patterns", Json::U64(self.patterns)),
+            ("rdt_violations", Json::U64(self.rdt_violations)),
+            ("predicate_mismatches", Json::U64(self.predicate_mismatches)),
+            ("gc_checks", Json::U64(self.gc_checks)),
+            ("counterexample_total", Json::U64(self.counterexample_total)),
+            ("counterexamples", self.counterexamples.to_json()),
+        ])
+    }
+}
+
+/// The certification verdict over one scope.
+#[derive(Debug, Clone)]
+pub struct CertifyReport {
+    /// The exhaustively covered scope.
+    pub scope: Scope,
+    /// Enumeration tallies (shared by all protocols).
+    pub counts: EnumerationCounts,
+    /// Per-protocol results, in [`CertifyOptions::protocols`] order.
+    pub protocols: Vec<ProtocolReport>,
+}
+
+impl CertifyReport {
+    /// `true` iff every protocol expected to be clean has zero failed
+    /// checks **and** every protocol expected to be caught (the weakened
+    /// control) produced at least one counterexample. Note the second
+    /// half only binds at scopes large enough for `C1` to matter
+    /// (`n >= 3`, `m >= 2`); below that the control is vacuously
+    /// indistinguishable and exempt.
+    pub fn certified_ok(&self) -> bool {
+        let control_binds = self.scope.processes >= 3 && self.scope.messages >= 2;
+        self.protocols.iter().all(|p| {
+            if p.expected_clean {
+                p.counterexample_total == 0
+            } else {
+                !control_binds || p.counterexample_total > 0
+            }
+        })
+    }
+
+    /// The per-protocol section for `name`, if certified.
+    pub fn protocol(&self, name: &str) -> Option<&ProtocolReport> {
+        self.protocols.iter().find(|p| p.name == name)
+    }
+
+    /// Multi-line human-readable rendering.
+    pub fn render(&self) -> String {
+        let c = &self.counts;
+        let mut out = format!(
+            "scope {}: {} structures, {} canonical ({} pruned by symmetry), \
+             {} unrealizable, {} patterns replayed\n",
+            self.scope, c.structures, c.canonical, c.pruned_symmetry, c.unrealizable, c.replayable,
+        );
+        let control_binds = self.scope.processes >= 3 && self.scope.messages >= 2;
+        for p in &self.protocols {
+            let verdict = if p.counterexample_total == 0 {
+                if p.expected_clean {
+                    "ok".to_string()
+                } else if control_binds {
+                    "MISSED (control produced no counterexample)".to_string()
+                } else {
+                    "control not binding at this scope (needs n>=3, m>=2)".to_string()
+                }
+            } else if p.expected_clean {
+                format!("FAILED ({} counterexamples)", p.counterexample_total)
+            } else {
+                format!(
+                    "caught as expected ({} counterexamples)",
+                    p.counterexample_total
+                )
+            };
+            out.push_str(&format!(
+                "  {:14} claims_rdt={:5} rdt_violations={:6} predicate_mismatches={} gc_checks={:6}  {}\n",
+                p.name, p.claims_rdt, p.rdt_violations, p.predicate_mismatches, p.gc_checks, verdict,
+            ));
+            for cex in &p.counterexamples {
+                out.push_str(&format!(
+                    "    [{}] {}: {}\n",
+                    cex.kind, cex.schedule, cex.detail
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "verdict: {}\n",
+            if self.certified_ok() {
+                "CERTIFIED"
+            } else {
+                "NOT CERTIFIED"
+            }
+        ));
+        out
+    }
+}
+
+impl ToJson for CertifyReport {
+    fn to_json(&self) -> Json {
+        let c = &self.counts;
+        Json::obj([
+            ("scope", Json::Str(self.scope.to_string())),
+            ("processes", Json::U64(self.scope.processes as u64)),
+            ("messages", Json::U64(self.scope.messages as u64)),
+            ("basics", Json::U64(self.scope.basics as u64)),
+            ("enumerated", Json::U64(c.structures)),
+            ("canonical", Json::U64(c.canonical)),
+            ("pruned_symmetry", Json::U64(c.pruned_symmetry)),
+            ("unrealizable", Json::U64(c.unrealizable)),
+            ("replayed", Json::U64(c.replayable)),
+            ("certified_ok", Json::Bool(self.certified_ok())),
+            ("protocols", self.protocols.to_json()),
+        ])
+    }
+}
+
+/// Runs one protocol over one schedule and records every failed check.
+fn certify_schedule(
+    protocol: &CertProtocol,
+    schedule: &Schedule,
+    tally: &mut ProtocolTally,
+    max_kept: usize,
+) {
+    let run = match protocol.replay(schedule) {
+        Ok(run) => run,
+        Err(err) => {
+            tally.note(
+                max_kept,
+                protocol,
+                "replay-error",
+                schedule,
+                format!("{err:?}"),
+            );
+            return;
+        }
+    };
+    tally.patterns += 1;
+    tally.predicate_mismatches += run.predicate_mismatches.len() as u64;
+    for mismatch in &run.predicate_mismatches {
+        tally.note(
+            max_kept,
+            protocol,
+            "predicate-mismatch",
+            schedule,
+            format!(
+                "event {}: oracle says force={}, protocol forced={}",
+                mismatch.event_index, mismatch.oracle_forces, mismatch.protocol_forced
+            ),
+        );
+    }
+
+    let analysis = PatternAnalysis::new(&run.pattern);
+    let rdt = match analysis.try_rdt_report() {
+        Ok(report) => report,
+        Err(err) => {
+            tally.note(
+                max_kept,
+                protocol,
+                "unrealizable-replay",
+                schedule,
+                format!("{err:?}"),
+            );
+            return;
+        }
+    };
+    let rpaths_ok = rdt.holds();
+    let chains_ok = all_chains_doubled_with(&analysis);
+    let cm_ok = all_cm_paths_doubled_with(&analysis);
+    if rpaths_ok != chains_ok || rpaths_ok != cm_ok {
+        tally.note(
+            max_kept,
+            protocol,
+            "characterization-disagreement",
+            schedule,
+            format!("r-paths={rpaths_ok} chains={chains_ok} cm-paths={cm_ok}"),
+        );
+    }
+    if !rpaths_ok {
+        tally.rdt_violations += 1;
+        if protocol.claims_rdt() {
+            tally.note(
+                max_kept,
+                protocol,
+                "rdt-violation",
+                schedule,
+                format!("{} untrackable R-path(s)", rdt.violations().len()),
+            );
+        }
+    }
+
+    // Global-checkpoint oracles, per protocol-reported checkpoint, on the
+    // closed pattern the analysis holds.
+    let closed = analysis.pattern();
+    for record in &run.records {
+        if record.id.index > closed.last_checkpoint_index(record.id.process) {
+            tally.note(
+                max_kept,
+                protocol,
+                "missing-checkpoint",
+                schedule,
+                format!("protocol reported {} beyond the pattern", record.id),
+            );
+            continue;
+        }
+        tally.gc_checks += 1;
+        let members = [record.id];
+        let fixpoint = min_max::min_consistent_containing(closed, &members);
+        let via_rgraph = min_max::min_consistent_via_rgraph_with(&analysis, &members);
+        if fixpoint != via_rgraph {
+            tally.note(
+                max_kept,
+                protocol,
+                "min-gc-oracle-disagreement",
+                schedule,
+                format!(
+                    "{}: fixpoint {fixpoint:?} != r-graph {via_rgraph:?}",
+                    record.id
+                ),
+            );
+            continue;
+        }
+        let maximum = min_max::max_consistent_containing(closed, &members);
+        match (&fixpoint, &maximum) {
+            (Some(lo), Some(hi)) => {
+                if !lo.le(hi) {
+                    tally.note(
+                        max_kept,
+                        protocol,
+                        "min-above-max",
+                        schedule,
+                        format!("{}: min {lo} > max {hi}", record.id),
+                    );
+                }
+            }
+            (None, None) => {}
+            (lo, hi) => tally.note(
+                max_kept,
+                protocol,
+                "min-max-existence-disagreement",
+                schedule,
+                format!("{}: min {lo:?}, max {hi:?}", record.id),
+            ),
+        }
+        if protocol.claims_rdt() && fixpoint.is_none() {
+            tally.note(
+                max_kept,
+                protocol,
+                "useless-checkpoint",
+                schedule,
+                format!("{} is on a Z-cycle", record.id),
+            );
+        }
+        if protocol.check_reported_min_gc() {
+            if let Some(reported) = &record.min_consistent_gc {
+                let matches = fixpoint
+                    .as_ref()
+                    .is_some_and(|gc| gc.as_slice() == reported.as_slice());
+                if !matches {
+                    tally.note(
+                        max_kept,
+                        protocol,
+                        "tdv-min-gc-mismatch",
+                        schedule,
+                        format!(
+                            "{}: saved TDV {:?}, oracle min {:?} (Corollary 4.5)",
+                            record.id,
+                            reported,
+                            fixpoint.as_ref().map(|gc| gc.as_slice())
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Exhaustively certifies `options.protocols` over `scope`.
+///
+/// Layouts are the parallel work units, fanned out over the work-stealing
+/// engine; per-layout tallies are merged in layout order, so the report
+/// is identical for every thread count.
+pub fn certify(scope: &Scope, options: &CertifyOptions) -> CertifyReport {
+    let threads = if options.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        options.threads
+    };
+    let layouts = enumerate_layouts(scope);
+    let perms = permutations(scope.processes);
+    let protocols = &options.protocols;
+    let max_kept = options.max_counterexamples;
+
+    let per_layout = parallel_map_indexed(
+        &layouts,
+        threads,
+        || (),
+        |_, _, layout| {
+            let mut tallies = vec![ProtocolTally::default(); protocols.len()];
+            let counts = visit_layout(layout, &perms, &mut |schedule| {
+                for (protocol, tally) in protocols.iter().zip(tallies.iter_mut()) {
+                    certify_schedule(protocol, schedule, tally, max_kept);
+                }
+            });
+            (counts, tallies)
+        },
+        |_| {},
+    );
+
+    let mut counts = EnumerationCounts::default();
+    let mut merged = vec![ProtocolTally::default(); protocols.len()];
+    for (layout_counts, tallies) in per_layout {
+        counts.absorb(&layout_counts);
+        for (into, tally) in merged.iter_mut().zip(tallies) {
+            into.absorb(tally, max_kept);
+        }
+    }
+
+    let protocols = protocols
+        .iter()
+        .zip(merged)
+        .map(|(protocol, tally)| ProtocolReport {
+            name: protocol.name(),
+            claims_rdt: protocol.claims_rdt(),
+            expected_clean: protocol.expected_clean(),
+            patterns: tally.patterns,
+            rdt_violations: tally.rdt_violations,
+            predicate_mismatches: tally.predicate_mismatches,
+            gc_checks: tally.gc_checks,
+            counterexample_total: tally.counterexample_total,
+            counterexamples: tally.counterexamples,
+        })
+        .collect();
+
+    CertifyReport {
+        scope: *scope,
+        counts,
+        protocols,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(scope: Scope, threads: usize) -> CertifyReport {
+        let options = CertifyOptions {
+            threads,
+            ..CertifyOptions::default()
+        };
+        certify(&scope, &options)
+    }
+
+    #[test]
+    fn tiny_scope_certifies_cleanly() {
+        let report = quick(Scope::tiny(), 1);
+        for p in &report.protocols {
+            assert_eq!(
+                p.counterexample_total, 0,
+                "{}: {:?}",
+                p.name, p.counterexamples
+            );
+        }
+        // n=2: the weakened control is exempt, so the verdict is clean.
+        assert!(report.certified_ok(), "{}", report.render());
+    }
+
+    #[test]
+    fn weakened_control_is_caught_at_three_processes() {
+        let scope = Scope::with_basics(3, 2, 0).unwrap();
+        let report = quick(scope, 2);
+        let weak = report
+            .protocol("bhmr-c2only")
+            .expect("control in default set");
+        assert!(weak.counterexample_total > 0, "{}", report.render());
+        assert!(weak.rdt_violations > 0);
+        assert!(weak
+            .counterexamples
+            .iter()
+            .any(|cex| cex.kind == "rdt-violation"));
+        let full = report.protocol("bhmr").expect("bhmr in default set");
+        assert_eq!(full.counterexample_total, 0, "{:?}", full.counterexamples);
+        assert!(report.certified_ok(), "{}", report.render());
+    }
+
+    #[test]
+    fn non_claiming_protocols_violate_without_counterexamples() {
+        let scope = Scope::with_basics(3, 2, 0).unwrap();
+        let report = quick(scope, 2);
+        let unco = report.protocol("uncoordinated").expect("in default set");
+        assert!(unco.rdt_violations > 0, "{}", report.render());
+        assert_eq!(unco.counterexample_total, 0);
+    }
+
+    #[test]
+    fn report_is_identical_for_every_thread_count() {
+        let scope = Scope::with_basics(3, 2, 1).unwrap();
+        let options = CertifyOptions {
+            threads: 1,
+            protocols: vec![
+                crate::CertProtocol::Kind(rdt_core::ProtocolKind::Bhmr),
+                crate::CertProtocol::WeakenedBhmrC2Only,
+            ],
+            max_counterexamples: 4,
+        };
+        let one = certify(&scope, &options).to_json().pretty();
+        for threads in [2, 5, 8] {
+            let many = certify(
+                &scope,
+                &CertifyOptions {
+                    threads,
+                    ..options.clone()
+                },
+            )
+            .to_json()
+            .pretty();
+            assert_eq!(one, many, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn gc_oracles_run_on_protocol_checkpoints() {
+        let report = quick(Scope::tiny(), 1);
+        let fdi = report.protocol("fdi").expect("fdi in default set");
+        assert!(fdi.gc_checks > 0);
+    }
+}

@@ -1,0 +1,368 @@
+//! Replays online protocols over enumerated schedules.
+//!
+//! The driver walks a [`Schedule`] event by event, feeding one protocol
+//! state machine per process, and records the *resulting* pattern —
+//! enumerated basic checkpoints plus whatever checkpoints the protocol
+//! forces. Alongside, every arrival is cross-checked against an
+//! *independent predicate oracle*: a re-implementation of the protocol's
+//! forcing predicate written against the protocol's public accessors
+//! only, so a bug in the protocol's internal short-circuiting (or in the
+//! oracle) surfaces as a [`PredicateMismatch`].
+
+use rdt_causality::ProcessId;
+use rdt_core::{
+    Bcs, Bhmr, BhmrCausalOnly, BhmrNoSimple, BhmrPiggyback, Cas, CausalOnlyPiggyback, Cbr,
+    CheckpointRecord, CicProtocol, Fdas, Fdi, NoSimplePiggyback, Nras, ProtocolKind, TdvPiggyback,
+    Uncoordinated,
+};
+use rdt_rgraph::{Pattern, PatternBuilder, PatternError};
+
+use crate::enumerate::{DriverEvent, Schedule};
+
+/// One disagreement between a protocol's forcing decision and the
+/// independent predicate oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredicateMismatch {
+    /// Index of the delivery event in the schedule.
+    pub event_index: usize,
+    /// The delivering process.
+    pub process: usize,
+    /// What the oracle says the predicate evaluates to.
+    pub oracle_forces: bool,
+    /// What the protocol actually did.
+    pub protocol_forced: bool,
+}
+
+/// Outcome of replaying one protocol over one schedule.
+#[derive(Debug)]
+pub struct ReplayedRun {
+    /// The checkpoint-and-communication pattern the protocol produced
+    /// (not yet closed; analyses close it).
+    pub pattern: Pattern,
+    /// Every checkpoint the protocol reported, in event order.
+    pub records: Vec<CheckpointRecord>,
+    /// Forcing-predicate disagreements (empty unless a protocol or
+    /// oracle is buggy).
+    pub predicate_mismatches: Vec<PredicateMismatch>,
+}
+
+/// Replays `schedule` over one protocol instance per process.
+///
+/// `oracle` re-evaluates the forcing predicate from the receiver's public
+/// state *before* the arrival mutates it; returning `None` skips the
+/// conformance check (protocols whose predicate reads private-only state).
+///
+/// # Errors
+///
+/// Returns an error if the produced pattern is invalid — impossible for
+/// enumerator-produced schedules, but propagated rather than unwrapped.
+pub fn replay_protocol<P: CicProtocol>(
+    schedule: &Schedule,
+    make: impl Fn(usize, ProcessId) -> P,
+    oracle: impl Fn(&P, ProcessId, &P::Piggyback) -> Option<bool>,
+) -> Result<ReplayedRun, PatternError> {
+    let n = schedule.n;
+    let mut procs: Vec<P> = (0..n).map(|i| make(n, ProcessId::new(i))).collect();
+    let mut builder = PatternBuilder::new(n);
+    let mut piggybacks: Vec<P::Piggyback> = Vec::with_capacity(schedule.messages.len());
+    let mut mids = Vec::with_capacity(schedule.messages.len());
+    let mut records = Vec::new();
+    let mut predicate_mismatches = Vec::new();
+
+    for (event_index, event) in schedule.events.iter().enumerate() {
+        match *event {
+            DriverEvent::Basic { process } => {
+                records.push(procs[process].take_basic_checkpoint());
+                builder.checkpoint(ProcessId::new(process));
+            }
+            DriverEvent::Send { from, to, .. } => {
+                let outcome = procs[from].before_send(ProcessId::new(to));
+                piggybacks.push(outcome.piggyback);
+                mids.push(builder.send(ProcessId::new(from), ProcessId::new(to)));
+                // Checkpoint-after-send protocols checkpoint *after* the
+                // send event.
+                if let Some(record) = outcome.forced_after {
+                    records.push(record);
+                    builder.checkpoint(ProcessId::new(from));
+                }
+            }
+            DriverEvent::Deliver { to, message } => {
+                let (from, _) = schedule.messages[message];
+                let sender = ProcessId::new(from);
+                let expected = oracle(&procs[to], sender, &piggybacks[message]);
+                let outcome = procs[to].on_message_arrival(sender, &piggybacks[message]);
+                let forced = outcome.was_forced();
+                // A forced checkpoint precedes the delivery event.
+                if let Some(record) = outcome.forced {
+                    records.push(record);
+                    builder.checkpoint(ProcessId::new(to));
+                }
+                builder.deliver(mids[message])?;
+                if let Some(oracle_forces) = expected {
+                    if oracle_forces != forced {
+                        predicate_mismatches.push(PredicateMismatch {
+                            event_index,
+                            process: to,
+                            oracle_forces,
+                            protocol_forced: forced,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(ReplayedRun {
+        pattern: builder.build()?,
+        records,
+        predicate_mismatches,
+    })
+}
+
+/// The forcing predicate of full BHMR, recomputed from public accessors:
+/// `C1 ∨ C2` (§4 of the paper), or `C2` alone for the deliberately
+/// weakened variant ([`Bhmr::weakened_c2_only`]).
+fn bhmr_oracle(p: &Bhmr, _sender: ProcessId, pb: &BhmrPiggyback) -> Option<bool> {
+    let me = p.process();
+    let procs = || (0..p.num_processes()).map(ProcessId::new);
+    let c1 = procs().any(|j| {
+        p.sent_to().get(j)
+            && procs().any(|k| pb.tdv.get(k) > p.tdv().get(k) && !pb.causal.get(k, j))
+    });
+    let c2 = pb.tdv.get(me) == p.tdv().current_interval() && !pb.simple.get(me);
+    Some(if p.uses_c1() { c1 || c2 } else { c2 })
+}
+
+/// BHMR-no-simple: `C1 ∨ C2'` with
+/// `C2': m.TDV[i] = TDV[i] ∧ ∃k: m.TDV[k] > TDV[k]`.
+fn no_simple_oracle(p: &BhmrNoSimple, _s: ProcessId, pb: &NoSimplePiggyback) -> Option<bool> {
+    let me = p.process();
+    let procs = || (0..p.num_processes()).map(ProcessId::new);
+    let fresh = |k: ProcessId| pb.tdv.get(k) > p.tdv().get(k);
+    let c1 =
+        procs().any(|j| p.sent_to().get(j) && procs().any(|k| fresh(k) && !pb.causal.get(k, j)));
+    let c2 = pb.tdv.get(me) == p.tdv().current_interval() && procs().any(fresh);
+    Some(c1 || c2)
+}
+
+/// BHMR-causal-only: `C1` with a `false` diagonal in the causal matrix
+/// (no `C2` at all — its RDT claim rests on the strengthened `C1`).
+fn causal_only_oracle(p: &BhmrCausalOnly, _s: ProcessId, pb: &CausalOnlyPiggyback) -> Option<bool> {
+    let procs = || (0..p.num_processes()).map(ProcessId::new);
+    let c1 = procs().any(|j| {
+        p.sent_to().get(j)
+            && procs().any(|k| pb.tdv.get(k) > p.tdv().get(k) && !pb.causal.get(k, j))
+    });
+    Some(c1)
+}
+
+/// FDAS: force iff a send happened since the last checkpoint and the
+/// piggyback carries a new dependency.
+fn fdas_oracle(p: &Fdas, _s: ProcessId, pb: &TdvPiggyback) -> Option<bool> {
+    let fresh = (0..p.num_processes())
+        .map(ProcessId::new)
+        .any(|k| pb.tdv.get(k) > p.tdv().get(k));
+    Some(p.after_first_send() && fresh)
+}
+
+/// FDI: force iff the piggyback carries a new dependency.
+fn fdi_oracle(p: &Fdi, _s: ProcessId, pb: &TdvPiggyback) -> Option<bool> {
+    let fresh = (0..p.num_processes())
+        .map(ProcessId::new)
+        .any(|k| pb.tdv.get(k) > p.tdv().get(k));
+    Some(fresh)
+}
+
+/// The protocols the certifier knows how to instantiate: every shipped
+/// [`ProtocolKind`] plus the deliberately weakened BHMR variant that the
+/// regression suite uses to prove the certifier can catch a broken
+/// forcing predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CertProtocol {
+    /// A shipped protocol.
+    Kind(ProtocolKind),
+    /// BHMR with `C1` disabled: claims RDT, does not ensure it. The
+    /// certifier must find counterexamples for this one — that it does is
+    /// itself certified (a meta-check on the checker).
+    WeakenedBhmrC2Only,
+}
+
+impl CertProtocol {
+    /// Every shipped protocol plus the weakened control, in report order.
+    pub fn default_set() -> Vec<CertProtocol> {
+        let mut set: Vec<CertProtocol> = ProtocolKind::all()
+            .iter()
+            .copied()
+            .map(CertProtocol::Kind)
+            .collect();
+        set.push(CertProtocol::WeakenedBhmrC2Only);
+        set
+    }
+
+    /// Stable report name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CertProtocol::Kind(kind) => kind.name(),
+            CertProtocol::WeakenedBhmrC2Only => "bhmr-c2only",
+        }
+    }
+
+    /// Whether the protocol claims to ensure RDT. RDT violations are
+    /// counterexamples exactly for claiming protocols. The weakened
+    /// variant *claims* (falsely) — that is the point of shipping it.
+    pub fn claims_rdt(&self) -> bool {
+        match self {
+            CertProtocol::Kind(kind) => kind.ensures_rdt(),
+            CertProtocol::WeakenedBhmrC2Only => true,
+        }
+    }
+
+    /// Whether the certifier expects a clean report: true for every
+    /// shipped protocol, false only for the weakened control (whose
+    /// counterexamples are expected and demanded).
+    pub fn expected_clean(&self) -> bool {
+        !matches!(self, CertProtocol::WeakenedBhmrC2Only)
+    }
+
+    /// Whether replayed checkpoints must carry
+    /// `min_consistent_gc = TDV` equal to the oracle-computed minimum
+    /// (Corollary 4.5 — sound only under an honest RDT claim).
+    pub fn check_reported_min_gc(&self) -> bool {
+        match self {
+            CertProtocol::Kind(kind) => kind.ensures_rdt() && kind.tracks_dependencies(),
+            CertProtocol::WeakenedBhmrC2Only => false,
+        }
+    }
+
+    /// Replays this protocol over `schedule`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pattern-construction failures (never for
+    /// enumerator-produced schedules).
+    pub fn replay(&self, schedule: &Schedule) -> Result<ReplayedRun, PatternError> {
+        // A fresh closure per call site: one binding would pin the
+        // protocol type at its first use.
+        macro_rules! no_oracle {
+            () => {
+                |_: &_, _: ProcessId, _: &_| None
+            };
+        }
+        match self {
+            CertProtocol::Kind(ProtocolKind::Bhmr) => {
+                replay_protocol(schedule, Bhmr::new, bhmr_oracle)
+            }
+            CertProtocol::WeakenedBhmrC2Only => {
+                replay_protocol(schedule, Bhmr::weakened_c2_only, bhmr_oracle)
+            }
+            CertProtocol::Kind(ProtocolKind::BhmrNoSimple) => {
+                replay_protocol(schedule, BhmrNoSimple::new, no_simple_oracle)
+            }
+            CertProtocol::Kind(ProtocolKind::BhmrCausalOnly) => {
+                replay_protocol(schedule, BhmrCausalOnly::new, causal_only_oracle)
+            }
+            CertProtocol::Kind(ProtocolKind::Fdas) => {
+                replay_protocol(schedule, Fdas::new, fdas_oracle)
+            }
+            CertProtocol::Kind(ProtocolKind::Fdi) => {
+                replay_protocol(schedule, Fdi::new, fdi_oracle)
+            }
+            CertProtocol::Kind(ProtocolKind::Bcs) => {
+                replay_protocol(schedule, Bcs::new, no_oracle!())
+            }
+            CertProtocol::Kind(ProtocolKind::Cbr) => {
+                replay_protocol(schedule, Cbr::new, no_oracle!())
+            }
+            CertProtocol::Kind(ProtocolKind::Cas) => {
+                replay_protocol(schedule, Cas::new, no_oracle!())
+            }
+            CertProtocol::Kind(ProtocolKind::Nras) => {
+                replay_protocol(schedule, Nras::new, no_oracle!())
+            }
+            CertProtocol::Kind(ProtocolKind::Uncoordinated) => {
+                replay_protocol(schedule, Uncoordinated::new, no_oracle!())
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for CertProtocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::enumerate_schedules;
+    use crate::Scope;
+    use rdt_rgraph::PatternAnalysis;
+
+    fn schedules(n: usize, m: usize, b: usize) -> Vec<Schedule> {
+        let scope = Scope::with_basics(n, m, b).unwrap();
+        let mut out = Vec::new();
+        enumerate_schedules(&scope, |s| out.push(s.clone()));
+        out
+    }
+
+    #[test]
+    fn replayed_patterns_are_realizable_and_extend_the_skeleton() {
+        for schedule in schedules(3, 2, 1) {
+            let run = CertProtocol::Kind(ProtocolKind::Bhmr)
+                .replay(&schedule)
+                .unwrap();
+            let analysis = PatternAnalysis::new(&run.pattern);
+            assert!(analysis.try_rdt_report().is_ok(), "{}", schedule.render());
+            // The protocol pattern has at least the skeleton's messages.
+            assert_eq!(run.pattern.num_messages(), schedule.messages.len());
+        }
+    }
+
+    #[test]
+    fn oracles_agree_with_protocols_across_the_scope() {
+        for schedule in schedules(3, 2, 1) {
+            for protocol in CertProtocol::default_set() {
+                let run = protocol.replay(&schedule).unwrap();
+                assert!(
+                    run.predicate_mismatches.is_empty(),
+                    "{protocol}: {} on {}",
+                    run.predicate_mismatches.len(),
+                    schedule.render()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_after_send_inserts_post_send_checkpoints() {
+        let scope = Scope::with_basics(2, 1, 0).unwrap();
+        let mut max_checkpoints = 0;
+        enumerate_schedules(&scope, |schedule| {
+            let run = CertProtocol::Kind(ProtocolKind::Cas)
+                .replay(schedule)
+                .unwrap();
+            max_checkpoints = max_checkpoints.max(run.records.len());
+        });
+        // The s0>1 schedule must have produced a forced checkpoint after
+        // the send.
+        assert_eq!(max_checkpoints, 1);
+    }
+
+    #[test]
+    fn weakened_bhmr_diverges_from_full_bhmr_somewhere() {
+        // At n=3, m=2 the hidden-dependency skeleton exists; the weakened
+        // variant must force strictly fewer checkpoints than full BHMR on
+        // at least one schedule.
+        let mut diverged = false;
+        for schedule in schedules(3, 2, 0) {
+            let full = CertProtocol::Kind(ProtocolKind::Bhmr)
+                .replay(&schedule)
+                .unwrap();
+            let weak = CertProtocol::WeakenedBhmrC2Only.replay(&schedule).unwrap();
+            assert!(weak.records.len() <= full.records.len());
+            diverged |= weak.records.len() < full.records.len();
+        }
+        assert!(diverged, "C1 never fired at n=3, m=2 — scope too small?");
+    }
+}

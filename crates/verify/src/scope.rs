@@ -1,0 +1,129 @@
+//! Scope bounds of the exhaustive enumeration.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Upper bounds of the enumerated pattern space.
+///
+/// The certifier visits **every** checkpoint-and-communication pattern
+/// with at most `processes` processes (exactly `processes`, smaller
+/// systems being covered by smaller scopes), at most `messages` sends (in
+/// every combination of delivered / in-transit), at most `basics` basic
+/// checkpoints, and *all* delivery interleavings. Parsed from the CLI as
+/// `n,m` or `n,m,b` (`b` defaults to [`Scope::DEFAULT_BASICS`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scope {
+    /// Number of processes (`1..=4`; the symmetry-pruning canonicalizer
+    /// enumerates all `n!` relabelings, so this stays small by design).
+    pub processes: usize,
+    /// Maximum number of messages sent (`<= 5`).
+    pub messages: usize,
+    /// Maximum number of basic checkpoints across all processes (`<= 4`).
+    pub basics: usize,
+}
+
+impl Scope {
+    /// Default basic-checkpoint budget when the third component is
+    /// omitted: one basic checkpoint is enough to exercise every forcing
+    /// predicate (`C2` needs an intermediate checkpoint on a chain), while
+    /// keeping `--scope 3,4` in the seconds range.
+    pub const DEFAULT_BASICS: usize = 1;
+
+    /// A scope with the default basic-checkpoint budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if a bound is out of the supported range.
+    pub fn new(processes: usize, messages: usize) -> Result<Scope, String> {
+        Scope::with_basics(processes, messages, Scope::DEFAULT_BASICS)
+    }
+
+    /// A fully explicit scope.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if a bound is out of the supported range.
+    pub fn with_basics(processes: usize, messages: usize, basics: usize) -> Result<Scope, String> {
+        if !(1..=4).contains(&processes) {
+            return Err(format!("scope: processes must be 1..=4, got {processes}"));
+        }
+        if messages > 5 {
+            return Err(format!("scope: messages must be <= 5, got {messages}"));
+        }
+        if basics > 4 {
+            return Err(format!("scope: basics must be <= 4, got {basics}"));
+        }
+        Ok(Scope {
+            processes,
+            messages,
+            basics,
+        })
+    }
+
+    /// The tiny scope CI's `verify-smoke` job runs: n=2, m=2, b=1.
+    pub fn tiny() -> Scope {
+        Scope {
+            processes: 2,
+            messages: 2,
+            basics: 1,
+        }
+    }
+}
+
+impl fmt::Display for Scope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{},{},{}", self.processes, self.messages, self.basics)
+    }
+}
+
+impl FromStr for Scope {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Scope, String> {
+        let parts: Vec<&str> = s.split(',').map(str::trim).collect();
+        let parse = |part: &str, what: &str| -> Result<usize, String> {
+            part.parse()
+                .map_err(|_| format!("scope: invalid {what} {part:?} in {s:?}"))
+        };
+        match parts.as_slice() {
+            [n, m] => Scope::new(parse(n, "process count")?, parse(m, "message count")?),
+            [n, m, b] => Scope::with_basics(
+                parse(n, "process count")?,
+                parse(m, "message count")?,
+                parse(b, "basic-checkpoint count")?,
+            ),
+            _ => Err(format!("scope: expected \"n,m\" or \"n,m,b\", got {s:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_two_and_three_component_forms() {
+        let s: Scope = "3,4".parse().unwrap();
+        assert_eq!(s.processes, 3);
+        assert_eq!(s.messages, 4);
+        assert_eq!(s.basics, Scope::DEFAULT_BASICS);
+        let s: Scope = "2, 3, 2".parse().unwrap();
+        assert_eq!((s.processes, s.messages, s.basics), (2, 3, 2));
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_malformed() {
+        assert!("5,1".parse::<Scope>().is_err());
+        assert!("0,1".parse::<Scope>().is_err());
+        assert!("2,6".parse::<Scope>().is_err());
+        assert!("2,2,5".parse::<Scope>().is_err());
+        assert!("2".parse::<Scope>().is_err());
+        assert!("a,b".parse::<Scope>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let s = Scope::tiny();
+        assert_eq!(s.to_string().parse::<Scope>().unwrap(), s);
+    }
+}

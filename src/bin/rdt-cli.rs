@@ -9,6 +9,8 @@
 //! rdt-cli compare --env random --n 8 --seed 3 --messages 2000
 //! rdt-cli audit --figure 1
 //! rdt-cli domino --rounds 10
+//! rdt-cli certify --scope 3,4 [--threads N] [--json certify_report.json]
+//! rdt-cli lint
 //! ```
 
 use std::collections::HashMap;
@@ -137,18 +139,17 @@ fn cmd_run(flags: &HashMap<String, String>) -> ExitCode {
     if flags.contains_key("stats") {
         // One shared PatternAnalysis; its laziness splits the offline
         // check into its phases so each can be timed in isolation.
-        use std::time::Instant;
         let pattern = outcome.trace.to_pattern();
         let analysis = rdt::PatternAnalysis::new(&pattern);
 
-        let start = Instant::now();
+        let watch = rdt::Stopwatch::start();
         let replay_ok = analysis.annotations().is_ok();
-        let replay = start.elapsed();
+        let replay = watch.elapsed();
 
-        let start = Instant::now();
+        let watch = rdt::Stopwatch::start();
         analysis.reachability();
         analysis.zigzag();
-        let closure = start.elapsed();
+        let closure = watch.elapsed();
 
         println!("  phase timings (one shared analysis):");
         println!("    replay     : {:>9.3} ms", replay.as_secs_f64() * 1e3);
@@ -157,9 +158,9 @@ fn cmd_run(flags: &HashMap<String, String>) -> ExitCode {
             closure.as_secs_f64() * 1e3
         );
         if replay_ok {
-            let start = Instant::now();
+            let watch = rdt::Stopwatch::start();
             let report = analysis.rdt_report();
-            let scan = start.elapsed();
+            let scan = watch.elapsed();
             println!(
                 "    pair scan  : {:>9.3} ms ({} reachable pairs, RDT {})",
                 scan.as_secs_f64() * 1e3,
@@ -314,6 +315,56 @@ fn cmd_domino(flags: &HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_certify(flags: &HashMap<String, String>) -> ExitCode {
+    let scope: rdt::Scope = match get::<String>(flags, "scope", "3,4".into()).parse() {
+        Ok(scope) => scope,
+        Err(err) => {
+            eprintln!("{err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let options = rdt::CertifyOptions {
+        threads: get(flags, "threads", 0usize),
+        ..rdt::CertifyOptions::default()
+    };
+    let watch = rdt::Stopwatch::start();
+    let report = rdt::certify(&scope, &options);
+    let elapsed = watch.elapsed();
+    print!("{}", report.render());
+    eprintln!("certified in {:.2}s", elapsed.as_secs_f64());
+    if let Some(path) = flags.get("json") {
+        let text = rdt::json::ToJson::to_json(&report).pretty();
+        if let Err(err) = std::fs::write(path, text) {
+            eprintln!("could not write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("  report JSON  : {path}");
+    }
+    if report.certified_ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_lint() -> ExitCode {
+    let root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    match rdt::lint::run_lint(&root) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (flags, positional) = parse_flags(&args);
@@ -324,9 +375,11 @@ fn main() -> ExitCode {
         Some("audit") => cmd_audit(&flags),
         Some("domino") => cmd_domino(&flags),
         Some("replay") => cmd_replay(&flags),
+        Some("certify") => cmd_certify(&flags),
+        Some("lint") => cmd_lint(),
         _ => {
             eprintln!(
-                "usage: rdt-cli <list|run|compare|audit|domino|replay> [--flags]\n\
+                "usage: rdt-cli <list|run|compare|audit|domino|replay|certify|lint> [--flags]\n\
                  see the module docs (`cargo doc`) for the full flag list"
             );
             ExitCode::FAILURE

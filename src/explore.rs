@@ -13,6 +13,13 @@
 //! the universe that fits in a test budget, this module proves it
 //! exhaustively.
 //!
+//! For certification at larger scopes, prefer the [`rdt_verify`] crate
+//! (`rdt::verify`, `rdt-cli certify`): it enumerates at the *skeleton*
+//! level with symmetry pruning — orders of magnitude fewer replays for
+//! the same coverage — and adds predicate and global-checkpoint oracles
+//! for every shipped protocol (see `docs/VERIFICATION.md`). This module
+//! remains the minimal, self-contained reference implementation.
+//!
 //! # Example
 //!
 //! ```rust

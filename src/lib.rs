@@ -50,9 +50,11 @@ pub mod explore;
 pub use rdt_causality as causality;
 pub use rdt_core as protocols;
 pub use rdt_json as json;
+pub use rdt_lint as lint;
 pub use rdt_recovery as recovery;
 pub use rdt_rgraph as theory;
 pub use rdt_sim as sim;
+pub use rdt_verify as verify;
 pub use rdt_workloads as workloads;
 
 pub use rdt_causality::{
@@ -70,8 +72,9 @@ pub use rdt_rgraph::{
 };
 pub use rdt_sim::{
     run_protocol_kind, Application, RunOutcome, RunStats, Runner, SimConfig, SimRng, SimTime,
-    StopCondition, Trace, TraceMetrics,
+    StopCondition, Stopwatch, Trace, TraceMetrics,
 };
+pub use rdt_verify::{certify, CertProtocol, CertifyOptions, CertifyReport, Scope};
 pub use rdt_workloads::{
     ChandyLamport, ClientServerEnvironment, EnvironmentKind, GroupEnvironment, GroupLayout,
     KooToueg, PipelineEnvironment, RandomEnvironment, RingEnvironment,
