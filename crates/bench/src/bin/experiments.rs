@@ -15,9 +15,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use rdt_bench::{
-    ablation, closure_bench, coordinated, corollary45, necessity, rdt_check, recovery_experiment,
-    render_figure, render_table1, run_sweep_with_metrics, scaling, sensitivity, table1, write_json,
-    Sweep, SweepOptions,
+    ablation, closure_bench, coordinated, corollary45, incremental_vs_batch, necessity, rdt_check,
+    recovery_experiment, render_figure, render_table1, run_sweep_with_metrics, scaling,
+    sensitivity, table1, write_json, Sweep, SweepOptions,
 };
 use rdt_workloads::EnvironmentKind;
 
@@ -153,6 +153,7 @@ fn main() -> ExitCode {
         "cor45",
         "rdtcheck",
         "certify",
+        "incremental",
         "ablation",
         "sensitivity",
         "coordinated",
@@ -225,11 +226,46 @@ fn main() -> ExitCode {
                 "  {messages:>10} {delivered:>11} {naive_ns:>14} {optimized_ns:>14} {speedup:>8.1}x"
             );
         }
-        // The perf-trajectory record lives next to the sources, not under
-        // the (env-overridable) results dir.
-        match write_json(std::path::Path::new("."), "BENCH_rdtcheck", &bench) {
+        match write_json(&dir, "BENCH_rdtcheck", &bench) {
             Ok(path) => println!("  -> {}\n", path.display()),
             Err(err) => eprintln!("  !! could not write BENCH_rdtcheck.json: {err}\n"),
+        }
+    }
+
+    if which == "all" || which == "incremental" {
+        println!("== BENCH-INCREMENTAL — append-only engine vs from-scratch rebuilds ==");
+        let sizes: &[u64] = if quick {
+            &[400, 1_600]
+        } else {
+            &[400, 800, 1_600, 3_200, 6_400]
+        };
+        let bench =
+            incremental_vs_batch(sizes, if quick { 3 } else { 5 }, if quick { 8 } else { 16 });
+        println!(
+            "  {:>8} {:>12} {:>16} {:>18} {:>9} {:>14}",
+            "events", "checkpoints", "incremental (ns)", "batch est. (ns)", "speedup", "events/sec"
+        );
+        for row in &bench.rows {
+            println!(
+                "  {:>8} {:>12} {:>16} {:>18} {:>8.1}x {:>14.0}",
+                row.events,
+                row.checkpoints,
+                row.incremental_ns,
+                row.batch_est_ns,
+                row.speedup,
+                row.events_per_sec
+            );
+        }
+        match write_json(&dir, "BENCH_incremental", &bench) {
+            Ok(path) => println!("  -> {}\n", path.display()),
+            Err(err) => eprintln!("  !! could not write BENCH_incremental.json: {err}\n"),
+        }
+        // Regression gate: once traces are non-trivial the engine must
+        // beat rebuilding from scratch, at any scale.
+        let floor = bench.min_speedup_at(1_600);
+        if floor < 1.0 {
+            eprintln!("  !! incremental slower than batch at >=1600 events ({floor:.2}x)");
+            return ExitCode::FAILURE;
         }
     }
 
@@ -260,9 +296,7 @@ fn main() -> ExitCode {
         };
         let report = rdt_verify::certify(&scope, &certify_options);
         print!("{}", report.render());
-        // Like BENCH_rdtcheck.json: the certification record lives next to
-        // the sources, not under the (env-overridable) results dir.
-        match write_json(std::path::Path::new("."), "certify_report", &report) {
+        match write_json(&dir, "certify_report", &report) {
             Ok(path) => println!("  -> {}\n", path.display()),
             Err(err) => eprintln!("  !! could not write certify_report.json: {err}\n"),
         }

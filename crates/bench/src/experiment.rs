@@ -581,6 +581,179 @@ pub fn closure_bench(sizes: &[u64], repetitions: u32) -> ClosureBenchResult {
     ClosureBenchResult { rows, repetitions }
 }
 
+/// One trace length of BENCH-INCREMENTAL.
+#[derive(Debug, Clone)]
+pub struct IncrementalBenchRow {
+    /// Trace events processed (sends + deliveries + checkpoints).
+    pub events: u64,
+    /// Checkpoints among those events.
+    pub checkpoints: u64,
+    /// Nanoseconds for the append-only engine to ingest the whole trace,
+    /// querying the violation count after every event (min over reps).
+    pub incremental_ns: u64,
+    /// Estimated nanoseconds for the from-scratch strategy: rebuild the
+    /// batch analysis on the event prefix after every event. Extrapolated
+    /// from evenly spaced sampled prefixes (a Riemann sum of the measured
+    /// per-prefix rebuild cost), since running all `events` rebuilds is
+    /// exactly the quadratic blow-up this benchmark demonstrates.
+    pub batch_est_ns: u64,
+    /// `batch_est_ns / incremental_ns`.
+    pub speedup: f64,
+    /// Incremental ingest throughput, events per second.
+    pub events_per_sec: f64,
+}
+
+/// BENCH-INCREMENTAL: per-event analysis maintained by the append-only
+/// [`IncrementalAnalysis`](rdt_rgraph::IncrementalAnalysis) engine versus
+/// rebuilding the batch pipeline from scratch after every event.
+#[derive(Debug, Clone)]
+pub struct IncrementalBenchResult {
+    /// One row per trace length.
+    pub rows: Vec<IncrementalBenchRow>,
+    /// Repetitions each timing is the minimum of.
+    pub repetitions: u32,
+    /// Evenly spaced prefixes the batch estimate is extrapolated from.
+    pub batch_samples: u32,
+}
+
+impl IncrementalBenchResult {
+    /// Smallest speedup among rows with at least `events` trace events —
+    /// the regression gate: incremental must never lose to from-scratch
+    /// rebuilds once traces are non-trivial.
+    pub fn min_speedup_at(&self, events: u64) -> f64 {
+        self.rows
+            .iter()
+            .filter(|row| row.events >= events)
+            .map(|row| row.speedup)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+fn prefix_pattern(n: usize, events: &[rdt_sim::TraceEvent]) -> rdt_rgraph::Pattern {
+    use rdt_rgraph::{PatternBuilder, PatternMessageId};
+    let mut builder = PatternBuilder::new(n);
+    let mut map: Vec<Option<PatternMessageId>> = Vec::new();
+    for event in events {
+        match *event {
+            rdt_sim::TraceEvent::Send {
+                from, to, message, ..
+            } => {
+                if map.len() <= message.0 {
+                    map.resize(message.0 + 1, None);
+                }
+                map[message.0] = Some(builder.send(from, to));
+            }
+            rdt_sim::TraceEvent::Deliver { message, .. } => {
+                let id = map[message.0].expect("delivery of an unsent message");
+                builder.deliver(id).expect("double delivery in trace");
+            }
+            rdt_sim::TraceEvent::Checkpoint { id, .. } => {
+                builder.checkpoint(id.process);
+            }
+        }
+    }
+    builder.build().expect("prefix of a valid trace")
+}
+
+/// Runs BENCH-INCREMENTAL: for each length, generate a fig7-style BHMR
+/// trace, truncate it to exactly that many events, and time (a) one
+/// engine ingesting the trace with a violation query after every event
+/// against (b) the estimated cost of rebuilding the batch analysis
+/// ([`RdtChecker`] on the event prefix) after every event.
+pub fn incremental_vs_batch(
+    sizes: &[u64],
+    repetitions: u32,
+    batch_samples: u32,
+) -> IncrementalBenchResult {
+    use rdt_rgraph::IncrementalAnalysis;
+    use rdt_sim::{Stopwatch, TraceEvent};
+
+    let n = 8;
+    let mut rows = Vec::with_capacity(sizes.len());
+    for &size in sizes {
+        let mut app = EnvironmentKind::Random.build(n, MEAN_SEND_INTERVAL);
+        let outcome = run_protocol_kind(
+            ProtocolKind::Bhmr,
+            // Stopping after `size` messages yields at least 2×`size`
+            // events (every message is sent and delivered), so the
+            // truncation below always has enough to cut.
+            &config(n, 11, 3 * MEAN_SEND_INTERVAL, size),
+            app.as_mut(),
+        );
+        let mut events = outcome.trace.into_events();
+        assert!(events.len() >= size as usize, "trace shorter than target");
+        events.truncate(size as usize);
+        let checkpoints = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Checkpoint { .. }))
+            .count() as u64;
+
+        // (a) One engine, every event appended once, violation count read
+        // back after each append — the online probe's exact work.
+        let mut incremental_ns = u64::MAX;
+        for _ in 0..repetitions.max(1) {
+            let watch = Stopwatch::start();
+            let mut engine = IncrementalAnalysis::new(n);
+            let mut mids: Vec<u32> = Vec::new();
+            let mut violations = 0u64;
+            for event in &events {
+                match *event {
+                    TraceEvent::Send {
+                        from, to, message, ..
+                    } => {
+                        if mids.len() <= message.0 {
+                            mids.resize(message.0 + 1, u32::MAX);
+                        }
+                        mids[message.0] = engine.append_send(from, to);
+                    }
+                    TraceEvent::Deliver { message, .. } => engine.append_deliver(mids[message.0]),
+                    TraceEvent::Checkpoint { id, .. } => {
+                        engine.append_checkpoint(id.process);
+                    }
+                }
+                violations = engine.untrackable_pairs();
+            }
+            std::hint::black_box(violations);
+            incremental_ns = incremental_ns.min(watch.elapsed().as_nanos() as u64);
+        }
+
+        // (b) From-scratch rebuilds at `batch_samples` evenly spaced
+        // prefixes; summing `t(k·L/S) · L/S` estimates the cost of
+        // rebuilding after every one of the L events.
+        let samples = (batch_samples.max(1) as u64).min(size);
+        let mut sampled_total_ns = 0u64;
+        for sample in 1..=samples {
+            let len = (size * sample / samples) as usize;
+            let mut best = u64::MAX;
+            for _ in 0..repetitions.max(1) {
+                let watch = Stopwatch::start();
+                let pattern = prefix_pattern(n, &events[..len]);
+                let report = RdtChecker::new(&pattern).check();
+                std::hint::black_box(report.holds());
+                best = best.min(watch.elapsed().as_nanos() as u64);
+            }
+            sampled_total_ns += best;
+        }
+        let batch_est_ns = sampled_total_ns.saturating_mul(size / samples);
+
+        let speedup = batch_est_ns as f64 / incremental_ns.max(1) as f64;
+        let events_per_sec = size as f64 / (incremental_ns.max(1) as f64 / 1e9);
+        rows.push(IncrementalBenchRow {
+            events: size,
+            checkpoints,
+            incremental_ns,
+            batch_est_ns,
+            speedup,
+            events_per_sec,
+        });
+    }
+    IncrementalBenchResult {
+        rows,
+        repetitions,
+        batch_samples,
+    }
+}
+
 /// ABL-1: piggyback size versus forced-checkpoint count across the
 /// protocol lattice.
 #[derive(Debug, Clone)]
@@ -1018,6 +1191,29 @@ impl ToJson for ClosureBenchResult {
             ("rows", self.rows.to_json()),
             ("repetitions", self.repetitions.to_json()),
             ("min_speedup", self.min_speedup().to_json()),
+        ])
+    }
+}
+
+impl ToJson for IncrementalBenchRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("events", self.events.to_json()),
+            ("checkpoints", self.checkpoints.to_json()),
+            ("incremental_ns", self.incremental_ns.to_json()),
+            ("batch_est_ns", self.batch_est_ns.to_json()),
+            ("speedup", self.speedup.to_json()),
+            ("events_per_sec", self.events_per_sec.to_json()),
+        ])
+    }
+}
+
+impl ToJson for IncrementalBenchResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("rows", self.rows.to_json()),
+            ("repetitions", self.repetitions.to_json()),
+            ("batch_samples", self.batch_samples.to_json()),
         ])
     }
 }

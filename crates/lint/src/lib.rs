@@ -99,6 +99,16 @@ fn protocol_scope(path: &str) -> bool {
         || path == "crates/rgraph/src/replay.rs"
 }
 
+/// Whether `path` holds per-event code — the simulator's event loop and
+/// the certifier's replay pipeline — where constructing a batch analysis
+/// means rebuilding closures from scratch at every step instead of
+/// appending to one [`IncrementalAnalysis`](rdt_rgraph::IncrementalAnalysis)-style
+/// engine. The bench crate is deliberately out of scope: comparing the
+/// two strategies is its job.
+fn per_event_scope(path: &str) -> bool {
+    path.starts_with("crates/sim/src/") || path.starts_with("crates/verify/src/")
+}
+
 /// The rule catalog (documented in `docs/VERIFICATION.md`).
 const RULES: &[Rule] = &[
     Rule {
@@ -121,6 +131,18 @@ const RULES: &[Rule] = &[
                   code; propagate an error instead",
         needles: &[Needle::Fragment(".unwrap("), Needle::Fragment(".expect(")],
         applies: protocol_scope,
+    },
+    Rule {
+        id: "batch-in-loop",
+        summary: "batch analysis constructor in per-event simulator or \
+                  certifier code; maintain one rdt_rgraph::IncrementalAnalysis \
+                  and append events instead",
+        needles: &[
+            Needle::Fragment("PatternAnalysis::new("),
+            Needle::Fragment("RdtChecker::new("),
+            Needle::Fragment("ZigzagReachability::new("),
+        ],
+        applies: per_event_scope,
     },
     Rule {
         id: "sweep-seed",
@@ -535,9 +557,36 @@ mod tests {
     #[test]
     fn catalog_is_nonempty_and_unique() {
         let catalog = rule_catalog();
-        assert_eq!(catalog.len(), 4);
+        assert_eq!(catalog.len(), 5);
         let mut ids: Vec<_> = catalog.iter().map(|(id, _)| id).collect();
         ids.dedup();
-        assert_eq!(ids.len(), 4);
+        assert_eq!(ids.len(), 5);
+    }
+
+    #[test]
+    fn batch_constructor_rule_hits_per_event_code_only() {
+        let mut diags = Vec::new();
+        // The bench crate compares batch vs incremental on purpose.
+        scan_file(
+            "crates/bench/src/experiment.rs",
+            "RdtChecker::new(&pattern).check();",
+            &mut diags,
+        );
+        assert!(diags.is_empty());
+        scan_file(
+            "crates/sim/src/runner.rs",
+            "let a = RdtChecker::new(&pattern); let b = PatternAnalysis::new(&p);",
+            &mut diags,
+        );
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.rule == "batch-in-loop"));
+        diags.clear();
+        scan_file(
+            "crates/verify/src/certify.rs",
+            "ZigzagReachability::new(&pattern)",
+            &mut diags,
+        );
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "batch-in-loop");
     }
 }

@@ -46,6 +46,7 @@ pub mod characterization;
 pub mod closure;
 pub mod consistency;
 pub mod dot;
+mod incremental;
 pub mod min_max;
 pub mod paper_figures;
 mod pattern;
@@ -57,6 +58,7 @@ pub use analysis::PatternAnalysis;
 pub use bitset::{BitMatrix, BitRow};
 pub use chains::{MessageChain, ZigzagReachability};
 pub use consistency::GlobalCheckpoint;
+pub use incremental::{IncrementalAnalysis, Mark};
 pub use pattern::{Pattern, PatternBuilder, PatternError, PatternEvent, PatternMessageId};
 pub use rdt::{RdtChecker, RdtReport, RdtViolation};
 pub use replay::{CheckpointAnnotations, Replay};

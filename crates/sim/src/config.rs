@@ -127,6 +127,11 @@ pub struct SimConfig {
     /// previous arrival). The paper's model only requires reliability, so
     /// the default is non-FIFO.
     pub fifo: bool,
+    /// Run the online RDT probe: an [`rdt_rgraph::IncrementalAnalysis`]
+    /// engine shadows the run event by event and reports, per step, how
+    /// many checkpoint pairs are currently untrackable. Observational
+    /// only — it never changes the simulation. Default off.
+    pub online_rdt_probe: bool,
 }
 
 impl SimConfig {
@@ -139,6 +144,7 @@ impl SimConfig {
             basic_checkpoints: BasicCheckpointModel::default(),
             stop: StopCondition::default(),
             fifo: false,
+            online_rdt_probe: false,
         }
     }
 
@@ -169,6 +175,13 @@ impl SimConfig {
     /// Makes channels FIFO (per-channel delivery in send order).
     pub fn with_fifo(mut self, fifo: bool) -> Self {
         self.fifo = fifo;
+        self
+    }
+
+    /// Enables the online RDT-violation probe (see
+    /// [`SimConfig::online_rdt_probe`]).
+    pub fn with_online_rdt_probe(mut self, enabled: bool) -> Self {
+        self.online_rdt_probe = enabled;
         self
     }
 }

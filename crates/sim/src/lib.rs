@@ -59,7 +59,7 @@ pub use config::{BasicCheckpointModel, DelayModel, SimConfig, StopCondition};
 pub use dispatch::{run_protocol_kind, run_protocol_kind_with_scratch};
 pub use metrics::{SampleStats, Stopwatch, TraceMetrics};
 pub use rng::SimRng;
-pub use runner::{RunOutcome, RunStats, Runner, SimScratch};
+pub use runner::{OnlineRdtReport, RunOutcome, RunStats, Runner, SimScratch};
 pub use time::{SimDuration, SimTime};
 pub use trace::{SimMessageId, Trace, TraceEvent};
 pub use workpool::parallel_map_indexed;

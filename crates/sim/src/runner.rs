@@ -2,13 +2,15 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::time::Duration;
 
 use rdt_causality::ProcessId;
 use rdt_core::{CheckpointRecord, CicProtocol, ProtocolStats};
+use rdt_rgraph::IncrementalAnalysis;
 
 use crate::{
-    AppContext, Application, SimConfig, SimMessageId, SimRng, SimTime, StopCondition, Trace,
-    TraceEvent,
+    AppContext, Application, SimConfig, SimMessageId, SimRng, SimTime, StopCondition, Stopwatch,
+    Trace, TraceEvent,
 };
 
 /// Aggregate statistics of one run.
@@ -77,6 +79,101 @@ pub struct RunOutcome {
     /// Per-process checkpoint records as reported by the protocol, in
     /// order taken (the implicit initial checkpoints are not included).
     pub records: Vec<Vec<CheckpointRecord>>,
+    /// What the online RDT probe observed; `None` unless the run was
+    /// configured with [`SimConfig::online_rdt_probe`].
+    pub online_rdt: Option<OnlineRdtReport>,
+}
+
+/// Observations of the online RDT probe over one run.
+///
+/// When [`SimConfig::online_rdt_probe`] is set, an
+/// [`IncrementalAnalysis`] engine shadows the simulation: every trace
+/// event (checkpoint, send, delivery) is appended to the engine the moment
+/// it is recorded, and the engine's running count of
+/// reachable-but-untrackable checkpoint pairs is read back after each
+/// append. The probe is observational — it never changes scheduling,
+/// protocol behavior, or the trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OnlineRdtReport {
+    /// Events appended to the engine (equals the trace length).
+    pub events_appended: u64,
+    /// Reachable-but-untrackable checkpoint pairs at the end of the run
+    /// (0 means every rollback dependency was trackable online).
+    pub untrackable_pairs: u64,
+    /// 1-based index (into the trace) of the first event after which the
+    /// untrackable count became nonzero; `None` when the run stayed clean.
+    pub first_violation_event: Option<u64>,
+    /// Wall time spent inside the engine's `append_*` calls.
+    pub append_time: Duration,
+    /// Wall time spent reading the violation count back after each append.
+    pub query_time: Duration,
+}
+
+/// The engine plus bookkeeping behind [`OnlineRdtReport`].
+struct OnlineProbe {
+    engine: IncrementalAnalysis,
+    events: u64,
+    first_violation_event: Option<u64>,
+    append_time: Duration,
+    query_time: Duration,
+}
+
+impl OnlineProbe {
+    fn new(n: usize) -> Self {
+        OnlineProbe {
+            engine: IncrementalAnalysis::new(n),
+            events: 0,
+            first_violation_event: None,
+            append_time: Duration::ZERO,
+            query_time: Duration::ZERO,
+        }
+    }
+
+    /// Per-step query: read the violation count, latch the first step at
+    /// which it became nonzero.
+    fn observe(&mut self) {
+        self.events += 1;
+        let watch = Stopwatch::start();
+        let untrackable = self.engine.untrackable_pairs();
+        self.query_time += watch.elapsed();
+        if untrackable > 0 && self.first_violation_event.is_none() {
+            self.first_violation_event = Some(self.events);
+        }
+    }
+
+    fn checkpoint(&mut self, process: ProcessId) {
+        let watch = Stopwatch::start();
+        self.engine.append_checkpoint(process);
+        self.append_time += watch.elapsed();
+        self.observe();
+    }
+
+    fn send(&mut self, from: ProcessId, to: ProcessId) {
+        let watch = Stopwatch::start();
+        self.engine.append_send(from, to);
+        self.append_time += watch.elapsed();
+        self.observe();
+    }
+
+    fn deliver(&mut self, message: SimMessageId) {
+        // The runner assigns `SimMessageId`s sequentially in send order and
+        // the probe sees every send, so the simulator's id *is* the
+        // engine's message handle.
+        let watch = Stopwatch::start();
+        self.engine.append_deliver(message.0 as u32);
+        self.append_time += watch.elapsed();
+        self.observe();
+    }
+
+    fn finish(self) -> OnlineRdtReport {
+        OnlineRdtReport {
+            events_appended: self.events,
+            untrackable_pairs: self.engine.untrackable_pairs(),
+            first_violation_event: self.first_violation_event,
+            append_time: self.append_time,
+            query_time: self.query_time,
+        }
+    }
 }
 
 enum QueuedEvent<PB> {
@@ -172,6 +269,8 @@ pub struct Runner<P: CicProtocol> {
     /// For FIFO channels: last scheduled arrival per ordered channel
     /// (`from * n + to`); empty when the config is non-FIFO.
     channel_clock: Vec<SimTime>,
+    /// Online RDT probe, present iff [`SimConfig::online_rdt_probe`].
+    probe: Option<OnlineProbe>,
 }
 
 impl<P: CicProtocol> Runner<P> {
@@ -234,6 +333,7 @@ impl<P: CicProtocol> Runner<P> {
             } else {
                 Vec::new()
             },
+            probe: config.online_rdt_probe.then(|| OnlineProbe::new(n)),
         }
     }
 
@@ -260,6 +360,9 @@ impl<P: CicProtocol> Runner<P> {
             kind: record.kind,
         });
         self.records[process.index()].push(record);
+        if let Some(probe) = &mut self.probe {
+            probe.checkpoint(process);
+        }
     }
 
     fn do_send(&mut self, from: ProcessId, to: ProcessId, tag: u32) {
@@ -272,6 +375,9 @@ impl<P: CicProtocol> Runner<P> {
             to,
             message,
         });
+        if let Some(probe) = &mut self.probe {
+            probe.send(from, to);
+        }
         if let Some(record) = outcome.forced_after {
             self.record_checkpoint(from, record);
         }
@@ -369,6 +475,9 @@ impl<P: CicProtocol> Runner<P> {
                         from,
                         message,
                     });
+                    if let Some(probe) = &mut self.probe {
+                        probe.deliver(message);
+                    }
                     let mut ctx = AppContext::new(to, self.config.n, self.now, &mut self.rng);
                     app.on_deliver_tagged(&mut ctx, from, tag);
                     let actions = AppActions::take(&mut ctx);
@@ -407,6 +516,7 @@ impl<P: CicProtocol> Runner<P> {
                 end_time: self.now,
             },
             records: self.records,
+            online_rdt: self.probe.map(OnlineProbe::finish),
         }
     }
 }
@@ -649,6 +759,86 @@ mod tests {
             free_order, fifo_order,
             "expected reordering without FIFO at this seed"
         );
+    }
+
+    #[test]
+    fn probe_mirrors_the_trace_exactly() {
+        // Replaying the finished trace into a fresh engine must land on the
+        // same event count and violation total the online probe saw — i.e.
+        // the probe's hook points append in exactly trace order.
+        let config = SimConfig::new(3)
+            .with_seed(21)
+            .with_basic_checkpoints(BasicCheckpointModel::Exponential { mean: 40 })
+            .with_stop(StopCondition::MessagesSent(25))
+            .with_online_rdt_probe(true);
+        let script: Vec<(usize, usize)> = (0..30).map(|k| (k % 3, (k + 2) % 3)).collect();
+        let outcome = Runner::new(&config, Uncoordinated::new).run(&mut scripted(script));
+        let report = outcome.online_rdt.as_ref().expect("probe enabled");
+        assert_eq!(
+            report.events_appended as usize,
+            outcome.trace.events().len()
+        );
+
+        let mut fresh = rdt_rgraph::IncrementalAnalysis::new(3);
+        let mut mids = Vec::new();
+        for event in outcome.trace.events() {
+            match *event {
+                TraceEvent::Send { from, to, .. } => {
+                    mids.push(fresh.append_send(from, to));
+                }
+                TraceEvent::Deliver { message, .. } => fresh.append_deliver(mids[message.0]),
+                TraceEvent::Checkpoint { id, .. } => {
+                    fresh.append_checkpoint(id.process);
+                }
+            }
+        }
+        assert_eq!(report.untrackable_pairs, fresh.untrackable_pairs());
+    }
+
+    #[test]
+    fn probe_flags_untrackable_runs_and_clears_rdt_protocols() {
+        // Uncoordinated checkpointing under cyclic traffic produces
+        // untrackable rollback dependencies; FDAS (which ensures RDT)
+        // stays clean on the same schedule.
+        let config = SimConfig::new(3)
+            .with_seed(6)
+            .with_basic_checkpoints(BasicCheckpointModel::Exponential { mean: 15 })
+            .with_stop(StopCondition::MessagesSent(60))
+            .with_online_rdt_probe(true);
+        let script: Vec<(usize, usize)> = (0..70).map(|k| (k % 3, (k + 2) % 3)).collect();
+
+        let dirty = Runner::new(&config, Uncoordinated::new).run(&mut scripted(script.clone()));
+        let report = dirty.online_rdt.expect("probe enabled");
+        assert!(
+            report.untrackable_pairs > 0,
+            "expected untrackable pairs from uncoordinated checkpoints"
+        );
+        let first = report.first_violation_event.expect("violation observed");
+        assert!(first >= 1 && first <= report.events_appended);
+
+        let clean = Runner::new(&config, rdt_core::Fdas::new).run(&mut scripted(script));
+        let report = clean.online_rdt.expect("probe enabled");
+        assert_eq!(report.untrackable_pairs, 0, "FDAS ensures RDT");
+        assert_eq!(report.first_violation_event, None);
+    }
+
+    #[test]
+    fn probe_is_observational_only() {
+        // Same config modulo the probe flag: trace, stats and records must
+        // be identical — the probe may watch, never steer.
+        let base = SimConfig::new(3)
+            .with_seed(17)
+            .with_basic_checkpoints(BasicCheckpointModel::Exponential { mean: 30 })
+            .with_stop(StopCondition::MessagesSent(20));
+        let script: Vec<(usize, usize)> = (0..25).map(|k| (k % 3, (k + 1) % 3)).collect();
+        let plain = Runner::new(&base, Bhmr::new).run(&mut scripted(script.clone()));
+        assert!(plain.online_rdt.is_none());
+        let probed = Runner::new(&base.clone().with_online_rdt_probe(true), Bhmr::new)
+            .run(&mut scripted(script));
+        assert_eq!(plain.trace.events(), probed.trace.events());
+        assert_eq!(plain.stats, probed.stats);
+        assert_eq!(plain.records, probed.records);
+        assert!(probed.online_rdt.is_some());
     }
 
     #[test]

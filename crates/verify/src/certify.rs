@@ -24,14 +24,13 @@
 //! certifier that has gone blind fails loudly.
 
 use rdt_json::{Json, ToJson};
-use rdt_rgraph::characterization::{all_chains_doubled_with, all_cm_paths_doubled_with};
-use rdt_rgraph::{min_max, PatternAnalysis};
+use rdt_rgraph::{GlobalCheckpoint, IncrementalAnalysis, Mark};
 use rdt_sim::parallel_map_indexed;
 
 use crate::enumerate::{
-    enumerate_layouts, permutations, visit_layout, EnumerationCounts, Schedule,
+    enumerate_layouts, permutations, visit_layout, EnumerationCounts, LayoutScratch, Schedule,
 };
-use crate::replay::CertProtocol;
+use crate::replay::{CertProtocol, PatternOp, ReplayedOps};
 use crate::Scope;
 
 /// One failed check, with everything needed to reproduce it by hand.
@@ -268,29 +267,87 @@ impl ToJson for CertifyReport {
     }
 }
 
+/// One protocol's prefix-sharing replay state, reused across schedules.
+///
+/// Consecutive enumerated schedules differ in a suffix, so consecutive
+/// replays of the same protocol produce op streams sharing a prefix. The
+/// session keeps one [`IncrementalAnalysis`] loaded with the previous op
+/// stream plus a [`Mark`] per op: loading the next stream rewinds to the
+/// longest common prefix and appends only the differing suffix — the
+/// replay trie is walked implicitly, one branch at a time.
+struct CertSession {
+    incr: IncrementalAnalysis,
+    ops: Vec<PatternOp>,
+    /// `marks[i]` = engine state after `ops[..i]` (so `marks[0]` is the
+    /// empty pattern).
+    marks: Vec<Mark>,
+    /// Reused replay output buffers.
+    run: ReplayedOps,
+    /// Reused global-checkpoint oracle buffers (min fixpoint, min via
+    /// R-graph, max), each `n` entries.
+    gc_bufs: [Vec<u32>; 3],
+}
+
+impl CertSession {
+    fn new(n: usize) -> Self {
+        let incr = IncrementalAnalysis::new(n);
+        let start = incr.mark();
+        CertSession {
+            incr,
+            ops: Vec::new(),
+            marks: vec![start],
+            run: ReplayedOps::default(),
+            gc_bufs: [vec![0; n], vec![0; n], vec![0; n]],
+        }
+    }
+
+    /// Rewinds to the longest prefix shared with the loaded stream, then
+    /// appends the rest of `self.run.ops`.
+    fn load_run(&mut self) {
+        let ops = &self.run.ops;
+        let shared = self
+            .ops
+            .iter()
+            .zip(ops.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        self.incr.rewind(self.marks[shared]);
+        self.ops.truncate(shared);
+        self.marks.truncate(shared + 1);
+        for &op in &ops[shared..] {
+            match op {
+                PatternOp::Checkpoint(process) => {
+                    self.incr.append_checkpoint(process);
+                }
+                PatternOp::Send { from, to } => {
+                    self.incr.append_send(from, to);
+                }
+                PatternOp::Deliver(message) => self.incr.append_deliver(message),
+            }
+            self.ops.push(op);
+            self.marks.push(self.incr.mark());
+        }
+    }
+}
+
 /// Runs one protocol over one schedule and records every failed check.
+///
+/// All theory checks run on the session's incremental engine: the RDT
+/// verdict and untrackable count are maintained online, the chain/CM
+/// characterizations and GC oracles are evaluated on the temporarily
+/// closed state. Results are identical to a from-scratch batch analysis
+/// (held to it by the differential suite in `rdt-rgraph`).
 fn certify_schedule(
     protocol: &CertProtocol,
+    session: &mut CertSession,
     schedule: &Schedule,
     tally: &mut ProtocolTally,
     max_kept: usize,
 ) {
-    let run = match protocol.replay(schedule) {
-        Ok(run) => run,
-        Err(err) => {
-            tally.note(
-                max_kept,
-                protocol,
-                "replay-error",
-                schedule,
-                format!("{err:?}"),
-            );
-            return;
-        }
-    };
+    protocol.replay_ops(schedule, &mut session.run);
     tally.patterns += 1;
-    tally.predicate_mismatches += run.predicate_mismatches.len() as u64;
-    for mismatch in &run.predicate_mismatches {
+    tally.predicate_mismatches += session.run.predicate_mismatches.len() as u64;
+    for mismatch in &session.run.predicate_mismatches {
         tally.note(
             max_kept,
             protocol,
@@ -303,136 +360,143 @@ fn certify_schedule(
         );
     }
 
-    let analysis = PatternAnalysis::new(&run.pattern);
-    let rdt = match analysis.try_rdt_report() {
-        Ok(report) => report,
-        Err(err) => {
+    session.load_run();
+    let CertSession {
+        incr, run, gc_bufs, ..
+    } = session;
+    let records = &run.records;
+    incr.with_closed(|view| {
+        let rpaths_ok = view.rdt_holds();
+        let chains_ok = view.all_chains_doubled();
+        let cm_ok = view.all_cm_paths_doubled();
+        if rpaths_ok != chains_ok || rpaths_ok != cm_ok {
             tally.note(
                 max_kept,
                 protocol,
-                "unrealizable-replay",
+                "characterization-disagreement",
                 schedule,
-                format!("{err:?}"),
-            );
-            return;
-        }
-    };
-    let rpaths_ok = rdt.holds();
-    let chains_ok = all_chains_doubled_with(&analysis);
-    let cm_ok = all_cm_paths_doubled_with(&analysis);
-    if rpaths_ok != chains_ok || rpaths_ok != cm_ok {
-        tally.note(
-            max_kept,
-            protocol,
-            "characterization-disagreement",
-            schedule,
-            format!("r-paths={rpaths_ok} chains={chains_ok} cm-paths={cm_ok}"),
-        );
-    }
-    if !rpaths_ok {
-        tally.rdt_violations += 1;
-        if protocol.claims_rdt() {
-            tally.note(
-                max_kept,
-                protocol,
-                "rdt-violation",
-                schedule,
-                format!("{} untrackable R-path(s)", rdt.violations().len()),
+                format!("r-paths={rpaths_ok} chains={chains_ok} cm-paths={cm_ok}"),
             );
         }
-    }
+        if !rpaths_ok {
+            tally.rdt_violations += 1;
+            if protocol.claims_rdt() {
+                tally.note(
+                    max_kept,
+                    protocol,
+                    "rdt-violation",
+                    schedule,
+                    format!("{} untrackable R-path(s)", view.violations_capped(16)),
+                );
+            }
+        }
 
-    // Global-checkpoint oracles, per protocol-reported checkpoint, on the
-    // closed pattern the analysis holds.
-    let closed = analysis.pattern();
-    for record in &run.records {
-        if record.id.index > closed.last_checkpoint_index(record.id.process) {
-            tally.note(
-                max_kept,
-                protocol,
-                "missing-checkpoint",
-                schedule,
-                format!("protocol reported {} beyond the pattern", record.id),
-            );
-            continue;
-        }
-        tally.gc_checks += 1;
-        let members = [record.id];
-        let fixpoint = min_max::min_consistent_containing(closed, &members);
-        let via_rgraph = min_max::min_consistent_via_rgraph_with(&analysis, &members);
-        if fixpoint != via_rgraph {
-            tally.note(
-                max_kept,
-                protocol,
-                "min-gc-oracle-disagreement",
-                schedule,
-                format!(
-                    "{}: fixpoint {fixpoint:?} != r-graph {via_rgraph:?}",
-                    record.id
-                ),
-            );
-            continue;
-        }
-        let maximum = min_max::max_consistent_containing(closed, &members);
-        match (&fixpoint, &maximum) {
-            (Some(lo), Some(hi)) => {
-                if !lo.le(hi) {
+        // Global-checkpoint oracles, per protocol-reported checkpoint, on
+        // the closed pattern the view holds. The allocation-free `_into`
+        // oracle forms share three buffers across all records; owned
+        // `GlobalCheckpoint`s are only materialized on the (rare) note
+        // paths, with wording identical to the owned-oracle formulation.
+        let [min_buf, via_buf, max_buf] = gc_bufs;
+        let gc_of = |exists: bool, buf: &[u32]| exists.then(|| GlobalCheckpoint::new(buf.to_vec()));
+        for record in records {
+            if record.id.index > view.last_checkpoint_index(record.id.process) {
+                tally.note(
+                    max_kept,
+                    protocol,
+                    "missing-checkpoint",
+                    schedule,
+                    format!("protocol reported {} beyond the pattern", record.id),
+                );
+                continue;
+            }
+            tally.gc_checks += 1;
+            let members = [record.id];
+            let min_ok = view.min_consistent_containing_into(&members, min_buf);
+            let via_ok = view.min_consistent_via_rgraph_into(&members, via_buf);
+            if min_ok != via_ok || (min_ok && min_buf != via_buf) {
+                let fixpoint = gc_of(min_ok, min_buf);
+                let via_rgraph = gc_of(via_ok, via_buf);
+                tally.note(
+                    max_kept,
+                    protocol,
+                    "min-gc-oracle-disagreement",
+                    schedule,
+                    format!(
+                        "{}: fixpoint {fixpoint:?} != r-graph {via_rgraph:?}",
+                        record.id
+                    ),
+                );
+                continue;
+            }
+            let max_ok = view.max_consistent_containing_into(&members, max_buf);
+            match (min_ok, max_ok) {
+                (true, true) => {
+                    if !min_buf.iter().zip(max_buf.iter()).all(|(lo, hi)| lo <= hi) {
+                        let (lo, hi) = (
+                            GlobalCheckpoint::new(min_buf.clone()),
+                            GlobalCheckpoint::new(max_buf.clone()),
+                        );
+                        tally.note(
+                            max_kept,
+                            protocol,
+                            "min-above-max",
+                            schedule,
+                            format!("{}: min {lo} > max {hi}", record.id),
+                        );
+                    }
+                }
+                (false, false) => {}
+                _ => {
+                    let (lo, hi) = (gc_of(min_ok, min_buf), gc_of(max_ok, max_buf));
                     tally.note(
                         max_kept,
                         protocol,
-                        "min-above-max",
+                        "min-max-existence-disagreement",
                         schedule,
-                        format!("{}: min {lo} > max {hi}", record.id),
+                        format!("{}: min {lo:?}, max {hi:?}", record.id),
                     );
                 }
             }
-            (None, None) => {}
-            (lo, hi) => tally.note(
-                max_kept,
-                protocol,
-                "min-max-existence-disagreement",
-                schedule,
-                format!("{}: min {lo:?}, max {hi:?}", record.id),
-            ),
-        }
-        if protocol.claims_rdt() && fixpoint.is_none() {
-            tally.note(
-                max_kept,
-                protocol,
-                "useless-checkpoint",
-                schedule,
-                format!("{} is on a Z-cycle", record.id),
-            );
-        }
-        if protocol.check_reported_min_gc() {
-            if let Some(reported) = &record.min_consistent_gc {
-                let matches = fixpoint
-                    .as_ref()
-                    .is_some_and(|gc| gc.as_slice() == reported.as_slice());
-                if !matches {
-                    tally.note(
-                        max_kept,
-                        protocol,
-                        "tdv-min-gc-mismatch",
-                        schedule,
-                        format!(
-                            "{}: saved TDV {:?}, oracle min {:?} (Corollary 4.5)",
-                            record.id,
-                            reported,
-                            fixpoint.as_ref().map(|gc| gc.as_slice())
-                        ),
-                    );
+            if protocol.claims_rdt() && !min_ok {
+                tally.note(
+                    max_kept,
+                    protocol,
+                    "useless-checkpoint",
+                    schedule,
+                    format!("{} is on a Z-cycle", record.id),
+                );
+            }
+            if protocol.check_reported_min_gc() {
+                if let Some(reported) = &record.min_consistent_gc {
+                    let matches = min_ok && min_buf.as_slice() == reported.as_slice();
+                    if !matches {
+                        tally.note(
+                            max_kept,
+                            protocol,
+                            "tdv-min-gc-mismatch",
+                            schedule,
+                            format!(
+                                "{}: saved TDV {:?}, oracle min {:?} (Corollary 4.5)",
+                                record.id,
+                                reported,
+                                min_ok.then_some(&min_buf[..])
+                            ),
+                        );
+                    }
                 }
             }
         }
-    }
+    });
 }
 
 /// Exhaustively certifies `options.protocols` over `scope`.
 ///
 /// Layouts are the parallel work units, fanned out over the work-stealing
 /// engine; per-layout tallies are merged in layout order, so the report
-/// is identical for every thread count.
+/// is identical for every thread count. Each worker keeps one
+/// [`CertSession`] per protocol across all its layouts — the per-schedule
+/// check results are pure functions of the schedule, so session reuse
+/// changes nothing but the wall time.
 pub fn certify(scope: &Scope, options: &CertifyOptions) -> CertifyReport {
     let threads = if options.threads == 0 {
         std::thread::available_parallelism().map_or(1, |p| p.get())
@@ -443,16 +507,24 @@ pub fn certify(scope: &Scope, options: &CertifyOptions) -> CertifyReport {
     let perms = permutations(scope.processes);
     let protocols = &options.protocols;
     let max_kept = options.max_counterexamples;
+    let n = scope.processes;
 
     let per_layout = parallel_map_indexed(
         &layouts,
         threads,
-        || (),
-        |_, _, layout| {
+        || -> (Vec<CertSession>, LayoutScratch) {
+            let sessions = protocols.iter().map(|_| CertSession::new(n)).collect();
+            (sessions, LayoutScratch::new(n))
+        },
+        |(sessions, scratch), _, layout| {
             let mut tallies = vec![ProtocolTally::default(); protocols.len()];
-            let counts = visit_layout(layout, &perms, &mut |schedule| {
-                for (protocol, tally) in protocols.iter().zip(tallies.iter_mut()) {
-                    certify_schedule(protocol, schedule, tally, max_kept);
+            let counts = visit_layout(layout, &perms, scratch, &mut |schedule| {
+                for ((protocol, session), tally) in protocols
+                    .iter()
+                    .zip(sessions.iter_mut())
+                    .zip(tallies.iter_mut())
+                {
+                    certify_schedule(protocol, session, schedule, tally, max_kept);
                 }
             });
             (counts, tallies)

@@ -286,17 +286,86 @@ struct SendSlot {
     ord: usize,
 }
 
+/// Reusable buffers for [`visit_layout`]: one instance per worker (or
+/// one for a serial pass), reused across every layout it expands, so the
+/// per-structure hot path allocates nothing at all.
+pub(crate) struct LayoutScratch {
+    sends: Vec<SendSlot>,
+    /// Destination process of each deliver slot.
+    delivers: Vec<usize>,
+    used: Vec<bool>,
+    chosen: Vec<usize>,
+    matching: MatchScratch,
+}
+
+impl LayoutScratch {
+    pub(crate) fn new(n: usize) -> Self {
+        LayoutScratch {
+            sends: Vec::new(),
+            delivers: Vec::new(),
+            used: Vec::new(),
+            chosen: Vec::new(),
+            matching: MatchScratch::new(n),
+        }
+    }
+}
+
+/// Reusable buffers for the per-structure hot path (skeleton build,
+/// canonical-form check, linearization).
+struct MatchScratch {
+    skeleton: Skeleton,
+    identity_perm: Vec<usize>,
+    identity: Vec<u32>,
+    inverse: Vec<usize>,
+    cursor: Vec<usize>,
+    /// `msg_of[i][ord]` = message number once send `ord` of process `i`
+    /// ran.
+    msg_of: Vec<Vec<Option<usize>>>,
+    next_ord: Vec<usize>,
+    schedule: Schedule,
+}
+
+impl MatchScratch {
+    fn new(n: usize) -> Self {
+        MatchScratch {
+            skeleton: Skeleton {
+                n,
+                lines: vec![Vec::new(); n],
+            },
+            identity_perm: (0..n).collect(),
+            identity: Vec::new(),
+            inverse: vec![0; n],
+            cursor: vec![0; n],
+            msg_of: vec![Vec::new(); n],
+            next_ord: vec![0; n],
+            schedule: Schedule {
+                n,
+                events: Vec::new(),
+                messages: Vec::new(),
+            },
+        }
+    }
+}
+
 /// Expands all matchings of `layout`, applies symmetry pruning and the
 /// realizability check, and hands each canonical realizable schedule to
 /// `visit`. Returns the tallies of this layout.
 pub(crate) fn visit_layout(
     layout: &Layout,
     perms: &[Vec<usize>],
+    scratch: &mut LayoutScratch,
     visit: &mut dyn FnMut(&Schedule),
 ) -> EnumerationCounts {
     let mut counts = EnumerationCounts::default();
-    let mut sends: Vec<SendSlot> = Vec::new();
-    let mut delivers: Vec<usize> = Vec::new(); // destination process of each deliver slot
+    let LayoutScratch {
+        sends,
+        delivers,
+        used,
+        chosen,
+        matching,
+    } = scratch;
+    sends.clear();
+    delivers.clear();
     for (i, line) in layout.lines.iter().enumerate() {
         let mut ord = 0;
         for slot in line {
@@ -323,16 +392,19 @@ pub(crate) fn visit_layout(
             return counts;
         }
     }
-    let mut used = vec![false; sends.len()];
-    let mut chosen = vec![usize::MAX; delivers.len()];
+    used.clear();
+    used.resize(sends.len(), false);
+    chosen.clear();
+    chosen.resize(delivers.len(), usize::MAX);
     match_delivers(
         layout,
-        &sends,
-        &delivers,
+        sends,
+        delivers,
         0,
-        &mut used,
-        &mut chosen,
+        used,
+        chosen,
         perms,
+        matching,
         &mut counts,
         visit,
     );
@@ -348,23 +420,23 @@ fn match_delivers(
     used: &mut Vec<bool>,
     chosen: &mut Vec<usize>,
     perms: &[Vec<usize>],
+    scratch: &mut MatchScratch,
     counts: &mut EnumerationCounts,
     visit: &mut dyn FnMut(&Schedule),
 ) {
     if k == delivers.len() {
         counts.structures += 1;
-        let skeleton = build_skeleton(layout, sends, chosen);
-        if !is_canonical(&skeleton, perms) {
+        build_skeleton(layout, sends, chosen, &mut scratch.skeleton);
+        if !is_canonical(scratch, perms) {
             counts.pruned_symmetry += 1;
             return;
         }
         counts.canonical += 1;
-        match linearize(&skeleton) {
-            Some(schedule) => {
-                counts.replayable += 1;
-                visit(&schedule);
-            }
-            None => counts.unrealizable += 1,
+        if linearize(scratch) {
+            counts.replayable += 1;
+            visit(&scratch.schedule);
+        } else {
+            counts.unrealizable += 1;
         }
         return;
     }
@@ -382,6 +454,7 @@ fn match_delivers(
             used,
             chosen,
             perms,
+            scratch,
             counts,
             visit,
         );
@@ -389,49 +462,56 @@ fn match_delivers(
     }
 }
 
-fn build_skeleton(layout: &Layout, sends: &[SendSlot], chosen: &[usize]) -> Skeleton {
+fn build_skeleton(layout: &Layout, sends: &[SendSlot], chosen: &[usize], out: &mut Skeleton) {
     let mut deliver_index = 0;
-    let lines = layout
-        .lines
-        .iter()
-        .map(|line| {
-            line.iter()
-                .map(|slot| match *slot {
-                    LSlot::Basic => Slot::Basic,
-                    LSlot::Send { dest } => Slot::Send { dest },
-                    LSlot::Deliver => {
-                        let send = sends[chosen[deliver_index]];
-                        deliver_index += 1;
-                        Slot::Deliver {
-                            src: send.process,
-                            ord: send.ord,
-                        }
-                    }
-                })
-                .collect()
-        })
-        .collect();
-    Skeleton { n: layout.n, lines }
+    out.n = layout.n;
+    for (line, out_line) in layout.lines.iter().zip(out.lines.iter_mut()) {
+        out_line.clear();
+        out_line.extend(line.iter().map(|slot| match *slot {
+            LSlot::Basic => Slot::Basic,
+            LSlot::Send { dest } => Slot::Send { dest },
+            LSlot::Deliver => {
+                let send = sends[chosen[deliver_index]];
+                deliver_index += 1;
+                Slot::Deliver {
+                    src: send.process,
+                    ord: send.ord,
+                }
+            }
+        }));
+    }
+}
+
+/// Packs one slot, relabeled by `perm`, into a single word whose
+/// natural order equals the lexicographic order of the
+/// `(kind, process-payload, ordinal)` triple. Slot counts stay far
+/// below `1 << 8` at certifiable scopes, so the fields never collide,
+/// and the `u32::MAX` line separator stays strictly above every slot.
+#[inline]
+fn encode_slot(slot: Slot, perm: &[usize]) -> u32 {
+    match slot {
+        Slot::Basic => 0,
+        Slot::Send { dest } => (1 << 16) | ((perm[dest] as u32) << 8),
+        Slot::Deliver { src, ord } => (2 << 16) | ((perm[src] as u32) << 8) | ord as u32,
+    }
 }
 
 /// Serializes the skeleton as relabeled by `perm` (`perm[old] = new`).
 /// Lines are emitted in new-process order; slot payloads are relabeled.
-fn encode_relabeled(skeleton: &Skeleton, perm: &[usize], buf: &mut Vec<u32>) {
+fn encode_relabeled(
+    skeleton: &Skeleton,
+    perm: &[usize],
+    inverse: &mut [usize],
+    buf: &mut Vec<u32>,
+) {
     buf.clear();
     // inverse[j] = the old process that becomes new process j.
-    let mut inverse = vec![0usize; skeleton.n];
     for (old, &new) in perm.iter().enumerate() {
         inverse[new] = old;
     }
-    for &old in &inverse {
-        for slot in &skeleton.lines[old] {
-            match *slot {
-                Slot::Basic => buf.extend_from_slice(&[0, 0, 0]),
-                Slot::Send { dest } => buf.extend_from_slice(&[1, perm[dest] as u32, 0]),
-                Slot::Deliver { src, ord } => {
-                    buf.extend_from_slice(&[2, perm[src] as u32, ord as u32]);
-                }
-            }
+    for &old in inverse.iter() {
+        for &slot in &skeleton.lines[old] {
+            buf.push(encode_slot(slot, perm));
         }
         buf.push(u32::MAX); // line separator
     }
@@ -440,45 +520,77 @@ fn encode_relabeled(skeleton: &Skeleton, perm: &[usize], buf: &mut Vec<u32>) {
 /// A skeleton is canonical iff no relabeling encodes strictly smaller
 /// than the identity. Exactly one member of each isomorphism orbit is
 /// canonical, so replaying canonical skeletons covers the orbit.
-fn is_canonical(skeleton: &Skeleton, perms: &[Vec<usize>]) -> bool {
-    let mut identity = Vec::new();
-    let identity_perm: Vec<usize> = (0..skeleton.n).collect();
-    encode_relabeled(skeleton, &identity_perm, &mut identity);
-    let mut other = Vec::new();
-    for perm in perms {
+///
+/// Non-identity relabelings are compared against the identity encoding
+/// as they stream, bailing out at the first differing word — the full
+/// relabeled encoding is never materialized.
+fn is_canonical(scratch: &mut MatchScratch, perms: &[Vec<usize>]) -> bool {
+    let MatchScratch {
+        skeleton,
+        identity_perm,
+        identity,
+        inverse,
+        ..
+    } = scratch;
+    encode_relabeled(skeleton, identity_perm, inverse, identity);
+    'perm: for perm in perms {
         if perm[..] == identity_perm[..] {
             continue;
         }
-        encode_relabeled(skeleton, perm, &mut other);
-        if other < identity {
-            return false;
+        for (old, &new) in perm.iter().enumerate() {
+            inverse[new] = old;
         }
+        let mut pos = 0;
+        for &old in inverse.iter() {
+            for &slot in &skeleton.lines[old] {
+                let word = encode_slot(slot, perm);
+                match word.cmp(&identity[pos]) {
+                    std::cmp::Ordering::Less => return false,
+                    std::cmp::Ordering::Greater => continue 'perm,
+                    std::cmp::Ordering::Equal => pos += 1,
+                }
+            }
+            match u32::MAX.cmp(&identity[pos]) {
+                std::cmp::Ordering::Less => return false,
+                std::cmp::Ordering::Greater => continue 'perm,
+                std::cmp::Ordering::Equal => pos += 1,
+            }
+        }
+        // Equal length and all words equal: the relabeling is not
+        // strictly smaller, so it cannot disqualify the skeleton.
     }
     true
 }
 
 /// Produces the canonical linearization (greedy lowest-index-runnable
-/// process first), or `None` if the matching admits no execution order
-/// (some delivery transitively awaits a send that never becomes ready).
-fn linearize(skeleton: &Skeleton) -> Option<Schedule> {
+/// process first) into `scratch.schedule`, or `false` if the matching
+/// admits no execution order (some delivery transitively awaits a send
+/// that never becomes ready).
+fn linearize(scratch: &mut MatchScratch) -> bool {
+    let MatchScratch {
+        skeleton,
+        cursor,
+        msg_of,
+        next_ord,
+        schedule,
+        ..
+    } = scratch;
     let n = skeleton.n;
-    let mut cursor = vec![0usize; n];
-    // msg_of[i][ord] = message number once send `ord` of process i ran.
-    let mut msg_of: Vec<Vec<Option<usize>>> = skeleton
-        .lines
-        .iter()
-        .map(|line| {
-            let sends = line
-                .iter()
-                .filter(|s| matches!(s, Slot::Send { .. }))
-                .count();
-            vec![None; sends]
-        })
-        .collect();
-    let mut next_ord = vec![0usize; n];
+    cursor.iter_mut().for_each(|c| *c = 0);
+    next_ord.iter_mut().for_each(|o| *o = 0);
+    for (line, of) in skeleton.lines.iter().zip(msg_of.iter_mut()) {
+        let sends = line
+            .iter()
+            .filter(|s| matches!(s, Slot::Send { .. }))
+            .count();
+        of.clear();
+        of.resize(sends, None);
+    }
     let total: usize = skeleton.lines.iter().map(Vec::len).sum();
-    let mut events = Vec::with_capacity(total);
-    let mut messages = Vec::new();
+    let events = &mut schedule.events;
+    let messages = &mut schedule.messages;
+    events.clear();
+    messages.clear();
 
     loop {
         let mut progressed = false;
@@ -515,15 +627,7 @@ fn linearize(skeleton: &Skeleton) -> Option<Schedule> {
             break;
         }
     }
-    if events.len() == total {
-        Some(Schedule {
-            n,
-            events,
-            messages,
-        })
-    } else {
-        None
-    }
+    events.len() == total
 }
 
 /// Runs the full enumeration of `scope` serially, handing every canonical
@@ -531,8 +635,9 @@ fn linearize(skeleton: &Skeleton) -> Option<Schedule> {
 pub fn enumerate_schedules(scope: &Scope, mut visit: impl FnMut(&Schedule)) -> EnumerationCounts {
     let perms = permutations(scope.processes);
     let mut counts = EnumerationCounts::default();
+    let mut scratch = LayoutScratch::new(scope.processes);
     for layout in enumerate_layouts(scope) {
-        counts.absorb(&visit_layout(&layout, &perms, &mut visit));
+        counts.absorb(&visit_layout(&layout, &perms, &mut scratch, &mut visit));
     }
     counts
 }

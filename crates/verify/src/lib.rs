@@ -34,5 +34,8 @@ pub use certify::{certify, CertifyOptions, CertifyReport, Counterexample, Protoc
 pub use enumerate::{
     enumerate_patterns, enumerate_schedules, DriverEvent, EnumerationCounts, Schedule,
 };
-pub use replay::{replay_protocol, CertProtocol, PredicateMismatch, ReplayedRun};
+pub use replay::{
+    build_pattern, replay_protocol, replay_protocol_ops, CertProtocol, PatternOp,
+    PredicateMismatch, ReplayedOps, ReplayedRun,
+};
 pub use scope::Scope;

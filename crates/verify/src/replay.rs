@@ -46,44 +46,87 @@ pub struct ReplayedRun {
     pub predicate_mismatches: Vec<PredicateMismatch>,
 }
 
-/// Replays `schedule` over one protocol instance per process.
+/// One pattern-building operation of a replayed run, in execution order.
+///
+/// This is the *op stream* form of a replay outcome: applying the ops in
+/// order to a [`PatternBuilder`] — or to an incremental
+/// [`rdt_rgraph::IncrementalAnalysis`] — reproduces the replayed pattern.
+/// Two runs over schedules sharing an event prefix produce op streams
+/// sharing a prefix, which is what makes prefix-sharing replay possible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternOp {
+    /// A checkpoint on the process (basic or protocol-forced).
+    Checkpoint(ProcessId),
+    /// A send; sends are implicitly numbered in op order.
+    Send {
+        /// Sender.
+        from: ProcessId,
+        /// Receiver.
+        to: ProcessId,
+    },
+    /// Delivery of the numbered send.
+    Deliver(u32),
+}
+
+/// Outcome of replaying one protocol over one schedule, as an op stream
+/// (no pattern materialized).
+#[derive(Debug, Default)]
+pub struct ReplayedOps {
+    /// The pattern operations, in execution order.
+    pub ops: Vec<PatternOp>,
+    /// Every checkpoint the protocol reported, in event order.
+    pub records: Vec<CheckpointRecord>,
+    /// Forcing-predicate disagreements (empty unless a protocol or
+    /// oracle is buggy).
+    pub predicate_mismatches: Vec<PredicateMismatch>,
+}
+
+impl ReplayedOps {
+    fn clear(&mut self) {
+        self.ops.clear();
+        self.records.clear();
+        self.predicate_mismatches.clear();
+    }
+}
+
+/// Replays `schedule` over one protocol instance per process, appending
+/// the outcome to `out` (cleared first; callers reuse the buffers).
 ///
 /// `oracle` re-evaluates the forcing predicate from the receiver's public
 /// state *before* the arrival mutates it; returning `None` skips the
 /// conformance check (protocols whose predicate reads private-only state).
 ///
-/// # Errors
-///
-/// Returns an error if the produced pattern is invalid — impossible for
-/// enumerator-produced schedules, but propagated rather than unwrapped.
-pub fn replay_protocol<P: CicProtocol>(
+/// Schedule message numbers are send-order numbers, so they double as the
+/// op stream's implicit send numbering — no translation needed.
+pub fn replay_protocol_ops<P: CicProtocol>(
     schedule: &Schedule,
     make: impl Fn(usize, ProcessId) -> P,
     oracle: impl Fn(&P, ProcessId, &P::Piggyback) -> Option<bool>,
-) -> Result<ReplayedRun, PatternError> {
+    out: &mut ReplayedOps,
+) {
+    out.clear();
     let n = schedule.n;
     let mut procs: Vec<P> = (0..n).map(|i| make(n, ProcessId::new(i))).collect();
-    let mut builder = PatternBuilder::new(n);
     let mut piggybacks: Vec<P::Piggyback> = Vec::with_capacity(schedule.messages.len());
-    let mut mids = Vec::with_capacity(schedule.messages.len());
-    let mut records = Vec::new();
-    let mut predicate_mismatches = Vec::new();
 
     for (event_index, event) in schedule.events.iter().enumerate() {
         match *event {
             DriverEvent::Basic { process } => {
-                records.push(procs[process].take_basic_checkpoint());
-                builder.checkpoint(ProcessId::new(process));
+                out.records.push(procs[process].take_basic_checkpoint());
+                out.ops.push(PatternOp::Checkpoint(ProcessId::new(process)));
             }
             DriverEvent::Send { from, to, .. } => {
                 let outcome = procs[from].before_send(ProcessId::new(to));
                 piggybacks.push(outcome.piggyback);
-                mids.push(builder.send(ProcessId::new(from), ProcessId::new(to)));
+                out.ops.push(PatternOp::Send {
+                    from: ProcessId::new(from),
+                    to: ProcessId::new(to),
+                });
                 // Checkpoint-after-send protocols checkpoint *after* the
                 // send event.
                 if let Some(record) = outcome.forced_after {
-                    records.push(record);
-                    builder.checkpoint(ProcessId::new(from));
+                    out.records.push(record);
+                    out.ops.push(PatternOp::Checkpoint(ProcessId::new(from)));
                 }
             }
             DriverEvent::Deliver { to, message } => {
@@ -94,13 +137,13 @@ pub fn replay_protocol<P: CicProtocol>(
                 let forced = outcome.was_forced();
                 // A forced checkpoint precedes the delivery event.
                 if let Some(record) = outcome.forced {
-                    records.push(record);
-                    builder.checkpoint(ProcessId::new(to));
+                    out.records.push(record);
+                    out.ops.push(PatternOp::Checkpoint(ProcessId::new(to)));
                 }
-                builder.deliver(mids[message])?;
+                out.ops.push(PatternOp::Deliver(message as u32));
                 if let Some(oracle_forces) = expected {
                     if oracle_forces != forced {
-                        predicate_mismatches.push(PredicateMismatch {
+                        out.predicate_mismatches.push(PredicateMismatch {
                             event_index,
                             process: to,
                             oracle_forces,
@@ -111,12 +154,51 @@ pub fn replay_protocol<P: CicProtocol>(
             }
         }
     }
+}
 
+/// Replays `schedule` over one protocol instance per process and builds
+/// the resulting [`Pattern`] (see [`replay_protocol_ops`] for the
+/// allocation-free op-stream form the certifier uses).
+///
+/// # Errors
+///
+/// Returns an error if the produced pattern is invalid — impossible for
+/// enumerator-produced schedules, but propagated rather than unwrapped.
+pub fn replay_protocol<P: CicProtocol>(
+    schedule: &Schedule,
+    make: impl Fn(usize, ProcessId) -> P,
+    oracle: impl Fn(&P, ProcessId, &P::Piggyback) -> Option<bool>,
+) -> Result<ReplayedRun, PatternError> {
+    let mut run = ReplayedOps::default();
+    replay_protocol_ops(schedule, make, oracle, &mut run);
     Ok(ReplayedRun {
-        pattern: builder.build()?,
-        records,
-        predicate_mismatches,
+        pattern: build_pattern(schedule.n, &run.ops)?,
+        records: run.records,
+        predicate_mismatches: run.predicate_mismatches,
     })
+}
+
+/// Materializes the pattern of an op stream.
+///
+/// # Errors
+///
+/// Returns an error if the ops are not a valid execution order (never for
+/// replay-produced streams).
+pub fn build_pattern(n: usize, ops: &[PatternOp]) -> Result<Pattern, PatternError> {
+    let mut builder = PatternBuilder::new(n);
+    let mut mids = Vec::new();
+    for op in ops {
+        match *op {
+            PatternOp::Checkpoint(process) => {
+                builder.checkpoint(process);
+            }
+            PatternOp::Send { from, to } => mids.push(builder.send(from, to)),
+            PatternOp::Deliver(message) => {
+                builder.deliver(mids[message as usize])?;
+            }
+        }
+    }
+    builder.build()
 }
 
 /// The forcing predicate of full BHMR, recomputed from public accessors:
@@ -234,13 +316,9 @@ impl CertProtocol {
         }
     }
 
-    /// Replays this protocol over `schedule`.
-    ///
-    /// # Errors
-    ///
-    /// Propagates pattern-construction failures (never for
-    /// enumerator-produced schedules).
-    pub fn replay(&self, schedule: &Schedule) -> Result<ReplayedRun, PatternError> {
+    /// Replays this protocol over `schedule` as an op stream, into `out`
+    /// (cleared first; callers reuse the buffers across schedules).
+    pub fn replay_ops(&self, schedule: &Schedule, out: &mut ReplayedOps) {
         // A fresh closure per call site: one binding would pin the
         // protocol type at its first use.
         macro_rules! no_oracle {
@@ -250,39 +328,56 @@ impl CertProtocol {
         }
         match self {
             CertProtocol::Kind(ProtocolKind::Bhmr) => {
-                replay_protocol(schedule, Bhmr::new, bhmr_oracle)
+                replay_protocol_ops(schedule, Bhmr::new, bhmr_oracle, out)
             }
             CertProtocol::WeakenedBhmrC2Only => {
-                replay_protocol(schedule, Bhmr::weakened_c2_only, bhmr_oracle)
+                replay_protocol_ops(schedule, Bhmr::weakened_c2_only, bhmr_oracle, out)
             }
             CertProtocol::Kind(ProtocolKind::BhmrNoSimple) => {
-                replay_protocol(schedule, BhmrNoSimple::new, no_simple_oracle)
+                replay_protocol_ops(schedule, BhmrNoSimple::new, no_simple_oracle, out)
             }
             CertProtocol::Kind(ProtocolKind::BhmrCausalOnly) => {
-                replay_protocol(schedule, BhmrCausalOnly::new, causal_only_oracle)
+                replay_protocol_ops(schedule, BhmrCausalOnly::new, causal_only_oracle, out)
             }
             CertProtocol::Kind(ProtocolKind::Fdas) => {
-                replay_protocol(schedule, Fdas::new, fdas_oracle)
+                replay_protocol_ops(schedule, Fdas::new, fdas_oracle, out)
             }
             CertProtocol::Kind(ProtocolKind::Fdi) => {
-                replay_protocol(schedule, Fdi::new, fdi_oracle)
+                replay_protocol_ops(schedule, Fdi::new, fdi_oracle, out)
             }
             CertProtocol::Kind(ProtocolKind::Bcs) => {
-                replay_protocol(schedule, Bcs::new, no_oracle!())
+                replay_protocol_ops(schedule, Bcs::new, no_oracle!(), out)
             }
             CertProtocol::Kind(ProtocolKind::Cbr) => {
-                replay_protocol(schedule, Cbr::new, no_oracle!())
+                replay_protocol_ops(schedule, Cbr::new, no_oracle!(), out)
             }
             CertProtocol::Kind(ProtocolKind::Cas) => {
-                replay_protocol(schedule, Cas::new, no_oracle!())
+                replay_protocol_ops(schedule, Cas::new, no_oracle!(), out)
             }
             CertProtocol::Kind(ProtocolKind::Nras) => {
-                replay_protocol(schedule, Nras::new, no_oracle!())
+                replay_protocol_ops(schedule, Nras::new, no_oracle!(), out)
             }
             CertProtocol::Kind(ProtocolKind::Uncoordinated) => {
-                replay_protocol(schedule, Uncoordinated::new, no_oracle!())
+                replay_protocol_ops(schedule, Uncoordinated::new, no_oracle!(), out)
             }
         }
+    }
+
+    /// Replays this protocol over `schedule` and materializes the
+    /// pattern.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pattern-construction failures (never for
+    /// enumerator-produced schedules).
+    pub fn replay(&self, schedule: &Schedule) -> Result<ReplayedRun, PatternError> {
+        let mut run = ReplayedOps::default();
+        self.replay_ops(schedule, &mut run);
+        Ok(ReplayedRun {
+            pattern: build_pattern(schedule.n, &run.ops)?,
+            records: run.records,
+            predicate_mismatches: run.predicate_mismatches,
+        })
     }
 }
 

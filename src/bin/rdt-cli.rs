@@ -9,7 +9,7 @@
 //! rdt-cli compare --env random --n 8 --seed 3 --messages 2000
 //! rdt-cli audit --figure 1
 //! rdt-cli domino --rounds 10
-//! rdt-cli certify --scope 3,4 [--threads N] [--json certify_report.json]
+//! rdt-cli certify --scope 3,4 [--threads N] [--json results/certify_report.json]
 //! rdt-cli lint
 //! ```
 
@@ -94,7 +94,9 @@ fn cmd_run(flags: &HashMap<String, String>) -> ExitCode {
         }
     };
     let n = get(flags, "n", 8usize);
-    let config = build_config(flags, n);
+    // `--stats` rides the online probe: the incremental engine shadows the
+    // run so append and query cost can be reported separately.
+    let config = build_config(flags, n).with_online_rdt_probe(flags.contains_key("stats"));
     let mut app = env.build(n, get(flags, "send-mean", 20u64));
     let outcome = run_protocol_kind(protocol, &config, app.as_mut());
 
@@ -137,6 +139,27 @@ fn cmd_run(flags: &HashMap<String, String>) -> ExitCode {
         }
     }
     if flags.contains_key("stats") {
+        if let Some(probe) = &outcome.online_rdt {
+            println!(
+                "  online probe ({} events appended during the run):",
+                probe.events_appended
+            );
+            println!(
+                "    append     : {:>9.3} ms (incremental engine updates)",
+                probe.append_time.as_secs_f64() * 1e3
+            );
+            let verdict = match probe.first_violation_event {
+                Some(event) => format!(
+                    "{} untrackable pairs, first after event {event}",
+                    probe.untrackable_pairs
+                ),
+                None => "no untrackable pair at any step".to_string(),
+            };
+            println!(
+                "    query      : {:>9.3} ms ({verdict})",
+                probe.query_time.as_secs_f64() * 1e3
+            );
+        }
         // One shared PatternAnalysis; its laziness splits the offline
         // check into its phases so each can be timed in isolation.
         let pattern = outcome.trace.to_pattern();
