@@ -2,7 +2,7 @@
 //! evaluation.
 //!
 //! ```text
-//! experiments [all|fig7|fig8|fig9|table1|cor45|rdtcheck|ablation|recovery] \
+//! experiments [all|fig7|fig8|fig9|table1|cor45|rdtcheck|ablation|recovery|recovery-exec] \
 //!     [--quick] [--threads N]
 //! ```
 //!
@@ -16,8 +16,8 @@ use std::process::ExitCode;
 
 use rdt_bench::{
     ablation, closure_bench, coordinated, corollary45, incremental_vs_batch, necessity, rdt_check,
-    recovery_experiment, render_figure, render_table1, run_sweep_with_metrics, scaling,
-    sensitivity, table1, write_json, Sweep, SweepOptions,
+    recovery_exec, recovery_experiment, render_figure, render_recovery_exec, render_table1,
+    run_sweep_with_metrics, scaling, sensitivity, table1, write_json, Sweep, SweepOptions,
 };
 use rdt_workloads::EnvironmentKind;
 
@@ -160,6 +160,7 @@ fn main() -> ExitCode {
         "scaling",
         "necessity",
         "recovery",
+        "recovery-exec",
     ];
     if !known.contains(&which.as_str()) {
         eprintln!("unknown experiment {which:?}; expected one of {known:?}");
@@ -397,6 +398,29 @@ fn main() -> ExitCode {
         }
         let _ = write_json(&dir, "recovery", &result);
         println!();
+    }
+
+    if which == "all" || which == "recovery-exec" {
+        // Crash runs carry the online analysis engine (the recovery line is
+        // computed incrementally at crash time), whose append cost grows
+        // with the checkpoint count — and both crashes fire within the
+        // first few hundred ticks anyway, so longer runs only add
+        // crash-free tail. Keep the runs short and spend the budget on
+        // seeds instead.
+        let messages = if quick { 400 } else { 800 };
+        let result = recovery_exec(4, &scale.check_seeds, messages, 4.0, 2, options.threads);
+        print!("{}", render_recovery_exec(&result));
+        match write_json(&dir, "BENCH_recovery_exec", &result) {
+            Ok(path) => println!("  -> {}\n", path.display()),
+            Err(err) => eprintln!("  !! could not write BENCH_recovery_exec.json: {err}\n"),
+        }
+        // Regression gate: the point of RDT — on the domino workload the
+        // uncoordinated baseline must collapse to the initial state while
+        // every RDT protocol keeps its worst rollback strictly smaller.
+        if let Err(reason) = result.rdt_bounds_domino() {
+            eprintln!("  !! recovery-exec gate FAIL: {reason}");
+            return ExitCode::FAILURE;
+        }
     }
 
     ExitCode::SUCCESS

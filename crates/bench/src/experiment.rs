@@ -650,6 +650,7 @@ fn prefix_pattern(n: usize, events: &[rdt_sim::TraceEvent]) -> rdt_rgraph::Patte
             rdt_sim::TraceEvent::Checkpoint { id, .. } => {
                 builder.checkpoint(id.process);
             }
+            rdt_sim::TraceEvent::Crash { .. } => {}
         }
     }
     builder.build().expect("prefix of a valid trace")
@@ -710,6 +711,7 @@ pub fn incremental_vs_batch(
                     TraceEvent::Checkpoint { id, .. } => {
                         engine.append_checkpoint(id.process);
                     }
+                    TraceEvent::Crash { .. } => {}
                 }
                 violations = engine.untrackable_pairs();
             }
@@ -1118,6 +1120,255 @@ pub fn recovery_experiment(n: usize, seeds: &[u64], messages: u64) -> RecoveryRe
     }
 }
 
+/// One protocol × environment cell of BENCH-RECOVERY-EXEC, aggregated
+/// over the seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryExecRow {
+    /// Protocol name.
+    pub protocol: String,
+    /// Environment name.
+    pub environment: String,
+    /// Runs aggregated (one per seed).
+    pub runs: u64,
+    /// Crashes that actually fired across the runs.
+    pub crashes: u64,
+    /// Worst per-process rollback over every crash, in checkpoints.
+    pub max_rollback_depth: u32,
+    /// Mean (over crashes) of the per-crash worst rollback depth.
+    pub mean_rollback_depth: f64,
+    /// Mean (over crashes) of the number of processes rolled back.
+    pub mean_domino_span: f64,
+    /// Processes rolled to their initial checkpoint, total over crashes.
+    pub rolled_to_initial: u64,
+    /// Orphaned in-flight messages discarded, total.
+    pub orphans_discarded: u64,
+    /// Deliveries undone by rollbacks, total.
+    pub deliveries_undone: u64,
+    /// Lost messages replayed from the sender-side log, total.
+    pub lost_replayed: u64,
+    /// Mean simulated recovery latency (ticks rolled back), over crashes.
+    pub mean_rollback_span_ticks: f64,
+    /// Forced checkpoints taken, total — the price paid for bounded
+    /// rollback.
+    pub forced_checkpoints: u64,
+}
+
+/// BENCH-RECOVERY-EXEC: live crash injection during the run, recovery-line
+/// rollback executed by the simulator, damage measured per protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryExecResult {
+    /// Number of processes per run.
+    pub n: usize,
+    /// Messages injected per run.
+    pub messages: u64,
+    /// Expected crashes per 1000 ticks.
+    pub crash_rate: f64,
+    /// Crash budget per run.
+    pub max_crashes: u32,
+    /// Seeds swept.
+    pub seeds: Vec<u64>,
+    /// One row per environment × protocol, environment-major, in the
+    /// order of [`recovery_exec_protocols`].
+    pub rows: Vec<RecoveryExecRow>,
+}
+
+impl RecoveryExecResult {
+    /// The row of `protocol` in `environment`, if present.
+    pub fn row(&self, environment: &str, protocol: ProtocolKind) -> Option<&RecoveryExecRow> {
+        self.rows
+            .iter()
+            .find(|row| row.environment == environment && row.protocol == protocol.name())
+    }
+
+    /// The acceptance gate of the experiment: on the domino environment,
+    /// uncoordinated checkpointing must exhibit the unbounded collapse
+    /// (some process rolled back to its initial state) while every
+    /// RDT-ensuring protocol keeps its worst rollback strictly below the
+    /// uncoordinated worst case.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable explanation of the first violated clause.
+    pub fn rdt_bounds_domino(&self) -> Result<(), String> {
+        let unc = self
+            .row("domino", ProtocolKind::Uncoordinated)
+            .ok_or("missing uncoordinated domino row")?;
+        if unc.crashes == 0 {
+            return Err("no crashes fired in the uncoordinated domino runs".to_string());
+        }
+        if unc.rolled_to_initial == 0 {
+            return Err(
+                "uncoordinated checkpointing never collapsed to the initial state on the domino \
+                 workload"
+                    .to_string(),
+            );
+        }
+        for &protocol in recovery_exec_protocols() {
+            if protocol == ProtocolKind::Uncoordinated {
+                continue;
+            }
+            let row = self
+                .row("domino", protocol)
+                .ok_or_else(|| format!("missing domino row for {protocol}"))?;
+            if row.max_rollback_depth >= unc.max_rollback_depth {
+                return Err(format!(
+                    "{} max rollback depth {} is not below uncoordinated's {} on domino",
+                    protocol, row.max_rollback_depth, unc.max_rollback_depth
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The protocol series of BENCH-RECOVERY-EXEC: the RDT family that should
+/// bound rollback, plus the uncoordinated baseline that should not.
+pub fn recovery_exec_protocols() -> &'static [ProtocolKind] {
+    &[
+        ProtocolKind::Bhmr,
+        ProtocolKind::BhmrNoSimple,
+        ProtocolKind::Fdas,
+        ProtocolKind::Fdi,
+        ProtocolKind::Uncoordinated,
+    ]
+}
+
+/// Per-run summary shipped back from the worker pool (the full outcome,
+/// trace included, would be needlessly heavy).
+#[derive(Debug, Clone, Copy, Default)]
+struct RecoveryExecSample {
+    crashes: u64,
+    max_depth: u32,
+    sum_max_depth: u64,
+    sum_domino_span: u64,
+    rolled_to_initial: u64,
+    orphans_discarded: u64,
+    deliveries_undone: u64,
+    lost_replayed: u64,
+    sum_rollback_span: u64,
+    forced_checkpoints: u64,
+}
+
+/// Runs BENCH-RECOVERY-EXEC: every protocol of
+/// [`recovery_exec_protocols`] under live crash injection on the domino
+/// and random environments, fanned over `threads` workers. Per-point
+/// seeds derive only from `(environment, seed)`, so every protocol faces
+/// the same workload schedule *and* the same crash clock — the comparison
+/// isolates what the checkpoints are worth when the crash actually comes.
+///
+/// Results are in grid order and bit-identical for every thread count.
+pub fn recovery_exec(
+    n: usize,
+    seeds: &[u64],
+    messages: u64,
+    crash_rate: f64,
+    max_crashes: u32,
+    threads: usize,
+) -> RecoveryExecResult {
+    let environments = [EnvironmentKind::Domino, EnvironmentKind::Random];
+    let protocols = recovery_exec_protocols();
+
+    let mut items: Vec<(EnvironmentKind, ProtocolKind, u64)> = Vec::new();
+    for (env_index, &env) in environments.iter().enumerate() {
+        for &protocol in protocols {
+            for &seed in seeds {
+                items.push((env, protocol, SimRng::derive_seed(seed, env_index as u64)));
+            }
+        }
+    }
+
+    let samples = rdt_sim::parallel_map_indexed(
+        &items,
+        threads,
+        SimScratch::new,
+        |scratch, _, &(env, protocol, seed)| {
+            let mut config = config(n, seed, 2 * MEAN_SEND_INTERVAL, messages)
+                .with_crash_rate(crash_rate)
+                .with_max_crashes(max_crashes);
+            if env == EnvironmentKind::Domino {
+                // The domino workload checkpoints itself (before every
+                // reply); timer-driven basics would break the zigzag and
+                // hand uncoordinated checkpointing a consistent line by
+                // luck.
+                config = config.with_basic_checkpoints(BasicCheckpointModel::Disabled);
+            }
+            let mut app = env.build(n, MEAN_SEND_INTERVAL);
+            run_protocol_kind_with_scratch(protocol, &config, app.as_mut(), scratch, |outcome| {
+                let report = outcome.recovery.as_ref().expect("crashes enabled");
+                let mut sample = RecoveryExecSample {
+                    crashes: report.crashes.len() as u64,
+                    max_depth: report.max_rollback_depth(),
+                    rolled_to_initial: report.total_rolled_to_initial() as u64,
+                    orphans_discarded: report.total_orphans_discarded(),
+                    deliveries_undone: report.total_deliveries_undone(),
+                    lost_replayed: report.total_lost_replayed(),
+                    forced_checkpoints: outcome.stats.total.forced_checkpoints,
+                    ..RecoveryExecSample::default()
+                };
+                for crash in &report.crashes {
+                    sample.sum_max_depth += u64::from(crash.max_depth());
+                    sample.sum_domino_span += crash.domino_span as u64;
+                    sample.sum_rollback_span += crash.rollback_span.ticks();
+                }
+                sample
+            })
+        },
+        |_| {},
+    );
+
+    let mut rows = Vec::with_capacity(environments.len() * protocols.len());
+    let mut cursor = samples.chunks_exact(seeds.len().max(1));
+    for &env in &environments {
+        for &protocol in protocols {
+            let chunk = cursor.next().expect("grid covers every cell");
+            let mut total = RecoveryExecSample::default();
+            for sample in chunk {
+                total.crashes += sample.crashes;
+                total.max_depth = total.max_depth.max(sample.max_depth);
+                total.sum_max_depth += sample.sum_max_depth;
+                total.sum_domino_span += sample.sum_domino_span;
+                total.rolled_to_initial += sample.rolled_to_initial;
+                total.orphans_discarded += sample.orphans_discarded;
+                total.deliveries_undone += sample.deliveries_undone;
+                total.lost_replayed += sample.lost_replayed;
+                total.sum_rollback_span += sample.sum_rollback_span;
+                total.forced_checkpoints += sample.forced_checkpoints;
+            }
+            let per_crash = |sum: u64| {
+                if total.crashes == 0 {
+                    0.0
+                } else {
+                    sum as f64 / total.crashes as f64
+                }
+            };
+            rows.push(RecoveryExecRow {
+                protocol: protocol.name().to_string(),
+                environment: env.name().to_string(),
+                runs: chunk.len() as u64,
+                crashes: total.crashes,
+                max_rollback_depth: total.max_depth,
+                mean_rollback_depth: per_crash(total.sum_max_depth),
+                mean_domino_span: per_crash(total.sum_domino_span),
+                rolled_to_initial: total.rolled_to_initial,
+                orphans_discarded: total.orphans_discarded,
+                deliveries_undone: total.deliveries_undone,
+                lost_replayed: total.lost_replayed,
+                mean_rollback_span_ticks: per_crash(total.sum_rollback_span),
+                forced_checkpoints: total.forced_checkpoints,
+            });
+        }
+    }
+
+    RecoveryExecResult {
+        n,
+        messages,
+        crash_rate,
+        max_crashes,
+        seeds: seeds.to_vec(),
+        rows,
+    }
+}
+
 impl ToJson for ProtocolPoint {
     fn to_json(&self) -> Json {
         Json::obj([
@@ -1266,6 +1517,42 @@ impl ToJson for RecoveryResult {
     }
 }
 
+impl ToJson for RecoveryExecRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("protocol", self.protocol.to_json()),
+            ("environment", self.environment.to_json()),
+            ("runs", self.runs.to_json()),
+            ("crashes", self.crashes.to_json()),
+            ("max_rollback_depth", self.max_rollback_depth.to_json()),
+            ("mean_rollback_depth", self.mean_rollback_depth.to_json()),
+            ("mean_domino_span", self.mean_domino_span.to_json()),
+            ("rolled_to_initial", self.rolled_to_initial.to_json()),
+            ("orphans_discarded", self.orphans_discarded.to_json()),
+            ("deliveries_undone", self.deliveries_undone.to_json()),
+            ("lost_replayed", self.lost_replayed.to_json()),
+            (
+                "mean_rollback_span_ticks",
+                self.mean_rollback_span_ticks.to_json(),
+            ),
+            ("forced_checkpoints", self.forced_checkpoints.to_json()),
+        ])
+    }
+}
+
+impl ToJson for RecoveryExecResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("n", self.n.to_json()),
+            ("messages", self.messages.to_json()),
+            ("crash_rate", self.crash_rate.to_json()),
+            ("max_crashes", self.max_crashes.to_json()),
+            ("seeds", self.seeds.to_json()),
+            ("rows", self.rows.to_json()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1312,6 +1599,24 @@ mod tests {
             assert!(*discarded >= 0.0);
             assert!((0.0..=1.0).contains(reclaim));
         }
+    }
+
+    #[test]
+    fn recovery_exec_gate_holds_and_is_thread_invariant() {
+        let result = recovery_exec(4, &[1, 2], 200, 4.0, 2, 1);
+        assert_eq!(result.rows.len(), 2 * recovery_exec_protocols().len());
+        for row in &result.rows {
+            assert_eq!(row.runs, 2);
+            assert!(
+                row.lost_replayed <= row.deliveries_undone,
+                "{}",
+                row.protocol
+            );
+        }
+        result.rdt_bounds_domino().unwrap();
+        // The fan-out is a pure map over the grid: any thread count yields
+        // bit-identical rows.
+        assert_eq!(result, recovery_exec(4, &[1, 2], 200, 4.0, 2, 4));
     }
 
     #[test]

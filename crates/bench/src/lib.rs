@@ -21,13 +21,14 @@ pub mod report;
 
 pub use experiment::{
     ablation, closure_bench, coordinated, corollary45, figure, incremental_vs_batch, necessity,
-    protocol_set, rdt_check, recovery_experiment, scaling, sensitivity, table1, AblationResult,
-    ClosureBenchResult, CoordinatedResult, Cor45Result, FigureResult, IncrementalBenchResult,
-    IncrementalBenchRow, NecessityResult, PointOutcome, ProtocolPoint, RdtCheckResult,
-    RecoveryResult, ScalingResult, SensitivityResult, Sweep, SweepPoint, SweepRow, Table1Result,
-    MEAN_DELAY, MEAN_SEND_INTERVAL,
+    protocol_set, rdt_check, recovery_exec, recovery_exec_protocols, recovery_experiment, scaling,
+    sensitivity, table1, AblationResult, ClosureBenchResult, CoordinatedResult, Cor45Result,
+    FigureResult, IncrementalBenchResult, IncrementalBenchRow, NecessityResult, PointOutcome,
+    ProtocolPoint, RdtCheckResult, RecoveryExecResult, RecoveryExecRow, RecoveryResult,
+    ScalingResult, SensitivityResult, Sweep, SweepPoint, SweepRow, Table1Result, MEAN_DELAY,
+    MEAN_SEND_INTERVAL,
 };
 pub use parallel::{
     run_sweep, run_sweep_points, run_sweep_with_metrics, SweepMetrics, SweepOptions,
 };
-pub use report::{render_figure, render_table1, write_json};
+pub use report::{render_figure, render_recovery_exec, render_table1, write_json};

@@ -7,7 +7,7 @@ use std::path::Path;
 use rdt_core::ProtocolKind;
 use rdt_json::ToJson;
 
-use crate::experiment::{FigureResult, Table1Result};
+use crate::experiment::{FigureResult, RecoveryExecResult, Table1Result};
 use crate::protocol_set;
 
 /// Renders a figure as a fixed-width text table: one row per
@@ -92,6 +92,58 @@ pub fn render_table1(result: &Table1Result) -> String {
                 );
             }
         }
+    }
+    out
+}
+
+/// Renders BENCH-RECOVERY-EXEC: per environment × protocol, the damage a
+/// live crash actually does once the simulator rolls the system back to
+/// its recovery line.
+pub fn render_recovery_exec(result: &RecoveryExecResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== BENCH-RECOVERY-EXEC — executed rollback under crash injection, n={}, {} msgs, \
+         rate {}/1000 ticks, ≤{} crashes, {} seeds ==",
+        result.n,
+        result.messages,
+        result.crash_rate,
+        result.max_crashes,
+        result.seeds.len()
+    );
+    let _ = writeln!(
+        out,
+        "{:>10} {:>16} {:>8} {:>9} {:>10} {:>10} {:>9} {:>8} {:>7} {:>6} {:>11} {:>8}",
+        "env",
+        "protocol",
+        "crashes",
+        "max-depth",
+        "mean-depth",
+        "mean-span",
+        "to-init",
+        "orphans",
+        "undone",
+        "lost",
+        "span-ticks",
+        "forced"
+    );
+    for row in &result.rows {
+        let _ = writeln!(
+            out,
+            "{:>10} {:>16} {:>8} {:>9} {:>10.2} {:>10.2} {:>9} {:>8} {:>7} {:>6} {:>11.1} {:>8}",
+            row.environment,
+            row.protocol,
+            row.crashes,
+            row.max_rollback_depth,
+            row.mean_rollback_depth,
+            row.mean_domino_span,
+            row.rolled_to_initial,
+            row.orphans_discarded,
+            row.deliveries_undone,
+            row.lost_replayed,
+            row.mean_rollback_span_ticks,
+            row.forced_checkpoints
+        );
     }
     out
 }

@@ -29,5 +29,8 @@ mod line;
 pub mod logging;
 
 pub use domino::domino_pattern;
-pub use line::{analyze, lost_messages, recovery_line, Failure, RollbackReport};
+pub use line::{
+    analyze, lost_messages, recovery_line, recovery_line_naive, try_analyze, try_lost_messages,
+    try_recovery_line, Failure, RecoveryError, RollbackReport,
+};
 pub use logging::{output_commit_requirement, replay_plan, ReplayPlan};

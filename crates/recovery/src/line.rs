@@ -1,4 +1,20 @@
 //! Recovery lines and rollback analysis.
+//!
+//! # Indexing convention (audited against `rgraph::pattern`)
+//!
+//! Checkpoint indices and interval indices interleave as
+//! `C_0 < I_1 < C_1 < I_2 < …`: interval `k` is the open stretch of events
+//! *between* checkpoints `k-1` and `k`, so `Pattern::interval_of` is
+//! **1-based** — a delivery can never sit in an "interval 0" (there is no
+//! execution before the initial checkpoint `C_0`). The orphan-descent step
+//! `line[q] = deliver.index - 1` therefore bottoms out at the initial
+//! checkpoint `0` and cannot underflow on a valid [`Pattern`]. What *could*
+//! abort a long sweep was a [`Failure`] naming an out-of-range process,
+//! which panicked deep inside the descent; the fallible entry points
+//! ([`try_recovery_line`], [`try_lost_messages`], [`try_analyze`]) report
+//! that as a [`RecoveryError`] instead.
+
+use std::fmt;
 
 use rdt_causality::ProcessId;
 use rdt_rgraph::{consistency, GlobalCheckpoint, Pattern, PatternMessageId};
@@ -25,6 +41,49 @@ impl Failure {
     }
 }
 
+/// A malformed rollback request, reported instead of panicking so one bad
+/// failure spec cannot abort a long sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// A [`Failure`] named a process the pattern does not have.
+    ProcessOutOfRange {
+        /// The offending process index.
+        process: usize,
+        /// How many processes the pattern has.
+        num_processes: usize,
+    },
+    /// A global checkpoint's width does not match the pattern.
+    LineWidthMismatch {
+        /// Number of entries in the supplied line.
+        line: usize,
+        /// How many processes the pattern has.
+        num_processes: usize,
+    },
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            RecoveryError::ProcessOutOfRange {
+                process,
+                num_processes,
+            } => write!(
+                f,
+                "failure names process {process} but the pattern has {num_processes} processes"
+            ),
+            RecoveryError::LineWidthMismatch {
+                line,
+                num_processes,
+            } => write!(
+                f,
+                "global checkpoint has {line} entries but the pattern has {num_processes} processes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
 /// Computes the **recovery line**: the componentwise-latest consistent
 /// global checkpoint in which every failed process is at or below its
 /// resume cap.
@@ -37,10 +96,92 @@ impl Failure {
 /// precisely this fixpoint descending far below the failure (possibly all
 /// the way to the initial states).
 ///
+/// The descent runs a worklist seeded from the processes whose line entry
+/// can already orphan one of their sends (the capped failures, plus
+/// senders with messages leaving the open interval past their last
+/// checkpoint); each entry only ever decreases, so the scan touches a
+/// sender's messages only when its entry actually moved instead of
+/// rescanning every delivered message per round. [`recovery_line_naive`]
+/// keeps the textbook full-rescan fixpoint as a differential oracle.
+pub fn try_recovery_line(
+    pattern: &Pattern,
+    failures: &[Failure],
+) -> Result<GlobalCheckpoint, RecoveryError> {
+    let n = pattern.num_processes();
+    let mut line: Vec<u32> = (0..n)
+        .map(|i| pattern.last_checkpoint_index(ProcessId::new(i)))
+        .collect();
+    for failure in failures {
+        let i = failure.process.index();
+        if i >= n {
+            return Err(RecoveryError::ProcessOutOfRange {
+                process: i,
+                num_processes: n,
+            });
+        }
+        line[i] = line[i].min(failure.resume_cap);
+    }
+
+    // Per-sender index: (send interval, receiver, deliver interval).
+    let mut by_sender: Vec<Vec<(u32, usize, u32)>> = vec![Vec::new(); n];
+    for (_, send, deliver) in pattern.delivered_messages() {
+        by_sender[send.process.index()].push((send.index, deliver.process.index(), deliver.index));
+    }
+
+    let mut queued = vec![false; n];
+    let mut work: Vec<usize> = Vec::with_capacity(n);
+    for p in 0..n {
+        if by_sender[p].iter().any(|&(send, _, _)| send > line[p]) {
+            queued[p] = true;
+            work.push(p);
+        }
+    }
+    while let Some(p) = work.pop() {
+        queued[p] = false;
+        for &(send, q, deliver) in &by_sender[p] {
+            // Read both entries fresh each step: lowering line[q] inside
+            // this scan must be visible to the remaining messages.
+            if send > line[p] && deliver <= line[q] {
+                // Intervals are 1-based, so deliver >= 1: the receiver
+                // lands on checkpoint deliver - 1, at worst its initial
+                // checkpoint 0.
+                debug_assert!(deliver >= 1, "delivery in a nonexistent interval 0");
+                line[q] = deliver - 1;
+                if !queued[q] {
+                    queued[q] = true;
+                    work.push(q);
+                }
+            }
+        }
+    }
+
+    let line = GlobalCheckpoint::new(line);
+    debug_assert!(consistency::is_consistent(pattern, &line));
+    #[cfg(test)]
+    assert!(
+        consistency::is_consistent(pattern, &line),
+        "recovery line must be consistent"
+    );
+    Ok(line)
+}
+
+/// Infallible wrapper around [`try_recovery_line`].
+///
 /// # Panics
 ///
 /// Panics if a failure names an out-of-range process.
 pub fn recovery_line(pattern: &Pattern, failures: &[Failure]) -> GlobalCheckpoint {
+    match try_recovery_line(pattern, failures) {
+        Ok(line) => line,
+        Err(e) => panic!("recovery_line: {e}"),
+    }
+}
+
+/// The textbook fixpoint: rescan *every* delivered message until a full
+/// round changes nothing. O(messages × descent-steps); kept public as the
+/// reference implementation the worklist version is differentially tested
+/// against.
+pub fn recovery_line_naive(pattern: &Pattern, failures: &[Failure]) -> GlobalCheckpoint {
     let n = pattern.num_processes();
     let mut line = GlobalCheckpoint::new(
         (0..n)
@@ -48,6 +189,11 @@ pub fn recovery_line(pattern: &Pattern, failures: &[Failure]) -> GlobalCheckpoin
             .collect(),
     );
     for failure in failures {
+        assert!(
+            failure.process.index() < n,
+            "failure names out-of-range process {}",
+            failure.process
+        );
         let current = line.get(failure.process);
         line.set(failure.process, current.min(failure.resume_cap));
     }
@@ -73,8 +219,17 @@ pub fn recovery_line(pattern: &Pattern, failures: &[Failure]) -> GlobalCheckpoin
 /// delivered outside it (or never delivered). A recovery mechanism must
 /// replay them from message logs, or the application must tolerate their
 /// loss.
-pub fn lost_messages(pattern: &Pattern, line: &GlobalCheckpoint) -> Vec<PatternMessageId> {
-    (0..pattern.num_messages())
+pub fn try_lost_messages(
+    pattern: &Pattern,
+    line: &GlobalCheckpoint,
+) -> Result<Vec<PatternMessageId>, RecoveryError> {
+    if line.as_slice().len() != pattern.num_processes() {
+        return Err(RecoveryError::LineWidthMismatch {
+            line: line.as_slice().len(),
+            num_processes: pattern.num_processes(),
+        });
+    }
+    Ok((0..pattern.num_messages())
         .map(PatternMessageId)
         .filter(|&m| {
             let send = pattern.send_interval(m);
@@ -86,7 +241,19 @@ pub fn lost_messages(pattern: &Pattern, line: &GlobalCheckpoint) -> Vec<PatternM
                 Some(deliver) => deliver.index > line.get(deliver.process),
             }
         })
-        .collect()
+        .collect())
+}
+
+/// Infallible wrapper around [`try_lost_messages`].
+///
+/// # Panics
+///
+/// Panics if `line` has the wrong number of entries for `pattern`.
+pub fn lost_messages(pattern: &Pattern, line: &GlobalCheckpoint) -> Vec<PatternMessageId> {
+    match try_lost_messages(pattern, line) {
+        Ok(lost) => lost,
+        Err(e) => panic!("lost_messages: {e}"),
+    }
 }
 
 /// Everything a rollback analysis reports.
@@ -117,6 +284,36 @@ impl RollbackReport {
 }
 
 /// Computes the recovery line for `failures` and summarizes the damage.
+pub fn try_analyze(
+    pattern: &Pattern,
+    failures: &[Failure],
+) -> Result<RollbackReport, RecoveryError> {
+    let line = try_recovery_line(pattern, failures)?;
+    let n = pattern.num_processes();
+    let discarded_per_process: Vec<u32> = (0..n)
+        .map(|i| {
+            let p = ProcessId::new(i);
+            pattern.last_checkpoint_index(p) - line.get(p)
+        })
+        .collect();
+    let total_discarded = discarded_per_process.iter().map(|&d| d as u64).sum();
+    let rolled_to_initial = (0..n)
+        .filter(|&i| {
+            let p = ProcessId::new(i);
+            line.get(p) == 0 && pattern.last_checkpoint_index(p) > 0
+        })
+        .count();
+    let lost = try_lost_messages(pattern, &line)?.len();
+    Ok(RollbackReport {
+        line,
+        discarded_per_process,
+        total_discarded,
+        rolled_to_initial,
+        lost_messages: lost,
+    })
+}
+
+/// Infallible wrapper around [`try_analyze`].
 ///
 /// # Panics
 ///
@@ -135,35 +332,17 @@ impl RollbackReport {
 /// assert_eq!(report.line.as_slice(), &[3, 1, 1]);
 /// ```
 pub fn analyze(pattern: &Pattern, failures: &[Failure]) -> RollbackReport {
-    let line = recovery_line(pattern, failures);
-    let n = pattern.num_processes();
-    let discarded_per_process: Vec<u32> = (0..n)
-        .map(|i| {
-            let p = ProcessId::new(i);
-            pattern.last_checkpoint_index(p) - line.get(p)
-        })
-        .collect();
-    let total_discarded = discarded_per_process.iter().map(|&d| d as u64).sum();
-    let rolled_to_initial = (0..n)
-        .filter(|&i| {
-            let p = ProcessId::new(i);
-            line.get(p) == 0 && pattern.last_checkpoint_index(p) > 0
-        })
-        .count();
-    let lost = lost_messages(pattern, &line).len();
-    RollbackReport {
-        line,
-        discarded_per_process,
-        total_discarded,
-        rolled_to_initial,
-        lost_messages: lost,
+    match try_analyze(pattern, failures) {
+        Ok(report) => report,
+        Err(e) => panic!("analyze: {e}"),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rdt_rgraph::paper_figures;
+    use crate::domino_pattern;
+    use rdt_rgraph::{paper_figures, PatternBuilder};
 
     fn p(i: usize) -> ProcessId {
         ProcessId::new(i)
@@ -229,6 +408,112 @@ mod tests {
         // send... P_k only received from P_j. Check consistency directly.
         assert!(consistency::is_consistent(&pattern, &report.line));
         assert_eq!(report.line.get(p(1)), 0);
+    }
+
+    #[test]
+    fn orphan_delivery_in_first_interval_descends_to_initial_checkpoint() {
+        // Regression for the descent's lower boundary: a delivery in the
+        // *first* interval whose send is orphaned must drop the receiver to
+        // its initial checkpoint (index 0) — the `deliver - 1` step lands
+        // exactly on 0 and must not wrap.
+        let mut b = PatternBuilder::new(2);
+        let m = b.send(p(0), p(1));
+        b.deliver(m).unwrap();
+        b.checkpoint(p(1));
+        let pattern = b.build().unwrap();
+        // P0 never checkpoints after the send, so even with no failure the
+        // send sits past P0's line entry (0) while the delivery sits inside
+        // P1's (interval 1 <= checkpoint 1): orphan, P1 descends to 0.
+        let line = recovery_line(&pattern, &[]);
+        assert_eq!(line.as_slice(), &[0, 0]);
+        assert!(consistency::is_consistent(&pattern, &line));
+    }
+
+    #[test]
+    fn domino_failure_rolls_both_processes_to_initial() {
+        // The staggered ping-pong grazes the interval-1 boundary on every
+        // descent step; any failure collapses the line to the initial
+        // states.
+        let pattern = domino_pattern(5);
+        let report = analyze(
+            &pattern,
+            &[Failure {
+                process: p(0),
+                resume_cap: 4,
+            }],
+        );
+        assert_eq!(report.line.as_slice(), &[0, 0]);
+        assert_eq!(report.rolled_to_initial, 2);
+    }
+
+    #[test]
+    fn out_of_range_failure_is_reported_not_panicked() {
+        let pattern = paper_figures::figure_1();
+        let bad = [Failure {
+            process: p(7),
+            resume_cap: 0,
+        }];
+        assert_eq!(
+            try_recovery_line(&pattern, &bad),
+            Err(RecoveryError::ProcessOutOfRange {
+                process: 7,
+                num_processes: 3
+            })
+        );
+        assert!(try_analyze(&pattern, &bad).is_err());
+        let msg = try_recovery_line(&pattern, &bad).unwrap_err().to_string();
+        assert!(msg.contains("process 7"), "unhelpful message: {msg}");
+    }
+
+    #[test]
+    fn mismatched_line_width_is_reported() {
+        let pattern = paper_figures::figure_1();
+        let narrow = GlobalCheckpoint::new(vec![0, 0]);
+        assert_eq!(
+            try_lost_messages(&pattern, &narrow),
+            Err(RecoveryError::LineWidthMismatch {
+                line: 2,
+                num_processes: 3
+            })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "names process 9")]
+    fn infallible_wrapper_still_panics() {
+        let pattern = paper_figures::figure_1();
+        recovery_line(
+            &pattern,
+            &[Failure {
+                process: p(9),
+                resume_cap: 0,
+            }],
+        );
+    }
+
+    #[test]
+    fn worklist_matches_naive_on_the_figures() {
+        for pattern in [
+            paper_figures::figure_1(),
+            domino_pattern(4),
+            domino_pattern(1),
+        ] {
+            let n = pattern.num_processes();
+            assert_eq!(
+                recovery_line(&pattern, &[]).as_slice(),
+                recovery_line_naive(&pattern, &[]).as_slice()
+            );
+            for i in 0..n {
+                let failures = [Failure {
+                    process: p(i),
+                    resume_cap: pattern.last_checkpoint_index(p(i)).saturating_sub(1),
+                }];
+                assert_eq!(
+                    recovery_line(&pattern, &failures).as_slice(),
+                    recovery_line_naive(&pattern, &failures).as_slice()
+                );
+            }
+        }
     }
 
     #[test]

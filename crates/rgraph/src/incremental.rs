@@ -1104,6 +1104,74 @@ impl IncrementalAnalysis {
         members.iter().all(|&m| gc[m.process.index()] == m.index)
     }
 
+    /// Greatest consistent global checkpoint componentwise **dominated
+    /// by** `caps` (each entry additionally clamped to the process's last
+    /// checkpoint). This is the *recovery line* with `caps` as the
+    /// failures' resume caps: unlike
+    /// [`max_consistent_containing`](IncrementalAnalysis::max_consistent_containing)
+    /// no exact membership is demanded of the result, so the descent is
+    /// infallible — the all-initial global checkpoint is always
+    /// consistent. Matches `rdt-recovery`'s `recovery_line` on the same
+    /// pattern and caps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `caps` or `out` have a length other than the process
+    /// count.
+    pub fn max_consistent_dominated_into(&self, caps: &[u32], out: &mut [u32]) {
+        assert_eq!(caps.len(), self.n, "caps length");
+        let gc = out;
+        gc.copy_from_slice(&self.cp_count);
+        for (entry, &cap) in gc.iter_mut().zip(caps) {
+            *entry = (*entry).min(cap);
+        }
+        loop {
+            let mut changed = false;
+            for rec in &self.msgs {
+                if rec.deliver_iv == NONE_U32 {
+                    continue;
+                }
+                if rec.send_iv > gc[rec.from as usize] && rec.deliver_iv <= gc[rec.to as usize] {
+                    gc[rec.to as usize] = rec.deliver_iv - 1;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Allocating form of
+    /// [`max_consistent_dominated_into`](IncrementalAnalysis::max_consistent_dominated_into).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `caps` has a length other than the process count.
+    pub fn max_consistent_dominated(&self, caps: &[u32]) -> GlobalCheckpoint {
+        let (mut stack, mut heap) = ([0u32; GC_STACK_ENTRIES], Vec::new());
+        let gc = self.gc_buf(&mut stack, &mut heap);
+        self.max_consistent_dominated_into(caps, gc);
+        GlobalCheckpoint::new(gc.to_vec())
+    }
+
+    /// Routing and interval placement of message `mid` (its send-order
+    /// handle): origin, destination, and the 1-based intervals of its send
+    /// and (if any) delivery events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mid` is not a message of the current pattern.
+    pub fn message_route(&self, mid: u32) -> MessageRoute {
+        let rec = &self.msgs[mid as usize];
+        MessageRoute {
+            from: ProcessId::new(rec.from as usize),
+            to: ProcessId::new(rec.to as usize),
+            send_interval: rec.send_iv,
+            deliver_interval: (rec.deliver_iv != NONE_U32).then_some(rec.deliver_iv),
+        }
+    }
+
     /// Minimum consistent global checkpoint through R-graph reachability
     /// (the independent witness formulation). Identical to
     /// [`min_max::min_consistent_via_rgraph`]
@@ -1264,6 +1332,21 @@ impl IncrementalAnalysis {
 /// first disjunct).
 fn trivially_trackable(from: CheckpointId, to: CheckpointId) -> bool {
     from.process == to.process && from.index <= to.index
+}
+
+/// Where a message sits in the pattern: who sent it, who receives it, and
+/// the (1-based) intervals of its send and delivery events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageRoute {
+    /// Sending process.
+    pub from: ProcessId,
+    /// Destination process.
+    pub to: ProcessId,
+    /// Interval of the send event at the sender.
+    pub send_interval: u32,
+    /// Interval of the delivery at the destination; `None` while the
+    /// message is in transit.
+    pub deliver_interval: Option<u32>,
 }
 
 #[cfg(test)]
@@ -1567,5 +1650,82 @@ mod tests {
     fn missing_member_panics() {
         let incr = IncrementalAnalysis::new(2);
         let _ = incr.min_consistent_containing(&[CheckpointId::new(p(0), 3)]);
+    }
+
+    #[test]
+    fn dominated_descent_matches_brute_force_on_figure_1() {
+        // For *every* caps vector dominated by the last checkpoints, the
+        // dominated descent must return the componentwise maximum of all
+        // consistent global checkpoints below the caps.
+        let pattern = paper_figures::figure_1();
+        let n = pattern.num_processes();
+        let mut lock = Lockstep::new(n);
+        for op in ops_of(&pattern) {
+            lock.apply(op);
+        }
+        let last: Vec<u32> = (0..n)
+            .map(|i| pattern.last_checkpoint_index(p(i)))
+            .collect();
+        let mut caps = vec![0u32; n];
+        loop {
+            let line = lock.incr.max_consistent_dominated(&caps);
+            let mut best = vec![0u32; n];
+            let mut idx = vec![0u32; n];
+            loop {
+                let gc = crate::GlobalCheckpoint::new(idx.clone());
+                if crate::consistency::is_consistent(&pattern, &gc) {
+                    for (b, &v) in best.iter_mut().zip(&idx) {
+                        *b = (*b).max(v);
+                    }
+                }
+                let mut k = 0;
+                while k < n && idx[k] == caps[k] {
+                    idx[k] = 0;
+                    k += 1;
+                }
+                if k == n {
+                    break;
+                }
+                idx[k] += 1;
+            }
+            assert_eq!(line.as_slice(), &best[..], "caps {caps:?}");
+            let mut k = 0;
+            while k < n && caps[k] == last[k] {
+                caps[k] = 0;
+                k += 1;
+            }
+            if k == n {
+                break;
+            }
+            caps[k] += 1;
+        }
+        // Uncapped, the dominated descent coincides with the greatest
+        // consistent global checkpoint.
+        assert_eq!(
+            lock.incr.max_consistent_dominated(&last),
+            lock.incr.max_consistent_containing(&[]).expect("exists")
+        );
+    }
+
+    #[test]
+    fn message_route_reports_placement() {
+        let mut incr = IncrementalAnalysis::new(2);
+        let m0 = incr.append_send(p(0), p(1));
+        incr.append_checkpoint(p(0));
+        let m1 = incr.append_send(p(1), p(0));
+        incr.append_deliver(m0);
+        let r0 = incr.message_route(m0);
+        assert_eq!(r0.from, p(0));
+        assert_eq!(r0.to, p(1));
+        assert_eq!(r0.send_interval, 1, "send in P0's first interval");
+        assert_eq!(
+            r0.deliver_interval,
+            Some(1),
+            "delivered in P1's first interval"
+        );
+        let r1 = incr.message_route(m1);
+        assert_eq!(r1.from, p(1));
+        assert_eq!(r1.send_interval, 1);
+        assert_eq!(r1.deliver_interval, None, "still in transit");
     }
 }

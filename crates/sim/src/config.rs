@@ -132,7 +132,24 @@ pub struct SimConfig {
     /// many checkpoint pairs are currently untrackable. Observational
     /// only — it never changes the simulation. Default off.
     pub online_rdt_probe: bool,
+    /// Expected number of injected crashes per 1000 simulated ticks.
+    /// `0.0` (the default) disables fault injection entirely; any positive
+    /// rate schedules crashes as a Poisson process on a dedicated RNG
+    /// stream (see [`SimConfig::crash_seed_salt`]), so a crashy run's
+    /// message/checkpoint randomness is tick-for-tick identical to the
+    /// crash-free run with the same seed.
+    pub crash_rate: f64,
+    /// Upper bound on injected crashes per run (the Poisson clock stops
+    /// after this many have fired). Ignored while `crash_rate == 0.0`.
+    pub max_crashes: u32,
+    /// Salt folded into the run seed to derive the crash RNG stream.
+    /// Distinct salts give statistically independent crash schedules over
+    /// the same underlying run.
+    pub crash_seed_salt: u64,
 }
+
+/// Default salt for the crash RNG stream ("fallback").
+pub const DEFAULT_CRASH_SEED_SALT: u64 = 0xFA11_BACC;
 
 impl SimConfig {
     /// Default configuration for `n` processes.
@@ -145,6 +162,9 @@ impl SimConfig {
             stop: StopCondition::default(),
             fifo: false,
             online_rdt_probe: false,
+            crash_rate: 0.0,
+            max_crashes: 4,
+            crash_seed_salt: DEFAULT_CRASH_SEED_SALT,
         }
     }
 
@@ -184,6 +204,45 @@ impl SimConfig {
         self.online_rdt_probe = enabled;
         self
     }
+
+    /// Sets the crash injection rate (expected crashes per 1000 ticks;
+    /// `0.0` disables fault injection).
+    pub fn with_crash_rate(mut self, rate: f64) -> Self {
+        assert!(
+            rate >= 0.0 && rate.is_finite(),
+            "crash rate must be finite and non-negative"
+        );
+        self.crash_rate = rate;
+        self
+    }
+
+    /// Caps the number of injected crashes per run.
+    pub fn with_max_crashes(mut self, max: u32) -> Self {
+        self.max_crashes = max;
+        self
+    }
+
+    /// Sets the salt deriving the crash RNG stream.
+    pub fn with_crash_seed_salt(mut self, salt: u64) -> Self {
+        self.crash_seed_salt = salt;
+        self
+    }
+
+    /// Whether this configuration injects crashes at all.
+    pub fn crashes_enabled(&self) -> bool {
+        self.crash_rate > 0.0 && self.max_crashes > 0
+    }
+
+    /// Mean tick interval between scheduled crashes at the configured
+    /// rate, at least one tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if crash injection is disabled.
+    pub fn crash_mean_interval(&self) -> u64 {
+        assert!(self.crashes_enabled(), "crash injection is disabled");
+        ((1000.0 / self.crash_rate).round() as u64).max(1)
+    }
 }
 
 #[cfg(test)]
@@ -213,6 +272,27 @@ mod tests {
             DelayModel::Constant { ticks: 7 }.sample(&mut rng).ticks(),
             7
         );
+    }
+
+    #[test]
+    fn crash_builders_and_helpers() {
+        let off = SimConfig::new(3);
+        assert!(!off.crashes_enabled());
+        let on = SimConfig::new(3)
+            .with_crash_rate(2.0)
+            .with_max_crashes(5)
+            .with_crash_seed_salt(7);
+        assert!(on.crashes_enabled());
+        assert_eq!(on.crash_mean_interval(), 500);
+        assert_eq!(on.crash_seed_salt, 7);
+        assert_eq!(
+            SimConfig::new(3).with_crash_rate(1e9).crash_mean_interval(),
+            1
+        );
+        assert!(!SimConfig::new(3)
+            .with_crash_rate(0.5)
+            .with_max_crashes(0)
+            .crashes_enabled());
     }
 
     #[test]

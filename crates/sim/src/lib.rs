@@ -55,11 +55,15 @@ mod trace;
 mod workpool;
 
 pub use app::{scripted, AppContext, Application, ScriptedApplication};
-pub use config::{BasicCheckpointModel, DelayModel, SimConfig, StopCondition};
+pub use config::{
+    BasicCheckpointModel, DelayModel, SimConfig, StopCondition, DEFAULT_CRASH_SEED_SALT,
+};
 pub use dispatch::{run_protocol_kind, run_protocol_kind_with_scratch};
 pub use metrics::{SampleStats, Stopwatch, TraceMetrics};
 pub use rng::SimRng;
-pub use runner::{OnlineRdtReport, RunOutcome, RunStats, Runner, SimScratch};
+pub use runner::{
+    CrashRecord, OnlineRdtReport, RecoveryReport, RunOutcome, RunStats, Runner, SimScratch,
+};
 pub use time::{SimDuration, SimTime};
 pub use trace::{SimMessageId, Trace, TraceEvent};
 pub use workpool::parallel_map_indexed;

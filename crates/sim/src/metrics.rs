@@ -99,6 +99,8 @@ pub struct TraceMetrics {
     pub forced_bursts: SampleStats,
     /// Per-process event counts `(sends, deliveries, basic, forced)`.
     pub per_process: Vec<(u64, u64, u64, u64)>,
+    /// Injected crashes recorded in the trace.
+    pub crashes: u64,
 }
 
 impl TraceMetrics {
@@ -112,6 +114,7 @@ impl TraceMetrics {
         let mut burst: Vec<u64> = vec![0; n];
         let mut bursts = Vec::new();
         let mut per_process = vec![(0u64, 0u64, 0u64, 0u64); n];
+        let mut crashes = 0u64;
 
         for event in trace.events() {
             match *event {
@@ -154,6 +157,7 @@ impl TraceMetrics {
                         }
                     }
                 }
+                TraceEvent::Crash { .. } => crashes += 1,
             }
         }
         bursts.extend(burst.into_iter().filter(|&b| b > 0));
@@ -163,6 +167,7 @@ impl TraceMetrics {
             checkpoint_intervals: SampleStats::of(&intervals),
             forced_bursts: SampleStats::of(&bursts),
             per_process,
+            crashes,
         }
     }
 
@@ -191,6 +196,9 @@ impl TraceMetrics {
             "forced-checkpoint bursts  : {}",
             line(&self.forced_bursts)
         );
+        if self.crashes > 0 {
+            let _ = writeln!(out, "injected crashes          : {}", self.crashes);
+        }
         for (i, (s, d, b, f)) in self.per_process.iter().enumerate() {
             let _ = writeln!(
                 out,

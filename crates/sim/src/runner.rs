@@ -9,8 +9,8 @@ use rdt_core::{CheckpointRecord, CicProtocol, ProtocolStats};
 use rdt_rgraph::IncrementalAnalysis;
 
 use crate::{
-    AppContext, Application, SimConfig, SimMessageId, SimRng, SimTime, StopCondition, Stopwatch,
-    Trace, TraceEvent,
+    AppContext, Application, SimConfig, SimDuration, SimMessageId, SimRng, SimTime, StopCondition,
+    Stopwatch, Trace, TraceEvent,
 };
 
 /// Aggregate statistics of one run.
@@ -82,6 +82,126 @@ pub struct RunOutcome {
     /// What the online RDT probe observed; `None` unless the run was
     /// configured with [`SimConfig::online_rdt_probe`].
     pub online_rdt: Option<OnlineRdtReport>,
+    /// What fault injection did to the run; `None` unless the
+    /// configuration enables crashes ([`SimConfig::crashes_enabled`]).
+    pub recovery: Option<RecoveryReport>,
+}
+
+/// One injected crash and the rollback that recovered from it.
+///
+/// Everything here is a pure function of the run configuration, so the
+/// records of two runs with the same seed compare equal (the only wall
+/// clock reading, the line-computation time, lives on the enclosing
+/// [`RecoveryReport`] instead).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashRecord {
+    /// Simulated time the crash fired.
+    pub at: SimTime,
+    /// The process that crashed.
+    pub process: ProcessId,
+    /// The recovery line: per process, the checkpoint index execution
+    /// rolled back to. A survivor the domino effect did not reach keeps
+    /// its volatile frontier; its entry is then the *virtual* index one
+    /// past its last durable checkpoint.
+    pub line: Vec<u32>,
+    /// Per process, durable checkpoints discarded by the rollback (0 for
+    /// processes the domino effect did not reach).
+    pub rollback_depth: Vec<u32>,
+    /// Number of processes that had to roll back (the victim plus every
+    /// process the domino effect dragged along).
+    pub domino_span: usize,
+    /// Processes rolled all the way back to their initial checkpoint
+    /// despite having taken later durable checkpoints — the unbounded
+    /// domino-effect signature.
+    pub rolled_to_initial: usize,
+    /// In-flight messages discarded because their send was rolled back.
+    /// The sender's re-execution re-emits each one as a fresh send (with
+    /// its post-rollback protocol state), so recovery never silences a
+    /// workload that was still talking.
+    pub orphans_discarded: u64,
+    /// Delivered messages whose delivery was undone by the rollback.
+    pub deliveries_undone: u64,
+    /// Undone deliveries whose send survived the rollback: lost messages,
+    /// replayed from the sender-side log as fresh sends.
+    pub lost_replayed: u64,
+    /// Simulated time between the earliest checkpoint restored by this
+    /// rollback and the crash instant — how far back the system jumped.
+    pub rollback_span: SimDuration,
+}
+
+impl CrashRecord {
+    /// Deepest per-process rollback of this crash, in checkpoints.
+    pub fn max_depth(&self) -> u32 {
+        self.rollback_depth.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Everything fault injection did to one run.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// One record per injected crash, in firing order.
+    pub crashes: Vec<CrashRecord>,
+    /// Wall time spent computing recovery lines, over all crashes. Kept
+    /// out of [`CrashRecord`] so records stay comparable across runs.
+    pub line_compute_time: Duration,
+}
+
+impl RecoveryReport {
+    /// Deepest rollback over all crashes, in checkpoints.
+    pub fn max_rollback_depth(&self) -> u32 {
+        self.crashes
+            .iter()
+            .map(CrashRecord::max_depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sum of all per-process rollback depths over all crashes.
+    pub fn total_rollback_depth(&self) -> u64 {
+        self.crashes
+            .iter()
+            .flat_map(|c| c.rollback_depth.iter())
+            .map(|&d| u64::from(d))
+            .sum()
+    }
+
+    /// Widest domino span over all crashes.
+    pub fn max_domino_span(&self) -> usize {
+        self.crashes
+            .iter()
+            .map(|c| c.domino_span)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Rolls back to the initial checkpoint, summed over crashes.
+    pub fn total_rolled_to_initial(&self) -> usize {
+        self.crashes.iter().map(|c| c.rolled_to_initial).sum()
+    }
+
+    /// Orphaned in-flight messages discarded, summed over crashes.
+    pub fn total_orphans_discarded(&self) -> u64 {
+        self.crashes.iter().map(|c| c.orphans_discarded).sum()
+    }
+
+    /// Deliveries undone, summed over crashes.
+    pub fn total_deliveries_undone(&self) -> u64 {
+        self.crashes.iter().map(|c| c.deliveries_undone).sum()
+    }
+
+    /// Lost messages replayed from the log, summed over crashes.
+    pub fn total_lost_replayed(&self) -> u64 {
+        self.crashes.iter().map(|c| c.lost_replayed).sum()
+    }
+
+    /// Mean rollback span in ticks (0.0 without crashes).
+    pub fn mean_rollback_span_ticks(&self) -> f64 {
+        if self.crashes.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.crashes.iter().map(|c| c.rollback_span.ticks()).sum();
+        total as f64 / self.crashes.len() as f64
+    }
 }
 
 /// Observations of the online RDT probe over one run.
@@ -190,6 +310,9 @@ enum QueuedEvent<PB> {
     BasicCheckpoint {
         process: ProcessId,
     },
+    Crash {
+        process: ProcessId,
+    },
 }
 
 struct Entry<PB> {
@@ -269,8 +392,30 @@ pub struct Runner<P: CicProtocol> {
     /// For FIFO channels: last scheduled arrival per ordered channel
     /// (`from * n + to`); empty when the config is non-FIFO.
     channel_clock: Vec<SimTime>,
-    /// Online RDT probe, present iff [`SimConfig::online_rdt_probe`].
+    /// Online RDT probe. Present when [`SimConfig::online_rdt_probe`] is
+    /// set *or* crashes are enabled — recovery-line computation needs the
+    /// shadow engine. The report is only emitted for the former.
     probe: Option<OnlineProbe>,
+    /// Dedicated RNG stream for the crash schedule, derived from the run
+    /// seed and [`SimConfig::crash_seed_salt`]; keeping it separate leaves
+    /// the main stream — and thus the underlying schedule — untouched.
+    crash_rng: SimRng,
+    /// Crashes fired so far (bounded by [`SimConfig::max_crashes`]).
+    crashes_done: u32,
+    /// Report under construction, present iff crashes are enabled.
+    recovery: Option<RecoveryReport>,
+    /// Simulated time each durable checkpoint was taken (`[process][k]`,
+    /// entry 0 the initial checkpoint at time zero). Populated only while
+    /// crashes are enabled.
+    checkpoint_times: Vec<Vec<SimTime>>,
+    /// Application tag of every message sent, indexed by [`SimMessageId`]:
+    /// the sender-side log lost messages are replayed from. Populated only
+    /// while crashes are enabled.
+    message_tags: Vec<u32>,
+    /// Messages already replayed once as lost — a log entry is replayed at
+    /// most once, ever, even if later crashes undo its delivery again (the
+    /// replay itself got a fresh log entry of its own).
+    lost_replayed_flags: Vec<bool>,
 }
 
 impl<P: CicProtocol> Runner<P> {
@@ -333,12 +478,28 @@ impl<P: CicProtocol> Runner<P> {
             } else {
                 Vec::new()
             },
-            probe: config.online_rdt_probe.then(|| OnlineProbe::new(n)),
+            probe: (config.online_rdt_probe || config.crashes_enabled())
+                .then(|| OnlineProbe::new(n)),
+            crash_rng: SimRng::seed(SimRng::derive_seed(config.seed, config.crash_seed_salt)),
+            crashes_done: 0,
+            recovery: config.crashes_enabled().then(RecoveryReport::default),
+            checkpoint_times: if config.crashes_enabled() {
+                vec![vec![SimTime::ZERO]; n]
+            } else {
+                Vec::new()
+            },
+            message_tags: Vec::new(),
+            lost_replayed_flags: Vec::new(),
         }
     }
 
     fn push(&mut self, at: SimTime, event: QueuedEvent<P::Piggyback>) {
-        if !matches!(event, QueuedEvent::BasicCheckpoint { .. }) {
+        // Timers — basic checkpoints and the crash clock — are not live
+        // work: a quiescent workload must not be kept alive by them.
+        if !matches!(
+            event,
+            QueuedEvent::BasicCheckpoint { .. } | QueuedEvent::Crash { .. }
+        ) {
             self.live_events += 1;
         }
         let seq = self.next_seq;
@@ -360,6 +521,9 @@ impl<P: CicProtocol> Runner<P> {
             kind: record.kind,
         });
         self.records[process.index()].push(record);
+        if !self.checkpoint_times.is_empty() {
+            self.checkpoint_times[process.index()].push(self.now);
+        }
         if let Some(probe) = &mut self.probe {
             probe.checkpoint(process);
         }
@@ -368,6 +532,9 @@ impl<P: CicProtocol> Runner<P> {
     fn do_send(&mut self, from: ProcessId, to: ProcessId, tag: u32) {
         let message = SimMessageId(self.messages_sent as usize);
         self.messages_sent += 1;
+        if self.recovery.is_some() {
+            self.message_tags.push(tag);
+        }
         let outcome = self.protocols[from.index()].before_send(to);
         self.trace.push(TraceEvent::Send {
             at: self.now,
@@ -430,6 +597,174 @@ impl<P: CicProtocol> Runner<P> {
         }
     }
 
+    /// Schedules the next crash from the dedicated crash stream, if fault
+    /// injection is enabled and the crash budget is not exhausted. The
+    /// victim is drawn at scheduling time too, so the stream's consumption
+    /// never depends on what the simulation does in between.
+    fn schedule_next_crash(&mut self) {
+        if self.recovery.is_none() || self.crashes_done >= self.config.max_crashes {
+            return;
+        }
+        let delay = self
+            .crash_rng
+            .exponential(self.config.crash_mean_interval());
+        let victim = ProcessId::new(self.crash_rng.index(self.config.n));
+        self.push(self.now + delay, QueuedEvent::Crash { process: victim });
+    }
+
+    /// Crashes `victim` and recovers the system: compute the recovery line
+    /// on the shadow engine, roll every affected process back to it,
+    /// discard orphaned in-flight messages, replay logged lost messages,
+    /// and resume.
+    ///
+    /// The execution model is crash-with-instant-recovery under
+    /// *replay-forward equivalence*: a rolled-back process is assumed to
+    /// re-execute deterministically into an equivalent state, so protocol
+    /// and application state carry over and the trace keeps the union
+    /// history — every event that ever happened stays recorded, crashes
+    /// are markers, and [`Trace::to_pattern`] sees the full communication
+    /// pattern.
+    fn handle_crash(&mut self, victim: ProcessId) {
+        let n = self.config.n;
+        self.crashes_done += 1;
+        self.trace.push(TraceEvent::Crash {
+            at: self.now,
+            process: victim,
+        });
+
+        // The recovery line. Survivors keep their volatile state, so they
+        // are capped at the virtual checkpoint closing their current
+        // interval; the victim lost its open interval and restarts from
+        // its last durable checkpoint.
+        let watch = Stopwatch::start();
+        let probe = self
+            .probe
+            .as_mut()
+            .expect("crash injection runs the shadow engine");
+        let real_last: Vec<u32> = (0..n)
+            .map(|i| probe.engine.last_checkpoint_index(ProcessId::new(i)))
+            .collect();
+        let mut caps = vec![0u32; n];
+        let mut line = vec![0u32; n];
+        probe.engine.with_closed(|engine| {
+            for (i, cap) in caps.iter_mut().enumerate() {
+                *cap = engine.last_checkpoint_index(ProcessId::new(i));
+            }
+            caps[victim.index()] = real_last[victim.index()];
+            engine.max_consistent_dominated_into(&caps, &mut line);
+        });
+        let line_compute_time = watch.elapsed();
+
+        // Physical effect 1: in-flight messages whose send was rolled back
+        // are orphans — drop them from the event queue. The rolled-back
+        // sender's re-execution re-emits them, modeled below as fresh
+        // sends. The rebuilt heap pops in the same order as the old one
+        // would have (the `(at, seq)` key is total), so discarding is
+        // deterministic.
+        let mut orphans_discarded = 0u64;
+        let mut reemits: Vec<(ProcessId, ProcessId, u32)> = Vec::new();
+        let engine = &self
+            .probe
+            .as_ref()
+            .expect("probe outlives the crash")
+            .engine;
+        let entries = std::mem::take(&mut self.queue).into_vec();
+        let mut kept = Vec::with_capacity(entries.len());
+        for entry in entries {
+            let orphaned = match &entry.event {
+                QueuedEvent::Arrival {
+                    from,
+                    to,
+                    message,
+                    tag,
+                    ..
+                } => {
+                    let orphaned =
+                        engine.message_route(message.0 as u32).send_interval > line[from.index()];
+                    if orphaned {
+                        reemits.push((*from, *to, *tag));
+                    }
+                    orphaned
+                }
+                _ => false,
+            };
+            if orphaned {
+                orphans_discarded += 1;
+                self.live_events -= 1;
+            } else {
+                kept.push(entry);
+            }
+        }
+        self.queue = BinaryHeap::from(kept);
+
+        // Physical effect 2: deliveries beyond the line are undone. Those
+        // whose send survived are lost messages — the sender-side log
+        // replays them below as fresh sends. Messages rolled back on both
+        // ends need nothing: replay-forward re-creates them internally.
+        let mut deliveries_undone = 0u64;
+        let mut replays: Vec<(ProcessId, ProcessId, u32)> = Vec::new();
+        self.lost_replayed_flags
+            .resize(self.messages_sent as usize, false);
+        for mid in 0..engine.num_messages() as u32 {
+            let route = engine.message_route(mid);
+            let Some(deliver_iv) = route.deliver_interval else {
+                continue;
+            };
+            if deliver_iv > line[route.to.index()] {
+                deliveries_undone += 1;
+                if route.send_interval <= line[route.from.index()]
+                    && !self.lost_replayed_flags[mid as usize]
+                {
+                    self.lost_replayed_flags[mid as usize] = true;
+                    replays.push((route.from, route.to, self.message_tags[mid as usize]));
+                }
+            }
+        }
+
+        // Rollback accounting against the durable frontier.
+        let mut rollback_depth = vec![0u32; n];
+        let mut domino_span = 0usize;
+        let mut rolled_to_initial = 0usize;
+        let mut earliest_restored = self.now;
+        for i in 0..n {
+            rollback_depth[i] = real_last[i].saturating_sub(line[i]);
+            if line[i] < caps[i] || i == victim.index() {
+                domino_span += 1;
+                let restored = line[i].min(real_last[i]) as usize;
+                earliest_restored = earliest_restored.min(self.checkpoint_times[i][restored]);
+            }
+            if line[i] == 0 && real_last[i] > 0 {
+                rolled_to_initial += 1;
+            }
+        }
+        let record = CrashRecord {
+            at: self.now,
+            process: victim,
+            line,
+            rollback_depth,
+            domino_span,
+            rolled_to_initial,
+            orphans_discarded,
+            deliveries_undone,
+            lost_replayed: replays.len() as u64,
+            rollback_span: self.now.since(earliest_restored),
+        };
+        let report = self
+            .recovery
+            .as_mut()
+            .expect("a crash fired, so fault injection is enabled");
+        report.crashes.push(record);
+        report.line_compute_time += line_compute_time;
+
+        // Re-emit discarded in-flight orphans (the rolled-back sender's
+        // re-execution sends them again), then replay the lost messages
+        // from the log. Both are fresh sends: same destination and tag,
+        // piggyback drawn from the sender's current protocol state.
+        for (from, to, tag) in reemits.into_iter().chain(replays) {
+            self.do_send(from, to, tag);
+        }
+    }
+
     /// Runs the simulation to completion and returns its outcome.
     pub fn run(mut self, app: &mut dyn Application) -> RunOutcome {
         // Start-up: application hooks and basic checkpoint timers.
@@ -440,9 +775,13 @@ impl<P: CicProtocol> Runner<P> {
             self.apply_app_actions(process, actions);
             self.schedule_basic_checkpoint(process);
         }
+        self.schedule_next_crash();
 
         while let Some(entry) = self.queue.pop() {
-            if !matches!(entry.event, QueuedEvent::BasicCheckpoint { .. }) {
+            if !matches!(
+                entry.event,
+                QueuedEvent::BasicCheckpoint { .. } | QueuedEvent::Crash { .. }
+            ) {
                 self.live_events -= 1;
             } else if self.live_events == 0
                 && matches!(self.config.stop, StopCondition::MessagesSent(_))
@@ -500,6 +839,13 @@ impl<P: CicProtocol> Runner<P> {
                     self.record_checkpoint(process, record);
                     self.schedule_basic_checkpoint(process);
                 }
+                QueuedEvent::Crash { process } => {
+                    if !self.injection_open() {
+                        continue;
+                    }
+                    self.handle_crash(process);
+                    self.schedule_next_crash();
+                }
             }
         }
 
@@ -516,7 +862,14 @@ impl<P: CicProtocol> Runner<P> {
                 end_time: self.now,
             },
             records: self.records,
-            online_rdt: self.probe.map(OnlineProbe::finish),
+            // The probe may also exist just to serve crash recovery; its
+            // report is only surfaced when explicitly requested.
+            online_rdt: if self.config.online_rdt_probe {
+                self.probe.map(OnlineProbe::finish)
+            } else {
+                None
+            },
+            recovery: self.recovery,
         }
     }
 }
@@ -790,6 +1143,7 @@ mod tests {
                 TraceEvent::Checkpoint { id, .. } => {
                     fresh.append_checkpoint(id.process);
                 }
+                TraceEvent::Crash { .. } => {}
             }
         }
         assert_eq!(report.untrackable_pairs, fresh.untrackable_pairs());
@@ -839,6 +1193,129 @@ mod tests {
         assert_eq!(plain.stats, probed.stats);
         assert_eq!(plain.records, probed.records);
         assert!(probed.online_rdt.is_some());
+    }
+
+    /// Two-process ping-pong checkpointing before each reply: the
+    /// staggered zigzag of the paper's domino figure. Uncoordinated
+    /// checkpointing makes every checkpoint useless — a crash at any point
+    /// rolls both processes to their initial state.
+    struct DominoApp;
+    impl Application for DominoApp {
+        fn on_start(&mut self, ctx: &mut AppContext<'_>) {
+            if ctx.me().index() == 0 {
+                ctx.send(ProcessId::new(1));
+            }
+        }
+        fn on_activate(&mut self, _ctx: &mut AppContext<'_>) {}
+        fn on_deliver(&mut self, ctx: &mut AppContext<'_>, from: ProcessId) {
+            ctx.request_checkpoint();
+            ctx.send(from);
+        }
+    }
+
+    fn crashy_config(seed: u64) -> SimConfig {
+        SimConfig::new(2)
+            .with_seed(seed)
+            .with_basic_checkpoints(BasicCheckpointModel::Disabled)
+            .with_delay(DelayModel::Constant { ticks: 10 })
+            .with_stop(StopCondition::MessagesSent(60))
+            .with_crash_rate(5.0)
+            .with_max_crashes(2)
+    }
+
+    #[test]
+    fn crash_free_runs_report_no_recovery() {
+        let outcome =
+            Runner::new(&quiet_config(2), Uncoordinated::new).run(&mut scripted(vec![(0, 1)]));
+        assert!(outcome.recovery.is_none());
+        assert!(outcome.online_rdt.is_none());
+    }
+
+    #[test]
+    fn crash_injection_is_deterministic() {
+        let run = || Runner::new(&crashy_config(42), Uncoordinated::new).run(&mut DominoApp);
+        let a = run();
+        let b = run();
+        assert_eq!(a.trace.events(), b.trace.events());
+        assert_eq!(a.stats, b.stats);
+        let (ra, rb) = (
+            a.recovery.expect("crashes on"),
+            b.recovery.expect("crashes on"),
+        );
+        assert_eq!(ra.crashes, rb.crashes);
+        assert!(
+            !ra.crashes.is_empty(),
+            "expected at least one crash to fire"
+        );
+        // Crash markers in the trace agree with the report.
+        let markers = a
+            .trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Crash { .. }))
+            .count();
+        assert_eq!(markers, ra.crashes.len());
+        // The shadow engine never surfaces a probe report uninvited.
+        assert!(a.online_rdt.is_none());
+    }
+
+    #[test]
+    fn uncoordinated_domino_collapses_to_the_initial_state() {
+        let outcome = Runner::new(&crashy_config(42), Uncoordinated::new).run(&mut DominoApp);
+        let report = outcome.recovery.expect("crashes on");
+        let crash = report
+            .crashes
+            .iter()
+            .find(|c| c.rolled_to_initial > 0)
+            .expect("a crash after checkpoints exist collapses the domino");
+        assert_eq!(crash.line, vec![0, 0], "every checkpoint is useless");
+        assert_eq!(crash.rolled_to_initial, 2);
+        assert_eq!(crash.domino_span, 2);
+        assert!(crash.max_depth() > 0);
+        // The same schedule under an RDT-ensuring protocol stays bounded.
+        let fdas = Runner::new(&crashy_config(42), rdt_core::Fdas::new).run(&mut DominoApp);
+        let fdas_report = fdas.recovery.expect("crashes on");
+        assert!(!fdas_report.crashes.is_empty());
+        assert!(
+            fdas_report.max_rollback_depth() < report.max_rollback_depth(),
+            "FDAS ({}) must beat uncoordinated ({}) on the domino workload",
+            fdas_report.max_rollback_depth(),
+            report.max_rollback_depth()
+        );
+        assert_eq!(fdas_report.total_rolled_to_initial(), 0);
+    }
+
+    #[test]
+    fn crashy_traces_still_convert_to_patterns() {
+        // Union-history semantics: the trace of a crashy run is a valid
+        // communication pattern (crash markers are skipped), and replayed
+        // lost messages appear as ordinary sends.
+        let outcome = Runner::new(&crashy_config(42), rdt_core::Fdas::new).run(&mut DominoApp);
+        let pattern = outcome.trace.to_pattern();
+        assert!(pattern.linearize().is_ok());
+        assert_eq!(
+            pattern.num_messages() as u64,
+            outcome.stats.total.messages_sent
+        );
+    }
+
+    #[test]
+    fn probe_report_still_available_alongside_crashes() {
+        let config = crashy_config(42).with_online_rdt_probe(true);
+        let outcome = Runner::new(&config, Uncoordinated::new).run(&mut DominoApp);
+        assert!(outcome.recovery.is_some());
+        let report = outcome.online_rdt.expect("probe requested explicitly");
+        assert_eq!(
+            report.events_appended as usize,
+            outcome.trace.events().len()
+                - outcome
+                    .trace
+                    .events()
+                    .iter()
+                    .filter(|e| matches!(e, TraceEvent::Crash { .. }))
+                    .count(),
+            "the engine sees every event except the crash markers"
+        );
     }
 
     #[test]

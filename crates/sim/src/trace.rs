@@ -55,6 +55,16 @@ pub enum TraceEvent {
         /// recorded).
         kind: CheckpointKind,
     },
+    /// A process crashed, lost its volatile state, and was rolled back to
+    /// the recovery line (fault injection). The events of the rolled-back
+    /// segments stay in the trace — it records the *union history* of the
+    /// run; [`Trace::to_pattern`] ignores crash markers.
+    Crash {
+        /// Time of the crash.
+        at: SimTime,
+        /// The crashed process.
+        process: ProcessId,
+    },
 }
 
 impl TraceEvent {
@@ -63,7 +73,8 @@ impl TraceEvent {
         match *self {
             TraceEvent::Send { at, .. }
             | TraceEvent::Deliver { at, .. }
-            | TraceEvent::Checkpoint { at, .. } => at,
+            | TraceEvent::Checkpoint { at, .. }
+            | TraceEvent::Crash { at, .. } => at,
         }
     }
 
@@ -73,6 +84,7 @@ impl TraceEvent {
             TraceEvent::Send { from, .. } => from,
             TraceEvent::Deliver { to, .. } => to,
             TraceEvent::Checkpoint { id, .. } => id.process,
+            TraceEvent::Crash { process, .. } => process,
         }
     }
 }
@@ -218,6 +230,10 @@ impl Trace {
                     let built = builder.checkpoint(id.process);
                     debug_assert_eq!(built, id, "trace checkpoint indices must be dense");
                 }
+                // Crash markers carry no pattern structure: the trace is
+                // the union history, and the recovery line computation
+                // consumes the pattern as-is.
+                TraceEvent::Crash { .. } => {}
             }
         }
         builder.build().expect("runner traces are well-formed")
@@ -284,6 +300,10 @@ impl Trace {
                         kind,
                     }
                 }
+                "crash" => TraceEvent::Crash {
+                    at,
+                    process: ProcessId::new(num(2)? as usize),
+                },
                 other => return Err(format!("trace event {i}: unknown tag `{other}`")),
             };
             if trace
@@ -337,6 +357,11 @@ impl ToJson for TraceEvent {
                     CheckpointKind::Initial => "initial",
                 }
                 .to_json(),
+            ]),
+            TraceEvent::Crash { at, process } => Json::Arr(vec![
+                "crash".to_json(),
+                Json::U64(at.ticks()),
+                Json::U64(process.index() as u64),
             ]),
         }
     }
@@ -447,5 +472,39 @@ mod tests {
             kind: CheckpointKind::Forced,
         };
         assert_eq!(c.process(), p(0));
+        let x = TraceEvent::Crash {
+            at: SimTime::from_ticks(7),
+            process: p(1),
+        };
+        assert_eq!(x.at().ticks(), 7);
+        assert_eq!(x.process(), p(1));
+    }
+
+    #[test]
+    fn crash_markers_round_trip_json_and_skip_pattern() {
+        let mut trace = Trace::new(2);
+        let t = SimTime::from_ticks;
+        trace.push(TraceEvent::Send {
+            at: t(1),
+            from: p(0),
+            to: p(1),
+            message: SimMessageId(0),
+        });
+        trace.push(TraceEvent::Crash {
+            at: t(2),
+            process: p(1),
+        });
+        trace.push(TraceEvent::Deliver {
+            at: t(3),
+            to: p(1),
+            from: p(0),
+            message: SimMessageId(0),
+        });
+        let parsed = Trace::from_json_str(&trace.to_json().to_string()).unwrap();
+        assert_eq!(parsed.events(), trace.events());
+        // The pattern sees the union history, not the crash marker.
+        let pattern = trace.to_pattern();
+        assert_eq!(pattern.num_messages(), 1);
+        assert_eq!(pattern.delivered_messages().count(), 1);
     }
 }

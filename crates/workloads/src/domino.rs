@@ -1,0 +1,127 @@
+//! Domino-effect environment: pairwise ping-pong with a checkpoint before
+//! every reply (crash-recovery stress workload).
+
+use rdt_causality::ProcessId;
+use rdt_sim::{AppContext, Application};
+
+/// Disjoint pairs `(P_0, P_1), (P_2, P_3), …` ping-pong forever, each
+/// process taking an application checkpoint immediately before every
+/// reply. An odd process out stays silent.
+///
+/// This reproduces, per pair, the classic staggered zigzag of the domino
+/// effect (the pattern of `rdt-recovery`'s `domino_pattern` figure): every
+/// checkpoint of one process is straddled by a message of the other, so
+/// under uncoordinated checkpointing *no* global checkpoint except the
+/// initial one is consistent — a single crash rolls the whole pair back to
+/// its initial state, unboundedly far. RDT-ensuring protocols break the
+/// zigzag with forced checkpoints and keep rollback bounded, which is
+/// exactly the contrast the crash-injection benchmark measures.
+///
+/// Replies are delayed by an exponential think time so that crashes land
+/// at varied phases of the exchange.
+#[derive(Debug, Clone)]
+pub struct DominoEnvironment {
+    mean_think_time: u64,
+}
+
+impl DominoEnvironment {
+    /// Creates the environment with the given mean think time before each
+    /// reply (ticks).
+    pub fn new(mean_think_time: u64) -> Self {
+        DominoEnvironment { mean_think_time }
+    }
+
+    /// The pair partner of `p`, if any (`None` for the odd process out).
+    fn partner(p: usize, n: usize) -> Option<usize> {
+        let q = p ^ 1;
+        (q < n).then_some(q)
+    }
+}
+
+impl Application for DominoEnvironment {
+    fn on_start(&mut self, ctx: &mut AppContext<'_>) {
+        // The lower process of each pair serves first.
+        if let Some(partner) = Self::partner(ctx.me().index(), ctx.num_processes()) {
+            if ctx.me().index() % 2 == 0 {
+                ctx.send(ProcessId::new(partner));
+            }
+        }
+    }
+
+    fn on_activate(&mut self, ctx: &mut AppContext<'_>) {
+        if let Some(partner) = Self::partner(ctx.me().index(), ctx.num_processes()) {
+            // Checkpoint first, then reply: the send straddles the partner's
+            // next checkpoint, sustaining the zigzag.
+            ctx.request_checkpoint();
+            ctx.send(ProcessId::new(partner));
+        }
+    }
+
+    fn on_deliver(&mut self, ctx: &mut AppContext<'_>, _from: ProcessId) {
+        let think = ctx.rng().exponential(self.mean_think_time.max(1));
+        ctx.schedule_activation(think);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdt_core::ProtocolKind;
+    use rdt_sim::{run_protocol_kind, BasicCheckpointModel, SimConfig, StopCondition};
+
+    fn config(n: usize) -> SimConfig {
+        SimConfig::new(n)
+            .with_seed(23)
+            .with_basic_checkpoints(BasicCheckpointModel::Disabled)
+            .with_stop(StopCondition::MessagesSent(40))
+    }
+
+    #[test]
+    fn pairs_ping_pong_and_checkpoint() {
+        let outcome = run_protocol_kind(
+            ProtocolKind::Uncoordinated,
+            &config(4),
+            &mut DominoEnvironment::new(5),
+        );
+        assert_eq!(outcome.stats.total.messages_sent, 40);
+        // Every delivery (except the opening serves) is answered through a
+        // checkpoint-then-reply activation.
+        assert!(outcome.stats.total.basic_checkpoints >= 30);
+        for (i, stats) in outcome.stats.per_process.iter().enumerate() {
+            assert!(stats.messages_sent > 0, "P{i} never spoke");
+        }
+    }
+
+    #[test]
+    fn odd_process_out_stays_silent() {
+        let outcome = run_protocol_kind(
+            ProtocolKind::Uncoordinated,
+            &config(3),
+            &mut DominoEnvironment::new(5),
+        );
+        assert_eq!(outcome.stats.per_process[2].messages_sent, 0);
+        assert!(outcome.stats.per_process[0].messages_sent > 0);
+    }
+
+    #[test]
+    fn uncoordinated_zigzag_is_a_real_domino() {
+        // Structural check against the recovery-line analysis: crash either
+        // process of a pair mid-run and the whole pair rolls back to its
+        // initial checkpoints.
+        let outcome = run_protocol_kind(
+            ProtocolKind::Uncoordinated,
+            &config(2),
+            &mut DominoEnvironment::new(5),
+        );
+        let pattern = outcome.trace.to_pattern();
+        assert!(outcome.stats.total.basic_checkpoints >= 10);
+        let line = rdt_recovery::recovery_line(
+            &pattern,
+            &[rdt_recovery::Failure::at_last_checkpoint(
+                &pattern,
+                ProcessId::new(0),
+            )],
+        );
+        assert_eq!(line.as_slice(), &[0, 0], "domino collapses to the start");
+    }
+}

@@ -31,6 +31,7 @@
 mod blocking;
 mod client_server;
 mod coordinated;
+mod domino;
 mod groups;
 mod pipeline;
 mod random_env;
@@ -39,6 +40,7 @@ mod ring;
 pub use blocking::{KooToueg, KT_ACK, KT_COMMIT, KT_REQUEST};
 pub use client_server::ClientServerEnvironment;
 pub use coordinated::{ChandyLamport, MARKER_TAG};
+pub use domino::DominoEnvironment;
 pub use groups::{GroupEnvironment, GroupLayout};
 pub use pipeline::PipelineEnvironment;
 pub use random_env::RandomEnvironment;
@@ -59,6 +61,9 @@ pub enum EnvironmentKind {
     Ring,
     /// Producer/consumer pipeline (extra).
     Pipeline,
+    /// Pairwise checkpoint-then-reply ping-pong building the classic
+    /// domino-effect zigzag (crash-recovery stress workload).
+    Domino,
 }
 
 impl EnvironmentKind {
@@ -70,6 +75,7 @@ impl EnvironmentKind {
             EnvironmentKind::ClientServer,
             EnvironmentKind::Ring,
             EnvironmentKind::Pipeline,
+            EnvironmentKind::Domino,
         ]
     }
 
@@ -81,6 +87,7 @@ impl EnvironmentKind {
             EnvironmentKind::ClientServer => "client-server",
             EnvironmentKind::Ring => "ring",
             EnvironmentKind::Pipeline => "pipeline",
+            EnvironmentKind::Domino => "domino",
         }
     }
 
@@ -106,6 +113,7 @@ impl EnvironmentKind {
             }
             EnvironmentKind::Ring => Box::new(RingEnvironment::new(mean_send_interval)),
             EnvironmentKind::Pipeline => Box::new(PipelineEnvironment::new(mean_send_interval)),
+            EnvironmentKind::Domino => Box::new(DominoEnvironment::new(mean_send_interval)),
         }
     }
 }

@@ -5,7 +5,7 @@
 //! rdt-cli list
 //! rdt-cli run --protocol bhmr --env client-server --n 8 --seed 3 \
 //!             --messages 2000 --ckpt-mean 80 [--fifo] [--verify] [--stats] [--detail] \
-//!             [--dot pattern.dot]
+//!             [--crash-rate R [--max-crashes K]] [--dot pattern.dot]
 //! rdt-cli compare --env random --n 8 --seed 3 --messages 2000
 //! rdt-cli audit --figure 1
 //! rdt-cli domino --rounds 10
@@ -49,15 +49,21 @@ fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default
 }
 
 fn build_config(flags: &HashMap<String, String>, n: usize) -> SimConfig {
+    let basics = match get(flags, "ckpt-mean", 80u64) {
+        // Lets self-checkpointing workloads (e.g. domino) run without the
+        // timer instead of panicking on a zero exponential mean.
+        0 => rdt::sim::BasicCheckpointModel::Disabled,
+        mean => rdt::sim::BasicCheckpointModel::Exponential { mean },
+    };
     SimConfig::new(n)
         .with_seed(get(flags, "seed", 1u64))
-        .with_basic_checkpoints(rdt::sim::BasicCheckpointModel::Exponential {
-            mean: get(flags, "ckpt-mean", 80u64),
-        })
+        .with_basic_checkpoints(basics)
         .with_stop(StopCondition::MessagesSent(get(
             flags, "messages", 1_000u64,
         )))
         .with_fifo(flags.contains_key("fifo"))
+        .with_crash_rate(get(flags, "crash-rate", 0.0f64))
+        .with_max_crashes(get(flags, "max-crashes", 2u32))
 }
 
 fn cmd_list() -> ExitCode {
@@ -122,6 +128,41 @@ fn cmd_run(flags: &HashMap<String, String>) -> ExitCode {
         stats.mean_piggyback_bytes()
     );
     println!("  sim end time : {}", outcome.stats.end_time);
+
+    if let Some(recovery) = &outcome.recovery {
+        println!(
+            "  crashes      : {} injected, {} deliveries undone, {} orphans discarded, {} lost \
+             messages replayed",
+            recovery.crashes.len(),
+            recovery.total_deliveries_undone(),
+            recovery.total_orphans_discarded(),
+            recovery.total_lost_replayed()
+        );
+        println!(
+            "  rollback     : max depth {} ckpts, max domino span {} of {n} processes, {} \
+             rolled to initial, mean span {:.1} ticks",
+            recovery.max_rollback_depth(),
+            recovery.max_domino_span(),
+            recovery.total_rolled_to_initial(),
+            recovery.mean_rollback_span_ticks()
+        );
+        if flags.contains_key("stats") {
+            println!(
+                "    line compute : {:>7.3} ms (incremental engine, all crashes)",
+                recovery.line_compute_time.as_secs_f64() * 1e3
+            );
+            for (k, crash) in recovery.crashes.iter().enumerate() {
+                println!(
+                    "    crash #{k} at {}: P{} down, line {:?}, depth {}, span {}",
+                    crash.at,
+                    crash.process.index(),
+                    crash.line,
+                    crash.max_depth(),
+                    crash.domino_span
+                );
+            }
+        }
+    }
 
     if flags.contains_key("detail") {
         let metrics = rdt::sim::TraceMetrics::of(&outcome.trace);

@@ -26,6 +26,42 @@ fn identical_configs_reproduce_identical_runs() {
 }
 
 #[test]
+fn crash_replay_is_bit_identical_for_any_thread_count() {
+    // The full crash pipeline — Poisson injection, recovery-line descent,
+    // orphan discard and re-emission, lost-message replay — fanned over a
+    // worker pool must reproduce exactly, whatever the thread count.
+    let grid: Vec<(ProtocolKind, u64)> = [ProtocolKind::Bhmr, ProtocolKind::Uncoordinated]
+        .into_iter()
+        .flat_map(|p| (1u64..=4).map(move |seed| (p, seed)))
+        .collect();
+    let run_grid = |threads: usize| {
+        rdt::sim::parallel_map_indexed(
+            &grid,
+            threads,
+            || (),
+            |(), _, &(protocol, seed)| {
+                let mut app = EnvironmentKind::Domino.build(5, 15);
+                let config = config(seed).with_crash_rate(5.0).with_max_crashes(2);
+                let outcome = run_protocol_kind(protocol, &config, app.as_mut());
+                let recovery = outcome.recovery.expect("crashes enabled");
+                (
+                    outcome.trace.events().to_vec(),
+                    outcome.stats.total,
+                    recovery.crashes,
+                )
+            },
+            |_| {},
+        )
+    };
+    let sequential = run_grid(1);
+    assert!(
+        sequential.iter().any(|(_, _, crashes)| !crashes.is_empty()),
+        "the pinned grid must actually crash somewhere"
+    );
+    assert_eq!(sequential, run_grid(4), "threads changed the results");
+}
+
+#[test]
 fn different_seeds_produce_different_runs() {
     let mut app1 = EnvironmentKind::Random.build(5, 15);
     let mut app2 = EnvironmentKind::Random.build(5, 15);
