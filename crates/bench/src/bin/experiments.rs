@@ -2,7 +2,7 @@
 //! evaluation.
 //!
 //! ```text
-//! experiments [all|fig7|fig8|fig9|table1|cor45|rdtcheck|ablation|recovery|recovery-exec] \
+//! experiments [all|fig7|fig8|fig9|table1|cor45|rdtcheck|compaction|ablation|recovery|recovery-exec] \
 //!     [--quick] [--threads N]
 //! ```
 //!
@@ -15,9 +15,10 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use rdt_bench::{
-    ablation, closure_bench, coordinated, corollary45, incremental_vs_batch, necessity, rdt_check,
-    recovery_exec, recovery_experiment, render_figure, render_recovery_exec, render_table1,
-    run_sweep_with_metrics, scaling, sensitivity, table1, write_json, Sweep, SweepOptions,
+    ablation, closure_bench, compaction_bench, coordinated, corollary45, incremental_vs_batch,
+    necessity, rdt_check, recovery_exec, recovery_experiment, render_figure, render_recovery_exec,
+    render_table1, run_sweep_with_metrics, scaling, sensitivity, table1, write_json,
+    CompactionDecile, Sweep, SweepOptions,
 };
 use rdt_workloads::EnvironmentKind;
 
@@ -154,6 +155,7 @@ fn main() -> ExitCode {
         "rdtcheck",
         "certify",
         "incremental",
+        "compaction",
         "ablation",
         "sensitivity",
         "coordinated",
@@ -266,6 +268,59 @@ fn main() -> ExitCode {
         let floor = bench.min_speedup_at(1_600);
         if floor < 1.0 {
             eprintln!("  !! incremental slower than batch at >=1600 events ({floor:.2}x)");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if which == "all" || which == "compaction" {
+        println!("== BENCH-COMPACTION — recovery-line compaction vs unbounded engine growth ==");
+        // The compacted engine streams the full event count; the
+        // uncompacted control runs a prefix (finishing the full stream
+        // without compaction is the quadratic blow-up being shown).
+        let (events, control_events, stride) = if quick {
+            (100_000u64, 10_000u64, 1_000u64)
+        } else {
+            // The control's per-event cost grows linearly with the
+            // resident closure, so its runtime is quadratic: 20k events
+            // already show the collapse unambiguously, 50k would burn
+            // minutes confirming the same verdict.
+            (1_000_000, 20_000, 10_000)
+        };
+        let bench = compaction_bench(4, events, control_events, stride, 0xC04AC7);
+        let table = |label: &str, deciles: &[CompactionDecile]| {
+            println!(
+                "  {label}: {:>7} {:>12} {:>14} {:>14}",
+                "decile", "events", "events/sec", "resident"
+            );
+            for row in deciles {
+                println!(
+                    "  {:>width$} {:>7} {:>12} {:>14.0} {:>14}",
+                    "",
+                    row.decile,
+                    row.events,
+                    row.events_per_sec,
+                    row.resident_nodes,
+                    width = label.len() + 1
+                );
+            }
+        };
+        table("compacted  ", &bench.compacted);
+        table("uncompacted", &bench.control);
+        println!(
+            "  throughput ratio (last/first decile): compacted {:.2}x, uncompacted {:.2}x",
+            bench.compacted_throughput_ratio(),
+            bench.control_throughput_ratio()
+        );
+        println!(
+            "  {} compactions reclaimed {} rows; resident after final compaction: {} nodes",
+            bench.compactions, bench.reclaimed_rows, bench.resident_after_final_compaction
+        );
+        match write_json(&dir, "BENCH_compaction", &bench) {
+            Ok(path) => println!("  -> {}\n", path.display()),
+            Err(err) => eprintln!("  !! could not write BENCH_compaction.json: {err}\n"),
+        }
+        if let Err(reason) = bench.gate() {
+            eprintln!("  !! compaction gate FAIL: {reason}");
             return ExitCode::FAILURE;
         }
     }

@@ -756,6 +756,294 @@ pub fn incremental_vs_batch(
     }
 }
 
+/// One deterministic operation of the BENCH-COMPACTION stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CompactionOp {
+    /// Checkpoint on a process.
+    Checkpoint(u32),
+    /// Send from → to.
+    Send(u32, u32),
+    /// Deliver the k-th send of the stream.
+    Deliver(u64),
+}
+
+/// Minimal xorshift64 stream generator (the stream must be reproducible
+/// from the seed alone, independent of any simulator state).
+struct StreamRng(u64);
+
+impl StreamRng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// Generates the deterministic event stream both engines ingest: random
+/// sends with FIFO deliveries (bounded in-flight window) and round-robin
+/// checkpoints, so every process's interval count keeps advancing and the
+/// recovery line tracks the frontier.
+fn compaction_stream(n: usize, events: u64, seed: u64) -> Vec<CompactionOp> {
+    let mut rng = StreamRng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+    let mut ops = Vec::with_capacity(events as usize);
+    let mut in_flight = std::collections::VecDeque::new();
+    let mut sends = 0u64;
+    let mut next_ckpt = 0u32;
+    for _ in 0..events {
+        let roll = rng.below(16);
+        if roll < 2 {
+            ops.push(CompactionOp::Checkpoint(next_ckpt));
+            next_ckpt = (next_ckpt + 1) % n as u32;
+        } else if (roll < 9 && !in_flight.is_empty()) || in_flight.len() > 64 {
+            ops.push(CompactionOp::Deliver(
+                in_flight.pop_front().expect("guarded non-empty"),
+            ));
+        } else {
+            let from = rng.below(n as u64) as u32;
+            let to = (from + 1 + rng.below(n as u64 - 1) as u32) % n as u32;
+            ops.push(CompactionOp::Send(from, to));
+            in_flight.push_back(sends);
+            sends += 1;
+        }
+    }
+    ops
+}
+
+fn apply_compaction_op(
+    engine: &mut rdt_rgraph::IncrementalAnalysis,
+    mids: &mut Vec<u32>,
+    op: CompactionOp,
+) {
+    match op {
+        CompactionOp::Checkpoint(p) => {
+            engine.append_checkpoint(ProcessId::new(p as usize));
+        }
+        CompactionOp::Send(from, to) => {
+            mids.push(
+                engine.append_send(ProcessId::new(from as usize), ProcessId::new(to as usize)),
+            );
+        }
+        CompactionOp::Deliver(k) => engine.append_deliver(mids[k as usize]),
+    }
+}
+
+/// One tenth of a BENCH-COMPACTION ingest, with its throughput and the
+/// engine's resident closure size at the decile boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompactionDecile {
+    /// Decile index, 1-based.
+    pub decile: u32,
+    /// Events ingested in this decile.
+    pub events: u64,
+    /// Wall-clock nanoseconds for the decile (compaction time included).
+    pub ns: u64,
+    /// Ingest throughput over the decile, events per second.
+    pub events_per_sec: f64,
+    /// Resident closure nodes at the end of the decile.
+    pub resident_nodes: usize,
+}
+
+/// BENCH-COMPACTION: one engine ingesting the stream with periodic
+/// recovery-line compaction versus the same engine left to grow without
+/// bound (run on a truncated prefix — completing the full stream
+/// uncompacted is exactly the quadratic blow-up being demonstrated).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompactionBenchResult {
+    /// Processes in the stream.
+    pub n: usize,
+    /// Events the compacted engine ingests.
+    pub events: u64,
+    /// Events the uncompacted control ingests (a prefix of the stream).
+    pub control_events: u64,
+    /// The compacted engine compacts every this many events.
+    pub compact_stride: u64,
+    /// Per-decile throughput of the compacted engine.
+    pub compacted: Vec<CompactionDecile>,
+    /// Per-decile throughput of the uncompacted control over its prefix.
+    pub control: Vec<CompactionDecile>,
+    /// Compactions that discarded state.
+    pub compactions: u64,
+    /// Closure/TDV rows reclaimed across those compactions.
+    pub reclaimed_rows: u64,
+    /// Largest resident closure seen at a compacted decile boundary.
+    pub peak_resident_compacted: usize,
+    /// Resident closure right after the final compaction.
+    pub resident_after_final_compaction: usize,
+    /// Resident closure of the control at the end of its prefix.
+    pub control_final_resident: usize,
+    /// Untrackable-pair count of the compacted engine at the control's
+    /// truncation point (differential spot-check).
+    pub untrackable_at_cap_compacted: u64,
+    /// Untrackable-pair count of the control at the same point.
+    pub untrackable_at_cap_control: u64,
+    /// Untrackable-pair count of the compacted engine after the full
+    /// stream.
+    pub untrackable_final: u64,
+}
+
+fn decile_ratio(deciles: &[CompactionDecile]) -> f64 {
+    match (deciles.first(), deciles.last()) {
+        (Some(first), Some(last)) if first.events_per_sec > 0.0 => {
+            last.events_per_sec / first.events_per_sec
+        }
+        _ => 0.0,
+    }
+}
+
+impl CompactionBenchResult {
+    /// Last-decile throughput over first-decile throughput, compacted.
+    pub fn compacted_throughput_ratio(&self) -> f64 {
+        decile_ratio(&self.compacted)
+    }
+
+    /// Last-decile throughput over first-decile throughput, control.
+    pub fn control_throughput_ratio(&self) -> f64 {
+        decile_ratio(&self.control)
+    }
+
+    /// The acceptance gates of the experiment: flat per-event cost under
+    /// compaction (last decile at least half the first-decile throughput),
+    /// visible collapse without it, bounded resident closure, exact
+    /// analysis results, and non-vacuous reclamation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable explanation of the first violated gate.
+    pub fn gate(&self) -> Result<(), String> {
+        let compacted = self.compacted_throughput_ratio();
+        if compacted < 0.5 {
+            return Err(format!(
+                "compacted last-decile throughput fell to {compacted:.2}x of the first decile \
+                 (gate: >= 0.5x)"
+            ));
+        }
+        let control = self.control_throughput_ratio();
+        if control >= 0.5 {
+            return Err(format!(
+                "uncompacted control kept {control:.2}x of its first-decile throughput — the \
+                 collapse the compacted engine avoids is not visible"
+            ));
+        }
+        if self.untrackable_at_cap_compacted != self.untrackable_at_cap_control {
+            return Err(format!(
+                "differential spot-check failed at event {}: compacted counts {} untrackable \
+                 pairs, control counts {}",
+                self.control_events,
+                self.untrackable_at_cap_compacted,
+                self.untrackable_at_cap_control
+            ));
+        }
+        let bound = (4 * self.compact_stride) as usize;
+        if self.resident_after_final_compaction > bound {
+            return Err(format!(
+                "resident closure after the final compaction is {} nodes (gate: <= {bound}, \
+                 4x the compaction stride)",
+                self.resident_after_final_compaction
+            ));
+        }
+        if self.compactions == 0 || self.reclaimed_rows == 0 {
+            return Err("no compaction discarded state — the comparison is vacuous".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Runs BENCH-COMPACTION: stream `events` deterministic events (a
+/// fixed-seed mixture of sends, FIFO deliveries and round-robin
+/// checkpoints over `n` processes) through (a) an engine compacted to its
+/// recovery line every `compact_stride` events and (b) an uncompacted
+/// control truncated to `control_events`, timing each tenth of either
+/// ingest and querying the violation count after every event.
+pub fn compaction_bench(
+    n: usize,
+    events: u64,
+    control_events: u64,
+    compact_stride: u64,
+    seed: u64,
+) -> CompactionBenchResult {
+    use rdt_rgraph::IncrementalAnalysis;
+    use rdt_sim::Stopwatch;
+
+    assert!(events >= 10, "need at least one event per decile");
+    assert!(control_events <= events, "control runs a prefix");
+    assert!(compact_stride > 0, "stride must be positive");
+    let ops = compaction_stream(n, events, seed);
+
+    let ingest = |total: u64, stride: Option<u64>| {
+        let mut engine = IncrementalAnalysis::new(n);
+        let mut mids: Vec<u32> = Vec::new();
+        let mut deciles = Vec::with_capacity(10);
+        let mut untrackable_at_cap = 0u64;
+        let mut resident_after_compaction = 0usize;
+        let mut done = 0u64;
+        for decile in 1..=10u32 {
+            let until = total * u64::from(decile) / 10;
+            let watch = Stopwatch::start();
+            while done < until {
+                apply_compaction_op(&mut engine, &mut mids, ops[done as usize]);
+                std::hint::black_box(engine.untrackable_pairs());
+                done += 1;
+                if done == control_events {
+                    untrackable_at_cap = engine.untrackable_pairs();
+                }
+                if let Some(stride) = stride {
+                    if done.is_multiple_of(stride) {
+                        engine.compact_to_recovery_line();
+                        resident_after_compaction = engine.resident_closure_nodes();
+                    }
+                }
+            }
+            let ns = watch.elapsed().as_nanos() as u64;
+            let decile_events = until - (total * u64::from(decile - 1) / 10);
+            deciles.push(CompactionDecile {
+                decile,
+                events: decile_events,
+                ns,
+                events_per_sec: decile_events as f64 / (ns.max(1) as f64 / 1e9),
+                resident_nodes: engine.resident_closure_nodes(),
+            });
+        }
+        (
+            engine,
+            deciles,
+            untrackable_at_cap,
+            resident_after_compaction,
+        )
+    };
+
+    let (compacted_engine, compacted, untrackable_at_cap_compacted, resident_after_final) =
+        ingest(events, Some(compact_stride));
+    let (control_engine, control, untrackable_at_cap_control, _) = ingest(control_events, None);
+
+    CompactionBenchResult {
+        n,
+        events,
+        control_events,
+        compact_stride,
+        peak_resident_compacted: compacted
+            .iter()
+            .map(|d| d.resident_nodes)
+            .max()
+            .unwrap_or(0),
+        resident_after_final_compaction: resident_after_final,
+        control_final_resident: control_engine.resident_closure_nodes(),
+        compactions: compacted_engine.compactions(),
+        reclaimed_rows: compacted_engine.reclaimed_rows(),
+        untrackable_at_cap_compacted,
+        untrackable_at_cap_control,
+        untrackable_final: compacted_engine.untrackable_pairs(),
+        compacted,
+        control,
+    }
+}
+
 /// ABL-1: piggyback size versus forced-checkpoint count across the
 /// protocol lattice.
 #[derive(Debug, Clone)]
@@ -1469,6 +1757,62 @@ impl ToJson for IncrementalBenchResult {
     }
 }
 
+impl ToJson for CompactionDecile {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("decile", self.decile.to_json()),
+            ("events", self.events.to_json()),
+            ("ns", self.ns.to_json()),
+            ("events_per_sec", self.events_per_sec.to_json()),
+            ("resident_nodes", self.resident_nodes.to_json()),
+        ])
+    }
+}
+
+impl ToJson for CompactionBenchResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("n", self.n.to_json()),
+            ("events", self.events.to_json()),
+            ("control_events", self.control_events.to_json()),
+            ("compact_stride", self.compact_stride.to_json()),
+            ("compacted", self.compacted.to_json()),
+            ("control", self.control.to_json()),
+            ("compactions", self.compactions.to_json()),
+            ("reclaimed_rows", self.reclaimed_rows.to_json()),
+            (
+                "peak_resident_compacted",
+                self.peak_resident_compacted.to_json(),
+            ),
+            (
+                "resident_after_final_compaction",
+                self.resident_after_final_compaction.to_json(),
+            ),
+            (
+                "control_final_resident",
+                self.control_final_resident.to_json(),
+            ),
+            (
+                "untrackable_at_cap_compacted",
+                self.untrackable_at_cap_compacted.to_json(),
+            ),
+            (
+                "untrackable_at_cap_control",
+                self.untrackable_at_cap_control.to_json(),
+            ),
+            ("untrackable_final", self.untrackable_final.to_json()),
+            (
+                "compacted_throughput_ratio",
+                self.compacted_throughput_ratio().to_json(),
+            ),
+            (
+                "control_throughput_ratio",
+                self.control_throughput_ratio().to_json(),
+            ),
+        ])
+    }
+}
+
 impl ToJson for AblationResult {
     fn to_json(&self) -> Json {
         Json::obj([
@@ -1617,6 +1961,26 @@ mod tests {
         // The fan-out is a pure map over the grid: any thread count yields
         // bit-identical rows.
         assert_eq!(result, recovery_exec(4, &[1, 2], 200, 4.0, 2, 4));
+    }
+
+    #[test]
+    fn compaction_bench_spot_check_is_exact() {
+        // Tiny scale: throughput gates are noise at this size, but the
+        // differential spot-check and the reclamation counters must hold.
+        let bench = compaction_bench(4, 4_000, 2_000, 250, 7);
+        assert_eq!(bench.compacted.len(), 10);
+        assert_eq!(bench.control.len(), 10);
+        assert_eq!(
+            bench.untrackable_at_cap_compacted,
+            bench.untrackable_at_cap_control
+        );
+        assert!(bench.compactions > 0);
+        assert!(bench.reclaimed_rows > 0);
+        assert!(bench.peak_resident_compacted > 0);
+        assert!(
+            bench.resident_after_final_compaction < bench.control_final_resident,
+            "compaction must actually shrink the resident closure"
+        );
     }
 
     #[test]

@@ -20,9 +20,10 @@ pub mod parallel;
 pub mod report;
 
 pub use experiment::{
-    ablation, closure_bench, coordinated, corollary45, figure, incremental_vs_batch, necessity,
-    protocol_set, rdt_check, recovery_exec, recovery_exec_protocols, recovery_experiment, scaling,
-    sensitivity, table1, AblationResult, ClosureBenchResult, CoordinatedResult, Cor45Result,
+    ablation, closure_bench, compaction_bench, coordinated, corollary45, figure,
+    incremental_vs_batch, necessity, protocol_set, rdt_check, recovery_exec,
+    recovery_exec_protocols, recovery_experiment, scaling, sensitivity, table1, AblationResult,
+    ClosureBenchResult, CompactionBenchResult, CompactionDecile, CoordinatedResult, Cor45Result,
     FigureResult, IncrementalBenchResult, IncrementalBenchRow, NecessityResult, PointOutcome,
     ProtocolPoint, RdtCheckResult, RecoveryExecResult, RecoveryExecRow, RecoveryResult,
     ScalingResult, SensitivityResult, Sweep, SweepPoint, SweepRow, Table1Result, MEAN_DELAY,

@@ -56,6 +56,10 @@ use rdt_causality::{CheckpointId, ProcessId};
 
 use crate::consistency::GlobalCheckpoint;
 
+#[path = "compaction.rs"]
+mod compaction;
+pub use compaction::CompactionStats;
+
 const NONE_U32: u32 = u32::MAX;
 
 /// Stack words for closure-row scratch masks (spills to heap above
@@ -74,8 +78,55 @@ const MAT_C: u8 = 2;
 /// A position in the undo journal, as returned by
 /// [`IncrementalAnalysis::mark`]. Rewinding to a mark restores the engine
 /// to exactly the state it had when the mark was taken.
+///
+/// Marks are tagged with the engine's *compaction epoch*: a mark taken
+/// before a [`compact_to`](IncrementalAnalysis::compact_to) cannot be
+/// rewound to afterwards — the journal below the compaction point is gone
+/// — and [`try_rewind`](IncrementalAnalysis::try_rewind) reports that as
+/// [`RewindError::CompactionBoundary`] instead of corrupting state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub struct Mark(usize);
+pub struct Mark {
+    epoch: u64,
+    pos: usize,
+}
+
+/// Why a [`try_rewind`](IncrementalAnalysis::try_rewind) was refused. The
+/// engine state is untouched when a rewind fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RewindError {
+    /// The mark predates a compaction: the journal below the compaction
+    /// point was discarded, so the marked state no longer exists.
+    CompactionBoundary {
+        /// Epoch the mark was taken in.
+        mark_epoch: u64,
+        /// The engine's current compaction epoch.
+        engine_epoch: u64,
+    },
+    /// The mark is ahead of the journal — it was taken on a state that
+    /// has itself been rewound away.
+    AheadOfJournal,
+}
+
+impl std::fmt::Display for RewindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RewindError::CompactionBoundary {
+                mark_epoch,
+                engine_epoch,
+            } => write!(
+                f,
+                "mark from compaction epoch {mark_epoch} cannot be rewound to \
+                 in epoch {engine_epoch}: the journal below the compaction \
+                 point was discarded"
+            ),
+            RewindError::AheadOfJournal => {
+                write!(f, "mark is ahead of the journal")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RewindError {}
 
 /// One reversible mutation; the journal is replayed backwards on rewind.
 #[derive(Debug, Clone, Copy)]
@@ -135,6 +186,13 @@ enum Undo {
     MsgDelivered {
         mid: u32,
     },
+    /// A `drop_reach` entry changed (only after the first compaction).
+    DropReach {
+        slot: u32,
+        old: u32,
+    },
+    /// A `drop_reach` row was pushed (only after the first compaction).
+    DropReachPushed,
 }
 
 /// Per-message record (columns of a struct-of-arrays kept together; the
@@ -145,12 +203,19 @@ struct MsgRec {
     to: u32,
     send_iv: u32,
     deliver_iv: u32,
-    /// Node of this message in the zigzag closure (set at delivery).
+    /// Node of this message in the zigzag closure (set at delivery;
+    /// [`NONE_U32`] again once compaction drops the node).
     znode: u32,
-    /// Node of this message in the causal closure (set at delivery).
+    /// Node of this message in the causal closure (set at delivery;
+    /// [`NONE_U32`] again once compaction drops the node).
     cnode: u32,
-    /// Causal send-spine node allocated for this send.
+    /// Causal send-spine node allocated for this send ([`NONE_U32`] once
+    /// compaction drops it — only possible after delivery).
     spine: u32,
+    /// Row of this message's piggyback snapshot in `msg_tdv`
+    /// ([`NONE_U32`] once compaction reclaims the row — only possible
+    /// after delivery).
+    tdv_row: u32,
 }
 
 /// Scratch buffers for edge insertion (reused across insertions).
@@ -404,6 +469,36 @@ pub struct IncrementalAnalysis {
     /// `(interval, message)` per delivery, per process, chronological.
     deliver_events: Vec<Vec<(u32, u32)>>,
     scratch: EdgeScratch,
+
+    // ---- compaction state (see `compaction.rs`) ----
+    /// Compaction epoch: bumped whenever `compact_to` discards state, so
+    /// stale [`Mark`]s are detected instead of misapplied.
+    pub(crate) epoch: u64,
+    /// Per-process consistent watermark of the last compaction (all
+    /// zeros before the first). Monotone componentwise.
+    pub(crate) watermark: Vec<u32>,
+    /// First retained checkpoint index per process: `cp_nodes[p][k]` is
+    /// the R-node of `C_{p, cp_base[p] + k}`.
+    pub(crate) cp_base: Vec<u32>,
+    /// First retained zigzag interval slot per process: `z_slots[p][k]`
+    /// is the slot of interval `slot_base[p] + k`.
+    pub(crate) slot_base: Vec<u32>,
+    /// Chain-layer retention floor per process: messages sent in an
+    /// interval `≤ chain_floor[p]` had their zigzag/causal closure nodes
+    /// dropped; chain queries headed at or below the floor are out of the
+    /// compacted engine's exact domain.
+    pub(crate) chain_floor: Vec<u32>,
+    /// Per retained R-node and process `p`, the largest index of a
+    /// *dropped* checkpoint of `p` with an R-path to the node
+    /// ([`NONE_U32`] = none). Dropped reach sets are downward closed per
+    /// process (Rule 1 chains), so one index summarizes the whole set;
+    /// empty until the first compaction drops an R-node.
+    pub(crate) drop_reach: Vec<u32>,
+    /// Number of compactions that discarded state (epoch bumps).
+    pub(crate) compactions: u64,
+    /// Total closure rows (R + zigzag + causal nodes) reclaimed across
+    /// all compactions.
+    pub(crate) reclaimed_rows: u64,
 }
 
 impl IncrementalAnalysis {
@@ -447,6 +542,14 @@ impl IncrementalAnalysis {
             send_events: vec![Vec::new(); n],
             deliver_events: vec![Vec::new(); n],
             scratch: EdgeScratch::default(),
+            epoch: 0,
+            watermark: vec![0; n],
+            cp_base: vec![0; n],
+            slot_base: vec![0; n],
+            chain_floor: vec![0; n],
+            drop_reach: Vec::new(),
+            compactions: 0,
+            reclaimed_rows: 0,
         }
     }
 
@@ -514,6 +617,11 @@ impl IncrementalAnalysis {
         self.journal.push(Undo::CpTdvPushed);
         self.cp_nodes[pi].push(node as u32);
         self.journal.push(Undo::CpNodePushed { p: pi as u32 });
+        if !self.drop_reach.is_empty() {
+            self.drop_reach
+                .extend(std::iter::repeat_n(NONE_U32, self.n));
+            self.journal.push(Undo::DropReachPushed);
+        }
         let slot = base + pi;
         self.journal.push(Undo::CurTdv {
             slot: slot as u32,
@@ -522,17 +630,20 @@ impl IncrementalAnalysis {
         self.cur_tdv[slot] += 1;
 
         // Rule 1: C_{p, closing-1} -> C_{p, closing}.
-        let prev = self.cp_nodes[pi][closing as usize - 1] as usize;
+        let prev = self.cp_nodes[pi][(closing - 1 - self.cp_base[pi]) as usize] as usize;
         self.insert_r_edge(prev, node);
 
         // Rule 2, sender side: messages sent by `p` in the interval this
         // checkpoint closes, whose delivery interval is already closed.
+        // (Compaction keeps every checkpoint node a pending Rule 2 edge
+        // can still name, so the base-offset lookups cannot underflow.)
         let lo = self.send_events[pi].partition_point(|&(iv, _)| iv < closing);
         for i in lo..self.send_events[pi].len() {
             let (_, mid) = self.send_events[pi][i];
             let m = self.msgs[mid as usize];
             if m.deliver_iv != NONE_U32 && m.deliver_iv <= self.cp_count[m.to as usize] {
-                let tgt = self.cp_nodes[m.to as usize][m.deliver_iv as usize] as usize;
+                let ti = m.to as usize;
+                let tgt = self.cp_nodes[ti][(m.deliver_iv - self.cp_base[ti]) as usize] as usize;
                 self.insert_r_edge(node, tgt);
             }
         }
@@ -543,7 +654,8 @@ impl IncrementalAnalysis {
             let (_, mid) = self.deliver_events[pi][i];
             let m = self.msgs[mid as usize];
             if m.send_iv <= self.cp_count[m.from as usize] {
-                let src = self.cp_nodes[m.from as usize][m.send_iv as usize] as usize;
+                let fi = m.from as usize;
+                let src = self.cp_nodes[fi][(m.send_iv - self.cp_base[fi]) as usize] as usize;
                 self.insert_r_edge(src, node);
             }
         }
@@ -564,6 +676,7 @@ impl IncrementalAnalysis {
         let iv = self.cp_count[fi] + 1;
 
         let base = fi * self.n;
+        let tdv_row = (self.msg_tdv.len() / self.n) as u32;
         let row = &self.cur_tdv[base..base + self.n];
         self.msg_tdv.extend_from_slice(row);
         self.journal.push(Undo::MsgTdvPushed);
@@ -601,6 +714,7 @@ impl IncrementalAnalysis {
             znode: NONE_U32,
             cnode: NONE_U32,
             spine,
+            tdv_row,
         });
         self.journal.push(Undo::MsgPushed);
         self.set_line_open(fi, true);
@@ -623,7 +737,7 @@ impl IncrementalAnalysis {
         self.journal.push(Undo::MsgDelivered { mid });
 
         // Delivery rule: TDV_to := max(TDV_to, piggyback).
-        let base_m = mid as usize * self.n;
+        let base_m = m.tdv_row as usize * self.n;
         let base_t = ti * self.n;
         for k in 0..self.n {
             let theirs = self.msg_tdv[base_m + k];
@@ -643,9 +757,9 @@ impl IncrementalAnalysis {
         self.journal.push(Undo::Node { mat: MAT_Z });
         self.ensure_slots(ti, iv);
         self.ensure_slots(fi, m.send_iv);
-        let deliver_slot = self.z_slots[ti][iv as usize] as usize;
+        let deliver_slot = self.z_slots[ti][(iv - self.slot_base[ti]) as usize] as usize;
         self.insert_z_edge(z as usize, deliver_slot);
-        let send_slot = self.z_slots[fi][m.send_iv as usize] as usize;
+        let send_slot = self.z_slots[fi][(m.send_iv - self.slot_base[fi]) as usize] as usize;
         self.insert_z_edge(send_slot, z as usize);
 
         // Causal closure: message node fed by its own send-spine node;
@@ -671,7 +785,10 @@ impl IncrementalAnalysis {
     /// Captures the current state; pass to
     /// [`rewind`](IncrementalAnalysis::rewind) to restore it.
     pub fn mark(&self) -> Mark {
-        Mark(self.journal.len())
+        Mark {
+            epoch: self.epoch,
+            pos: self.journal.len(),
+        }
     }
 
     /// Rewinds to a previously taken [`Mark`] by replaying the undo
@@ -681,10 +798,32 @@ impl IncrementalAnalysis {
     /// # Panics
     ///
     /// Panics if the mark is ahead of the journal (taken on a state that
-    /// has itself been rewound away).
+    /// has itself been rewound away) or predates a compaction — use
+    /// [`try_rewind`](IncrementalAnalysis::try_rewind) to handle either
+    /// as a recoverable error.
     pub fn rewind(&mut self, mark: Mark) {
-        assert!(mark.0 <= self.journal.len(), "mark is ahead of the journal");
-        while self.journal.len() > mark.0 {
+        if let Err(err) = self.try_rewind(mark) {
+            panic!("{err}");
+        }
+    }
+
+    /// Fallible form of [`rewind`](IncrementalAnalysis::rewind): refuses
+    /// (leaving the engine untouched) when the mark predates a compaction
+    /// or is ahead of the journal. Rewinding *across a compaction point
+    /// is a defined error, never a wrong answer* — the journal below the
+    /// compaction was discarded, and the epoch tag on the mark detects
+    /// exactly that case.
+    pub fn try_rewind(&mut self, mark: Mark) -> Result<(), RewindError> {
+        if mark.epoch != self.epoch {
+            return Err(RewindError::CompactionBoundary {
+                mark_epoch: mark.epoch,
+                engine_epoch: self.epoch,
+            });
+        }
+        if mark.pos > self.journal.len() {
+            return Err(RewindError::AheadOfJournal);
+        }
+        while self.journal.len() > mark.pos {
             let entry = self.journal.pop().expect("journal length checked");
             match entry {
                 Undo::Word { md, row, word, old } => {
@@ -743,8 +882,13 @@ impl IncrementalAnalysis {
                     rec.znode = NONE_U32;
                     rec.cnode = NONE_U32;
                 }
+                Undo::DropReach { slot, old } => self.drop_reach[slot as usize] = old,
+                Undo::DropReachPushed => {
+                    self.drop_reach.truncate(self.drop_reach.len() - self.n);
+                }
             }
         }
+        Ok(())
     }
 
     /// Runs `f` on the **closed** extension of the current pattern — the
@@ -809,7 +953,13 @@ impl IncrementalAnalysis {
             self.checkpoint_exists(c),
             "checkpoint {c} does not exist in the pattern"
         );
-        self.cp_nodes[c.process.index()][c.index as usize] as usize
+        let p = c.process.index();
+        assert!(
+            c.index >= self.cp_base[p],
+            "checkpoint {c} was compacted away (retained from index {})",
+            self.cp_base[p]
+        );
+        self.cp_nodes[p][(c.index - self.cp_base[p]) as usize] as usize
     }
 
     /// Entries of `send_events[p]` / `deliver_events[p]` with interval
@@ -827,8 +977,14 @@ impl IncrementalAnalysis {
         let hi = self.deliver_events[p].partition_point(|&(iv, _)| iv <= y);
         for &(_, mid) in &self.deliver_events[p][..hi] {
             let rec = &self.msgs[mid as usize];
-            let node = if causal { rec.cnode } else { rec.znode } as usize;
-            buf[node / 64] |= 1 << (node % 64);
+            let node = if causal { rec.cnode } else { rec.znode };
+            // Compaction-dropped chain nodes: unreachable from any send
+            // above the chain floor, so skipping them keeps live-headed
+            // queries exact.
+            if node != NONE_U32 {
+                let node = node as usize;
+                buf[node / 64] |= 1 << (node % 64);
+            }
         }
     }
 
@@ -871,7 +1027,7 @@ impl IncrementalAnalysis {
                 && delivers.iter().any(|&(_, b)| {
                     let rb = &self.msgs[b as usize];
                     let nb = if causal { rb.cnode } else { rb.znode };
-                    mat.bit(false, na as usize, nb as usize)
+                    nb != NONE_U32 && mat.bit(false, na as usize, nb as usize)
                 })
         })
     }
@@ -931,15 +1087,20 @@ impl IncrementalAnalysis {
     /// chain. Identical verdict to
     /// [`characterization::all_chains_doubled`]
     /// (crate::characterization::all_chains_doubled) on the same pattern.
+    ///
+    /// After a [`compact_to`](IncrementalAnalysis::compact_to) the
+    /// verdict covers the chains headed strictly above the chain floors
+    /// (the retained sub-pattern); chains headed in the dropped prefix
+    /// are no longer examined.
     pub fn all_chains_doubled(&self) -> bool {
         let (mut stack, mut heap) = ([0u64; MASK_STACK_WORDS], Vec::new());
         let mask = Self::mask_buf(self.cmat.width, &mut stack, &mut heap);
         // Deduplicated by linear scan: patterns at certifiable scopes
         // yield a handful of distinct endpoint pairs at most.
         let mut checked: Vec<(CheckpointId, CheckpointId)> = Vec::new();
-        for a in self.msgs.iter().filter(|m| m.deliver_iv != NONE_U32) {
+        for a in self.msgs.iter().filter(|m| m.znode != NONE_U32) {
             let from = CheckpointId::new(ProcessId::new(a.from as usize), a.send_iv);
-            for b in self.msgs.iter().filter(|m| m.deliver_iv != NONE_U32) {
+            for b in self.msgs.iter().filter(|m| m.znode != NONE_U32) {
                 if !self.zmat.bit(false, a.znode as usize, b.znode as usize) {
                     continue;
                 }
@@ -961,10 +1122,14 @@ impl IncrementalAnalysis {
     /// link) is doubled. Identical verdict to
     /// [`characterization::all_cm_paths_doubled`]
     /// (crate::characterization::all_cm_paths_doubled).
+    ///
+    /// After a [`compact_to`](IncrementalAnalysis::compact_to) the
+    /// verdict covers the CM-paths over retained messages only, like
+    /// [`all_chains_doubled`](IncrementalAnalysis::all_chains_doubled).
     pub fn all_cm_paths_doubled(&self) -> bool {
         let (mut stack, mut heap) = ([0u64; MASK_STACK_WORDS], Vec::new());
         let mask = Self::mask_buf(self.cmat.width, &mut stack, &mut heap);
-        let delivered = |(_, m): &(usize, &MsgRec)| m.deliver_iv != NONE_U32;
+        let delivered = |(_, m): &(usize, &MsgRec)| m.cnode != NONE_U32;
         for (mid, junction) in self.msgs.iter().enumerate().filter(delivered) {
             for (b, tail) in self.msgs.iter().enumerate().filter(delivered) {
                 if mid == b {
@@ -1205,14 +1370,28 @@ impl IncrementalAnalysis {
         let gc = out;
         self.member_floor(members, gc);
         for (j, slot) in gc.iter_mut().enumerate().take(self.n) {
-            for z in (*slot + 1..=self.cp_count[j]).rev() {
-                let from = self.cp_nodes[j][z as usize] as usize;
+            let mut found = false;
+            let lo = (*slot + 1).max(self.cp_base[j]);
+            for z in (lo..=self.cp_count[j]).rev() {
+                let from = self.cp_nodes[j][(z - self.cp_base[j]) as usize] as usize;
                 if members
                     .iter()
                     .any(|&m| self.rmat.bit(false, from, self.node_of(m)))
                 {
                     *slot = z;
+                    found = true;
                     break;
+                }
+            }
+            // Below the compaction base the explicit rows are gone, but
+            // the drop-reach summaries hold exactly the largest dropped
+            // index of `j` with an R-path to each retained node.
+            if !found && !self.drop_reach.is_empty() {
+                for &m in members {
+                    let dr = self.drop_reach[self.node_of(m) * self.n + j];
+                    if dr != NONE_U32 && dr > *slot {
+                        *slot = dr;
+                    }
                 }
             }
         }
@@ -1264,9 +1443,14 @@ impl IncrementalAnalysis {
     }
 
     /// Dense zigzag interval slots for process `p` up to interval `upto`,
-    /// chained in increasing order.
+    /// chained in increasing order (dense from `slot_base[p]` once
+    /// compaction has dropped a prefix).
     fn ensure_slots(&mut self, p: usize, upto: u32) {
-        while self.z_slots[p].len() <= upto as usize {
+        debug_assert!(
+            upto >= self.slot_base[p],
+            "slot {upto} of process {p} was compacted away"
+        );
+        while self.slot_base[p] as usize + self.z_slots[p].len() <= upto as usize {
             let s = self.zmat.push_node() as u32;
             self.journal.push(Undo::Node { mat: MAT_Z });
             if let Some(&prev) = self.z_slots[p].last() {
@@ -1282,6 +1466,7 @@ impl IncrementalAnalysis {
     /// the destination's `TDV` snapshot was taken when the destination
     /// node was created, before any edge could reach it.
     fn insert_r_edge(&mut self, u: usize, v: usize) {
+        let implied = self.rmat.bit(false, u, v);
         let mut scratch = std::mem::take(&mut self.scratch);
         self.rmat
             .insert_edge(MAT_R, &mut self.journal, &mut scratch, true, u, v);
@@ -1291,6 +1476,9 @@ impl IncrementalAnalysis {
                 delta += 1;
             }
         }
+        if !implied && !self.drop_reach.is_empty() {
+            delta += self.propagate_drop_reach(u, &scratch.succ);
+        }
         if delta > 0 {
             self.journal.push(Undo::Untrackable {
                 old: self.untrackable,
@@ -1298,6 +1486,59 @@ impl IncrementalAnalysis {
             self.untrackable += delta;
         }
         self.scratch = scratch;
+    }
+
+    /// Folds `u`'s dropped-reach summary into every node of `succ` (the
+    /// successor set of a freshly inserted edge's head, including the
+    /// head itself) and returns the number of *new* untrackable pairs
+    /// whose source checkpoint was compacted away.
+    ///
+    /// Exactness rests on two facts: dropped reach sets are downward
+    /// closed per process (so the per-process maximum index determines
+    /// the set), and `drop_reach[u]` dominates `drop_reach[x]` for every
+    /// retained predecessor `x` of `u` (reachability is transitive), so
+    /// folding only `u`'s row covers everything newly reaching `succ`.
+    fn propagate_drop_reach(&mut self, u: usize, succ: &[u64]) -> u64 {
+        let n = self.n;
+        let base_u = u * n;
+        if self.drop_reach[base_u..base_u + n]
+            .iter()
+            .all(|&d| d == NONE_U32)
+        {
+            return 0;
+        }
+        let mut delta = 0u64;
+        for y in ones(succ) {
+            let py = self.r_meta[y].0;
+            let base_y = y * n;
+            for k in 0..n {
+                let du = self.drop_reach[base_u + k];
+                if du == NONE_U32 {
+                    continue;
+                }
+                let old = self.drop_reach[base_y + k];
+                if old != NONE_U32 && du <= old {
+                    continue;
+                }
+                self.journal.push(Undo::DropReach {
+                    slot: (base_y + k) as u32,
+                    old,
+                });
+                self.drop_reach[base_y + k] = du;
+                if k as u32 != py {
+                    // Dropped sources C_{k,i} with i in (old, du] newly
+                    // reach y; of those, the ones the destination's TDV
+                    // snapshot does not cover are untrackable. Index 0
+                    // (and anything <= the snapshot) is always covered.
+                    let o = if old == NONE_U32 { 0 } else { old };
+                    let thr = o.max(self.cp_tdv[base_y + k]);
+                    if du > thr {
+                        delta += (du - thr) as u64;
+                    }
+                }
+            }
+        }
+        delta
     }
 
     fn insert_z_edge(&mut self, u: usize, v: usize) {
@@ -1312,6 +1553,40 @@ impl IncrementalAnalysis {
         self.cmat
             .insert_edge(MAT_C, &mut self.journal, &mut scratch, false, u, v);
         self.scratch = scratch;
+    }
+
+    /// Capacity snapshot of every growable buffer the engine owns.
+    /// Rewinding truncates in place and replays refill the warmed
+    /// storage, so a rewind + replay cycle must not change any entry —
+    /// the branch-isolation test pins that invariant.
+    #[cfg(test)]
+    fn buffer_capacities(&self) -> Vec<usize> {
+        let mut caps = vec![
+            self.journal.capacity(),
+            self.msgs.capacity(),
+            self.msg_tdv.capacity(),
+            self.cp_tdv.capacity(),
+            self.r_meta.capacity(),
+            self.drop_reach.capacity(),
+            self.scratch.succ.capacity(),
+            self.scratch.pred.capacity(),
+            self.scratch.pairs.capacity(),
+            self.rmat.fwd.capacity(),
+            self.rmat.bwd.capacity(),
+            self.zmat.fwd.capacity(),
+            self.zmat.bwd.capacity(),
+            self.cmat.fwd.capacity(),
+            self.cmat.bwd.capacity(),
+        ];
+        for p in 0..self.n {
+            caps.push(self.cp_nodes[p].capacity());
+            caps.push(self.z_slots[p].capacity());
+            caps.push(self.c_spine[p].capacity());
+            caps.push(self.c_delivs[p].capacity());
+            caps.push(self.send_events[p].capacity());
+            caps.push(self.deliver_events[p].capacity());
+        }
+        caps
     }
 
     /// Definition 3.3/3.4 trackability of the R-path `x → y` (both R-graph
@@ -1612,8 +1887,11 @@ mod tests {
         let pattern_b = lock.pattern();
         assert_matches_batch(&mut lock.incr, &pattern_b);
 
-        // Rewind once more and replay branch A: same observation, and the
-        // message handles come out identical.
+        // Rewind once more and replay branch A: same observation, the
+        // message handles come out identical, and — every buffer having
+        // been warmed by the first pass — the whole rewind + replay cycle
+        // runs in reused storage, growing no allocation.
+        let warmed = lock.incr.buffer_capacities();
         lock.incr.rewind(mark);
         let b1 = lock.incr.append_send(p(2), p(0));
         let b2 = lock.incr.append_send(p(1), p(2));
@@ -1621,6 +1899,11 @@ mod tests {
         lock.incr.append_deliver(b2);
         lock.incr.append_deliver(b1);
         assert_eq!(lock.incr.with_closed(|v| v.untrackable_pairs()), branch_a);
+        assert_eq!(
+            lock.incr.buffer_capacities(),
+            warmed,
+            "rewind + replay must not grow any engine buffer"
+        );
     }
 
     #[test]

@@ -146,6 +146,13 @@ pub struct SimConfig {
     /// Distinct salts give statistically independent crash schedules over
     /// the same underlying run.
     pub crash_seed_salt: u64,
+    /// Compact the shadow engine to each computed recovery line: after
+    /// every crash the recovery-line-dominated prefix is collapsed
+    /// (see [`rdt_rgraph::IncrementalAnalysis::compact_to`]), bounding
+    /// engine memory in long crashy runs. Observational only — the
+    /// schedule, trace and recovery decisions are bit-identical with it
+    /// on or off. Requires crash injection; ignored otherwise.
+    pub compact_after_recovery: bool,
 }
 
 /// Default salt for the crash RNG stream ("fallback").
@@ -165,6 +172,7 @@ impl SimConfig {
             crash_rate: 0.0,
             max_crashes: 4,
             crash_seed_salt: DEFAULT_CRASH_SEED_SALT,
+            compact_after_recovery: false,
         }
     }
 
@@ -225,6 +233,13 @@ impl SimConfig {
     /// Sets the salt deriving the crash RNG stream.
     pub fn with_crash_seed_salt(mut self, salt: u64) -> Self {
         self.crash_seed_salt = salt;
+        self
+    }
+
+    /// Compacts the shadow engine after each computed recovery line (see
+    /// [`SimConfig::compact_after_recovery`]).
+    pub fn with_compaction(mut self, enabled: bool) -> Self {
+        self.compact_after_recovery = enabled;
         self
     }
 

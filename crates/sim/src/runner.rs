@@ -144,6 +144,14 @@ pub struct RecoveryReport {
     /// Wall time spent computing recovery lines, over all crashes. Kept
     /// out of [`CrashRecord`] so records stay comparable across runs.
     pub line_compute_time: Duration,
+    /// State-discarding compactions of the shadow engine, when
+    /// [`SimConfig::compact_after_recovery`] is on (0 otherwise).
+    pub compactions: u64,
+    /// Closure rows reclaimed by those compactions.
+    pub reclaimed_rows: u64,
+    /// Closure nodes resident in the shadow engine after the last
+    /// compaction (`None` until one has run).
+    pub resident_nodes_after_compaction: Option<usize>,
 }
 
 impl RecoveryReport {
@@ -737,6 +745,7 @@ impl<P: CicProtocol> Runner<P> {
                 rolled_to_initial += 1;
             }
         }
+        let compact_caps = self.config.compact_after_recovery.then(|| line.clone());
         let record = CrashRecord {
             at: self.now,
             process: victim,
@@ -762,6 +771,23 @@ impl<P: CicProtocol> Runner<P> {
         // piggyback drawn from the sender's current protocol state.
         for (from, to, tag) in reemits.into_iter().chain(replays) {
             self.do_send(from, to, tag);
+        }
+
+        // Bound the shadow engine: collapse everything the recovery line
+        // dominates. Purely observational — every query recovery relies
+        // on stays exact, and the schedule and trace are untouched.
+        if let Some(caps) = compact_caps {
+            let probe = self.probe.as_mut().expect("probe outlives the crash");
+            let stats = probe.engine.compact_to(&caps);
+            if stats.discarded_state() {
+                let report = self
+                    .recovery
+                    .as_mut()
+                    .expect("a crash fired, so fault injection is enabled");
+                report.compactions += 1;
+                report.reclaimed_rows += stats.dropped_nodes() as u64;
+                report.resident_nodes_after_compaction = Some(stats.resident_nodes);
+            }
         }
     }
 

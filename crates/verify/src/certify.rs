@@ -113,6 +113,12 @@ pub struct CertifyOptions {
     pub protocols: Vec<CertProtocol>,
     /// Counterexamples *kept* per protocol (all are counted).
     pub max_counterexamples: usize,
+    /// Compact each replay session's engine to its recovery line every
+    /// this many schedules (`0` disables). Bounds the engine's resident
+    /// closure at large scopes; the next schedule rebuilds from the empty
+    /// pattern instead of sharing a prefix across the compaction point,
+    /// so the report stays byte-identical for every interval.
+    pub compact_interval: u64,
 }
 
 impl Default for CertifyOptions {
@@ -121,6 +127,7 @@ impl Default for CertifyOptions {
             threads: 0,
             protocols: CertProtocol::default_set(),
             max_counterexamples: 8,
+            compact_interval: 0,
         }
     }
 }
@@ -276,6 +283,7 @@ impl ToJson for CertifyReport {
 /// longest common prefix and appends only the differing suffix — the
 /// replay trie is walked implicitly, one branch at a time.
 struct CertSession {
+    n: usize,
     incr: IncrementalAnalysis,
     ops: Vec<PatternOp>,
     /// `marks[i]` = engine state after `ops[..i]` (so `marks[0]` is the
@@ -286,6 +294,9 @@ struct CertSession {
     /// Reused global-checkpoint oracle buffers (min fixpoint, min via
     /// R-graph, max), each `n` entries.
     gc_bufs: [Vec<u32>; 3],
+    /// Schedules certified since the engine was last compacted (only
+    /// advanced while [`CertifyOptions::compact_interval`] is nonzero).
+    since_compaction: u64,
 }
 
 impl CertSession {
@@ -293,11 +304,13 @@ impl CertSession {
         let incr = IncrementalAnalysis::new(n);
         let start = incr.mark();
         CertSession {
+            n,
             incr,
             ops: Vec::new(),
             marks: vec![start],
             run: ReplayedOps::default(),
             gc_bufs: [vec![0; n], vec![0; n], vec![0; n]],
+            since_compaction: 0,
         }
     }
 
@@ -305,15 +318,31 @@ impl CertSession {
     /// appends the rest of `self.run.ops`.
     fn load_run(&mut self) {
         let ops = &self.run.ops;
-        let shared = self
+        let mut shared = self
             .ops
             .iter()
             .zip(ops.iter())
             .take_while(|(a, b)| a == b)
             .count();
-        self.incr.rewind(self.marks[shared]);
+        if self.incr.try_rewind(self.marks[shared]).is_err() {
+            // The engine was compacted since those marks were taken
+            // (RewindError::CompactionBoundary): the prefix cannot be
+            // shared across the boundary, so replay from the empty
+            // pattern — results are those of a fresh engine by
+            // construction.
+            self.incr = IncrementalAnalysis::new(self.n);
+            self.ops.clear();
+            self.marks.clear();
+            self.marks.push(self.incr.mark());
+            shared = 0;
+        }
         self.ops.truncate(shared);
         self.marks.truncate(shared + 1);
+        self.append_suffix(shared);
+    }
+
+    fn append_suffix(&mut self, shared: usize) {
+        let ops = &self.run.ops;
         for &op in &ops[shared..] {
             match op {
                 PatternOp::Checkpoint(process) => {
@@ -326,6 +355,21 @@ impl CertSession {
             }
             self.ops.push(op);
             self.marks.push(self.incr.mark());
+        }
+    }
+
+    /// Compacts the engine to its recovery line once every `interval`
+    /// schedules (`0` disables). Called between schedules; if state was
+    /// discarded, the next [`CertSession::load_run`] notices the epoch
+    /// boundary and replays from the empty pattern.
+    fn maybe_compact(&mut self, interval: u64) {
+        if interval == 0 {
+            return;
+        }
+        self.since_compaction += 1;
+        if self.since_compaction >= interval {
+            self.since_compaction = 0;
+            self.incr.compact_to_recovery_line();
         }
     }
 }
@@ -507,6 +551,7 @@ pub fn certify(scope: &Scope, options: &CertifyOptions) -> CertifyReport {
     let perms = permutations(scope.processes);
     let protocols = &options.protocols;
     let max_kept = options.max_counterexamples;
+    let compact_interval = options.compact_interval;
     let n = scope.processes;
 
     let per_layout = parallel_map_indexed(
@@ -525,6 +570,7 @@ pub fn certify(scope: &Scope, options: &CertifyOptions) -> CertifyReport {
                     .zip(tallies.iter_mut())
                 {
                     certify_schedule(protocol, session, schedule, tally, max_kept);
+                    session.maybe_compact(compact_interval);
                 }
             });
             (counts, tallies)
@@ -627,6 +673,7 @@ mod tests {
                 crate::CertProtocol::WeakenedBhmrC2Only,
             ],
             max_counterexamples: 4,
+            compact_interval: 0,
         };
         let one = certify(&scope, &options).to_json().pretty();
         for threads in [2, 5, 8] {
@@ -640,6 +687,26 @@ mod tests {
             .to_json()
             .pretty();
             assert_eq!(one, many, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn report_is_identical_under_compaction() {
+        // Compacting between schedules trades prefix sharing for bounded
+        // resident state; the report must stay byte-identical for every
+        // interval and thread count.
+        let scope = Scope::with_basics(3, 2, 1).unwrap();
+        let baseline = quick(scope, 1).to_json().pretty();
+        for interval in [1u64, 3] {
+            for threads in [1usize, 2] {
+                let options = CertifyOptions {
+                    threads,
+                    compact_interval: interval,
+                    ..CertifyOptions::default()
+                };
+                let compacted = certify(&scope, &options).to_json().pretty();
+                assert_eq!(baseline, compacted, "interval={interval} threads={threads}");
+            }
         }
     }
 

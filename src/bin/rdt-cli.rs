@@ -5,7 +5,7 @@
 //! rdt-cli list
 //! rdt-cli run --protocol bhmr --env client-server --n 8 --seed 3 \
 //!             --messages 2000 --ckpt-mean 80 [--fifo] [--verify] [--stats] [--detail] \
-//!             [--crash-rate R [--max-crashes K]] [--dot pattern.dot]
+//!             [--crash-rate R [--max-crashes K] [--compact]] [--dot pattern.dot]
 //! rdt-cli compare --env random --n 8 --seed 3 --messages 2000
 //! rdt-cli audit --figure 1
 //! rdt-cli domino --rounds 10
@@ -64,6 +64,7 @@ fn build_config(flags: &HashMap<String, String>, n: usize) -> SimConfig {
         .with_fifo(flags.contains_key("fifo"))
         .with_crash_rate(get(flags, "crash-rate", 0.0f64))
         .with_max_crashes(get(flags, "max-crashes", 2u32))
+        .with_compaction(flags.contains_key("compact"))
 }
 
 fn cmd_list() -> ExitCode {
@@ -146,6 +147,16 @@ fn cmd_run(flags: &HashMap<String, String>) -> ExitCode {
             recovery.total_rolled_to_initial(),
             recovery.mean_rollback_span_ticks()
         );
+        if config.compact_after_recovery {
+            match recovery.resident_nodes_after_compaction {
+                Some(resident) => println!(
+                    "  compaction   : {} recovery-line compactions reclaimed {} closure rows, \
+                     {resident} resident nodes after the last",
+                    recovery.compactions, recovery.reclaimed_rows
+                ),
+                None => println!("  compaction   : no compaction discarded state"),
+            }
+        }
         if flags.contains_key("stats") {
             println!(
                 "    line compute : {:>7.3} ms (incremental engine, all crashes)",
@@ -501,10 +512,13 @@ mod tests {
             "--ckpt-mean",
             "99",
             "--fifo",
+            "--compact",
         ]));
         let config = build_config(&flags, 3);
         assert_eq!(config.seed, 5);
         assert_eq!(config.stop, rdt::StopCondition::MessagesSent(42));
         assert!(config.fifo);
+        assert!(config.compact_after_recovery);
+        assert!(!build_config(&HashMap::new(), 3).compact_after_recovery);
     }
 }

@@ -36,6 +36,7 @@ fn weakened_predicate_regression() {
             CertProtocol::WeakenedBhmrC2Only,
         ],
         max_counterexamples: 32,
+        compact_interval: 0,
     };
     let report = certify(&scope, &options);
 

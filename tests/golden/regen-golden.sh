@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# Regenerates the golden-fixture canonical JSONs and the checksum
+# manifest in this directory. Run after an intentional change to an
+# artifact's format or deterministic results, then review the diff
+# before committing.
+set -eu
+cd "$(dirname "$0")/../.."
+RDT_REGEN_GOLDEN=1 cargo test --test golden_fixtures golden_fixtures_match
+git --no-pager diff --stat tests/golden
