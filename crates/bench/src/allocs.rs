@@ -1,0 +1,52 @@
+//! Allocation-counting hook for the `experiments` binary.
+//!
+//! The workspace libraries forbid `unsafe`, so the counting
+//! [`GlobalAlloc`](std::alloc::GlobalAlloc) wrapper itself lives in the
+//! benchmark *binary*; this module only holds the (safe) counter it
+//! reports into. When no counting allocator is installed — unit tests,
+//! downstream users — the counter stays at zero and [`enabled`] reports
+//! `false`, so allocation columns read as zeros rather than lies.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+/// Records one heap allocation. Called by the benchmark binary's global
+/// allocator on every `alloc`/`realloc`; `Relaxed` suffices because
+/// readers only difference totals around single-threaded runs.
+#[inline]
+pub fn note_alloc() {
+    ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Marks a counting allocator as installed (called once at benchmark
+/// binary start-up, before any measurement).
+pub fn mark_installed() {
+    INSTALLED.store(true, Ordering::Relaxed);
+}
+
+/// Whether a counting allocator is live, i.e. whether
+/// [`allocation_count`] means anything.
+pub fn enabled() -> bool {
+    INSTALLED.load(Ordering::Relaxed)
+}
+
+/// Total heap allocations observed so far (zero when no counting
+/// allocator is installed).
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_notes() {
+        let before = allocation_count();
+        note_alloc();
+        note_alloc();
+        assert!(allocation_count() >= before + 2);
+    }
+}

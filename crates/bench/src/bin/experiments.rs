@@ -2,7 +2,7 @@
 //! evaluation.
 //!
 //! ```text
-//! experiments [all|fig7|fig8|fig9|table1|cor45|rdtcheck|compaction|ablation|recovery|recovery-exec] \
+//! experiments [all|fig7|fig8|fig9|table1|cor45|rdtcheck|sim-throughput|compaction|ablation|recovery|recovery-exec] \
 //!     [--quick] [--threads N]
 //! ```
 //!
@@ -11,16 +11,45 @@
 //! for the figure sweeps (default: one per CPU); results are bit-identical
 //! for every `N`.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use rdt_bench::{
     ablation, closure_bench, compaction_bench, coordinated, corollary45, incremental_vs_batch,
     necessity, rdt_check, recovery_exec, recovery_experiment, render_figure, render_recovery_exec,
-    render_table1, run_sweep_with_metrics, scaling, sensitivity, table1, write_json,
-    CompactionDecile, Sweep, SweepOptions,
+    render_table1, run_sweep_with_metrics, scaling, sensitivity, sim_throughput, table1,
+    write_json, CompactionDecile, Sweep, SweepOptions,
 };
 use rdt_workloads::EnvironmentKind;
+
+/// System allocator wrapped to count every allocation into
+/// `rdt_bench::allocs`, so BENCH-SIM-THROUGHPUT can report heap
+/// allocations per run. The workspace libraries forbid `unsafe`; this
+/// shim is the one sanctioned exception and lives only in the binary.
+struct CountingAllocator;
+
+// SAFETY: every method delegates directly to `System`, which upholds the
+// `GlobalAlloc` contract; the counter update is one atomic increment
+// that itself never allocates.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        rdt_bench::allocs::note_alloc();
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        rdt_bench::allocs::note_alloc();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
 
 struct Scale {
     seeds: Vec<u64>,
@@ -128,6 +157,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
 }
 
 fn main() -> ExitCode {
+    rdt_bench::allocs::mark_installed();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = match parse_args(&args) {
         Ok(cli) => cli,
@@ -154,6 +184,7 @@ fn main() -> ExitCode {
         "cor45",
         "rdtcheck",
         "certify",
+        "sim-throughput",
         "incremental",
         "compaction",
         "ablation",
@@ -232,6 +263,48 @@ fn main() -> ExitCode {
         match write_json(&dir, "BENCH_rdtcheck", &bench) {
             Ok(path) => println!("  -> {}\n", path.display()),
             Err(err) => eprintln!("  !! could not write BENCH_rdtcheck.json: {err}\n"),
+        }
+    }
+
+    if which == "all" || which == "sim-throughput" {
+        println!("== BENCH-SIM-THROUGHPUT — packed round-executor engine vs legacy protocols ==");
+        let (messages, reps) = if quick { (800, 3) } else { (4_000, 5) };
+        let bench = sim_throughput(messages, reps);
+        println!(
+            "  {:>8} {:>16} {:>3} {:>8} {:>12} {:>12} {:>8} {:>10} {:>10}",
+            "env",
+            "protocol",
+            "n",
+            "events",
+            "legacy (ns)",
+            "exec (ns)",
+            "speedup",
+            "allocs-l",
+            "allocs-x"
+        );
+        for row in &bench.rows {
+            println!(
+                "  {:>8} {:>16} {:>3} {:>8} {:>12} {:>12} {:>7.2}x {:>10} {:>10}",
+                row.environment,
+                row.protocol,
+                row.n,
+                row.events,
+                row.legacy_ns,
+                row.executor_ns,
+                row.speedup,
+                row.legacy_allocs,
+                row.executor_allocs
+            );
+        }
+        match write_json(&dir, "BENCH_sim_throughput", &bench) {
+            Ok(path) => println!("  -> {}\n", path.display()),
+            Err(err) => eprintln!("  !! could not write BENCH_sim_throughput.json: {err}\n"),
+        }
+        // Regression gate: the executor engine must actually pay for its
+        // complexity on the headline configuration.
+        if let Err(reason) = bench.gate() {
+            eprintln!("  !! sim-throughput gate FAIL: {reason}");
+            return ExitCode::FAILURE;
         }
     }
 

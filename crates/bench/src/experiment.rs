@@ -6,8 +6,8 @@ use rdt_json::{Json, ToJson};
 use rdt_recovery::{analyze, Failure};
 use rdt_rgraph::{min_max, RdtChecker};
 use rdt_sim::{
-    run_protocol_kind, run_protocol_kind_with_scratch, BasicCheckpointModel, DelayModel, RunStats,
-    SimConfig, SimRng, SimScratch, StopCondition,
+    run_protocol_kind, run_protocol_kind_legacy, run_protocol_kind_with_scratch,
+    BasicCheckpointModel, DelayModel, RunStats, SimConfig, SimRng, SimScratch, StopCondition,
 };
 use rdt_workloads::EnvironmentKind;
 
@@ -579,6 +579,171 @@ pub fn closure_bench(sizes: &[u64], repetitions: u32) -> ClosureBenchResult {
         rows.push((messages, delivered, naive_ns, optimized_ns, speedup));
     }
     ClosureBenchResult { rows, repetitions }
+}
+
+/// One protocol × environment cell of BENCH-SIM-THROUGHPUT.
+#[derive(Debug, Clone)]
+pub struct SimThroughputRow {
+    /// Protocol name.
+    pub protocol: String,
+    /// Environment name.
+    pub environment: String,
+    /// Number of processes (the environment's figure scale).
+    pub n: usize,
+    /// Trace events per run (sends + deliveries + checkpoints + crashes).
+    /// Identical across the two engines — the differential suite pins
+    /// their schedules byte-for-byte.
+    pub events: u64,
+    /// Full-run wall time on the legacy per-message-allocating protocol
+    /// implementations, nanoseconds (min over the repetitions).
+    pub legacy_ns: u64,
+    /// Full-run wall time on the packed round-executor engine.
+    pub executor_ns: u64,
+    /// Events per second through the legacy engine.
+    pub legacy_events_per_sec: f64,
+    /// Events per second through the executor engine.
+    pub executor_events_per_sec: f64,
+    /// `legacy_ns / executor_ns`.
+    pub speedup: f64,
+    /// Heap allocations in one full legacy run (zero unless the
+    /// benchmark binary's counting allocator is installed).
+    pub legacy_allocs: u64,
+    /// Heap allocations in one full executor run.
+    pub executor_allocs: u64,
+}
+
+/// BENCH-SIM-THROUGHPUT: end-to-end simulator throughput per protocol ×
+/// environment, packed round-executor engine versus the legacy protocol
+/// implementations on identical schedules.
+#[derive(Debug, Clone)]
+pub struct SimThroughputResult {
+    /// Messages injected per run.
+    pub messages: u64,
+    /// Repetitions each timing is the minimum of.
+    pub repetitions: u32,
+    /// Whether a counting allocator was live, i.e. whether the
+    /// allocation columns are measurements rather than zeros.
+    pub alloc_counting: bool,
+    /// One row per protocol × environment.
+    pub rows: Vec<SimThroughputRow>,
+}
+
+impl SimThroughputResult {
+    /// The row for `environment` × `protocol`, if present.
+    pub fn row(&self, environment: &str, protocol: ProtocolKind) -> Option<&SimThroughputRow> {
+        self.rows
+            .iter()
+            .find(|row| row.environment == environment && row.protocol == protocol.name())
+    }
+
+    /// The regression gate: on BHMR in the random environment (the
+    /// paper's fig. 7 configuration) the executor engine must beat the
+    /// legacy engine by at least 1.5×, and — when allocation counting is
+    /// live — must allocate strictly less over the whole run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the failed criterion as a human-readable message.
+    pub fn gate(&self) -> Result<(), String> {
+        let row = self
+            .row("random", ProtocolKind::Bhmr)
+            .ok_or("missing bhmr/random row")?;
+        if row.speedup < 1.5 {
+            return Err(format!(
+                "executor speedup on bhmr/random is {:.2}x, need >= 1.5x",
+                row.speedup
+            ));
+        }
+        if self.alloc_counting && row.executor_allocs >= row.legacy_allocs {
+            return Err(format!(
+                "executor run allocated {} times vs legacy {} — the zero-copy path regressed",
+                row.executor_allocs, row.legacy_allocs
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Runs BENCH-SIM-THROUGHPUT: for each dependency-tracking protocol in
+/// the random (fig. 7, n=8) and groups (fig. 8, n=12) environments, time
+/// one full simulation on the packed round-executor engine
+/// ([`run_protocol_kind`]) against the same schedule on the legacy
+/// implementations ([`run_protocol_kind_legacy`]). A pilot run per
+/// engine also differences the process-wide allocation counter (live
+/// only under the benchmark binary's counting allocator).
+pub fn sim_throughput(messages: u64, repetitions: u32) -> SimThroughputResult {
+    use rdt_sim::Stopwatch;
+
+    let environments = [
+        (EnvironmentKind::Random, 8usize),
+        (EnvironmentKind::Groups, 12),
+    ];
+    let kinds = [
+        ProtocolKind::Bhmr,
+        ProtocolKind::BhmrNoSimple,
+        ProtocolKind::BhmrCausalOnly,
+        ProtocolKind::Fdas,
+        ProtocolKind::Fdi,
+    ];
+    let mut rows = Vec::with_capacity(environments.len() * kinds.len());
+    for &(env, n) in &environments {
+        for &kind in &kinds {
+            let cfg = config(n, 7, 3 * MEAN_SEND_INTERVAL, messages);
+            let run = |legacy: bool| {
+                let mut app = env.build(n, MEAN_SEND_INTERVAL);
+                if legacy {
+                    run_protocol_kind_legacy(kind, &cfg, app.as_mut())
+                } else {
+                    run_protocol_kind(kind, &cfg, app.as_mut())
+                }
+            };
+            // Pilot runs: allocation counts (deterministic — runs are
+            // seed-pure) and the event total, plus cache warm-up.
+            let count_allocs = |legacy: bool| {
+                let before = crate::allocs::allocation_count();
+                let outcome = std::hint::black_box(run(legacy));
+                let allocs = crate::allocs::allocation_count() - before;
+                (allocs, outcome.trace.events().len() as u64)
+            };
+            let (legacy_allocs, events) = count_allocs(true);
+            let (executor_allocs, executor_events) = count_allocs(false);
+            assert_eq!(events, executor_events, "engines diverged on {kind}");
+            // Interleave the two engines rep by rep so a load or
+            // frequency excursion on a shared machine hits both timing
+            // windows alike instead of skewing the ratio; min-over-reps
+            // then discards the disturbed reps of each.
+            let time_once = |legacy: bool| {
+                let watch = Stopwatch::start();
+                std::hint::black_box(run(legacy));
+                watch.elapsed().as_nanos() as u64
+            };
+            let (mut legacy_ns, mut executor_ns) = (u64::MAX, u64::MAX);
+            for _ in 0..repetitions.max(1) {
+                legacy_ns = legacy_ns.min(time_once(true));
+                executor_ns = executor_ns.min(time_once(false));
+            }
+            let per_sec = |ns: u64| events as f64 / (ns.max(1) as f64 / 1e9);
+            rows.push(SimThroughputRow {
+                protocol: kind.name().to_string(),
+                environment: env.name().to_string(),
+                n,
+                events,
+                legacy_ns,
+                executor_ns,
+                legacy_events_per_sec: per_sec(legacy_ns),
+                executor_events_per_sec: per_sec(executor_ns),
+                speedup: legacy_ns as f64 / executor_ns.max(1) as f64,
+                legacy_allocs,
+                executor_allocs,
+            });
+        }
+    }
+    SimThroughputResult {
+        messages,
+        repetitions,
+        alloc_counting: crate::allocs::enabled(),
+        rows,
+    }
 }
 
 /// One trace length of BENCH-INCREMENTAL.
@@ -1734,6 +1899,41 @@ impl ToJson for ClosureBenchResult {
     }
 }
 
+impl ToJson for SimThroughputRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("protocol", self.protocol.to_json()),
+            ("environment", self.environment.to_json()),
+            ("n", self.n.to_json()),
+            ("events", self.events.to_json()),
+            ("legacy_ns", self.legacy_ns.to_json()),
+            ("executor_ns", self.executor_ns.to_json()),
+            (
+                "legacy_events_per_sec",
+                self.legacy_events_per_sec.to_json(),
+            ),
+            (
+                "executor_events_per_sec",
+                self.executor_events_per_sec.to_json(),
+            ),
+            ("speedup", self.speedup.to_json()),
+            ("legacy_allocs", self.legacy_allocs.to_json()),
+            ("executor_allocs", self.executor_allocs.to_json()),
+        ])
+    }
+}
+
+impl ToJson for SimThroughputResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("messages", self.messages.to_json()),
+            ("repetitions", self.repetitions.to_json()),
+            ("alloc_counting", self.alloc_counting.to_json()),
+            ("rows", self.rows.to_json()),
+        ])
+    }
+}
+
 impl ToJson for IncrementalBenchRow {
     fn to_json(&self) -> Json {
         Json::obj([
@@ -1981,6 +2181,23 @@ mod tests {
             bench.resident_after_final_compaction < bench.control_final_resident,
             "compaction must actually shrink the resident closure"
         );
+    }
+
+    #[test]
+    fn sim_throughput_covers_the_dependency_lattice_in_both_environments() {
+        let bench = sim_throughput(60, 1);
+        assert_eq!(bench.rows.len(), 10);
+        assert!(bench.row("random", ProtocolKind::Bhmr).is_some());
+        assert!(bench.row("groups", ProtocolKind::Fdi).is_some());
+        for row in &bench.rows {
+            assert!(row.events > 0, "{}/{}", row.environment, row.protocol);
+            assert!(row.legacy_ns > 0 && row.executor_ns > 0);
+        }
+        // No counting allocator in the test harness: the columns must
+        // honestly read as disabled rather than fabricate counts.
+        assert!(!bench.alloc_counting);
+        assert_eq!(bench.row("random", ProtocolKind::Bhmr).unwrap().n, 8);
+        assert_eq!(bench.row("groups", ProtocolKind::Bhmr).unwrap().n, 12);
     }
 
     #[test]

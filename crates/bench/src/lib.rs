@@ -14,6 +14,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod allocs;
 pub mod experiment;
 pub mod metrics;
 pub mod parallel;
@@ -22,12 +23,12 @@ pub mod report;
 pub use experiment::{
     ablation, closure_bench, compaction_bench, coordinated, corollary45, figure,
     incremental_vs_batch, necessity, protocol_set, rdt_check, recovery_exec,
-    recovery_exec_protocols, recovery_experiment, scaling, sensitivity, table1, AblationResult,
-    ClosureBenchResult, CompactionBenchResult, CompactionDecile, CoordinatedResult, Cor45Result,
-    FigureResult, IncrementalBenchResult, IncrementalBenchRow, NecessityResult, PointOutcome,
-    ProtocolPoint, RdtCheckResult, RecoveryExecResult, RecoveryExecRow, RecoveryResult,
-    ScalingResult, SensitivityResult, Sweep, SweepPoint, SweepRow, Table1Result, MEAN_DELAY,
-    MEAN_SEND_INTERVAL,
+    recovery_exec_protocols, recovery_experiment, scaling, sensitivity, sim_throughput, table1,
+    AblationResult, ClosureBenchResult, CompactionBenchResult, CompactionDecile, CoordinatedResult,
+    Cor45Result, FigureResult, IncrementalBenchResult, IncrementalBenchRow, NecessityResult,
+    PointOutcome, ProtocolPoint, RdtCheckResult, RecoveryExecResult, RecoveryExecRow,
+    RecoveryResult, ScalingResult, SensitivityResult, SimThroughputResult, SimThroughputRow, Sweep,
+    SweepPoint, SweepRow, Table1Result, MEAN_DELAY, MEAN_SEND_INTERVAL,
 };
 pub use parallel::{
     run_sweep, run_sweep_points, run_sweep_with_metrics, SweepMetrics, SweepOptions,

@@ -55,6 +55,7 @@
 
 mod bcs;
 mod bhmr;
+mod executor;
 mod fdas;
 mod kind;
 mod protocol;
@@ -63,6 +64,7 @@ mod variants;
 
 pub use bcs::{Bcs, IndexPiggyback};
 pub use bhmr::{Bhmr, BhmrPiggyback};
+pub use executor::{spawner, ExecutorCell, ExecutorSpec, ExecutorState, PackedPiggyback};
 pub use fdas::{Fdas, Fdi, TdvPiggyback};
 pub use kind::ProtocolKind;
 pub use protocol::{

@@ -1,0 +1,262 @@
+//! Differential tests pinning the packed round-executor to the legacy
+//! protocol implementations.
+//!
+//! Each case drives an [`ExecutorCell`] system and the corresponding
+//! legacy system through the *same* random schedule (basic checkpoints,
+//! sends, out-of-order deliveries) and asserts, event by event:
+//!
+//! * identical forced-checkpoint decisions and identical checkpoint
+//!   records (id, kind, `min_consistent_gc` snapshot);
+//! * identical reported `piggyback_bytes` on every send;
+//! * identical final control state (`TDV`, `sent_to`, `simple`,
+//!   `causal`) and identical [`ProtocolStats`].
+//!
+//! Since the forced decisions and checkpoint indices agree at every
+//! event, the resulting checkpoint and communication patterns are
+//! identical too — the executor is a drop-in replacement and the legacy
+//! modules remain its oracles.
+
+use proptest::prelude::*;
+
+use rdt_causality::ProcessId;
+use rdt_core::{
+    spawner, Bhmr, BhmrCausalOnly, BhmrNoSimple, CheckpointRecord, CicProtocol, ExecutorCell,
+    ExecutorSpec, Fdas, Fdi, PiggybackSize,
+};
+
+/// One abstract system event. `Deliver` picks the `idx % in_flight`-th
+/// queued message so schedules exercise message reordering.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Basic(u8),
+    Send(u8, u8),
+    Deliver(u8, u8),
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (0u8..8).prop_map(Event::Basic),
+        (0u8..8, 0u8..8).prop_map(|(a, b)| Event::Send(a, b)),
+        (0u8..8, 0u8..8).prop_map(|(p, i)| Event::Deliver(p, i)),
+    ]
+}
+
+fn assert_records_eq(legacy: &CheckpointRecord, packed: &CheckpointRecord, context: &str) {
+    assert_eq!(legacy.id, packed.id, "checkpoint id diverged at {context}");
+    assert_eq!(
+        legacy.kind, packed.kind,
+        "checkpoint kind diverged at {context}"
+    );
+    assert_eq!(
+        legacy.min_consistent_gc, packed.min_consistent_gc,
+        "min consistent GC snapshot diverged at {context}"
+    );
+}
+
+/// Drives the legacy protocol and the executor through the same schedule,
+/// comparing every externally visible decision, then hands the final
+/// systems to `compare_final` for a state-level comparison.
+fn run_differential<P: CicProtocol>(
+    n: usize,
+    events: &[Event],
+    legacy_factory: impl Fn(usize, ProcessId) -> P,
+    spec: ExecutorSpec,
+    compare_final: impl Fn(&P, &ExecutorCell),
+) {
+    let make = spawner(spec);
+    let mut legacy: Vec<P> = ProcessId::all(n).map(|p| legacy_factory(n, p)).collect();
+    let mut packed: Vec<ExecutorCell> = ProcessId::all(n).map(|p| make(n, p)).collect();
+    let mut legacy_queue: Vec<Vec<(ProcessId, P::Piggyback)>> =
+        (0..n).map(|_| Vec::new()).collect();
+    let mut packed_queue: Vec<Vec<(ProcessId, <ExecutorCell as CicProtocol>::Piggyback)>> =
+        (0..n).map(|_| Vec::new()).collect();
+
+    for (step, &event) in events.iter().enumerate() {
+        match event {
+            Event::Basic(p) => {
+                let p = p as usize % n;
+                let a = legacy[p].take_basic_checkpoint();
+                let b = packed[p].take_basic_checkpoint();
+                assert_records_eq(&a, &b, &format!("step {step}: basic checkpoint at P{p}"));
+            }
+            Event::Send(from, to) => {
+                let from = from as usize % n;
+                let mut to = to as usize % n;
+                if to == from {
+                    to = (to + 1) % n;
+                }
+                let a = legacy[from].before_send(ProcessId::new(to));
+                let b = packed[from].before_send(ProcessId::new(to));
+                assert_eq!(
+                    a.piggyback.piggyback_bytes(),
+                    b.piggyback.piggyback_bytes(),
+                    "step {step}: piggyback bytes diverged on send P{from}->P{to}"
+                );
+                legacy_queue[to].push((ProcessId::new(from), a.piggyback));
+                packed_queue[to].push((ProcessId::new(from), b.piggyback));
+            }
+            Event::Deliver(p, idx) => {
+                let p = p as usize % n;
+                if legacy_queue[p].is_empty() {
+                    continue;
+                }
+                let idx = idx as usize % legacy_queue[p].len();
+                let (sender, lpb) = legacy_queue[p].remove(idx);
+                let (_, ppb) = packed_queue[p].remove(idx);
+                let a = legacy[p].on_message_arrival(sender, &lpb);
+                let b = packed[p].on_message_arrival(sender, &ppb);
+                let context = format!("step {step}: delivery {sender}->P{p}");
+                assert_eq!(
+                    a.was_forced(),
+                    b.was_forced(),
+                    "forced decision diverged at {context}"
+                );
+                match (&a.forced, &b.forced) {
+                    (Some(ra), Some(rb)) => assert_records_eq(ra, rb, &context),
+                    (None, None) => {}
+                    _ => unreachable!("was_forced already compared"),
+                }
+            }
+        }
+    }
+
+    for p in 0..n {
+        assert_eq!(
+            legacy[p].stats(),
+            packed[p].stats(),
+            "stats diverged for P{p}"
+        );
+        assert_eq!(
+            legacy[p].next_checkpoint_index(),
+            packed[p].next_checkpoint_index(),
+            "interval diverged for P{p}"
+        );
+        compare_final(&legacy[p], &packed[p]);
+    }
+}
+
+fn compare_bhmr(legacy: &Bhmr, packed: &ExecutorCell) {
+    let n = legacy.num_processes();
+    for k in ProcessId::all(n) {
+        assert_eq!(legacy.tdv().get(k), packed.tdv_entry(k));
+        assert_eq!(legacy.sent_to().get(k), packed.sent_to(k));
+        assert_eq!(legacy.simple().get(k), packed.simple_entry(k));
+        for l in ProcessId::all(n) {
+            assert_eq!(
+                legacy.causal().get(k, l),
+                packed.causal_entry(k, l),
+                "causal[{k}][{l}] diverged at {}",
+                legacy.process()
+            );
+        }
+    }
+}
+
+fn compare_nosimple(legacy: &BhmrNoSimple, packed: &ExecutorCell) {
+    let n = legacy.num_processes();
+    for k in ProcessId::all(n) {
+        assert_eq!(legacy.tdv().get(k), packed.tdv_entry(k));
+        assert_eq!(legacy.sent_to().get(k), packed.sent_to(k));
+        for l in ProcessId::all(n) {
+            assert_eq!(legacy.causal().get(k, l), packed.causal_entry(k, l));
+        }
+    }
+}
+
+fn compare_causalonly(legacy: &BhmrCausalOnly, packed: &ExecutorCell) {
+    let n = legacy.num_processes();
+    for k in ProcessId::all(n) {
+        assert_eq!(legacy.tdv().get(k), packed.tdv_entry(k));
+        assert_eq!(legacy.sent_to().get(k), packed.sent_to(k));
+        for l in ProcessId::all(n) {
+            assert_eq!(legacy.causal().get(k, l), packed.causal_entry(k, l));
+        }
+    }
+}
+
+fn compare_fdas(legacy: &Fdas, packed: &ExecutorCell) {
+    let n = legacy.num_processes();
+    for k in ProcessId::all(n) {
+        assert_eq!(legacy.tdv().get(k), packed.tdv_entry(k));
+    }
+    assert_eq!(legacy.after_first_send(), packed.after_first_send());
+}
+
+fn compare_fdi(legacy: &Fdi, packed: &ExecutorCell) {
+    let n = legacy.num_processes();
+    for k in ProcessId::all(n) {
+        assert_eq!(legacy.tdv().get(k), packed.tdv_entry(k));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    fn executor_matches_legacy_bhmr(
+        n in 2usize..7,
+        events in proptest::collection::vec(event_strategy(), 0..160),
+    ) {
+        run_differential(n, &events, Bhmr::new, ExecutorSpec::Bhmr, compare_bhmr);
+    }
+
+    fn executor_matches_legacy_bhmr_c2only(
+        n in 2usize..7,
+        events in proptest::collection::vec(event_strategy(), 0..160),
+    ) {
+        run_differential(
+            n,
+            &events,
+            Bhmr::weakened_c2_only,
+            ExecutorSpec::BhmrC2Only,
+            compare_bhmr,
+        );
+    }
+
+    fn executor_matches_legacy_nosimple(
+        n in 2usize..7,
+        events in proptest::collection::vec(event_strategy(), 0..160),
+    ) {
+        run_differential(
+            n,
+            &events,
+            BhmrNoSimple::new,
+            ExecutorSpec::BhmrNoSimple,
+            compare_nosimple,
+        );
+    }
+
+    fn executor_matches_legacy_causalonly(
+        n in 2usize..7,
+        events in proptest::collection::vec(event_strategy(), 0..160),
+    ) {
+        run_differential(
+            n,
+            &events,
+            BhmrCausalOnly::new,
+            ExecutorSpec::BhmrCausalOnly,
+            compare_causalonly,
+        );
+    }
+
+    fn executor_matches_legacy_fdas(
+        n in 2usize..7,
+        events in proptest::collection::vec(event_strategy(), 0..160),
+    ) {
+        run_differential(n, &events, Fdas::new, ExecutorSpec::Fdas, compare_fdas);
+    }
+
+    fn executor_matches_legacy_fdi(
+        n in 2usize..7,
+        events in proptest::collection::vec(event_strategy(), 0..160),
+    ) {
+        run_differential(n, &events, Fdi::new, ExecutorSpec::Fdi, compare_fdi);
+    }
+
+    /// Word-parallel kernels must agree with the scalar oracles past the
+    /// 64-process word boundary too.
+    fn executor_matches_legacy_bhmr_multiword(
+        events in proptest::collection::vec(event_strategy(), 0..60),
+    ) {
+        run_differential(70, &events, Bhmr::new, ExecutorSpec::Bhmr, compare_bhmr);
+    }
+}

@@ -65,6 +65,9 @@ struct Rule {
     summary: &'static str,
     needles: &'static [Needle],
     applies: fn(&str) -> bool,
+    /// When `Some`, the needles only count inside the brace bodies of
+    /// functions with these names; elsewhere in the file they are fine.
+    within: Option<&'static [&'static str]>,
 }
 
 /// Whether `path` (workspace-relative, `/`-separated) is a source file in
@@ -109,6 +112,15 @@ fn per_event_scope(path: &str) -> bool {
     path.starts_with("crates/sim/src/") || path.starts_with("crates/verify/src/")
 }
 
+/// Whether `path` holds code on the zero-allocation send/arrival hot
+/// path: the packed round-executor and the simulator that drives it.
+/// The legacy protocol implementations elsewhere in `crates/core` are
+/// out of scope by design — they are the allocation-heavy differential
+/// oracles the executor is measured against.
+fn hot_step_scope(path: &str) -> bool {
+    path == "crates/core/src/executor.rs" || path.starts_with("crates/sim/src/")
+}
+
 /// The rule catalog (documented in `docs/VERIFICATION.md`).
 const RULES: &[Rule] = &[
     Rule {
@@ -117,6 +129,7 @@ const RULES: &[Rule] = &[
                   use BTreeMap/BTreeSet or a Vec",
         needles: &[Needle::Ident("HashMap"), Needle::Ident("HashSet")],
         applies: in_result_path,
+        within: None,
     },
     Rule {
         id: "wall-clock",
@@ -124,6 +137,7 @@ const RULES: &[Rule] = &[
                   through rdt_sim::Stopwatch in a metrics.rs",
         needles: &[Needle::Ident("Instant"), Needle::Ident("SystemTime")],
         applies: wall_clock_scope,
+        within: None,
     },
     Rule {
         id: "protocol-unwrap",
@@ -131,6 +145,7 @@ const RULES: &[Rule] = &[
                   code; propagate an error instead",
         needles: &[Needle::Fragment(".unwrap("), Needle::Fragment(".expect(")],
         applies: protocol_scope,
+        within: None,
     },
     Rule {
         id: "batch-in-loop",
@@ -143,6 +158,7 @@ const RULES: &[Rule] = &[
             Needle::Fragment("ZigzagReachability::new("),
         ],
         applies: per_event_scope,
+        within: None,
     },
     Rule {
         id: "sweep-seed",
@@ -150,6 +166,19 @@ const RULES: &[Rule] = &[
                   with SimRng::derive_seed",
         needles: &[Needle::Fragment("SimRng::seed(")],
         applies: |path| path.starts_with("crates/bench/"),
+        within: None,
+    },
+    Rule {
+        id: "alloc-in-step",
+        summary: "heap allocation in an executor send/arrival step; write \
+                  piggybacks into the recycled scratch arena instead",
+        needles: &[
+            Needle::Fragment("Vec::new("),
+            Needle::Fragment(".to_vec("),
+            Needle::Fragment(".clone("),
+        ],
+        applies: hot_step_scope,
+        within: Some(&["before_send", "on_message_arrival"]),
     },
 ];
 
@@ -362,6 +391,46 @@ fn blank_source(source: &str) -> String {
     String::from_utf8_lossy(&out).into_owned()
 }
 
+/// Byte ranges of the brace bodies of every function named in `fns`
+/// within already-blanked source. Signatures never contain `{`, and
+/// blanking removed strings and comments, so scanning from the first
+/// `{` after `fn <name>` to its matching `}` is exact.
+fn body_ranges(blanked: &str, fns: &[&str]) -> Vec<(usize, usize)> {
+    let bytes = blanked.as_bytes();
+    let ident = |b: u8| b == b'_' || b.is_ascii_alphanumeric();
+    let mut ranges = Vec::new();
+    for name in fns {
+        let header = format!("fn {name}");
+        let mut from = 0;
+        while let Some(found) = blanked[from..].find(&header) {
+            let after = from + found + header.len();
+            from = after;
+            if bytes.get(after).copied().is_some_and(ident) {
+                continue; // e.g. `fn before_send_raw`
+            }
+            let Some(open_rel) = blanked[after..].find('{') else {
+                continue; // trait method declaration, no body
+            };
+            let open = after + open_rel;
+            let mut depth = 0usize;
+            for (offset, &b) in bytes[open..].iter().enumerate() {
+                match b {
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            ranges.push((open, open + offset));
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    ranges
+}
+
 /// Scans one file's already-blanked source with every applicable rule.
 fn scan_file(path: &str, blanked: &str, diagnostics: &mut Vec<Diagnostic>) {
     let original_lines: Vec<&str> = blanked.lines().collect();
@@ -369,6 +438,7 @@ fn scan_file(path: &str, blanked: &str, diagnostics: &mut Vec<Diagnostic>) {
         if !(rule.applies)(path) {
             continue;
         }
+        let bodies = rule.within.map(|fns| body_ranges(blanked, fns));
         for needle in rule.needles {
             let hay = blanked.as_bytes();
             let mut from = 0;
@@ -377,6 +447,11 @@ fn scan_file(path: &str, blanked: &str, diagnostics: &mut Vec<Diagnostic>) {
                 from = at + 1;
                 if !needle.matches_at(hay, at) {
                     continue;
+                }
+                if let Some(bodies) = &bodies {
+                    if !bodies.iter().any(|&(open, close)| at > open && at < close) {
+                        continue;
+                    }
                 }
                 let line = blanked[..at].bytes().filter(|&b| b == b'\n').count() + 1;
                 diagnostics.push(Diagnostic {
@@ -557,10 +632,39 @@ mod tests {
     #[test]
     fn catalog_is_nonempty_and_unique() {
         let catalog = rule_catalog();
-        assert_eq!(catalog.len(), 5);
+        assert_eq!(catalog.len(), 6);
         let mut ids: Vec<_> = catalog.iter().map(|(id, _)| id).collect();
         ids.dedup();
-        assert_eq!(ids.len(), 5);
+        assert_eq!(ids.len(), 6);
+    }
+
+    #[test]
+    fn alloc_rule_fires_only_inside_step_bodies() {
+        // Allocation is fine in setup code (constructors, Drop, tests);
+        // the rule bites only inside before_send / on_message_arrival.
+        let source = "\
+impl ExecutorState {
+    fn new(n: usize) -> Self { let v = Vec::new(); Self { v } }
+    fn before_send(&mut self, dest: ProcessId) -> SendOutcome<P> {
+        let copy = self.tdv.to_vec();
+        SendOutcome { piggyback: copy.clone() }
+    }
+    fn on_message_arrival(&mut self, s: ProcessId, p: &P) -> ArrivalOutcome {
+        if p.fresh { self.scratch = Vec::new(); }
+        ArrivalOutcome::None
+    }
+    fn before_send_raw(&mut self) { let _ = Vec::new(); }
+}
+";
+        let mut diags = Vec::new();
+        scan_file("crates/core/src/executor.rs", source, &mut diags);
+        let alloc: Vec<_> = diags.iter().filter(|d| d.rule == "alloc-in-step").collect();
+        assert_eq!(alloc.len(), 3, "{alloc:?}");
+        assert!(alloc.iter().all(|d| (4..=9).contains(&d.line)), "{alloc:?}");
+        // The legacy oracle implementations stay out of scope.
+        diags.clear();
+        scan_file("crates/core/src/bhmr.rs", source, &mut diags);
+        assert!(!diags.iter().any(|d| d.rule == "alloc-in-step"));
     }
 
     #[test]

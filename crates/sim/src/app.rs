@@ -22,13 +22,30 @@ pub struct AppContext<'a> {
 }
 
 impl<'a> AppContext<'a> {
+    /// Test-only convenience; the runner always goes through
+    /// [`AppContext::with_buffer`] so the hot path recycles one buffer.
+    #[cfg(test)]
     pub(crate) fn new(me: ProcessId, n: usize, now: SimTime, rng: &'a mut SimRng) -> Self {
+        Self::with_buffer(me, n, now, rng, Vec::new())
+    }
+
+    /// Builds a callback context reusing `sends`'s allocation (cleared
+    /// first). The runner recycles one buffer across all callbacks so the
+    /// per-event hot path allocates nothing.
+    pub(crate) fn with_buffer(
+        me: ProcessId,
+        n: usize,
+        now: SimTime,
+        rng: &'a mut SimRng,
+        mut sends: Vec<(ProcessId, u32)>,
+    ) -> Self {
+        sends.clear();
         AppContext {
             me,
             n,
             now,
             rng,
-            sends: Vec::new(),
+            sends,
             next_activation: None,
             checkpoint_requested: false,
         }

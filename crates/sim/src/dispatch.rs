@@ -1,7 +1,8 @@
 //! Dynamic protocol selection.
 
 use rdt_core::{
-    Bcs, Bhmr, BhmrCausalOnly, BhmrNoSimple, Cas, Cbr, Fdas, Fdi, Nras, ProtocolKind, Uncoordinated,
+    spawner, Bcs, Bhmr, BhmrCausalOnly, BhmrNoSimple, Cas, Cbr, ExecutorSpec, Fdas, Fdi, Nras,
+    ProtocolKind, Uncoordinated,
 };
 
 use crate::{Application, RunOutcome, Runner, SimConfig, SimScratch};
@@ -12,6 +13,13 @@ use crate::{Application, RunOutcome, Runner, SimConfig, SimScratch};
 /// concrete [`Runner`] to instantiate — so harnesses can sweep the whole
 /// protocol lattice from configuration data without paying for dynamic
 /// dispatch inside the event loop.
+///
+/// The five dependency-tracking protocols run on the packed
+/// round-executor engine (`rdt_core::ExecutorCell`): zero per-message
+/// allocation and word-parallel predicate evaluation, behaviourally
+/// identical to the legacy implementations (pinned by the differential
+/// suite). [`run_protocol_kind_legacy`] keeps the legacy path available
+/// as an oracle and for benchmarking.
 ///
 /// # Example
 ///
@@ -31,16 +39,42 @@ pub fn run_protocol_kind(
     app: &mut dyn Application,
 ) -> RunOutcome {
     match kind {
-        ProtocolKind::Bhmr => Runner::new(config, Bhmr::new).run(app),
-        ProtocolKind::BhmrNoSimple => Runner::new(config, BhmrNoSimple::new).run(app),
-        ProtocolKind::BhmrCausalOnly => Runner::new(config, BhmrCausalOnly::new).run(app),
-        ProtocolKind::Fdas => Runner::new(config, Fdas::new).run(app),
-        ProtocolKind::Fdi => Runner::new(config, Fdi::new).run(app),
+        ProtocolKind::Bhmr => Runner::new(config, spawner(ExecutorSpec::Bhmr)).run(app),
+        ProtocolKind::BhmrNoSimple => {
+            Runner::new(config, spawner(ExecutorSpec::BhmrNoSimple)).run(app)
+        }
+        ProtocolKind::BhmrCausalOnly => {
+            Runner::new(config, spawner(ExecutorSpec::BhmrCausalOnly)).run(app)
+        }
+        ProtocolKind::Fdas => Runner::new(config, spawner(ExecutorSpec::Fdas)).run(app),
+        ProtocolKind::Fdi => Runner::new(config, spawner(ExecutorSpec::Fdi)).run(app),
         ProtocolKind::Nras => Runner::new(config, Nras::new).run(app),
         ProtocolKind::Cas => Runner::new(config, Cas::new).run(app),
         ProtocolKind::Cbr => Runner::new(config, Cbr::new).run(app),
         ProtocolKind::Bcs => Runner::new(config, Bcs::new).run(app),
         ProtocolKind::Uncoordinated => Runner::new(config, Uncoordinated::new).run(app),
+    }
+}
+
+/// Like [`run_protocol_kind`], but running the dependency-tracking
+/// protocols on their *legacy* (per-message-allocating, scalar)
+/// implementations.
+///
+/// Kept as the differential oracle and as the baseline arm of the
+/// `sim-throughput` benchmark; results are identical to
+/// [`run_protocol_kind`] on every schedule.
+pub fn run_protocol_kind_legacy(
+    kind: ProtocolKind,
+    config: &SimConfig,
+    app: &mut dyn Application,
+) -> RunOutcome {
+    match kind {
+        ProtocolKind::Bhmr => Runner::new(config, Bhmr::new).run(app),
+        ProtocolKind::BhmrNoSimple => Runner::new(config, BhmrNoSimple::new).run(app),
+        ProtocolKind::BhmrCausalOnly => Runner::new(config, BhmrCausalOnly::new).run(app),
+        ProtocolKind::Fdas => Runner::new(config, Fdas::new).run(app),
+        ProtocolKind::Fdi => Runner::new(config, Fdi::new).run(app),
+        _ => run_protocol_kind(kind, config, app),
     }
 }
 
@@ -60,15 +94,22 @@ pub fn run_protocol_kind_with_scratch<R>(
     consume: impl FnOnce(&RunOutcome) -> R,
 ) -> R {
     let outcome = match kind {
-        ProtocolKind::Bhmr => Runner::new_with_scratch(config, Bhmr::new, scratch).run(app),
+        ProtocolKind::Bhmr => {
+            Runner::new_with_scratch(config, spawner(ExecutorSpec::Bhmr), scratch).run(app)
+        }
         ProtocolKind::BhmrNoSimple => {
-            Runner::new_with_scratch(config, BhmrNoSimple::new, scratch).run(app)
+            Runner::new_with_scratch(config, spawner(ExecutorSpec::BhmrNoSimple), scratch).run(app)
         }
         ProtocolKind::BhmrCausalOnly => {
-            Runner::new_with_scratch(config, BhmrCausalOnly::new, scratch).run(app)
+            Runner::new_with_scratch(config, spawner(ExecutorSpec::BhmrCausalOnly), scratch)
+                .run(app)
         }
-        ProtocolKind::Fdas => Runner::new_with_scratch(config, Fdas::new, scratch).run(app),
-        ProtocolKind::Fdi => Runner::new_with_scratch(config, Fdi::new, scratch).run(app),
+        ProtocolKind::Fdas => {
+            Runner::new_with_scratch(config, spawner(ExecutorSpec::Fdas), scratch).run(app)
+        }
+        ProtocolKind::Fdi => {
+            Runner::new_with_scratch(config, spawner(ExecutorSpec::Fdi), scratch).run(app)
+        }
         ProtocolKind::Nras => Runner::new_with_scratch(config, Nras::new, scratch).run(app),
         ProtocolKind::Cas => Runner::new_with_scratch(config, Cas::new, scratch).run(app),
         ProtocolKind::Cbr => Runner::new_with_scratch(config, Cbr::new, scratch).run(app),
@@ -101,6 +142,41 @@ mod tests {
             assert_eq!(outcome.stats.total.messages_delivered, 20, "{kind}");
             if kind == ProtocolKind::Uncoordinated {
                 assert_eq!(outcome.stats.total.forced_checkpoints, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn executor_path_is_bit_identical_to_legacy() {
+        // The default dispatch runs the packed executor; the legacy path
+        // must produce byte-for-byte the same outcome on every schedule,
+        // including one with crash-recovery in play.
+        let base = SimConfig::new(4)
+            .with_seed(7)
+            .with_delay(DelayModel::Uniform { lo: 5, hi: 60 })
+            .with_basic_checkpoints(BasicCheckpointModel::Exponential { mean: 25 })
+            .with_stop(StopCondition::MessagesSent(60));
+        let crashy = base.clone().with_crash_rate(2.0).with_max_crashes(2);
+        let script: Vec<(usize, usize)> = (0..90).map(|k| (k % 4, (k + 1 + k % 3) % 4)).collect();
+        for config in [&base, &crashy] {
+            for kind in [
+                ProtocolKind::Bhmr,
+                ProtocolKind::BhmrNoSimple,
+                ProtocolKind::BhmrCausalOnly,
+                ProtocolKind::Fdas,
+                ProtocolKind::Fdi,
+            ] {
+                let a = run_protocol_kind(kind, config, &mut scripted(script.clone()));
+                let b = run_protocol_kind_legacy(kind, config, &mut scripted(script.clone()));
+                assert_eq!(a.trace.events(), b.trace.events(), "{kind}");
+                assert_eq!(a.records, b.records, "{kind}");
+                assert_eq!(a.stats.total, b.stats.total, "{kind}");
+                assert_eq!(a.stats.per_process, b.stats.per_process, "{kind}");
+                match (&a.recovery, &b.recovery) {
+                    (Some(ra), Some(rb)) => assert_eq!(ra.crashes, rb.crashes, "{kind}"),
+                    (None, None) => {}
+                    _ => panic!("recovery presence diverged for {kind}"),
+                }
             }
         }
     }

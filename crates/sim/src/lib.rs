@@ -58,7 +58,7 @@ pub use app::{scripted, AppContext, Application, ScriptedApplication};
 pub use config::{
     BasicCheckpointModel, DelayModel, SimConfig, StopCondition, DEFAULT_CRASH_SEED_SALT,
 };
-pub use dispatch::{run_protocol_kind, run_protocol_kind_with_scratch};
+pub use dispatch::{run_protocol_kind, run_protocol_kind_legacy, run_protocol_kind_with_scratch};
 pub use metrics::{SampleStats, Stopwatch, TraceMetrics};
 pub use rng::SimRng;
 pub use runner::{

@@ -424,6 +424,10 @@ pub struct Runner<P: CicProtocol> {
     /// most once, ever, even if later crashes undo its delivery again (the
     /// replay itself got a fresh log entry of its own).
     lost_replayed_flags: Vec<bool>,
+    /// Recycled buffer for application send actions: every callback's
+    /// [`AppContext`] borrows this one allocation instead of growing a
+    /// fresh `Vec`, keeping the per-event hot path allocation-free.
+    app_sends: Vec<(ProcessId, u32)>,
 }
 
 impl<P: CicProtocol> Runner<P> {
@@ -498,6 +502,7 @@ impl<P: CicProtocol> Runner<P> {
             },
             message_tags: Vec::new(),
             lost_replayed_flags: Vec::new(),
+            app_sends: Vec::new(),
         }
     }
 
@@ -583,12 +588,16 @@ impl<P: CicProtocol> Runner<P> {
             let record = self.protocols[process.index()].take_basic_checkpoint();
             self.record_checkpoint(process, record);
         }
-        for (dest, tag) in actions.sends {
+        let mut sends = actions.sends;
+        for &(dest, tag) in sends.iter() {
             if !self.injection_open() {
                 break;
             }
             self.do_send(process, dest, tag);
         }
+        // Flow the buffer back for the next callback's context.
+        sends.clear();
+        self.app_sends = sends;
         if let Some(delay) = actions.next_activation {
             if self.injection_open() {
                 self.push(self.now + delay, QueuedEvent::Activation { process });
@@ -795,7 +804,9 @@ impl<P: CicProtocol> Runner<P> {
     pub fn run(mut self, app: &mut dyn Application) -> RunOutcome {
         // Start-up: application hooks and basic checkpoint timers.
         for process in ProcessId::all(self.config.n) {
-            let mut ctx = AppContext::new(process, self.config.n, self.now, &mut self.rng);
+            let buffer = std::mem::take(&mut self.app_sends);
+            let mut ctx =
+                AppContext::with_buffer(process, self.config.n, self.now, &mut self.rng, buffer);
             app.on_start(&mut ctx);
             let actions = AppActions::take(&mut ctx);
             self.apply_app_actions(process, actions);
@@ -843,7 +854,9 @@ impl<P: CicProtocol> Runner<P> {
                     if let Some(probe) = &mut self.probe {
                         probe.deliver(message);
                     }
-                    let mut ctx = AppContext::new(to, self.config.n, self.now, &mut self.rng);
+                    let buffer = std::mem::take(&mut self.app_sends);
+                    let mut ctx =
+                        AppContext::with_buffer(to, self.config.n, self.now, &mut self.rng, buffer);
                     app.on_deliver_tagged(&mut ctx, from, tag);
                     let actions = AppActions::take(&mut ctx);
                     self.apply_app_actions(to, actions);
@@ -852,7 +865,14 @@ impl<P: CicProtocol> Runner<P> {
                     if !self.injection_open() {
                         continue;
                     }
-                    let mut ctx = AppContext::new(process, self.config.n, self.now, &mut self.rng);
+                    let buffer = std::mem::take(&mut self.app_sends);
+                    let mut ctx = AppContext::with_buffer(
+                        process,
+                        self.config.n,
+                        self.now,
+                        &mut self.rng,
+                        buffer,
+                    );
                     app.on_activate(&mut ctx);
                     let actions = AppActions::take(&mut ctx);
                     self.apply_app_actions(process, actions);

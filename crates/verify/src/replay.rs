@@ -11,9 +11,9 @@
 
 use rdt_causality::ProcessId;
 use rdt_core::{
-    Bcs, Bhmr, BhmrCausalOnly, BhmrNoSimple, BhmrPiggyback, Cas, CausalOnlyPiggyback, Cbr,
-    CheckpointRecord, CicProtocol, Fdas, Fdi, NoSimplePiggyback, Nras, ProtocolKind, TdvPiggyback,
-    Uncoordinated,
+    spawner, Bcs, Bhmr, BhmrCausalOnly, BhmrNoSimple, BhmrPiggyback, Cas, CausalOnlyPiggyback, Cbr,
+    CheckpointRecord, CicProtocol, ExecutorCell, ExecutorSpec, Fdas, Fdi, NoSimplePiggyback, Nras,
+    PackedPiggyback, ProtocolKind, TdvPiggyback, Uncoordinated,
 };
 use rdt_rgraph::{Pattern, PatternBuilder, PatternError};
 
@@ -255,6 +255,58 @@ fn fdi_oracle(p: &Fdi, _s: ProcessId, pb: &TdvPiggyback) -> Option<bool> {
     Some(fresh)
 }
 
+/// The legacy scalar predicates, recomputed over the *packed* executor's
+/// public accessors. These are the cross-check for the executor's
+/// word-parallel kernels: the executor evaluates `C1`/`C2` with masked
+/// word operations, the oracle re-derives the same decision entry by
+/// entry, and any disagreement on any enumerated structure surfaces as a
+/// [`PredicateMismatch`] in the certifier report.
+fn exec_bhmr_oracle(p: &ExecutorCell, _s: ProcessId, pb: &PackedPiggyback) -> Option<bool> {
+    let me = p.process();
+    let procs = || (0..p.num_processes()).map(ProcessId::new);
+    let c1 = procs().any(|j| {
+        p.sent_to(j) && procs().any(|k| pb.tdv_entry(k) > p.tdv_entry(k) && !pb.causal_entry(k, j))
+    });
+    let c2 = pb.tdv_entry(me) == p.current_interval() && !pb.simple_entry(me);
+    Some(if p.uses_c1() { c1 || c2 } else { c2 })
+}
+
+/// Scalar `C1 ∨ C2'` over the packed executor's accessors.
+fn exec_no_simple_oracle(p: &ExecutorCell, _s: ProcessId, pb: &PackedPiggyback) -> Option<bool> {
+    let me = p.process();
+    let procs = || (0..p.num_processes()).map(ProcessId::new);
+    let fresh = |k: ProcessId| pb.tdv_entry(k) > p.tdv_entry(k);
+    let c1 = procs().any(|j| p.sent_to(j) && procs().any(|k| fresh(k) && !pb.causal_entry(k, j)));
+    let c2 = pb.tdv_entry(me) == p.current_interval() && procs().any(fresh);
+    Some(c1 || c2)
+}
+
+/// Scalar `C1` (false-diagonal variant) over the packed executor's
+/// accessors.
+fn exec_causal_only_oracle(p: &ExecutorCell, _s: ProcessId, pb: &PackedPiggyback) -> Option<bool> {
+    let procs = || (0..p.num_processes()).map(ProcessId::new);
+    let c1 = procs().any(|j| {
+        p.sent_to(j) && procs().any(|k| pb.tdv_entry(k) > p.tdv_entry(k) && !pb.causal_entry(k, j))
+    });
+    Some(c1)
+}
+
+/// Scalar `C_FDAS` over the packed executor's accessors.
+fn exec_fdas_oracle(p: &ExecutorCell, _s: ProcessId, pb: &PackedPiggyback) -> Option<bool> {
+    let fresh = (0..p.num_processes())
+        .map(ProcessId::new)
+        .any(|k| pb.tdv_entry(k) > p.tdv_entry(k));
+    Some(p.after_first_send() && fresh)
+}
+
+/// Scalar `C_FDI` over the packed executor's accessors.
+fn exec_fdi_oracle(p: &ExecutorCell, _s: ProcessId, pb: &PackedPiggyback) -> Option<bool> {
+    let fresh = (0..p.num_processes())
+        .map(ProcessId::new)
+        .any(|k| pb.tdv_entry(k) > p.tdv_entry(k));
+    Some(fresh)
+}
+
 /// The protocols the certifier knows how to instantiate: every shipped
 /// [`ProtocolKind`] plus the deliberately weakened BHMR variant that the
 /// regression suite uses to prove the certifier can catch a broken
@@ -318,6 +370,10 @@ impl CertProtocol {
 
     /// Replays this protocol over `schedule` as an op stream, into `out`
     /// (cleared first; callers reuse the buffers across schedules).
+    ///
+    /// Dependency-tracking protocols replay on the packed round-executor
+    /// with the legacy scalar predicates as conformance oracles; see
+    /// [`CertProtocol::replay_ops_legacy`] for the legacy state machines.
     pub fn replay_ops(&self, schedule: &Schedule, out: &mut ReplayedOps) {
         // A fresh closure per call site: one binding would pin the
         // protocol type at its first use.
@@ -326,6 +382,61 @@ impl CertProtocol {
                 |_: &_, _: ProcessId, _: &_| None
             };
         }
+        match self {
+            CertProtocol::Kind(ProtocolKind::Bhmr) => {
+                replay_protocol_ops(schedule, spawner(ExecutorSpec::Bhmr), exec_bhmr_oracle, out)
+            }
+            CertProtocol::WeakenedBhmrC2Only => replay_protocol_ops(
+                schedule,
+                spawner(ExecutorSpec::BhmrC2Only),
+                exec_bhmr_oracle,
+                out,
+            ),
+            CertProtocol::Kind(ProtocolKind::BhmrNoSimple) => replay_protocol_ops(
+                schedule,
+                spawner(ExecutorSpec::BhmrNoSimple),
+                exec_no_simple_oracle,
+                out,
+            ),
+            CertProtocol::Kind(ProtocolKind::BhmrCausalOnly) => replay_protocol_ops(
+                schedule,
+                spawner(ExecutorSpec::BhmrCausalOnly),
+                exec_causal_only_oracle,
+                out,
+            ),
+            CertProtocol::Kind(ProtocolKind::Fdas) => {
+                replay_protocol_ops(schedule, spawner(ExecutorSpec::Fdas), exec_fdas_oracle, out)
+            }
+            CertProtocol::Kind(ProtocolKind::Fdi) => {
+                replay_protocol_ops(schedule, spawner(ExecutorSpec::Fdi), exec_fdi_oracle, out)
+            }
+            CertProtocol::Kind(ProtocolKind::Bcs) => {
+                replay_protocol_ops(schedule, Bcs::new, no_oracle!(), out)
+            }
+            CertProtocol::Kind(ProtocolKind::Cbr) => {
+                replay_protocol_ops(schedule, Cbr::new, no_oracle!(), out)
+            }
+            CertProtocol::Kind(ProtocolKind::Cas) => {
+                replay_protocol_ops(schedule, Cas::new, no_oracle!(), out)
+            }
+            CertProtocol::Kind(ProtocolKind::Nras) => {
+                replay_protocol_ops(schedule, Nras::new, no_oracle!(), out)
+            }
+            CertProtocol::Kind(ProtocolKind::Uncoordinated) => {
+                replay_protocol_ops(schedule, Uncoordinated::new, no_oracle!(), out)
+            }
+        }
+    }
+
+    /// Replays this protocol over `schedule` on the *legacy* state
+    /// machines with their original predicate oracles.
+    ///
+    /// Kept as the differential baseline: the regression suite asserts
+    /// [`CertProtocol::replay_ops`] (executor path) produces identical op
+    /// streams, checkpoint records and mismatch lists on every enumerated
+    /// structure, so the certifier report is independent of which engine
+    /// replays.
+    pub fn replay_ops_legacy(&self, schedule: &Schedule, out: &mut ReplayedOps) {
         match self {
             CertProtocol::Kind(ProtocolKind::Bhmr) => {
                 replay_protocol_ops(schedule, Bhmr::new, bhmr_oracle, out)
@@ -345,21 +456,7 @@ impl CertProtocol {
             CertProtocol::Kind(ProtocolKind::Fdi) => {
                 replay_protocol_ops(schedule, Fdi::new, fdi_oracle, out)
             }
-            CertProtocol::Kind(ProtocolKind::Bcs) => {
-                replay_protocol_ops(schedule, Bcs::new, no_oracle!(), out)
-            }
-            CertProtocol::Kind(ProtocolKind::Cbr) => {
-                replay_protocol_ops(schedule, Cbr::new, no_oracle!(), out)
-            }
-            CertProtocol::Kind(ProtocolKind::Cas) => {
-                replay_protocol_ops(schedule, Cas::new, no_oracle!(), out)
-            }
-            CertProtocol::Kind(ProtocolKind::Nras) => {
-                replay_protocol_ops(schedule, Nras::new, no_oracle!(), out)
-            }
-            CertProtocol::Kind(ProtocolKind::Uncoordinated) => {
-                replay_protocol_ops(schedule, Uncoordinated::new, no_oracle!(), out)
-            }
+            _ => self.replay_ops(schedule, out),
         }
     }
 
@@ -442,6 +539,31 @@ mod tests {
         // The s0>1 schedule must have produced a forced checkpoint after
         // the send.
         assert_eq!(max_checkpoints, 1);
+    }
+
+    #[test]
+    fn executor_replay_matches_legacy_on_every_enumerated_structure() {
+        // The certifier replays through the packed executor; the legacy
+        // state machines must produce identical op streams, records and
+        // (empty) mismatch lists on every structure in the scope — this
+        // is what keeps the certify report byte-identical across engines.
+        let mut exec = ReplayedOps::default();
+        let mut legacy = ReplayedOps::default();
+        for schedule in schedules(3, 2, 1) {
+            for protocol in CertProtocol::default_set() {
+                protocol.replay_ops(&schedule, &mut exec);
+                protocol.replay_ops_legacy(&schedule, &mut legacy);
+                assert_eq!(exec.ops, legacy.ops, "{protocol} on {}", schedule.render());
+                assert_eq!(
+                    exec.records,
+                    legacy.records,
+                    "{protocol} on {}",
+                    schedule.render()
+                );
+                assert!(exec.predicate_mismatches.is_empty(), "{protocol}");
+                assert!(legacy.predicate_mismatches.is_empty(), "{protocol}");
+            }
+        }
     }
 
     #[test]

@@ -62,6 +62,57 @@ fn crash_replay_is_bit_identical_for_any_thread_count() {
 }
 
 #[test]
+fn executor_sweep_is_bit_identical_for_any_thread_count() {
+    // The packed round-executor keeps all protocol state in one shared
+    // arena per run; fanning a sweep over a worker pool must still be a
+    // pure map — every (protocol, seed) cell gets its own arena, so 1
+    // thread and 8 threads produce byte-identical traces, records and
+    // stats for every dependency-tracking protocol. Each cell also
+    // replays the schedule on the legacy engine as a built-in oracle.
+    let grid: Vec<(ProtocolKind, u64)> = [
+        ProtocolKind::Bhmr,
+        ProtocolKind::BhmrNoSimple,
+        ProtocolKind::BhmrCausalOnly,
+        ProtocolKind::Fdas,
+        ProtocolKind::Fdi,
+    ]
+    .into_iter()
+    .flat_map(|p| (1u64..=3).map(move |seed| (p, seed)))
+    .collect();
+    let run_grid = |threads: usize| {
+        rdt::sim::parallel_map_indexed(
+            &grid,
+            threads,
+            || (),
+            |(), _, &(protocol, seed)| {
+                let mut app = EnvironmentKind::Random.build(5, 15);
+                let outcome = run_protocol_kind(protocol, &config(seed), app.as_mut());
+                let mut legacy_app = EnvironmentKind::Random.build(5, 15);
+                let legacy = rdt::sim::run_protocol_kind_legacy(
+                    protocol,
+                    &config(seed),
+                    legacy_app.as_mut(),
+                );
+                assert_eq!(
+                    outcome.trace.events(),
+                    legacy.trace.events(),
+                    "{protocol} diverged from the legacy engine"
+                );
+                assert_eq!(outcome.records, legacy.records, "{protocol}");
+                (
+                    outcome.trace.events().to_vec(),
+                    outcome.records,
+                    outcome.stats.total,
+                )
+            },
+            |_| {},
+        )
+    };
+    let sequential = run_grid(1);
+    assert_eq!(sequential, run_grid(8), "threads changed the results");
+}
+
+#[test]
 fn different_seeds_produce_different_runs() {
     let mut app1 = EnvironmentKind::Random.build(5, 15);
     let mut app2 = EnvironmentKind::Random.build(5, 15);

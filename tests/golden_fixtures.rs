@@ -17,11 +17,20 @@ const TIMING_KEYS: &[&str] = &[
     "ns",
     "incremental_ns",
     "batch_est_ns",
+    "legacy_ns",
+    "executor_ns",
     "speedup",
     "events_per_sec",
+    "legacy_events_per_sec",
+    "executor_events_per_sec",
     "min_speedup",
     "compacted_throughput_ratio",
     "control_throughput_ratio",
+    // Allocation counts are exact, but only the benchmark binary's
+    // counting allocator produces them — under the test harness they
+    // read zero, so the canonical form treats them like timings.
+    "legacy_allocs",
+    "executor_allocs",
 ];
 
 const TIMING_PLACEHOLDER: &str = "<timing>";
@@ -89,6 +98,10 @@ fn fixtures() -> Vec<(&'static str, Json)> {
         (
             "BENCH_compaction",
             scrub(&rdt_bench::compaction_bench(4, 4_000, 2_000, 250, 7).to_json()),
+        ),
+        (
+            "BENCH_sim_throughput",
+            scrub(&rdt_bench::sim_throughput(200, 2).to_json()),
         ),
         ("certify_report", {
             let options = rdt::CertifyOptions {
