@@ -159,6 +159,7 @@ impl IntervalId {
 
     /// The checkpoint that opens this interval: `C_{i,x-1}` opens `I_{i,x}`.
     pub fn opened_by(self) -> CheckpointId {
+        debug_assert!(self.index > 0, "interval indices are one-based");
         CheckpointId {
             process: self.process,
             index: self.index - 1,

@@ -5,187 +5,45 @@
 //!
 //! * result paths never iterate hash-ordered collections,
 //! * nothing outside the metrics layer reads the host clock,
-//! * protocol state machines and the certifier never panic via
-//!   `unwrap`/`expect`,
-//! * sweep code derives every RNG seed from the grid position instead of
-//!   seeding ad hoc.
+//! * protocol state machines and the certifier never panic — not via
+//!   `unwrap`/`expect` in their own files (`protocol-unwrap`) and not
+//!   via any call path from a protocol entry point
+//!   (`panic-reachability`),
+//! * sweep code derives every RNG seed from the grid position, and every
+//!   seed anywhere traces to `derive_seed` or a config field
+//!   (`sweep-seed`, `seed-provenance`),
+//! * 1-based interval indices are never decremented without a
+//!   positivity guard (`index-underflow` — the PR 5 bug class),
+//! * executor arena slots never escape the round that produced them
+//!   (`arena-slot-escape`).
 //!
-//! `rdt-lint` enforces these as deny-by-default diagnostics. It is a
-//! *lexical* linter — a small lexer strips comments, strings, char
-//! literals and `#[cfg(test)]` regions, then each rule scans the
-//! remaining tokens of the files in its scope — so it has no external
-//! dependencies and runs in milliseconds in CI. Intentional exceptions
-//! go in the workspace-root `lint.allow` file, one justified entry per
-//! line; stale entries fail the run so the allowlist cannot rot.
+//! `rdt-lint` enforces these as deny-by-default diagnostics. Since v2 it
+//! is a *syntax-aware* linter: a dependency-free lexer ([`lex`]) feeds
+//! token trees and a lightweight AST ([`syntax`]) — items, functions,
+//! blocks and expressions with spans, guard-dominance chains and local
+//! `let` dataflow — on which the rules ([`rules`]) and the workspace
+//! call graph ([`graph`]) run. No macro expansion: the workspace is
+//! macro-light by construction. The whole pipeline still runs in well
+//! under the 2 s CI budget. Intentional exceptions go in the
+//! workspace-root `lint.allow` file, one justified entry per line; stale
+//! entries fail the run so the allowlist cannot rot.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod graph;
+pub mod lex;
+pub mod rules;
+pub mod syntax;
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-/// How a rule's needles are matched against the blanked source.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Needle {
-    /// A standalone identifier (neither preceded nor followed by an
-    /// identifier character).
-    Ident(&'static str),
-    /// A literal fragment, e.g. `".unwrap("`.
-    Fragment(&'static str),
-}
+use rdt_json::Json;
 
-impl Needle {
-    fn text(&self) -> &'static str {
-        match self {
-            Needle::Ident(t) | Needle::Fragment(t) => t,
-        }
-    }
-
-    fn matches_at(&self, hay: &[u8], at: usize) -> bool {
-        let text = self.text().as_bytes();
-        if let Needle::Ident(_) = self {
-            let ident = |b: u8| b == b'_' || b.is_ascii_alphanumeric();
-            if at > 0 && ident(hay[at - 1]) {
-                return false;
-            }
-            let end = at + text.len();
-            if end < hay.len() && ident(hay[end]) {
-                return false;
-            }
-        }
-        true
-    }
-}
-
-/// One lint rule: an id, the sources it applies to, and what it forbids.
-struct Rule {
-    id: &'static str,
-    summary: &'static str,
-    needles: &'static [Needle],
-    applies: fn(&str) -> bool,
-    /// When `Some`, the needles only count inside the brace bodies of
-    /// functions with these names; elsewhere in the file they are fine.
-    within: Option<&'static [&'static str]>,
-}
-
-/// Whether `path` (workspace-relative, `/`-separated) is a source file in
-/// a deterministic *result path*: protocol state machines, simulator,
-/// theory checkers, certifier, and the experiment harness.
-fn in_result_path(path: &str) -> bool {
-    [
-        "crates/core/src/",
-        "crates/sim/src/",
-        "crates/bench/src/",
-        "crates/rgraph/src/",
-        "crates/verify/src/",
-    ]
-    .iter()
-    .any(|prefix| path.starts_with(prefix))
-}
-
-/// Whether `path` may legally read the host clock: only files named
-/// `metrics.rs` (the designated metrics layers) and the Criterion shim,
-/// whose whole point is timing.
-fn wall_clock_scope(path: &str) -> bool {
-    let in_src =
-        path.starts_with("src/") || (path.starts_with("crates/") && path.contains("/src/"));
-    in_src && !path.ends_with("/metrics.rs") && !path.starts_with("crates/criterion-shim/")
-}
-
-/// Whether `path` holds protocol or certifier state-machine code, where a
-/// panic would take down a whole replay or sweep.
-fn protocol_scope(path: &str) -> bool {
-    path.starts_with("crates/core/src/")
-        || path.starts_with("crates/verify/src/")
-        || path == "crates/rgraph/src/replay.rs"
-}
-
-/// Whether `path` holds per-event code — the simulator's event loop and
-/// the certifier's replay pipeline — where constructing a batch analysis
-/// means rebuilding closures from scratch at every step instead of
-/// appending to one [`IncrementalAnalysis`](rdt_rgraph::IncrementalAnalysis)-style
-/// engine. The bench crate is deliberately out of scope: comparing the
-/// two strategies is its job.
-fn per_event_scope(path: &str) -> bool {
-    path.starts_with("crates/sim/src/") || path.starts_with("crates/verify/src/")
-}
-
-/// Whether `path` holds code on the zero-allocation send/arrival hot
-/// path: the packed round-executor and the simulator that drives it.
-/// The legacy protocol implementations elsewhere in `crates/core` are
-/// out of scope by design — they are the allocation-heavy differential
-/// oracles the executor is measured against.
-fn hot_step_scope(path: &str) -> bool {
-    path == "crates/core/src/executor.rs" || path.starts_with("crates/sim/src/")
-}
-
-/// The rule catalog (documented in `docs/VERIFICATION.md`).
-const RULES: &[Rule] = &[
-    Rule {
-        id: "hash-collections",
-        summary: "hash-ordered collection in a deterministic result path; \
-                  use BTreeMap/BTreeSet or a Vec",
-        needles: &[Needle::Ident("HashMap"), Needle::Ident("HashSet")],
-        applies: in_result_path,
-        within: None,
-    },
-    Rule {
-        id: "wall-clock",
-        summary: "host clock read outside the metrics layer; route timing \
-                  through rdt_sim::Stopwatch in a metrics.rs",
-        needles: &[Needle::Ident("Instant"), Needle::Ident("SystemTime")],
-        applies: wall_clock_scope,
-        within: None,
-    },
-    Rule {
-        id: "protocol-unwrap",
-        summary: "unwrap/expect in protocol or certifier state-machine \
-                  code; propagate an error instead",
-        needles: &[Needle::Fragment(".unwrap("), Needle::Fragment(".expect(")],
-        applies: protocol_scope,
-        within: None,
-    },
-    Rule {
-        id: "batch-in-loop",
-        summary: "batch analysis constructor in per-event simulator or \
-                  certifier code; maintain one rdt_rgraph::IncrementalAnalysis \
-                  and append events instead",
-        needles: &[
-            Needle::Fragment("PatternAnalysis::new("),
-            Needle::Fragment("RdtChecker::new("),
-            Needle::Fragment("ZigzagReachability::new("),
-        ],
-        applies: per_event_scope,
-        within: None,
-    },
-    Rule {
-        id: "sweep-seed",
-        summary: "ad-hoc RNG seeding in sweep code; derive per-point seeds \
-                  with SimRng::derive_seed",
-        needles: &[Needle::Fragment("SimRng::seed(")],
-        applies: |path| path.starts_with("crates/bench/"),
-        within: None,
-    },
-    Rule {
-        id: "alloc-in-step",
-        summary: "heap allocation in an executor send/arrival step; write \
-                  piggybacks into the recycled scratch arena instead",
-        needles: &[
-            Needle::Fragment("Vec::new("),
-            Needle::Fragment(".to_vec("),
-            Needle::Fragment(".clone("),
-        ],
-        applies: hot_step_scope,
-        within: Some(&["before_send", "on_message_arrival"]),
-    },
-];
-
-/// Descriptions of every rule, for `rdt-lint --rules` and the docs test.
-pub fn rule_catalog() -> Vec<(&'static str, &'static str)> {
-    RULES.iter().map(|r| (r.id, r.summary)).collect()
-}
+pub use rules::{explain, rule_catalog, ParsedFile};
 
 /// One finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -196,17 +54,39 @@ pub struct Diagnostic {
     pub path: String,
     /// 1-based line number.
     pub line: usize,
+    /// 1-based column of the anchoring token.
+    pub col: usize,
     /// The offending source line, trimmed.
     pub snippet: String,
+    /// Rule-specific detail (guard analysis, call path, provenance).
+    pub note: String,
 }
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {}",
-            self.path, self.line, self.rule, self.snippet
-        )
+            "{}:{}:{}: [{}] {}",
+            self.path, self.line, self.col, self.rule, self.snippet
+        )?;
+        if !self.note.is_empty() {
+            write!(f, " — {}", self.note)?;
+        }
+        Ok(())
+    }
+}
+
+impl Diagnostic {
+    /// JSON value for `rdt-lint --json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("rule", Json::Str(self.rule.to_string())),
+            ("path", Json::Str(self.path.clone())),
+            ("line", Json::U64(self.line as u64)),
+            ("col", Json::U64(self.col as u64)),
+            ("snippet", Json::Str(self.snippet.clone())),
+            ("note", Json::Str(self.note.clone())),
+        ])
     }
 }
 
@@ -250,114 +130,136 @@ impl LintReport {
         ));
         out
     }
-}
 
-/// Blanks comments, string/char literals, and `#[cfg(test)]` items so the
-/// rule needles only see production tokens. Newlines are preserved so
-/// line numbers survive.
-fn blank_source(source: &str) -> String {
-    let bytes = source.as_bytes();
-    let mut out = bytes.to_vec();
-    let mut i = 0;
-    let blank = |out: &mut Vec<u8>, from: usize, to: usize| {
-        for b in &mut out[from..to] {
-            if *b != b'\n' {
-                *b = b' ';
-            }
-        }
-    };
-    while i < bytes.len() {
-        match bytes[i] {
-            b'/' if bytes.get(i + 1) == Some(&b'/') => {
-                let start = i;
-                while i < bytes.len() && bytes[i] != b'\n' {
-                    i += 1;
-                }
-                blank(&mut out, start, i);
-            }
-            b'/' if bytes.get(i + 1) == Some(&b'*') => {
-                let start = i;
-                let mut depth = 1;
-                i += 2;
-                while i < bytes.len() && depth > 0 {
-                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
-                        depth += 1;
-                        i += 2;
-                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
-                        depth -= 1;
-                        i += 2;
-                    } else {
-                        i += 1;
-                    }
-                }
-                blank(&mut out, start, i);
-            }
-            b'"' => {
-                let start = i;
-                i += 1;
-                while i < bytes.len() && bytes[i] != b'"' {
-                    i += if bytes[i] == b'\\' { 2 } else { 1 };
-                }
-                i = (i + 1).min(bytes.len());
-                blank(&mut out, start, i);
-            }
-            b'r' if matches!(bytes.get(i + 1), Some(b'"' | b'#')) => {
-                // Raw string r"..." / r#"..."# (any hash depth).
-                let start = i;
-                let mut j = i + 1;
-                let mut hashes = 0;
-                while bytes.get(j) == Some(&b'#') {
-                    hashes += 1;
-                    j += 1;
-                }
-                if bytes.get(j) == Some(&b'"') {
-                    j += 1;
-                    'scan: while j < bytes.len() {
-                        if bytes[j] == b'"' {
-                            let mut k = 0;
-                            while k < hashes && bytes.get(j + 1 + k) == Some(&b'#') {
-                                k += 1;
-                            }
-                            if k == hashes {
-                                j += 1 + hashes;
-                                break 'scan;
-                            }
-                        }
-                        j += 1;
-                    }
-                    blank(&mut out, start, j);
-                    i = j;
-                } else {
-                    i += 1; // plain identifier starting with r
-                }
-            }
-            b'\'' => {
-                // Char literal or lifetime. A lifetime ('a) has no closing
-                // quote within a couple of bytes; a char literal does.
-                let close = if bytes.get(i + 1) == Some(&b'\\') {
-                    bytes[i + 2..]
+    /// Machine-readable report for `--json`. `elapsed_ns` is the wall
+    /// time of the run (scrubbed by the golden-fixture layer).
+    pub fn to_json(&self, elapsed_ns: u64) -> Json {
+        Json::obj([
+            ("tool", Json::Str("rdt-lint".to_string())),
+            ("files_scanned", Json::U64(self.files_scanned as u64)),
+            ("clean", Json::Bool(self.clean())),
+            (
+                "diagnostics",
+                Json::Arr(self.diagnostics.iter().map(Diagnostic::to_json).collect()),
+            ),
+            ("allowed", Json::U64(self.allowed.len() as u64)),
+            (
+                "stale_allows",
+                Json::Arr(
+                    self.stale_allows
                         .iter()
-                        .position(|&b| b == b'\'')
-                        .map(|p| i + 2 + p)
-                } else if bytes.get(i + 2) == Some(&b'\'') {
-                    Some(i + 2)
-                } else {
-                    None
-                };
-                match close {
-                    Some(end) => {
-                        blank(&mut out, i, end + 1);
-                        i = end + 1;
-                    }
-                    None => i += 1, // lifetime
-                }
-            }
-            _ => i += 1,
-        }
+                        .map(|s| Json::Str(s.clone()))
+                        .collect(),
+                ),
+            ),
+            ("elapsed_ns", Json::U64(elapsed_ns)),
+        ])
     }
 
-    // Blank `#[cfg(test)]`-gated items (modules or single functions): from
-    // the attribute to the end of the item's brace block.
+    /// SARIF 2.1.0 report for GitHub code scanning.
+    pub fn to_sarif(&self) -> Json {
+        let rules: Vec<Json> = rules::CATALOG
+            .iter()
+            .map(|r| {
+                Json::obj([
+                    ("id", Json::Str(r.id.to_string())),
+                    (
+                        "shortDescription",
+                        Json::obj([(
+                            "text",
+                            Json::Str(r.summary.split_whitespace().collect::<Vec<_>>().join(" ")),
+                        )]),
+                    ),
+                    (
+                        "fullDescription",
+                        Json::obj([("text", Json::Str(r.explain.to_string()))]),
+                    ),
+                ])
+            })
+            .collect();
+        let results: Vec<Json> = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                let message = if d.note.is_empty() {
+                    d.snippet.clone()
+                } else {
+                    format!("{} — {}", d.snippet, d.note)
+                };
+                Json::obj([
+                    ("ruleId", Json::Str(d.rule.to_string())),
+                    ("level", Json::Str("error".to_string())),
+                    ("message", Json::obj([("text", Json::Str(message))])),
+                    (
+                        "locations",
+                        Json::Arr(vec![Json::obj([(
+                            "physicalLocation",
+                            Json::obj([
+                                (
+                                    "artifactLocation",
+                                    Json::obj([("uri", Json::Str(d.path.clone()))]),
+                                ),
+                                (
+                                    "region",
+                                    Json::obj([
+                                        ("startLine", Json::U64(d.line as u64)),
+                                        ("startColumn", Json::U64(d.col as u64)),
+                                    ]),
+                                ),
+                            ]),
+                        )])]),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj([
+            (
+                "$schema",
+                Json::Str("https://json.schemastore.org/sarif-2.1.0.json".to_string()),
+            ),
+            ("version", Json::Str("2.1.0".to_string())),
+            (
+                "runs",
+                Json::Arr(vec![Json::obj([
+                    (
+                        "tool",
+                        Json::obj([(
+                            "driver",
+                            Json::obj([
+                                ("name", Json::Str("rdt-lint".to_string())),
+                                ("rules", Json::Arr(rules)),
+                            ]),
+                        )]),
+                    ),
+                    ("results", Json::Arr(results)),
+                ])]),
+            ),
+        ])
+    }
+}
+
+/// Blanks comments, string/char literals, and `#[cfg(test)]` items so
+/// lexical consumers only see production tokens. Newlines are preserved
+/// so line numbers survive. Built on the real lexer since v2, so raw
+/// strings at any hash depth, nested block comments, byte strings and
+/// byte literals are all blanked exactly (the pre-v2 scanner mis-blanked
+/// each of those).
+pub fn blank_source(source: &str) -> String {
+    let bytes = source.as_bytes();
+    let mut out: Vec<u8> = bytes
+        .iter()
+        .map(|&b| if b == b'\n' { b'\n' } else { b' ' })
+        .collect();
+    for tok in lex::lex(source) {
+        if matches!(tok.kind, lex::TokKind::Str | lex::TokKind::Char) {
+            continue;
+        }
+        out[tok.lo..tok.hi].copy_from_slice(&bytes[tok.lo..tok.hi]);
+    }
+
+    // Blank `#[cfg(test)]`-gated items (modules or single functions):
+    // from the attribute to the end of the item's brace block. Safe on
+    // the token-blanked text — strings and comments are gone.
     let text = String::from_utf8_lossy(&out).into_owned();
     let mut out = text.clone().into_bytes();
     let mut search_from = 0;
@@ -391,97 +293,30 @@ fn blank_source(source: &str) -> String {
     String::from_utf8_lossy(&out).into_owned()
 }
 
-/// Byte ranges of the brace bodies of every function named in `fns`
-/// within already-blanked source. Signatures never contain `{`, and
-/// blanking removed strings and comments, so scanning from the first
-/// `{` after `fn <name>` to its matching `}` is exact.
-fn body_ranges(blanked: &str, fns: &[&str]) -> Vec<(usize, usize)> {
-    let bytes = blanked.as_bytes();
-    let ident = |b: u8| b == b'_' || b.is_ascii_alphanumeric();
-    let mut ranges = Vec::new();
-    for name in fns {
-        let header = format!("fn {name}");
-        let mut from = 0;
-        while let Some(found) = blanked[from..].find(&header) {
-            let after = from + found + header.len();
-            from = after;
-            if bytes.get(after).copied().is_some_and(ident) {
-                continue; // e.g. `fn before_send_raw`
-            }
-            let Some(open_rel) = blanked[after..].find('{') else {
-                continue; // trait method declaration, no body
-            };
-            let open = after + open_rel;
-            let mut depth = 0usize;
-            for (offset, &b) in bytes[open..].iter().enumerate() {
-                match b {
-                    b'{' => depth += 1,
-                    b'}' => {
-                        depth -= 1;
-                        if depth == 0 {
-                            ranges.push((open, open + offset));
-                            break;
-                        }
-                    }
-                    _ => {}
-                }
-            }
-        }
-    }
-    ranges
+/// Parses one source text and runs every per-file rule on it. Used by
+/// the fixture corpus tests; [`run_lint`] adds the whole-workspace
+/// call-graph rule on top.
+pub fn scan_source(path: &str, source: &str, diagnostics: &mut Vec<Diagnostic>) {
+    let parsed = ParsedFile::parse(path, source);
+    rules::check_file(&parsed, diagnostics);
 }
 
-/// Scans one file's already-blanked source with every applicable rule.
-fn scan_file(path: &str, blanked: &str, diagnostics: &mut Vec<Diagnostic>) {
-    let original_lines: Vec<&str> = blanked.lines().collect();
-    for rule in RULES {
-        if !(rule.applies)(path) {
-            continue;
-        }
-        let bodies = rule.within.map(|fns| body_ranges(blanked, fns));
-        for needle in rule.needles {
-            let hay = blanked.as_bytes();
-            let mut from = 0;
-            while let Some(found) = blanked[from..].find(needle.text()) {
-                let at = from + found;
-                from = at + 1;
-                if !needle.matches_at(hay, at) {
-                    continue;
-                }
-                if let Some(bodies) = &bodies {
-                    if !bodies.iter().any(|&(open, close)| at > open && at < close) {
-                        continue;
-                    }
-                }
-                let line = blanked[..at].bytes().filter(|&b| b == b'\n').count() + 1;
-                diagnostics.push(Diagnostic {
-                    rule: rule.id,
-                    path: path.to_string(),
-                    line,
-                    snippet: original_lines
-                        .get(line - 1)
-                        .map_or(String::new(), |l| l.trim().to_string()),
-                });
-            }
-        }
-    }
-}
-
-/// Collects every `.rs` file under `root`, skipping `target` and
-/// dot-directories, in sorted (deterministic) order.
+/// Collects every `.rs` file under `root`, skipping `target`,
+/// dot-directories and `fixtures` corpora (known-bad lint inputs), in
+/// sorted (deterministic) order.
 fn collect_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
     let mut out = Vec::new();
     let mut stack = vec![root.to_path_buf()];
     while let Some(dir) = stack.pop() {
         let entries =
-            fs::read_dir(&dir).map_err(|e| format!("lint: cannot read {}: {e}", dir.display()))?;
+            fs::read_dir(&dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
         for entry in entries {
-            let entry = entry.map_err(|e| format!("lint: {e}"))?;
+            let entry = entry.map_err(|e| format!("{e}"))?;
             let path = entry.path();
             let name = entry.file_name();
             let name = name.to_string_lossy();
             if path.is_dir() {
-                if name != "target" && !name.starts_with('.') {
+                if name != "target" && name != "fixtures" && !name.starts_with('.') {
                     stack.push(path);
                 }
             } else if name.ends_with(".rs") {
@@ -515,26 +350,62 @@ fn parse_allowlist(text: &str) -> Result<Vec<(String, String)>, String> {
     Ok(out)
 }
 
-/// Runs the lint over the workspace rooted at `root`.
+/// Canonicalizes `root` and checks it is a Cargo workspace root.
 ///
 /// # Errors
 ///
-/// Returns a message if sources or the allowlist cannot be read.
+/// Returns a message naming the path when it does not exist or does not
+/// hold a `Cargo.toml` with a `[workspace]` table — a wrong `--root`
+/// must fail loudly instead of linting zero files and exiting green.
+pub fn validate_root(root: &Path) -> Result<PathBuf, String> {
+    let canonical = root
+        .canonicalize()
+        .map_err(|e| format!("--root {}: {e}", root.display()))?;
+    let manifest = canonical.join("Cargo.toml");
+    let text = fs::read_to_string(&manifest).map_err(|e| {
+        format!(
+            "--root {} is not a workspace root: {e}",
+            canonical.display()
+        )
+    })?;
+    if !text.contains("[workspace]") {
+        return Err(format!(
+            "--root {}: Cargo.toml has no [workspace] table",
+            canonical.display()
+        ));
+    }
+    Ok(canonical)
+}
+
+/// Runs the lint over the workspace rooted at `root`: per-file rules on
+/// every source, then the whole-workspace call-graph analysis, then the
+/// allowlist.
+///
+/// # Errors
+///
+/// Returns a message if `root` is not a workspace root or sources or
+/// the allowlist cannot be read.
 pub fn run_lint(root: &Path) -> Result<LintReport, String> {
+    let root = validate_root(root)?;
     let mut report = LintReport::default();
-    let mut diagnostics = Vec::new();
-    for path in collect_sources(root)? {
+    let mut parsed = Vec::new();
+    for path in collect_sources(&root)? {
         let rel = path
-            .strip_prefix(root)
-            .map_err(|_| format!("lint: {} escapes the root", path.display()))?
+            .strip_prefix(&root)
+            .map_err(|_| format!("{} escapes the root", path.display()))?
             .to_string_lossy()
             .replace('\\', "/");
-        let source =
-            fs::read_to_string(&path).map_err(|e| format!("lint: {}: {e}", path.display()))?;
+        let source = fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
         report.files_scanned += 1;
-        scan_file(&rel, &blank_source(&source), &mut diagnostics);
+        parsed.push(ParsedFile::parse(&rel, &source));
     }
-    diagnostics.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    let mut diagnostics = Vec::new();
+    for pf in &parsed {
+        rules::check_file(pf, &mut diagnostics);
+    }
+    graph::panic_reachability(&parsed, &mut diagnostics);
+    diagnostics
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
 
     let allow_path = root.join("lint.allow");
     let allows = if allow_path.exists() {
@@ -568,6 +439,10 @@ pub fn run_lint(root: &Path) -> Result<LintReport, String> {
 mod tests {
     use super::*;
 
+    fn scan_file(path: &str, source: &str, diags: &mut Vec<Diagnostic>) {
+        scan_source(path, source, diags);
+    }
+
     #[test]
     fn blanking_strips_comments_strings_and_tests() {
         let source = r##"
@@ -585,6 +460,34 @@ mod tests {
         let blanked = blank_source(source);
         assert!(!blanked.contains("HashMap"), "{blanked}");
         assert_eq!(blanked.lines().count(), source.lines().count());
+    }
+
+    #[test]
+    fn blanking_handles_raw_strings_at_depth() {
+        // Pre-v2 gap: `r##"…"##` closed early at the first `"#`.
+        let source = "let a = r##\"HashMap \"# still inside\"##; let keep = 1;";
+        let blanked = blank_source(source);
+        assert!(!blanked.contains("HashMap"), "{blanked}");
+        assert!(blanked.contains("keep"), "{blanked}");
+    }
+
+    #[test]
+    fn blanking_handles_nested_block_comments() {
+        let source = "/* outer /* HashMap inner */ tail HashMap */ let keep = 1;";
+        let blanked = blank_source(source);
+        assert!(!blanked.contains("HashMap"), "{blanked}");
+        assert!(blanked.contains("keep"), "{blanked}");
+    }
+
+    #[test]
+    fn blanking_handles_byte_strings_and_identifier_r_prefix() {
+        // Pre-v2 gaps: `b"…"`/`br"…"` mis-lexed, and an identifier
+        // ending in `r` before a string started a phantom raw string.
+        let source = "let a = b\"HashMap\"; let b = br#\"HashMap\"#; let xr = 1; let s = \"HashMap\"; let keep = xr;";
+        let blanked = blank_source(source);
+        assert!(!blanked.contains("HashMap"), "{blanked}");
+        assert!(blanked.contains("keep"), "{blanked}");
+        assert!(blanked.contains("xr"), "{blanked}");
     }
 
     #[test]
@@ -632,10 +535,20 @@ mod tests {
     #[test]
     fn catalog_is_nonempty_and_unique() {
         let catalog = rule_catalog();
-        assert_eq!(catalog.len(), 6);
+        assert_eq!(catalog.len(), 10);
         let mut ids: Vec<_> = catalog.iter().map(|(id, _)| id).collect();
         ids.dedup();
-        assert_eq!(ids.len(), 6);
+        assert_eq!(ids.len(), 10);
+        assert!(explain("index-underflow").is_some());
+        assert!(explain("no-such-rule").is_none());
+    }
+
+    #[test]
+    fn root_validation_rejects_non_workspace_paths() {
+        assert!(validate_root(Path::new("/definitely/not/here")).is_err());
+        // /tmp exists but has no workspace manifest.
+        let err = validate_root(Path::new("/tmp")).unwrap_err();
+        assert!(err.contains("workspace"), "{err}");
     }
 
     #[test]
@@ -692,5 +605,37 @@ impl ExecutorState {
         );
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].rule, "batch-in-loop");
+    }
+
+    #[test]
+    fn json_and_sarif_render() {
+        let report = LintReport {
+            diagnostics: vec![Diagnostic {
+                rule: "index-underflow",
+                path: "crates/x/src/a.rs".into(),
+                line: 3,
+                col: 7,
+                snippet: "line.set(p, deliver.index - 1);".into(),
+                note: "`deliver.index` may be 0 here".into(),
+            }],
+            allowed: vec![],
+            stale_allows: vec![],
+            files_scanned: 1,
+        };
+        let json = report.to_json(12345);
+        assert_eq!(json.get("clean").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            json.get("diagnostics")
+                .and_then(Json::as_array)
+                .map(|a| a.len()),
+            Some(1)
+        );
+        let sarif = report.to_sarif();
+        assert_eq!(sarif.get("version").and_then(Json::as_str), Some("2.1.0"));
+        let text = sarif.pretty();
+        assert!(text.contains("index-underflow"));
+        assert!(text.contains("startLine"));
+        // Round-trips through the in-workspace parser.
+        assert!(Json::parse(&text).is_ok());
     }
 }

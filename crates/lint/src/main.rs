@@ -1,22 +1,36 @@
 //! `rdt-lint`: run the workspace determinism lint from the command line.
 //!
 //! ```text
-//! rdt-lint [--root DIR] [--rules]
+//! rdt-lint [--root DIR] [--json | --sarif] [--rules] [--explain RULE]
 //! ```
 //!
 //! Exits 0 iff the workspace is clean (no findings outside `lint.allow`,
-//! no stale allowlist entries).
+//! no stale allowlist entries). `--json` prints a machine-readable report
+//! (stable keys, `elapsed_ns` carries the scan's wall time); `--sarif`
+//! prints SARIF 2.1.0 for code-scanning upload. Both still exit non-zero
+//! on findings so CI fails the job while keeping the artifact.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Output {
+    Text,
+    Json,
+    Sarif,
+}
 
 fn workspace_root() -> PathBuf {
     // The binary lives in crates/lint; the workspace root is two up.
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
 
+const USAGE: &str = "usage: rdt-lint [--root DIR] [--json | --sarif] [--rules] [--explain RULE]";
+
 fn main() -> ExitCode {
     let mut root = workspace_root();
+    let mut output = Output::Text;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -27,25 +41,49 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--json" => output = Output::Json,
+            "--sarif" => output = Output::Sarif,
             "--rules" => {
                 for (id, summary) in rdt_lint::rule_catalog() {
                     println!("{id}: {summary}");
                 }
                 return ExitCode::SUCCESS;
             }
+            "--explain" => {
+                let Some(id) = args.next() else {
+                    eprintln!("rdt-lint: --explain needs a rule id (see --rules)");
+                    return ExitCode::FAILURE;
+                };
+                match rdt_lint::explain(&id) {
+                    Some(text) => {
+                        println!("{id}\n{}\n\n{text}", "=".repeat(id.len()));
+                        return ExitCode::SUCCESS;
+                    }
+                    None => {
+                        eprintln!("rdt-lint: unknown rule {id:?} (see --rules)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--help" | "-h" => {
-                println!("usage: rdt-lint [--root DIR] [--rules]");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => {
-                eprintln!("rdt-lint: unknown argument {other:?}");
+                eprintln!("rdt-lint: unknown argument {other:?}\n{USAGE}");
                 return ExitCode::FAILURE;
             }
         }
     }
+    let start = Instant::now();
     match rdt_lint::run_lint(&root) {
         Ok(report) => {
-            print!("{}", report.render());
+            let elapsed_ns = start.elapsed().as_nanos() as u64;
+            match output {
+                Output::Text => print!("{}", report.render()),
+                Output::Json => println!("{}", report.to_json(elapsed_ns).pretty()),
+                Output::Sarif => println!("{}", report.to_sarif().pretty()),
+            }
             if report.clean() {
                 ExitCode::SUCCESS
             } else {
@@ -53,7 +91,7 @@ fn main() -> ExitCode {
             }
         }
         Err(message) => {
-            eprintln!("{message}");
+            eprintln!("rdt-lint: {message}");
             ExitCode::FAILURE
         }
     }

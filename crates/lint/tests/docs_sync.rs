@@ -1,0 +1,60 @@
+//! The rule catalog (`rdt-lint --rules`) and the tables in
+//! `docs/VERIFICATION.md` must describe the same rules — this test
+//! fails when either side drifts.
+
+#[test]
+fn verification_doc_tables_match_the_catalog() {
+    let doc_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/VERIFICATION.md");
+    let full = std::fs::read_to_string(doc_path).expect("docs/VERIFICATION.md");
+    // Only the lint chapter's rule tables count — the certifier chapter
+    // has backticked tables of its own.
+    let start = full.find("### Rule catalog").expect("rule catalog section");
+    let end = full[start..]
+        .find("### Fixture corpus")
+        .map_or(full.len(), |o| start + o);
+    let doc = &full[start..end];
+
+    // Rule ids are the first backticked cell of each table row.
+    let mut documented = Vec::new();
+    for line in doc.lines() {
+        let Some(rest) = line.strip_prefix("| `") else {
+            continue;
+        };
+        let Some(id) = rest.split('`').next() else {
+            continue;
+        };
+        if rdt_lint::explain(id).is_some() {
+            documented.push(id.to_string());
+        }
+    }
+
+    let catalog: Vec<String> = rdt_lint::rule_catalog()
+        .iter()
+        .map(|(id, _)| id.to_string())
+        .collect();
+    for id in &catalog {
+        assert!(
+            documented.contains(id),
+            "rule `{id}` is in the catalog but missing from docs/VERIFICATION.md"
+        );
+    }
+    assert_eq!(
+        documented.len(),
+        catalog.len(),
+        "docs tables list {documented:?}, catalog is {catalog:?}"
+    );
+
+    // Every documented rule id must also be explainable (catches table
+    // rows whose backticked cell is a stale id — explain() gated the
+    // collection above, so a stale id shows up as a count mismatch,
+    // and a renamed rule as a missing one).
+    let rows_with_backtick = doc
+        .lines()
+        .filter(|l| l.starts_with("| `") && !l.contains("rule id"))
+        .count();
+    assert_eq!(
+        rows_with_backtick,
+        catalog.len(),
+        "a table row's rule id is not in the catalog"
+    );
+}

@@ -1,0 +1,130 @@
+//! Fixture corpus: one known-bad and one known-clean snippet per rule
+//! under `tests/fixtures/<rule>/{bad,clean}.rs`. Every bad fixture must
+//! fire *exactly* its own rule (cross-rule contamination would mean the
+//! path scopes or patterns drifted), and every clean fixture must be
+//! silent under the same scan path.
+
+use rdt_lint::{Diagnostic, ParsedFile};
+
+/// Rule → the workspace-relative path the fixture is scanned under. The
+/// path picks which scopes apply; each is chosen so only the rule under
+/// test can fire on its fixture pair.
+const CORPUS: &[(&str, &str)] = &[
+    ("hash-collections", "crates/rgraph/src/fixture.rs"),
+    ("wall-clock", "crates/causality/src/fixture.rs"),
+    ("protocol-unwrap", "crates/verify/src/fixture.rs"),
+    ("batch-in-loop", "crates/sim/src/fixture.rs"),
+    ("sweep-seed", "crates/bench/src/fixture.rs"),
+    ("alloc-in-step", "crates/sim/src/fixture.rs"),
+    ("index-underflow", "crates/recovery/src/line.rs"),
+    ("seed-provenance", "crates/sim/src/fixture.rs"),
+    ("panic-reachability", "crates/recovery/src/fixture.rs"),
+    ("arena-slot-escape", "crates/sim/src/fixture.rs"),
+];
+
+fn fixture(rule: &str, which: &str) -> String {
+    let path = format!(
+        "{}/tests/fixtures/{rule}/{which}.rs",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+/// Scans one source the way `run_lint` would: per-file rules plus the
+/// workspace call-graph pass (here the "workspace" is the one file).
+fn scan(path: &str, src: &str) -> Vec<Diagnostic> {
+    let parsed = ParsedFile::parse(path, src);
+    let mut diags = Vec::new();
+    rdt_lint::rules::check_file(&parsed, &mut diags);
+    rdt_lint::graph::panic_reachability(std::slice::from_ref(&parsed), &mut diags);
+    diags
+}
+
+#[test]
+fn every_bad_fixture_fires_exactly_its_rule() {
+    for &(rule, path) in CORPUS {
+        let diags = scan(path, &fixture(rule, "bad"));
+        assert!(!diags.is_empty(), "{rule}: bad fixture fired nothing");
+        for d in &diags {
+            assert_eq!(
+                d.rule, rule,
+                "{rule}: bad fixture also fired {} at {}:{}",
+                d.rule, d.line, d.col
+            );
+        }
+    }
+}
+
+#[test]
+fn every_clean_fixture_is_silent() {
+    for &(rule, path) in CORPUS {
+        let diags = scan(path, &fixture(rule, "clean"));
+        assert!(
+            diags.is_empty(),
+            "{rule}: clean fixture fired {:?}",
+            diags
+                .iter()
+                .map(|d| format!("{} at {}:{}", d.rule, d.line, d.col))
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn pr5_underflow_fixture_has_one_finding_with_exact_span() {
+    let src = fixture("index-underflow", "bad");
+    let diags = scan("crates/recovery/src/line.rs", &src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let d = &diags[0];
+    assert_eq!(d.rule, "index-underflow");
+    // The diagnostic anchors at the `-` of `deliver.index - 1`.
+    let (lineno, line) = src
+        .lines()
+        .enumerate()
+        .find(|(_, l)| l.contains("line.set("))
+        .expect("fixture shape");
+    assert_eq!(d.line, lineno + 1);
+    let minus_col = line.find(" - ").expect("fixture shape") + 2;
+    assert_eq!(d.col, minus_col);
+    assert!(d.snippet.contains("deliver.index - 1"), "{d:?}");
+    assert!(d.note.contains("deliver.index"), "{d:?}");
+}
+
+#[test]
+fn literal_seed_fixture_has_one_finding_with_exact_span() {
+    let src = fixture("seed-provenance", "bad");
+    let diags = scan("crates/sim/src/fixture.rs", &src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let d = &diags[0];
+    assert_eq!(d.rule, "seed-provenance");
+    // The diagnostic anchors at the `SimRng` of `SimRng::seed(42)`.
+    let (lineno, line) = src
+        .lines()
+        .enumerate()
+        .find(|(_, l)| l.contains("SimRng::seed(42)"))
+        .expect("fixture shape");
+    assert_eq!(d.line, lineno + 1);
+    assert_eq!(d.col, line.find("SimRng").expect("fixture shape") + 1);
+    assert!(d.note.contains("literal seed `42`"), "{d:?}");
+}
+
+#[test]
+fn panic_reachability_witness_names_the_call_path() {
+    let diags = scan(
+        "crates/recovery/src/fixture.rs",
+        &fixture("panic-reachability", "bad"),
+    );
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(
+        diags[0].note.contains("try_recovery_line → descend"),
+        "{:?}",
+        diags[0]
+    );
+}
+
+#[test]
+fn corpus_covers_the_whole_catalog() {
+    let ids: Vec<&str> = rdt_lint::rule_catalog().iter().map(|(id, _)| *id).collect();
+    let covered: Vec<&str> = CORPUS.iter().map(|(rule, _)| *rule).collect();
+    assert_eq!(ids, covered, "fixture corpus out of sync with the catalog");
+}

@@ -1,0 +1,7 @@
+//! Known-bad: heap allocation inside an executor step body.
+impl ExecutorState {
+    fn before_send(&mut self, dest: ProcessId) -> SendOutcome {
+        let copy = self.tdv.to_vec();
+        SendOutcome { piggyback: copy }
+    }
+}

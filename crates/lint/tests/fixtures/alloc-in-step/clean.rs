@@ -1,0 +1,7 @@
+//! Known-clean: the step writes into the recycled scratch arena.
+impl ExecutorState {
+    fn before_send(&mut self, dest: ProcessId) -> SendOutcome {
+        self.scratch.copy_from_slice(&self.tdv);
+        SendOutcome { slot: self.scratch_slot }
+    }
+}

@@ -1,0 +1,6 @@
+//! Known-bad: an arena slot offset stored past the round that owns it.
+impl Recorder {
+    fn record(&mut self, pb: &PackedPiggyback) {
+        self.kept.push(pb.slot);
+    }
+}

@@ -1,0 +1,7 @@
+//! Known-clean: the row data is copied out before the slot recycles.
+impl Recorder {
+    fn record(&mut self, pb: &PackedPiggyback) {
+        let decoded = pb.decode_tdv();
+        self.kept.push(decoded);
+    }
+}

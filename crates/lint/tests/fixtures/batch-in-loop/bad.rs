@@ -1,0 +1,5 @@
+//! Known-bad: batch analysis constructor inside per-event code.
+pub fn on_event(pattern: &Pattern) -> bool {
+    let checker = RdtChecker::new(pattern);
+    checker.holds()
+}

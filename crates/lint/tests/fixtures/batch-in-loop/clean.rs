@@ -1,0 +1,5 @@
+//! Known-clean: one incremental analysis, events appended.
+pub fn on_event(analysis: &mut IncrementalAnalysis, op: Op) -> bool {
+    analysis.append(op);
+    analysis.holds()
+}

@@ -1,0 +1,10 @@
+//! Known-bad: hash-ordered collection on a result path.
+use std::collections::HashMap;
+
+pub fn tally(events: &[u32]) -> Vec<(u32, usize)> {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for &e in events {
+        *counts.entry(e).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}

@@ -1,0 +1,10 @@
+//! Known-clean: ordered collection on a result path.
+use std::collections::BTreeMap;
+
+pub fn tally(events: &[u32]) -> Vec<(u32, usize)> {
+    let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+    for &e in events {
+        *counts.entry(e).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}

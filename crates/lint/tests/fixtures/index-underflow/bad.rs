@@ -1,0 +1,6 @@
+//! Known-bad: the PR 5 recovery-line bug shape. Interval indices are
+//! 1-based, so `deliver.index - 1` underflows when the message was
+//! delivered in the first interval.
+pub fn descend(line: &mut GlobalCheckpoint, deliver: IntervalId) {
+    line.set(deliver.process, deliver.index - 1);
+}

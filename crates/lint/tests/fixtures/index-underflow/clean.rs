@@ -1,0 +1,6 @@
+//! Known-clean: the decrement is dominated by a positivity guard.
+pub fn descend(line: &mut GlobalCheckpoint, deliver: IntervalId) {
+    if deliver.index > 0 {
+        line.set(deliver.process, deliver.index - 1);
+    }
+}

@@ -1,0 +1,11 @@
+//! Known-bad: a panic site two calls below a protocol entry point.
+//! `descend` is outside the lexically-scoped `protocol-unwrap` files,
+//! but the call graph reaches it from `try_recovery_line`.
+pub fn try_recovery_line(pattern: &Pattern) -> Option<Line> {
+    descend(pattern)
+}
+
+fn descend(pattern: &Pattern) -> Option<Line> {
+    let line = pattern.initial_line().unwrap();
+    Some(line)
+}

@@ -1,0 +1,9 @@
+//! Known-clean: the fallible case is routed out with `?`.
+pub fn try_recovery_line(pattern: &Pattern) -> Option<Line> {
+    descend(pattern)
+}
+
+fn descend(pattern: &Pattern) -> Option<Line> {
+    let line = pattern.initial_line()?;
+    Some(line)
+}

@@ -1,0 +1,4 @@
+//! Known-bad: unwrap in certifier state-machine code.
+pub fn decode_op(raw: &str) -> u32 {
+    raw.parse().unwrap()
+}

@@ -1,0 +1,4 @@
+//! Known-clean: the certifier propagates malformed input as an error.
+pub fn decode_op(raw: &str) -> Result<u32, String> {
+    raw.parse().map_err(|e| format!("bad op {raw:?}: {e}"))
+}

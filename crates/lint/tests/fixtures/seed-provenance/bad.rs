@@ -1,0 +1,4 @@
+//! Known-bad: a literal RNG seed bakes one execution into the results.
+pub fn make_rng() -> SimRng {
+    SimRng::seed(42)
+}

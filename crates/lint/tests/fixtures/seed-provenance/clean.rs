@@ -1,0 +1,5 @@
+//! Known-clean: the seed traces to a config field through a local.
+pub fn make_rng(config: &SimConfig) -> SimRng {
+    let seed = config.seed;
+    SimRng::seed(seed)
+}

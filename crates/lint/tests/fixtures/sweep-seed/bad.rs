@@ -1,0 +1,6 @@
+//! Known-bad: ad-hoc RNG seeding inside sweep code. The seed value
+//! itself has clean provenance (a config field) — the offence is the
+//! direct `SimRng::seed` call instead of deriving from the grid point.
+pub fn sweep_point(cfg: &SweepConfig) -> SimRng {
+    SimRng::seed(cfg.base_seed)
+}

@@ -1,0 +1,4 @@
+//! Known-clean: per-point seeds derived from the grid position.
+pub fn sweep_point(base: &SimRng, row: u64, col: u64) -> SimRng {
+    base.derive_seed(row * 1000 + col)
+}

@@ -1,0 +1,8 @@
+//! Known-bad: host clock read outside the metrics layer.
+use std::time::Instant;
+
+pub fn run_step(work: impl FnOnce()) -> u128 {
+    let start = Instant::now();
+    work();
+    start.elapsed().as_nanos()
+}

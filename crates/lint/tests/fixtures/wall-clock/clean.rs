@@ -1,0 +1,5 @@
+//! Known-clean: timing routed through the simulated clock.
+pub fn run_step(now_ns: u64, work: impl FnOnce()) -> u64 {
+    work();
+    now_ns
+}

@@ -237,13 +237,18 @@ impl ZigzagReachability {
         for &id in &delivered {
             let info = pattern.message(id);
             let s = pattern.send_interval(id);
-            let d = pattern.deliver_interval(id).expect("delivered");
+            // `delivered` holds delivered messages only, so both are
+            // always `Some`; skipping keeps the builder panic-free.
+            let (Some(d), Some(deliver_pos)) = (pattern.deliver_interval(id), info.deliver_pos)
+            else {
+                continue;
+            };
             send_at.push((s.process, s.index));
             deliver_at.push((d.process, d.index));
             msg_from.push(info.from);
             msg_to.push(info.to);
             msg_send_pos.push(info.send_pos);
-            msg_deliver_pos.push(info.deliver_pos.expect("delivered"));
+            msg_deliver_pos.push(deliver_pos);
         }
 
         // Per-(process, interval) indexes. Interval indexes run

@@ -186,7 +186,8 @@ fn extend(
     if stack.len() >= max_len {
         return;
     }
-    let last = *stack.last().expect("stack not empty");
+    // Every caller pushes before recursing, so the stack is nonempty.
+    let Some(&last) = stack.last() else { return };
     for &next in delivered {
         if stack.contains(&next) || !zigzag_link(pattern, last, next) {
             continue;

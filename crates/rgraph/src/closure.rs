@@ -66,8 +66,8 @@ fn tarjan_scc(adj: &[Vec<usize>]) -> (Vec<usize>, usize) {
                     // from it has already been numbered, so this id is
                     // larger than all of its successors' — reverse
                     // topological order by construction.
-                    loop {
-                        let w = stack.pop().expect("SCC members are on the stack");
+                    // SCC members are on the stack, ending with `u`.
+                    while let Some(w) = stack.pop() {
                         on_stack[w] = false;
                         comp[w] = num_comps;
                         if w == u {

@@ -757,6 +757,10 @@ impl IncrementalAnalysis {
         self.journal.push(Undo::Node { mat: MAT_Z });
         self.ensure_slots(ti, iv);
         self.ensure_slots(fi, m.send_iv);
+        debug_assert!(
+            iv >= self.slot_base[ti] && m.send_iv >= self.slot_base[fi],
+            "the compaction watermark never outruns live intervals"
+        );
         let deliver_slot = self.z_slots[ti][(iv - self.slot_base[ti]) as usize] as usize;
         self.insert_z_edge(z as usize, deliver_slot);
         let send_slot = self.z_slots[fi][(m.send_iv - self.slot_base[fi]) as usize] as usize;

@@ -394,11 +394,7 @@ impl Pattern {
             .filter_map(move |(idx, info)| {
                 let id = PatternMessageId(idx);
                 info.deliver_pos?;
-                Some((
-                    id,
-                    self.send_interval(id),
-                    self.deliver_interval(id).expect("delivered"),
-                ))
+                Some((id, self.send_interval(id), self.deliver_interval(id)?))
             })
     }
 

@@ -31,6 +31,8 @@ const TIMING_KEYS: &[&str] = &[
     // read zero, so the canonical form treats them like timings.
     "legacy_allocs",
     "executor_allocs",
+    // `rdt-lint --json` wall time.
+    "elapsed_ns",
 ];
 
 const TIMING_PLACEHOLDER: &str = "<timing>";
@@ -109,6 +111,16 @@ fn fixtures() -> Vec<(&'static str, Json)> {
                 ..rdt::CertifyOptions::default()
             };
             rdt::certify(&rdt::Scope::tiny(), &options).to_json()
+        }),
+        ("lint_report", {
+            // The `rdt-lint --json` shape: deterministic once the wall
+            // time is scrubbed (sources are scanned in sorted order and
+            // the workspace must lint clean, so the diagnostics array
+            // is pinned empty — a regression shows up as fixture drift
+            // *and* a failing workspace_clean test).
+            let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+            let report = rdt_lint::run_lint(root).expect("lint run");
+            scrub(&report.to_json(0))
         }),
     ]
 }
