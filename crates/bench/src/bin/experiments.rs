@@ -2,7 +2,7 @@
 //! evaluation.
 //!
 //! ```text
-//! experiments [all|fig7|fig8|fig9|table1|cor45|rdtcheck|sim-throughput|compaction|ablation|recovery|recovery-exec] \
+//! experiments [all|fig7|fig8|fig9|table1|cor45|rdtcheck|certify|certify-scale|sim-throughput|compaction|ablation|recovery|recovery-exec] \
 //!     [--quick] [--threads N]
 //! ```
 //!
@@ -16,10 +16,10 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use rdt_bench::{
-    ablation, closure_bench, compaction_bench, coordinated, corollary45, incremental_vs_batch,
-    necessity, rdt_check, recovery_exec, recovery_experiment, render_figure, render_recovery_exec,
-    render_table1, run_sweep_with_metrics, scaling, sensitivity, sim_throughput, table1,
-    write_json, CompactionDecile, Sweep, SweepOptions,
+    ablation, certify_scale, closure_bench, compaction_bench, coordinated, corollary45,
+    incremental_vs_batch, necessity, rdt_check, recovery_exec, recovery_experiment, render_figure,
+    render_recovery_exec, render_table1, run_sweep_with_metrics, scaling, sensitivity,
+    sim_throughput, table1, write_json, CompactionDecile, Sweep, SweepOptions,
 };
 use rdt_workloads::EnvironmentKind;
 
@@ -184,6 +184,7 @@ fn main() -> ExitCode {
         "cor45",
         "rdtcheck",
         "certify",
+        "certify-scale",
         "sim-throughput",
         "incremental",
         "compaction",
@@ -430,6 +431,90 @@ fn main() -> ExitCode {
             Err(err) => eprintln!("  !! could not write certify_report.json: {err}\n"),
         }
         if !report.certified_ok() {
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if which == "all" || which == "certify-scale" {
+        println!("== BENCH-CERTIFY — orbit-pruned certifier vs prefix baseline ==");
+        // The timed head-to-head is defined single-core: the ≥2× gate
+        // measures algorithmic pruning, not parallel speedup.
+        let scope = match rdt_verify::Scope::new(3, 4) {
+            Ok(scope) => scope,
+            Err(err) => {
+                eprintln!("{err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let push_scopes: Vec<(rdt_verify::Scope, Option<f64>)> = if quick {
+            Vec::new()
+        } else {
+            let full_3_5 = match rdt_verify::Scope::with_basics(3, 5, 1) {
+                Ok(scope) => scope,
+                Err(err) => {
+                    eprintln!("{err}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let sampled_4_4 = match rdt_verify::Scope::with_basics(4, 4, 1) {
+                Ok(scope) => scope,
+                Err(err) => {
+                    eprintln!("{err}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            vec![(full_3_5, None), (sampled_4_4, Some(0.02))]
+        };
+        let bench = certify_scale(&scope, 1, &push_scopes);
+        println!(
+            "  scope {}: {} structures in {} canonical orbits ({} pruned by symmetry)",
+            bench.scope, bench.structures, bench.canonical, bench.orbits_pruned
+        );
+        println!(
+            "  baseline {:.2}s, orbit-pruned {:.2}s -> {:.2}x (reports equal: {})",
+            bench.baseline_ns as f64 / 1e9,
+            bench.orbit_ns as f64 / 1e9,
+            bench.speedup,
+            bench.reports_equal
+        );
+        println!(
+            "  {:.0} structures/s, prefix reuse {:.1}%, {} verdicts shared",
+            bench.structures_per_sec,
+            bench.prefix_reuse_ratio * 100.0,
+            bench.dedup_hits
+        );
+        println!(
+            "  {:>16} {:>12} {:>10}",
+            "protocol", "replay ms", "patterns"
+        );
+        for row in &bench.replay {
+            println!(
+                "  {:>16} {:>12.1} {:>10}",
+                row.protocol,
+                row.ns as f64 / 1e6,
+                row.patterns
+            );
+        }
+        for run in &bench.scope_push {
+            let mode = match run.sample {
+                Some(frac) => format!("sampled {frac}"),
+                None => "full".to_string(),
+            };
+            println!(
+                "  push {} ({mode}): {} structures, {} replayed in {:.2}s, certified_ok={}",
+                run.scope,
+                run.structures,
+                run.replayed,
+                run.ns as f64 / 1e9,
+                run.certified_ok
+            );
+        }
+        match write_json(&dir, "BENCH_certify", &bench) {
+            Ok(path) => println!("  -> {}\n", path.display()),
+            Err(err) => eprintln!("  !! could not write BENCH_certify.json: {err}\n"),
+        }
+        if let Err(reason) = bench.gate() {
+            eprintln!("  !! certify-scale gate FAIL: {reason}");
             return ExitCode::FAILURE;
         }
     }

@@ -2097,6 +2097,288 @@ impl ToJson for RecoveryExecResult {
     }
 }
 
+/// Per-protocol replay timing row of BENCH-CERTIFY: how long one
+/// protocol takes to replay every canonical schedule of the scope
+/// (replay only — engine checks excluded), from a dedicated pass so the
+/// certification runs themselves stay timer-free.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CertifyReplayRow {
+    /// Protocol name.
+    pub protocol: String,
+    /// Wall-clock nanoseconds to replay every schedule.
+    pub ns: u64,
+    /// Schedules replayed.
+    pub patterns: u64,
+}
+
+impl ToJson for CertifyReplayRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("protocol", Json::Str(self.protocol.clone())),
+            ("ns", self.ns.to_json()),
+            ("patterns", self.patterns.to_json()),
+        ])
+    }
+}
+
+/// One scope-push certification run of BENCH-CERTIFY (the full `3,5`
+/// sweep, the sampled `4,4` probe).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CertifyScaleRun {
+    /// The scope, rendered `n,m,b`.
+    pub scope: String,
+    /// Sampling fraction, when the run was sampled.
+    pub sample: Option<f64>,
+    /// Full-space structure count (exact even under sampling).
+    pub structures: u64,
+    /// Canonical realizable schedules of the scope.
+    pub replayable: u64,
+    /// Schedules actually replayed.
+    pub replayed: u64,
+    /// Wall-clock nanoseconds of the certification run.
+    pub ns: u64,
+    /// Whether the run certified clean.
+    pub certified_ok: bool,
+}
+
+impl ToJson for CertifyScaleRun {
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("scope", Json::Str(self.scope.clone())),
+            ("structures", self.structures.to_json()),
+            ("replayable", self.replayable.to_json()),
+            ("replayed", self.replayed.to_json()),
+            ("ns", self.ns.to_json()),
+            ("certified_ok", Json::Bool(self.certified_ok)),
+        ];
+        if let Some(frac) = self.sample {
+            pairs.insert(1, ("sample", Json::F64(frac)));
+        }
+        Json::obj(pairs)
+    }
+}
+
+/// BENCH-CERTIFY: the orbit-pruned certifier pipeline against the
+/// prefix-sharing baseline on the reference scope, with the byte-level
+/// report comparison that makes the speedup meaningful, plus per-protocol
+/// replay timings and (full mode) the scope-push runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CertifyScaleResult {
+    /// Reference scope, rendered `n,m,b`.
+    pub scope: String,
+    /// Worker threads of the timed runs (1 = the single-core comparison
+    /// the gate is defined over).
+    pub threads: usize,
+    /// Wall-clock nanoseconds of the baseline engine on the scope.
+    pub baseline_ns: u64,
+    /// Wall-clock nanoseconds of the orbit-pruned engine on the scope.
+    pub orbit_ns: u64,
+    /// `baseline_ns / orbit_ns`.
+    pub speedup: f64,
+    /// Whether the two engines' reports are byte-identical (pretty JSON).
+    pub reports_equal: bool,
+    /// Full-space structures covered.
+    pub structures: u64,
+    /// Canonical representatives retained.
+    pub canonical: u64,
+    /// Structures pruned as relabelings of a canonical representative
+    /// (counted, never generated by the orbit engine).
+    pub orbits_pruned: u64,
+    /// Canonical but unrealizable skeletons.
+    pub unrealizable: u64,
+    /// Schedules replayed per protocol.
+    pub replayed: u64,
+    /// Self-describing work units fanned across the pool.
+    pub units: u64,
+    /// Full layouts discarded whole by the masked relabeling compare.
+    pub layouts_pruned: u64,
+    /// Generation subtrees cut at interior line boundaries.
+    pub subtree_cuts: u64,
+    /// (schedule × protocol) replays that reused another protocol's
+    /// engine verdict for the identical op stream.
+    pub dedup_hits: u64,
+    /// Fraction of the no-sharing replay volume avoided by prefix
+    /// sharing + verdict dedup.
+    pub prefix_reuse_ratio: f64,
+    /// Structures covered per second by the orbit engine.
+    pub structures_per_sec: f64,
+    /// Per-protocol replay timings (dedicated pass).
+    pub replay: Vec<CertifyReplayRow>,
+    /// Scope-push certification runs (full mode only).
+    pub scope_push: Vec<CertifyScaleRun>,
+}
+
+impl CertifyScaleResult {
+    /// The acceptance gates of the experiment: the orbit engine must
+    /// reproduce the baseline's report byte for byte and be at least
+    /// twice as fast on the reference scope, with non-vacuous pruning
+    /// and verdict sharing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable explanation of the first violated gate.
+    pub fn gate(&self) -> Result<(), String> {
+        if !self.reports_equal {
+            return Err("orbit-pruned report differs from the baseline engine's".to_string());
+        }
+        if self.speedup < 2.0 {
+            return Err(format!(
+                "orbit-pruned engine is only {:.2}x the baseline (gate: >= 2.0x)",
+                self.speedup
+            ));
+        }
+        if self.orbits_pruned == 0 || self.layouts_pruned + self.subtree_cuts == 0 {
+            return Err("orbit pruning never fired — the comparison is vacuous".to_string());
+        }
+        if self.dedup_hits == 0 {
+            return Err("verdict sharing never fired — the comparison is vacuous".to_string());
+        }
+        for run in &self.scope_push {
+            if !run.certified_ok {
+                return Err(format!("scope-push run {} did not certify", run.scope));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn timed_certify(
+    scope: &rdt_verify::Scope,
+    options: &rdt_verify::CertifyOptions,
+) -> (rdt_verify::CertifyReport, rdt_verify::CertifyStats, u64) {
+    let watch = rdt_sim::Stopwatch::start();
+    let (report, stats) = rdt_verify::certify_with_stats(scope, options);
+    let ns = watch.elapsed().as_nanos() as u64;
+    (report, stats, ns)
+}
+
+/// Times `timed_certify` twice and keeps the faster wall clock — the
+/// first run pays the page-fault/allocator warmup, so a single-shot
+/// measurement understates the steady-state speedup the gate asserts.
+fn timed_certify_best_of_two(
+    scope: &rdt_verify::Scope,
+    options: &rdt_verify::CertifyOptions,
+) -> (rdt_verify::CertifyReport, rdt_verify::CertifyStats, u64) {
+    let (_, _, warm_ns) = timed_certify(scope, options);
+    let (report, stats, ns) = timed_certify(scope, options);
+    (report, stats, ns.min(warm_ns))
+}
+
+/// Runs BENCH-CERTIFY: both certifier engines over `scope` at `threads`
+/// workers with the full protocol set, a byte-level report comparison, a
+/// dedicated per-protocol replay-timing pass, and (when `push_scopes` is
+/// nonempty) the scope-push runs — e.g. a full `3,5` and a sampled `4,4`.
+pub fn certify_scale(
+    scope: &rdt_verify::Scope,
+    threads: usize,
+    push_scopes: &[(rdt_verify::Scope, Option<f64>)],
+) -> CertifyScaleResult {
+    use rdt_verify::{CertifyEngine, CertifyOptions};
+
+    let base_options = CertifyOptions {
+        threads,
+        engine: CertifyEngine::PrefixBaseline,
+        ..CertifyOptions::default()
+    };
+    let orbit_options = CertifyOptions {
+        threads,
+        engine: CertifyEngine::OrbitPruned,
+        ..CertifyOptions::default()
+    };
+    let (base_report, _, baseline_ns) = timed_certify_best_of_two(scope, &base_options);
+    let (orbit_report, stats, orbit_ns) = timed_certify_best_of_two(scope, &orbit_options);
+    let reports_equal = base_report.to_json().pretty() == orbit_report.to_json().pretty();
+
+    // Per-protocol replay timing, as a dedicated pass: timing inside the
+    // certification loop would put two clock reads on every one of the
+    // hot path's millions of replays.
+    let mut schedules = Vec::new();
+    rdt_verify::enumerate_schedules_orbit(scope, |s| schedules.push(s.clone()));
+    let mut replay = Vec::new();
+    for protocol in rdt_verify::CertProtocol::default_set() {
+        let mut out = rdt_verify::ReplayedOps::default();
+        let watch = rdt_sim::Stopwatch::start();
+        for schedule in &schedules {
+            protocol.replay_ops(schedule, &mut out);
+        }
+        replay.push(CertifyReplayRow {
+            protocol: protocol.name().to_string(),
+            ns: watch.elapsed().as_nanos() as u64,
+            patterns: schedules.len() as u64,
+        });
+    }
+
+    let scope_push = push_scopes
+        .iter()
+        .map(|(push_scope, sample)| {
+            let options = CertifyOptions {
+                threads,
+                sample: *sample,
+                ..CertifyOptions::default()
+            };
+            let (report, _, ns) = timed_certify(push_scope, &options);
+            CertifyScaleRun {
+                scope: push_scope.to_string(),
+                sample: *sample,
+                structures: report.counts.structures,
+                replayable: report.counts.replayable,
+                replayed: report.sampled,
+                ns,
+                certified_ok: report.certified_ok(),
+            }
+        })
+        .collect();
+
+    let counts = &orbit_report.counts;
+    CertifyScaleResult {
+        scope: scope.to_string(),
+        threads,
+        baseline_ns,
+        orbit_ns,
+        speedup: baseline_ns as f64 / orbit_ns.max(1) as f64,
+        reports_equal,
+        structures: counts.structures,
+        canonical: counts.canonical,
+        orbits_pruned: counts.pruned_symmetry,
+        unrealizable: counts.unrealizable,
+        replayed: counts.replayable,
+        units: stats.orbit.units,
+        layouts_pruned: stats.orbit.layouts_pruned,
+        subtree_cuts: stats.orbit.subtree_cuts,
+        dedup_hits: stats.dedup_hits,
+        prefix_reuse_ratio: stats.prefix_reuse_ratio(),
+        structures_per_sec: counts.structures as f64 / (orbit_ns.max(1) as f64 / 1_000_000_000.0),
+        replay,
+        scope_push,
+    }
+}
+
+impl ToJson for CertifyScaleResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("scope", Json::Str(self.scope.clone())),
+            ("threads", self.threads.to_json()),
+            ("baseline_ns", self.baseline_ns.to_json()),
+            ("orbit_ns", self.orbit_ns.to_json()),
+            ("speedup", self.speedup.to_json()),
+            ("reports_equal", Json::Bool(self.reports_equal)),
+            ("structures", self.structures.to_json()),
+            ("canonical", self.canonical.to_json()),
+            ("orbits_pruned", self.orbits_pruned.to_json()),
+            ("unrealizable", self.unrealizable.to_json()),
+            ("replayed", self.replayed.to_json()),
+            ("units", self.units.to_json()),
+            ("layouts_pruned", self.layouts_pruned.to_json()),
+            ("subtree_cuts", self.subtree_cuts.to_json()),
+            ("dedup_hits", self.dedup_hits.to_json()),
+            ("prefix_reuse_ratio", self.prefix_reuse_ratio.to_json()),
+            ("structures_per_sec", self.structures_per_sec.to_json()),
+            ("replay", self.replay.to_json()),
+            ("scope_push", self.scope_push.to_json()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2207,5 +2489,41 @@ mod tests {
         assert!((s - std::f64::consts::SQRT_2).abs() < 1e-12);
         assert_eq!(mean_std(&[]), (0.0, 0.0));
         assert_eq!(mean_std(&[5.0]), (5.0, 0.0));
+    }
+
+    #[test]
+    fn certify_scale_spot_check_counts_and_shape() {
+        // Tiny scale: the >= 2x speedup gate is noise at this size, but
+        // report equality, the orbit accounting, and the JSON shape must
+        // hold exactly.
+        let scope = rdt_verify::Scope::tiny();
+        let sampled = rdt_verify::Scope::with_basics(2, 2, 0).expect("in range");
+        let bench = certify_scale(&scope, 1, &[(sampled, Some(0.5))]);
+        assert!(bench.reports_equal);
+        assert_eq!(bench.structures, 140);
+        assert_eq!(bench.structures - bench.canonical, bench.orbits_pruned);
+        assert_eq!(
+            bench.replay.len(),
+            rdt_verify::CertProtocol::default_set().len()
+        );
+        for row in &bench.replay {
+            assert_eq!(row.patterns, bench.replayed);
+        }
+        assert_eq!(bench.scope_push.len(), 1);
+        let push = &bench.scope_push[0];
+        assert_eq!(push.sample, Some(0.5));
+        assert!(push.certified_ok);
+        assert!(push.replayed < push.replayable);
+        let json = bench.to_json().pretty();
+        for key in [
+            "\"baseline_ns\"",
+            "\"orbit_ns\"",
+            "\"speedup\"",
+            "\"prefix_reuse_ratio\"",
+            "\"structures_per_sec\"",
+            "\"scope_push\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
     }
 }

@@ -21,14 +21,15 @@ pub mod parallel;
 pub mod report;
 
 pub use experiment::{
-    ablation, closure_bench, compaction_bench, coordinated, corollary45, figure,
+    ablation, certify_scale, closure_bench, compaction_bench, coordinated, corollary45, figure,
     incremental_vs_batch, necessity, protocol_set, rdt_check, recovery_exec,
     recovery_exec_protocols, recovery_experiment, scaling, sensitivity, sim_throughput, table1,
-    AblationResult, ClosureBenchResult, CompactionBenchResult, CompactionDecile, CoordinatedResult,
-    Cor45Result, FigureResult, IncrementalBenchResult, IncrementalBenchRow, NecessityResult,
-    PointOutcome, ProtocolPoint, RdtCheckResult, RecoveryExecResult, RecoveryExecRow,
-    RecoveryResult, ScalingResult, SensitivityResult, SimThroughputResult, SimThroughputRow, Sweep,
-    SweepPoint, SweepRow, Table1Result, MEAN_DELAY, MEAN_SEND_INTERVAL,
+    AblationResult, CertifyReplayRow, CertifyScaleResult, CertifyScaleRun, ClosureBenchResult,
+    CompactionBenchResult, CompactionDecile, CoordinatedResult, Cor45Result, FigureResult,
+    IncrementalBenchResult, IncrementalBenchRow, NecessityResult, PointOutcome, ProtocolPoint,
+    RdtCheckResult, RecoveryExecResult, RecoveryExecRow, RecoveryResult, ScalingResult,
+    SensitivityResult, SimThroughputResult, SimThroughputRow, Sweep, SweepPoint, SweepRow,
+    Table1Result, MEAN_DELAY, MEAN_SEND_INTERVAL,
 };
 pub use parallel::{
     run_sweep, run_sweep_points, run_sweep_with_metrics, SweepMetrics, SweepOptions,

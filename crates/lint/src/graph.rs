@@ -39,6 +39,11 @@ const ENTRY_POINTS: &[(Option<&str>, &str, &str)] = &[
     (None, "replay_ops", "crates/verify/src/"),
     (None, "replay_ops_legacy", "crates/verify/src/"),
     (None, "build_pattern", "crates/verify/src/"),
+    // The orbit-pruned enumeration pipeline: work units are produced by
+    // `enumerate_units` and consumed on worker threads by `run_unit`, so
+    // a panic anywhere below either one takes down a certification run.
+    (Some("OrbitContext"), "run_unit", "crates/verify/src/"),
+    (None, "enumerate_units", "crates/verify/src/"),
     (None, "try_recovery_line", "crates/recovery/src/"),
     (None, "try_lost_messages", "crates/recovery/src/"),
     (None, "try_analyze", "crates/recovery/src/"),

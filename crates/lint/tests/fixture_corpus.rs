@@ -122,6 +122,34 @@ fn panic_reachability_witness_names_the_call_path() {
     );
 }
 
+/// The orbit-pruned certifier's work-unit pipeline is covered by the
+/// call-graph pass: both the producer (`enumerate_units`) and the
+/// worker (`OrbitContext::run_unit`) entry points reach their own panic
+/// site through a helper, and each witness path names its entry.
+#[test]
+fn panic_reachability_covers_the_work_unit_entry_points() {
+    let diags = scan(
+        "crates/verify/src/fixture.rs",
+        &fixture("panic-reachability", "workunit"),
+    );
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    for d in &diags {
+        assert_eq!(d.rule, "panic-reachability", "{d:?}");
+    }
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.note.contains("enumerate_units → split_budget")),
+        "{diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.note.contains("run_unit → load_line")),
+        "{diags:?}"
+    );
+}
+
 #[test]
 fn corpus_covers_the_whole_catalog() {
     let ids: Vec<&str> = rdt_lint::rule_catalog().iter().map(|(id, _)| *id).collect();

@@ -1,0 +1,36 @@
+//! Known-bad: panic sites below the *work-unit* entry points of the
+//! orbit-pruned enumeration pipeline. `split_budget` is reachable only
+//! from the producer (`enumerate_units`) and `load_line` only from the
+//! worker (`OrbitContext::run_unit`); the call graph must reach both and
+//! name each witness path — a panic on either side kills a distributed
+//! certification run.
+pub(crate) fn enumerate_units(scope: &Scope) -> Vec<WorkUnit> {
+    let mut units = Vec::new();
+    for sends in 0..=scope.messages {
+        units.push(split_budget(scope, sends));
+    }
+    units
+}
+
+impl OrbitContext {
+    pub(crate) fn run_unit(&self, unit: &WorkUnit) -> u64 {
+        load_line(&self.scope, unit)
+    }
+}
+
+fn split_budget(scope: &Scope, sends: usize) -> WorkUnit {
+    if sends > scope.messages {
+        panic!("work unit overruns the send budget");
+    }
+    WorkUnit {
+        total_sends: sends,
+        line0: Vec::new(),
+    }
+}
+
+fn load_line(scope: &Scope, unit: &WorkUnit) -> u64 {
+    if unit.line0.len() > scope.messages {
+        unreachable!("unit first line exceeds the scope");
+    }
+    unit.total_sends as u64
+}

@@ -66,4 +66,4 @@ pub use runner::{
 };
 pub use time::{SimDuration, SimTime};
 pub use trace::{SimMessageId, Trace, TraceEvent};
-pub use workpool::parallel_map_indexed;
+pub use workpool::{parallel_map_indexed, parallel_map_indexed_observed};

@@ -41,6 +41,24 @@ where
     T: Sync,
     R: Send,
 {
+    parallel_map_indexed_observed(items, threads, init, run, |done, _| observe(done))
+}
+
+/// [`parallel_map_indexed`] whose observer also sees each arriving
+/// result (`observe(done, &result)`, on the coordinating thread, in
+/// completion order) — hook for progress reporting that accumulates
+/// work tallies out of the results without waiting for the full map.
+pub fn parallel_map_indexed_observed<T, R, S>(
+    items: &[T],
+    threads: usize,
+    init: impl Fn() -> S + Sync,
+    run: impl Fn(&mut S, usize, &T) -> R + Sync,
+    mut observe: impl FnMut(usize, &R),
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
     let threads = threads.max(1).min(items.len().max(1));
     if threads <= 1 {
         let mut state = init();
@@ -49,7 +67,7 @@ where
             .enumerate()
             .map(|(i, item)| {
                 let result = run(&mut state, i, item);
-                observe(i + 1);
+                observe(i + 1, &result);
                 result
             })
             .collect();
@@ -79,9 +97,9 @@ where
         drop(tx);
         let mut done = 0;
         for (i, result) in rx {
-            slots[i] = Some(result);
             done += 1;
-            observe(done);
+            observe(done, &result);
+            slots[i] = Some(result);
         }
     });
     slots

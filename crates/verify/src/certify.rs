@@ -22,14 +22,24 @@
 //! reproduces it. The deliberately weakened BHMR variant must produce
 //! counterexamples — the report records that expectation separately so a
 //! certifier that has gone blind fails loudly.
+//!
+//! Two pipelines produce the (byte-identical) report. The default
+//! [`CertifyEngine::OrbitPruned`] streams self-describing work units
+//! through the orbit-pruned enumerator (see [`crate::orbit`]), shares
+//! engine verdicts between protocols whose replay produced the identical
+//! op stream, and supports deterministic orbit sampling and progress
+//! reporting. [`CertifyEngine::PrefixBaseline`] is the previous
+//! layout-fan-out pipeline, kept as the differential and benchmark
+//! baseline.
 
 use rdt_json::{Json, ToJson};
 use rdt_rgraph::{GlobalCheckpoint, IncrementalAnalysis, Mark};
-use rdt_sim::parallel_map_indexed;
+use rdt_sim::{parallel_map_indexed, parallel_map_indexed_observed, Stopwatch};
 
 use crate::enumerate::{
     enumerate_layouts, permutations, visit_layout, EnumerationCounts, LayoutScratch, Schedule,
 };
+use crate::orbit::{enumerate_units, OrbitContext, OrbitScratch, OrbitStats};
 use crate::replay::{CertProtocol, PatternOp, ReplayedOps};
 use crate::Scope;
 
@@ -102,6 +112,20 @@ impl ProtocolTally {
     }
 }
 
+/// Which enumeration/replay pipeline drives the certifier. Both produce
+/// byte-identical reports for the same scope and options — pinned by the
+/// engine-differential test and the bench gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CertifyEngine {
+    /// Orbit-pruned, work-unit-streamed pipeline (the default):
+    /// symmetry-reduced enumeration with subtree pruning, cross-protocol
+    /// verdict sharing, deterministic orbit sampling, progress reporting.
+    OrbitPruned,
+    /// The layout-fan-out prefix-sharing pipeline, kept as the
+    /// differential baseline the orbit engine is benchmarked against.
+    PrefixBaseline,
+}
+
 /// Certification options.
 #[derive(Debug, Clone)]
 pub struct CertifyOptions {
@@ -119,6 +143,19 @@ pub struct CertifyOptions {
     /// pattern instead of sharing a prefix across the compaction point,
     /// so the report stays byte-identical for every interval.
     pub compact_interval: u64,
+    /// Enumeration/replay pipeline (see [`CertifyEngine`]).
+    pub engine: CertifyEngine,
+    /// Deterministic stratified sampling over canonical orbits
+    /// (orbit engine only): replay only orbits whose sampling key falls
+    /// below this fraction of the key space; `None` (or any fraction
+    /// `>= 1`) replays exhaustively. Enumeration counts always cover the
+    /// full space; per-protocol tallies cover the sample. The sampled
+    /// set is a pure function of (scope, fraction) — independent of
+    /// thread count, stable across runs.
+    pub sample: Option<f64>,
+    /// Emit periodic progress/ETA lines on stderr (orbit engine only):
+    /// structures/sec, orbits pruned, schedules replayed.
+    pub progress: bool,
 }
 
 impl Default for CertifyOptions {
@@ -128,6 +165,9 @@ impl Default for CertifyOptions {
             protocols: CertProtocol::default_set(),
             max_counterexamples: 8,
             compact_interval: 0,
+            engine: CertifyEngine::OrbitPruned,
+            sample: None,
+            progress: false,
         }
     }
 }
@@ -177,8 +217,15 @@ impl ToJson for ProtocolReport {
 pub struct CertifyReport {
     /// The exhaustively covered scope.
     pub scope: Scope,
-    /// Enumeration tallies (shared by all protocols).
+    /// Enumeration tallies (shared by all protocols); always full-space,
+    /// even under sampling.
     pub counts: EnumerationCounts,
+    /// The sampling fraction, when this run replayed a deterministic
+    /// sample of the canonical orbits instead of all of them.
+    pub sample: Option<f64>,
+    /// Schedules actually replayed (equals `counts.replayable` unless
+    /// sampled).
+    pub sampled: u64,
     /// Per-protocol results, in [`CertifyOptions::protocols`] order.
     pub protocols: Vec<ProtocolReport>,
 }
@@ -214,6 +261,12 @@ impl CertifyReport {
              {} unrealizable, {} patterns replayed\n",
             self.scope, c.structures, c.canonical, c.pruned_symmetry, c.unrealizable, c.replayable,
         );
+        if let Some(frac) = self.sample {
+            out.push_str(&format!(
+                "  sampled: {} of {} replayable patterns (fraction {frac})\n",
+                self.sampled, c.replayable,
+            ));
+        }
         let control_binds = self.scope.processes >= 3 && self.scope.messages >= 2;
         for p in &self.protocols {
             let verdict = if p.counterexample_total == 0 {
@@ -258,7 +311,7 @@ impl CertifyReport {
 impl ToJson for CertifyReport {
     fn to_json(&self) -> Json {
         let c = &self.counts;
-        Json::obj([
+        let mut pairs = vec![
             ("scope", Json::Str(self.scope.to_string())),
             ("processes", Json::U64(self.scope.processes as u64)),
             ("messages", Json::U64(self.scope.messages as u64)),
@@ -268,9 +321,16 @@ impl ToJson for CertifyReport {
             ("pruned_symmetry", Json::U64(c.pruned_symmetry)),
             ("unrealizable", Json::U64(c.unrealizable)),
             ("replayed", Json::U64(c.replayable)),
-            ("certified_ok", Json::Bool(self.certified_ok())),
-            ("protocols", self.protocols.to_json()),
-        ])
+        ];
+        // Sampling keys appear only when sampling was active, so
+        // exhaustive reports stay byte-identical across engines.
+        if let Some(frac) = self.sample {
+            pairs.push(("sample", Json::F64(frac)));
+            pairs.push(("sampled", Json::U64(self.sampled)));
+        }
+        pairs.push(("certified_ok", Json::Bool(self.certified_ok())));
+        pairs.push(("protocols", self.protocols.to_json()));
+        Json::obj(pairs)
     }
 }
 
@@ -315,8 +375,9 @@ impl CertSession {
     }
 
     /// Rewinds to the longest prefix shared with the loaded stream, then
-    /// appends the rest of `self.run.ops`.
-    fn load_run(&mut self) {
+    /// appends the rest of `self.run.ops`. Returns how many ops were
+    /// appended (the prefix-sharing savings are `ops.len() - appended`).
+    fn load_run(&mut self) -> u64 {
         let ops = &self.run.ops;
         let mut shared = self
             .ops
@@ -338,11 +399,12 @@ impl CertSession {
         }
         self.ops.truncate(shared);
         self.marks.truncate(shared + 1);
-        self.append_suffix(shared);
+        self.append_suffix(shared)
     }
 
-    fn append_suffix(&mut self, shared: usize) {
+    fn append_suffix(&mut self, shared: usize) -> u64 {
         let ops = &self.run.ops;
+        let appended = (ops.len() - shared) as u64;
         for &op in &ops[shared..] {
             match op {
                 PatternOp::Checkpoint(process) => {
@@ -356,6 +418,7 @@ impl CertSession {
             self.ops.push(op);
             self.marks.push(self.incr.mark());
         }
+        appended
     }
 
     /// Compacts the engine to its recovery line once every `interval`
@@ -387,7 +450,7 @@ fn certify_schedule(
     schedule: &Schedule,
     tally: &mut ProtocolTally,
     max_kept: usize,
-) {
+) -> u64 {
     protocol.replay_ops(schedule, &mut session.run);
     tally.patterns += 1;
     tally.predicate_mismatches += session.run.predicate_mismatches.len() as u64;
@@ -404,7 +467,7 @@ fn certify_schedule(
         );
     }
 
-    session.load_run();
+    let appended = session.load_run();
     let CertSession {
         incr, run, gc_bufs, ..
     } = session;
@@ -531,22 +594,547 @@ fn certify_schedule(
             }
         }
     });
+    appended
 }
 
-/// Exhaustively certifies `options.protocols` over `scope`.
-///
-/// Layouts are the parallel work units, fanned out over the work-stealing
-/// engine; per-layout tallies are merged in layout order, so the report
-/// is identical for every thread count. Each worker keeps one
-/// [`CertSession`] per protocol across all its layouts — the per-schedule
-/// check results are pure functions of the schedule, so session reuse
-/// changes nothing but the wall time.
-pub fn certify(scope: &Scope, options: &CertifyOptions) -> CertifyReport {
-    let threads = if options.threads == 0 {
+/// Deterministic work tallies of one certification run. Every field is a
+/// pure function of (scope, options) — identical for every thread count —
+/// so stats can be pinned by goldens; wall time is measured by callers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CertifyStats {
+    /// Engine that produced the run.
+    pub engine: CertifyEngine,
+    /// Orbit-engine enumeration tallies (all zero under the baseline).
+    pub orbit: OrbitStats,
+    /// Schedules replayed, counted once per schedule (post-sampling).
+    pub schedules: u64,
+    /// Σ op-stream lengths over every (schedule × protocol) replay — the
+    /// volume a no-sharing engine would append.
+    pub ops_total: u64,
+    /// Ops actually appended to replay engines; prefix sharing and
+    /// verdict dedup both show up as `ops_appended < ops_total`.
+    pub ops_appended: u64,
+    /// Engine load/rewind calls (one per *distinct* op stream under the
+    /// orbit engine's verdict sharing).
+    pub engine_loads: u64,
+    /// (schedule × protocol) replays whose op stream matched an earlier
+    /// protocol's for the same schedule and reused its engine verdict.
+    pub dedup_hits: u64,
+}
+
+impl CertifyStats {
+    /// Fraction of the no-sharing replay volume that prefix sharing and
+    /// verdict dedup avoided appending (`0.0` when nothing was replayed).
+    pub fn prefix_reuse_ratio(&self) -> f64 {
+        if self.ops_total == 0 {
+            0.0
+        } else {
+            1.0 - self.ops_appended as f64 / self.ops_total as f64
+        }
+    }
+}
+
+/// Replay-volume counters threaded through both engines.
+#[derive(Debug, Default, Clone, Copy)]
+struct OpCounters {
+    schedules: u64,
+    ops_total: u64,
+    ops_appended: u64,
+    engine_loads: u64,
+    dedup_hits: u64,
+}
+
+impl OpCounters {
+    fn absorb(&mut self, other: &OpCounters) {
+        self.schedules += other.schedules;
+        self.ops_total += other.ops_total;
+        self.ops_appended += other.ops_appended;
+        self.engine_loads += other.engine_loads;
+        self.dedup_hits += other.dedup_hits;
+    }
+}
+
+/// The engine-side verdict of one replayed op stream: everything the
+/// per-protocol bookkeeping needs, detached from any one protocol.
+/// Protocols whose replay of a schedule produced the *identical*
+/// [`ReplayedOps`] share one verdict — the theory checks are pure
+/// functions of the stream, so computing them once is the same as
+/// computing them per protocol (held to the baseline by the
+/// engine-differential test). Note details are rendered here, once,
+/// with wording identical to the inline formulation in
+/// [`certify_schedule`].
+#[derive(Debug, Default, Clone)]
+struct ScheduleVerdict {
+    rpaths_ok: bool,
+    /// `characterization-disagreement` detail, when the three offline
+    /// characterizations disagreed.
+    chars_note: Option<String>,
+    /// `rdt-violation` detail (meaningful iff `!rpaths_ok`).
+    rdt_note: String,
+    records: Vec<RecordVerdict>,
+}
+
+/// Per-checkpoint-record slice of a [`ScheduleVerdict`].
+#[derive(Debug, Clone)]
+enum RecordVerdict {
+    /// Record id beyond the pattern (`missing-checkpoint` detail); no GC
+    /// check was run.
+    Beyond(String),
+    /// The two min oracles disagreed (`min-gc-oracle-disagreement`
+    /// detail); remaining checks skipped, as inline.
+    MinOracleDisagree(String),
+    /// Oracles ran to completion.
+    Checked {
+        /// `min-above-max` or `min-max-existence-disagreement`.
+        order_note: Option<(&'static str, String)>,
+        /// `useless-checkpoint` detail — `Some` iff no consistent global
+        /// checkpoint contains the record; noted for claiming protocols.
+        useless: Option<String>,
+        /// `tdv-min-gc-mismatch` detail — `Some` iff the record carried
+        /// a saved min and it mismatched; noted for TDV protocols.
+        tdv_note: Option<String>,
+    },
+}
+
+/// Loads the session's replayed stream into its engine and evaluates
+/// every stream-level theory check into `verdict`. Returns the ops
+/// appended to the engine.
+fn compute_verdict(session: &mut CertSession, verdict: &mut ScheduleVerdict) -> u64 {
+    let appended = session.load_run();
+    let CertSession {
+        incr, run, gc_bufs, ..
+    } = session;
+    let records = &run.records;
+    verdict.chars_note = None;
+    verdict.rdt_note.clear();
+    verdict.records.clear();
+    incr.with_closed(|view| {
+        let rpaths_ok = view.rdt_holds();
+        let chains_ok = view.all_chains_doubled();
+        let cm_ok = view.all_cm_paths_doubled();
+        verdict.rpaths_ok = rpaths_ok;
+        if rpaths_ok != chains_ok || rpaths_ok != cm_ok {
+            verdict.chars_note = Some(format!(
+                "r-paths={rpaths_ok} chains={chains_ok} cm-paths={cm_ok}"
+            ));
+        }
+        if !rpaths_ok {
+            verdict.rdt_note = format!("{} untrackable R-path(s)", view.violations_capped(16));
+        }
+        let [min_buf, via_buf, max_buf] = gc_bufs;
+        let gc_of = |exists: bool, buf: &[u32]| exists.then(|| GlobalCheckpoint::new(buf.to_vec()));
+        for record in records {
+            if record.id.index > view.last_checkpoint_index(record.id.process) {
+                verdict.records.push(RecordVerdict::Beyond(format!(
+                    "protocol reported {} beyond the pattern",
+                    record.id
+                )));
+                continue;
+            }
+            let members = [record.id];
+            let min_ok = view.min_consistent_containing_into(&members, min_buf);
+            let via_ok = view.min_consistent_via_rgraph_into(&members, via_buf);
+            if min_ok != via_ok || (min_ok && min_buf != via_buf) {
+                let fixpoint = gc_of(min_ok, min_buf);
+                let via_rgraph = gc_of(via_ok, via_buf);
+                verdict
+                    .records
+                    .push(RecordVerdict::MinOracleDisagree(format!(
+                        "{}: fixpoint {fixpoint:?} != r-graph {via_rgraph:?}",
+                        record.id
+                    )));
+                continue;
+            }
+            let max_ok = view.max_consistent_containing_into(&members, max_buf);
+            let order_note = match (min_ok, max_ok) {
+                (true, true) => {
+                    if min_buf.iter().zip(max_buf.iter()).all(|(lo, hi)| lo <= hi) {
+                        None
+                    } else {
+                        let (lo, hi) = (
+                            GlobalCheckpoint::new(min_buf.clone()),
+                            GlobalCheckpoint::new(max_buf.clone()),
+                        );
+                        Some((
+                            "min-above-max",
+                            format!("{}: min {lo} > max {hi}", record.id),
+                        ))
+                    }
+                }
+                (false, false) => None,
+                _ => {
+                    let (lo, hi) = (gc_of(min_ok, min_buf), gc_of(max_ok, max_buf));
+                    Some((
+                        "min-max-existence-disagreement",
+                        format!("{}: min {lo:?}, max {hi:?}", record.id),
+                    ))
+                }
+            };
+            let useless = (!min_ok).then(|| format!("{} is on a Z-cycle", record.id));
+            let tdv_note = match &record.min_consistent_gc {
+                Some(reported) if !(min_ok && min_buf.as_slice() == reported.as_slice()) => {
+                    Some(format!(
+                        "{}: saved TDV {:?}, oracle min {:?} (Corollary 4.5)",
+                        record.id,
+                        reported,
+                        min_ok.then_some(&min_buf[..])
+                    ))
+                }
+                _ => None,
+            };
+            verdict.records.push(RecordVerdict::Checked {
+                order_note,
+                useless,
+                tdv_note,
+            });
+        }
+    });
+    appended
+}
+
+/// Applies a shared [`ScheduleVerdict`] to one protocol's tally, in the
+/// exact note order of the inline [`certify_schedule`].
+fn apply_verdict(
+    protocol: &CertProtocol,
+    schedule: &Schedule,
+    run: &ReplayedOps,
+    verdict: &ScheduleVerdict,
+    tally: &mut ProtocolTally,
+    max_kept: usize,
+) {
+    tally.patterns += 1;
+    tally.predicate_mismatches += run.predicate_mismatches.len() as u64;
+    for mismatch in &run.predicate_mismatches {
+        tally.note(
+            max_kept,
+            protocol,
+            "predicate-mismatch",
+            schedule,
+            format!(
+                "event {}: oracle says force={}, protocol forced={}",
+                mismatch.event_index, mismatch.oracle_forces, mismatch.protocol_forced
+            ),
+        );
+    }
+    if let Some(detail) = &verdict.chars_note {
+        tally.note(
+            max_kept,
+            protocol,
+            "characterization-disagreement",
+            schedule,
+            detail.clone(),
+        );
+    }
+    if !verdict.rpaths_ok {
+        tally.rdt_violations += 1;
+        if protocol.claims_rdt() {
+            tally.note(
+                max_kept,
+                protocol,
+                "rdt-violation",
+                schedule,
+                verdict.rdt_note.clone(),
+            );
+        }
+    }
+    for record in &verdict.records {
+        match record {
+            RecordVerdict::Beyond(detail) => {
+                tally.note(
+                    max_kept,
+                    protocol,
+                    "missing-checkpoint",
+                    schedule,
+                    detail.clone(),
+                );
+            }
+            RecordVerdict::MinOracleDisagree(detail) => {
+                tally.gc_checks += 1;
+                tally.note(
+                    max_kept,
+                    protocol,
+                    "min-gc-oracle-disagreement",
+                    schedule,
+                    detail.clone(),
+                );
+            }
+            RecordVerdict::Checked {
+                order_note,
+                useless,
+                tdv_note,
+            } => {
+                tally.gc_checks += 1;
+                if let Some((kind, detail)) = order_note {
+                    tally.note(max_kept, protocol, kind, schedule, detail.clone());
+                }
+                if protocol.claims_rdt() {
+                    if let Some(detail) = useless {
+                        tally.note(
+                            max_kept,
+                            protocol,
+                            "useless-checkpoint",
+                            schedule,
+                            detail.clone(),
+                        );
+                    }
+                }
+                if protocol.check_reported_min_gc() {
+                    if let Some(detail) = tdv_note {
+                        tally.note(
+                            max_kept,
+                            protocol,
+                            "tdv-min-gc-mismatch",
+                            schedule,
+                            detail.clone(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
         std::thread::available_parallelism().map_or(1, |p| p.get())
     } else {
-        options.threads
+        requested
+    }
+}
+
+fn build_report(
+    scope: &Scope,
+    counts: EnumerationCounts,
+    protocols: &[CertProtocol],
+    merged: Vec<ProtocolTally>,
+    sample: Option<f64>,
+    sampled: u64,
+) -> CertifyReport {
+    let protocols = protocols
+        .iter()
+        .zip(merged)
+        .map(|(protocol, tally)| ProtocolReport {
+            name: protocol.name(),
+            claims_rdt: protocol.claims_rdt(),
+            expected_clean: protocol.expected_clean(),
+            patterns: tally.patterns,
+            rdt_violations: tally.rdt_violations,
+            predicate_mismatches: tally.predicate_mismatches,
+            gc_checks: tally.gc_checks,
+            counterexample_total: tally.counterexample_total,
+            counterexamples: tally.counterexamples,
+        })
+        .collect();
+    CertifyReport {
+        scope: *scope,
+        counts,
+        sample,
+        sampled,
+        protocols,
+    }
+}
+
+/// Exhaustively certifies `options.protocols` over `scope` (see
+/// [`certify_with_stats`] for the work tallies).
+pub fn certify(scope: &Scope, options: &CertifyOptions) -> CertifyReport {
+    certify_with_stats(scope, options).0
+}
+
+/// [`certify`] plus the run's deterministic work tallies.
+///
+/// Under [`CertifyEngine::OrbitPruned`], work units are the parallel
+/// items, fanned out over the work-stealing engine; per-unit tallies are
+/// merged in unit order — which equals the baseline's layout order — so
+/// the report is byte-identical for every thread count *and* across
+/// engines. Each worker owns one prefix-sharing [`CertSession`] per
+/// protocol; the unit stream's prefix ordering keeps consecutive op
+/// streams similar, which is what the sessions' rewind-and-append feeds
+/// on.
+pub fn certify_with_stats(
+    scope: &Scope,
+    options: &CertifyOptions,
+) -> (CertifyReport, CertifyStats) {
+    match options.engine {
+        CertifyEngine::OrbitPruned => certify_orbit(scope, options),
+        CertifyEngine::PrefixBaseline => certify_baseline(scope, options),
+    }
+}
+
+/// Per-unit result of the orbit pipeline (merged in unit order).
+struct UnitOutcome {
+    counts: EnumerationCounts,
+    orbit: OrbitStats,
+    tallies: Vec<ProtocolTally>,
+    ops: OpCounters,
+}
+
+/// Worker-local state of the orbit pipeline: enumeration scratch, one
+/// replay session per protocol, and the reused verdict slots.
+struct OrbitWorker {
+    scratch: OrbitScratch,
+    sessions: Vec<CertSession>,
+    verdicts: Vec<ScheduleVerdict>,
+    rep_of: Vec<usize>,
+}
+
+fn certify_orbit(scope: &Scope, options: &CertifyOptions) -> (CertifyReport, CertifyStats) {
+    let threads = resolve_threads(options.threads);
+    let protocols = &options.protocols;
+    let max_kept = options.max_counterexamples;
+    let compact_interval = options.compact_interval;
+    let n = scope.processes;
+    let sample = options.sample.filter(|frac| *frac < 1.0);
+    let threshold = match sample {
+        Some(frac) => (frac.max(0.0) * u64::MAX as f64) as u64,
+        None => u64::MAX,
     };
+    let ctx = OrbitContext::new(scope, sample.is_some());
+    let units = enumerate_units(scope);
+
+    let progress = options.progress;
+    let total_units = units.len();
+    let watch = Stopwatch::start();
+    let mut seen_structures = 0u64;
+    let mut seen_pruned = 0u64;
+    let mut seen_schedules = 0u64;
+    let mut last_emit = 0.0f64;
+    let outcomes = parallel_map_indexed_observed(
+        &units,
+        threads,
+        || OrbitWorker {
+            scratch: OrbitScratch::new(scope),
+            sessions: protocols.iter().map(|_| CertSession::new(n)).collect(),
+            verdicts: vec![ScheduleVerdict::default(); protocols.len()],
+            rep_of: Vec::with_capacity(protocols.len()),
+        },
+        |worker, _, unit| {
+            let mut counts = EnumerationCounts::default();
+            let mut orbit = OrbitStats::default();
+            let mut tallies = vec![ProtocolTally::default(); protocols.len()];
+            let mut ops = OpCounters::default();
+            let OrbitWorker {
+                scratch,
+                sessions,
+                verdicts,
+                rep_of,
+            } = worker;
+            ctx.run_unit(
+                unit,
+                scratch,
+                &mut counts,
+                &mut orbit,
+                &mut |schedule, meta| {
+                    if meta.key > threshold {
+                        return;
+                    }
+                    ops.schedules += 1;
+                    for (protocol, session) in protocols.iter().zip(sessions.iter_mut()) {
+                        protocol.replay_ops(schedule, &mut session.run);
+                    }
+                    // Verdict sharing: the first protocol with a given
+                    // replayed stream is its representative; the rest reuse
+                    // its engine verdict without touching their engines.
+                    rep_of.clear();
+                    for i in 0..protocols.len() {
+                        ops.ops_total += sessions[i].run.ops.len() as u64;
+                        let rep = (0..i)
+                            .find(|&j| sessions[j].run == sessions[i].run)
+                            .unwrap_or(i);
+                        rep_of.push(rep);
+                        if rep == i {
+                            ops.engine_loads += 1;
+                        } else {
+                            ops.dedup_hits += 1;
+                        }
+                    }
+                    for i in 0..protocols.len() {
+                        if rep_of[i] == i {
+                            ops.ops_appended += compute_verdict(&mut sessions[i], &mut verdicts[i]);
+                        }
+                    }
+                    for (i, protocol) in protocols.iter().enumerate() {
+                        apply_verdict(
+                            protocol,
+                            schedule,
+                            &sessions[i].run,
+                            &verdicts[rep_of[i]],
+                            &mut tallies[i],
+                            max_kept,
+                        );
+                    }
+                    for session in sessions.iter_mut() {
+                        session.maybe_compact(compact_interval);
+                    }
+                },
+            );
+            UnitOutcome {
+                counts,
+                orbit,
+                tallies,
+                ops,
+            }
+        },
+        |done, outcome| {
+            if !progress {
+                return;
+            }
+            seen_structures += outcome.counts.structures;
+            seen_pruned += outcome.counts.pruned_symmetry;
+            seen_schedules += outcome.ops.schedules;
+            let elapsed = watch.elapsed_secs();
+            if elapsed - last_emit >= 1.0 || done == total_units {
+                last_emit = elapsed;
+                let frac = done as f64 / total_units.max(1) as f64;
+                let eta = elapsed * (1.0 - frac) / frac.max(1e-9);
+                eprintln!(
+                    "certify: {done}/{total_units} units | {seen_structures} structures \
+                     ({rate:.0}/s) | {seen_pruned} pruned by symmetry | {seen_schedules} \
+                     schedules replayed | ETA {eta:.0}s",
+                    rate = seen_structures as f64 / elapsed.max(1e-9),
+                );
+            }
+        },
+    );
+
+    let mut counts = EnumerationCounts::default();
+    let mut orbit = OrbitStats::default();
+    let mut op_counters = OpCounters::default();
+    let mut merged = vec![ProtocolTally::default(); protocols.len()];
+    for outcome in outcomes {
+        counts.absorb(&outcome.counts);
+        orbit.absorb(&outcome.orbit);
+        op_counters.absorb(&outcome.ops);
+        for (into, tally) in merged.iter_mut().zip(outcome.tallies) {
+            into.absorb(tally, max_kept);
+        }
+    }
+    let report = build_report(
+        scope,
+        counts,
+        protocols,
+        merged,
+        sample,
+        op_counters.schedules,
+    );
+    let stats = CertifyStats {
+        engine: CertifyEngine::OrbitPruned,
+        orbit,
+        schedules: op_counters.schedules,
+        ops_total: op_counters.ops_total,
+        ops_appended: op_counters.ops_appended,
+        engine_loads: op_counters.engine_loads,
+        dedup_hits: op_counters.dedup_hits,
+    };
+    (report, stats)
+}
+
+/// The previous layout-fan-out pipeline, byte-for-byte: layouts are the
+/// parallel work units, every (schedule × protocol) is checked inline
+/// with no orbit pruning beyond the post-hoc canonicality filter and no
+/// verdict sharing. Kept as the differential baseline the orbit engine
+/// is benchmarked against.
+fn certify_baseline(scope: &Scope, options: &CertifyOptions) -> (CertifyReport, CertifyStats) {
+    let threads = resolve_threads(options.threads);
     let layouts = enumerate_layouts(scope);
     let perms = permutations(scope.processes);
     let protocols = &options.protocols;
@@ -563,51 +1151,54 @@ pub fn certify(scope: &Scope, options: &CertifyOptions) -> CertifyReport {
         },
         |(sessions, scratch), _, layout| {
             let mut tallies = vec![ProtocolTally::default(); protocols.len()];
+            let mut ops = OpCounters::default();
             let counts = visit_layout(layout, &perms, scratch, &mut |schedule| {
+                ops.schedules += 1;
                 for ((protocol, session), tally) in protocols
                     .iter()
                     .zip(sessions.iter_mut())
                     .zip(tallies.iter_mut())
                 {
-                    certify_schedule(protocol, session, schedule, tally, max_kept);
+                    ops.ops_appended +=
+                        certify_schedule(protocol, session, schedule, tally, max_kept);
+                    ops.ops_total += session.run.ops.len() as u64;
+                    ops.engine_loads += 1;
                     session.maybe_compact(compact_interval);
                 }
             });
-            (counts, tallies)
+            (counts, tallies, ops)
         },
         |_| {},
     );
 
     let mut counts = EnumerationCounts::default();
+    let mut op_counters = OpCounters::default();
     let mut merged = vec![ProtocolTally::default(); protocols.len()];
-    for (layout_counts, tallies) in per_layout {
+    for (layout_counts, tallies, ops) in per_layout {
         counts.absorb(&layout_counts);
+        op_counters.absorb(&ops);
         for (into, tally) in merged.iter_mut().zip(tallies) {
             into.absorb(tally, max_kept);
         }
     }
-
-    let protocols = protocols
-        .iter()
-        .zip(merged)
-        .map(|(protocol, tally)| ProtocolReport {
-            name: protocol.name(),
-            claims_rdt: protocol.claims_rdt(),
-            expected_clean: protocol.expected_clean(),
-            patterns: tally.patterns,
-            rdt_violations: tally.rdt_violations,
-            predicate_mismatches: tally.predicate_mismatches,
-            gc_checks: tally.gc_checks,
-            counterexample_total: tally.counterexample_total,
-            counterexamples: tally.counterexamples,
-        })
-        .collect();
-
-    CertifyReport {
-        scope: *scope,
+    let report = build_report(
+        scope,
         counts,
         protocols,
-    }
+        merged,
+        None,
+        op_counters.schedules,
+    );
+    let stats = CertifyStats {
+        engine: CertifyEngine::PrefixBaseline,
+        orbit: OrbitStats::default(),
+        schedules: op_counters.schedules,
+        ops_total: op_counters.ops_total,
+        ops_appended: op_counters.ops_appended,
+        engine_loads: op_counters.engine_loads,
+        dedup_hits: op_counters.dedup_hits,
+    };
+    (report, stats)
 }
 
 #[cfg(test)]
@@ -673,7 +1264,7 @@ mod tests {
                 crate::CertProtocol::WeakenedBhmrC2Only,
             ],
             max_counterexamples: 4,
-            compact_interval: 0,
+            ..CertifyOptions::default()
         };
         let one = certify(&scope, &options).to_json().pretty();
         for threads in [2, 5, 8] {
@@ -715,5 +1306,108 @@ mod tests {
         let report = quick(Scope::tiny(), 1);
         let fdi = report.protocol("fdi").expect("fdi in default set");
         assert!(fdi.gc_checks > 0);
+    }
+
+    /// The load-bearing equivalence of this module: the orbit-pruned
+    /// engine's report is byte-identical to the baseline's, for every
+    /// thread count — counterexample selection, note wording, counts.
+    #[test]
+    fn engines_agree_byte_for_byte() {
+        for (n, m, b) in [(2, 2, 1), (3, 2, 1)] {
+            let scope = Scope::with_basics(n, m, b).unwrap();
+            let baseline = certify(
+                &scope,
+                &CertifyOptions {
+                    threads: 1,
+                    engine: CertifyEngine::PrefixBaseline,
+                    ..CertifyOptions::default()
+                },
+            )
+            .to_json()
+            .pretty();
+            for threads in [1, 3] {
+                let orbit = certify(
+                    &scope,
+                    &CertifyOptions {
+                        threads,
+                        engine: CertifyEngine::OrbitPruned,
+                        ..CertifyOptions::default()
+                    },
+                )
+                .to_json()
+                .pretty();
+                assert_eq!(baseline, orbit, "{n},{m},{b} threads={threads}");
+            }
+        }
+    }
+
+    /// Verdict sharing fires (identical protocol streams are common) and
+    /// prefix reuse is visible in the stats — while the report stays
+    /// byte-identical across thread counts (covered above). Stats are
+    /// themselves deterministic at a fixed thread count of 1.
+    #[test]
+    fn orbit_stats_are_deterministic_and_show_reuse() {
+        let scope = Scope::with_basics(3, 2, 0).unwrap();
+        let options = CertifyOptions {
+            threads: 1,
+            ..CertifyOptions::default()
+        };
+        let (_, one) = certify_with_stats(&scope, &options);
+        let (_, two) = certify_with_stats(&scope, &options);
+        assert_eq!(one, two);
+        assert!(one.dedup_hits > 0, "{one:?}");
+        assert!(one.ops_appended < one.ops_total, "{one:?}");
+        assert!(one.prefix_reuse_ratio() > 0.0);
+        assert!(one.orbit.layouts_pruned + one.orbit.subtree_cuts > 0);
+        assert!(one.schedules > 0 && one.orbit.units > 0);
+    }
+
+    /// Sampling is deterministic, reported in the JSON only when active,
+    /// and replays a strict, repeatable subset.
+    #[test]
+    fn sampling_is_deterministic_and_reported() {
+        let scope = Scope::with_basics(3, 2, 1).unwrap();
+        let sampled_opts = CertifyOptions {
+            threads: 1,
+            sample: Some(0.5),
+            ..CertifyOptions::default()
+        };
+        let (first, _) = certify_with_stats(&scope, &sampled_opts);
+        let (again, _) = certify_with_stats(
+            &scope,
+            &CertifyOptions {
+                threads: 2,
+                ..sampled_opts.clone()
+            },
+        );
+        assert_eq!(first.to_json().pretty(), again.to_json().pretty());
+        assert!(first.sampled > 0 && first.sampled < first.counts.replayable);
+        assert_eq!(first.counts.replayable, quick(scope, 1).counts.replayable);
+        let json = first.to_json().pretty();
+        assert!(json.contains("\"sample\""), "{json}");
+        let exhaustive = quick(scope, 1).to_json().pretty();
+        assert!(!exhaustive.contains("\"sample\""), "{exhaustive}");
+        for p in &first.protocols {
+            assert_eq!(p.patterns, first.sampled);
+        }
+    }
+
+    /// `sample: Some(1.0)` (and above) means exhaustive — byte-identical
+    /// to no sampling at all.
+    #[test]
+    fn full_fraction_sampling_is_exhaustive() {
+        let scope = Scope::with_basics(2, 2, 1).unwrap();
+        let full = quick(scope, 1).to_json().pretty();
+        let one = certify(
+            &scope,
+            &CertifyOptions {
+                threads: 1,
+                sample: Some(1.0),
+                ..CertifyOptions::default()
+            },
+        )
+        .to_json()
+        .pretty();
+        assert_eq!(full, one);
     }
 }

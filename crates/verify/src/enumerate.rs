@@ -56,7 +56,7 @@ pub(crate) struct Layout {
 /// `(src process, ordinal among that process's sends)` — a description
 /// that is stable under process relabeling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Slot {
+pub(crate) enum Slot {
     Basic,
     Send { dest: usize },
     Deliver { src: usize, ord: usize },
@@ -64,9 +64,9 @@ enum Slot {
 
 /// A complete skeleton: layout plus delivery matching.
 #[derive(Debug, Clone)]
-struct Skeleton {
-    n: usize,
-    lines: Vec<Vec<Slot>>,
+pub(crate) struct Skeleton {
+    pub(crate) n: usize,
+    pub(crate) lines: Vec<Vec<Slot>>,
 }
 
 /// One abstract driver event of a linearized skeleton.
@@ -125,6 +125,43 @@ impl Schedule {
             }
         }
         out
+    }
+
+    /// The same schedule with every process relabeled by `perm`
+    /// (`perm[old] = new`): events keep their order, messages keep their
+    /// send-order numbering, only the process identities change. The
+    /// result is a valid linearization of the relabeled skeleton, so it
+    /// replays — tests use it to walk an orbit from its canonical
+    /// representative.
+    pub fn relabeled(&self, perm: &[usize]) -> Schedule {
+        let events = self
+            .events
+            .iter()
+            .map(|event| match *event {
+                DriverEvent::Basic { process } => DriverEvent::Basic {
+                    process: perm[process],
+                },
+                DriverEvent::Send { from, to, message } => DriverEvent::Send {
+                    from: perm[from],
+                    to: perm[to],
+                    message,
+                },
+                DriverEvent::Deliver { to, message } => DriverEvent::Deliver {
+                    to: perm[to],
+                    message,
+                },
+            })
+            .collect();
+        let messages = self
+            .messages
+            .iter()
+            .map(|&(from, to)| (perm[from], perm[to]))
+            .collect();
+        Schedule {
+            n: self.n,
+            events,
+            messages,
+        }
     }
 
     /// Builds the protocol-free pattern of this schedule (basic
@@ -279,17 +316,17 @@ fn extend_process(
 
 /// A send slot of a layout, in scan order (process-major, then position).
 #[derive(Debug, Clone, Copy)]
-struct SendSlot {
-    process: usize,
-    dest: usize,
+pub(crate) struct SendSlot {
+    pub(crate) process: usize,
+    pub(crate) dest: usize,
     /// Ordinal among `process`'s sends (position order).
-    ord: usize,
+    pub(crate) ord: usize,
 }
 
 /// Reusable buffers for [`visit_layout`]: one instance per worker (or
 /// one for a serial pass), reused across every layout it expands, so the
 /// per-structure hot path allocates nothing at all.
-pub(crate) struct LayoutScratch {
+pub struct LayoutScratch {
     sends: Vec<SendSlot>,
     /// Destination process of each deliver slot.
     delivers: Vec<usize>,
@@ -312,8 +349,8 @@ impl LayoutScratch {
 
 /// Reusable buffers for the per-structure hot path (skeleton build,
 /// canonical-form check, linearization).
-struct MatchScratch {
-    skeleton: Skeleton,
+pub(crate) struct MatchScratch {
+    pub(crate) skeleton: Skeleton,
     identity_perm: Vec<usize>,
     identity: Vec<u32>,
     inverse: Vec<usize>,
@@ -322,11 +359,11 @@ struct MatchScratch {
     /// ran.
     msg_of: Vec<Vec<Option<usize>>>,
     next_ord: Vec<usize>,
-    schedule: Schedule,
+    pub(crate) schedule: Schedule,
 }
 
 impl MatchScratch {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         MatchScratch {
             skeleton: Skeleton {
                 n,
@@ -462,7 +499,12 @@ fn match_delivers(
     }
 }
 
-fn build_skeleton(layout: &Layout, sends: &[SendSlot], chosen: &[usize], out: &mut Skeleton) {
+pub(crate) fn build_skeleton(
+    layout: &Layout,
+    sends: &[SendSlot],
+    chosen: &[usize],
+    out: &mut Skeleton,
+) {
     let mut deliver_index = 0;
     out.n = layout.n;
     for (line, out_line) in layout.lines.iter().zip(out.lines.iter_mut()) {
@@ -488,7 +530,7 @@ fn build_skeleton(layout: &Layout, sends: &[SendSlot], chosen: &[usize], out: &m
 /// below `1 << 8` at certifiable scopes, so the fields never collide,
 /// and the `u32::MAX` line separator stays strictly above every slot.
 #[inline]
-fn encode_slot(slot: Slot, perm: &[usize]) -> u32 {
+pub(crate) fn encode_slot(slot: Slot, perm: &[usize]) -> u32 {
     match slot {
         Slot::Basic => 0,
         Slot::Send { dest } => (1 << 16) | ((perm[dest] as u32) << 8),
@@ -562,11 +604,88 @@ fn is_canonical(scratch: &mut MatchScratch, perms: &[Vec<usize>]) -> bool {
     true
 }
 
+/// Like [`is_canonical`], but restricted to the `undecided` subset of
+/// `perms` (indices into it) and counting the skeleton's stabilizer on
+/// the way: returns `None` when some undecided relabeling encodes
+/// strictly smaller (non-canonical), otherwise `Some(|Stab|)` — the
+/// number of relabelings (identity included) that reproduce the skeleton
+/// exactly. The orbit-pruned enumerator divides `n!` by the stabilizer to
+/// recover full-space structure counts without generating the orbit.
+///
+/// Relabelings already classified strictly-greater at the layout level
+/// are sound to omit: a strictly greater encoding can neither disqualify
+/// the skeleton nor equal its identity encoding.
+pub(crate) fn canonical_stab(
+    scratch: &mut MatchScratch,
+    perms: &[Vec<usize>],
+    undecided: &[usize],
+) -> Option<u64> {
+    let mut stab = 1u64;
+    if undecided.is_empty() {
+        return Some(stab);
+    }
+    let MatchScratch {
+        skeleton,
+        identity_perm,
+        identity,
+        inverse,
+        ..
+    } = scratch;
+    encode_relabeled(skeleton, identity_perm, inverse, identity);
+    'perm: for &pi in undecided {
+        let perm = &perms[pi];
+        for (old, &new) in perm.iter().enumerate() {
+            inverse[new] = old;
+        }
+        let mut pos = 0;
+        for &old in inverse.iter() {
+            for &slot in &skeleton.lines[old] {
+                let word = encode_slot(slot, perm);
+                match word.cmp(&identity[pos]) {
+                    std::cmp::Ordering::Less => return None,
+                    std::cmp::Ordering::Greater => continue 'perm,
+                    std::cmp::Ordering::Equal => pos += 1,
+                }
+            }
+            match u32::MAX.cmp(&identity[pos]) {
+                std::cmp::Ordering::Less => return None,
+                std::cmp::Ordering::Greater => continue 'perm,
+                std::cmp::Ordering::Equal => pos += 1,
+            }
+        }
+        // Equal end to end: `perm` maps the skeleton onto itself.
+        stab += 1;
+    }
+    Some(stab)
+}
+
+/// Streams the identity encoding of `scratch`'s skeleton word by word
+/// into an FNV-1a hash — the deterministic per-orbit key behind
+/// stratified sampling. The key is a pure function of the canonical
+/// representative, so it is identical for every thread count and
+/// work-unit split.
+pub(crate) fn skeleton_key(scratch: &MatchScratch) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut absorb = |word: u32| {
+        for byte in word.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for line in &scratch.skeleton.lines {
+        for &slot in line {
+            absorb(encode_slot(slot, &scratch.identity_perm));
+        }
+        absorb(u32::MAX);
+    }
+    hash
+}
+
 /// Produces the canonical linearization (greedy lowest-index-runnable
 /// process first) into `scratch.schedule`, or `false` if the matching
 /// admits no execution order (some delivery transitively awaits a send
 /// that never becomes ready).
-fn linearize(scratch: &mut MatchScratch) -> bool {
+pub(crate) fn linearize(scratch: &mut MatchScratch) -> bool {
     let MatchScratch {
         skeleton,
         cursor,
@@ -804,5 +923,13 @@ mod tests {
         let mut renders = Vec::new();
         enumerate_schedules(&scope, |s| renders.push(s.render()));
         assert_eq!(renders, ["", "s0>1#0", "s0>1#0 d1#0"]);
+    }
+
+    #[test]
+    fn relabeled_schedule_renders_with_new_process_ids() {
+        let scope = Scope::with_basics(2, 1, 0).unwrap();
+        let mut renders = Vec::new();
+        enumerate_schedules(&scope, |s| renders.push(s.relabeled(&[1, 0]).render()));
+        assert_eq!(renders, ["", "s1>0#0", "s1>0#0 d0#0"]);
     }
 }

@@ -27,12 +27,19 @@
 
 mod certify;
 mod enumerate;
+mod orbit;
 mod replay;
 mod scope;
 
-pub use certify::{certify, CertifyOptions, CertifyReport, Counterexample, ProtocolReport};
+pub use certify::{
+    certify, certify_with_stats, CertifyEngine, CertifyOptions, CertifyReport, CertifyStats,
+    Counterexample, ProtocolReport,
+};
 pub use enumerate::{
     enumerate_patterns, enumerate_schedules, DriverEvent, EnumerationCounts, Schedule,
+};
+pub use orbit::{
+    enumerate_schedules_orbit, enumerate_schedules_orbit_stats, OrbitStats, ScheduleMeta,
 };
 pub use replay::{
     build_pattern, replay_protocol, replay_protocol_ops, CertProtocol, PatternOp,

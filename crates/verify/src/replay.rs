@@ -69,8 +69,10 @@ pub enum PatternOp {
 }
 
 /// Outcome of replaying one protocol over one schedule, as an op stream
-/// (no pattern materialized).
-#[derive(Debug, Default)]
+/// (no pattern materialized). Equality is whole-outcome equality — two
+/// equal outcomes yield identical certifier verdicts, which is what the
+/// certifier's cross-protocol verdict sharing keys on.
+#[derive(Debug, Default, PartialEq, Eq)]
 pub struct ReplayedOps {
     /// The pattern operations, in execution order.
     pub ops: Vec<PatternOp>,

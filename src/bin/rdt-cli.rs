@@ -9,7 +9,8 @@
 //! rdt-cli compare --env random --n 8 --seed 3 --messages 2000
 //! rdt-cli audit --figure 1
 //! rdt-cli domino --rounds 10
-//! rdt-cli certify --scope 3,4 [--threads N] [--json results/certify_report.json]
+//! rdt-cli certify --scope 3,4 [--threads N] [--sample FRAC] [--progress]
+//!         [--json results/certify_report.json]
 //! rdt-cli lint
 //! ```
 
@@ -398,8 +399,13 @@ fn cmd_certify(flags: &HashMap<String, String>) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let sample = flags.get("sample").and_then(|v| v.parse::<f64>().ok());
     let options = rdt::CertifyOptions {
         threads: get(flags, "threads", 0usize),
+        sample,
+        // Progress/ETA lines go to stderr; suppressed in --json mode so
+        // scripted runs stay quiet.
+        progress: get(flags, "progress", false) && !flags.contains_key("json"),
         ..rdt::CertifyOptions::default()
     };
     let watch = rdt::Stopwatch::start();

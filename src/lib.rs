@@ -74,7 +74,10 @@ pub use rdt_sim::{
     run_protocol_kind, Application, RunOutcome, RunStats, Runner, SimConfig, SimRng, SimTime,
     StopCondition, Stopwatch, Trace, TraceMetrics,
 };
-pub use rdt_verify::{certify, CertProtocol, CertifyOptions, CertifyReport, Scope};
+pub use rdt_verify::{
+    certify, certify_with_stats, CertProtocol, CertifyEngine, CertifyOptions, CertifyReport,
+    CertifyStats, Scope,
+};
 pub use rdt_workloads::{
     ChandyLamport, ClientServerEnvironment, EnvironmentKind, GroupEnvironment, GroupLayout,
     KooToueg, PipelineEnvironment, RandomEnvironment, RingEnvironment,

@@ -7,7 +7,10 @@ use proptest::prelude::*;
 
 use rdt::json::{Json, ToJson};
 use rdt::theory::PatternAnalysis;
-use rdt::verify::enumerate_patterns;
+use rdt::verify::{
+    enumerate_patterns, enumerate_schedules, enumerate_schedules_orbit,
+    enumerate_schedules_orbit_stats,
+};
 use rdt::{certify, CertProtocol, CertifyOptions, Pattern, ProtocolKind, Scope};
 
 /// The CI smoke scope certifies cleanly through the public facade.
@@ -36,7 +39,7 @@ fn weakened_predicate_regression() {
             CertProtocol::WeakenedBhmrC2Only,
         ],
         max_counterexamples: 32,
-        compact_interval: 0,
+        ..CertifyOptions::default()
     };
     let report = certify(&scope, &options);
 
@@ -77,6 +80,88 @@ fn enumeration_counts_match_hand_computation() {
     assert_eq!(counts.unrealizable, 1);
     assert_eq!(counts.replayable, 13);
     assert_eq!(patterns.len(), 13);
+}
+
+/// ROADMAP item 3 coverage pin: `certify --scope 3,4` covers exactly
+/// 260506 structures and replays exactly 36526 canonical patterns. Any
+/// pruning change that alters coverage — a canonicalization bug, a
+/// miscounted orbit, a lost work unit — fails here loudly.
+#[test]
+fn scope_3_4_coverage_is_pinned() {
+    let scope: Scope = "3,4".parse().expect("scope in range");
+    let counts = enumerate_schedules_orbit(&scope, |_| {});
+    assert_eq!(counts.structures, 260506);
+    assert_eq!(counts.replayable, 36526);
+    assert_eq!(counts.structures - counts.canonical, counts.pruned_symmetry);
+}
+
+/// Builds the `seed`-th process relabeling of `0..n` (a deterministic
+/// Fisher–Yates walk — every permutation is reachable).
+fn perm_from_seed(n: usize, seed: u64) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    for i in (1..n).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Orbit-pruning soundness, half one: the orbit-pruned enumerator
+    /// retains exactly the baseline's canonical representatives (same
+    /// stream, same order) and its orbit–stabilizer counts cover the
+    /// full space exactly — so every pruned structure is accounted to
+    /// precisely one retained representative.
+    #[test]
+    fn orbit_pruning_matches_the_baseline(scope in scope_strategy()) {
+        let mut baseline = Vec::new();
+        let base_counts = enumerate_schedules(&scope, |s| baseline.push(s.render()));
+        let mut retained = Vec::new();
+        let mut orbits = Vec::new();
+        let factorial: u64 = (1..=scope.processes as u64).product();
+        let (orbit_counts, _) = enumerate_schedules_orbit_stats(&scope, |s, meta| {
+            retained.push(s.render());
+            orbits.push(meta.orbit);
+        });
+        prop_assert_eq!(base_counts, orbit_counts);
+        prop_assert_eq!(baseline, retained);
+        let orbit_sum: u64 = orbits.iter().sum();
+        prop_assert!(orbits.iter().all(|&o| o >= 1 && factorial.is_multiple_of(o)));
+        prop_assert!(orbit_sum <= orbit_counts.structures);
+    }
+
+    /// Orbit-pruning soundness, half two: replaying a random orbit
+    /// member (a relabeled schedule) yields the same theory verdict as
+    /// its canonical representative — the verdict the certifier reports
+    /// for the whole orbit.
+    #[test]
+    fn orbit_members_share_their_representatives_verdict(
+        scope in scope_strategy(),
+        seed in 0u64..1_000,
+    ) {
+        let mut failures = Vec::new();
+        enumerate_schedules_orbit(&scope, |schedule| {
+            let perm = perm_from_seed(scope.processes, seed ^ schedule.events.len() as u64);
+            let member = schedule.relabeled(&perm);
+            let rep = PatternAnalysis::new(&schedule.to_pattern().expect("realizable"));
+            let other = PatternAnalysis::new(&member.to_pattern().expect("orbit member realizable"));
+            let rep_verdict = rep.rdt_report().holds();
+            let member_verdict = other.rdt_report().holds();
+            if rep_verdict != member_verdict {
+                failures.push(format!(
+                    "{}: representative rdt={rep_verdict}, member rdt={member_verdict}",
+                    schedule.render()
+                ));
+            }
+        });
+        prop_assert!(failures.is_empty(), "{failures:?}");
+    }
 }
 
 fn scope_strategy() -> impl Strategy<Value = Scope> {

@@ -33,6 +33,10 @@ const TIMING_KEYS: &[&str] = &[
     "executor_allocs",
     // `rdt-lint --json` wall time.
     "elapsed_ns",
+    // BENCH-CERTIFY engine head-to-head and throughput.
+    "baseline_ns",
+    "orbit_ns",
+    "structures_per_sec",
 ];
 
 const TIMING_PLACEHOLDER: &str = "<timing>";
@@ -105,6 +109,16 @@ fn fixtures() -> Vec<(&'static str, Json)> {
             "BENCH_sim_throughput",
             scrub(&rdt_bench::sim_throughput(200, 2).to_json()),
         ),
+        ("BENCH_certify", {
+            // Tiny scope plus one sampled push run: the counts, orbit
+            // accounting, reuse ratio, and the sampled-run shape are all
+            // deterministic; only the clocks are scrubbed.
+            let sampled = rdt::Scope::with_basics(2, 2, 0).expect("in range");
+            scrub(
+                &rdt_bench::certify_scale(&rdt::Scope::tiny(), 1, &[(sampled, Some(0.5))])
+                    .to_json(),
+            )
+        }),
         ("certify_report", {
             let options = rdt::CertifyOptions {
                 threads: 2,
