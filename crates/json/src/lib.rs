@@ -209,9 +209,21 @@ impl Json {
     /// Parses a complete JSON document (trailing whitespace allowed,
     /// trailing garbage rejected).
     pub fn parse(text: &str) -> Result<Json, JsonError> {
-        let bytes = text.as_bytes();
+        Json::parse_bytes(text.as_bytes())
+    }
+
+    /// Parses a complete JSON document from raw bytes.
+    ///
+    /// The parser is **total**: for *any* byte input it returns either a
+    /// value or a [`JsonError`] — never a panic. Invalid UTF-8 inside a
+    /// string, truncated `\u` escapes, lone surrogate halves, and
+    /// pathological nesting (deeper than [`MAX_DEPTH`]) are all reported
+    /// as errors with the byte offset the parser stopped at. This is the
+    /// entry point for untrusted input (socket frames, files from other
+    /// tools); [`Json::parse`] wraps it for already-valid UTF-8.
+    pub fn parse_bytes(bytes: &[u8]) -> Result<Json, JsonError> {
         let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(err(pos, "trailing characters after the document"));
@@ -219,6 +231,12 @@ impl Json {
         Ok(value)
     }
 }
+
+/// Maximum container nesting [`Json::parse_bytes`] accepts. The parser
+/// recurses per nesting level, so unbounded depth would let a short
+/// adversarial input (`[[[[…`) overflow the stack; 128 levels is far
+/// beyond anything the workspace's writers emit.
+pub const MAX_DEPTH: usize = 128;
 
 impl fmt::Display for Json {
     /// Compact form (no whitespace).
@@ -277,7 +295,7 @@ fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), JsonError> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         None => Err(err(*pos, "unexpected end of input")),
@@ -286,6 +304,9 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
         Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
         Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
         Some(b'[') => {
+            if depth >= MAX_DEPTH {
+                return Err(err(*pos, "nesting deeper than the supported maximum"));
+            }
             *pos += 1;
             let mut items = Vec::new();
             skip_ws(bytes, pos);
@@ -294,7 +315,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
                 return Ok(Json::Arr(items));
             }
             loop {
-                items.push(parse_value(bytes, pos)?);
+                items.push(parse_value(bytes, pos, depth + 1)?);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -307,6 +328,9 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
             }
         }
         Some(b'{') => {
+            if depth >= MAX_DEPTH {
+                return Err(err(*pos, "nesting deeper than the supported maximum"));
+            }
             *pos += 1;
             let mut pairs = Vec::new();
             skip_ws(bytes, pos);
@@ -319,7 +343,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
                 let key = parse_string(bytes, pos)?;
                 skip_ws(bytes, pos);
                 expect(bytes, pos, b':')?;
-                let value = parse_value(bytes, pos)?;
+                let value = parse_value(bytes, pos, depth + 1)?;
                 pairs.push((key, value));
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
@@ -350,6 +374,27 @@ fn parse_keyword(
     }
 }
 
+/// Reads the 4 hex digits of a `\uXXXX` escape at `*pos` (positioned on
+/// the `u`). Strict: exactly four ASCII hex digits — `from_str_radix`
+/// would also accept a leading `+`, so the digits are validated by hand.
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, JsonError> {
+    let hex = bytes
+        .get(*pos + 1..*pos + 5)
+        .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
+    let mut code = 0u32;
+    for &b in hex {
+        let digit = match b {
+            b'0'..=b'9' => u32::from(b - b'0'),
+            b'a'..=b'f' => u32::from(b - b'a') + 10,
+            b'A'..=b'F' => u32::from(b - b'A') + 10,
+            _ => return Err(err(*pos, "invalid \\u escape")),
+        };
+        code = code << 4 | digit;
+    }
+    *pos += 4;
+    Ok(code)
+}
+
 fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
     expect(bytes, pos, b'"')?;
     let mut out = String::new();
@@ -372,34 +417,64 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
-                        let hex = std::str::from_utf8(hex)
-                            .map_err(|_| err(*pos, "invalid \\u escape"))?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| err(*pos, "invalid \\u escape"))?;
-                        // Surrogate pairs are not needed by this
-                        // workspace's writers; reject them explicitly.
-                        let c = char::from_u32(code)
-                            .ok_or_else(|| err(*pos, "unpaired surrogate in \\u escape"))?;
+                        let escape_start = *pos - 1;
+                        let code = parse_hex4(bytes, pos)?;
+                        let c = match code {
+                            // High surrogate: must be followed by
+                            // `\uDC00`–`\uDFFF`; combine the pair.
+                            0xD800..=0xDBFF => {
+                                if bytes.get(*pos + 1..*pos + 3) != Some(b"\\u".as_slice()) {
+                                    return Err(err(
+                                        escape_start,
+                                        "unpaired high surrogate in \\u escape",
+                                    ));
+                                }
+                                *pos += 2;
+                                let low = parse_hex4(bytes, pos)?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err(err(
+                                        escape_start,
+                                        "high surrogate not followed by a low surrogate",
+                                    ));
+                                }
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined).ok_or_else(|| {
+                                    err(escape_start, "invalid surrogate pair in \\u escape")
+                                })?
+                            }
+                            0xDC00..=0xDFFF => {
+                                return Err(err(
+                                    escape_start,
+                                    "unpaired low surrogate in \\u escape",
+                                ));
+                            }
+                            _ => char::from_u32(code)
+                                .ok_or_else(|| err(escape_start, "invalid \\u escape"))?,
+                        };
                         out.push(c);
-                        *pos += 4;
                     }
                     _ => return Err(err(*pos, "invalid escape")),
                 }
                 *pos += 1;
             }
-            Some(_) => {
-                // Consume one UTF-8 character.
-                let rest =
-                    std::str::from_utf8(&bytes[*pos..]).map_err(|_| err(*pos, "invalid UTF-8"))?;
-                let c = rest.chars().next().unwrap();
-                if (c as u32) < 0x20 {
-                    return Err(err(*pos, "unescaped control character"));
-                }
-                out.push(c);
-                *pos += c.len_utf8();
+            Some(&first) => {
+                // Consume one UTF-8 character, decoding incrementally
+                // from the raw bytes so a partial trailing sequence is a
+                // reported error, not a panic.
+                let len = match first {
+                    0x00..=0x1F => return Err(err(*pos, "unescaped control character")),
+                    0x20..=0x7F => 1,
+                    0xC2..=0xDF => 2,
+                    0xE0..=0xEF => 3,
+                    0xF0..=0xF4 => 4,
+                    _ => return Err(err(*pos, "invalid UTF-8")),
+                };
+                let seq = bytes
+                    .get(*pos..*pos + len)
+                    .ok_or_else(|| err(*pos, "invalid UTF-8"))?;
+                let s = std::str::from_utf8(seq).map_err(|_| err(*pos, "invalid UTF-8"))?;
+                out.push_str(s);
+                *pos += len;
             }
         }
     }
@@ -421,7 +496,10 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
             _ => break,
         }
     }
-    let text = std::str::from_utf8(&bytes[start..*pos]).expect("digits are ASCII");
+    // The scanned range is digits/sign/dot/exponent bytes only, so this
+    // conversion cannot fail; still, stay total rather than `expect`.
+    let text =
+        std::str::from_utf8(&bytes[start..*pos]).map_err(|_| err(start, "invalid number"))?;
     if text.is_empty() || text == "-" {
         return Err(err(start, "expected a value"));
     }
@@ -623,5 +701,87 @@ mod tests {
         let s = "line\nquote\"back\\slash\ttab\u{1}";
         let json = Json::Str(s.to_string());
         assert_eq!(Json::parse(&json.to_string()).unwrap(), json);
+    }
+
+    /// Regression: truncated `\u` escapes used to reach
+    /// `rest.chars().next().unwrap()` territory / slice past the end.
+    /// Every prefix of a valid escape must be an error, not a panic.
+    #[test]
+    fn truncated_unicode_escape_is_an_error() {
+        for input in [
+            r#""\u"#,
+            r#""\u1"#,
+            r#""\u12"#,
+            r#""\u123"#,
+            r#""\u123"#,
+            "\"\\u12\"",
+            "\"\\u\"",
+        ] {
+            assert!(Json::parse(input).is_err(), "input {input:?}");
+        }
+    }
+
+    /// Regression: `u32::from_str_radix` accepts a leading `+`, which the
+    /// old parser would have treated as a valid escape digit run.
+    #[test]
+    fn unicode_escape_digits_are_strict() {
+        assert!(Json::parse(r#""\u+123""#).is_err());
+        assert!(Json::parse(r#""\u 123""#).is_err());
+        assert!(Json::parse(r#""\u12g4""#).is_err());
+        assert_eq!(
+            Json::parse(r#""\u0041""#).unwrap(),
+            Json::Str("A".to_string())
+        );
+        assert_eq!(
+            Json::parse(r#""\uFFFD""#).unwrap(),
+            Json::Str("\u{FFFD}".to_string())
+        );
+    }
+
+    /// Lone surrogate halves are errors; a proper pair combines into one
+    /// astral-plane character.
+    #[test]
+    fn surrogate_halves_and_pairs() {
+        assert!(Json::parse(r#""\uD800""#).is_err());
+        assert!(Json::parse(r#""\uDBFF""#).is_err());
+        assert!(Json::parse(r#""\uDC00""#).is_err());
+        assert!(Json::parse(r#""\uDFFF""#).is_err());
+        assert!(Json::parse(r#""\uD800\uD800""#).is_err());
+        assert!(Json::parse(r#""\uD800x""#).is_err());
+        assert!(Json::parse(r#""\uD800\n""#).is_err());
+        assert!(Json::parse(r#""\uD834\u""#).is_err());
+        // U+1D11E MUSICAL SYMBOL G CLEF = \uD834\uDD1E.
+        assert_eq!(
+            Json::parse(r#""\uD834\uDD1E""#).unwrap(),
+            Json::Str("\u{1D11E}".to_string())
+        );
+    }
+
+    /// `parse_bytes` is total on invalid UTF-8: truncated multi-byte
+    /// sequences, stray continuation bytes, and overlong forms all error.
+    #[test]
+    fn parse_bytes_rejects_invalid_utf8() {
+        assert!(Json::parse_bytes(b"\"\xE2\x82\"").is_err());
+        assert!(Json::parse_bytes(b"\"\x80\"").is_err());
+        assert!(Json::parse_bytes(b"\"\xC0\xAF\"").is_err());
+        assert!(Json::parse_bytes(b"\"\xF5\x80\x80\x80\"").is_err());
+        assert!(Json::parse_bytes(b"\"\xE2\x82").is_err());
+        // Valid multi-byte content still round-trips.
+        assert_eq!(
+            Json::parse_bytes("\"\u{20AC}\"".as_bytes()).unwrap(),
+            Json::Str("\u{20AC}".to_string())
+        );
+    }
+
+    /// Deep nesting is bounded: an adversarial `[[[[…` input returns an
+    /// error instead of overflowing the parser's stack.
+    #[test]
+    fn nesting_depth_is_bounded() {
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(Json::parse(&ok).is_ok());
+        let deep = "[".repeat(100_000);
+        assert!(Json::parse(&deep).is_err());
+        let deep_obj = "{\"k\":".repeat(100_000);
+        assert!(Json::parse(&deep_obj).is_err());
     }
 }

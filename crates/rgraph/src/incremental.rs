@@ -60,6 +60,10 @@ use crate::consistency::GlobalCheckpoint;
 mod compaction;
 pub use compaction::CompactionStats;
 
+#[path = "snapshot.rs"]
+mod snapshot;
+pub use snapshot::{SnapshotError, SNAPSHOT_FORMAT, SNAPSHOT_VERSION};
+
 const NONE_U32: u32 = u32::MAX;
 
 /// Stack words for closure-row scratch masks (spills to heap above
@@ -127,6 +131,48 @@ impl std::fmt::Display for RewindError {
 }
 
 impl std::error::Error for RewindError {}
+
+/// Why a `try_append_*` call was refused. The engine state is untouched
+/// when an append fails, so a rejected event from an untrusted stream
+/// cannot corrupt the analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppendError {
+    /// The named process index is not `< n`.
+    ProcessOutOfRange {
+        /// The offending process index.
+        process: usize,
+        /// The engine's process count.
+        n: usize,
+    },
+    /// The message handle was never returned by an append of a send.
+    UnknownMessage {
+        /// The offending message handle.
+        mid: u32,
+    },
+    /// The message was already delivered once.
+    AlreadyDelivered {
+        /// The offending message handle.
+        mid: u32,
+    },
+}
+
+impl std::fmt::Display for AppendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AppendError::ProcessOutOfRange { process, n } => {
+                write!(f, "process {process} out of range (engine has {n})")
+            }
+            AppendError::UnknownMessage { mid } => {
+                write!(f, "message {mid} was never sent")
+            }
+            AppendError::AlreadyDelivered { mid } => {
+                write!(f, "message {mid} already delivered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AppendError {}
 
 /// One reversible mutation; the journal is replayed backwards on rewind.
 #[derive(Debug, Clone, Copy)]
@@ -596,8 +642,27 @@ impl IncrementalAnalysis {
     /// materializes exactly when the later of the two closing checkpoints
     /// appears.
     pub fn append_checkpoint(&mut self, process: ProcessId) -> CheckpointId {
+        match self.try_append_checkpoint(process) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`append_checkpoint`](IncrementalAnalysis::append_checkpoint):
+    /// rejects an out-of-range process with [`AppendError`] instead of
+    /// panicking, leaving the engine untouched. This is the entry point
+    /// for untrusted event streams.
+    pub fn try_append_checkpoint(
+        &mut self,
+        process: ProcessId,
+    ) -> Result<CheckpointId, AppendError> {
         let pi = process.index();
-        assert!(pi < self.n, "process out of range");
+        if pi >= self.n {
+            return Err(AppendError::ProcessOutOfRange {
+                process: pi,
+                n: self.n,
+            });
+        }
         let closing = self.cp_count[pi] + 1;
         self.journal.push(Undo::CpCount {
             p: pi as u32,
@@ -660,7 +725,7 @@ impl IncrementalAnalysis {
             }
         }
         self.events += 1;
-        CheckpointId::new(process, closing)
+        Ok(CheckpointId::new(process, closing))
     }
 
     /// Appends a send event and returns the engine's message handle.
@@ -669,9 +734,30 @@ impl IncrementalAnalysis {
     /// numbering [`PatternBuilder::send`](crate::PatternBuilder::send)
     /// uses when events are appended in the same order.
     pub fn append_send(&mut self, from: ProcessId, to: ProcessId) -> u32 {
+        match self.try_append_send(from, to) {
+            Ok(mid) => mid,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`append_send`](IncrementalAnalysis::append_send): rejects
+    /// out-of-range endpoints with [`AppendError`] instead of panicking,
+    /// leaving the engine untouched.
+    pub fn try_append_send(&mut self, from: ProcessId, to: ProcessId) -> Result<u32, AppendError> {
         let fi = from.index();
         let ti = to.index();
-        assert!(fi < self.n && ti < self.n, "process out of range");
+        if fi >= self.n {
+            return Err(AppendError::ProcessOutOfRange {
+                process: fi,
+                n: self.n,
+            });
+        }
+        if ti >= self.n {
+            return Err(AppendError::ProcessOutOfRange {
+                process: ti,
+                n: self.n,
+            });
+        }
         let mid = self.msgs.len() as u32;
         let iv = self.cp_count[fi] + 1;
 
@@ -719,7 +805,7 @@ impl IncrementalAnalysis {
         self.journal.push(Undo::MsgPushed);
         self.set_line_open(fi, true);
         self.events += 1;
-        mid
+        Ok(mid)
     }
 
     /// Appends the delivery of message `mid` (as returned by
@@ -729,8 +815,23 @@ impl IncrementalAnalysis {
     ///
     /// Panics if the message does not exist or was already delivered.
     pub fn append_deliver(&mut self, mid: u32) {
-        let m = self.msgs[mid as usize];
-        assert!(m.deliver_iv == NONE_U32, "message {mid} already delivered");
+        if let Err(e) = self.try_append_deliver(mid) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`append_deliver`](IncrementalAnalysis::append_deliver):
+    /// rejects an unknown handle (deliver-before-send) or a duplicate
+    /// delivery with [`AppendError`] instead of panicking, leaving the
+    /// engine untouched.
+    pub fn try_append_deliver(&mut self, mid: u32) -> Result<(), AppendError> {
+        let m = match self.msgs.get(mid as usize) {
+            Some(&m) => m,
+            None => return Err(AppendError::UnknownMessage { mid }),
+        };
+        if m.deliver_iv != NONE_U32 {
+            return Err(AppendError::AlreadyDelivered { mid });
+        }
         let ti = m.to as usize;
         let fi = m.from as usize;
         let iv = self.cp_count[ti] + 1;
@@ -782,6 +883,7 @@ impl IncrementalAnalysis {
         self.journal.push(Undo::DeliverEvPushed { p: ti as u32 });
         self.set_line_open(ti, true);
         self.events += 1;
+        Ok(())
     }
 
     // --------------------------------------------------- mark/rewind ----

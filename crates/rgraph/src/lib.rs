@@ -58,7 +58,10 @@ pub use analysis::PatternAnalysis;
 pub use bitset::{BitMatrix, BitRow};
 pub use chains::{MessageChain, ZigzagReachability};
 pub use consistency::GlobalCheckpoint;
-pub use incremental::{CompactionStats, IncrementalAnalysis, Mark, MessageRoute, RewindError};
+pub use incremental::{
+    AppendError, CompactionStats, IncrementalAnalysis, Mark, MessageRoute, RewindError,
+    SnapshotError, SNAPSHOT_FORMAT, SNAPSHOT_VERSION,
+};
 pub use pattern::{Pattern, PatternBuilder, PatternError, PatternEvent, PatternMessageId};
 pub use rdt::{RdtChecker, RdtReport, RdtViolation};
 pub use replay::{CheckpointAnnotations, Replay};

@@ -1,0 +1,294 @@
+//! One tenant stream: an [`IncrementalAnalysis`] plus stream-level
+//! metadata, with fully fallible ingest.
+//!
+//! Every event routes through the engine's `try_append_*` APIs, so an
+//! adversarial event order — deliver before send, duplicate delivery,
+//! checkpoint on an unknown process — comes back as a structured
+//! [`ServeError`] and leaves the stream's state untouched. Queries
+//! validate their members before touching the engine for the same
+//! reason.
+
+use rdt_causality::{CheckpointId, ProcessId};
+use rdt_json::Json;
+use rdt_rgraph::IncrementalAnalysis;
+
+use crate::protocol::{ErrorKind, EventKind, QueryKind, ServeError};
+
+/// Stream snapshot format marker (one per stream inside the daemon
+/// document).
+pub const STREAM_SNAPSHOT_FORMAT: &str = "rdt-serve-stream";
+
+/// One tenant stream.
+#[derive(Debug)]
+pub struct StreamEngine {
+    engine: IncrementalAnalysis,
+    /// Crash events observed (crashes are markers: they report the
+    /// recovery line but do not mutate the pattern).
+    crashes: u64,
+}
+
+fn u32s(values: &[u32]) -> Json {
+    Json::Arr(values.iter().map(|&v| Json::U64(u64::from(v))).collect())
+}
+
+impl StreamEngine {
+    /// Creates an empty stream over `processes` processes. The caller
+    /// (the protocol layer) has already validated the bound.
+    pub fn new(processes: usize) -> StreamEngine {
+        StreamEngine {
+            engine: IncrementalAnalysis::new(processes),
+            crashes: 0,
+        }
+    }
+
+    /// Number of processes in the stream.
+    pub fn processes(&self) -> usize {
+        self.engine.num_processes()
+    }
+
+    /// Events accepted so far.
+    pub fn events(&self) -> usize {
+        self.engine.events_appended()
+    }
+
+    /// The current per-process checkpoint frontier.
+    fn frontier(&self) -> Vec<u32> {
+        (0..self.processes())
+            .map(|p| self.engine.last_checkpoint_index(ProcessId::new(p)))
+            .collect()
+    }
+
+    /// The recovery line: greatest consistent global checkpoint dominated
+    /// by the current frontier.
+    fn recovery_line(&self) -> Vec<u32> {
+        let caps = self.frontier();
+        let mut line = vec![0u32; self.processes()];
+        self.engine.max_consistent_dominated_into(&caps, &mut line);
+        line
+    }
+
+    /// Applies one event. On success the returned fields go into the ok
+    /// reply; on failure the engine state is untouched.
+    pub fn ingest_event(
+        &mut self,
+        event: &EventKind,
+    ) -> Result<Vec<(&'static str, Json)>, ServeError> {
+        let event_err =
+            |e: rdt_rgraph::AppendError| ServeError::new(ErrorKind::Event, e.to_string());
+        match *event {
+            EventKind::Checkpoint { process } => {
+                let id = self
+                    .engine
+                    .try_append_checkpoint(ProcessId::new(process))
+                    .map_err(event_err)?;
+                Ok(vec![("checkpoint", Json::U64(u64::from(id.index)))])
+            }
+            EventKind::Send { from, to } => {
+                let mid = self
+                    .engine
+                    .try_append_send(ProcessId::new(from), ProcessId::new(to))
+                    .map_err(event_err)?;
+                Ok(vec![("message", Json::U64(u64::from(mid)))])
+            }
+            EventKind::Deliver { message } => {
+                self.engine.try_append_deliver(message).map_err(event_err)?;
+                Ok(vec![])
+            }
+            EventKind::Crash { process } => {
+                if process >= self.processes() {
+                    return Err(ServeError::new(
+                        ErrorKind::Event,
+                        format!(
+                            "process {process} out of range (stream has {})",
+                            self.processes()
+                        ),
+                    ));
+                }
+                self.crashes += 1;
+                Ok(vec![
+                    ("crashes", Json::U64(self.crashes)),
+                    ("line", u32s(&self.recovery_line())),
+                ])
+            }
+        }
+    }
+
+    /// Answers one query. All member validation happens before the engine
+    /// is consulted, so invalid members are [`ErrorKind::Query`] errors
+    /// rather than panics.
+    pub fn answer_query(
+        &mut self,
+        query: &QueryKind,
+    ) -> Result<Vec<(&'static str, Json)>, ServeError> {
+        match query {
+            QueryKind::Untrackable => Ok(vec![(
+                "untrackable",
+                Json::U64(self.engine.untrackable_pairs()),
+            )]),
+            QueryKind::RecoveryLine => Ok(vec![("line", u32s(&self.recovery_line()))]),
+            QueryKind::MinConsistent(members) => {
+                let ids = self.validate_members(members)?;
+                let gc = self.engine.min_consistent_containing(&ids);
+                Ok(vec![("global", self.global_json(gc))])
+            }
+            QueryKind::MaxConsistent(members) => {
+                let ids = self.validate_members(members)?;
+                let gc = self.engine.max_consistent_containing(&ids);
+                Ok(vec![("global", self.global_json(gc))])
+            }
+        }
+    }
+
+    fn validate_members(&self, members: &[(usize, u32)]) -> Result<Vec<CheckpointId>, ServeError> {
+        members
+            .iter()
+            .map(|&(p, idx)| {
+                let id = CheckpointId::new(ProcessId::new(p), idx);
+                if p >= self.processes() || !self.engine.checkpoint_exists(id) {
+                    return Err(ServeError::new(
+                        ErrorKind::Query,
+                        format!("checkpoint ({p}, {idx}) does not exist"),
+                    ));
+                }
+                Ok(id)
+            })
+            .collect()
+    }
+
+    fn global_json(&self, gc: Option<rdt_rgraph::GlobalCheckpoint>) -> Json {
+        match gc {
+            None => Json::Null,
+            Some(gc) => {
+                let indices: Vec<u32> = (0..self.processes())
+                    .map(|p| gc.get(ProcessId::new(p)))
+                    .collect();
+                u32s(&indices)
+            }
+        }
+    }
+
+    /// Compacts the engine to its recovery line and reports what was
+    /// reclaimed.
+    pub fn compact(&mut self) -> Vec<(&'static str, Json)> {
+        let stats = self.engine.compact_to_recovery_line();
+        vec![
+            ("dropped", Json::U64(stats.dropped_nodes() as u64)),
+            ("epoch", Json::U64(self.engine.compaction_epoch())),
+        ]
+    }
+
+    /// Serializes the stream (engine plus metadata) for the daemon
+    /// snapshot document.
+    pub fn stream_snapshot(&self, name: &str) -> Json {
+        Json::obj([
+            ("format", Json::Str(STREAM_SNAPSHOT_FORMAT.to_string())),
+            ("name", Json::Str(name.to_string())),
+            ("crashes", Json::U64(self.crashes)),
+            ("engine", self.engine.snapshot_json()),
+        ])
+    }
+
+    /// Restores a stream from its snapshot entry; returns its name and
+    /// the rebuilt engine. Total: corrupted documents are
+    /// [`ErrorKind::Admin`] errors.
+    pub fn from_stream_snapshot(doc: &Json) -> Result<(String, StreamEngine), ServeError> {
+        let admin = |m: String| ServeError::new(ErrorKind::Admin, m);
+        if doc.get("format").and_then(Json::as_str) != Some(STREAM_SNAPSHOT_FORMAT) {
+            return Err(admin("stream entry is not an rdt-serve stream".into()));
+        }
+        let name = doc
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| admin("stream entry has no name".into()))?;
+        let crashes = doc
+            .get("crashes")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| admin(format!("stream `{name}`: missing crash counter")))?;
+        let engine_doc = doc
+            .get("engine")
+            .ok_or_else(|| admin(format!("stream `{name}`: missing engine state")))?;
+        let engine = IncrementalAnalysis::from_snapshot_json(engine_doc)
+            .map_err(|e| admin(format!("stream `{name}`: {e}")))?;
+        Ok((name.to_string(), StreamEngine { engine, crashes }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_and_queries() {
+        let mut s = StreamEngine::new(2);
+        let cp = s
+            .ingest_event(&EventKind::Checkpoint { process: 0 })
+            .unwrap();
+        assert_eq!(cp[0].1, Json::U64(1));
+        let send = s.ingest_event(&EventKind::Send { from: 0, to: 1 }).unwrap();
+        assert_eq!(send[0].1, Json::U64(0));
+        s.ingest_event(&EventKind::Deliver { message: 0 }).unwrap();
+        let pairs = s.answer_query(&QueryKind::Untrackable).unwrap();
+        assert_eq!(pairs[0].1, Json::U64(0));
+        let line = s.answer_query(&QueryKind::RecoveryLine).unwrap();
+        assert!(matches!(line[0].1, Json::Arr(_)));
+    }
+
+    #[test]
+    fn adversarial_events_error_and_leave_state() {
+        let mut s = StreamEngine::new(2);
+        assert_eq!(
+            s.ingest_event(&EventKind::Deliver { message: 0 })
+                .unwrap_err()
+                .kind,
+            ErrorKind::Event
+        );
+        assert_eq!(
+            s.ingest_event(&EventKind::Checkpoint { process: 9 })
+                .unwrap_err()
+                .kind,
+            ErrorKind::Event
+        );
+        assert_eq!(s.events(), 0);
+        // Still functional afterwards.
+        s.ingest_event(&EventKind::Send { from: 0, to: 1 }).unwrap();
+        assert_eq!(s.events(), 1);
+    }
+
+    #[test]
+    fn unknown_members_are_query_errors() {
+        let mut s = StreamEngine::new(2);
+        assert_eq!(
+            s.answer_query(&QueryKind::MinConsistent(vec![(0, 5)]))
+                .unwrap_err()
+                .kind,
+            ErrorKind::Query
+        );
+        assert_eq!(
+            s.answer_query(&QueryKind::MaxConsistent(vec![(9, 0)]))
+                .unwrap_err()
+                .kind,
+            ErrorKind::Query
+        );
+    }
+
+    #[test]
+    fn stream_snapshot_roundtrips() {
+        let mut s = StreamEngine::new(3);
+        s.ingest_event(&EventKind::Checkpoint { process: 0 })
+            .unwrap();
+        s.ingest_event(&EventKind::Send { from: 0, to: 1 }).unwrap();
+        s.ingest_event(&EventKind::Deliver { message: 0 }).unwrap();
+        s.ingest_event(&EventKind::Crash { process: 1 }).unwrap();
+        let doc = s.stream_snapshot("tenant-a");
+        let (name, mut restored) = StreamEngine::from_stream_snapshot(&doc).unwrap();
+        assert_eq!(name, "tenant-a");
+        assert_eq!(
+            restored.stream_snapshot("tenant-a").to_string(),
+            doc.to_string()
+        );
+        assert_eq!(
+            restored.answer_query(&QueryKind::Untrackable).unwrap(),
+            s.answer_query(&QueryKind::Untrackable).unwrap()
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! `rdt-serve` — the multi-tenant streaming RDT daemon.
+//!
+//! The daemon accepts newline-delimited JSON frames over a TCP or
+//! Unix-domain socket. Each tenant opens an independent *stream* (a
+//! named checkpoint-and-communication pattern over `n` processes) and
+//! feeds it `send` / `deliver` / `checkpoint` / `crash` events; behind
+//! the scenes every stream owns one incremental R-graph engine
+//! ([`rdt_rgraph::IncrementalAnalysis`]), so live queries — the running
+//! count of reachable-but-untrackable checkpoint pairs, the recovery
+//! line, and the minimum/maximum consistent global checkpoint containing
+//! a target set — answer in time proportional to the touched state, not
+//! the stream's history.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  connections (1 thread each)          shards (--workers threads)
+//!  ┌───────────────┐  parse    ┌────────────────────────────────┐
+//!  │ read line     │ ────────► │ shard = fnv1a(stream) % W      │
+//!  │ write reply   │ ◄──────── │ BTreeMap<name, StreamEngine>   │
+//!  └───────────────┘  reply    └────────────────────────────────┘
+//! ```
+//!
+//! Stream requests are processed by exactly one shard thread in arrival
+//! order, which makes per-stream replies deterministic for **any**
+//! worker count. Snapshot restore fans the per-stream engine rebuilds
+//! out over the deterministic work-stealing pool from `rdt-sim`.
+//!
+//! # Robustness contract
+//!
+//! Every byte sequence a client can send — malformed JSON, truncated
+//! escapes, events out of order, duplicate deliveries, unknown streams,
+//! oversized lines — produces a structured error reply from the taxonomy
+//! in [`ErrorKind`], never a panic and never cross-tenant corruption.
+//! The repo's panic-reachability lint checks this statically from the
+//! [`handle_request`] / [`parse_request`] entry points.
+
+pub mod engine;
+pub mod protocol;
+pub mod server;
+pub mod shard;
+
+pub use engine::{StreamEngine, STREAM_SNAPSHOT_FORMAT};
+pub use protocol::{
+    error_reply, ok_reply, parse_request, ErrorKind, EventKind, QueryKind, Request, ServeError,
+    MAX_LINE_BYTES, MAX_NAME_BYTES, MAX_PROCESSES, MAX_STREAMS,
+};
+pub use server::{Endpoint, Server, ServerConfig};
+pub use shard::{
+    handle_request, EnginePool, PoolHandle, POOL_SNAPSHOT_FORMAT, POOL_SNAPSHOT_VERSION,
+};

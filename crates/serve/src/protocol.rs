@@ -1,0 +1,460 @@
+//! The `rdt-serve` wire protocol: newline-delimited JSON frames.
+//!
+//! Every request is one JSON object on one line; every reply is one JSON
+//! object on one line. Success replies carry `"ok": true` plus
+//! op-specific fields; failures carry `"ok": false` and a structured
+//! `"error"` object with a machine-readable `kind` from the taxonomy in
+//! [`ErrorKind`]. Parsing is **total**: any byte sequence — truncated
+//! escapes, invalid UTF-8, wrong shapes — produces an error reply, never
+//! a panic, so one hostile tenant cannot take the daemon down.
+
+use rdt_json::Json;
+
+/// Most processes a single stream may declare. Engine state is `O(n²)`
+/// per event in the worst case, so this bounds per-tenant memory.
+pub const MAX_PROCESSES: usize = 512;
+
+/// Most concurrently open streams across all tenants.
+pub const MAX_STREAMS: usize = 4096;
+
+/// Longest accepted request line, in bytes (newline included).
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Longest accepted stream name, in bytes.
+pub const MAX_NAME_BYTES: usize = 200;
+
+/// The error taxonomy. `kind` in every error reply is one of these, so
+/// clients can dispatch without string-matching messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The line is not valid JSON (includes invalid UTF-8 and truncated
+    /// escapes).
+    Parse,
+    /// Valid JSON, but not a well-formed request frame.
+    Frame,
+    /// The named stream does not exist, already exists, or the name is
+    /// unusable.
+    Stream,
+    /// A well-formed event was rejected by the engine (deliver before
+    /// send, duplicate delivery, process out of range).
+    Event,
+    /// A well-formed query cannot be answered (unknown member
+    /// checkpoint).
+    Query,
+    /// A configured resource bound was hit (process count, stream count,
+    /// line length).
+    Limit,
+    /// A daemon administration failure (snapshot persistence, shard
+    /// plumbing).
+    Admin,
+}
+
+impl ErrorKind {
+    /// The wire name of the kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::Frame => "frame",
+            ErrorKind::Stream => "stream",
+            ErrorKind::Event => "event",
+            ErrorKind::Query => "query",
+            ErrorKind::Limit => "limit",
+            ErrorKind::Admin => "admin",
+        }
+    }
+}
+
+/// A structured per-request error: taxonomy kind plus a human-readable
+/// message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError {
+    /// Which taxonomy bucket the failure falls into.
+    pub kind: ErrorKind,
+    /// What went wrong, for humans.
+    pub message: String,
+}
+
+impl ServeError {
+    /// Builds an error.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> ServeError {
+        ServeError {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind.as_str(), self.message)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One tenant event, exactly the four shapes of ROADMAP item 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A local checkpoint of `process`.
+    Checkpoint {
+        /// The checkpointing process.
+        process: usize,
+    },
+    /// A message send; the reply carries the daemon-assigned handle.
+    Send {
+        /// Sending process.
+        from: usize,
+        /// Receiving process.
+        to: usize,
+    },
+    /// Delivery of the message with handle `message`.
+    Deliver {
+        /// Handle from the send reply.
+        message: u32,
+    },
+    /// A crash of `process`: bumps the stream's crash counter and
+    /// returns the recovery line the tenant must roll back to.
+    Crash {
+        /// The crashed process.
+        process: usize,
+    },
+}
+
+/// One live query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Running count of reachable-but-untrackable checkpoint pairs.
+    Untrackable,
+    /// The recovery line: greatest consistent global checkpoint dominated
+    /// by the current per-process frontier.
+    RecoveryLine,
+    /// Minimum consistent global checkpoint containing the members.
+    MinConsistent(Vec<(usize, u32)>),
+    /// Maximum consistent global checkpoint containing the members.
+    MaxConsistent(Vec<(usize, u32)>),
+}
+
+/// A parsed request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Create a stream with `processes` processes.
+    Open {
+        /// Stream name.
+        stream: String,
+        /// Number of processes (1..=[`MAX_PROCESSES`]).
+        processes: usize,
+    },
+    /// Append one event to a stream.
+    Event {
+        /// Stream name.
+        stream: String,
+        /// The event.
+        event: EventKind,
+    },
+    /// Answer one query on a stream.
+    Query {
+        /// Stream name.
+        stream: String,
+        /// The query.
+        query: QueryKind,
+    },
+    /// Compact the stream's engine to its recovery line.
+    Compact {
+        /// Stream name.
+        stream: String,
+    },
+    /// Drop a stream and free its engine.
+    Close {
+        /// Stream name.
+        stream: String,
+    },
+    /// List open streams (sorted by name).
+    Streams,
+    /// Persist a snapshot of every stream to the daemon's snapshot path.
+    Snapshot,
+    /// Liveness check.
+    Ping,
+    /// Snapshot (when configured) and stop the daemon.
+    Shutdown,
+}
+
+impl Request {
+    /// The stream this request is scoped to, if any.
+    pub fn stream(&self) -> Option<&str> {
+        match self {
+            Request::Open { stream, .. }
+            | Request::Event { stream, .. }
+            | Request::Query { stream, .. }
+            | Request::Compact { stream }
+            | Request::Close { stream } => Some(stream),
+            Request::Streams | Request::Snapshot | Request::Ping | Request::Shutdown => None,
+        }
+    }
+}
+
+fn frame_err(message: impl Into<String>) -> ServeError {
+    ServeError::new(ErrorKind::Frame, message)
+}
+
+fn need_str<'a>(obj: &'a Json, key: &str) -> Result<&'a str, ServeError> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| frame_err(format!("missing string field `{key}`")))
+}
+
+fn need_u64(obj: &Json, key: &str) -> Result<u64, ServeError> {
+    match obj.get(key) {
+        Some(&Json::U64(v)) => Ok(v),
+        _ => Err(frame_err(format!("missing unsigned integer field `{key}`"))),
+    }
+}
+
+fn need_usize(obj: &Json, key: &str) -> Result<usize, ServeError> {
+    usize::try_from(need_u64(obj, key)?)
+        .map_err(|_| frame_err(format!("field `{key}` out of range")))
+}
+
+fn need_u32(obj: &Json, key: &str) -> Result<u32, ServeError> {
+    u32::try_from(need_u64(obj, key)?).map_err(|_| frame_err(format!("field `{key}` out of range")))
+}
+
+fn need_stream(obj: &Json) -> Result<String, ServeError> {
+    let name = need_str(obj, "stream")?;
+    if name.is_empty() {
+        return Err(ServeError::new(ErrorKind::Stream, "stream name is empty"));
+    }
+    if name.len() > MAX_NAME_BYTES {
+        return Err(ServeError::new(
+            ErrorKind::Limit,
+            format!("stream name longer than {MAX_NAME_BYTES} bytes"),
+        ));
+    }
+    Ok(name.to_string())
+}
+
+fn need_members(obj: &Json) -> Result<Vec<(usize, u32)>, ServeError> {
+    let arr = obj
+        .get("members")
+        .and_then(Json::as_array)
+        .ok_or_else(|| frame_err("missing array field `members`"))?;
+    let mut members = Vec::with_capacity(arr.len());
+    for entry in arr {
+        let pair = entry
+            .as_array()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| frame_err("`members` entries must be [process, checkpoint] pairs"))?;
+        let p = pair[0]
+            .as_u64()
+            .and_then(|v| usize::try_from(v).ok())
+            .ok_or_else(|| frame_err("`members` process is not an unsigned integer"))?;
+        let idx = pair[1]
+            .as_u64()
+            .and_then(|v| u32::try_from(v).ok())
+            .ok_or_else(|| frame_err("`members` checkpoint is not an unsigned integer"))?;
+        members.push((p, idx));
+    }
+    if members.is_empty() {
+        return Err(frame_err("`members` must not be empty"));
+    }
+    Ok(members)
+}
+
+/// Parses one request line. Total: every byte input yields a request or a
+/// [`ServeError`] with the right taxonomy kind.
+pub fn parse_request(line: &[u8]) -> Result<Request, ServeError> {
+    let doc =
+        Json::parse_bytes(line).map_err(|e| ServeError::new(ErrorKind::Parse, e.to_string()))?;
+    if !matches!(doc, Json::Obj(_)) {
+        return Err(frame_err("request is not a JSON object"));
+    }
+    let op = need_str(&doc, "op")?;
+    match op {
+        "open" => {
+            let stream = need_stream(&doc)?;
+            let processes = need_usize(&doc, "processes")?;
+            if processes == 0 {
+                return Err(frame_err("`processes` must be at least 1"));
+            }
+            if processes > MAX_PROCESSES {
+                return Err(ServeError::new(
+                    ErrorKind::Limit,
+                    format!("`processes` exceeds the maximum of {MAX_PROCESSES}"),
+                ));
+            }
+            Ok(Request::Open { stream, processes })
+        }
+        "event" => {
+            let stream = need_stream(&doc)?;
+            let event = match need_str(&doc, "type")? {
+                "checkpoint" => EventKind::Checkpoint {
+                    process: need_usize(&doc, "process")?,
+                },
+                "send" => EventKind::Send {
+                    from: need_usize(&doc, "from")?,
+                    to: need_usize(&doc, "to")?,
+                },
+                "deliver" => EventKind::Deliver {
+                    message: need_u32(&doc, "message")?,
+                },
+                "crash" => EventKind::Crash {
+                    process: need_usize(&doc, "process")?,
+                },
+                other => {
+                    return Err(frame_err(format!("unknown event type `{other}`")));
+                }
+            };
+            Ok(Request::Event { stream, event })
+        }
+        "query" => {
+            let stream = need_stream(&doc)?;
+            let query = match need_str(&doc, "what")? {
+                "untrackable" => QueryKind::Untrackable,
+                "recovery-line" => QueryKind::RecoveryLine,
+                "min-consistent" => QueryKind::MinConsistent(need_members(&doc)?),
+                "max-consistent" => QueryKind::MaxConsistent(need_members(&doc)?),
+                other => {
+                    return Err(frame_err(format!("unknown query `{other}`")));
+                }
+            };
+            Ok(Request::Query { stream, query })
+        }
+        "compact" => Ok(Request::Compact {
+            stream: need_stream(&doc)?,
+        }),
+        "close" => Ok(Request::Close {
+            stream: need_stream(&doc)?,
+        }),
+        "streams" => Ok(Request::Streams),
+        "snapshot" => Ok(Request::Snapshot),
+        "ping" => Ok(Request::Ping),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(frame_err(format!("unknown op `{other}`"))),
+    }
+}
+
+/// Builds a success reply: `{"ok": true, ...fields}`.
+pub fn ok_reply(fields: Vec<(&'static str, Json)>) -> Json {
+    let mut pairs = vec![("ok".to_string(), Json::Bool(true))];
+    pairs.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+    Json::Obj(pairs)
+}
+
+/// Builds an error reply: `{"ok": false, "stream": ..., "error": {"kind":
+/// ..., "message": ...}}`. `stream` is included when the failing request
+/// named one, so multiplexing clients can route the error.
+pub fn error_reply(stream: Option<&str>, error: &ServeError) -> Json {
+    let mut pairs = vec![("ok".to_string(), Json::Bool(false))];
+    if let Some(name) = stream {
+        pairs.push(("stream".to_string(), Json::Str(name.to_string())));
+    }
+    pairs.push((
+        "error".to_string(),
+        Json::obj([
+            ("kind", Json::Str(error.kind.as_str().to_string())),
+            ("message", Json::Str(error.message.clone())),
+        ]),
+    ));
+    Json::Obj(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_op_set() {
+        let open = parse_request(br#"{"op":"open","stream":"s","processes":3}"#).unwrap();
+        assert_eq!(
+            open,
+            Request::Open {
+                stream: "s".into(),
+                processes: 3
+            }
+        );
+        let send =
+            parse_request(br#"{"op":"event","stream":"s","type":"send","from":0,"to":1}"#).unwrap();
+        assert_eq!(
+            send,
+            Request::Event {
+                stream: "s".into(),
+                event: EventKind::Send { from: 0, to: 1 }
+            }
+        );
+        let q = parse_request(
+            br#"{"op":"query","stream":"s","what":"min-consistent","members":[[0,1]]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            q,
+            Request::Query {
+                stream: "s".into(),
+                query: QueryKind::MinConsistent(vec![(0, 1)])
+            }
+        );
+        assert_eq!(parse_request(br#"{"op":"ping"}"#).unwrap(), Request::Ping);
+        assert_eq!(
+            parse_request(br#"{"op":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn malformed_frames_map_to_taxonomy_kinds() {
+        // Byte soup, invalid UTF-8, and the regression truncated escape.
+        for bytes in [&b"\xff\xfe\x00"[..], b"{", b"\"\\u12\"", b"[1,2,3", b""] {
+            let err = parse_request(bytes).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::Parse, "{bytes:?}");
+        }
+        // Valid JSON, invalid frames.
+        assert_eq!(parse_request(b"[1,2]").unwrap_err().kind, ErrorKind::Frame);
+        assert_eq!(
+            parse_request(br#"{"op":"warp"}"#).unwrap_err().kind,
+            ErrorKind::Frame
+        );
+        assert_eq!(
+            parse_request(br#"{"op":"open","stream":"s"}"#)
+                .unwrap_err()
+                .kind,
+            ErrorKind::Frame
+        );
+        assert_eq!(
+            parse_request(br#"{"op":"open","stream":"s","processes":0}"#)
+                .unwrap_err()
+                .kind,
+            ErrorKind::Frame
+        );
+        assert_eq!(
+            parse_request(br#"{"op":"open","stream":"s","processes":100000}"#)
+                .unwrap_err()
+                .kind,
+            ErrorKind::Limit
+        );
+        assert_eq!(
+            parse_request(br#"{"op":"open","stream":"","processes":2}"#)
+                .unwrap_err()
+                .kind,
+            ErrorKind::Stream
+        );
+        // Negative numbers are not unsigned fields.
+        assert_eq!(
+            parse_request(br#"{"op":"event","stream":"s","type":"deliver","message":-1}"#)
+                .unwrap_err()
+                .kind,
+            ErrorKind::Frame
+        );
+    }
+
+    #[test]
+    fn replies_have_the_documented_shape() {
+        let ok = ok_reply(vec![("message", Json::U64(7))]);
+        assert_eq!(ok.to_string(), r#"{"ok":true,"message":7}"#);
+        let err = error_reply(
+            Some("s"),
+            &ServeError::new(ErrorKind::Event, "message 7 was never sent"),
+        );
+        assert_eq!(
+            err.to_string(),
+            r#"{"ok":false,"stream":"s","error":{"kind":"event","message":"message 7 was never sent"}}"#
+        );
+    }
+}

@@ -1,0 +1,492 @@
+//! The daemon's socket front end.
+//!
+//! One listener (TCP or Unix-domain), one thread per connection, one
+//! request per line. Connections are untrusted: lines are length-bounded
+//! before parsing, parsing is total, and every failure becomes a
+//! structured error reply on that connection only — other tenants keep
+//! streaming.
+//!
+//! Persistence: with `--snapshot PATH`, the daemon restores the snapshot
+//! at startup (if present), persists on the `snapshot` op, and persists
+//! again on `shutdown`. Writes are atomic (temp file + rename), so a
+//! crash mid-write never corrupts the previous snapshot.
+
+use std::fs;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use rdt_json::Json;
+
+use crate::protocol::{
+    error_reply, ok_reply, parse_request, ErrorKind, Request, ServeError, MAX_LINE_BYTES,
+};
+use crate::shard::{EnginePool, PoolHandle};
+
+/// Where the daemon listens.
+#[derive(Debug, Clone)]
+pub enum Endpoint {
+    /// A TCP address, e.g. `127.0.0.1:7878` (port 0 picks a free port).
+    Tcp(String),
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listening endpoint.
+    pub endpoint: Endpoint,
+    /// Shard thread count (clamped to at least 1).
+    pub workers: usize,
+    /// Snapshot file for restore-at-startup / `snapshot` / shutdown
+    /// persistence. `None` disables persistence.
+    pub snapshot_path: Option<PathBuf>,
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+enum Conn {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Conn {
+    /// Splits into an owned read half and write half (`try_clone`).
+    fn split(self) -> std::io::Result<(Conn, Conn)> {
+        match self {
+            Conn::Tcp(s) => {
+                let r = s.try_clone()?;
+                Ok((Conn::Tcp(r), Conn::Tcp(s)))
+            }
+            Conn::Unix(s) => {
+                let r = s.try_clone()?;
+                Ok((Conn::Unix(r), Conn::Unix(s)))
+            }
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// How a connection thread wakes the accept loop after flipping the
+/// shutdown flag: connect once and immediately drop.
+enum Poke {
+    Tcp(SocketAddr),
+    Unix(PathBuf),
+}
+
+struct Shared {
+    handle: PoolHandle,
+    snapshot_path: Option<PathBuf>,
+    shutdown: AtomicBool,
+    poke: Poke,
+}
+
+impl Shared {
+    fn poke_accept(&self) {
+        match &self.poke {
+            Poke::Tcp(addr) => drop(TcpStream::connect(addr)),
+            Poke::Unix(path) => drop(UnixStream::connect(path)),
+        }
+    }
+}
+
+fn admin(message: impl Into<String>) -> ServeError {
+    ServeError::new(ErrorKind::Admin, message)
+}
+
+/// Atomically writes `doc` to `path` (temp file in the same directory,
+/// then rename).
+fn write_snapshot_file(path: &Path, doc: &Json) -> Result<(), ServeError> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    let mut text = doc.to_string();
+    text.push('\n');
+    fs::write(&tmp, text).map_err(|e| admin(format!("writing snapshot: {e}")))?;
+    fs::rename(&tmp, path).map_err(|e| admin(format!("publishing snapshot: {e}")))
+}
+
+/// Persists the current pool state to the configured snapshot path;
+/// returns the number of streams persisted.
+fn persist_snapshot(shared: &Shared) -> Result<usize, ServeError> {
+    let path = shared
+        .snapshot_path
+        .as_deref()
+        .ok_or_else(|| admin("daemon has no snapshot path configured"))?;
+    let doc = shared.handle.snapshot_document()?;
+    let count = doc
+        .get("streams")
+        .and_then(Json::as_array)
+        .map_or(0, <[Json]>::len);
+    write_snapshot_file(path, &doc)?;
+    Ok(count)
+}
+
+/// Routes one parsed line: daemon-scoped ops are answered here,
+/// stream-scoped ops go to the pool. Returns the reply and whether the
+/// daemon should stop.
+fn dispatch_line(shared: &Shared, line: &[u8]) -> (Json, bool) {
+    let req = match parse_request(line) {
+        Ok(req) => req,
+        Err(e) => return (error_reply(None, &e), false),
+    };
+    match req {
+        Request::Ping => (ok_reply(vec![("pong", Json::Bool(true))]), false),
+        Request::Snapshot => match persist_snapshot(shared) {
+            Ok(count) => (
+                ok_reply(vec![("persisted", Json::U64(count as u64))]),
+                false,
+            ),
+            Err(e) => (error_reply(None, &e), false),
+        },
+        Request::Shutdown => {
+            let mut fields = vec![("stopping", Json::Bool(true))];
+            if shared.snapshot_path.is_some() {
+                match persist_snapshot(shared) {
+                    Ok(count) => fields.push(("persisted", Json::U64(count as u64))),
+                    Err(e) => fields.push(("snapshot_error", Json::Str(e.to_string()))),
+                }
+            }
+            (ok_reply(fields), true)
+        }
+        other => (shared.handle.request(other), false),
+    }
+}
+
+fn write_reply(writer: &mut Conn, reply: &Json) -> std::io::Result<()> {
+    let mut text = reply.to_string();
+    text.push('\n');
+    writer.write_all(text.as_bytes())?;
+    writer.flush()
+}
+
+fn serve_connection(shared: &Shared, conn: Conn) {
+    let (read_half, mut writer) = match conn.split() {
+        Ok(halves) => halves,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(read_half);
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let mut line = Vec::new();
+        // Read one byte past the limit so an exactly-limit line (newline
+        // included) still goes through while an oversized one is caught.
+        let n = match (&mut reader)
+            .take(MAX_LINE_BYTES as u64 + 1)
+            .read_until(b'\n', &mut line)
+        {
+            Ok(n) => n,
+            Err(_) => break,
+        };
+        if n == 0 {
+            break; // EOF
+        }
+        if line.len() > MAX_LINE_BYTES {
+            let e = ServeError::new(
+                ErrorKind::Limit,
+                format!("request line longer than {MAX_LINE_BYTES} bytes"),
+            );
+            let _ = write_reply(&mut writer, &error_reply(None, &e));
+            break; // The stream is mid-line; resynchronizing is not safe.
+        }
+        let trimmed = trim_frame(&line);
+        if trimmed.is_empty() {
+            continue;
+        }
+        let (reply, stop) = dispatch_line(shared, trimmed);
+        if write_reply(&mut writer, &reply).is_err() {
+            break;
+        }
+        if stop {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.poke_accept();
+            break;
+        }
+    }
+}
+
+/// Strips the frame delimiter and surrounding ASCII whitespace.
+fn trim_frame(line: &[u8]) -> &[u8] {
+    let mut s = line;
+    while let Some((&b, rest)) = s.split_first() {
+        if b.is_ascii_whitespace() {
+            s = rest;
+        } else {
+            break;
+        }
+    }
+    while let Some((&b, rest)) = s.split_last() {
+        if b.is_ascii_whitespace() {
+            s = rest;
+        } else {
+            break;
+        }
+    }
+    s
+}
+
+/// A bound daemon: listener plus engine pool, ready to [`run`](Server::run).
+pub struct Server {
+    listener: Listener,
+    pool: EnginePool,
+    shared: Arc<Shared>,
+    restored: usize,
+}
+
+impl Server {
+    /// Binds the endpoint, spawns the engine pool, and — when a snapshot
+    /// path is configured and the file exists — restores every stream
+    /// from it.
+    pub fn bind(config: ServerConfig) -> Result<Server, ServeError> {
+        let pool = EnginePool::new(config.workers);
+        let handle = pool.handle();
+
+        let mut restored = 0usize;
+        if let Some(path) = &config.snapshot_path {
+            if path.exists() {
+                let bytes = fs::read(path).map_err(|e| admin(format!("reading snapshot: {e}")))?;
+                let doc = Json::parse_bytes(&bytes)
+                    .map_err(|e| admin(format!("snapshot is not valid JSON: {e}")))?;
+                restored = handle.restore_document(&doc, pool.workers())?;
+            }
+        }
+
+        let (listener, poke) = match &config.endpoint {
+            Endpoint::Tcp(addr) => {
+                let listener = TcpListener::bind(addr.as_str())
+                    .map_err(|e| admin(format!("binding {addr}: {e}")))?;
+                let local = listener
+                    .local_addr()
+                    .map_err(|e| admin(format!("resolving local address: {e}")))?;
+                (Listener::Tcp(listener), Poke::Tcp(local))
+            }
+            Endpoint::Unix(path) => {
+                // A stale socket file from a previous run would make bind
+                // fail; the daemon owns the path, so clear it.
+                if path.exists() {
+                    let _ = fs::remove_file(path);
+                }
+                let listener = UnixListener::bind(path)
+                    .map_err(|e| admin(format!("binding {}: {e}", path.display())))?;
+                (Listener::Unix(listener), Poke::Unix(path.clone()))
+            }
+        };
+
+        Ok(Server {
+            listener,
+            pool,
+            shared: Arc::new(Shared {
+                handle,
+                snapshot_path: config.snapshot_path,
+                shutdown: AtomicBool::new(false),
+                poke,
+            }),
+            restored,
+        })
+    }
+
+    /// Streams restored from the snapshot at bind time.
+    pub fn restored_streams(&self) -> usize {
+        self.restored
+    }
+
+    /// The actual TCP address (useful when binding port 0).
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        match &self.listener {
+            Listener::Tcp(l) => l.local_addr().ok(),
+            Listener::Unix(_) => None,
+        }
+    }
+
+    /// Accepts connections until a `shutdown` request arrives, then stops
+    /// the engine pool. Each connection gets its own thread; a connection
+    /// failing never affects the others.
+    pub fn run(self) -> Result<(), ServeError> {
+        let mut consecutive_errors = 0usize;
+        loop {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let conn = match &self.listener {
+                Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+                Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+            };
+            match conn {
+                Ok(conn) => {
+                    consecutive_errors = 0;
+                    let shared = Arc::clone(&self.shared);
+                    std::thread::spawn(move || serve_connection(&shared, conn));
+                }
+                Err(_) => {
+                    consecutive_errors += 1;
+                    if consecutive_errors > 100 {
+                        self.pool.join();
+                        return Err(admin("listener failed repeatedly; stopping"));
+                    }
+                }
+            }
+        }
+        if let Poke::Unix(path) = &self.shared.poke {
+            let _ = fs::remove_file(path);
+        }
+        self.pool.join();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpStream;
+
+    fn roundtrip(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> String {
+        stream
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("write");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read");
+        reply.trim_end().to_string()
+    }
+
+    /// Full daemon lifecycle over a real TCP socket: multi-tenant
+    /// session, malformed frames answered in-band, snapshot, shutdown,
+    /// restart, byte-identical answers (with a different worker count).
+    #[test]
+    fn daemon_survives_restart_with_identical_answers() {
+        let dir = std::env::temp_dir().join(format!("rdt-serve-test-{}", std::process::id()));
+        let _ = fs::create_dir_all(&dir);
+        let snapshot = dir.join("daemon.snapshot.json");
+        let _ = fs::remove_file(&snapshot);
+
+        let server = Server::bind(ServerConfig {
+            endpoint: Endpoint::Tcp("127.0.0.1:0".to_string()),
+            workers: 2,
+            snapshot_path: Some(snapshot.clone()),
+        })
+        .expect("bind");
+        assert_eq!(server.restored_streams(), 0);
+        let addr = server.local_addr().expect("tcp addr");
+        let daemon = std::thread::spawn(move || server.run());
+
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+        let rt = |c: &mut TcpStream, r: &mut BufReader<TcpStream>, l: &str| roundtrip(c, r, l);
+
+        assert!(rt(&mut conn, &mut reader, r#"{"op":"ping"}"#).contains("pong"));
+        for line in [
+            r#"{"op":"open","stream":"alpha","processes":3}"#,
+            r#"{"op":"open","stream":"beta","processes":2}"#,
+            r#"{"op":"event","stream":"alpha","type":"send","from":0,"to":1}"#,
+            r#"{"op":"event","stream":"alpha","type":"deliver","message":0}"#,
+            r#"{"op":"event","stream":"alpha","type":"checkpoint","process":1}"#,
+            r#"{"op":"event","stream":"beta","type":"checkpoint","process":0}"#,
+        ] {
+            let reply = rt(&mut conn, &mut reader, line);
+            assert!(reply.starts_with(r#"{"ok":true"#), "{line} -> {reply}");
+        }
+        // Malformed frames: structured error, connection stays up.
+        let reply = rt(&mut conn, &mut reader, r#"{"op":"open""#);
+        assert!(reply.contains(r#""kind":"parse""#), "{reply}");
+        let reply = rt(
+            &mut conn,
+            &mut reader,
+            r#"{"op":"event","stream":"alpha","type":"deliver","message":99}"#,
+        );
+        assert!(reply.contains(r#""kind":"event""#), "{reply}");
+
+        let queries = [
+            r#"{"op":"query","stream":"alpha","what":"untrackable"}"#,
+            r#"{"op":"query","stream":"alpha","what":"recovery-line"}"#,
+            r#"{"op":"query","stream":"alpha","what":"max-consistent","members":[[1,1]]}"#,
+            r#"{"op":"query","stream":"beta","what":"min-consistent","members":[[0,1]]}"#,
+            r#"{"op":"streams"}"#,
+        ];
+        let before: Vec<String> = queries
+            .iter()
+            .map(|q| rt(&mut conn, &mut reader, q))
+            .collect();
+
+        let reply = rt(&mut conn, &mut reader, r#"{"op":"shutdown"}"#);
+        assert!(reply.contains(r#""persisted":2"#), "{reply}");
+        daemon.join().expect("daemon thread").expect("daemon run");
+
+        // Restart with a different worker count; answers must not change.
+        let server = Server::bind(ServerConfig {
+            endpoint: Endpoint::Tcp("127.0.0.1:0".to_string()),
+            workers: 5,
+            snapshot_path: Some(snapshot.clone()),
+        })
+        .expect("rebind");
+        assert_eq!(server.restored_streams(), 2);
+        let addr = server.local_addr().expect("tcp addr");
+        let daemon = std::thread::spawn(move || server.run());
+        let mut conn = TcpStream::connect(addr).expect("reconnect");
+        let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+        let after: Vec<String> = queries
+            .iter()
+            .map(|q| rt(&mut conn, &mut reader, q))
+            .collect();
+        assert_eq!(before, after);
+        rt(&mut conn, &mut reader, r#"{"op":"shutdown"}"#);
+        daemon.join().expect("daemon thread").expect("daemon run");
+        let _ = fs::remove_file(&snapshot);
+    }
+
+    /// Unix-domain socket variant: bind, ping, shutdown.
+    #[test]
+    fn unix_socket_serves() {
+        let path = std::env::temp_dir().join(format!("rdt-serve-{}.sock", std::process::id()));
+        let server = Server::bind(ServerConfig {
+            endpoint: Endpoint::Unix(path.clone()),
+            workers: 1,
+            snapshot_path: None,
+        })
+        .expect("bind unix");
+        let daemon = std::thread::spawn(move || server.run());
+        let mut conn = UnixStream::connect(&path).expect("connect unix");
+        conn.write_all(b"{\"op\":\"open\",\"stream\":\"u\",\"processes\":2}\n")
+            .expect("write");
+        let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read");
+        assert!(reply.starts_with(r#"{"ok":true"#), "{reply}");
+        conn.write_all(b"{\"op\":\"shutdown\"}\n").expect("write");
+        reply.clear();
+        reader.read_line(&mut reply).expect("read");
+        assert!(reply.contains("stopping"), "{reply}");
+        daemon.join().expect("daemon thread").expect("daemon run");
+    }
+}

@@ -1,0 +1,480 @@
+//! The sharded engine pool.
+//!
+//! Streams are partitioned over `workers` shard threads by an FNV-1a
+//! hash of the stream name; each shard thread exclusively owns the
+//! engines of its streams in a `BTreeMap` and processes their requests
+//! in arrival order. That gives the determinism contract for free: a
+//! stream's replies depend only on the order of its own requests — never
+//! on the worker count or on what other tenants do — so replaying a
+//! session against a 1-shard and an N-shard pool yields byte-identical
+//! per-stream replies.
+//!
+//! Snapshot restore reuses the deterministic work-stealing pool
+//! ([`rdt_sim::parallel_map_indexed`]) to rebuild many engines in
+//! parallel: results come back in item order, so the restored daemon is
+//! identical for any `--workers` count there too.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use rdt_json::Json;
+use rdt_sim::parallel_map_indexed;
+
+use crate::engine::StreamEngine;
+use crate::protocol::{error_reply, ok_reply, ErrorKind, Request, ServeError, MAX_STREAMS};
+
+/// Daemon snapshot format marker.
+pub const POOL_SNAPSHOT_FORMAT: &str = "rdt-serve-snapshot";
+
+/// Daemon snapshot format version.
+pub const POOL_SNAPSHOT_VERSION: u64 = 1;
+
+enum ShardMsg {
+    /// A stream-scoped request; the shard replies with the wire JSON.
+    Handle { req: Request, reply: Sender<Json> },
+    /// Collect `(name, stream snapshot)` for every stream of the shard.
+    SnapshotAll { reply: Sender<Vec<(String, Json)>> },
+    /// Collect the shard's stream names.
+    List { reply: Sender<Vec<String>> },
+    /// Install a restored stream (restore path). The engine is boxed to
+    /// keep the message enum small for the common `Handle` case.
+    Install {
+        name: String,
+        engine: Box<StreamEngine>,
+        reply: Sender<Result<(), ServeError>>,
+    },
+    /// Drain and exit.
+    Stop,
+}
+
+/// FNV-1a 64-bit — stable across platforms, so shard assignment (and
+/// with it any shard-local observable) is reproducible everywhere.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn admin_reply(stream: Option<&str>, message: impl Into<String>) -> Json {
+    error_reply(stream, &ServeError::new(ErrorKind::Admin, message))
+}
+
+/// Processes one stream-scoped request against the shard's engines. This
+/// is the daemon's ingest heart: it must never panic on any input, which
+/// the `panic-reachability` lint enforces statically from this entry
+/// point.
+pub fn handle_request(streams: &mut BTreeMap<String, StreamEngine>, req: &Request) -> Json {
+    match req {
+        Request::Open { stream, processes } => {
+            if streams.contains_key(stream) {
+                return error_reply(
+                    Some(stream),
+                    &ServeError::new(ErrorKind::Stream, format!("stream `{stream}` already open")),
+                );
+            }
+            streams.insert(stream.clone(), StreamEngine::new(*processes));
+            ok_reply(vec![
+                ("stream", Json::Str(stream.clone())),
+                ("processes", Json::U64(*processes as u64)),
+            ])
+        }
+        Request::Event { stream, event } => match streams.get_mut(stream) {
+            None => unknown_stream(stream),
+            Some(engine) => match engine.ingest_event(event) {
+                Ok(fields) => ok_reply(fields),
+                Err(e) => error_reply(Some(stream), &e),
+            },
+        },
+        Request::Query { stream, query } => match streams.get_mut(stream) {
+            None => unknown_stream(stream),
+            Some(engine) => match engine.answer_query(query) {
+                Ok(fields) => ok_reply(fields),
+                Err(e) => error_reply(Some(stream), &e),
+            },
+        },
+        Request::Compact { stream } => match streams.get_mut(stream) {
+            None => unknown_stream(stream),
+            Some(engine) => ok_reply(engine.compact()),
+        },
+        Request::Close { stream } => {
+            if streams.remove(stream).is_some() {
+                ok_reply(vec![("closed", Json::Str(stream.clone()))])
+            } else {
+                unknown_stream(stream)
+            }
+        }
+        // Daemon-scoped ops never reach a shard; answer defensively
+        // rather than panicking.
+        Request::Streams | Request::Snapshot | Request::Ping | Request::Shutdown => {
+            admin_reply(None, "daemon-scoped request routed to a shard")
+        }
+    }
+}
+
+fn unknown_stream(stream: &str) -> Json {
+    error_reply(
+        Some(stream),
+        &ServeError::new(ErrorKind::Stream, format!("unknown stream `{stream}`")),
+    )
+}
+
+fn shard_main(rx: std::sync::mpsc::Receiver<ShardMsg>) {
+    let mut streams: BTreeMap<String, StreamEngine> = BTreeMap::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Handle { req, reply } => {
+                // A dropped reply sender means the requesting connection
+                // went away; the work is already done either way.
+                let _ = reply.send(handle_request(&mut streams, &req));
+            }
+            ShardMsg::SnapshotAll { reply } => {
+                let docs = streams
+                    .iter()
+                    .map(|(name, engine)| (name.clone(), engine.stream_snapshot(name)))
+                    .collect();
+                let _ = reply.send(docs);
+            }
+            ShardMsg::List { reply } => {
+                let _ = reply.send(streams.keys().cloned().collect());
+            }
+            ShardMsg::Install {
+                name,
+                engine,
+                reply,
+            } => {
+                let result = match streams.entry(name) {
+                    std::collections::btree_map::Entry::Occupied(slot) => Err(ServeError::new(
+                        ErrorKind::Admin,
+                        format!("snapshot names stream `{}` twice", slot.key()),
+                    )),
+                    std::collections::btree_map::Entry::Vacant(slot) => {
+                        slot.insert(*engine);
+                        Ok(())
+                    }
+                };
+                let _ = reply.send(result);
+            }
+            ShardMsg::Stop => break,
+        }
+    }
+}
+
+/// A cloneable handle to the pool: what connection threads use to submit
+/// requests.
+#[derive(Clone)]
+pub struct PoolHandle {
+    shards: Vec<Sender<ShardMsg>>,
+    open_streams: Arc<AtomicUsize>,
+}
+
+impl PoolHandle {
+    fn shard_of(&self, stream: &str) -> &Sender<ShardMsg> {
+        let i = (fnv1a(stream.as_bytes()) % self.shards.len() as u64) as usize;
+        &self.shards[i]
+    }
+
+    /// Submits one stream-scoped request and waits for the shard's reply.
+    /// Daemon-scoped requests ([`Request::Streams`] aside) are the
+    /// server's job; submitting one here yields an admin error reply.
+    pub fn request(&self, req: Request) -> Json {
+        let stream = match req.stream() {
+            Some(name) => name.to_string(),
+            None => {
+                if let Request::Streams = req {
+                    return ok_reply(vec![("streams", self.stream_names())]);
+                }
+                return admin_reply(None, "request is handled by the server, not the pool");
+            }
+        };
+
+        // Global stream accounting. The count is reserved before the
+        // open and released if the shard rejects it, so the bound holds
+        // under concurrent opens.
+        let opening = matches!(req, Request::Open { .. });
+        if opening && self.open_streams.fetch_add(1, Ordering::SeqCst) >= MAX_STREAMS {
+            self.open_streams.fetch_sub(1, Ordering::SeqCst);
+            return error_reply(
+                Some(&stream),
+                &ServeError::new(
+                    ErrorKind::Limit,
+                    format!("stream limit of {MAX_STREAMS} reached"),
+                ),
+            );
+        }
+        let closing = matches!(req, Request::Close { .. });
+
+        let (tx, rx) = channel();
+        let sent = self
+            .shard_of(&stream)
+            .send(ShardMsg::Handle { req, reply: tx });
+        let reply = match sent {
+            Ok(()) => match rx.recv() {
+                Ok(reply) => reply,
+                Err(_) => admin_reply(Some(&stream), "shard is not running"),
+            },
+            Err(_) => admin_reply(Some(&stream), "shard is not running"),
+        };
+        let succeeded = reply.get("ok") == Some(&Json::Bool(true));
+        if (opening && !succeeded) || (closing && succeeded) {
+            self.open_streams.fetch_sub(1, Ordering::SeqCst);
+        }
+        reply
+    }
+
+    fn stream_names(&self) -> Json {
+        let mut names: Vec<String> = Vec::new();
+        for shard in &self.shards {
+            let (tx, rx) = channel();
+            if shard.send(ShardMsg::List { reply: tx }).is_ok() {
+                if let Ok(batch) = rx.recv() {
+                    names.extend(batch);
+                }
+            }
+        }
+        names.sort();
+        Json::Arr(names.into_iter().map(Json::Str).collect())
+    }
+
+    /// Builds the daemon snapshot document: every stream of every shard,
+    /// sorted by name so the document is identical for any worker count.
+    pub fn snapshot_document(&self) -> Result<Json, ServeError> {
+        let mut entries: Vec<(String, Json)> = Vec::new();
+        for shard in &self.shards {
+            let (tx, rx) = channel();
+            shard
+                .send(ShardMsg::SnapshotAll { reply: tx })
+                .map_err(|_| ServeError::new(ErrorKind::Admin, "shard is not running"))?;
+            entries.extend(
+                rx.recv()
+                    .map_err(|_| ServeError::new(ErrorKind::Admin, "shard is not running"))?,
+            );
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(Json::obj([
+            ("format", Json::Str(POOL_SNAPSHOT_FORMAT.to_string())),
+            ("version", Json::U64(POOL_SNAPSHOT_VERSION)),
+            (
+                "streams",
+                Json::Arr(entries.into_iter().map(|(_, doc)| doc).collect()),
+            ),
+        ]))
+    }
+
+    /// Restores every stream of a snapshot document into the pool.
+    /// Engines are rebuilt in parallel on the deterministic work-stealing
+    /// pool, then installed into their shards; the first invalid entry
+    /// aborts the restore with an [`ErrorKind::Admin`] error.
+    pub fn restore_document(&self, doc: &Json, threads: usize) -> Result<usize, ServeError> {
+        let admin = |m: &str| ServeError::new(ErrorKind::Admin, m);
+        if doc.get("format").and_then(Json::as_str) != Some(POOL_SNAPSHOT_FORMAT) {
+            return Err(admin("not an rdt-serve snapshot"));
+        }
+        if doc.get("version").and_then(Json::as_u64) != Some(POOL_SNAPSHOT_VERSION) {
+            return Err(admin("unsupported snapshot version"));
+        }
+        let entries = doc
+            .get("streams")
+            .and_then(Json::as_array)
+            .ok_or_else(|| admin("missing `streams` array"))?;
+        if entries.len() > MAX_STREAMS {
+            return Err(admin("snapshot exceeds the stream limit"));
+        }
+
+        let restored = parallel_map_indexed(
+            entries,
+            threads,
+            || (),
+            |_, _, entry| StreamEngine::from_stream_snapshot(entry),
+            |_| {},
+        );
+        let mut installed = 0usize;
+        for result in restored {
+            let (name, engine) = result?;
+            let (tx, rx) = channel();
+            self.shard_of(&name)
+                .send(ShardMsg::Install {
+                    name,
+                    engine: Box::new(engine),
+                    reply: tx,
+                })
+                .map_err(|_| ServeError::new(ErrorKind::Admin, "shard is not running"))?;
+            rx.recv()
+                .map_err(|_| ServeError::new(ErrorKind::Admin, "shard is not running"))??;
+            installed += 1;
+            self.open_streams.fetch_add(1, Ordering::SeqCst);
+        }
+        Ok(installed)
+    }
+}
+
+/// The pool itself: shard threads plus the handle. Dropping the pool
+/// without [`join`](EnginePool::join) detaches the shard threads; the
+/// daemon always joins on shutdown.
+pub struct EnginePool {
+    handle: PoolHandle,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl EnginePool {
+    /// Spawns `workers` shard threads (at least one).
+    pub fn new(workers: usize) -> EnginePool {
+        let workers = workers.max(1);
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = channel();
+            senders.push(tx);
+            handles.push(std::thread::spawn(move || shard_main(rx)));
+        }
+        EnginePool {
+            handle: PoolHandle {
+                shards: senders,
+                open_streams: Arc::new(AtomicUsize::new(0)),
+            },
+            workers: handles,
+        }
+    }
+
+    /// Number of shard threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// A cloneable request handle for connection threads.
+    pub fn handle(&self) -> PoolHandle {
+        self.handle.clone()
+    }
+
+    /// Stops every shard and joins its thread.
+    pub fn join(self) {
+        for shard in &self.handle.shards {
+            let _ = shard.send(ShardMsg::Stop);
+        }
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::parse_request;
+
+    fn req(line: &str) -> Request {
+        parse_request(line.as_bytes()).expect("test request parses")
+    }
+
+    /// Replays the same multi-tenant session against pools of different
+    /// sizes: per-stream replies must be byte-identical.
+    #[test]
+    fn worker_count_does_not_change_replies() {
+        let session = [
+            r#"{"op":"open","stream":"a","processes":3}"#,
+            r#"{"op":"open","stream":"b","processes":2}"#,
+            r#"{"op":"event","stream":"a","type":"checkpoint","process":0}"#,
+            r#"{"op":"event","stream":"a","type":"send","from":0,"to":1}"#,
+            r#"{"op":"event","stream":"b","type":"send","from":1,"to":0}"#,
+            r#"{"op":"event","stream":"a","type":"deliver","message":0}"#,
+            r#"{"op":"event","stream":"b","type":"deliver","message":0}"#,
+            r#"{"op":"event","stream":"a","type":"checkpoint","process":1}"#,
+            r#"{"op":"query","stream":"a","what":"untrackable"}"#,
+            r#"{"op":"query","stream":"a","what":"recovery-line"}"#,
+            r#"{"op":"query","stream":"b","what":"recovery-line"}"#,
+            r#"{"op":"event","stream":"a","type":"crash","process":1}"#,
+            r#"{"op":"query","stream":"b","what":"untrackable"}"#,
+        ];
+        let mut transcripts: Vec<Vec<String>> = Vec::new();
+        for workers in [1, 2, 7] {
+            let pool = EnginePool::new(workers);
+            let handle = pool.handle();
+            let replies: Vec<String> = session
+                .iter()
+                .map(|line| handle.request(req(line)).to_string())
+                .collect();
+            pool.join();
+            transcripts.push(replies);
+        }
+        assert_eq!(transcripts[0], transcripts[1]);
+        assert_eq!(transcripts[0], transcripts[2]);
+    }
+
+    /// Errors on one stream leave other tenants fully operational.
+    #[test]
+    fn tenant_isolation_across_errors() {
+        let pool = EnginePool::new(3);
+        let handle = pool.handle();
+        handle.request(req(r#"{"op":"open","stream":"good","processes":2}"#));
+        handle.request(req(r#"{"op":"open","stream":"evil","processes":2}"#));
+        // A storm of invalid events on `evil`.
+        for _ in 0..10 {
+            let reply = handle.request(req(
+                r#"{"op":"event","stream":"evil","type":"deliver","message":7}"#,
+            ));
+            assert_eq!(reply.get("ok"), Some(&Json::Bool(false)));
+        }
+        // `good` is unaffected.
+        let reply = handle.request(req(
+            r#"{"op":"event","stream":"good","type":"send","from":0,"to":1}"#,
+        ));
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)));
+        let reply = handle.request(req(
+            r#"{"op":"query","stream":"good","what":"untrackable"}"#,
+        ));
+        assert_eq!(reply.get("untrackable"), Some(&Json::U64(0)));
+        pool.join();
+    }
+
+    /// Snapshot → restore into a fresh pool (different worker count)
+    /// answers every query byte-identically.
+    #[test]
+    fn snapshot_restore_across_pool_sizes() {
+        let pool = EnginePool::new(2);
+        let handle = pool.handle();
+        for line in [
+            r#"{"op":"open","stream":"t1","processes":3}"#,
+            r#"{"op":"open","stream":"t2","processes":2}"#,
+            r#"{"op":"event","stream":"t1","type":"send","from":0,"to":1}"#,
+            r#"{"op":"event","stream":"t1","type":"deliver","message":0}"#,
+            r#"{"op":"event","stream":"t1","type":"checkpoint","process":1}"#,
+            r#"{"op":"event","stream":"t2","type":"checkpoint","process":0}"#,
+        ] {
+            let reply = handle.request(req(line));
+            assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{line}");
+        }
+        let doc = handle.snapshot_document().expect("snapshot");
+        let queries = [
+            r#"{"op":"query","stream":"t1","what":"untrackable"}"#,
+            r#"{"op":"query","stream":"t1","what":"recovery-line"}"#,
+            r#"{"op":"query","stream":"t1","what":"min-consistent","members":[[1,1]]}"#,
+            r#"{"op":"query","stream":"t2","what":"recovery-line"}"#,
+        ];
+        let before: Vec<String> = queries
+            .iter()
+            .map(|line| handle.request(req(line)).to_string())
+            .collect();
+        pool.join();
+
+        let pool2 = EnginePool::new(5);
+        let handle2 = pool2.handle();
+        let installed = handle2.restore_document(&doc, 4).expect("restore");
+        assert_eq!(installed, 2);
+        let after: Vec<String> = queries
+            .iter()
+            .map(|line| handle2.request(req(line)).to_string())
+            .collect();
+        assert_eq!(before, after);
+        // And the re-snapshot is byte-identical too.
+        assert_eq!(
+            doc.to_string(),
+            handle2.snapshot_document().expect("snapshot").to_string()
+        );
+        pool2.join();
+    }
+}

@@ -1,0 +1,211 @@
+//! Daemon-level invariants, driven in-process against the engine pool:
+//!
+//! * **Determinism** — the same session transcript yields byte-identical
+//!   replies for any worker count.
+//! * **Persistence** — snapshot → restore is byte-identical: the restored
+//!   pool answers every query the same, and re-snapshotting reproduces
+//!   the document byte for byte, even after appending a common suffix to
+//!   both sides.
+//! * **Isolation** — malformed frames and rejected events on one stream
+//!   never disturb another stream's answers.
+
+use proptest::prelude::*;
+use rdt_json::Json;
+use rdt_serve::{parse_request, EnginePool, Request};
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() as usize) % n.max(1)
+    }
+}
+
+/// One random multi-tenant session: opens a few streams, then interleaves
+/// valid events, invalid events, queries, compactions, and the odd close.
+/// Tracks per-stream in-flight messages so most deliveries are valid.
+fn random_session(rng: &mut Rng, requests: usize) -> Vec<String> {
+    let names = ["alpha", "beta", "gamma"];
+    let n = 3usize;
+    let mut lines = Vec::new();
+    let mut sent = vec![0u32; names.len()];
+    let mut in_flight: Vec<Vec<u32>> = vec![Vec::new(); names.len()];
+    for (i, name) in names.iter().enumerate() {
+        lines.push(format!(
+            r#"{{"op":"open","stream":"{name}","processes":{n}}}"#
+        ));
+        let _ = i;
+    }
+    for _ in 0..requests {
+        let s = rng.below(names.len());
+        let name = names[s];
+        match rng.below(12) {
+            0 | 1 => lines.push(format!(
+                r#"{{"op":"event","stream":"{name}","type":"checkpoint","process":{}}}"#,
+                rng.below(n)
+            )),
+            2..=4 => {
+                let from = rng.below(n);
+                let to = (from + 1 + rng.below(n - 1)) % n;
+                lines.push(format!(
+                    r#"{{"op":"event","stream":"{name}","type":"send","from":{from},"to":{to}}}"#
+                ));
+                in_flight[s].push(sent[s]);
+                sent[s] += 1;
+            }
+            5 | 6 => {
+                if !in_flight[s].is_empty() {
+                    let k = rng.below(in_flight[s].len());
+                    let mid = in_flight[s].swap_remove(k);
+                    lines.push(format!(
+                        r#"{{"op":"event","stream":"{name}","type":"deliver","message":{mid}}}"#
+                    ));
+                }
+            }
+            7 => lines.push(format!(
+                r#"{{"op":"event","stream":"{name}","type":"deliver","message":{}}}"#,
+                sent[s] + 50 // never sent: must be a structured event error
+            )),
+            8 => lines.push(format!(
+                r#"{{"op":"event","stream":"{name}","type":"crash","process":{}}}"#,
+                rng.below(n)
+            )),
+            9 => lines.push(format!(
+                r#"{{"op":"query","stream":"{name}","what":"untrackable"}}"#
+            )),
+            10 => lines.push(format!(
+                r#"{{"op":"query","stream":"{name}","what":"recovery-line"}}"#
+            )),
+            _ => lines.push(format!(r#"{{"op":"compact","stream":"{name}"}}"#)),
+        }
+    }
+    for name in names {
+        lines.push(format!(
+            r#"{{"op":"query","stream":"{name}","what":"untrackable"}}"#
+        ));
+        lines.push(format!(
+            r#"{{"op":"query","stream":"{name}","what":"recovery-line"}}"#
+        ));
+    }
+    lines
+}
+
+fn parse_line(line: &str) -> Request {
+    parse_request(line.as_bytes()).expect("generated sessions are parseable")
+}
+
+fn replay(pool: &EnginePool, lines: &[String]) -> Vec<String> {
+    let handle = pool.handle();
+    lines
+        .iter()
+        .map(|line| handle.request(parse_line(line)).to_string())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Same session, worker counts 1 / 2 / 5: byte-identical replies.
+    #[test]
+    fn replies_are_deterministic_across_worker_counts(seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let lines = random_session(&mut rng, 120);
+        let mut transcripts = Vec::new();
+        for workers in [1usize, 2, 5] {
+            let pool = EnginePool::new(workers);
+            transcripts.push(replay(&pool, &lines));
+            pool.join();
+        }
+        prop_assert_eq!(&transcripts[0], &transcripts[1]);
+        prop_assert_eq!(&transcripts[0], &transcripts[2]);
+    }
+
+    /// Snapshot/restore byte-identity, including after a common suffix.
+    #[test]
+    fn snapshot_restore_is_byte_identical(seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let prefix = random_session(&mut rng, 80);
+        // The suffix reuses only always-valid ops so it applies cleanly
+        // to both the original and the restored pool.
+        let suffix: Vec<String> = (0..30)
+            .map(|k| match k % 3 {
+                0 => format!(
+                    r#"{{"op":"event","stream":"alpha","type":"checkpoint","process":{}}}"#,
+                    k % 3
+                ),
+                1 => r#"{"op":"query","stream":"beta","what":"recovery-line"}"#.to_string(),
+                _ => r#"{"op":"query","stream":"gamma","what":"untrackable"}"#.to_string(),
+            })
+            .collect();
+
+        let original = EnginePool::new(2);
+        replay(&original, &prefix);
+        let doc = original.handle().snapshot_document().expect("snapshot");
+
+        let restored = EnginePool::new(3);
+        restored
+            .handle()
+            .restore_document(&doc, 4)
+            .expect("restore");
+
+        // Restored pool re-snapshots byte-identically...
+        prop_assert_eq!(
+            doc.to_string(),
+            restored.handle().snapshot_document().expect("snapshot").to_string()
+        );
+        // ...answers the suffix byte-identically...
+        let a = replay(&original, &suffix);
+        let b = replay(&restored, &suffix);
+        prop_assert_eq!(a, b);
+        // ...and both sides re-snapshot to the same bytes afterwards.
+        prop_assert_eq!(
+            original.handle().snapshot_document().expect("snapshot").to_string(),
+            restored.handle().snapshot_document().expect("snapshot").to_string()
+        );
+        original.join();
+        restored.join();
+    }
+
+    /// A corrupted snapshot is rejected as a structured error, and the
+    /// pool it was aimed at keeps serving.
+    #[test]
+    fn corrupted_snapshots_are_rejected(seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let lines = random_session(&mut rng, 40);
+        let pool = EnginePool::new(2);
+        replay(&pool, &lines);
+        let doc = pool.handle().snapshot_document().expect("snapshot");
+        let text = doc.to_string();
+
+        // Bit-flip corruption somewhere in the document. Some flips keep
+        // it parseable-and-valid; any flip that breaks parsing or
+        // validation must surface as Err, never a panic.
+        let mut bytes = text.clone().into_bytes();
+        let i = rng.below(bytes.len());
+        bytes[i] ^= 1 << rng.below(8);
+        let fresh = EnginePool::new(2);
+        if let Ok(parsed) = Json::parse_bytes(&bytes) {
+            let _ = fresh.handle().restore_document(&parsed, 2);
+        }
+        // Whatever happened, the target pool still works.
+        let reply = fresh.handle().request(parse_line(
+            r#"{"op":"open","stream":"fresh","processes":2}"#
+        ));
+        // `fresh` may collide with a restored stream name only if restore
+        // succeeded; either way the reply is structured.
+        prop_assert!(reply.get("ok").is_some());
+        fresh.join();
+        pool.join();
+    }
+}

@@ -5,7 +5,7 @@ use rdt_core::{
     ProtocolKind, Uncoordinated,
 };
 
-use crate::{Application, RunOutcome, Runner, SimConfig, SimScratch};
+use crate::{Application, RunOutcome, Runner, SimConfig, SimError, SimScratch};
 
 /// Runs one simulation with the protocol chosen by `kind`.
 ///
@@ -53,6 +53,33 @@ pub fn run_protocol_kind(
         ProtocolKind::Cbr => Runner::new(config, Cbr::new).run(app),
         ProtocolKind::Bcs => Runner::new(config, Bcs::new).run(app),
         ProtocolKind::Uncoordinated => Runner::new(config, Uncoordinated::new).run(app),
+    }
+}
+
+/// Fallible [`run_protocol_kind`]: internal runner inconsistencies come
+/// back as a typed [`SimError`] instead of a panic — the dispatch for
+/// embedders (like the streaming daemon) driving simulations from
+/// untrusted configuration.
+pub fn try_run_protocol_kind(
+    kind: ProtocolKind,
+    config: &SimConfig,
+    app: &mut dyn Application,
+) -> Result<RunOutcome, SimError> {
+    match kind {
+        ProtocolKind::Bhmr => Runner::new(config, spawner(ExecutorSpec::Bhmr)).try_run(app),
+        ProtocolKind::BhmrNoSimple => {
+            Runner::new(config, spawner(ExecutorSpec::BhmrNoSimple)).try_run(app)
+        }
+        ProtocolKind::BhmrCausalOnly => {
+            Runner::new(config, spawner(ExecutorSpec::BhmrCausalOnly)).try_run(app)
+        }
+        ProtocolKind::Fdas => Runner::new(config, spawner(ExecutorSpec::Fdas)).try_run(app),
+        ProtocolKind::Fdi => Runner::new(config, spawner(ExecutorSpec::Fdi)).try_run(app),
+        ProtocolKind::Nras => Runner::new(config, Nras::new).try_run(app),
+        ProtocolKind::Cas => Runner::new(config, Cas::new).try_run(app),
+        ProtocolKind::Cbr => Runner::new(config, Cbr::new).try_run(app),
+        ProtocolKind::Bcs => Runner::new(config, Bcs::new).try_run(app),
+        ProtocolKind::Uncoordinated => Runner::new(config, Uncoordinated::new).try_run(app),
     }
 }
 

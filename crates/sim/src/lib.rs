@@ -58,12 +58,16 @@ pub use app::{scripted, AppContext, Application, ScriptedApplication};
 pub use config::{
     BasicCheckpointModel, DelayModel, SimConfig, StopCondition, DEFAULT_CRASH_SEED_SALT,
 };
-pub use dispatch::{run_protocol_kind, run_protocol_kind_legacy, run_protocol_kind_with_scratch};
+pub use dispatch::{
+    run_protocol_kind, run_protocol_kind_legacy, run_protocol_kind_with_scratch,
+    try_run_protocol_kind,
+};
 pub use metrics::{SampleStats, Stopwatch, TraceMetrics};
 pub use rng::SimRng;
 pub use runner::{
-    CrashRecord, OnlineRdtReport, RecoveryReport, RunOutcome, RunStats, Runner, SimScratch,
+    CrashRecord, OnlineRdtReport, RecoveryReport, RunOutcome, RunStats, Runner, SimError,
+    SimScratch,
 };
 pub use time::{SimDuration, SimTime};
-pub use trace::{SimMessageId, Trace, TraceEvent};
+pub use trace::{SimMessageId, Trace, TraceError, TraceEvent};
 pub use workpool::{parallel_map_indexed, parallel_map_indexed_observed};

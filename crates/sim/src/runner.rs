@@ -68,6 +68,43 @@ impl SimScratch {
     }
 }
 
+/// Why a [`Runner::try_run`] stopped instead of completing: a crash event
+/// fired while one of the structures fault injection installs was absent.
+/// [`SimConfig`]-built runners never hit these; they exist so embedders
+/// driving the runner programmatically get a typed error, not a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// A crash fired but the shadow analysis engine that computes
+    /// recovery lines was not installed.
+    MissingShadowEngine,
+    /// A crash fired but the recovery report that records it was not
+    /// installed.
+    MissingRecoveryReport,
+    /// The online probe's shadow engine rejected an append. The runner
+    /// generates events in a valid order, so this indicates a scheduling
+    /// bug rather than bad input — but it surfaces as a typed error, not
+    /// a panic.
+    ShadowEngineRejected(rdt_rgraph::AppendError),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::MissingShadowEngine => {
+                write!(f, "crash fired without the shadow engine installed")
+            }
+            SimError::MissingRecoveryReport => {
+                write!(f, "crash fired without the recovery report installed")
+            }
+            SimError::ShadowEngineRejected(e) => {
+                write!(f, "shadow engine rejected a simulator event: {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
 /// Everything a run produces.
 #[derive(Debug, Clone)]
 pub struct RunOutcome {
@@ -242,6 +279,11 @@ struct OnlineProbe {
     engine: IncrementalAnalysis,
     events: u64,
     first_violation_event: Option<u64>,
+    /// First append the engine rejected, latched. The runner emits events
+    /// in a valid order, so this stays `None` unless the scheduler is
+    /// broken; it is surfaced as [`SimError::ShadowEngineRejected`] when
+    /// the run finishes rather than panicking mid-run.
+    engine_error: Option<rdt_rgraph::AppendError>,
     append_time: Duration,
     query_time: Duration,
 }
@@ -252,8 +294,17 @@ impl OnlineProbe {
             engine: IncrementalAnalysis::new(n),
             events: 0,
             first_violation_event: None,
+            engine_error: None,
             append_time: Duration::ZERO,
             query_time: Duration::ZERO,
+        }
+    }
+
+    fn latch(&mut self, result: Result<(), rdt_rgraph::AppendError>) {
+        if let Err(e) = result {
+            if self.engine_error.is_none() {
+                self.engine_error = Some(e);
+            }
         }
     }
 
@@ -271,15 +322,17 @@ impl OnlineProbe {
 
     fn checkpoint(&mut self, process: ProcessId) {
         let watch = Stopwatch::start();
-        self.engine.append_checkpoint(process);
+        let result = self.engine.try_append_checkpoint(process).map(|_| ());
         self.append_time += watch.elapsed();
+        self.latch(result);
         self.observe();
     }
 
     fn send(&mut self, from: ProcessId, to: ProcessId) {
         let watch = Stopwatch::start();
-        self.engine.append_send(from, to);
+        let result = self.engine.try_append_send(from, to).map(|_| ());
         self.append_time += watch.elapsed();
+        self.latch(result);
         self.observe();
     }
 
@@ -288,19 +341,23 @@ impl OnlineProbe {
         // the probe sees every send, so the simulator's id *is* the
         // engine's message handle.
         let watch = Stopwatch::start();
-        self.engine.append_deliver(message.0 as u32);
+        let result = self.engine.try_append_deliver(message.0 as u32);
         self.append_time += watch.elapsed();
+        self.latch(result);
         self.observe();
     }
 
-    fn finish(self) -> OnlineRdtReport {
-        OnlineRdtReport {
+    fn finish(self) -> Result<OnlineRdtReport, SimError> {
+        if let Some(e) = self.engine_error {
+            return Err(SimError::ShadowEngineRejected(e));
+        }
+        Ok(OnlineRdtReport {
             events_appended: self.events,
             untrackable_pairs: self.engine.untrackable_pairs(),
             first_violation_event: self.first_violation_event,
             append_time: self.append_time,
             query_time: self.query_time,
-        }
+        })
     }
 }
 
@@ -641,7 +698,7 @@ impl<P: CicProtocol> Runner<P> {
     /// history — every event that ever happened stays recorded, crashes
     /// are markers, and [`Trace::to_pattern`] sees the full communication
     /// pattern.
-    fn handle_crash(&mut self, victim: ProcessId) {
+    fn handle_crash(&mut self, victim: ProcessId) -> Result<(), SimError> {
         let n = self.config.n;
         self.crashes_done += 1;
         self.trace.push(TraceEvent::Crash {
@@ -654,10 +711,7 @@ impl<P: CicProtocol> Runner<P> {
         // interval; the victim lost its open interval and restarts from
         // its last durable checkpoint.
         let watch = Stopwatch::start();
-        let probe = self
-            .probe
-            .as_mut()
-            .expect("crash injection runs the shadow engine");
+        let probe = self.probe.as_mut().ok_or(SimError::MissingShadowEngine)?;
         let real_last: Vec<u32> = (0..n)
             .map(|i| probe.engine.last_checkpoint_index(ProcessId::new(i)))
             .collect();
@@ -683,7 +737,7 @@ impl<P: CicProtocol> Runner<P> {
         let engine = &self
             .probe
             .as_ref()
-            .expect("probe outlives the crash")
+            .ok_or(SimError::MissingShadowEngine)?
             .engine;
         let entries = std::mem::take(&mut self.queue).into_vec();
         let mut kept = Vec::with_capacity(entries.len());
@@ -770,7 +824,7 @@ impl<P: CicProtocol> Runner<P> {
         let report = self
             .recovery
             .as_mut()
-            .expect("a crash fired, so fault injection is enabled");
+            .ok_or(SimError::MissingRecoveryReport)?;
         report.crashes.push(record);
         report.line_compute_time += line_compute_time;
 
@@ -786,22 +840,40 @@ impl<P: CicProtocol> Runner<P> {
         // dominates. Purely observational — every query recovery relies
         // on stays exact, and the schedule and trace are untouched.
         if let Some(caps) = compact_caps {
-            let probe = self.probe.as_mut().expect("probe outlives the crash");
+            let probe = self.probe.as_mut().ok_or(SimError::MissingShadowEngine)?;
             let stats = probe.engine.compact_to(&caps);
             if stats.discarded_state() {
                 let report = self
                     .recovery
                     .as_mut()
-                    .expect("a crash fired, so fault injection is enabled");
+                    .ok_or(SimError::MissingRecoveryReport)?;
                 report.compactions += 1;
                 report.reclaimed_rows += stats.dropped_nodes() as u64;
                 report.resident_nodes_after_compaction = Some(stats.resident_nodes);
             }
         }
+        Ok(())
     }
 
     /// Runs the simulation to completion and returns its outcome.
-    pub fn run(mut self, app: &mut dyn Application) -> RunOutcome {
+    ///
+    /// # Panics
+    ///
+    /// Panics on an internal configuration inconsistency (a crash firing
+    /// without the shadow engine / recovery report that fault injection
+    /// installs) — impossible for configs built through [`SimConfig`].
+    /// Embedders driving the runner from untrusted configuration should
+    /// call [`try_run`](Runner::try_run).
+    pub fn run(self, app: &mut dyn Application) -> RunOutcome {
+        match self.try_run(app) {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`run`](Runner::run): internal inconsistencies surface as
+    /// a typed [`SimError`] instead of a panic.
+    pub fn try_run(mut self, app: &mut dyn Application) -> Result<RunOutcome, SimError> {
         // Start-up: application hooks and basic checkpoint timers.
         for process in ProcessId::all(self.config.n) {
             let buffer = std::mem::take(&mut self.app_sends);
@@ -889,7 +961,7 @@ impl<P: CicProtocol> Runner<P> {
                     if !self.injection_open() {
                         continue;
                     }
-                    self.handle_crash(process);
+                    self.handle_crash(process)?;
                     self.schedule_next_crash();
                 }
             }
@@ -900,7 +972,7 @@ impl<P: CicProtocol> Runner<P> {
         for stats in &per_process {
             total.merge(stats);
         }
-        RunOutcome {
+        Ok(RunOutcome {
             trace: self.trace,
             stats: RunStats {
                 total,
@@ -911,12 +983,15 @@ impl<P: CicProtocol> Runner<P> {
             // The probe may also exist just to serve crash recovery; its
             // report is only surfaced when explicitly requested.
             online_rdt: if self.config.online_rdt_probe {
-                self.probe.map(OnlineProbe::finish)
+                match self.probe.map(OnlineProbe::finish) {
+                    None => None,
+                    Some(report) => Some(report?),
+                }
             } else {
                 None
             },
             recovery: self.recovery,
-        }
+        })
     }
 }
 

@@ -6,9 +6,70 @@ use std::fmt;
 use rdt_causality::{CheckpointId, ProcessId};
 use rdt_core::CheckpointKind;
 use rdt_json::{Json, ToJson};
-use rdt_rgraph::{Pattern, PatternBuilder, PatternMessageId};
+use rdt_rgraph::{Pattern, PatternBuilder, PatternError, PatternMessageId};
 
 use crate::SimTime;
+
+/// Why a trace could not be converted into a pattern. Runner-produced
+/// traces never hit these; externally ingested traces (files, sockets)
+/// can, and must get an error instead of a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// A delivery event named a message no send event introduced.
+    UnsentDelivery {
+        /// Index of the offending event in the trace.
+        event: usize,
+        /// The message the delivery named.
+        message: SimMessageId,
+    },
+    /// A message was delivered twice.
+    DoubleDelivery {
+        /// Index of the offending event in the trace.
+        event: usize,
+        /// The message delivered again.
+        message: SimMessageId,
+    },
+    /// A process index is not `< n`.
+    ProcessOutOfRange {
+        /// Index of the offending event in the trace.
+        event: usize,
+        /// The offending process index.
+        process: usize,
+    },
+    /// A send named a message id larger than the trace itself — message
+    /// ids are dense in send order, so this cannot be a real trace (and
+    /// honouring it would allocate unboundedly).
+    MessageOutOfRange {
+        /// Index of the offending event in the trace.
+        event: usize,
+        /// The message id the send claimed.
+        message: SimMessageId,
+    },
+    /// The pattern builder rejected the assembled event sequence.
+    Build(PatternError),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::UnsentDelivery { event, message } => {
+                write!(f, "trace event {event}: delivery of unsent {message}")
+            }
+            TraceError::DoubleDelivery { event, message } => {
+                write!(f, "trace event {event}: {message} delivered twice")
+            }
+            TraceError::ProcessOutOfRange { event, process } => {
+                write!(f, "trace event {event}: process {process} out of range")
+            }
+            TraceError::MessageOutOfRange { event, message } => {
+                write!(f, "trace event {event}: send names non-dense {message}")
+            }
+            TraceError::Build(e) => write!(f, "trace does not build a pattern: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
 
 /// Identifier of a message within one simulation run (dense, send order).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -204,15 +265,43 @@ impl Trace {
     /// # Panics
     ///
     /// Panics if the trace is internally inconsistent (a delivery without
-    /// its send) — cannot happen for runner-produced traces.
+    /// its send) — cannot happen for runner-produced traces. Externally
+    /// ingested traces should use
+    /// [`try_to_pattern`](Trace::try_to_pattern) instead.
     pub fn to_pattern(&self) -> Pattern {
+        match self.try_to_pattern() {
+            Ok(pattern) => pattern,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`to_pattern`](Trace::to_pattern): inconsistent traces
+    /// (delivery before its send, double delivery, out-of-range process
+    /// indices) are reported as [`TraceError`]s instead of panicking —
+    /// the conversion for traces that did not come from the runner.
+    pub fn try_to_pattern(&self) -> Result<Pattern, TraceError> {
         let mut builder = PatternBuilder::new(self.n);
         let mut message_map: Vec<Option<PatternMessageId>> = Vec::new();
-        for event in &self.events {
+        let check = |event: usize, p: ProcessId| {
+            if p.index() < self.n {
+                Ok(())
+            } else {
+                Err(TraceError::ProcessOutOfRange {
+                    event,
+                    process: p.index(),
+                })
+            }
+        };
+        for (i, event) in self.events.iter().enumerate() {
             match *event {
                 TraceEvent::Send {
                     from, to, message, ..
                 } => {
+                    check(i, from)?;
+                    check(i, to)?;
+                    if message.0 >= self.events.len() {
+                        return Err(TraceError::MessageOutOfRange { event: i, message });
+                    }
                     if message_map.len() <= message.0 {
                         message_map.resize(message.0 + 1, None);
                     }
@@ -223,10 +312,13 @@ impl Trace {
                         .get(message.0)
                         .copied()
                         .flatten()
-                        .expect("delivery of an unsent message");
-                    builder.deliver(id).expect("double delivery in trace");
+                        .ok_or(TraceError::UnsentDelivery { event: i, message })?;
+                    builder
+                        .deliver(id)
+                        .map_err(|_| TraceError::DoubleDelivery { event: i, message })?;
                 }
                 TraceEvent::Checkpoint { id, .. } => {
+                    check(i, id.process)?;
                     let built = builder.checkpoint(id.process);
                     debug_assert_eq!(built, id, "trace checkpoint indices must be dense");
                 }
@@ -236,7 +328,7 @@ impl Trace {
                 TraceEvent::Crash { .. } => {}
             }
         }
-        builder.build().expect("runner traces are well-formed")
+        builder.build().map_err(TraceError::Build)
     }
 
     /// Parses a trace serialized with [`ToJson`] (the `rdt-cli`
@@ -261,11 +353,21 @@ impl Trace {
             .get("n")
             .and_then(Json::as_u64)
             .ok_or("trace: missing numeric field `n`")? as usize;
+        if n == 0 {
+            return Err("trace: `n` must be at least 1".to_string());
+        }
         let events = json
             .get("events")
             .and_then(Json::as_array)
             .ok_or("trace: missing array field `events`")?;
         let mut trace = Trace::new(n);
+        let proc = |i: usize, v: u64| -> Result<ProcessId, String> {
+            if (v as usize) < n {
+                Ok(ProcessId::new(v as usize))
+            } else {
+                Err(format!("trace event {i}: process {v} out of range (n={n})"))
+            }
+        };
         for (i, event) in events.iter().enumerate() {
             let fields = event
                 .as_array()
@@ -277,14 +379,14 @@ impl Trace {
             let parsed = match tag {
                 "send" => TraceEvent::Send {
                     at,
-                    from: ProcessId::new(num(2)? as usize),
-                    to: ProcessId::new(num(3)? as usize),
+                    from: proc(i, num(2)?)?,
+                    to: proc(i, num(3)?)?,
                     message: SimMessageId(num(4)? as usize),
                 },
                 "deliver" => TraceEvent::Deliver {
                     at,
-                    to: ProcessId::new(num(2)? as usize),
-                    from: ProcessId::new(num(3)? as usize),
+                    to: proc(i, num(2)?)?,
+                    from: proc(i, num(3)?)?,
                     message: SimMessageId(num(4)? as usize),
                 },
                 "ckpt" => {
@@ -296,13 +398,13 @@ impl Trace {
                     };
                     TraceEvent::Checkpoint {
                         at,
-                        id: CheckpointId::new(ProcessId::new(num(2)? as usize), num(3)? as u32),
+                        id: CheckpointId::new(proc(i, num(2)?)?, num(3)? as u32),
                         kind,
                     }
                 }
                 "crash" => TraceEvent::Crash {
                     at,
-                    process: ProcessId::new(num(2)? as usize),
+                    process: proc(i, num(2)?)?,
                 },
                 other => return Err(format!("trace event {i}: unknown tag `{other}`")),
             };

@@ -12,9 +12,12 @@
 //! rdt-cli certify --scope 3,4 [--threads N] [--sample FRAC] [--progress]
 //!         [--json results/certify_report.json]
 //! rdt-cli lint
+//! rdt-cli serve [--listen ADDR | --unix PATH] [--workers N] [--snapshot PATH]
+//! rdt-cli connect [--addr ADDR | --unix PATH]
 //! ```
 
 use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
 use std::process::ExitCode;
 
 use rdt::theory::{dot, min_max, paper_figures};
@@ -446,6 +449,106 @@ fn cmd_lint() -> ExitCode {
     }
 }
 
+/// `rdt-cli serve`: run the streaming daemon inline. Thin wrapper over
+/// [`rdt_serve::Server`]; the `rdt-serve` binary is the same daemon with
+/// its own argument parser.
+fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
+    let endpoint = match (flags.get("listen"), flags.get("unix")) {
+        (Some(_), Some(_)) => {
+            eprintln!("--listen and --unix are exclusive");
+            return ExitCode::FAILURE;
+        }
+        (None, Some(path)) => rdt_serve::Endpoint::Unix(path.into()),
+        (listen, None) => rdt_serve::Endpoint::Tcp(
+            listen
+                .cloned()
+                .unwrap_or_else(|| "127.0.0.1:7878".to_string()),
+        ),
+    };
+    let config = rdt_serve::ServerConfig {
+        endpoint,
+        workers: get(flags, "workers", 4usize).max(1),
+        snapshot_path: flags.get("snapshot").map(Into::into),
+    };
+    let server = match rdt_serve::Server::bind(config) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("serve: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "serving ({} streams restored); send {{\"op\":\"shutdown\"}} to stop",
+        server.restored_streams()
+    );
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("serve: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `rdt-cli connect`: pipe stdin lines to a running daemon and print its
+/// replies, one per line.
+fn cmd_connect(flags: &HashMap<String, String>) -> ExitCode {
+    let halves: std::io::Result<(Box<dyn Write>, Box<dyn Read>)> =
+        if let Some(path) = flags.get("unix") {
+            std::os::unix::net::UnixStream::connect(path).and_then(|s| {
+                let r = s.try_clone()?;
+                Ok((Box::new(s) as Box<dyn Write>, Box::new(r) as Box<dyn Read>))
+            })
+        } else {
+            let addr = flags
+                .get("addr")
+                .cloned()
+                .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+            std::net::TcpStream::connect(addr).and_then(|s| {
+                let r = s.try_clone()?;
+                Ok((Box::new(s) as Box<dyn Write>, Box::new(r) as Box<dyn Read>))
+            })
+        };
+    let (mut writer, read_half) = match halves {
+        Ok(halves) => halves,
+        Err(err) => {
+            eprintln!("connect: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut replies = BufReader::new(read_half);
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(err) => {
+                eprintln!("connect: reading stdin: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        if writer
+            .write_all(format!("{line}\n").as_bytes())
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            eprintln!("connect: daemon closed the connection");
+            return ExitCode::FAILURE;
+        }
+        let mut reply = String::new();
+        match replies.read_line(&mut reply) {
+            Ok(0) | Err(_) => {
+                eprintln!("connect: daemon closed the connection");
+                return ExitCode::FAILURE;
+            }
+            Ok(_) => print!("{reply}"),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (flags, positional) = parse_flags(&args);
@@ -458,9 +561,11 @@ fn main() -> ExitCode {
         Some("replay") => cmd_replay(&flags),
         Some("certify") => cmd_certify(&flags),
         Some("lint") => cmd_lint(),
+        Some("serve") => cmd_serve(&flags),
+        Some("connect") => cmd_connect(&flags),
         _ => {
             eprintln!(
-                "usage: rdt-cli <list|run|compare|audit|domino|replay|certify|lint> [--flags]\n\
+                "usage: rdt-cli <list|run|compare|audit|domino|replay|certify|lint|serve|connect> [--flags]\n\
                  see the module docs (`cargo doc`) for the full flag list"
             );
             ExitCode::FAILURE
